@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures.
+
+One :class:`~repro.evaluation.runner.Lab` (synthetic world + cached
+features + cached models) is built per session and shared by every
+benchmark.  Each benchmark renders the paper artefact it reproduces into
+``benchmarks/results/`` so the numbers cited in EXPERIMENTS.md can be
+regenerated from a single run.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — multiplies the default corpus sizes
+  (default 1.0; the default corpus is already ~1/25 of the paper's).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.corpus.datasets import CorpusConfig
+from repro.evaluation.runner import Lab
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _bench_config() -> CorpusConfig:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    base = CorpusConfig()
+    return CorpusConfig(
+        seed=base.seed,
+        leg_train=max(60, int(base.leg_train * scale)),
+        phish_train=max(40, int(base.phish_train * scale)),
+        phish_test=max(40, int(base.phish_test * scale)),
+        phish_brand=max(30, int(base.phish_brand * scale)),
+        english_test=max(300, int(base.english_test * scale)),
+        other_language_test=max(100, int(base.other_language_test * scale)),
+    )
+
+
+@pytest.fixture(scope="session")
+def lab():
+    return Lab(_bench_config(), n_estimators=100)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _save

@@ -1,0 +1,29 @@
+"""Fig. 3 — precision vs recall per language.
+
+Paper shape: at precision >= 0.9 every language keeps recall in the
+0.64-0.98 band (the usability criterion of Section VI-C1).
+"""
+
+import numpy as np
+
+from repro.evaluation.reporting import format_curve
+from repro.ml.metrics import recall_at_precision
+
+
+def test_fig3_precision_recall(lab, benchmark, save_result):
+    curves = benchmark.pedantic(lab.fig3_curves, rounds=1, iterations=1)
+
+    lines = []
+    for language, (precision, recall) in curves.items():
+        lines.append(format_curve(language, precision, recall))
+    save_result("fig3_precision_recall", "\n".join(lines))
+
+    for language in curves:
+        y, scores = lab.scenario2_scores(language)
+        usable_recall = recall_at_precision(y, scores, 0.9)
+        assert usable_recall > 0.6, (
+            f"{language}: recall {usable_recall} at precision 0.9"
+        )
+        precision, recall = curves[language]
+        assert np.all((precision >= 0) & (precision <= 1))
+        assert np.all((recall >= 0) & (recall <= 1))

@@ -1,0 +1,34 @@
+"""Fig. 4 — ROC per language.
+
+Paper shape: at TPR 0.9 the FPR stays below 0.008 for every language; at
+TPR 0.98 it stays below 0.02; AUC ~0.997-0.999 uniformly.
+"""
+
+import numpy as np
+
+from repro.evaluation.reporting import format_curve
+from repro.ml.metrics import roc_auc
+
+
+def _fpr_at_tpr(fpr, tpr, target_tpr):
+    feasible = fpr[tpr >= target_tpr]
+    return float(feasible.min()) if len(feasible) else 1.0
+
+
+def test_fig4_roc_languages(lab, benchmark, save_result):
+    curves = benchmark.pedantic(lab.fig4_curves, rounds=1, iterations=1)
+
+    lines = [
+        format_curve(language, fpr, tpr)
+        for language, (fpr, tpr) in curves.items()
+    ]
+    save_result("fig4_roc_languages", "\n".join(lines))
+
+    aucs = []
+    for language, (fpr, tpr) in curves.items():
+        assert _fpr_at_tpr(fpr, tpr, 0.9) < 0.05, language
+        y, scores = lab.scenario2_scores(language)
+        aucs.append(roc_auc(y, scores))
+    # Uniformly high AUC across languages.
+    assert min(aucs) > 0.98
+    assert max(aucs) - min(aucs) < 0.02

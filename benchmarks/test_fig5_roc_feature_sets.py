@@ -1,0 +1,31 @@
+"""Fig. 5 — ROC per feature set (cross-validation + English scenario).
+
+Paper shape: f1 has the largest area under the curve of the individual
+sets in both scenarios; f3 and f5 the smallest; fall dominates.
+"""
+
+from repro.evaluation.reporting import format_curve
+from repro.ml.metrics import auc
+
+
+def test_fig5_roc_feature_sets(lab, benchmark, save_result):
+    curves = benchmark.pedantic(lab.fig5_curves, rounds=1, iterations=1)
+
+    lines = []
+    areas = {}
+    for (feature_set, scenario), (fpr, tpr) in curves.items():
+        areas[(feature_set, scenario)] = auc(fpr, tpr)
+        lines.append(format_curve(f"{feature_set}/{scenario}", fpr, tpr))
+    save_result("fig5_roc_feature_sets", "\n".join(lines))
+
+    for scenario in ("cross-validation", "english"):
+        fall_auc = areas[("fall", scenario)]
+        # fall dominates every individual set (tolerance for fold noise).
+        for feature_set in ("f1", "f2", "f3", "f4", "f5"):
+            assert fall_auc >= areas[(feature_set, scenario)] - 0.01, (
+                scenario, feature_set
+            )
+        # The weak sets (f3, f5) trail the strong sets (f1, f2).
+        strong = max(areas[("f1", scenario)], areas[("f2", scenario)])
+        weak = min(areas[("f3", scenario)], areas[("f5", scenario)])
+        assert weak < strong

@@ -1,0 +1,31 @@
+"""Fig. 6 — predictive performance vs test-set scale.
+
+Paper shape: as the test set grows from 10k to 101k pages (same trained
+model), precision and recall do not degrade and the FPR does not grow —
+the errors grow strictly slower than the data.
+"""
+
+from repro.evaluation.reporting import format_table
+
+
+def test_fig6_scalability(lab, benchmark, save_result):
+    rows = benchmark.pedantic(
+        lab.fig6_curve, kwargs={"steps": 8}, rounds=1, iterations=1
+    )
+
+    text = format_table(
+        ["sample_size", "precision", "recall", "fp_rate"],
+        [[row["sample_size"], row["precision"], row["recall"], row["fpr"]]
+         for row in rows],
+    )
+    save_result("fig6_scalability", text)
+
+    first, last = rows[0], rows[-1]
+    # No degradation with scale (small tolerance for sampling noise on
+    # the early, tiny subsets).
+    assert last["precision"] >= first["precision"] - 0.05
+    assert last["recall"] >= first["recall"] - 0.05
+    assert last["fpr"] <= first["fpr"] + 0.005
+    # The full-scale point keeps the headline quality.
+    assert last["fpr"] < 0.02
+    assert last["recall"] > 0.85

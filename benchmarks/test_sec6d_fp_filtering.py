@@ -1,0 +1,33 @@
+"""§VI-D — target identification as a false-positive filter.
+
+Paper shape: of 53 misclassified legitimate pages, the target identifier
+confirmed 39 as legitimate, leaving 14 (4 'phish' + 10 'suspicious');
+FPR drops from 0.0005 to ~0.0001 — roughly a 4x reduction.
+"""
+
+from repro.evaluation.reporting import format_table
+
+
+def test_sec6d_fp_filtering(lab, benchmark, save_result):
+    result = benchmark.pedantic(lab.sec6d_fp_filtering, rounds=1, iterations=1)
+
+    text = format_table(
+        ["metric", "value"],
+        [
+            ["detector false positives", result["false_positives"]],
+            ["confirmed legitimate", result["breakdown"]["legitimate"]],
+            ["still suspicious", result["breakdown"]["suspicious"]],
+            ["identified as phish", result["breakdown"]["phish"]],
+            ["fpr before", result["fpr_before"]],
+            ["fpr after", result["fpr_after"]],
+        ],
+    )
+    save_result("sec6d_fp_filtering", text)
+
+    assert result["fpr_after"] <= result["fpr_before"]
+    if result["false_positives"]:
+        # A meaningful share of FPs gets confirmed legitimate (the paper
+        # confirmed 39/53; our world's FPs are dominated by parked and
+        # near-empty pages, which stay suspicious, so the bar is lower).
+        confirmed = result["breakdown"]["legitimate"]
+        assert confirmed / result["false_positives"] > 0.2

@@ -1,0 +1,47 @@
+"""§VII-B and §VII-C — limitations (IP URLs) and evasion techniques.
+
+Paper shape: single evasion techniques "did not impact classifier
+performance"; IP-based URLs were a limitation (recall 0.76 vs 0.95
+global).  The IP shape is a *known deviation* of this reproduction
+(documented in EXPERIMENTS.md): our synthetic legitimate corpus never
+uses IP hosting, so IP URLs stay easy to detect instead of degrading.
+"""
+
+from repro.evaluation.reporting import format_table
+
+
+def test_sec7_ip_urls(lab, benchmark, save_result):
+    result = benchmark.pedantic(
+        lab.sec7_ip_recall, kwargs={"count": 30}, rounds=1, iterations=1
+    )
+    text = format_table(
+        ["metric", "recall"],
+        [["ip-based phish", result["ip_recall"]],
+         ["global (scenario2)", result["global_recall"]]],
+    )
+    save_result("sec7_ip_urls", text)
+
+    # Both recalls are measurable; the paper's *drop* on IP URLs does not
+    # reproduce on the synthetic corpus (see module docstring).
+    assert 0.5 <= result["ip_recall"] <= 1.0
+    assert result["global_recall"] > 0.85
+
+
+def test_sec7_evasion(lab, benchmark, save_result):
+    results = benchmark.pedantic(
+        lab.sec7_evasion, kwargs={"count": 30}, rounds=1, iterations=1
+    )
+    text = format_table(
+        ["evasion technique", "detection recall"],
+        [[technique, recall] for technique, recall in results.items()],
+    )
+    save_result("sec7_evasion", text)
+
+    baseline = results["none"]
+    assert baseline > 0.85
+    for technique, recall in results.items():
+        if technique == "none":
+            continue
+        # No single technique collapses detection (paper: "they did not
+        # impact classifier performance").
+        assert recall > baseline - 0.3, (technique, recall)

@@ -1,0 +1,42 @@
+"""Table X — comparison with re-implemented prior-work baselines.
+
+Paper shape: our method reaches FPR <= 0.001 with recall >= 0.95 on the
+scenario2 test sets; Cantina-style detection has an order of magnitude
+higher FPR; URL-only and bag-of-words baselines trail the full system.
+"""
+
+import math
+
+from repro.evaluation.reporting import format_table
+
+
+def test_table10_comparison(lab, benchmark, save_result):
+    rows = benchmark.pedantic(lab.table10_rows, rounds=1, iterations=1)
+
+    text = format_table(
+        ["technique", "fpr", "precision", "recall", "accuracy", "auc"],
+        [[row["technique"], row["fpr"], row["precision"], row["recall"],
+          row["accuracy"],
+          row["auc"] if not math.isnan(row.get("auc", float("nan"))) else "-"]
+         for row in rows],
+    )
+    save_result("table10_comparison", text)
+
+    by_name = {row["technique"]: row for row in rows}
+    ours = by_name["our method (multilingual)"]
+    cantina = by_name["cantina (tf-idf + search)"]
+    url_only = by_name["url lexical (ma et al. style)"]
+    bow = by_name["bag-of-words (whittaker style)"]
+
+    # Who wins on the shared multilingual test: our method beats every
+    # baseline on F1 and keeps at least as low an FPR as term-static
+    # methods.
+    for baseline in (cantina, url_only, bow):
+        assert ours["f1"] >= baseline["f1"]
+    # Static-term baselines break outside the training language: their
+    # FPR explodes relative to ours (paper's adaptability argument).
+    assert cantina["fpr"] > 2 * max(ours["fpr"], 0.001)
+    assert bow["fpr"] > 2 * max(ours["fpr"], 0.001)
+    # Our recall stays high.
+    assert ours["recall"] > 0.85
+    assert by_name["our method (english)"]["recall"] > 0.85

@@ -1,0 +1,23 @@
+"""Table V — dataset description (initial vs cleaned sizes)."""
+
+from repro.evaluation.reporting import format_table
+
+
+def test_table5_datasets(lab, benchmark, save_result):
+    rows = benchmark.pedantic(lab.table5_rows, rounds=1, iterations=1)
+
+    text = format_table(
+        ["set", "name", "initial", "clean"],
+        [[row["set"], row["name"], row["initial"], row["clean"]]
+         for row in rows],
+    )
+    save_result("table5_datasets", text)
+
+    by_name = {row["name"]: row for row in rows}
+    # Phishing feeds lose entries to cleaning (Table V shows ~10-25% loss).
+    for name in ("phishTrain", "phishTest"):
+        assert by_name[name]["initial"] > by_name[name]["clean"]
+    # Test sets are uncleaned: initial == clean.
+    assert by_name["english"]["initial"] == by_name["english"]["clean"]
+    # Legitimate test sets dwarf the phishing sets, as in the paper.
+    assert by_name["english"]["clean"] > 3 * by_name["phishTest"]["clean"]

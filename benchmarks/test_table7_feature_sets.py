@@ -1,0 +1,40 @@
+"""Table VII / Fig. 2 — accuracy per feature set, both scenarios.
+
+Paper shape (cross-validation): f1 is the strongest individual set
+(precision 0.982), f3 and f5 the weakest (0.747 / 0.880), and fall beats
+everything (precision 0.991, FPR 0.001).  In the English scenario the
+individual sets degrade (f1 precision drops to 0.823; f3/f4/f5 collapse
+below 0.3) while fall stays high (0.956) — the whole point of combining
+the groups.
+"""
+
+from repro.evaluation.reporting import format_table
+
+
+def test_table7_feature_sets(lab, benchmark, save_result):
+    rows = benchmark.pedantic(lab.table7_rows, rounds=1, iterations=1)
+
+    text = format_table(
+        ["scenario", "set", "precision", "recall", "f1", "fp_rate", "auc"],
+        [[row["scenario"], row["feature_set"], row["precision"],
+          row["recall"], row["f1"], row["fpr"], row["auc"]] for row in rows],
+    )
+    save_result("table7_feature_sets", text)
+
+    by_key = {(row["scenario"], row["feature_set"]): row for row in rows}
+    for scenario in ("cross-validation", "english"):
+        fall = by_key[(scenario, "fall")]
+        f1 = by_key[(scenario, "f1")]
+        f3 = by_key[(scenario, "f3")]
+        f5 = by_key[(scenario, "f5")]
+        # fall is at least as good as any individual set (small tolerance
+        # for fold noise).
+        for feature_set in ("f1", "f2", "f3", "f4", "f5"):
+            assert fall["auc"] >= by_key[(scenario, feature_set)]["auc"] - 0.01
+        # f3 and f5 are the weak sets; f1 is a strong one.
+        assert f3["f1"] < f1["f1"]
+        assert f5["f1"] < fall["f1"]
+        # fall keeps the false positive rate low.
+        assert fall["fpr"] < 0.02
+    # fall recall is high in both scenarios (paper: >0.95).
+    assert by_key[("english", "fall")]["recall"] > 0.85

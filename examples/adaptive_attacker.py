@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Adaptive attackers: evasion techniques vs the trained detector.
+
+Section VII-C of the paper argues the feature set is resilient to
+adaptive attacks: each evasion trick suppresses *some* features, but the
+remaining groups still give the phish away — and stacking tricks
+destroys the phish's believability.  This example launches fresh
+campaigns using each technique against an already-trained detector.
+
+Run:  python examples/adaptive_attacker.py
+"""
+
+import numpy as np
+
+from repro import CorpusConfig, PhishingDetector, build_world
+from repro.core import FeatureExtractor
+from repro.corpus.phishing import EvasionProfile, PhishingSiteGenerator
+
+
+def main():
+    print("Building world and training the detector once...")
+    config = CorpusConfig(
+        leg_train=300, phish_train=90, phish_test=60, phish_brand=20,
+        english_test=600, other_language_test=100,
+    )
+    world = build_world(config)
+    extractor = FeatureExtractor(alexa=world.alexa)
+    detector = PhishingDetector(extractor, n_estimators=100)
+    train = world.dataset("legTrain") + world.dataset("phishTrain")
+    detector.fit_snapshots([page.snapshot for page in train], train.labels())
+
+    campaigns = {
+        "no evasion": EvasionProfile.none(),
+        "minimal text": EvasionProfile(minimal_text=True),
+        "no links to target": EvasionProfile(no_external_links=True),
+        "no target resources": EvasionProfile(no_external_resources=True),
+        "image-based page": EvasionProfile(image_based=True),
+        "misspelled terms": EvasionProfile(misspell_terms=True),
+        "short URLs": EvasionProfile(short_url=True),
+        "ALL tricks at once": EvasionProfile.all_tricks(),
+    }
+
+    print(f"\n{'campaign':24s} {'detected':>9s} {'mean confidence':>16s}")
+    rng = np.random.default_rng(1234)
+    generator = PhishingSiteGenerator(world.web, rng, world.brands)
+    for name, profile in campaigns.items():
+        snapshots = []
+        for _ in range(40):
+            phish = generator.generate(evasion=profile)
+            snapshots.append(world.browser.load(phish.starting_url))
+        X = extractor.extract_many(snapshots)
+        scores = detector.predict_proba(X)
+        detected = float((scores >= detector.threshold).mean())
+        print(f"{name:24s} {detected:9.1%} {scores.mean():16.3f}")
+
+    print(
+        "\nSingle techniques barely move detection; even the all-tricks"
+        "\ncampaign remains detectable — and such a page (no text, no"
+        "\nlogos, no links) would hardly fool a victim anyway, which is"
+        "\nthe paper's point about the cost of evasion."
+    )
+
+    print("\nAnd the IP-URL corner (Section VII-B):")
+    snapshots = []
+    for _ in range(30):
+        phish = generator.generate(hosting="ip")
+        snapshots.append(world.browser.load(phish.starting_url))
+    scores = detector.predict_proba(extractor.extract_many(snapshots))
+    print(f"  IP-hosted phish detected: "
+          f"{float((scores >= detector.threshold).mean()):.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The client-side add-on: real-time protection while browsing.
+
+Simulates the paper's companion browser add-on [3]: a user browses a mix
+of legitimate and phishing pages; every navigation goes through the
+add-on's hook (trust list → verdict cache → scrape + analyse → policy),
+and the session ends with the add-on's own statistics.
+
+Run:  python examples/browser_addon.py
+"""
+
+import numpy as np
+
+from repro import (
+    CorpusConfig,
+    KnowYourPhish,
+    PhishingDetector,
+    TargetIdentifier,
+    build_world,
+)
+from repro.addon import Action, PhishingPreventionAddon, WarningPolicy
+from repro.core import FeatureExtractor
+from repro.web.ocr import SimulatedOcr
+
+
+def main():
+    print("Building world and training the pipeline...")
+    world = build_world(CorpusConfig(
+        leg_train=250, phish_train=80, phish_test=60, phish_brand=20,
+        english_test=500, other_language_test=100,
+    ))
+    extractor = FeatureExtractor(alexa=world.alexa)
+    detector = PhishingDetector(extractor, n_estimators=80)
+    train = world.dataset("legTrain") + world.dataset("phishTrain")
+    detector.fit_snapshots([page.snapshot for page in train], train.labels())
+    pipeline = KnowYourPhish(
+        detector, TargetIdentifier(world.search, ocr=SimulatedOcr())
+    )
+
+    policy = WarningPolicy()
+    policy.trust_domain("paypal.com")       # the user's own bank, say
+    addon = PhishingPreventionAddon(pipeline, world.browser, policy=policy)
+
+    # A browsing session: mostly legitimate pages, a few phish lures,
+    # and some revisits (cache hits).
+    rng = np.random.default_rng(5)
+    legit = list(world.dataset("english"))
+    phish = list(world.dataset("phishTest"))
+    session = []
+    for _ in range(40):
+        if rng.random() < 0.15:
+            session.append(phish[int(rng.integers(len(phish)))].url)
+        else:
+            session.append(legit[int(rng.integers(len(legit)))].url)
+    session += session[:8]  # revisits
+
+    print(f"\nBrowsing {len(session)} pages...\n")
+    icons = {Action.ALLOW: "   ", Action.WARN: "⚠  ", Action.BLOCK: "⛔ "}
+    for url in session:
+        result = addon.navigate(url)
+        if result.action is not Action.ALLOW:
+            target = result.verdict.top_target if result.verdict else None
+            print(f"{icons[result.action]}{result.action.value.upper():5s} "
+                  f"{url[:58]:58s} target={target or '-'}")
+            if result.action is Action.WARN and rng.random() < 0.3:
+                addon.proceed_anyway(url)   # a risk-taking user
+                print(f"   user clicked through the warning")
+
+    stats = addon.stats
+    print(f"\nSession statistics:")
+    print(f"  navigations:        {stats.navigations}")
+    print(f"  pages analysed:     {stats.analyses} "
+          f"(cache hit rate {addon.cache.hit_rate:.0%})")
+    print(f"  warnings shown:     {stats.warnings}")
+    print(f"  navigations blocked:{stats.blocks:3d}")
+    print(f"  median analysis:    {stats.median_analysis_ms:.1f} ms "
+          f"(paper: 891 ms median, pre-2016 hardware)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Language independence: one model, six languages.
+
+The paper's headline property is that the feature set never looks at
+*which* terms a page uses — only at how consistently terms are used
+across page locations.  A single model trained on English data therefore
+transfers to French, German, Italian, Portuguese and Spanish webpages
+without retraining (Table VI).
+
+This example trains once on the English training sets and reports
+precision / recall / FPR against each language's legitimate test set,
+contrasting it with the bag-of-words baseline whose term features are
+inherently language-bound.
+
+Run:  python examples/multilingual_detection.py
+"""
+
+import numpy as np
+
+from repro import CorpusConfig, PhishingDetector, build_world
+from repro.baselines import BagOfWordsClassifier
+from repro.core import FeatureExtractor
+from repro.corpus.wordlists import LANGUAGES
+from repro.ml import binary_metrics
+
+
+def main():
+    print("Building a multilingual world...")
+    config = CorpusConfig(
+        leg_train=300, phish_train=90, phish_test=90, phish_brand=20,
+        english_test=600, other_language_test=300,
+    )
+    world = build_world(config)
+
+    extractor = FeatureExtractor(alexa=world.alexa)
+    train = world.dataset("legTrain") + world.dataset("phishTrain")
+    train_snapshots = [page.snapshot for page in train]
+
+    print("Training our detector (term-usage consistency features)...")
+    detector = PhishingDetector(extractor, n_estimators=100)
+    detector.fit_snapshots(train_snapshots, train.labels())
+
+    print("Training the bag-of-words baseline (static term features)...")
+    baseline = BagOfWordsClassifier(n_estimators=100)
+    baseline.fit_snapshots(train_snapshots, train.labels())
+
+    phish = world.dataset("phishTest")
+    phish_snapshots = [page.snapshot for page in phish]
+    phish_X = extractor.extract_many(phish_snapshots)
+
+    print(f"\n{'language':12s} {'ours: prec/rec/fpr':>24s} "
+          f"{'bag-of-words: prec/rec/fpr':>30s}")
+    for language in LANGUAGES:
+        legit = world.dataset(language)
+        legit_snapshots = [page.snapshot for page in legit]
+        y = np.concatenate([legit.labels(), phish.labels()])
+
+        ours_pred = np.concatenate([
+            detector.predict(extractor.extract_many(legit_snapshots)),
+            detector.predict(phish_X),
+        ])
+        ours = binary_metrics(y, ours_pred)
+
+        bow_pred = np.concatenate([
+            baseline.predict_snapshots(legit_snapshots),
+            baseline.predict_snapshots(phish_snapshots),
+        ])
+        bow = binary_metrics(y, bow_pred)
+
+        print(f"{language:12s} "
+              f"{ours.precision:8.3f}/{ours.recall:.3f}/{ours.fpr:.4f} "
+              f"{bow.precision:14.3f}/{bow.recall:.3f}/{bow.fpr:.4f}")
+
+    print("\nSame recall column for ours across languages = the same model"
+          "\nclassifies the shared phishing set identically; what varies is"
+          "\nonly how clean each language's legitimate set is.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Scalability study: small training set, growing test sets (Fig. 6).
+
+The paper's deployability argument: a model learned from a few thousand
+labeled pages keeps (even improves) its precision/recall as the test
+stream grows by an order of magnitude.  This example trains once and
+evaluates on progressively larger test samples.
+
+Run:  python examples/scaling_study.py
+"""
+
+import numpy as np
+
+from repro import CorpusConfig, PhishingDetector, build_world
+from repro.core import FeatureExtractor
+from repro.ml import binary_metrics
+
+
+def main():
+    print("Building a world with a large English test pool...")
+    config = CorpusConfig(
+        leg_train=350, phish_train=100, phish_test=120, phish_brand=20,
+        english_test=3000, other_language_test=100,
+    )
+    world = build_world(config)
+
+    extractor = FeatureExtractor(alexa=world.alexa)
+    detector = PhishingDetector(extractor, n_estimators=100)
+    train = world.dataset("legTrain") + world.dataset("phishTrain")
+    detector.fit_snapshots([page.snapshot for page in train], train.labels())
+    print(f"Trained once on {len(train)} pages.")
+
+    legit = world.dataset("english")
+    phish = world.dataset("phishTest")
+    print("Extracting features for the full test pool...")
+    legit_scores = detector.predict_proba(
+        extractor.extract_many(page.snapshot for page in legit)
+    )
+    phish_scores = detector.predict_proba(
+        extractor.extract_many(page.snapshot for page in phish)
+    )
+
+    rng = np.random.default_rng(7)
+    legit_order = rng.permutation(len(legit_scores))
+    phish_order = rng.permutation(len(phish_scores))
+
+    print(f"\n{'test size':>10s} {'precision':>10s} {'recall':>8s} "
+          f"{'fp rate':>9s}")
+    steps = 6
+    for step in range(1, steps + 1):
+        n_legit = len(legit_scores) * step // steps
+        n_phish = max(1, len(phish_scores) * step // steps)
+        scores = np.concatenate([
+            legit_scores[legit_order[:n_legit]],
+            phish_scores[phish_order[:n_phish]],
+        ])
+        y = np.concatenate([np.zeros(n_legit, int), np.ones(n_phish, int)])
+        metrics = binary_metrics(y, (scores >= detector.threshold).astype(int))
+        print(f"{n_legit + n_phish:>10d} {metrics.precision:>10.3f} "
+              f"{metrics.recall:>8.3f} {metrics.fpr:>9.4f}")
+
+    print("\nErrors grow slower than the stream: precision/recall hold as"
+          "\nthe test set scales — the Fig. 6 shape.")
+
+
+if __name__ == "__main__":
+    main()

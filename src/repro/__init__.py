@@ -1,0 +1,46 @@
+"""repro — reproduction of "Know Your Phish" (Marchal et al., ICDCS 2016).
+
+A phishing-detection and target-identification system built on features
+that model phisher limitations and term-usage consistency, together with
+every substrate the paper's evaluation needs: URL/public-suffix parsing,
+HTML extraction, a gradient-boosting classifier, a synthetic web with a
+browser, search engine and OCR, and multilingual corpus generators.
+
+Quickstart::
+
+    from repro import CorpusConfig, build_world, PhishingDetector
+    from repro.core import FeatureExtractor
+
+    world = build_world(CorpusConfig())
+    extractor = FeatureExtractor(alexa=world.alexa)
+    detector = PhishingDetector(extractor)
+    train = world.dataset("legTrain") + world.dataset("phishTrain")
+    detector.fit_snapshots(
+        [page.snapshot for page in train], train.labels()
+    )
+"""
+
+from repro.core.detector import PhishingDetector
+from repro.core.features import FeatureExtractor
+from repro.core.pipeline import KnowYourPhish, PageVerdict
+from repro.core.target import TargetIdentification, TargetIdentifier
+from repro.corpus.datasets import CorpusConfig, Dataset, World, build_world
+from repro.web.page import PageSnapshot, Screenshot
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CorpusConfig",
+    "Dataset",
+    "FeatureExtractor",
+    "KnowYourPhish",
+    "PageSnapshot",
+    "PageVerdict",
+    "PhishingDetector",
+    "Screenshot",
+    "TargetIdentification",
+    "TargetIdentifier",
+    "World",
+    "build_world",
+    "__version__",
+]

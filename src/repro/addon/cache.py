@@ -1,0 +1,88 @@
+"""Verdict cache for the client-side add-on.
+
+Phishing campaigns have a median lifetime of a few hours [10 in the
+paper], so a verdict must not outlive the page it describes.  The cache
+is keyed by full URL, bounded in size (LRU eviction) and bounded in age
+(TTL expiry).  Time is injected, never read from the wall clock, so
+behaviour is deterministic and testable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.pipeline import PageVerdict
+
+
+@dataclass(frozen=True)
+class CachedVerdict:
+    """A verdict plus the time it was cached."""
+
+    verdict: PageVerdict
+    cached_at: float
+
+
+class VerdictCache:
+    """LRU + TTL cache of page verdicts.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum cached URLs; least-recently-used entries are evicted.
+    ttl:
+        Maximum verdict age in seconds; stale entries read as misses.
+    """
+
+    def __init__(self, max_entries: int = 1000, ttl: float = 3600.0):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._entries: OrderedDict[str, CachedVerdict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, url: str, now: float) -> PageVerdict | None:
+        """Return the cached verdict for ``url`` or ``None``.
+
+        Expired entries are removed and counted as misses.
+        """
+        entry = self._entries.get(url)
+        if entry is None:
+            self.misses += 1
+            return None
+        if now - entry.cached_at > self.ttl:
+            del self._entries[url]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(url)
+        self.hits += 1
+        return entry.verdict
+
+    def put(self, url: str, verdict: PageVerdict, now: float) -> None:
+        """Cache a verdict, evicting the oldest entry when full."""
+        if url in self._entries:
+            del self._entries[url]
+        self._entries[url] = CachedVerdict(verdict=verdict, cached_at=now)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, url: str) -> bool:
+        """Drop one URL from the cache; True when it was present."""
+        return self._entries.pop(url, None) is not None
+
+    def clear(self) -> None:
+        """Drop everything (counters are kept)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,92 @@
+"""Allow/warn/block policy of the add-on.
+
+Maps pipeline verdicts to user-facing actions, honouring a user-managed
+trust list (never warn on domains the user vouched for) and recording
+overrides — users who click through a warning effectively whitelist the
+page for the session, and the add-on must not nag.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.core.pipeline import PageVerdict
+from repro.urls.parsing import UrlParseError, parse_url
+
+
+class Action(Enum):
+    """What the add-on does about a navigation."""
+
+    ALLOW = "allow"
+    WARN = "warn"      # interstitial with a continue option
+    BLOCK = "block"    # hard block (confirmed phish with a target)
+
+
+class WarningPolicy:
+    """Decision policy over pipeline verdicts.
+
+    Parameters
+    ----------
+    block_confirmed_phish:
+        When True, verdicts of ``"phish"`` (target identified) hard-block;
+        otherwise they warn.
+    warn_on_suspicious:
+        When True, ``"suspicious"`` verdicts show a warning; otherwise
+        they are allowed (aggressiveness knob).
+    """
+
+    def __init__(
+        self,
+        block_confirmed_phish: bool = True,
+        warn_on_suspicious: bool = True,
+    ):
+        self.block_confirmed_phish = block_confirmed_phish
+        self.warn_on_suspicious = warn_on_suspicious
+        self._trusted_rdns: set[str] = set()
+        self._session_overrides: set[str] = set()
+
+    # ---- trust management ---------------------------------------------
+    def trust_domain(self, rdn: str) -> None:
+        """Permanently trust a registered domain (user setting)."""
+        self._trusted_rdns.add(rdn.lower())
+
+    def revoke_trust(self, rdn: str) -> bool:
+        """Remove a domain from the trust list; True when it was there."""
+        try:
+            self._trusted_rdns.remove(rdn.lower())
+        except KeyError:
+            return False
+        return True
+
+    def is_trusted(self, url: str) -> bool:
+        """True when the URL's RDN is on the user trust list."""
+        try:
+            rdn = parse_url(url).rdn
+        except UrlParseError:
+            return False
+        return rdn is not None and rdn.lower() in self._trusted_rdns
+
+    def record_override(self, url: str) -> None:
+        """The user clicked through a warning for this URL."""
+        self._session_overrides.add(url)
+
+    def was_overridden(self, url: str) -> bool:
+        """True when the user already dismissed a warning for this URL."""
+        return url in self._session_overrides
+
+    def reset_session(self) -> None:
+        """Forget session overrides (new browsing session)."""
+        self._session_overrides.clear()
+
+    # ---- decisions ------------------------------------------------------
+    def decide(self, url: str, verdict: PageVerdict) -> Action:
+        """Map a pipeline verdict to an action for this navigation."""
+        if self.is_trusted(url) or self.was_overridden(url):
+            return Action.ALLOW
+        if verdict.verdict == "phish":
+            return (
+                Action.BLOCK if self.block_confirmed_phish else Action.WARN
+            )
+        if verdict.verdict == "suspicious":
+            return Action.WARN if self.warn_on_suspicious else Action.ALLOW
+        return Action.ALLOW

@@ -1,0 +1,32 @@
+"""Baseline phishing detectors for the Table X comparison.
+
+Three families of prior work re-implemented on our substrates:
+
+* :class:`~repro.baselines.cantina.CantinaClassifier` — TF-IDF keyword
+  extraction + search-engine membership check (Zhang et al., "Cantina");
+* :class:`~repro.baselines.url_lexical.UrlLexicalClassifier` — hashed
+  bag-of-words over URL tokens with a linear model (Ma et al. style);
+* :class:`~repro.baselines.bag_of_words.BagOfWordsClassifier` — hashed
+  bag-of-words over page content (Whittaker et al. style), illustrating
+  brand-dependent static features.
+"""
+
+from repro.baselines.bag_of_words import BagOfWordsClassifier
+from repro.baselines.blacklist import (
+    BlacklistDefense,
+    Campaign,
+    exposure_analysis,
+    generate_campaign_timeline,
+)
+from repro.baselines.cantina import CantinaClassifier
+from repro.baselines.url_lexical import UrlLexicalClassifier
+
+__all__ = [
+    "BagOfWordsClassifier",
+    "BlacklistDefense",
+    "Campaign",
+    "CantinaClassifier",
+    "UrlLexicalClassifier",
+    "exposure_analysis",
+    "generate_campaign_timeline",
+]

@@ -1,0 +1,94 @@
+"""Cantina-style baseline: TF-IDF keywords + search-engine lookup.
+
+Cantina [Zhang, Hong, Cranor — WWW'07] computes the TF-IDF signature of a
+page, queries a search engine with the top-K terms and declares the page
+legitimate when its own domain appears in the results.  No learning is
+involved, but the method is *language dependent*: IDF weights come from a
+reference corpus (we build one from training pages), which is exactly the
+dependence the paper criticises.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+from repro.text.terms import extract_terms
+from repro.urls.parsing import UrlParseError, parse_url
+from repro.web.page import PageSnapshot
+from repro.web.search import SearchEngine
+
+
+class CantinaClassifier:
+    """TF-IDF + search-engine phishing detector.
+
+    Parameters
+    ----------
+    search:
+        Search engine over the legitimate web.
+    top_terms:
+        Number of TF-IDF-ranked terms used as the query (Cantina uses 5).
+    search_depth:
+        Results inspected per query.
+    """
+
+    def __init__(
+        self, search: SearchEngine, top_terms: int = 5, search_depth: int = 10
+    ):
+        self.search = search
+        self.top_terms = top_terms
+        self.search_depth = search_depth
+        self._document_frequency: Counter = Counter()
+        self._n_documents = 0
+
+    # ------------------------------------------------------------------
+    def fit_idf(self, snapshots) -> "CantinaClassifier":
+        """Build the IDF reference corpus from ``snapshots``."""
+        for snapshot in snapshots:
+            terms = set(extract_terms(snapshot.text)) | set(
+                extract_terms(snapshot.title)
+            )
+            self._document_frequency.update(terms)
+            self._n_documents += 1
+        return self
+
+    def signature(self, snapshot: PageSnapshot) -> list[str]:
+        """The page's top TF-IDF terms (its Cantina 'lexical signature')."""
+        counts = Counter(extract_terms(snapshot.text))
+        counts.update(extract_terms(snapshot.title))
+        if not counts:
+            return []
+        scored = []
+        for term, tf in counts.items():
+            df = self._document_frequency.get(term, 0)
+            idf = math.log((1 + self._n_documents) / (1 + df)) + 1
+            scored.append((tf * idf, term))
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [term for _score, term in scored[: self.top_terms]]
+
+    # ------------------------------------------------------------------
+    def classify_snapshot(self, snapshot: PageSnapshot) -> bool:
+        """True when the page is classified as phishing."""
+        try:
+            own_rdns = {
+                rdn for rdn in (
+                    parse_url(snapshot.starting_url).rdn,
+                    parse_url(snapshot.landing_url).rdn,
+                ) if rdn
+            }
+        except UrlParseError:
+            return True  # unparsable URL: treat as phish
+        terms = self.signature(snapshot)
+        if not terms:
+            return True  # contentless page: Cantina flags it
+        returned = self.search.result_rdns(terms, top_k=self.search_depth)
+        return not (own_rdns & returned)
+
+    def predict_snapshots(self, snapshots) -> np.ndarray:
+        """Hard 0/1 predictions for an iterable of snapshots."""
+        return np.asarray(
+            [int(self.classify_snapshot(snapshot)) for snapshot in snapshots],
+            dtype=np.int64,
+        )

@@ -1,0 +1,312 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-experiments``
+    Show every reproducible paper artefact and its id.
+``experiment <id>``
+    Build the synthetic world, run one experiment, print the rendered
+    table/series (ids match DESIGN.md: table5..table10, fig3..fig6,
+    sec6d, sec7-ip, sec7-evasion).
+``analyze``
+    Train the detector and print the §VII-A/B analysis: feature-group
+    importances and the false-positive attribution.
+``demo``
+    A one-minute end-to-end demonstration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.corpus.datasets import CorpusConfig
+from repro.evaluation.reporting import format_curve, format_table
+from repro.evaluation.runner import Lab
+
+_EXPERIMENTS = {
+    "table5": "Table V    - dataset description",
+    "table6": "Table VI   - accuracy across six languages",
+    "table7": "Table VII  - accuracy per feature set (slow: CV x 8 sets)",
+    "fig3": "Fig. 3     - precision vs recall per language",
+    "fig4": "Fig. 4     - ROC per language",
+    "fig5": "Fig. 5     - ROC per feature set (slow)",
+    "fig6": "Fig. 6     - performance vs test-set scale",
+    "table8": "Table VIII - processing time per stage",
+    "table9": "Table IX   - target identification success",
+    "table10": "Table X    - comparison with baselines",
+    "sec6d": "Sec. VI-D  - false-positive filtering",
+    "sec7-ip": "Sec. VII-B - IP-URL limitation",
+    "sec7-evasion": "Sec. VII-C - evasion techniques",
+    "ext-blacklist": "Extension  - blacklist-delay victim exposure (Sec. VIII)",
+    "ext-model": "Extension  - gradient boosting vs linear model (Sec. IV-C)",
+    "ext-drift": "Extension  - recall under temporal campaign drift",
+}
+
+
+def _build_lab(args) -> Lab:
+    config = CorpusConfig.paper_scale(args.scale, seed=args.seed)
+    print(
+        f"building world (scale={args.scale}, seed={args.seed})...",
+        file=sys.stderr,
+    )
+    return Lab(config, n_estimators=args.estimators)
+
+
+def _run_experiment(lab: Lab, experiment: str) -> str:
+    if experiment == "table5":
+        rows = lab.table5_rows()
+        return format_table(
+            ["set", "name", "initial", "clean"],
+            [[r["set"], r["name"], r["initial"], r["clean"]] for r in rows],
+        )
+    if experiment == "table6":
+        rows = lab.table6_rows()
+        return format_table(
+            ["language", "precision", "recall", "f1", "fp_rate", "auc"],
+            [[r["language"], r["precision"], r["recall"], r["f1"], r["fpr"],
+              r["auc"]] for r in rows],
+        )
+    if experiment == "table7":
+        rows = lab.table7_rows()
+        return format_table(
+            ["scenario", "set", "precision", "recall", "f1", "fp_rate", "auc"],
+            [[r["scenario"], r["feature_set"], r["precision"], r["recall"],
+              r["f1"], r["fpr"], r["auc"]] for r in rows],
+        )
+    if experiment == "fig3":
+        return "\n".join(
+            format_curve(language, precision, recall)
+            for language, (precision, recall) in lab.fig3_curves().items()
+        )
+    if experiment == "fig4":
+        return "\n".join(
+            format_curve(language, fpr, tpr)
+            for language, (fpr, tpr) in lab.fig4_curves().items()
+        )
+    if experiment == "fig5":
+        return "\n".join(
+            format_curve(f"{fs}/{scenario}", fpr, tpr)
+            for (fs, scenario), (fpr, tpr) in lab.fig5_curves().items()
+        )
+    if experiment == "fig6":
+        rows = lab.fig6_curve()
+        return format_table(
+            ["sample_size", "precision", "recall", "fp_rate"],
+            [[r["sample_size"], r["precision"], r["recall"], r["fpr"]]
+             for r in rows],
+        )
+    if experiment == "table8":
+        timing = lab.table8_timing()
+        return format_table(
+            ["stage", "median_ms", "average_ms", "std_ms"],
+            [[stage, s["median"], s["average"], s["std"]]
+             for stage, s in timing.items()],
+        )
+    if experiment == "table9":
+        rows = lab.table9_target_id()
+        return format_table(
+            ["targets", "identified", "unknown", "missed", "success_rate"],
+            [[name, r["identified"], r["unknown"], r["missed"],
+              r["success_rate"]] for name, r in rows.items()],
+        )
+    if experiment == "table10":
+        rows = lab.table10_rows()
+        return format_table(
+            ["technique", "fpr", "precision", "recall", "accuracy"],
+            [[r["technique"], r["fpr"], r["precision"], r["recall"],
+              r["accuracy"]] for r in rows],
+        )
+    if experiment == "sec6d":
+        result = lab.sec6d_fp_filtering()
+        return format_table(
+            ["metric", "value"],
+            [["false positives", result["false_positives"]],
+             ["confirmed legitimate", result["breakdown"]["legitimate"]],
+             ["suspicious", result["breakdown"]["suspicious"]],
+             ["identified as phish", result["breakdown"]["phish"]],
+             ["fpr before", result["fpr_before"]],
+             ["fpr after", result["fpr_after"]]],
+        )
+    if experiment == "sec7-ip":
+        result = lab.sec7_ip_recall()
+        return format_table(
+            ["metric", "recall"],
+            [["ip-based phish", result["ip_recall"]],
+             ["global", result["global_recall"]]],
+        )
+    if experiment == "sec7-evasion":
+        results = lab.sec7_evasion()
+        return format_table(
+            ["technique", "detection recall"],
+            [[technique, recall] for technique, recall in results.items()],
+        )
+    if experiment == "ext-blacklist":
+        result = lab.sec8_blacklist_exposure()
+        return format_table(
+            ["metric", "value"], [[k, v] for k, v in result.items()]
+        )
+    if experiment == "ext-model":
+        result = lab.model_choice_ablation()
+        return format_table(
+            ["model", "auc"], [[k, v] for k, v in result.items()]
+        )
+    if experiment == "ext-drift":
+        result = lab.temporal_drift()
+        return format_table(
+            ["campaign wave", "recall"],
+            [["training-era", result["baseline_recall"]],
+             ["drifted", result["drifted_recall"]]],
+        )
+    raise ValueError(f"unknown experiment {experiment!r}")
+
+
+def _cmd_list(_args) -> int:
+    for experiment_id, description in _EXPERIMENTS.items():
+        print(f"{experiment_id:14s} {description}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.id not in _EXPERIMENTS:
+        print(
+            f"unknown experiment {args.id!r}; try 'list-experiments'",
+            file=sys.stderr,
+        )
+        return 2
+    lab = _build_lab(args)
+    print(_run_experiment(lab, args.id))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.evaluation.analysis import (
+        feature_group_importances,
+        misclassified_legitimate,
+        top_features,
+    )
+
+    lab = _build_lab(args)
+    detector = lab.detector("fall")
+
+    print("feature-group importances:")
+    groups = feature_group_importances(detector)
+    print(format_table(
+        ["group", "importance"], [[g, v] for g, v in groups.items()]
+    ))
+
+    print("\ntop individual features:")
+    print(format_table(
+        ["feature", "importance"], list(top_features(detector, 10))
+    ))
+
+    report = misclassified_legitimate(
+        detector, lab.dataset("english"), features=lab.features("english")
+    )
+    print(f"\nfalse positives on the English test set: {report.fp_count} "
+          f"(fpr {report.fpr:.4f})")
+    print(format_table(
+        ["page kind", "count"],
+        [[kind, count] for kind, count in report.kind_counts.most_common()],
+    ))
+    print(f"share with term-extraction pathologies: "
+          f"{report.term_issue_share:.0%}")
+    print(f"share parked/near-empty: {report.degenerate_share:.0%}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.core.pipeline import KnowYourPhish
+    from repro.core.target import TargetIdentifier
+
+    lab = _build_lab(args)
+    detector = lab.detector("fall")
+    identifier = TargetIdentifier(lab.world.search, ocr=lab.ocr)
+    pipeline = KnowYourPhish(detector, identifier)
+
+    print("analyzing five phishing and two legitimate pages:\n")
+    for page in list(lab.dataset("phishTest"))[:5]:
+        verdict = pipeline.analyze(page.snapshot)
+        print(f"  {page.url[:60]:60s} -> {verdict.verdict:10s}"
+              f" target={verdict.top_target or '-'}")
+    for page in list(lab.dataset("english"))[:2]:
+        verdict = pipeline.analyze(page.snapshot)
+        print(f"  {page.url[:60]:60s} -> {verdict.verdict}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.evaluation.report import compile_report
+
+    try:
+        text = compile_report(args.results_dir)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.out == "-":
+        print(text)
+    else:
+        from pathlib import Path
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Know Your Phish reproduction — experiment runner",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="corpus scale relative to the paper's Table V (default 0.05)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="world seed")
+    parser.add_argument(
+        "--estimators", type=int, default=100,
+        help="boosting stages per trained model",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "list-experiments", help="list reproducible artefacts"
+    ).set_defaults(func=_cmd_list)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one paper experiment"
+    )
+    experiment.add_argument("id", help="experiment id (see list-experiments)")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    commands.add_parser(
+        "analyze", help="feature importances + FP attribution"
+    ).set_defaults(func=_cmd_analyze)
+
+    commands.add_parser(
+        "demo", help="end-to-end demonstration"
+    ).set_defaults(func=_cmd_demo)
+
+    report = commands.add_parser(
+        "report", help="compile benchmark artefacts into one Markdown report"
+    )
+    report.add_argument(
+        "--results-dir", default="benchmarks/results",
+        help="directory holding the benchmark artefacts",
+    )
+    report.add_argument(
+        "--out", default="-", help="output file ('-' for stdout)",
+    )
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

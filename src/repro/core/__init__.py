@@ -1,0 +1,33 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.datasources` — Table I term distributions and the
+  control/constraint partition of Table II;
+* :mod:`repro.core.features` — the 212-feature vector (Table III);
+* :mod:`repro.core.detector` — the Gradient Boosting phishing detector
+  (Section IV);
+* :mod:`repro.core.keyterms` — keyterm extraction (Section V-A);
+* :mod:`repro.core.target` — the 5-step target identification process
+  (Section V-B);
+* :mod:`repro.core.pipeline` — the combined system (detector + target
+  identification as a false-positive filter).
+"""
+
+from repro.core.datasources import DataSources
+from repro.core.detector import PhishingDetector
+from repro.core.features import FEATURE_SET_NAMES, FeatureExtractor
+from repro.core.keyterms import KeytermExtractor, Keyterms
+from repro.core.pipeline import KnowYourPhish, PageVerdict
+from repro.core.target import TargetIdentification, TargetIdentifier
+
+__all__ = [
+    "DataSources",
+    "FEATURE_SET_NAMES",
+    "FeatureExtractor",
+    "KeytermExtractor",
+    "Keyterms",
+    "KnowYourPhish",
+    "PageVerdict",
+    "PhishingDetector",
+    "TargetIdentification",
+    "TargetIdentifier",
+]

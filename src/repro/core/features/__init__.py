@@ -1,0 +1,24 @@
+"""The 212-feature vector of Table III.
+
+Five feature groups, assembled in a fixed order by
+:class:`~repro.core.features.extractor.FeatureExtractor`:
+
+========  =====  ==========================================
+name      count  contents
+========  =====  ==========================================
+``f1``    106    URL statistics (Table IV)
+``f2``     66    pairwise Hellinger distances (term usage)
+``f3``     22    starting/landing mld usage
+``f4``     13    RDN usage consistency
+``f5``      5    webpage content counts
+``fall``  212    all of the above
+========  =====  ==========================================
+"""
+
+from repro.core.features.extractor import (
+    FEATURE_SET_NAMES,
+    FeatureExtractor,
+    feature_set_mask,
+)
+
+__all__ = ["FEATURE_SET_NAMES", "FeatureExtractor", "feature_set_mask"]

@@ -1,0 +1,133 @@
+"""Assembly of the full 212-dimensional feature vector (Table III).
+
+:class:`FeatureExtractor` turns a page snapshot into the concatenated
+feature vector ``[f1 | f2 | f3 | f4 | f5]`` and offers boolean masks for
+the feature-set combinations evaluated in the paper (Table VII / Figs. 2
+and 5): each individual set, ``f1,5``, ``f2,3,4`` and ``fall``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.datasources import DataSources
+from repro.core.features import (
+    content,
+    mld_usage,
+    rdn_usage,
+    term_consistency,
+    url_features,
+)
+from repro.urls.alexa import AlexaRanking
+from repro.urls.public_suffix import PublicSuffixList, default_psl
+from repro.web.page import PageSnapshot
+
+#: Feature-set layout: (name, module) in concatenation order.
+_GROUPS = (
+    ("f1", url_features),
+    ("f2", term_consistency),
+    ("f3", mld_usage),
+    ("f4", rdn_usage),
+    ("f5", content),
+)
+
+#: All feature-set names accepted by :func:`feature_set_mask`.
+FEATURE_SET_NAMES = ("f1", "f2", "f3", "f4", "f5", "f1,5", "f2,3,4", "fall")
+
+N_FEATURES = sum(module.N_FEATURES for _name, module in _GROUPS)
+assert N_FEATURES == 212
+
+_GROUP_SLICES: dict[str, slice] = {}
+_offset = 0
+for _name, _module in _GROUPS:
+    _GROUP_SLICES[_name] = slice(_offset, _offset + _module.N_FEATURES)
+    _offset += _module.N_FEATURES
+
+
+def feature_set_mask(name: str) -> np.ndarray:
+    """Boolean mask over the 212 features selecting a feature set.
+
+    ``name`` is one of :data:`FEATURE_SET_NAMES`.  Combination names use
+    the paper's notation: ``"f1,5"`` selects f1 and f5, ``"f2,3,4"``
+    selects f2, f3 and f4, ``"fall"`` selects everything.
+    """
+    if name == "fall":
+        return np.ones(N_FEATURES, dtype=bool)
+    if name not in FEATURE_SET_NAMES:
+        raise ValueError(
+            f"unknown feature set {name!r}; expected one of {FEATURE_SET_NAMES}"
+        )
+    mask = np.zeros(N_FEATURES, dtype=bool)
+    for digit in name[1:].split(","):
+        mask[_GROUP_SLICES[f"f{digit}"]] = True
+    return mask
+
+
+class FeatureExtractor:
+    """Extracts the 212 features of Table III from page snapshots.
+
+    Parameters
+    ----------
+    alexa:
+        Popularity ranking used by f1's Alexa-rank features.  Defaults to
+        an empty ranking (every domain gets the unranked default), which
+        keeps the extractor usable without the synthetic world.
+    psl:
+        Public-suffix list for URL decomposition.
+    """
+
+    def __init__(
+        self,
+        alexa: AlexaRanking | None = None,
+        psl: PublicSuffixList | None = None,
+        term_metric: str = "hellinger",
+    ):
+        if term_metric not in term_consistency.METRICS:
+            raise ValueError(
+                f"unknown term_metric {term_metric!r}; expected one of "
+                f"{sorted(term_consistency.METRICS)}"
+            )
+        self.alexa = alexa or AlexaRanking()
+        self.psl = psl or default_psl()
+        self.term_metric = term_metric
+        self._names = [
+            name for _group, module in _GROUPS for name in module.feature_names()
+        ]
+
+    @property
+    def n_features(self) -> int:
+        """Total feature count (212)."""
+        return N_FEATURES
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Stable, human-readable names for all 212 features."""
+        return list(self._names)
+
+    def extract(self, snapshot: PageSnapshot) -> np.ndarray:
+        """Feature vector for one page snapshot."""
+        sources = DataSources(snapshot, psl=self.psl)
+        return self.extract_from_sources(sources)
+
+    def extract_from_sources(self, sources: DataSources) -> np.ndarray:
+        """Feature vector for an already-built :class:`DataSources`."""
+        vector = (
+            url_features.compute(sources, self.alexa)
+            + term_consistency.compute(sources, metric=self.term_metric)
+            + mld_usage.compute(sources)
+            + rdn_usage.compute(sources)
+            + content.compute(sources)
+        )
+        out = np.asarray(vector, dtype=np.float64)
+        if out.shape != (N_FEATURES,):  # pragma: no cover - invariant guard
+            raise AssertionError(
+                f"feature vector has shape {out.shape}, expected ({N_FEATURES},)"
+            )
+        return out
+
+    def extract_many(self, snapshots) -> np.ndarray:
+        """Feature matrix for an iterable of snapshots."""
+        rows = [self.extract(snapshot) for snapshot in snapshots]
+        if not rows:
+            return np.empty((0, N_FEATURES))
+        return np.vstack(rows)

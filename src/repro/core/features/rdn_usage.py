@@ -1,0 +1,81 @@
+"""Feature set f4: 13 RDN-usage consistency features.
+
+"We compute statistics related to the use of similar and different RDNs
+in starting URL, landing URL, redirection chain, loaded content (logged
+links) and HREF links.  We expect legitimate webpages to use more
+internal RDNs and less redirection than phishing webpages"
+(Section IV-B).  The paper does not enumerate the 13 features; the
+concrete instantiation below covers redirection volume, RDN agreement
+between the user-visible URLs, internal/external composition of both
+link sets and RDN diversity.
+"""
+
+from __future__ import annotations
+
+from repro.core.datasources import DataSources, _url_identity
+
+N_FEATURES = 13
+
+
+def compute(sources: DataSources) -> list[float]:
+    """Compute the 13 f4 features for one page."""
+    chain = sources.redirection_chain
+    logged = sources.logged_links
+    href = sources.href_links
+    landing_identity = _url_identity(sources.landing)
+
+    chain_identities = {_url_identity(url) for url in chain}
+    logged_external_rdns = {
+        _url_identity(url) for url in sources.external_logged
+    }
+    href_external_rdns = {_url_identity(url) for url in sources.external_href}
+    all_rdns = {_url_identity(url) for url in logged + href} | chain_identities
+
+    n_logged = len(logged)
+    n_href = len(href)
+    return [
+        # redirection behaviour
+        float(len(chain)),
+        float(len(chain_identities)),
+        1.0 if sources.starting.rdn and sources.starting.same_rdn(sources.landing)
+        else (1.0 if sources.starting.fqdn == sources.landing.fqdn else 0.0),
+        # link volumes
+        float(n_logged),
+        float(n_href),
+        # internal composition
+        len(sources.internal_logged) / n_logged if n_logged else 0.0,
+        len(sources.internal_href) / n_href if n_href else 0.0,
+        # external RDN diversity
+        float(len(logged_external_rdns)),
+        float(len(href_external_rdns)),
+        float(len(all_rdns)),
+        # agreement with the landing RDN specifically
+        sum(_url_identity(url) == landing_identity for url in logged) / n_logged
+        if n_logged else 0.0,
+        sum(_url_identity(url) == landing_identity for url in href) / n_href
+        if n_href else 0.0,
+        # RDN switches along the redirection chain (cross-domain hops)
+        float(sum(
+            _url_identity(first) != _url_identity(second)
+            for first, second in zip(chain, chain[1:])
+        )),
+    ]
+
+
+def feature_names() -> list[str]:
+    """Stable names for the 13 f4 features."""
+    return [
+        "f4.chain_length",
+        "f4.chain_distinct_rdns",
+        "f4.start_land_same_rdn",
+        "f4.logged_count",
+        "f4.href_count",
+        "f4.logged_internal_ratio",
+        "f4.href_internal_ratio",
+        "f4.logged_external_rdn_count",
+        "f4.href_external_rdn_count",
+        "f4.total_distinct_rdns",
+        "f4.logged_landing_rdn_ratio",
+        "f4.href_landing_rdn_ratio",
+        "f4.chain_rdn_switches",
+    ]

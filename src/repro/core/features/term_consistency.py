@@ -1,0 +1,50 @@
+"""Feature set f2: 66 term-usage-consistency features.
+
+Pairwise Hellinger distances (Equation 1) between the 12 Table I term
+distributions retained for classification (``copyright`` and ``image``
+are discarded, Section IV-B): 12 * 11 / 2 = 66 features.  Each feature
+measures how consistently terms are used between two locations of the
+page — e.g. between the (constrained) landing RDN and the (freely
+controlled) title.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.datasources import F2_DISTRIBUTION_NAMES, DataSources
+from repro.text.distributions import hellinger_distance, jaccard_distance
+
+#: The ordered distribution pairs, fixed for the lifetime of the model.
+PAIRS: tuple[tuple[str, str], ...] = tuple(
+    combinations(F2_DISTRIBUTION_NAMES, 2)
+)
+
+N_FEATURES = len(PAIRS)
+assert N_FEATURES == 66
+
+#: Distance functions usable for f2; "hellinger" is the paper's choice,
+#: "jaccard" the ablation comparator.
+METRICS = {"hellinger": hellinger_distance, "jaccard": jaccard_distance}
+
+
+def compute(sources: DataSources, metric: str = "hellinger") -> list[float]:
+    """Compute the 66 pairwise distribution distances for one page."""
+    try:
+        distance = METRICS[metric]
+    except KeyError:
+        raise ValueError(
+            f"unknown f2 metric {metric!r}; expected one of {sorted(METRICS)}"
+        ) from None
+    distributions = {
+        name: sources.distribution(name) for name in F2_DISTRIBUTION_NAMES
+    }
+    return [
+        distance(distributions[first], distributions[second])
+        for first, second in PAIRS
+    ]
+
+
+def feature_names() -> list[str]:
+    """Stable names for the 66 f2 features."""
+    return [f"f2.hellinger.{first}-{second}" for first, second in PAIRS]

@@ -1,0 +1,116 @@
+"""The combined system: detection + target identification (Section III-C).
+
+Both components run in a pipeline: the phishing detection system
+tentatively flags a page; flagged pages are fed to the target
+identification system, which either names the purported target or — when
+it confirms the page's own domain as legitimate — removes the false
+positive (the Section VI-D experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.datasources import DataSources
+from repro.core.detector import PhishingDetector
+from repro.core.target import TargetIdentification, TargetIdentifier
+from repro.web.page import PageSnapshot
+
+
+@dataclass
+class PageVerdict:
+    """The pipeline's final decision for one page.
+
+    ``verdict`` is one of:
+
+    * ``"legitimate"`` — classifier below threshold, or classifier said
+      phish but the target identifier confirmed the page legitimate;
+    * ``"phish"`` — classifier flagged and a target was identified;
+    * ``"suspicious"`` — classifier flagged, no target found, no
+      legitimate confirmation.
+    """
+
+    verdict: str
+    confidence: float
+    targets: list[str]
+    identification: TargetIdentification | None = None
+
+    @property
+    def is_phish(self) -> bool:
+        """True for the final ``"phish"`` verdict."""
+        return self.verdict == "phish"
+
+    @property
+    def top_target(self) -> str | None:
+        """Most likely target mld, when one was identified."""
+        return self.targets[0] if self.targets else None
+
+
+class KnowYourPhish:
+    """End-to-end system: detector first, target identification second.
+
+    Parameters
+    ----------
+    detector:
+        A (trained) :class:`~repro.core.detector.PhishingDetector`.
+    identifier:
+        A :class:`~repro.core.target.TargetIdentifier`; optional — without
+        it the pipeline reduces to the bare detector and ``"suspicious"``
+        never occurs.
+    treat_suspicious_as_phish:
+        How the final binary decision counts ``"suspicious"`` pages
+        (default True: no legitimate confirmation means the page stays
+        blocked).
+    """
+
+    def __init__(
+        self,
+        detector: PhishingDetector,
+        identifier: TargetIdentifier | None = None,
+        treat_suspicious_as_phish: bool = True,
+    ):
+        self.detector = detector
+        self.identifier = identifier
+        self.treat_suspicious_as_phish = treat_suspicious_as_phish
+
+    def analyze(self, snapshot: PageSnapshot) -> PageVerdict:
+        """Run the full pipeline on one page snapshot."""
+        sources = DataSources(
+            snapshot,
+            psl=self.detector.extractor.psl,
+            ocr=self.identifier.ocr if self.identifier else None,
+        )
+        vector = self.detector.extractor.extract_from_sources(sources)
+        confidence = float(
+            self.detector.predict_proba(vector.reshape(1, -1))[0]
+        )
+        if confidence < self.detector.threshold:
+            return PageVerdict(
+                verdict="legitimate", confidence=confidence, targets=[]
+            )
+        if self.identifier is None:
+            return PageVerdict(
+                verdict="phish", confidence=confidence, targets=[]
+            )
+
+        identification = self.identifier.identify(sources)
+        if identification.verdict == "legitimate":
+            final = "legitimate"
+        elif identification.verdict == "phish":
+            final = "phish"
+        else:
+            final = "suspicious"
+        return PageVerdict(
+            verdict=final,
+            confidence=confidence,
+            targets=list(identification.targets),
+            identification=identification,
+        )
+
+    def is_blocked(self, verdict: PageVerdict) -> bool:
+        """Binary blocking decision derived from a verdict."""
+        if verdict.verdict == "phish":
+            return True
+        if verdict.verdict == "suspicious":
+            return self.treat_suspicious_as_phish
+        return False

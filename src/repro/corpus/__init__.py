@@ -1,0 +1,41 @@
+"""Corpus substrate: generative models of legitimate and phishing sites.
+
+The paper's datasets (Table V) come from PhishTank feeds and Intel
+Security URL lists in six languages.  Offline, this subpackage generates
+a synthetic equivalent: a world of legitimate websites (per-language
+vocabularies, brand-consistent domains, internal-link-heavy structure)
+and phishing sites that enforce the paper's phisher limitations — they
+mimic a target's content and link back to it, but cannot forge the
+target's registered domain.
+"""
+
+from repro.corpus.brands import Brand, BrandRegistry, default_brands
+from repro.corpus.datasets import (
+    CorpusConfig,
+    Dataset,
+    LabeledPage,
+    World,
+    build_world,
+)
+from repro.corpus.feeds import FeedEntry, PhishFeed
+from repro.corpus.legitimate import LegitimateSiteGenerator
+from repro.corpus.phishing import EvasionProfile, PhishingSiteGenerator
+from repro.corpus.wordlists import LANGUAGES, vocabulary
+
+__all__ = [
+    "Brand",
+    "BrandRegistry",
+    "CorpusConfig",
+    "Dataset",
+    "EvasionProfile",
+    "FeedEntry",
+    "LANGUAGES",
+    "LabeledPage",
+    "LegitimateSiteGenerator",
+    "PhishFeed",
+    "PhishingSiteGenerator",
+    "World",
+    "build_world",
+    "default_brands",
+    "vocabulary",
+]

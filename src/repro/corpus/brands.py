@@ -1,0 +1,336 @@
+"""Brand registry: the targets phishing campaigns impersonate.
+
+phishBrand in the paper covers 600 phishing pages against 126 distinct
+targets.  The registry bundles a hand-written core of recognisable
+brands (banks, payment processors, webmail, e-commerce, social networks
+— the sectors APWG reports phishing against) and tops it up with
+deterministically synthesised brands until the requested count is
+reached, so experiments can ask for >= 126 targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.wordlists import vocabulary
+
+
+@dataclass(frozen=True)
+class Brand:
+    """A brand that legitimate sites represent and phishers impersonate.
+
+    Attributes
+    ----------
+    name:
+        Display name, e.g. ``"Bank of America"``.
+    mld:
+        Main level domain of the brand's real site, e.g. ``"bankofamerica"``.
+    suffix:
+        Public suffix of the real site, e.g. ``"com"``.
+    industry:
+        Sector tag (``banking``/``payment``/``email``/``commerce``/...).
+    keyterms:
+        Terms characterising the brand, used in page titles and text.
+    language:
+        Primary language of the brand's site content.
+    popularity:
+        1 = most popular tier; larger = less popular.
+    """
+
+    name: str
+    mld: str
+    suffix: str = "com"
+    industry: str = "commerce"
+    keyterms: tuple[str, ...] = ()
+    language: str = "english"
+    popularity: int = 1
+
+    @property
+    def rdn(self) -> str:
+        """The brand's registered domain name."""
+        return f"{self.mld}.{self.suffix}"
+
+    @property
+    def homepage(self) -> str:
+        """Canonical homepage URL."""
+        return f"https://www.{self.rdn}/"
+
+    @property
+    def name_words(self) -> tuple[str, ...]:
+        """Lower-case words of the display name (>= 3 letters)."""
+        return tuple(
+            word for word in self.name.lower().replace("-", " ").split()
+            if len(word) >= 3
+        )
+
+
+_CORE_BRANDS: tuple[Brand, ...] = (
+    # -- payment / finance (the most-phished sector) --
+    Brand("PayPal", "paypal", "com", "payment",
+          ("paypal", "payment", "money", "transfer", "account"), popularity=1),
+    Brand("Bank of America", "bankofamerica", "com", "banking",
+          ("bank", "america", "banking", "account", "credit"), popularity=1),
+    Brand("Wells Fargo", "wellsfargo", "com", "banking",
+          ("wells", "fargo", "banking", "account", "loans"), popularity=1),
+    Brand("Chase", "chase", "com", "banking",
+          ("chase", "banking", "credit", "card", "account"), popularity=1),
+    Brand("Citibank", "citibank", "com", "banking",
+          ("citi", "citibank", "banking", "credit", "account"), popularity=2),
+    Brand("HSBC", "hsbc", "com", "banking",
+          ("hsbc", "banking", "global", "account", "premier"), popularity=2),
+    Brand("Barclays", "barclays", "co.uk", "banking",
+          ("barclays", "banking", "account", "online", "premier"), popularity=2),
+    Brand("Santander", "santander", "com", "banking",
+          ("santander", "banco", "banking", "cuenta", "credito"),
+          language="spanish", popularity=2),
+    Brand("BNP Paribas", "bnpparibas", "fr", "banking",
+          ("paribas", "banque", "compte", "credit", "epargne"),
+          language="french", popularity=2),
+    Brand("Credit Agricole", "credit-agricole", "fr", "banking",
+          ("credit", "agricole", "banque", "compte", "epargne"),
+          language="french", popularity=2),
+    Brand("Deutsche Bank", "deutsche-bank", "de", "banking",
+          ("deutsche", "bank", "konto", "kredit", "finanzen"),
+          language="german", popularity=2),
+    Brand("Sparkasse", "sparkasse", "de", "banking",
+          ("sparkasse", "konto", "sparen", "kredit", "bank"),
+          language="german", popularity=2),
+    Brand("UniCredit", "unicredit", "it", "banking",
+          ("unicredit", "banca", "conto", "credito", "risparmio"),
+          language="italian", popularity=2),
+    Brand("Intesa Sanpaolo", "intesasanpaolo", "com", "banking",
+          ("intesa", "sanpaolo", "banca", "conto", "risparmio"),
+          language="italian", popularity=2),
+    Brand("Banco do Brasil", "bancodobrasil", "com.br", "banking",
+          ("banco", "brasil", "conta", "credito", "poupanca"),
+          language="portuguese", popularity=2),
+    Brand("Itau", "itau", "com.br", "banking",
+          ("itau", "banco", "conta", "cartao", "credito"),
+          language="portuguese", popularity=2),
+    Brand("BBVA", "bbva", "es", "banking",
+          ("bbva", "banco", "cuenta", "tarjeta", "credito"),
+          language="spanish", popularity=2),
+    Brand("American Express", "americanexpress", "com", "payment",
+          ("american", "express", "card", "credit", "membership"), popularity=2),
+    Brand("Visa", "visa", "com", "payment",
+          ("visa", "card", "payment", "credit", "secure"), popularity=2),
+    Brand("Mastercard", "mastercard", "com", "payment",
+          ("mastercard", "card", "payment", "credit", "priceless"), popularity=2),
+    Brand("Western Union", "westernunion", "com", "payment",
+          ("western", "union", "money", "transfer", "send"), popularity=3),
+    Brand("Capital One", "capitalone", "com", "banking",
+          ("capital", "one", "credit", "card", "banking"), popularity=3),
+    Brand("US Bank", "usbank", "com", "banking",
+          ("bank", "banking", "account", "checking", "savings"), popularity=3),
+    Brand("TD Bank", "tdbank", "com", "banking",
+          ("bank", "banking", "convenient", "account", "checking"), popularity=3),
+    Brand("Lloyds Bank", "lloydsbank", "co.uk", "banking",
+          ("lloyds", "bank", "banking", "account", "online"), popularity=3),
+    Brand("NatWest", "natwest", "co.uk", "banking",
+          ("natwest", "bank", "banking", "account", "online"), popularity=3),
+    Brand("ING", "ing", "nl", "banking",
+          ("ing", "bank", "banking", "account", "savings"), popularity=3),
+    Brand("La Banque Postale", "labanquepostale", "fr", "banking",
+          ("banque", "postale", "compte", "courrier", "epargne"),
+          language="french", popularity=3),
+    Brand("Caixa", "caixa", "com.br", "banking",
+          ("caixa", "banco", "conta", "poupanca", "credito"),
+          language="portuguese", popularity=3),
+    Brand("Commerzbank", "commerzbank", "de", "banking",
+          ("commerzbank", "bank", "konto", "kredit", "depot"),
+          language="german", popularity=3),
+    # -- email / internet services --
+    Brand("Google", "google", "com", "email",
+          ("google", "search", "gmail", "account", "drive"), popularity=1),
+    Brand("Gmail", "gmail", "com", "email",
+          ("gmail", "google", "mail", "inbox", "account"), popularity=1),
+    Brand("Yahoo", "yahoo", "com", "email",
+          ("yahoo", "mail", "news", "search", "account"), popularity=1),
+    Brand("Microsoft", "microsoft", "com", "email",
+          ("microsoft", "windows", "office", "account", "outlook"), popularity=1),
+    Brand("Outlook", "outlook", "com", "email",
+          ("outlook", "mail", "microsoft", "inbox", "calendar"), popularity=1),
+    Brand("Apple", "apple", "com", "commerce",
+          ("apple", "iphone", "icloud", "store", "account"), popularity=1),
+    Brand("iCloud", "icloud", "com", "email",
+          ("icloud", "apple", "storage", "photos", "account"), popularity=2),
+    Brand("AOL", "aol", "com", "email",
+          ("aol", "mail", "news", "account", "inbox"), popularity=3),
+    Brand("Dropbox", "dropbox", "com", "storage",
+          ("dropbox", "files", "storage", "share", "sync"), popularity=2),
+    Brand("Adobe", "adobe", "com", "software",
+          ("adobe", "creative", "document", "account", "cloud"), popularity=2),
+    Brand("Orange", "orange", "fr", "telecom",
+          ("orange", "mobile", "internet", "compte", "facture"),
+          language="french", popularity=2),
+    Brand("Free", "free", "fr", "telecom",
+          ("free", "freebox", "mobile", "compte", "facture"),
+          language="french", popularity=3),
+    Brand("Deutsche Telekom", "telekom", "de", "telecom",
+          ("telekom", "mobil", "internet", "konto", "rechnung"),
+          language="german", popularity=2),
+    Brand("Vodafone", "vodafone", "com", "telecom",
+          ("vodafone", "mobile", "internet", "account", "billing"), popularity=2),
+    Brand("Comcast", "xfinity", "com", "telecom",
+          ("xfinity", "comcast", "internet", "account", "billing"), popularity=3),
+    Brand("AT&T", "att", "com", "telecom",
+          ("att", "wireless", "internet", "account", "billing"), popularity=2),
+    # -- e-commerce / marketplaces --
+    Brand("Amazon", "amazon", "com", "commerce",
+          ("amazon", "shop", "order", "prime", "account"), popularity=1),
+    Brand("Amazon UK", "amazon", "co.uk", "commerce",
+          ("amazon", "shop", "order", "prime", "account"), popularity=2),
+    Brand("eBay", "ebay", "com", "commerce",
+          ("ebay", "auction", "buy", "sell", "account"), popularity=1),
+    Brand("Alibaba", "alibaba", "com", "commerce",
+          ("alibaba", "trade", "supplier", "wholesale", "order"), popularity=2),
+    Brand("Walmart", "walmart", "com", "commerce",
+          ("walmart", "shop", "store", "savings", "order"), popularity=2),
+    Brand("Netflix", "netflix", "com", "streaming",
+          ("netflix", "watch", "movies", "series", "account"), popularity=1),
+    Brand("Spotify", "spotify", "com", "streaming",
+          ("spotify", "music", "premium", "playlist", "account"), popularity=2),
+    Brand("Steam", "steampowered", "com", "gaming",
+          ("steam", "games", "store", "community", "account"), popularity=2),
+    Brand("Mercado Livre", "mercadolivre", "com.br", "commerce",
+          ("mercado", "livre", "comprar", "vender", "oferta"),
+          language="portuguese", popularity=2),
+    Brand("Zalando", "zalando", "de", "commerce",
+          ("zalando", "mode", "schuhe", "bestellen", "versand"),
+          language="german", popularity=3),
+    Brand("Cdiscount", "cdiscount", "com", "commerce",
+          ("cdiscount", "achat", "prix", "livraison", "commande"),
+          language="french", popularity=3),
+    # -- social / communication --
+    Brand("Facebook", "facebook", "com", "social",
+          ("facebook", "friends", "share", "profile", "account"), popularity=1),
+    Brand("Instagram", "instagram", "com", "social",
+          ("instagram", "photos", "share", "follow", "profile"), popularity=1),
+    Brand("Twitter", "twitter", "com", "social",
+          ("twitter", "tweet", "follow", "news", "account"), popularity=1),
+    Brand("LinkedIn", "linkedin", "com", "social",
+          ("linkedin", "professional", "network", "jobs", "profile"),
+          popularity=2),
+    Brand("WhatsApp", "whatsapp", "com", "social",
+          ("whatsapp", "message", "chat", "call", "account"), popularity=1),
+    Brand("Snapchat", "snapchat", "com", "social",
+          ("snapchat", "snap", "friends", "stories", "chat"), popularity=3),
+    # -- logistics / government-ish (classic phishing lures) --
+    Brand("DHL", "dhl", "com", "logistics",
+          ("dhl", "parcel", "tracking", "delivery", "shipment"), popularity=2),
+    Brand("FedEx", "fedex", "com", "logistics",
+          ("fedex", "shipping", "tracking", "delivery", "package"), popularity=2),
+    Brand("UPS", "ups", "com", "logistics",
+          ("ups", "shipping", "tracking", "delivery", "package"), popularity=2),
+    Brand("La Poste", "laposte", "fr", "logistics",
+          ("poste", "colis", "suivi", "courrier", "livraison"),
+          language="french", popularity=2),
+    Brand("Correios", "correios", "com.br", "logistics",
+          ("correios", "encomenda", "rastreamento", "entrega", "envio"),
+          language="portuguese", popularity=3),
+    Brand("IRS", "irs", "gov", "government",
+          ("irs", "tax", "refund", "federal", "return"), popularity=3),
+    Brand("HM Revenue", "hmrc", "gov.uk", "government",
+          ("hmrc", "tax", "refund", "revenue", "return"), popularity=3),
+)
+
+
+class BrandRegistry:
+    """Lookup and sampling over a set of brands."""
+
+    def __init__(self, brands):
+        self._brands: list[Brand] = list(brands)
+        by_rdn: dict[str, Brand] = {}
+        for brand in self._brands:
+            if brand.rdn in by_rdn:
+                raise ValueError(f"duplicate brand rdn: {brand.rdn}")
+            by_rdn[brand.rdn] = brand
+        self._by_rdn = by_rdn
+        # Multiple RDNs can share an mld (amazon.com / amazon.co.uk);
+        # the first registered wins for mld lookup.
+        self._by_mld: dict[str, Brand] = {}
+        for brand in self._brands:
+            self._by_mld.setdefault(brand.mld, brand)
+
+    def __len__(self) -> int:
+        return len(self._brands)
+
+    def __iter__(self):
+        return iter(self._brands)
+
+    def __getitem__(self, index: int) -> Brand:
+        return self._brands[index]
+
+    def by_mld(self, mld: str) -> Brand | None:
+        """Brand whose real mld is ``mld``, or ``None``."""
+        return self._by_mld.get(mld)
+
+    def by_rdn(self, rdn: str) -> Brand | None:
+        """Brand whose real RDN is ``rdn``, or ``None``."""
+        return self._by_rdn.get(rdn)
+
+    def by_language(self, language: str) -> list[Brand]:
+        """All brands whose primary language is ``language``."""
+        return [brand for brand in self._brands if brand.language == language]
+
+    def sample(self, rng, count: int = 1) -> list[Brand]:
+        """Draw ``count`` distinct brands (popular brands more likely)."""
+        weights = [1.0 / brand.popularity for brand in self._brands]
+        total = sum(weights)
+        probs = [weight / total for weight in weights]
+        indices = rng.choice(
+            len(self._brands), size=min(count, len(self._brands)),
+            replace=False, p=probs,
+        )
+        return [self._brands[int(index)] for index in indices]
+
+
+def _synthesize_brands(count: int) -> list[Brand]:
+    """Deterministically generate extra brands from business vocabulary."""
+    suffixes = ("com", "net", "io", "co.uk", "de", "fr", "it", "es", "com.br")
+    industries = ("banking", "payment", "commerce", "insurance", "telecom")
+    languages = ("english", "english", "english", "french", "german",
+                 "italian", "portuguese", "spanish")
+    business = vocabulary("english")["business"]
+    common = vocabulary("english")["common"]
+    brands: list[Brand] = []
+    index = 0
+    while len(brands) < count:
+        first = business[index % len(business)]
+        second = common[(index * 7 + 3) % len(common)]
+        if first == second:
+            index += 1
+            continue
+        mld = f"{first}{second}"
+        name = f"{first.capitalize()} {second.capitalize()}"
+        brands.append(
+            Brand(
+                name=name,
+                mld=mld,
+                suffix=suffixes[index % len(suffixes)],
+                industry=industries[index % len(industries)],
+                keyterms=(first, second, "account", "secure", "online"),
+                language=languages[index % len(languages)],
+                popularity=3 + index % 3,
+            )
+        )
+        index += 1
+    return brands
+
+
+def default_brands(minimum: int = 126) -> BrandRegistry:
+    """The default registry: core brands topped up to >= ``minimum``.
+
+    126 matches the number of distinct targets in the paper's phishBrand
+    dataset.
+    """
+    brands = list(_CORE_BRANDS)
+    existing = {brand.mld for brand in brands}
+    for brand in _synthesize_brands(max(0, minimum - len(brands)) + 16):
+        if len(brands) >= minimum:
+            break
+        if brand.mld in existing:
+            continue
+        brands.append(brand)
+        existing.add(brand.mld)
+    return BrandRegistry(brands)

@@ -1,0 +1,401 @@
+"""Dataset construction: the synthetic counterpart of Table V.
+
+:func:`build_world` assembles everything one experiment run needs:
+
+* a :class:`~repro.web.hosting.SyntheticWeb` populated with brand sites,
+  legitimate sites in six languages and phishing campaigns;
+* an Alexa-style popularity ranking over the legitimate domains;
+* a search engine indexing the legitimate web;
+* scraped, labeled datasets mirroring the paper's: ``legTrain``,
+  ``phishTrain``, ``phishTest``, ``phishBrand`` and per-language
+  legitimate test sets.
+
+Temporal structure matters to the paper (scenario2 trains on the oldest
+data): the *training* phishing campaign targets only a subset of brands,
+while *test* campaigns draw from all brands — so the test set contains
+brands never seen during training, exercising brand-independence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.brands import Brand, BrandRegistry, default_brands
+from repro.corpus.feeds import PhishFeed
+from repro.corpus.legitimate import (
+    CLEANED_KIND_WEIGHTS,
+    GeneratedSite,
+    LegitimateSiteGenerator,
+)
+from repro.corpus.phishing import GeneratedPhish, PhishingSiteGenerator
+from repro.corpus.wordlists import LANGUAGES
+from repro.urls.alexa import AlexaRanking
+from repro.web.browser import Browser
+from repro.web.hosting import SyntheticWeb
+from repro.web.page import PageSnapshot
+from repro.web.search import SearchEngine
+
+
+@dataclass
+class LabeledPage:
+    """One scraped, ground-truth-labeled webpage."""
+
+    snapshot: PageSnapshot
+    label: int                      # 0 legitimate, 1 phishing
+    language: str
+    kind: str                       # legit site kind or phish hosting mode
+    target_mld: str | None = None   # ground-truth target for phish
+    target_rdn: str | None = None
+
+    @property
+    def url(self) -> str:
+        """The page's starting URL (its dataset identity)."""
+        return self.snapshot.starting_url
+
+
+@dataclass
+class Dataset:
+    """A named collection of labeled pages (one row of Table V)."""
+
+    name: str
+    pages: list[LabeledPage]
+    initial_count: int | None = None   # raw feed size before cleaning
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def __iter__(self):
+        return iter(self.pages)
+
+    def __getitem__(self, index):
+        return self.pages[index]
+
+    def labels(self) -> np.ndarray:
+        """Ground-truth label vector."""
+        return np.asarray([page.label for page in self.pages], dtype=np.int64)
+
+    def subset(self, indices) -> "Dataset":
+        """A new dataset restricted to ``indices``."""
+        return Dataset(
+            name=self.name,
+            pages=[self.pages[int(index)] for index in indices],
+            initial_count=None,
+        )
+
+    def __add__(self, other: "Dataset") -> "Dataset":
+        return Dataset(
+            name=f"{self.name}+{other.name}",
+            pages=self.pages + other.pages,
+        )
+
+
+@dataclass
+class CorpusConfig:
+    """Sizes and rates of the generated corpus.
+
+    Defaults are a ~1/10 scale of the paper's Table V, keeping the
+    class ratios (legitimate-heavy test sets) while staying fast enough
+    for CI.  Use :meth:`paper_scale` for other scales.
+    """
+
+    seed: int = 7
+    n_brands: int = 126
+    leg_train: int = 450
+    phish_train: int = 110
+    phish_test: int = 125
+    phish_brand: int = 60
+    english_test: int = 4000
+    other_language_test: int = 400
+    #: share of brands available to the *training* phishing campaign.
+    train_brand_share: float = 0.6
+    #: raw-feed contamination rates (removed by cleaning).
+    feed_unavailable_rate: float = 0.08
+    feed_legitimate_rate: float = 0.04
+    feed_parked_rate: float = 0.03
+    #: share of phishBrand pages with no target hint (paper: 17/600).
+    unknown_target_rate: float = 0.028
+
+    @classmethod
+    def paper_scale(cls, scale: float = 1.0, seed: int = 7) -> "CorpusConfig":
+        """Config proportional to the paper's dataset sizes.
+
+        ``scale=1.0`` reproduces Table V head-counts (slow: ~150k pages);
+        the default constructor is roughly ``paper_scale(0.04)`` with a
+        larger floor on the phishing sets.
+        """
+        return cls(
+            seed=seed,
+            leg_train=max(50, int(4531 * scale)),
+            phish_train=max(30, int(1036 * scale)),
+            phish_test=max(30, int(1216 * scale)),
+            phish_brand=max(20, int(600 * scale)),
+            english_test=max(200, int(100_000 * scale)),
+            other_language_test=max(100, int(10_000 * scale)),
+        )
+
+
+@dataclass
+class World:
+    """Everything a reproduction experiment needs, fully materialised."""
+
+    config: CorpusConfig
+    web: SyntheticWeb
+    browser: Browser
+    brands: BrandRegistry
+    alexa: AlexaRanking
+    search: SearchEngine
+    datasets: dict[str, Dataset]
+    brand_sites: list[GeneratedSite]
+    feeds: dict[str, PhishFeed] = field(default_factory=dict)
+
+    def dataset(self, name: str) -> Dataset:
+        """Lookup a dataset by Table V name."""
+        try:
+            return self.datasets[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown dataset {name!r}; have {sorted(self.datasets)}"
+            ) from None
+
+    @property
+    def language_test_sets(self) -> dict[str, Dataset]:
+        """The six per-language legitimate test sets."""
+        return {lang: self.datasets[lang] for lang in LANGUAGES}
+
+
+def _scrape_legit(
+    browser: Browser, sites: list[GeneratedSite]
+) -> list[LabeledPage]:
+    pages = []
+    for site in sites:
+        snapshot = browser.load(site.starting_url)
+        pages.append(
+            LabeledPage(
+                snapshot=snapshot,
+                label=0,
+                language=site.language,
+                kind=site.kind,
+            )
+        )
+    return pages
+
+
+def _scrape_phish(
+    browser: Browser, phishes: list[GeneratedPhish]
+) -> list[LabeledPage]:
+    pages = []
+    for phish in phishes:
+        snapshot = browser.load(phish.starting_url)
+        pages.append(
+            LabeledPage(
+                snapshot=snapshot,
+                label=1,
+                language=phish.language,
+                kind=phish.hosting,
+                target_mld=phish.target_mld,
+                target_rdn=phish.target.rdn if phish.target else None,
+            )
+        )
+    return pages
+
+
+def _build_feed(
+    name: str,
+    rng: np.random.Generator,
+    phishes: list[GeneratedPhish],
+    junk_urls: dict[str, list[str]],
+    config: CorpusConfig,
+) -> PhishFeed:
+    """Assemble a raw feed: real phish plus contamination."""
+    feed = PhishFeed(name)
+    hour = 0
+    for phish in phishes:
+        feed.submit(phish.starting_url, hour=hour, status="phish")
+        hour += int(rng.integers(0, 3))
+    n = len(phishes)
+    for status, rate in (
+        ("unavailable", config.feed_unavailable_rate),
+        ("legitimate", config.feed_legitimate_rate),
+        ("parked", config.feed_parked_rate),
+    ):
+        pool = junk_urls.get(status, [])
+        count = min(len(pool), int(round(rate * n)))
+        for url in pool[:count]:
+            feed.submit(url, hour=int(rng.integers(0, max(1, hour))),
+                        status=status)
+    return feed
+
+
+def build_world(config: CorpusConfig | None = None) -> World:
+    """Generate the synthetic world and all Table V datasets.
+
+    Deterministic given ``config.seed``.
+    """
+    config = config or CorpusConfig()
+    rng = np.random.default_rng(config.seed)
+    web = SyntheticWeb()
+    browser = Browser(web)
+    brands = default_brands(config.n_brands)
+
+    legit_gen = LegitimateSiteGenerator(web, rng)
+
+    # ---- brand sites (the real targets) -------------------------------
+    brand_sites = [legit_gen.generate_brand_site(brand) for brand in brands]
+
+    # ---- legitimate sites per language ---------------------------------
+    # legTrain went through the paper's cleaning pass (no parked/minimal
+    # pages); the language test sets "did not receive any cleaning
+    # treatment" (Section VI-B), so they draw from the full kind mix.
+    legtrain_sites = [
+        legit_gen.generate(language="english",
+                           kind_weights=CLEANED_KIND_WEIGHTS)
+        for _ in range(config.leg_train)
+    ]
+    legit_sites: dict[str, list[GeneratedSite]] = {}
+    counts = {
+        "english": config.english_test,
+        **{
+            lang: config.other_language_test
+            for lang in LANGUAGES if lang != "english"
+        },
+    }
+    for language, count in counts.items():
+        legit_sites[language] = [
+            legit_gen.generate(language=language) for _ in range(count)
+        ]
+
+    # ---- Alexa-style popularity ranking ---------------------------------
+    # Global web infrastructure (social networks, CDNs) heads the list,
+    # then brand sites; tiers 1-3 of generated sites fill the top-1M and
+    # tier 4 stays unranked (matching the paper's remark that ~43.5% of
+    # test RDNs were in the Alexa top 1M).
+    alexa = AlexaRanking()
+    infra_rdns = (
+        "facebook.com", "youtube.com", "twitter.com", "instagram.com",
+        "linkedin.com", "googleapis.com", "cloudflare.com", "jsdelivr.net",
+        "jquery.com", "unpkg.com",
+    )
+    rank = 1
+    for rdn in infra_rdns:
+        alexa.add(rdn, rank)
+        rank += 1
+    for site in sorted(brand_sites, key=lambda s: s.popularity_tier):
+        alexa.add(site.rdn, rank)
+        rank += int(rng.integers(1, 50))
+    rankable = [
+        site for sites in legit_sites.values() for site in sites
+        if site.popularity_tier <= 3
+    ] + [site for site in legtrain_sites if site.popularity_tier <= 3]
+    rng.shuffle(rankable)
+    for site in rankable:
+        alexa.add(site.rdn, rank)
+        rank += int(rng.integers(1, max(2, 900_000 // max(1, len(rankable)))))
+
+    # ---- search engine over the legitimate web --------------------------
+    search = SearchEngine()
+    for site in brand_sites:
+        search.index_page(site.landing_url, site.searchable_text)
+    for site in legtrain_sites:
+        if site.searchable_text:
+            search.index_page(site.landing_url, site.searchable_text)
+    for sites in legit_sites.values():
+        for site in sites:
+            if site.searchable_text:
+                search.index_page(site.landing_url, site.searchable_text)
+
+    # ---- phishing campaigns ---------------------------------------------
+    compromised_pool = [
+        site.rdn for site in legtrain_sites if site.kind == "business"
+    ][:40]
+    phish_gen = PhishingSiteGenerator(
+        web, rng, brands, compromised_pool=compromised_pool
+    )
+
+    n_train_brands = max(1, int(len(brands) * config.train_brand_share))
+    train_brand_pool = list(brands)[:n_train_brands]
+
+    def train_target() -> Brand:
+        return train_brand_pool[int(rng.integers(len(train_brand_pool)))]
+
+    phish_train = [
+        phish_gen.generate(target=train_target())
+        for _ in range(config.phish_train)
+    ]
+    # Test campaigns (newer): all brands, including ones unseen in training.
+    phish_test = [phish_gen.generate() for _ in range(config.phish_test)]
+
+    n_unknown = int(round(config.unknown_target_rate * config.phish_brand))
+    phish_brand = [
+        phish_gen.generate() for _ in range(config.phish_brand - n_unknown)
+    ]
+    phish_brand += [
+        phish_gen.generate(with_target_hint=False) for _ in range(n_unknown)
+    ]
+
+    # ---- feeds with contamination + cleaning ----------------------------
+    dead_urls = [
+        f"http://{phish_gen._gibberish()}.{tld}/gone"
+        for tld in ("com", "net", "xyz", "info", "top", "club")
+        for _ in range(6)
+    ]
+    parked_sites = [
+        legit_gen.generate(language="english", kind="parked") for _ in range(12)
+    ]
+    misreported = [
+        site.starting_url for site in legit_sites["english"][:40]
+    ]
+    junk = {
+        "unavailable": dead_urls,
+        "legitimate": misreported,
+        "parked": [site.starting_url for site in parked_sites],
+    }
+    feeds = {
+        "phishTrain": _build_feed("phishTrain", rng, phish_train, junk, config),
+        "phishTest": _build_feed("phishTest", rng, phish_test, junk, config),
+    }
+
+    # ---- scraped datasets -----------------------------------------------
+    datasets: dict[str, Dataset] = {
+        "legTrain": Dataset(
+            "legTrain",
+            _scrape_legit(browser, legtrain_sites),
+            initial_count=config.leg_train + len(misreported) // 4,
+        ),
+        "english": Dataset(
+            "english",
+            _scrape_legit(browser, legit_sites["english"]),
+        ),
+        "phishTrain": Dataset(
+            "phishTrain",
+            _scrape_phish(browser, phish_train),
+            initial_count=feeds["phishTrain"].initial_count,
+        ),
+        "phishTest": Dataset(
+            "phishTest",
+            _scrape_phish(browser, phish_test),
+            initial_count=feeds["phishTest"].initial_count,
+        ),
+        "phishBrand": Dataset(
+            "phishBrand", _scrape_phish(browser, phish_brand)
+        ),
+    }
+    for language in LANGUAGES:
+        if language == "english":
+            continue
+        datasets[language] = Dataset(
+            language, _scrape_legit(browser, legit_sites[language])
+        )
+
+    return World(
+        config=config,
+        web=web,
+        browser=browser,
+        brands=brands,
+        alexa=alexa,
+        search=search,
+        datasets=datasets,
+        brand_sites=brand_sites,
+        feeds=feeds,
+    )

@@ -1,0 +1,87 @@
+"""PhishTank-style feed simulation with label noise and cleaning.
+
+The paper's phishing URLs come from hourly PhishTank polls, then are
+"manually cleaned to remove any legitimate or unavailable websites and
+parked domain names" (Section VI-B, Table V).  :class:`PhishFeed` models
+the raw feed: genuine phishing URLs mixed with misreported legitimate
+URLs, dead links and parked domains.  :meth:`PhishFeed.clean` reproduces
+the cleaning pass: navigation failures drop unavailable entries and the
+curated ground-truth status stands in for the paper's manual review.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.web.browser import Browser
+
+#: Feed entry statuses.  Only "phish" survives cleaning.
+STATUSES = ("phish", "legitimate", "unavailable", "parked")
+
+
+@dataclass(frozen=True)
+class FeedEntry:
+    """One submission to the phishing feed.
+
+    ``status`` is the curated ground truth an analyst would assign;
+    ``submitted_hour`` orders the feed chronologically (the paper polls
+    PhishTank every hour).
+    """
+
+    url: str
+    submitted_hour: int
+    status: str
+
+    def __post_init__(self):
+        if self.status not in STATUSES:
+            raise ValueError(f"unknown feed status {self.status!r}")
+
+
+class PhishFeed:
+    """A chronological feed of suspected phishing URLs."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._entries: list[FeedEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(sorted(self._entries, key=lambda entry: entry.submitted_hour))
+
+    def submit(self, url: str, hour: int, status: str = "phish") -> FeedEntry:
+        """Add one submission to the feed."""
+        entry = FeedEntry(url=url, submitted_hour=hour, status=status)
+        self._entries.append(entry)
+        return entry
+
+    @property
+    def initial_count(self) -> int:
+        """Size of the raw feed (the 'Initial' column of Table V)."""
+        return len(self._entries)
+
+    def clean(self, browser: Browser) -> list[FeedEntry]:
+        """The cleaning pass: drop unavailable, legitimate and parked entries.
+
+        Unavailable entries are detected mechanically (navigation fails);
+        misreported-legitimate and parked entries are dropped based on
+        their curated status, standing in for the paper's manual review.
+        Returns surviving entries in chronological order (the 'Clean'
+        column of Table V).
+        """
+        survivors: list[FeedEntry] = []
+        for entry in self:
+            if browser.try_load(entry.url) is None:
+                continue  # dead link — mechanically removed
+            if entry.status != "phish":
+                continue  # manual review removes misreports and parked pages
+            survivors.append(entry)
+        return survivors
+
+    def status_counts(self) -> dict[str, int]:
+        """Histogram of curated statuses in the raw feed."""
+        counts = {status: 0 for status in STATUSES}
+        for entry in self._entries:
+            counts[entry.status] += 1
+        return counts

@@ -1,0 +1,86 @@
+"""Shared HTML assembly for the corpus generators.
+
+Both generators (legitimate and phishing) emit real HTML through this
+builder, so the downstream pipeline exercises the actual parser — no
+shortcuts from generator to feature extractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html import escape
+
+
+@dataclass
+class PageSpec:
+    """Declarative description of a webpage to render.
+
+    ``links`` are ``(url, anchor_text)`` pairs; ``resources`` are
+    ``(tag, url)`` pairs with tag in {script, css, img, iframe};
+    ``inputs`` are input ``type`` attributes; ``image_texts`` is text
+    baked into images (visible only to OCR).
+    """
+
+    title: str = ""
+    paragraphs: list[str] = field(default_factory=list)
+    links: list[tuple[str, str]] = field(default_factory=list)
+    resources: list[tuple[str, str]] = field(default_factory=list)
+    inputs: list[str] = field(default_factory=list)
+    form_action: str = ""
+    copyright_line: str = ""
+    image_texts: list[str] = field(default_factory=list)
+    headings: list[str] = field(default_factory=list)
+
+
+def render_html(spec: PageSpec) -> str:
+    """Render a :class:`PageSpec` to an HTML document string."""
+    head_parts: list[str] = [f"<title>{escape(spec.title)}</title>"]
+    body_parts: list[str] = []
+
+    for tag, url in spec.resources:
+        url_attr = escape(url, quote=True)
+        if tag == "css":
+            head_parts.append(f'<link rel="stylesheet" href="{url_attr}">')
+        elif tag == "script":
+            head_parts.append(f'<script src="{url_attr}"></script>')
+        elif tag == "img":
+            body_parts.append(f'<img src="{url_attr}" alt="">')
+        elif tag == "iframe":
+            body_parts.append(f'<iframe src="{url_attr}"></iframe>')
+        else:
+            raise ValueError(f"unknown resource tag {tag!r}")
+
+    for heading in spec.headings:
+        body_parts.append(f"<h2>{escape(heading)}</h2>")
+
+    nav_items = "".join(
+        f'<li><a href="{escape(url, quote=True)}">{escape(text)}</a></li>'
+        for url, text in spec.links
+    )
+    if nav_items:
+        body_parts.append(f"<ul class=\"nav\">{nav_items}</ul>")
+
+    for paragraph in spec.paragraphs:
+        body_parts.append(f"<p>{escape(paragraph)}</p>")
+
+    if spec.inputs:
+        action = escape(spec.form_action or "/submit", quote=True)
+        fields = "".join(
+            f'<input type="{escape(input_type, quote=True)}" name="f{index}">'
+            for index, input_type in enumerate(spec.inputs)
+        )
+        body_parts.append(
+            f'<form action="{action}" method="post">{fields}'
+            f'<input type="submit" value="OK"></form>'
+        )
+
+    if spec.copyright_line:
+        body_parts.append(f"<footer><p>{escape(spec.copyright_line)}</p></footer>")
+
+    return (
+        "<!DOCTYPE html><html><head>"
+        + "".join(head_parts)
+        + "</head><body>"
+        + "\n".join(body_parts)
+        + "</body></html>"
+    )

@@ -1,0 +1,95 @@
+"""Dataset persistence: the scraper's JSON format.
+
+The paper's scraper "saves the data in json format" per visited page
+(Section VI-A).  This module stores a whole labeled dataset as JSON
+Lines — one page snapshot with its ground-truth metadata per line — so
+scraped corpora can be archived and re-analysed without rebuilding the
+synthetic world.
+
+Format (one JSON object per line)::
+
+    {"label": 0, "language": "english", "kind": "business",
+     "target_mld": null, "target_rdn": null,
+     "snapshot": { ... PageSnapshot.to_dict() ... }}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.corpus.datasets import Dataset, LabeledPage
+from repro.web.page import PageSnapshot
+
+
+def page_to_record(page: LabeledPage) -> dict:
+    """Serialise one labeled page to a plain dict."""
+    return {
+        "label": page.label,
+        "language": page.language,
+        "kind": page.kind,
+        "target_mld": page.target_mld,
+        "target_rdn": page.target_rdn,
+        "snapshot": page.snapshot.to_dict(),
+    }
+
+
+def page_from_record(record: dict) -> LabeledPage:
+    """Rebuild a labeled page from :func:`page_to_record` output."""
+    missing = {"label", "snapshot"} - set(record)
+    if missing:
+        raise ValueError(f"record is missing fields: {sorted(missing)}")
+    return LabeledPage(
+        snapshot=PageSnapshot.from_dict(record["snapshot"]),
+        label=int(record["label"]),
+        language=record.get("language", "english"),
+        kind=record.get("kind", "unknown"),
+        target_mld=record.get("target_mld"),
+        target_rdn=record.get("target_rdn"),
+    )
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> int:
+    """Write ``dataset`` to ``path`` as JSON Lines; returns pages written.
+
+    The first line is a header object carrying the dataset name and the
+    pre-cleaning size, so Table V can be rebuilt from the file alone.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "__dataset__": dataset.name,
+            "initial_count": dataset.initial_count,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for page in dataset:
+            handle.write(
+                json.dumps(page_to_record(page), ensure_ascii=False) + "\n"
+            )
+    return len(dataset)
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    pages: list[LabeledPage] = []
+    name = path.stem
+    initial_count = None
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "__dataset__" in record:
+                name = record["__dataset__"]
+                initial_count = record.get("initial_count")
+                continue
+            try:
+                pages.append(page_from_record(record))
+            except (ValueError, KeyError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number + 1}: bad record: {exc}"
+                ) from exc
+    return Dataset(name=name, pages=pages, initial_count=initial_count)

@@ -1,0 +1,608 @@
+"""Generator of legitimate websites for the synthetic web.
+
+Legitimate sites follow the regularities the paper's features key on:
+
+* the registered domain reflects the site's name/brand (Section IV-B,
+  "legitimate websites are likely to register a domain name reflecting
+  the brand or the service they represent");
+* terms are used *consistently* across title, text, domain and links;
+* most links and loaded resources are internal (same RDN), with little
+  redirection.
+
+The generator also injects, at low controlled rates, the hard cases the
+paper blames for its residual false positives (Section VII-B): long
+concatenated domain names, abbreviated mlds, digit-laden short brands,
+parked domains and near-empty pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.brands import Brand
+from repro.corpus.html_builder import PageSpec, render_html
+from repro.corpus.wordlists import SHORT_TOKENS, vocabulary
+from repro.web.hosting import SyntheticWeb
+from repro.web.page import Screenshot
+
+# External infrastructure real sites commonly pull from / link to.
+CDN_DOMAINS = (
+    "https://fonts.googleapis.com/css?family=open+sans&display=swap",
+    "https://ajax.googleapis.com/ajax/libs/jquery/2.1.4/jquery.min.js",
+    "https://cdnjs.cloudflare.com/ajax/libs/bootstrap/3.3.5/js/bootstrap.min.js",
+    "https://cdn.jsdelivr.net/npm/slider/dist/slider.min.js",
+    "https://code.jquery.com/jquery-2.1.4.min.js",
+    "https://unpkg.com/widgets@1.2.0/dist/bundle.js",
+)
+# Legit sites also run on free hosting (blogs, hobby pages) — the very
+# same providers phishers abuse.
+FREE_HOSTS_LEGIT = ("blogspot.com", "wordpress.com", "github.io",
+                    "netlify.app", "wixsite.com")
+SOCIAL_LINKS = (
+    "https://www.facebook.com/", "https://twitter.com/",
+    "https://www.instagram.com/", "https://www.youtube.com/",
+    "https://www.linkedin.com/",
+)
+
+#: Site kinds and their default sampling weights.  The rare kinds are the
+#: FP-prone populations of Section VII-B.
+KIND_WEIGHTS = {
+    "business": 0.50,
+    "blog": 0.16,
+    "shop": 0.10,
+    "portal": 0.07,       # login-heavy pages (webmail, intranet, SaaS)
+    "cdnheavy": 0.05,     # assets served from third-party CDNs
+    "longword": 0.03,
+    "hyphen": 0.025,
+    "shortbrand": 0.015,
+    "abbrev": 0.015,
+    "parked": 0.002,      # uncleaned test sets only — see CLEANED_KIND_WEIGHTS
+    "minimal": 0.002,
+}
+
+#: Weights after the paper's legTrain cleaning pass, which removed
+#: unavailable pages and dead links: no parked or minimal pages remain.
+CLEANED_KIND_WEIGHTS = {
+    kind: weight for kind, weight in KIND_WEIGHTS.items()
+    if kind not in ("parked", "minimal")
+}
+
+_SUFFIX_POOL = ("com", "com", "com", "net", "org", "info", "io", "co", "biz")
+_CC_SUFFIX = {
+    "english": ("com", "co.uk", "us", "net", "org"),
+    "french": ("fr", "com", "net"),
+    "german": ("de", "com", "net"),
+    "italian": ("it", "com", "net"),
+    "portuguese": ("com.br", "pt", "com"),
+    "spanish": ("es", "com", "net", "com.mx", "com.ar"),
+}
+
+
+@dataclass
+class GeneratedSite:
+    """Metadata of one generated legitimate site."""
+
+    starting_url: str
+    landing_url: str
+    rdn: str
+    mld: str
+    language: str
+    kind: str
+    name_terms: tuple[str, ...]
+    brand: Brand | None = None
+    popularity_tier: int = 3
+    searchable_text: str = ""
+
+    @property
+    def label(self) -> int:
+        """Ground-truth class label (0 = legitimate)."""
+        return 0
+
+
+class LegitimateSiteGenerator:
+    """Generates legitimate sites and hosts them on a synthetic web.
+
+    Parameters
+    ----------
+    web:
+        The synthetic web pages are registered into.
+    rng:
+        ``numpy.random.Generator`` driving all sampling.
+    language:
+        Default content language.
+    """
+
+    def __init__(
+        self,
+        web: SyntheticWeb,
+        rng: np.random.Generator,
+        language: str = "english",
+    ):
+        self.web = web
+        self.rng = rng
+        self.language = language
+        self._used_mlds: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # sampling helpers
+    # ------------------------------------------------------------------
+    def _pick(self, bank, count: int = 1) -> list[str]:
+        indices = self.rng.integers(0, len(bank), size=count)
+        return [bank[int(index)] for index in indices]
+
+    def _sentence(self, banks, name_terms, word_count: int) -> str:
+        """One sentence mixing vocabulary banks and site-name mentions."""
+        words: list[str] = []
+        for _ in range(word_count):
+            draw = self.rng.random()
+            if draw < 0.08 and name_terms:
+                words.append(name_terms[int(self.rng.integers(len(name_terms)))])
+            elif draw < 0.16:
+                words.append(SHORT_TOKENS[int(self.rng.integers(len(SHORT_TOKENS)))])
+            elif draw < 0.28:
+                words.append(banks["web"][int(self.rng.integers(len(banks["web"])))])
+            elif draw < 0.38:
+                words.append(
+                    banks["business"][int(self.rng.integers(len(banks["business"])))]
+                )
+            else:
+                words.append(
+                    banks["common"][int(self.rng.integers(len(banks["common"])))]
+                )
+        sentence = " ".join(words)
+        return sentence.capitalize() + "."
+
+    def _paragraph(self, banks, name_terms, sentences: int) -> str:
+        return " ".join(
+            self._sentence(banks, name_terms, int(self.rng.integers(8, 18)))
+            for _ in range(sentences)
+        )
+
+    def _unique_mld(self, candidate: str) -> str:
+        mld = candidate
+        tries = 0
+        while mld in self._used_mlds:
+            tries += 1
+            mld = f"{candidate}{int(self.rng.integers(2, 99))}"
+            if tries > 20:  # pragma: no cover - pathological collision storm
+                mld = f"{candidate}x{int(self.rng.integers(1000))}"
+        self._used_mlds.add(mld)
+        return mld
+
+    # ------------------------------------------------------------------
+    # site naming per kind
+    # ------------------------------------------------------------------
+    def _site_identity(self, kind: str, banks) -> tuple[str, tuple[str, ...], str]:
+        """Return ``(mld, name_terms, display_name)`` for a site kind."""
+        business = banks["business"]
+        common = banks["common"]
+        first = self._pick(business)[0]
+        second = self._pick(common)[0]
+        third = self._pick(common)[0]
+
+        if kind == "longword":
+            # e.g. theinstantexchange — one long unsplittable term.
+            mld = f"{second}{third}{first}"
+            return self._unique_mld(mld), (second, third, first), \
+                f"{second.capitalize()}{third.capitalize()}{first.capitalize()}"
+        if kind == "hyphen":
+            mld = f"{first}-{second}"
+            return self._unique_mld(mld), (first, second), \
+                f"{first.capitalize()}-{second.capitalize()}"
+        if kind == "shortbrand":
+            # Digit-separated short brand: terms are discarded (< 3 letters).
+            letters = "abcdefghijklmnopqrstuvwxyz"
+            mld = (
+                letters[int(self.rng.integers(26))]
+                + str(int(self.rng.integers(10)))
+                + letters[int(self.rng.integers(26))]
+                + letters[int(self.rng.integers(26))]
+            )
+            return self._unique_mld(mld), (first, second), mld.upper()
+        if kind == "abbrev":
+            # mld abbreviates the name: "premier financial" -> "pfa".
+            abbrev = first[:2] + second[:1]
+            return self._unique_mld(abbrev), (first, second), \
+                f"{first.capitalize()} {second.capitalize()}"
+        mld = f"{first}{second}"
+        return self._unique_mld(mld), (first, second), \
+            f"{first.capitalize()} {second.capitalize()}"
+
+    # ------------------------------------------------------------------
+    # page assembly
+    # ------------------------------------------------------------------
+    def _internal_links(self, base: str, banks, count: int) -> list[tuple[str, str]]:
+        links = []
+        for _ in range(count):
+            segments = self._pick(banks["web"] + banks["common"],
+                                  int(self.rng.integers(1, 3)))
+            anchor = " ".join(self._pick(banks["common"], 2))
+            links.append((f"{base}/{'/'.join(segments)}", anchor))
+        return links
+
+    def _build_standard_site(
+        self, kind: str, language: str
+    ) -> GeneratedSite:
+        banks = vocabulary(language)
+        mld, name_terms, display_name = self._site_identity(kind, banks)
+        suffix_pool = _CC_SUFFIX.get(language, _SUFFIX_POOL)
+        suffix = suffix_pool[int(self.rng.integers(len(suffix_pool)))]
+        rdn = f"{mld}.{suffix}"
+
+        # A few legitimate sites live on free hosting (hobby blogs), on
+        # the very providers phishers abuse.
+        free_hosted = self.rng.random() < 0.04
+        if free_hosted:
+            provider = FREE_HOSTS_LEGIT[
+                int(self.rng.integers(len(FREE_HOSTS_LEGIT)))
+            ]
+            rdn = f"{mld}.{provider}"  # provider domains are PSL suffixes
+
+        use_https = self.rng.random() < 0.82
+        scheme = "https" if use_https else "http"
+        use_www = self.rng.random() < 0.6 and not free_hosted
+        host = f"www.{rdn}" if use_www else rdn
+        # Some real sites hang services off extra subdomains.
+        if not free_hosted and self.rng.random() < 0.12:
+            service = self._pick(("shop", "mail", "account", "portal",
+                                  "app", "secure", "my"))[0]
+            host = f"{service}.{rdn}"
+        base = f"{scheme}://{host}"
+
+        # Landing URL: homepage, a subpage, or a deep page with tracking
+        # ids — real URL tails are long too.
+        path_draw = self.rng.random()
+        if path_draw < 0.35:
+            path_terms = self._pick(banks["web"] + banks["common"],
+                                    int(self.rng.integers(1, 4)))
+            landing_url = f"{base}/{'/'.join(path_terms)}"
+        elif path_draw < 0.47:
+            segments = self._pick(banks["web"] + banks["common"],
+                                  int(self.rng.integers(2, 5)))
+            digits = "0123456789abcdef"
+            token = "".join(
+                digits[int(i)] for i in self.rng.integers(0, 16, 10)
+            )
+            landing_url = f"{base}/{'/'.join(segments)}/{token}"
+            if self.rng.random() < 0.5:
+                landing_url += (
+                    f"?sessionid={token[:8]}&ref="
+                    f"{self._pick(banks['web'])[0]}"
+                )
+        else:
+            landing_url = f"{base}/"
+
+        # Content volume per kind.
+        if kind == "blog":
+            paragraph_count = int(self.rng.integers(4, 8))
+            internal_count = int(self.rng.integers(10, 22))
+        elif kind == "shop":
+            paragraph_count = int(self.rng.integers(2, 5))
+            internal_count = int(self.rng.integers(8, 18))
+        elif kind == "portal":
+            # Login portals are text-poor and form-heavy, like phish.
+            paragraph_count = 1
+            internal_count = int(self.rng.integers(1, 5))
+        else:
+            paragraph_count = int(self.rng.integers(2, 6))
+            internal_count = int(self.rng.integers(5, 14))
+
+        paragraphs = [
+            self._paragraph(banks, name_terms, int(self.rng.integers(2, 5)))
+            for _ in range(paragraph_count)
+        ]
+        tagline = " ".join(self._pick(banks["common"], 3))
+        if kind == "portal":
+            title = self._pick(banks["web"], 1)[0].capitalize()
+            if self.rng.random() < 0.6:
+                title = f"{title} - {display_name}"
+        elif self.rng.random() < 0.08:
+            # Some real sites ship generic titles with no brand mention.
+            title = tagline.capitalize()
+        else:
+            title = f"{display_name} - {tagline}"
+        headings = [
+            " ".join([display_name] + self._pick(banks["common"], 2))
+        ]
+
+        links = self._internal_links(base, banks, internal_count)
+        # Blogs name their links after the URL (the paper's news-site case).
+        if kind == "blog":
+            links = [
+                (url, " ".join(url.rsplit("/", 2)[-2:])) for url, _txt in links
+            ]
+        for _ in range(int(self.rng.integers(0, 4))):
+            links.append(
+                (SOCIAL_LINKS[int(self.rng.integers(len(SOCIAL_LINKS)))],
+                 self._pick(banks["web"])[0])
+            )
+        if kind == "blog":
+            # Blogs cross-link other publications heavily.
+            for _ in range(int(self.rng.integers(2, 7))):
+                other = self._pick(banks["common"], 2)
+                links.append(
+                    (f"https://www.{other[0]}{other[1]}.com/"
+                     f"{self._pick(banks['common'])[0]}",
+                     " ".join(other))
+                )
+
+        resources: list[tuple[str, str]] = []
+        if kind == "cdnheavy":
+            # Assets outsourced to a third-party CDN: the logged links are
+            # mostly *external*, which is phish-like (Section VII-B noise).
+            provider = self._pick(("cloudassets", "fastcdn", "edgecache",
+                                   "staticfarm"))[0]
+            static_base = (
+                f"https://cdn{int(self.rng.integers(1, 9))}.{provider}.net"
+            )
+        elif self.rng.random() < 0.4:
+            static_base = f"{scheme}://static.{rdn}"
+        else:
+            static_base = base
+        def asset_name(pool) -> str:
+            # Build pipelines hash a good share of real-site asset names
+            # (cache busting), so dictionary names are not universal.
+            if self.rng.random() < 0.3:
+                digits = "0123456789abcdef"
+                return "".join(
+                    digits[int(i)] for i in self.rng.integers(0, 16, 8)
+                )
+            return self._pick(pool)[0]
+
+        for _ in range(int(self.rng.integers(1, 4))):
+            resources.append(
+                ("css", f"{static_base}/css/{asset_name(banks['common'])}.css")
+            )
+        for _ in range(int(self.rng.integers(1, 4))):
+            # Self-hosted copies of common libraries are ubiquitous, so
+            # internal script names overlap CDN vocabulary.
+            if self.rng.random() < 0.4:
+                lib = self._pick(("jquery", "bootstrap", "analytics",
+                                  "slider", "main", "app"))[0]
+                resources.append(("script", f"{static_base}/js/{lib}.min.js"))
+            else:
+                resources.append(
+                    ("script",
+                     f"{static_base}/js/{asset_name(banks['common'])}.js")
+                )
+        for _ in range(int(self.rng.integers(2, 8))):
+            resources.append(
+                ("img",
+                 f"{static_base}/img/{asset_name(banks['common'] + name_terms)}.png")
+            )
+        for _ in range(int(self.rng.integers(0, 3))):
+            resources.append(
+                ("script", CDN_DOMAINS[int(self.rng.integers(len(CDN_DOMAINS)))])
+            )
+        # Hotlinked images from partner sites (short external URLs).
+        if self.rng.random() < 0.25:
+            partner = "".join(self._pick(banks["common"], 2))
+            for _ in range(int(self.rng.integers(1, 3))):
+                name = self._pick(banks["common"])[0]
+                resources.append(
+                    ("img", f"https://img.{partner}.com/{name}.jpg")
+                )
+
+        inputs: list[str] = []
+        if kind == "portal":
+            inputs.extend(["email", "password"])
+            if self.rng.random() < 0.3:
+                inputs.append("password")  # confirm field
+        else:
+            if self.rng.random() < 0.55:
+                inputs.append("text")      # search box
+            if self.rng.random() < 0.3:
+                inputs.append("email")     # newsletter
+            if kind == "shop" and self.rng.random() < 0.5:
+                inputs.extend(["text", "password"])
+
+        copyright_line = f"© 2015 {display_name}. All rights reserved."
+        spec = PageSpec(
+            title=title,
+            paragraphs=paragraphs,
+            links=links,
+            resources=resources,
+            inputs=inputs,
+            form_action=f"{base}/search",
+            copyright_line=copyright_line,
+            headings=headings,
+        )
+        html = render_html(spec)
+        screenshot = Screenshot(
+            rendered_text="\n".join([title, *headings, *paragraphs,
+                                     copyright_line]),
+            image_texts=(display_name,) if self.rng.random() < 0.5 else (),
+        )
+        self.web.host(landing_url, html, screenshot)
+
+        # Starting URL: usually the landing URL; sometimes a redirecting
+        # plain-http / non-www variant, or a marketing tracker hop on a
+        # *different* RDN (newsletters and ads do this for real sites too).
+        starting_url = landing_url
+        redirect_draw = self.rng.random()
+        if redirect_draw < 0.2:
+            alt_host = rdn if use_www else f"www.{rdn}"
+            starting_url = f"http://{alt_host}/"
+            if starting_url != landing_url:
+                self.web.redirect(starting_url, landing_url)
+        elif redirect_draw < 0.27:
+            tracker = (
+                f"http://track.adserv{int(self.rng.integers(1, 6))}.com/r"
+                f"?cid={int(self.rng.integers(10**6))}"
+            )
+            self.web.redirect(tracker, landing_url)
+            starting_url = tracker
+
+        tier = int(self.rng.choice([1, 2, 3, 4], p=[0.08, 0.22, 0.4, 0.3]))
+        searchable = " ".join([title, *paragraphs])
+        return GeneratedSite(
+            starting_url=starting_url,
+            landing_url=landing_url,
+            rdn=rdn,
+            mld=mld,
+            language=language,
+            kind=kind,
+            name_terms=name_terms,
+            popularity_tier=tier,
+            searchable_text=searchable,
+        )
+
+    def _build_parked_site(self, language: str) -> GeneratedSite:
+        """A parked domain: ad links, near-zero unique content."""
+        banks = vocabulary(language)
+        mld, name_terms, display_name = self._site_identity("business", banks)
+        rdn = f"{mld}.com"
+        landing_url = f"http://{rdn}/"
+        ad_links = [
+            (f"http://ads{index}.adnetwork{int(self.rng.integers(1, 9))}.com/"
+             f"click?domain={mld}",
+             " ".join(self._pick(banks["business"], 2)))
+            for index in range(int(self.rng.integers(4, 10)))
+        ]
+        spec = PageSpec(
+            title=f"{rdn} - domain parked",
+            paragraphs=["This domain may be for sale. Related searches:"],
+            links=ad_links,
+            resources=[("script", "http://cdn.parkingpartner.net/serve.js")],
+            inputs=[],
+        )
+        html = render_html(spec)
+        self.web.host(landing_url, html, Screenshot(rendered_text=spec.title))
+        return GeneratedSite(
+            starting_url=landing_url,
+            landing_url=landing_url,
+            rdn=rdn,
+            mld=mld,
+            language=language,
+            kind="parked",
+            name_terms=name_terms,
+            popularity_tier=4,
+            searchable_text="",
+        )
+
+    def _build_minimal_site(self, language: str) -> GeneratedSite:
+        """A nearly-empty page (unavailable/placeholder content)."""
+        banks = vocabulary(language)
+        mld, name_terms, _display_name = self._site_identity("business", banks)
+        rdn = f"{mld}.com"
+        landing_url = f"http://{rdn}/index.html"
+        spec = PageSpec(title="", paragraphs=["Under construction"])
+        self.web.host(landing_url, render_html(spec), Screenshot())
+        return GeneratedSite(
+            starting_url=landing_url,
+            landing_url=landing_url,
+            rdn=rdn,
+            mld=mld,
+            language=language,
+            kind="minimal",
+            name_terms=name_terms,
+            popularity_tier=4,
+            searchable_text="",
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate(self, language: str | None = None,
+                 kind: str | None = None,
+                 kind_weights: dict[str, float] | None = None) -> GeneratedSite:
+        """Generate one legitimate site and host its pages.
+
+        ``kind`` defaults to a draw from ``kind_weights`` (default
+        :data:`KIND_WEIGHTS`; pass :data:`CLEANED_KIND_WEIGHTS` for a
+        corpus that went through the paper's cleaning pass).
+        """
+        language = language or self.language
+        if kind is None:
+            weights_map = kind_weights or KIND_WEIGHTS
+            kinds = list(weights_map)
+            weights = np.asarray(list(weights_map.values()))
+            kind = str(self.rng.choice(kinds, p=weights / weights.sum()))
+        if kind == "parked":
+            return self._build_parked_site(language)
+        if kind == "minimal":
+            return self._build_minimal_site(language)
+        return self._build_standard_site(kind, language)
+
+    def generate_brand_site(self, brand: Brand) -> GeneratedSite:
+        """Host the *real* website of a brand (homepage + login page).
+
+        Phishing pages link back to these URLs; the search engine indexes
+        them; the Alexa ranking puts them in the top tier.
+        """
+        banks = vocabulary(brand.language)
+        self._used_mlds.add(brand.mld)
+        base = f"https://www.{brand.rdn}"
+        landing_url = f"{base}/"
+        login_url = f"{base}/signin"
+
+        name_terms = tuple(
+            term for term in brand.name_words + brand.keyterms if len(term) >= 3
+        )
+        paragraphs = [
+            self._paragraph(banks, name_terms, 3) for _ in range(3)
+        ]
+        # Brand keyterms appear prominently (titles, headings, text).
+        brand_sentence = (
+            f"{brand.name} {' '.join(brand.keyterms)} "
+            + " ".join(self._pick(banks["web"], 4))
+        )
+        paragraphs.insert(0, brand_sentence.capitalize() + ".")
+
+        links = self._internal_links(base, banks, 12)
+        links.append((login_url, "Sign in"))
+        resources = [
+            ("css", f"{base}/assets/site.css"),
+            ("script", f"{base}/assets/app.js"),
+            ("img", f"{base}/img/{brand.mld}-logo.png"),
+            ("img", f"{base}/img/banner.png"),
+        ]
+        copyright_line = f"© 2015 {brand.name}. All rights reserved."
+        title = f"{brand.name} - " + " ".join(brand.keyterms[:3])
+        html = render_html(PageSpec(
+            title=title,
+            paragraphs=paragraphs,
+            links=links,
+            resources=resources,
+            inputs=["text"],
+            copyright_line=copyright_line,
+            headings=[brand.name],
+        ))
+        self.web.host(landing_url, html, Screenshot(
+            rendered_text="\n".join([title, brand.name, *paragraphs,
+                                     copyright_line]),
+            image_texts=(brand.name,),
+        ))
+
+        login_html = render_html(PageSpec(
+            title=f"Sign in - {brand.name}",
+            paragraphs=[f"Sign in to your {brand.name} account to continue."],
+            links=[(landing_url, brand.name), (f"{base}/help", "Help")],
+            resources=[("css", f"{base}/assets/site.css"),
+                       ("img", f"{base}/img/{brand.mld}-logo.png")],
+            inputs=["email", "password"],
+            form_action=f"{base}/session",
+            copyright_line=copyright_line,
+        ))
+        self.web.host(login_url, login_html, Screenshot(
+            rendered_text=f"Sign in - {brand.name}\n{copyright_line}",
+            image_texts=(brand.name,),
+        ))
+        # Bare-domain redirect, as real brand sites do.
+        self.web.redirect(f"http://{brand.rdn}/", landing_url)
+
+        searchable = " ".join([title, *paragraphs])
+        return GeneratedSite(
+            starting_url=landing_url,
+            landing_url=landing_url,
+            rdn=brand.rdn,
+            mld=brand.mld,
+            language=brand.language,
+            kind="brand",
+            name_terms=name_terms,
+            brand=brand,
+            popularity_tier=brand.popularity,
+            searchable_text=searchable,
+        )

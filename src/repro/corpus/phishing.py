@@ -1,0 +1,604 @@
+"""Generator of phishing websites enforcing the paper's phisher limitations.
+
+The generative model encodes the two constraints of Section III-A:
+
+* **Constraint** — a phisher cannot use the target's registered domain:
+  the phish's RDN is the phisher's own (gibberish, deceptive words,
+  typosquat, free-hosting subdomain, a compromised legitimate domain or a
+  raw IP).  Only the *FreeURL* (subdomains, path, query) can carry target
+  terms, which is exactly the obfuscation phishers use.
+* **Control** — to look credible, the phish embeds content from and links
+  to the target's real site: external HREF links and logged resources
+  point at the target's RDN, and title/text/copyright reuse target terms.
+
+Evasion variants (Section VII-C) are expressed as an
+:class:`EvasionProfile` toggling individual tricks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.corpus.brands import Brand, BrandRegistry
+from repro.corpus.html_builder import PageSpec, render_html
+from repro.corpus.wordlists import vocabulary
+from repro.web.hosting import SyntheticWeb
+from repro.web.page import Screenshot
+
+#: Hosting modes with default sampling weights (IP URLs < 2%, Section VII-B).
+HOSTING_WEIGHTS = {
+    "random": 0.38,
+    "deceptive": 0.20,
+    "typosquat": 0.12,
+    "hosting_provider": 0.18,
+    "compromised": 0.09,
+    "ip": 0.03,
+}
+
+_FREE_HOSTS = (
+    "000webhostapp.com", "blogspot.com", "weebly.com", "wixsite.com",
+    "netlify.app", "herokuapp.com", "byethost.com", "epizy.com",
+    "altervista.org", "duckdns.org",
+)
+_CHEAP_TLDS = ("com", "net", "info", "xyz", "online", "site", "top", "club",
+               "icu", "link", "click", "work")
+_LURE_WORDS = ("secure", "verify", "update", "confirm", "account", "signin",
+               "login", "webapps", "alert", "suspended", "limited", "service",
+               "support", "billing", "auth", "session", "validation")
+_SHORTENER_RDNS = ("srtlnk.com", "tinypath.net", "lnkto.click", "qcklnk.xyz")
+
+_CONSONANTS = "bcdfghjklmnpqrstvwxz"
+_VOWELS = "aeiou"
+
+
+@dataclass(frozen=True)
+class EvasionProfile:
+    """Adaptive-attack toggles (Section VII-C evasion techniques)."""
+
+    minimal_text: bool = False
+    no_external_links: bool = False
+    no_external_resources: bool = False
+    image_based: bool = False
+    misspell_terms: bool = False
+    short_url: bool = False
+
+    @classmethod
+    def none(cls) -> "EvasionProfile":
+        """No evasion — the baseline phishing page."""
+        return cls()
+
+    @classmethod
+    def all_tricks(cls) -> "EvasionProfile":
+        """Every evasion technique at once (quality-destroying, per paper)."""
+        return cls(
+            minimal_text=True, no_external_links=True,
+            no_external_resources=True, image_based=True,
+            misspell_terms=True, short_url=True,
+        )
+
+
+#: Craftsmanship tiers of phishing kits and their sampling weights.
+#: "high" is a near-pixel-perfect clone (rewritten internal resources,
+#: HTTPS, plenty of copied text) — the hard positives.
+QUALITY_WEIGHTS = {"low": 0.2, "medium": 0.5, "high": 0.3}
+
+
+@dataclass
+class GeneratedPhish:
+    """Metadata of one generated phishing site."""
+
+    starting_url: str
+    landing_url: str
+    rdn: str | None
+    mld: str | None
+    target: Brand | None
+    hosting: str
+    language: str
+    quality: str = "medium"
+    evasion: EvasionProfile = field(default_factory=EvasionProfile)
+
+    @property
+    def label(self) -> int:
+        """Ground-truth class label (1 = phishing)."""
+        return 1
+
+    @property
+    def target_mld(self) -> str | None:
+        """The impersonated brand's mld (the target-ID ground truth)."""
+        return self.target.mld if self.target else None
+
+
+class PhishingSiteGenerator:
+    """Generates phishing sites and hosts them on a synthetic web.
+
+    Parameters
+    ----------
+    web:
+        The synthetic web pages are registered into.
+    rng:
+        ``numpy.random.Generator`` driving all sampling.
+    brands:
+        Registry of potential targets (their real sites should be hosted
+        for outbound links to resolve, though this is not required).
+    compromised_pool:
+        Legitimate RDNs available for "compromised server" hosting.
+    """
+
+    def __init__(
+        self,
+        web: SyntheticWeb,
+        rng: np.random.Generator,
+        brands: BrandRegistry,
+        compromised_pool: list[str] | None = None,
+    ):
+        self.web = web
+        self.rng = rng
+        self.brands = brands
+        self.compromised_pool = list(compromised_pool or [])
+        self._used_urls: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # naming helpers
+    # ------------------------------------------------------------------
+    def _gibberish(self, syllables: int | None = None) -> str:
+        count = syllables or int(self.rng.integers(2, 5))
+        out = []
+        for _ in range(count):
+            out.append(_CONSONANTS[int(self.rng.integers(len(_CONSONANTS)))])
+            out.append(_VOWELS[int(self.rng.integers(len(_VOWELS)))])
+        word = "".join(out)
+        if self.rng.random() < 0.3:
+            word += str(int(self.rng.integers(100)))
+        return word
+
+    def _hex_token(self, length: int = 8) -> str:
+        digits = "0123456789abcdef"
+        return "".join(
+            digits[int(index)] for index in self.rng.integers(0, 16, length)
+        )
+
+    def _typosquat(self, mld: str) -> str:
+        """Mutate a target mld the way typosquatters do."""
+        base = mld.replace("-", "")
+        style = int(self.rng.integers(4))
+        position = int(self.rng.integers(1, max(2, len(base) - 1)))
+        if style == 0:                               # doubled letter
+            return base[:position] + base[position] + base[position:]
+        if style == 1:                               # digit lookalike
+            lookalikes = {"o": "0", "l": "1", "i": "1", "e": "3", "a": "4",
+                          "s": "5"}
+            for index, char in enumerate(base):
+                if char in lookalikes:
+                    return base[:index] + lookalikes[char] + base[index + 1:]
+            return base + "1"
+        if style == 2:                               # inserted hyphen
+            return base[:position] + "-" + base[position:]
+        return base[:position] + base[position - 1] + base[position:]  # swapish
+
+    def _misspell(self, word: str) -> str:
+        """Light misspelling used by the misspell_terms evasion."""
+        if len(word) < 4:
+            return word
+        position = int(self.rng.integers(1, len(word) - 1))
+        style = int(self.rng.integers(3))
+        if style == 0:
+            return word[:position] + word[position + 1:]           # drop
+        if style == 1:
+            return word[:position] + word[position] + word[position:]  # double
+        alphabet = "abcdefghijklmnopqrstuvwxyz"
+        return (word[:position]
+                + alphabet[int(self.rng.integers(26))]
+                + word[position + 1:])                              # replace
+
+    # ------------------------------------------------------------------
+    # hosting
+    # ------------------------------------------------------------------
+    def _hosting_identity(
+        self, hosting: str, target: Brand | None
+    ) -> tuple[str, str | None, str | None]:
+        """Return ``(host_fqdn_base, rdn, mld)`` for a hosting mode.
+
+        The returned host may later be prefixed with obfuscation
+        subdomains (except for IP and hosting-provider modes).
+        """
+        if hosting == "ip":
+            octets = self.rng.integers(1, 255, size=4)
+            host = ".".join(str(int(octet)) for octet in octets)
+            return host, None, None
+        if hosting == "hosting_provider":
+            provider = _FREE_HOSTS[int(self.rng.integers(len(_FREE_HOSTS)))]
+            token = self._gibberish()
+            if target is not None and self.rng.random() < 0.5:
+                token = f"{target.mld}-{token}"[:30].strip("-")
+            host = f"{token}.{provider}"
+            # With PSL private rules the provider domain is the suffix, so
+            # the phisher's registrable label is the token.
+            return host, host, token
+        if hosting == "compromised" and self.compromised_pool:
+            rdn = self.compromised_pool[
+                int(self.rng.integers(len(self.compromised_pool)))
+            ]
+            return rdn, rdn, rdn.split(".", 1)[0]
+        if hosting == "typosquat" and target is not None:
+            mld = self._typosquat(target.mld)
+            tld = _CHEAP_TLDS[int(self.rng.integers(len(_CHEAP_TLDS)))]
+            return f"{mld}.{tld}", f"{mld}.{tld}", mld
+        if hosting == "deceptive":
+            words = [
+                _LURE_WORDS[int(index)]
+                for index in self.rng.integers(0, len(_LURE_WORDS), 2)
+            ]
+            joiner = "-" if self.rng.random() < 0.6 else ""
+            mld = joiner.join(dict.fromkeys(words)) or words[0]
+            tld = _CHEAP_TLDS[int(self.rng.integers(len(_CHEAP_TLDS)))]
+            return f"{mld}.{tld}", f"{mld}.{tld}", mld
+        # default: random gibberish domain
+        mld = self._gibberish()
+        tld = _CHEAP_TLDS[int(self.rng.integers(len(_CHEAP_TLDS)))]
+        return f"{mld}.{tld}", f"{mld}.{tld}", mld
+
+    def _obfuscated_url(
+        self, host: str, hosting: str, target: Brand | None,
+        evasion: EvasionProfile, quality: str = "medium",
+    ) -> str:
+        """Build the landing URL with FreeURL obfuscation."""
+        https_prob = 0.45 if quality == "high" else 0.18
+        scheme = "https" if self.rng.random() < https_prob else "http"
+        obfuscate_prob = 0.35 if quality == "high" else 0.55
+
+        subdomain_parts: list[str] = []
+        can_prefix = hosting not in ("ip", "hosting_provider")
+        if can_prefix and target is not None and self.rng.random() < obfuscate_prob:
+            # The classic trick: target's FQDN as subdomains of the
+            # phisher's RDN, e.g. paypal.com.evilhost.xyz.
+            if self.rng.random() < 0.5:
+                subdomain_parts.extend([target.mld, target.suffix])
+            else:
+                subdomain_parts.append(target.mld)
+        if can_prefix and self.rng.random() < 0.3:
+            subdomain_parts.append(
+                _LURE_WORDS[int(self.rng.integers(len(_LURE_WORDS)))]
+            )
+        fqdn = ".".join(subdomain_parts + [host]) if subdomain_parts else host
+
+        if evasion.short_url:
+            path_segments = [self._hex_token(5)]
+        else:
+            path_segments = []
+            for _ in range(int(self.rng.integers(1, 4))):
+                draw = self.rng.random()
+                if draw < 0.45:
+                    path_segments.append(
+                        _LURE_WORDS[int(self.rng.integers(len(_LURE_WORDS)))]
+                    )
+                elif draw < 0.65 and target is not None:
+                    path_segments.append(target.mld)
+                else:
+                    path_segments.append(
+                        self._hex_token(int(self.rng.integers(6, 16)))
+                    )
+        url = f"{scheme}://{fqdn}/" + "/".join(path_segments)
+
+        if not evasion.short_url and self.rng.random() < 0.45:
+            params = [
+                f"cmd={_LURE_WORDS[int(self.rng.integers(len(_LURE_WORDS)))]}",
+                f"id={self._hex_token(12)}",
+            ]
+            if target is not None and self.rng.random() < 0.3:
+                params.append(f"brand={target.mld}")
+            url += "?" + "&".join(params)
+        return url
+
+    # ------------------------------------------------------------------
+    # content
+    # ------------------------------------------------------------------
+    def _phish_content(
+        self, target: Brand | None, language: str, evasion: EvasionProfile,
+        own_base: str, quality: str = "medium",
+        secondary_brands: list[Brand] | None = None,
+    ) -> tuple[PageSpec, Screenshot]:
+        banks = vocabulary(language)
+        is_clone = quality == "high"
+        secondary_brands = secondary_brands or []
+
+        if target is not None:
+            target_terms = list(
+                dict.fromkeys(target.name_words + target.keyterms)
+            )
+            display_name = target.name
+            target_base = f"https://www.{target.rdn}"
+        else:
+            target_terms = []
+            display_name = ""
+            target_base = ""
+
+        def maybe_misspell(word: str) -> str:
+            if evasion.misspell_terms and self.rng.random() < 0.6:
+                return self._misspell(word)
+            return word
+
+        # Title mimics the target's.
+        if target is not None:
+            title_terms = [maybe_misspell(term) for term in target_terms[:2]]
+            web_word = banks["web"][int(self.rng.integers(len(banks["web"])))]
+            title = f"{' '.join(title_terms).title()} - {web_word}"
+        else:
+            title = self.rng.choice(["Login", "Webmail", "Sign in", ""])
+
+        # Text: lure-heavy and short at low/medium quality; a clone copies
+        # enough of the target's copy to read like the real site.
+        paragraphs: list[str] = []
+        if evasion.minimal_text:
+            paragraph_count, word_range = 1, (6, 7)
+        elif is_clone:
+            paragraph_count, word_range = int(self.rng.integers(3, 6)), (18, 40)
+        else:
+            paragraph_count, word_range = int(self.rng.integers(1, 3)), (12, 30)
+        lure_prob = 0.12 if is_clone else 0.25
+        target_prob = 0.22 if is_clone else 0.3
+        for _ in range(paragraph_count):
+            words: list[str] = []
+            length = int(self.rng.integers(*word_range))
+            for _ in range(length):
+                draw = self.rng.random()
+                if draw < target_prob and target_terms:
+                    words.append(maybe_misspell(
+                        target_terms[int(self.rng.integers(len(target_terms)))]
+                    ))
+                elif draw < target_prob + lure_prob:
+                    words.append(
+                        _LURE_WORDS[int(self.rng.integers(len(_LURE_WORDS)))]
+                    )
+                else:
+                    words.append(
+                        banks["common"][int(self.rng.integers(len(banks["common"])))]
+                    )
+            paragraphs.append(" ".join(words).capitalize() + ".")
+
+        # Links: external to the target, few internal.  A clone rewrites
+        # most navigation onto the phisher's own host.
+        links: list[tuple[str, str]] = []
+        if target is not None and not evasion.no_external_links:
+            # ~30% of clones are fully self-contained (no external links).
+            if is_clone and self.rng.random() < 0.3:
+                external_count = 0
+            elif is_clone:
+                external_count = int(self.rng.integers(1, 3))
+            else:
+                external_count = int(self.rng.integers(2, 6))
+            for _ in range(external_count):
+                path = self.rng.choice(
+                    ["help", "security", "privacy", "signin", "about"]
+                )
+                links.append((f"{target_base}/{path}", str(path).title()))
+        if is_clone:
+            for _ in range(int(self.rng.integers(4, 10))):
+                word = banks["web"][int(self.rng.integers(len(banks["web"])))]
+                links.append((f"{own_base}/{word}", word.title()))
+        elif self.rng.random() < 0.4:
+            links.append((f"{own_base}/{self._hex_token(6)}", "Continue"))
+
+        # Resources: target-hosted images plus the phisher's own; a clone
+        # self-hosts nearly everything (rewritten asset URLs).
+        resources: list[tuple[str, str]] = []
+        if target is not None and not evasion.no_external_resources:
+            logo_path = self.rng.choice(
+                [f"/img/{target.mld}-logo.png", "/logo.png",
+                 f"/assets/img/{target.mld}.png"]
+            )
+            resources.append(("img", f"{target_base}{logo_path}"))
+            if not is_clone:
+                for _ in range(int(self.rng.integers(0, 3))):
+                    name = self.rng.choice(["banner", "header", "footer",
+                                            self._hex_token(4)])
+                    resources.append(
+                        ("img", f"{target_base}/img/{name}.png")
+                    )
+                if self.rng.random() < 0.3:
+                    resources.append(("css", f"{target_base}/assets/site.css"))
+        own_resource_count = (
+            int(self.rng.integers(4, 9)) if is_clone
+            else int(self.rng.integers(1, 4))
+        )
+        if is_clone:
+            resources.append(("css", f"{own_base}/assets/site.css"))
+            resources.append(("script", f"{own_base}/assets/app.js"))
+        for _ in range(own_resource_count):
+            # Kits copy the target's asset names about as often as they
+            # ship freshly-hashed blobs.
+            if self.rng.random() < 0.55:
+                pool = target_terms or list(_LURE_WORDS)
+                name = pool[int(self.rng.integers(len(pool)))]
+            else:
+                name = self._hex_token(6)
+            resources.append(("img", f"{own_base}/img/{name}.png"))
+        if self.rng.random() < 0.15 and target is not None and not is_clone:
+            resources.append(("iframe", f"{target_base}/"))
+
+        # Secondary brand references — payment card logos, "sign in with"
+        # buttons.  They muddy target identification (several candidate
+        # targets) exactly as on real phish.
+        secondary_mentions: list[str] = []
+        for brand in secondary_brands:
+            resources.append(
+                ("img", f"https://www.{brand.rdn}/img/{brand.mld}-logo.png")
+            )
+            secondary_mentions.append(brand.name)
+        if secondary_mentions and paragraphs:
+            paragraphs.append(
+                "We accept " + " ".join(secondary_mentions) + "."
+            )
+
+        if evasion.image_based:
+            # Text lives in pixels: body text gone, more images.
+            image_texts = [title] + paragraphs
+            if display_name:
+                image_texts.append(display_name)
+            paragraphs = []
+            for _ in range(3):
+                resources.append(
+                    ("img", f"{own_base}/page{self._hex_token(3)}.png")
+                )
+        else:
+            image_texts = [display_name] if display_name else []
+
+        inputs = ["email", "password"]
+        if self.rng.random() < 0.4:
+            inputs.append("password")
+        if self.rng.random() < 0.3:
+            inputs.append("text")
+
+        copyright_line = (
+            f"© 2015 {display_name}. All rights reserved." if display_name else ""
+        )
+        spec = PageSpec(
+            title=title,
+            paragraphs=paragraphs,
+            links=links,
+            resources=resources,
+            inputs=inputs,
+            form_action=f"{own_base}/post.php",
+            copyright_line=copyright_line,
+        )
+        rendered = "\n".join(
+            part for part in [title, *paragraphs, copyright_line] if part
+        )
+        screenshot = Screenshot(
+            rendered_text=rendered, image_texts=tuple(image_texts)
+        )
+        return spec, screenshot
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        target: Brand | None = None,
+        hosting: str | None = None,
+        evasion: EvasionProfile | None = None,
+        language: str | None = None,
+        quality: str | None = None,
+        with_target_hint: bool = True,
+    ) -> GeneratedPhish:
+        """Generate one phishing site and host its pages.
+
+        Parameters
+        ----------
+        target:
+            Brand to impersonate; sampled from the registry when omitted.
+        hosting:
+            One of :data:`HOSTING_WEIGHTS`; sampled when omitted.
+        evasion:
+            Evasion profile; defaults to no evasion.
+        language:
+            Page language; defaults to the target's language.
+        with_target_hint:
+            When False, the page carries *no* reference to any target
+            (the paper's 17 "unknown target" pages): only input fields.
+        """
+        if evasion is None:
+            # Real campaigns occasionally use a single evasion trick; the
+            # training distribution should reflect that (Section VII-C:
+            # "we observed some of these techniques actually being used").
+            draw = self.rng.random()
+            if draw < 0.05:
+                evasion = EvasionProfile(minimal_text=True)
+            elif draw < 0.10:
+                evasion = EvasionProfile(no_external_resources=True)
+            elif draw < 0.13:
+                evasion = EvasionProfile(image_based=True)
+            elif draw < 0.16:
+                evasion = EvasionProfile(misspell_terms=True)
+            else:
+                evasion = EvasionProfile.none()
+        if with_target_hint:
+            if target is None:
+                target = self.brands.sample(self.rng, 1)[0]
+        else:
+            target = None
+
+        secondary_brands: list[Brand] = []
+        if target is not None and self.rng.random() < 0.3:
+            pool = [
+                brand for brand in self.brands.sample(self.rng, 3)
+                if brand.mld != target.mld
+            ]
+            secondary_brands = pool[: int(self.rng.integers(1, 3))]
+        language = language or (target.language if target else "english")
+
+        if quality is None:
+            tiers = list(QUALITY_WEIGHTS)
+            tier_weights = np.asarray(list(QUALITY_WEIGHTS.values()))
+            quality = str(self.rng.choice(tiers, p=tier_weights / tier_weights.sum()))
+        if quality not in QUALITY_WEIGHTS:
+            raise ValueError(f"unknown quality {quality!r}")
+
+        if hosting is None:
+            modes = list(HOSTING_WEIGHTS)
+            weights = np.asarray(list(HOSTING_WEIGHTS.values()))
+            hosting = str(self.rng.choice(modes, p=weights / weights.sum()))
+        if hosting == "compromised" and not self.compromised_pool:
+            hosting = "random"
+        if hosting == "typosquat" and target is None:
+            hosting = "random"
+
+        host, rdn, mld = self._hosting_identity(hosting, target)
+        landing_url = self._obfuscated_url(host, hosting, target, evasion, quality)
+        tries = 0
+        while landing_url in self._used_urls:
+            landing_url = self._obfuscated_url(host, hosting, target, evasion, quality)
+            tries += 1
+            if tries > 10:  # pragma: no cover
+                landing_url += f"?u={self._hex_token(6)}"
+                break
+        self._used_urls.add(landing_url)
+
+        scheme_host = landing_url.split("/", 3)
+        own_base = f"{scheme_host[0]}//{scheme_host[2]}"
+        spec, screenshot = self._phish_content(
+            target, language, evasion, own_base, quality,
+            secondary_brands=secondary_brands,
+        )
+        self.web.host(landing_url, render_html(spec), screenshot,
+                      overwrite=True)
+
+        # Redirection: the lure URL often differs from the landing page.
+        starting_url = landing_url
+        if self.rng.random() < 0.35:
+            hops = 1 if self.rng.random() < 0.7 else 2
+            current_target = landing_url
+            for _ in range(hops):
+                shortener = _SHORTENER_RDNS[
+                    int(self.rng.integers(len(_SHORTENER_RDNS)))
+                ]
+                hop_url = f"http://{shortener}/{self._hex_token(6)}"
+                self.web.redirect(hop_url, current_target, overwrite=True)
+                current_target = hop_url
+            starting_url = current_target
+
+        return GeneratedPhish(
+            starting_url=starting_url,
+            landing_url=landing_url,
+            rdn=rdn,
+            mld=mld,
+            target=target,
+            hosting=hosting,
+            language=language,
+            quality=quality,
+            evasion=evasion,
+        )
+
+    def generate_with_evasion(self, technique: str, **kwargs) -> GeneratedPhish:
+        """Generate a phish using one named evasion technique.
+
+        ``technique`` is an :class:`EvasionProfile` field name, or
+        ``"ip_url"`` to force IP hosting.
+        """
+        if technique == "ip_url":
+            return self.generate(hosting="ip", **kwargs)
+        if technique not in EvasionProfile.__dataclass_fields__:
+            raise ValueError(f"unknown evasion technique {technique!r}")
+        profile = replace(EvasionProfile.none(), **{technique: True})
+        return self.generate(evasion=profile, **kwargs)

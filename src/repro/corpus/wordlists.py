@@ -1,0 +1,293 @@
+"""Per-language vocabularies for the synthetic web.
+
+The paper evaluates on legitimate webpages in six European languages
+(English, French, German, Italian, Portuguese, Spanish).  Each language
+here gets three banks of words:
+
+* ``common`` — everyday words used to fill body text;
+* ``web`` — website-ish words (navigation labels, calls to action);
+* ``business`` — commerce/service words used in site names, titles and
+  domain names.
+
+All words have >= 3 canonical letters so they survive term extraction
+(Section III-B); accented words are included on purpose — the extraction
+pipeline canonicalises them, which is part of what we are reproducing.
+"""
+
+from __future__ import annotations
+
+LANGUAGES = ("english", "french", "german", "italian", "portuguese", "spanish")
+
+_VOCABULARIES: dict[str, dict[str, tuple[str, ...]]] = {
+    "english": {
+        "common": (
+            "about", "after", "again", "always", "around", "because", "before",
+            "between", "company", "country", "customer", "daily", "design",
+            "development", "different", "during", "every", "example", "family",
+            "feature", "first", "follow", "found", "free", "friend", "future",
+            "general", "great", "group", "health", "history", "house", "idea",
+            "important", "information", "interest", "large", "latest", "learn",
+            "life", "little", "local", "long", "make", "management", "member",
+            "moment", "money", "month", "morning", "nature", "network", "news",
+            "night", "number", "offer", "office", "online", "order", "other",
+            "people", "perfect", "person", "place", "plan", "point", "popular",
+            "power", "present", "price", "problem", "product", "program",
+            "project", "public", "quality", "question", "read", "reason",
+            "report", "research", "result", "right", "school", "science",
+            "season", "second", "section", "series", "service", "share",
+            "simple", "small", "social", "special", "start", "story", "street",
+            "strong", "student", "study", "style", "subject", "system", "team",
+            "technology", "thing", "this", "time", "today", "together", "travel",
+            "update", "value", "video", "view", "water", "website", "week",
+            "welcome", "with", "work", "world", "year", "young",
+        ),
+        "web": (
+            "account", "access", "blog", "browse", "cart", "catalog", "checkout",
+            "click", "contact", "cookie", "dashboard", "delivery", "discover",
+            "download", "email", "explore", "faq", "help", "home", "join",
+            "language", "login", "logout", "menu", "newsletter", "page",
+            "password", "payment", "policy", "privacy", "profile", "register",
+            "search", "secure", "settings", "shipping", "shop", "signin",
+            "signup", "sitemap", "submit", "subscribe", "support", "terms",
+            "username", "verify",
+        ),
+        "business": (
+            "advisor", "agency", "analytics", "assurance", "bank", "banking",
+            "capital", "care", "cloud", "commerce", "consulting", "credit",
+            "data", "deposit", "digital", "direct", "energy", "exchange",
+            "express", "finance", "financial", "fund", "garden", "global",
+            "holding", "insurance", "invest", "kitchen", "lab", "logistics",
+            "market", "media", "mobile", "partner", "pay", "premier", "prime",
+            "savings", "secure", "smart", "solutions", "store", "studio",
+            "trade", "transfer", "trust", "union", "ventures", "wallet", "web",
+        ),
+    },
+    "french": {
+        "common": (
+            "abord", "accueil", "aide", "ainsi", "annee", "apres", "article",
+            "aujourd", "aussi", "autre", "avant", "avec", "beaucoup", "besoin",
+            "bien", "bonjour", "cependant", "chaque", "chose", "client",
+            "commande", "comme", "compte", "conseil", "dans", "decouvrir",
+            "depuis", "dernier", "deux", "disponible", "donc", "droit",
+            "emploi", "encore", "enfant", "ensemble", "entre", "entreprise",
+            "envie", "equipe", "espace", "exemple", "faire", "famille",
+            "femme", "fois", "france", "gestion", "grand", "gratuit", "groupe",
+            "histoire", "homme", "idee", "important", "information", "jour",
+            "journee", "livre", "long", "magasin", "maison", "marche", "matin",
+            "meilleur", "meme", "mois", "monde", "national", "nombre",
+            "nouveau", "nouvelle", "offre", "ouvert", "pays", "pendant",
+            "personne", "petit", "peut", "place", "plus", "point", "pour",
+            "premier", "prix", "produit", "profiter", "projet", "propos",
+            "qualite", "question", "raison", "recherche", "region", "rendre",
+            "reponse", "reseau", "sans", "sante", "savoir", "semaine",
+            "service", "seulement", "simple", "site", "societe", "solution",
+            "sous", "souvent", "suivre", "temps", "tous", "tout", "travail",
+            "trouver", "utiliser", "valeur", "vente", "vers", "vie", "ville",
+            "voir", "votre", "vous", "voyage",
+        ),
+        "web": (
+            "abonnement", "acces", "achat", "actualites", "adresse", "aide",
+            "boutique", "catalogue", "commander", "communaute", "compte",
+            "confidentialite", "connexion", "contact", "cookies", "courriel",
+            "decouvrez", "email", "identifiant", "inscription", "langue",
+            "lettre", "livraison", "menu", "merci", "mentions", "motdepasse",
+            "newsletter", "page", "paiement", "panier", "plan", "politique",
+            "profil", "recherche", "reglement", "retour", "securise",
+            "telecharger", "valider", "verifier",
+        ),
+        "business": (
+            "agence", "assurance", "banque", "caisse", "capital", "carte",
+            "change", "commerce", "conseil", "courtier", "credit", "direct",
+            "epargne", "finance", "fonds", "garantie", "immobilier",
+            "investir", "livret", "marche", "mutuelle", "paiement", "patrimoine",
+            "placement", "portefeuille", "poste", "pret", "rachat", "societe",
+            "transfert", "virement",
+        ),
+    },
+    "german": {
+        "common": (
+            "aber", "alle", "allgemein", "angebot", "arbeit", "artikel",
+            "auch", "aufgabe", "beginn", "beispiel", "bereich", "bericht",
+            "beste", "bild", "bitte", "buch", "darum", "dabei", "damit",
+            "danke", "dann", "datum", "dein", "deutschland", "dienst",
+            "dieser", "ding", "doch", "dort", "durch", "eigen", "einfach",
+            "ende", "energie", "entwicklung", "erfahrung", "erfolg", "erste",
+            "familie", "finden", "firma", "folgen", "frage", "frau", "frei",
+            "freund", "fuhrung", "ganz", "gegen", "gehen", "geld", "gemeinsam",
+            "geschichte", "gesellschaft", "gesundheit", "gruppe", "gute",
+            "haben", "haus", "heute", "hier", "hilfe", "hoch", "idee", "immer",
+            "information", "inhalt", "jahr", "jetzt", "jung", "kind", "klein",
+            "kommen", "kunde", "kurz", "land", "lange", "leben", "leistung",
+            "lesen", "leute", "liebe", "losung", "machen", "mann", "markt",
+            "mehr", "mensch", "mit", "mitte", "monat", "morgen", "nach",
+            "nacht", "name", "natur", "neue", "nicht", "noch", "nummer",
+            "nutzen", "oder", "ohne", "ort", "plan", "platz", "preis",
+            "problem", "produkt", "projekt", "punkt", "qualitat", "recht",
+            "region", "reise", "richtig", "sache", "schnell", "schon",
+            "schule", "sehen", "sehr", "seite", "selbst", "sicher", "sind",
+            "stadt", "stark", "stelle", "stunde", "suche", "system", "team",
+            "teil", "thema", "tipp", "uber", "unternehmen", "viel", "vielen",
+            "weitere", "welt", "wert", "wichtig", "wissen", "woche", "wort",
+            "zeit", "ziel", "zusammen", "zwischen",
+        ),
+        "web": (
+            "abmelden", "abonnieren", "anmelden", "anmeldung", "benutzer",
+            "benutzername", "bestellen", "bestellung", "bezahlen", "datenschutz",
+            "download", "einkaufswagen", "einloggen", "email", "hilfe",
+            "impressum", "kennwort", "konto", "kontakt", "lieferung", "mein",
+            "newsletter", "passwort", "profil", "registrieren", "sicherheit",
+            "startseite", "suchen", "versand", "warenkorb", "weiter",
+            "zahlung", "zugang",
+        ),
+        "business": (
+            "aktien", "anlage", "bank", "beratung", "borse", "depot", "direkt",
+            "finanz", "finanzen", "geldanlage", "girokonto", "handel",
+            "kapital", "kasse", "konto", "kredit", "markt", "sparen",
+            "sparkasse", "uberweisung", "verein", "versicherung", "vermogen",
+            "wirtschaft", "zahlung", "zins",
+        ),
+    },
+    "italian": {
+        "common": (
+            "abbiamo", "accesso", "alcuni", "altro", "anche", "ancora", "anni",
+            "anno", "attraverso", "azienda", "bene", "casa", "caso", "citta",
+            "cliente", "come", "cosa", "cosi", "creare", "cultura", "dalla",
+            "dare", "della", "dento", "dopo", "dove", "durante", "ecco",
+            "esempio", "essere", "fare", "famiglia", "fine", "forma", "forte",
+            "gente", "giorno", "grande", "grazie", "gruppo", "idea",
+            "importante", "informazioni", "insieme", "italia", "lavoro",
+            "libero", "libro", "luogo", "madre", "maggio", "mano", "mattina",
+            "meglio", "mercato", "mese", "mettere", "migliore", "modo",
+            "molto", "mondo", "natura", "nazionale", "notte", "nuovo", "oggi",
+            "ogni", "oltre", "ordine", "pagina", "paese", "parte", "passo",
+            "pensare", "persona", "piccolo", "piano", "porta", "possibile",
+            "prezzo", "prima", "primo", "prodotto", "progetto", "proprio",
+            "punto", "qualcosa", "qualita", "quando", "quello", "questo",
+            "ragione", "rete", "ricerca", "risposta", "salute", "sapere",
+            "scoprire", "scuola", "sempre", "senza", "servizio", "settimana",
+            "sistema", "societa", "soluzione", "sono", "storia", "strada",
+            "studio", "successo", "tempo", "terra", "tutto", "ultimo", "unico",
+            "uomo", "utile", "valore", "vedere", "vendita", "verso", "vita",
+            "vivere", "volta",
+        ),
+        "web": (
+            "abbonamento", "accedi", "accesso", "account", "acquista",
+            "aggiungi", "aiuto", "area", "carrello", "catalogo", "cerca",
+            "chiudi", "condizioni", "consegna", "contatti", "cookie",
+            "email", "gratis", "indirizzo", "iscriviti", "lingua", "negozio",
+            "newsletter", "offerte", "ordina", "pagamento", "pagina",
+            "password", "privacy", "profilo", "registrati", "ricerca",
+            "sicuro", "spedizione", "termini", "utente", "verifica",
+        ),
+        "business": (
+            "agenzia", "assicurazione", "banca", "bancario", "borsa",
+            "capitale", "carta", "cassa", "commercio", "conto", "credito",
+            "deposito", "diretta", "finanza", "finanziaria", "fondo",
+            "gestione", "impresa", "investimento", "mercato", "mutuo",
+            "pagamenti", "posta", "prestito", "risparmio", "tesoro",
+            "trasferimento",
+        ),
+    },
+    "portuguese": {
+        "common": (
+            "abril", "agora", "ainda", "alguns", "ano", "antes", "apenas",
+            "aqui", "area", "assim", "ate", "bem", "boa", "brasil", "caso",
+            "cidade", "cliente", "coisa", "com", "como", "conta", "contra",
+            "casa", "cada", "dia", "depois", "desde", "dinheiro", "direito",
+            "dois", "durante", "ela", "ele", "empresa", "entre", "equipe",
+            "escola", "espaco", "estado", "este", "exemplo", "familia",
+            "fazer", "filho", "fim", "forma", "forte", "gente", "governo",
+            "grande", "grupo", "historia", "hoje", "hora", "ideia",
+            "importante", "informacao", "inicio", "junto", "lado", "lugar",
+            "maior", "mais", "melhor", "mercado", "mesmo", "momento", "mundo",
+            "muito", "nacional", "nada", "noite", "nome", "nosso", "nova",
+            "novo", "numero", "onde", "ontem", "outro", "pagina", "pais",
+            "para", "parte", "pessoa", "plano", "ponto", "porque", "possivel",
+            "preco", "primeiro", "problema", "produto", "programa", "projeto",
+            "qualidade", "quando", "quanto", "quase", "quem", "razao", "rede",
+            "regiao", "resposta", "resultado", "saber", "saude", "semana",
+            "sempre", "servico", "sistema", "sobre", "sociedade", "solucao",
+            "tambem", "tarde", "tempo", "terra", "tipo", "todo", "trabalho",
+            "tudo", "ultimo", "valor", "vender", "ver", "vez", "viagem",
+            "vida", "voce",
+        ),
+        "web": (
+            "acessar", "acesso", "ajuda", "atendimento", "busca", "cadastro",
+            "carrinho", "catalogo", "compra", "comprar", "condicoes",
+            "contato", "conta", "email", "endereco", "entrar", "entrega",
+            "enviar", "frete", "gratis", "idioma", "inicio", "loja",
+            "newsletter", "oferta", "pagamento", "pagina", "pedido",
+            "perfil", "pesquisa", "politica", "privacidade", "registrar",
+            "seguro", "senha", "suporte", "termos", "usuario", "verificar",
+        ),
+        "business": (
+            "agencia", "banco", "bancario", "bolsa", "caixa", "cambio",
+            "capital", "cartao", "comercio", "conta", "corretora", "credito",
+            "deposito", "digital", "emprestimo", "financas", "financeira",
+            "fundo", "investimento", "mercado", "negocio", "pagamentos",
+            "poupanca", "seguro", "tesouro", "transferencia",
+        ),
+    },
+    "spanish": {
+        "common": (
+            "ahora", "algo", "alguien", "ano", "antes", "aqui", "area",
+            "asi", "ayuda", "bien", "bueno", "cada", "calidad", "calle",
+            "cambio", "casa", "caso", "ciudad", "cliente", "comercio",
+            "como", "compania", "conocer", "contra", "cosa", "cuando",
+            "cuenta", "cultura", "dato", "deber", "decir", "desde", "despues",
+            "dia", "dinero", "donde", "durante", "ejemplo", "ella", "empresa",
+            "encontrar", "entre", "equipo", "escuela", "espacio", "espana",
+            "estado", "este", "familia", "forma", "fuerte", "futuro", "gente",
+            "gobierno", "gran", "grande", "grupo", "hacer", "hasta", "historia",
+            "hombre", "hora", "hoy", "idea", "importante", "informacion",
+            "inicio", "junto", "lado", "lugar", "luego", "madre", "manera",
+            "mano", "mayor", "mejor", "mercado", "mes", "mismo", "momento",
+            "mucho", "mujer", "mundo", "nacional", "nada", "noche", "nombre",
+            "nuestro", "nueva", "nuevo", "numero", "otro", "pagina", "pais",
+            "palabra", "para", "parte", "persona", "plan", "poder", "porque",
+            "posible", "precio", "primero", "problema", "producto", "programa",
+            "proyecto", "pueblo", "punto", "razon", "red", "region",
+            "respuesta", "resultado", "saber", "salud", "semana", "servicio",
+            "siempre", "sistema", "sobre", "sociedad", "solucion", "tambien",
+            "tarde", "tiempo", "tierra", "tipo", "todo", "trabajo", "ultimo",
+            "valor", "vender", "ver", "vez", "viaje", "vida", "zona",
+        ),
+        "web": (
+            "acceder", "acceso", "articulo", "ayuda", "buscar", "busqueda",
+            "carrito", "catalogo", "cesta", "comprar", "condiciones",
+            "contacto", "contrasena", "correo", "cuenta", "direccion",
+            "email", "enviar", "envio", "gratis", "idioma", "ingresar",
+            "inicio", "oferta", "pagina", "pago", "pedido", "perfil",
+            "politica", "privacidad", "registrarse", "seguro", "soporte",
+            "terminos", "tienda", "usuario", "verificar",
+        ),
+        "business": (
+            "agencia", "ahorro", "banca", "banco", "bolsa", "caja", "cambio",
+            "capital", "comercio", "credito", "cuenta", "deposito", "dinero",
+            "empresa", "finanzas", "financiera", "fondo", "hipoteca",
+            "inversion", "mercado", "negocio", "pagos", "prestamo", "seguro",
+            "tarjeta", "tesoro", "transferencia",
+        ),
+    },
+}
+
+# Short filler tokens that appear on real pages but are *discarded* by the
+# term extractor (< 3 letters) — included so pages contain realistic noise.
+SHORT_TOKENS = ("a", "an", "de", "el", "la", "le", "of", "to", "in", "on",
+                "e", "o", "um", "il", "du", "im", "am", "es", "y", "et")
+
+
+def vocabulary(language: str) -> dict[str, tuple[str, ...]]:
+    """The word banks (``common``/``web``/``business``) for ``language``."""
+    try:
+        return _VOCABULARIES[language]
+    except KeyError:
+        raise ValueError(
+            f"unknown language {language!r}; expected one of {LANGUAGES}"
+        ) from None
+
+
+def all_words(language: str) -> tuple[str, ...]:
+    """All words of a language, across the three banks."""
+    banks = vocabulary(language)
+    return banks["common"] + banks["web"] + banks["business"]

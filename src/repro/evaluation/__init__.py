@@ -1,0 +1,13 @@
+"""Evaluation harness reproducing Section VI experiment-by-experiment.
+
+:class:`~repro.evaluation.runner.Lab` materialises the synthetic world
+once and exposes one method per paper artefact (tables V-X, figures 2-6,
+plus the Section VI-D and VII experiments).  Results are plain data
+structures; :mod:`repro.evaluation.reporting` renders them as the ASCII
+tables the benchmarks print.
+"""
+
+from repro.evaluation.reporting import format_curve, format_table
+from repro.evaluation.runner import Lab
+
+__all__ = ["Lab", "format_curve", "format_table"]

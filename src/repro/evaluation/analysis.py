@@ -1,0 +1,153 @@
+"""Error and feature analysis (the paper's Section VII-A/B discussion).
+
+Two analyses back the paper's discussion section:
+
+* **Misclassification analysis** — Section VII-B attributes most
+  misclassified legitimate pages (>50%) to term-extraction pathologies:
+  long concatenated domain names, digit/hyphen-separated short brands,
+  abbreviations — plus parked domains and near-empty pages.  Our corpus
+  labels every legitimate page with its generation *kind*, so the same
+  attribution is computed exactly.
+* **Feature-group importance** — which of f1..f5 the trained ensemble
+  actually leans on, aggregated from split counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.detector import PhishingDetector
+from repro.core.features.extractor import FEATURE_SET_NAMES, feature_set_mask
+from repro.corpus.datasets import Dataset, LabeledPage
+
+#: Legitimate-site kinds whose domain names defeat term extraction —
+#: the paper's "term issue" population (Section VII-B).
+TERM_ISSUE_KINDS = frozenset({"longword", "hyphen", "shortbrand", "abbrev"})
+
+#: Kinds the paper separately calls out as phish-lookalikes.
+DEGENERATE_KINDS = frozenset({"parked", "minimal"})
+
+
+@dataclass
+class MisclassificationReport:
+    """Breakdown of a detector's false positives by page kind."""
+
+    total_legitimate: int
+    false_positives: list[LabeledPage] = field(default_factory=list)
+    kind_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def fp_count(self) -> int:
+        """Number of legitimate pages flagged as phishing."""
+        return len(self.false_positives)
+
+    @property
+    def fpr(self) -> float:
+        """False positive rate over the analysed dataset."""
+        if not self.total_legitimate:
+            return 0.0
+        return self.fp_count / self.total_legitimate
+
+    @property
+    def term_issue_share(self) -> float:
+        """Share of FPs caused by term-extraction pathologies."""
+        if not self.false_positives:
+            return 0.0
+        hits = sum(
+            self.kind_counts[kind] for kind in TERM_ISSUE_KINDS
+        )
+        return hits / self.fp_count
+
+    @property
+    def degenerate_share(self) -> float:
+        """Share of FPs that are parked/near-empty pages."""
+        if not self.false_positives:
+            return 0.0
+        hits = sum(self.kind_counts[kind] for kind in DEGENERATE_KINDS)
+        return hits / self.fp_count
+
+    @property
+    def hard_case_share(self) -> float:
+        """Share of FPs with *any* known-hard characteristic."""
+        return self.term_issue_share + self.degenerate_share
+
+
+def misclassified_legitimate(
+    detector: PhishingDetector,
+    dataset: Dataset,
+    features: np.ndarray | None = None,
+) -> MisclassificationReport:
+    """Classify a legitimate dataset, attribute every false positive.
+
+    ``features`` may carry a precomputed full feature matrix to avoid
+    re-extraction.
+    """
+    if any(page.label != 0 for page in dataset):
+        raise ValueError("misclassified_legitimate expects a legitimate-only dataset")
+    if features is None:
+        features = detector.extractor.extract_many(
+            page.snapshot for page in dataset
+        )
+    predictions = detector.predict(features)
+    report = MisclassificationReport(total_legitimate=len(dataset))
+    for page, flagged in zip(dataset, predictions):
+        if flagged:
+            report.false_positives.append(page)
+            report.kind_counts[page.kind] += 1
+    return report
+
+
+def missed_phish(
+    detector: PhishingDetector,
+    dataset: Dataset,
+    features: np.ndarray | None = None,
+) -> Counter:
+    """False negatives of a phishing dataset, counted by hosting mode."""
+    if any(page.label != 1 for page in dataset):
+        raise ValueError("missed_phish expects a phishing-only dataset")
+    if features is None:
+        features = detector.extractor.extract_many(
+            page.snapshot for page in dataset
+        )
+    predictions = detector.predict(features)
+    misses: Counter = Counter()
+    for page, flagged in zip(dataset, predictions):
+        if not flagged:
+            misses[page.kind] += 1
+    return misses
+
+
+def feature_group_importances(detector: PhishingDetector) -> dict[str, float]:
+    """Aggregate the ensemble's split importances per feature group.
+
+    Only meaningful for detectors trained on ``fall``; raises otherwise
+    (a masked detector's importances do not map back to groups).
+    """
+    if detector.feature_set != "fall":
+        raise ValueError(
+            "group importances require a detector trained on 'fall', "
+            f"got {detector.feature_set!r}"
+        )
+    importances = detector.model.feature_importances()
+    groups = {}
+    for name in ("f1", "f2", "f3", "f4", "f5"):
+        mask = feature_set_mask(name)
+        groups[name] = float(importances[mask].sum())
+    return groups
+
+
+def top_features(detector: PhishingDetector, count: int = 10) -> list[tuple[str, float]]:
+    """The ``count`` most-used features of a trained detector, by name."""
+    importances = detector.model.feature_importances()
+    names = np.asarray(detector.extractor.feature_names)[detector.mask]
+    order = np.argsort(-importances)[:count]
+    return [(str(names[index]), float(importances[index])) for index in order]
+
+
+def assert_valid_group(name: str) -> None:
+    """Validate a feature-set name (re-export convenience for callers)."""
+    if name not in FEATURE_SET_NAMES:
+        raise ValueError(f"unknown feature set {name!r}")

@@ -1,0 +1,73 @@
+"""Reproduction report compiler.
+
+Collects the artefacts the benchmark suite rendered into
+``benchmarks/results/`` and assembles one Markdown report — the measured
+side of EXPERIMENTS.md, regenerated from whatever the latest benchmark
+run produced.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: Section order and titles; unknown files are appended alphabetically.
+_SECTIONS: tuple[tuple[str, str], ...] = (
+    ("table5_datasets", "Table V — dataset description"),
+    ("table6_languages", "Table VI — accuracy across six languages"),
+    ("table7_feature_sets", "Table VII / Fig. 2 — accuracy per feature set"),
+    ("fig3_precision_recall", "Fig. 3 — precision vs recall per language"),
+    ("fig4_roc_languages", "Fig. 4 — ROC per language"),
+    ("fig5_roc_feature_sets", "Fig. 5 — ROC per feature set"),
+    ("fig6_scalability", "Fig. 6 — performance vs scale"),
+    ("table8_timing", "Table VIII — processing time"),
+    ("table9_target_id", "Table IX — target identification"),
+    ("table10_comparison", "Table X — baseline comparison"),
+    ("sec6d_fp_filtering", "§VI-D — false-positive filtering"),
+    ("sec7_ip_urls", "§VII-B — IP-based URLs"),
+    ("sec7_misclassification", "§VII-B — misclassified-legit attribution"),
+    ("sec7_evasion", "§VII-C — evasion techniques"),
+    ("ablation_threshold", "Ablation — discrimination threshold"),
+    ("ablation_keyterm_count", "Ablation — keyterm count N"),
+    ("ablation_hellinger_vs_jaccard", "Ablation — Hellinger vs Jaccard"),
+    ("ablation_control_partition", "Ablation — control partition"),
+    ("ext_blacklist_exposure", "Extension — blacklist-delay exposure"),
+    ("ext_model_choice", "Extension — model choice"),
+    ("ext_temporal_drift", "Extension — temporal drift"),
+)
+
+
+def compile_report(results_dir: str | Path) -> str:
+    """Assemble a Markdown report from a benchmark results directory.
+
+    Raises :class:`FileNotFoundError` when the directory does not exist
+    or holds no artefacts (run the benchmarks first).
+    """
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no results directory at {results_dir}")
+    available = {path.stem: path for path in results_dir.glob("*.txt")}
+    if not available:
+        raise FileNotFoundError(
+            f"no artefacts in {results_dir}; "
+            "run `pytest benchmarks/ --benchmark-only` first"
+        )
+
+    lines = [
+        "# Know Your Phish — measured reproduction artefacts",
+        "",
+        "Regenerated from the latest `pytest benchmarks/ --benchmark-only`",
+        "run.  Paper-vs-measured commentary lives in EXPERIMENTS.md.",
+        "",
+    ]
+    seen: set[str] = set()
+    for stem, title in _SECTIONS:
+        path = available.get(stem)
+        if path is None:
+            continue
+        seen.add(stem)
+        lines += [f"## {title}", "", "```",
+                  path.read_text().rstrip(), "```", ""]
+    for stem in sorted(set(available) - seen):
+        lines += [f"## {stem}", "", "```",
+                  available[stem].read_text().rstrip(), "```", ""]
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""ASCII rendering of experiment results (tables and curve series)."""
+
+from __future__ import annotations
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.01:
+            return f"{value:.4f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Render a list of rows as an aligned ASCII table."""
+    str_rows = [[_format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[index]) for row in str_rows))
+        if str_rows else len(header)
+        for index, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_curve(name: str, xs, ys, points: int = 8) -> str:
+    """Render a curve as a compact one-line series of (x, y) pairs."""
+    n = len(xs)
+    if n == 0:
+        return f"{name}: (empty)"
+    step = max(1, n // points)
+    indices = list(range(0, n, step))
+    if indices[-1] != n - 1:
+        indices.append(n - 1)
+    pairs = " ".join(
+        f"({xs[index]:.3f},{ys[index]:.3f})" for index in indices
+    )
+    return f"{name}: {pairs}"

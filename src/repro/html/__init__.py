@@ -1,0 +1,18 @@
+"""HTML substrate: tolerant parsing and webpage-element extraction.
+
+Provides the browser-side view of a webpage that the paper's Section II-C
+relies on: title, rendered body text, outgoing HREF links, embedded
+resource URLs (the "logged links" a browser would record while loading the
+page), input fields, images, IFrames and the copyright notice.
+"""
+
+from repro.html.dom import HtmlNode, parse_html
+from repro.html.extract import PageElements, extract_elements, find_copyright
+
+__all__ = [
+    "HtmlNode",
+    "PageElements",
+    "extract_elements",
+    "find_copyright",
+    "parse_html",
+]

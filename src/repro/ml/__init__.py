@@ -1,0 +1,36 @@
+"""Machine-learning substrate (replaces scikit-learn for this reproduction).
+
+The paper trains a Gradient Boosting classifier [Friedman 2002] over its
+212 features.  This subpackage provides a from-scratch implementation on
+numpy: regression trees as base learners, stochastic gradient boosting
+with binomial deviance loss, plus the evaluation metrics (precision,
+recall, F1, FPR, ROC/AUC, precision-recall curves) and stratified
+cross-validation used throughout Section VI.
+"""
+
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.metrics import (
+    BinaryMetrics,
+    auc,
+    binary_metrics,
+    confusion_counts,
+    precision_recall_curve,
+    roc_auc,
+    roc_curve,
+)
+from repro.ml.tree import RegressionTree
+from repro.ml.validation import stratified_kfold, train_test_split
+
+__all__ = [
+    "BinaryMetrics",
+    "GradientBoostingClassifier",
+    "RegressionTree",
+    "auc",
+    "binary_metrics",
+    "confusion_counts",
+    "precision_recall_curve",
+    "roc_auc",
+    "roc_curve",
+    "stratified_kfold",
+    "train_test_split",
+]

@@ -1,0 +1,109 @@
+"""Confidence calibration and threshold selection.
+
+The paper fixes the discrimination threshold at 0.7 to favour the
+legitimate class.  A deployment tunes that choice against a target
+false-positive budget on validation data; this module provides the
+tooling: reliability curves, expected calibration error and
+budget-driven threshold selection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def reliability_curve(
+    y_true: np.ndarray, y_score: np.ndarray, n_bins: int = 10
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bin scores and compare predicted vs observed positive rates.
+
+    Returns ``(bin_centers, observed_rate, counts)``; empty bins carry
+    ``nan`` observed rates and zero counts.
+    """
+    if n_bins < 2:
+        raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+    y_true = np.asarray(y_true).astype(float)
+    y_score = np.asarray(y_score, dtype=float)
+    if y_true.shape != y_score.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_score.shape}")
+
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    centers = (edges[:-1] + edges[1:]) / 2
+    observed = np.full(n_bins, np.nan)
+    counts = np.zeros(n_bins, dtype=int)
+    indices = np.clip(np.digitize(y_score, edges[1:-1]), 0, n_bins - 1)
+    for bin_index in range(n_bins):
+        mask = indices == bin_index
+        counts[bin_index] = int(mask.sum())
+        if counts[bin_index]:
+            observed[bin_index] = float(y_true[mask].mean())
+    return centers, observed, counts
+
+
+def expected_calibration_error(
+    y_true: np.ndarray, y_score: np.ndarray, n_bins: int = 10
+) -> float:
+    """Count-weighted mean |predicted − observed| across score bins."""
+    centers, observed, counts = reliability_curve(y_true, y_score, n_bins)
+    total = counts.sum()
+    if not total:
+        return 0.0
+    error = 0.0
+    for center, rate, count in zip(centers, observed, counts):
+        if count:
+            error += count / total * abs(center - rate)
+    return float(error)
+
+
+def threshold_for_fpr(
+    y_true: np.ndarray, y_score: np.ndarray, max_fpr: float
+) -> float:
+    """Smallest threshold whose validation FPR is <= ``max_fpr``.
+
+    Smaller thresholds mean more recall, so the returned value is the
+    most permissive one still inside the false-positive budget.  Returns
+    1.0 (block nothing... i.e. flag only certainty) when even the
+    strictest cut cannot meet the budget — with no negatives present the
+    budget is trivially met at threshold 0.
+    """
+    if not 0 <= max_fpr <= 1:
+        raise ValueError(f"max_fpr must be in [0, 1], got {max_fpr}")
+    y_true = np.asarray(y_true).astype(bool)
+    y_score = np.asarray(y_score, dtype=float)
+    negatives = np.sort(y_score[~y_true])
+    if not len(negatives):
+        return 0.0
+    # FPR at threshold t = share of negatives with score >= t.  Allow at
+    # most floor(max_fpr * n) negatives above the threshold.
+    allowed = int(np.floor(max_fpr * len(negatives)))
+    if allowed >= len(negatives):
+        return 0.0
+    # Threshold just above the (allowed+1)-th largest negative score.
+    cutoff = negatives[len(negatives) - allowed - 1]
+    threshold = float(np.nextafter(cutoff, 2.0))
+    return min(1.0, threshold)
+
+
+def threshold_for_precision(
+    y_true: np.ndarray, y_score: np.ndarray, min_precision: float
+) -> float | None:
+    """Smallest threshold whose validation precision >= ``min_precision``.
+
+    Returns ``None`` when no threshold achieves the requested precision.
+    """
+    if not 0 < min_precision <= 1:
+        raise ValueError(
+            f"min_precision must be in (0, 1], got {min_precision}"
+        )
+    y_true = np.asarray(y_true).astype(bool)
+    y_score = np.asarray(y_score, dtype=float)
+    order = np.argsort(-y_score, kind="stable")
+    sorted_true = y_true[order]
+    sorted_score = y_score[order]
+    tps = np.cumsum(sorted_true)
+    precision = tps / np.arange(1, len(sorted_true) + 1)
+    feasible = np.flatnonzero(precision >= min_precision)
+    if not len(feasible):
+        return None
+    best = feasible[-1]  # deepest cut still meeting the precision bar
+    return float(sorted_score[best])

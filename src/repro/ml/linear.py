@@ -1,0 +1,91 @@
+"""Logistic regression — the linear baseline learner.
+
+The URL-lexical baselines the paper compares against (Ma et al., Thomas
+et al.) train linear models over huge sparse bag-of-words features.  This
+is a dense mini-batch gradient-descent implementation with L2
+regularisation, sufficient for the hashed feature spaces our baselines
+use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _sigmoid(raw: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(raw, -500, 500)))
+
+
+class LogisticRegression:
+    """Binary logistic regression trained by mini-batch gradient descent.
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size of the gradient updates.
+    l2:
+        L2 regularisation strength (applied to weights, not the bias).
+    epochs:
+        Passes over the training data.
+    batch_size:
+        Mini-batch size.
+    random_state:
+        Seed for data shuffling.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        l2: float = 1e-4,
+        epochs: int = 30,
+        batch_size: int = 64,
+        random_state: int | None = 0,
+    ):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.random_state = random_state
+        self.weights: np.ndarray | None = None
+        self.bias = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        """Fit on features ``X`` and binary labels ``y``."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError(
+                f"bad shapes: X {X.shape}, y {y.shape}"
+            )
+        rng = np.random.default_rng(self.random_state)
+        n, d = X.shape
+        self.weights = np.zeros(d)
+        self.bias = 0.0
+
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                rows = order[start:start + self.batch_size]
+                batch_x = X[rows]
+                error = _sigmoid(batch_x @ self.weights + self.bias) - y[rows]
+                gradient = batch_x.T @ error / len(rows)
+                self.weights -= self.learning_rate * (
+                    gradient + self.l2 * self.weights
+                )
+                self.bias -= self.learning_rate * float(error.mean())
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Positive-class probability for each row of ``X``."""
+        if self.weights is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return _sigmoid(X @ self.weights + self.bias)
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard labels at ``threshold``."""
+        return (self.predict_proba(X) >= threshold).astype(np.int64)

@@ -1,0 +1,174 @@
+"""Binary classification metrics used throughout the paper's Section VI.
+
+The evaluation reports precision, recall, F1-score, false positive rate
+and AUC per language (Table VI), per feature set (Table VII), ROC curves
+(Figs. 4, 5), precision-recall curves (Fig. 3) and accuracy (Table X).
+All functions take the phishing class as positive (label 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """A row of the paper's accuracy tables."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+    precision: float
+    recall: float
+    f1: float
+    fpr: float
+    accuracy: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Dictionary view, handy for table rendering."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "fpr": self.fpr,
+            "accuracy": self.accuracy,
+        }
+
+
+def confusion_counts(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> tuple[int, int, int, int]:
+    """Return ``(tp, fp, tn, fn)`` with phishing (1) as the positive class."""
+    y_true = np.asarray(y_true).astype(bool)
+    y_pred = np.asarray(y_pred).astype(bool)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    tp = int(np.sum(y_true & y_pred))
+    fp = int(np.sum(~y_true & y_pred))
+    tn = int(np.sum(~y_true & ~y_pred))
+    fn = int(np.sum(y_true & ~y_pred))
+    return tp, fp, tn, fn
+
+
+def binary_metrics(y_true: np.ndarray, y_pred: np.ndarray) -> BinaryMetrics:
+    """Compute the full metric row for hard predictions.
+
+    Degenerate denominators (no predicted positives, no actual positives,
+    no actual negatives) yield 0.0 for the affected metric.
+    """
+    tp, fp, tn, fn = confusion_counts(y_true, y_pred)
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    fpr = fp / (fp + tn) if fp + tn else 0.0
+    total = tp + fp + tn + fn
+    accuracy = (tp + tn) / total if total else 0.0
+    return BinaryMetrics(
+        tp=tp, fp=fp, tn=tn, fn=fn,
+        precision=precision, recall=recall, f1=f1, fpr=fpr, accuracy=accuracy,
+    )
+
+
+def roc_curve(
+    y_true: np.ndarray, y_score: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve: ``(fpr, tpr, thresholds)`` ordered by decreasing threshold.
+
+    Matches the usual construction: one point per distinct score, plus the
+    (0, 0) origin with an infinite threshold.
+    """
+    y_true = np.asarray(y_true).astype(bool)
+    y_score = np.asarray(y_score, dtype=np.float64)
+    if y_true.shape != y_score.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_score.shape}")
+
+    order = np.argsort(-y_score, kind="stable")
+    sorted_true = y_true[order]
+    sorted_score = y_score[order]
+
+    # Indices where the score changes — curve vertices.
+    distinct = np.flatnonzero(np.diff(sorted_score)) if len(sorted_score) else []
+    vertex_idx = np.r_[distinct, len(sorted_true) - 1] if len(sorted_true) else []
+
+    tps = np.cumsum(sorted_true)[vertex_idx] if len(sorted_true) else np.array([])
+    fps = (1 + np.asarray(vertex_idx)) - tps if len(sorted_true) else np.array([])
+
+    n_pos = int(y_true.sum())
+    n_neg = len(y_true) - n_pos
+    tpr = tps / n_pos if n_pos else np.zeros_like(tps, dtype=float)
+    fpr = fps / n_neg if n_neg else np.zeros_like(fps, dtype=float)
+
+    thresholds = sorted_score[vertex_idx] if len(sorted_true) else np.array([])
+    fpr = np.r_[0.0, fpr]
+    tpr = np.r_[0.0, tpr]
+    thresholds = np.r_[np.inf, thresholds]
+    return fpr, tpr, thresholds
+
+
+def auc(x: np.ndarray, y: np.ndarray) -> float:
+    """Area under a curve by the trapezoidal rule (x need not be sorted)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if len(x) < 2:
+        return 0.0
+    order = np.argsort(x, kind="stable")
+    return float(np.trapezoid(y[order], x[order]))
+
+
+def roc_auc(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the ROC curve."""
+    fpr, tpr, _ = roc_curve(y_true, y_score)
+    return auc(fpr, tpr)
+
+
+def precision_recall_curve(
+    y_true: np.ndarray, y_score: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision-recall curve: ``(precision, recall, thresholds)``.
+
+    One point per distinct score threshold, ordered by decreasing
+    threshold (recall increases along the arrays).
+    """
+    y_true = np.asarray(y_true).astype(bool)
+    y_score = np.asarray(y_score, dtype=np.float64)
+    if y_true.shape != y_score.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_score.shape}")
+
+    order = np.argsort(-y_score, kind="stable")
+    sorted_true = y_true[order]
+    sorted_score = y_score[order]
+
+    distinct = np.flatnonzero(np.diff(sorted_score)) if len(sorted_score) else []
+    vertex_idx = np.r_[distinct, len(sorted_true) - 1] if len(sorted_true) else []
+
+    tps = np.cumsum(sorted_true)[vertex_idx] if len(sorted_true) else np.array([])
+    predicted_pos = 1 + np.asarray(vertex_idx) if len(sorted_true) else np.array([])
+
+    n_pos = int(y_true.sum())
+    precision = np.divide(
+        tps, predicted_pos, out=np.zeros_like(tps, dtype=float),
+        where=np.asarray(predicted_pos) > 0,
+    )
+    recall = tps / n_pos if n_pos else np.zeros_like(tps, dtype=float)
+    thresholds = sorted_score[vertex_idx] if len(sorted_true) else np.array([])
+    return precision, recall, thresholds
+
+
+def recall_at_precision(
+    y_true: np.ndarray, y_score: np.ndarray, min_precision: float
+) -> float:
+    """Best recall achievable while keeping precision >= ``min_precision``.
+
+    The paper's usability criterion (Section VI-C1): a model is usable
+    when it keeps significant recall at precision 0.9-0.95.
+    """
+    precision, recall, _ = precision_recall_curve(y_true, y_score)
+    feasible = recall[precision >= min_precision]
+    return float(feasible.max()) if len(feasible) else 0.0

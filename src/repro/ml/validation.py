@@ -1,0 +1,127 @@
+"""Cross-validation and splitting utilities (scenario1 of the paper).
+
+Scenario1 in Section VI-C is a 5-fold cross-validation on the training
+corpora; scenario2 trains on the oldest data and predicts on newer test
+sets.  This module provides the stratified splitting both need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+import numpy as np
+
+from repro.ml.metrics import BinaryMetrics, binary_metrics, roc_auc
+
+
+def stratified_kfold(
+    y: np.ndarray,
+    n_splits: int = 5,
+    random_state: int | None = None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(train_idx, test_idx)`` pairs with per-class balance.
+
+    Each class's indices are shuffled and dealt round-robin into folds, so
+    every fold keeps approximately the global class ratio.
+    """
+    y = np.asarray(y)
+    if n_splits < 2:
+        raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+    class_counts = [int(np.sum(y == cls)) for cls in np.unique(y)]
+    if min(class_counts) < n_splits:
+        raise ValueError(
+            f"smallest class has {min(class_counts)} samples, "
+            f"cannot make {n_splits} stratified folds"
+        )
+    rng = np.random.default_rng(random_state)
+    folds: list[list[int]] = [[] for _ in range(n_splits)]
+    for cls in np.unique(y):
+        indices = np.flatnonzero(y == cls)
+        rng.shuffle(indices)
+        for position, index in enumerate(indices):
+            folds[position % n_splits].append(int(index))
+
+    all_indices = np.arange(len(y))
+    for fold in folds:
+        test_idx = np.asarray(sorted(fold), dtype=np.int64)
+        train_mask = np.ones(len(y), dtype=bool)
+        train_mask[test_idx] = False
+        yield all_indices[train_mask], test_idx
+
+
+def train_test_split(
+    n_samples: int,
+    test_fraction: float = 0.25,
+    random_state: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random index split into ``(train_idx, test_idx)``."""
+    if not 0 < test_fraction < 1:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(random_state)
+    permutation = rng.permutation(n_samples)
+    test_size = max(1, int(round(test_fraction * n_samples)))
+    return (
+        np.sort(permutation[test_size:]),
+        np.sort(permutation[:test_size]),
+    )
+
+
+def cross_validate(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 5,
+    threshold: float = 0.5,
+    random_state: int | None = None,
+) -> dict[str, float]:
+    """Run stratified k-fold CV, return pooled metrics plus mean AUC.
+
+    ``model_factory`` must build a fresh estimator exposing
+    ``fit(X, y)`` / ``predict_proba(X)``.  Predictions of all folds are
+    pooled before computing the metric row (so counts match a single pass
+    over the data), while AUC is averaged across folds.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    pooled_true: list[np.ndarray] = []
+    pooled_pred: list[np.ndarray] = []
+    aucs: list[float] = []
+
+    for train_idx, test_idx in stratified_kfold(
+        y, n_splits=n_splits, random_state=random_state
+    ):
+        model = model_factory()
+        model.fit(X[train_idx], y[train_idx])
+        scores = model.predict_proba(X[test_idx])
+        pooled_true.append(y[test_idx])
+        pooled_pred.append((scores >= threshold).astype(np.int64))
+        aucs.append(roc_auc(y[test_idx], scores))
+
+    metrics: BinaryMetrics = binary_metrics(
+        np.concatenate(pooled_true), np.concatenate(pooled_pred)
+    )
+    result = metrics.as_dict()
+    result["auc"] = float(np.mean(aucs))
+    return result
+
+
+def cross_validate_scores(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 5,
+    random_state: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pooled out-of-fold ``(y_true, y_score)`` for curve plotting (Fig. 5)."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    trues: list[np.ndarray] = []
+    scores: list[np.ndarray] = []
+    for train_idx, test_idx in stratified_kfold(
+        y, n_splits=n_splits, random_state=random_state
+    ):
+        model = model_factory()
+        model.fit(X[train_idx], y[train_idx])
+        trues.append(y[test_idx])
+        scores.append(model.predict_proba(X[test_idx]))
+    return np.concatenate(trues), np.concatenate(scores)

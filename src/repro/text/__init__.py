@@ -1,0 +1,23 @@
+"""Text substrate: term extraction and term-distribution machinery.
+
+Implements Section III-B of the paper: canonicalisation of characters to
+the 26 lowercase English letters, splitting into terms of length >= 3, and
+probability distributions over terms compared with the Hellinger distance.
+"""
+
+from repro.text.distributions import TermDistribution, hellinger_distance
+from repro.text.terms import (
+    MIN_TERM_LENGTH,
+    canonicalize,
+    extract_terms,
+    term_counts,
+)
+
+__all__ = [
+    "MIN_TERM_LENGTH",
+    "TermDistribution",
+    "canonicalize",
+    "extract_terms",
+    "hellinger_distance",
+    "term_counts",
+]

@@ -1,0 +1,22 @@
+"""URL substrate: parsing, public-suffix resolution and popularity ranking.
+
+This subpackage implements the URL structure model of Section II-B of the
+paper (Fig. 1): a URL decomposes into a protocol, a fully qualified domain
+name (FQDN), a registered domain name (RDN) made of a main level domain
+(mld) and a public suffix (ps), plus the phisher-controlled *FreeURL*
+components (subdomains, path and query).
+"""
+
+from repro.urls.alexa import AlexaRanking, DEFAULT_UNRANKED
+from repro.urls.parsing import ParsedUrl, UrlParseError, parse_url
+from repro.urls.public_suffix import PublicSuffixList, default_psl
+
+__all__ = [
+    "AlexaRanking",
+    "DEFAULT_UNRANKED",
+    "ParsedUrl",
+    "PublicSuffixList",
+    "UrlParseError",
+    "default_psl",
+    "parse_url",
+]

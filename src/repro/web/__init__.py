@@ -1,0 +1,36 @@
+"""Web substrate: the simulated web the experiments run against.
+
+The paper's scraper is a monitored Firefox instance visiting the live
+web.  Offline, this subpackage provides the same observable surface:
+
+* :class:`~repro.web.hosting.SyntheticWeb` — a registry of hosted pages
+  with redirection chains (the "web");
+* :class:`~repro.web.browser.Browser` — loads a starting URL, follows
+  redirects, parses the HTML and records the resource loads, producing a
+  :class:`~repro.web.page.PageSnapshot` with exactly the data sources of
+  Section II-C;
+* :class:`~repro.web.ocr.SimulatedOcr` — noisy text recovery from
+  screenshots (the ``D_image`` / OCR-prominent-terms source);
+* :class:`~repro.web.search.SearchEngine` — an inverted-index search
+  engine over legitimate pages, standing in for the search-engine queries
+  of the target identification process (Section V-B).
+"""
+
+from repro.web.browser import Browser, PageNotFound, RedirectLoopError
+from repro.web.hosting import HostedPage, SyntheticWeb
+from repro.web.ocr import SimulatedOcr
+from repro.web.page import PageSnapshot, Screenshot
+from repro.web.search import SearchEngine, SearchResult
+
+__all__ = [
+    "Browser",
+    "HostedPage",
+    "PageNotFound",
+    "PageSnapshot",
+    "RedirectLoopError",
+    "Screenshot",
+    "SearchEngine",
+    "SearchResult",
+    "SimulatedOcr",
+    "SyntheticWeb",
+]

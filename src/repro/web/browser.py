@@ -1,0 +1,97 @@
+"""The simulated browser/scraper.
+
+Reproduces the observable behaviour of the paper's monitored Firefox
+(Selenium) scraper: given a starting URL it follows HTTP redirects,
+records the redirection chain, parses the landing page, logs every
+embedded-resource fetch (including resources of inlined IFrames) and
+captures a screenshot — returning a :class:`PageSnapshot`.
+"""
+
+from __future__ import annotations
+
+from repro.web.hosting import SyntheticWeb
+from repro.web.page import PageSnapshot, Screenshot
+
+
+class PageNotFound(LookupError):
+    """Raised when a URL resolves to nothing on the synthetic web."""
+
+
+class RedirectLoopError(RuntimeError):
+    """Raised when a redirection chain exceeds the hop limit."""
+
+
+class Browser:
+    """Loads URLs from a :class:`SyntheticWeb` into page snapshots.
+
+    Parameters
+    ----------
+    web:
+        The synthetic web to browse.
+    max_redirects:
+        Maximum redirect hops before declaring a loop (default 10,
+        mirroring typical browser limits).
+    """
+
+    def __init__(self, web: SyntheticWeb, max_redirects: int = 10):
+        self.web = web
+        self.max_redirects = max_redirects
+
+    def load(self, starting_url: str) -> PageSnapshot:
+        """Visit ``starting_url`` and return the scraped snapshot.
+
+        Raises :class:`PageNotFound` for unknown URLs and
+        :class:`RedirectLoopError` for over-long redirect chains.
+        """
+        chain = [starting_url]
+        current = self.web.get(starting_url)
+        if current is None:
+            raise PageNotFound(starting_url)
+
+        hops = 0
+        while current.is_redirect:
+            hops += 1
+            if hops > self.max_redirects:
+                raise RedirectLoopError(
+                    f"more than {self.max_redirects} redirects from {starting_url}"
+                )
+            chain.append(current.redirect_to)
+            nxt = self.web.get(current.redirect_to)
+            if nxt is None:
+                raise PageNotFound(current.redirect_to)
+            current = nxt
+
+        snapshot = PageSnapshot(
+            starting_url=starting_url,
+            landing_url=current.url,
+            redirection_chain=chain if chain[-1] == current.url else chain + [current.url],
+            html=current.html,
+            screenshot=current.screenshot or Screenshot(),
+        )
+        snapshot.logged_links = self._log_resources(snapshot)
+        return snapshot
+
+    def _log_resources(self, snapshot: PageSnapshot) -> list[str]:
+        """Resource URLs the browser fetches while rendering the page.
+
+        Includes the landing page's embedded resources and, for IFrames
+        pointing at hosted pages, the framed pages' resources too (a real
+        browser logs those loads as well).
+        """
+        logged: list[str] = list(snapshot.elements.resource_links)
+        for frame_url in snapshot.elements.iframe_links:
+            framed = self.web.get(frame_url)
+            if framed is None or framed.is_redirect:
+                continue
+            framed_snapshot = PageSnapshot(
+                starting_url=frame_url, landing_url=frame_url, html=framed.html
+            )
+            logged.extend(framed_snapshot.elements.resource_links)
+        return logged
+
+    def try_load(self, starting_url: str) -> PageSnapshot | None:
+        """Like :meth:`load` but returns ``None`` on any navigation failure."""
+        try:
+            return self.load(starting_url)
+        except (PageNotFound, RedirectLoopError):
+            return None

@@ -1,0 +1,101 @@
+"""The synthetic web: a registry of hosted pages and redirections.
+
+Stands in for the live web the paper's scraper visited.  Each
+:class:`HostedPage` is either a content page (HTML plus an optional
+screenshot description) or a redirect hop.  The :class:`SyntheticWeb`
+resolves URLs with light normalisation (scheme-sensitive, fragment
+stripped, ``/`` path equivalent to empty path) so generated links and
+registered pages line up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.web.page import Screenshot
+
+
+def normalize_url(url: str) -> str:
+    """Canonical key for URL lookup: strip fragment and trailing slash-only path."""
+    url = url.strip()
+    if "#" in url:
+        url = url.split("#", 1)[0]
+    if url.endswith("/") and url.count("/") == 3:  # e.g. http://host/
+        url = url[:-1]
+    return url
+
+
+@dataclass
+class HostedPage:
+    """One URL hosted on the synthetic web.
+
+    Exactly one of ``redirect_to`` / ``html`` is meaningful: a redirect
+    hop forwards the browser, a content page serves HTML and a screenshot.
+    """
+
+    url: str
+    html: str = ""
+    screenshot: Screenshot = field(default_factory=Screenshot)
+    redirect_to: str | None = None
+
+    @property
+    def is_redirect(self) -> bool:
+        """True for a redirect hop, False for a content page."""
+        return self.redirect_to is not None
+
+
+class SyntheticWeb:
+    """A registry of :class:`HostedPage` objects addressable by URL."""
+
+    def __init__(self):
+        self._pages: dict[str, HostedPage] = {}
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, url: str) -> bool:
+        return normalize_url(url) in self._pages
+
+    def add_page(self, page: HostedPage, overwrite: bool = False) -> None:
+        """Register a page; refuses to clobber an existing URL by default."""
+        key = normalize_url(page.url)
+        if not overwrite and key in self._pages:
+            raise ValueError(f"URL already hosted: {page.url}")
+        self._pages[key] = page
+
+    def host(
+        self,
+        url: str,
+        html: str,
+        screenshot: Screenshot | None = None,
+        overwrite: bool = False,
+    ) -> HostedPage:
+        """Convenience: host a content page and return it."""
+        page = HostedPage(
+            url=url, html=html, screenshot=screenshot or Screenshot()
+        )
+        self.add_page(page, overwrite=overwrite)
+        return page
+
+    def redirect(self, url: str, target: str, overwrite: bool = False) -> HostedPage:
+        """Convenience: host a redirect hop ``url -> target``."""
+        page = HostedPage(url=url, redirect_to=target)
+        self.add_page(page, overwrite=overwrite)
+        return page
+
+    def get(self, url: str) -> HostedPage | None:
+        """Resolve a URL to its hosted page, or ``None``."""
+        return self._pages.get(normalize_url(url))
+
+    def urls(self) -> list[str]:
+        """All hosted URLs (normalised form)."""
+        return list(self._pages)
+
+    def content_pages(self):
+        """Iterate over non-redirect pages."""
+        return (page for page in self._pages.values() if not page.is_redirect)
+
+    def merge(self, other: "SyntheticWeb") -> None:
+        """Add every page of ``other`` into this web (no overwrites)."""
+        for page in other._pages.values():
+            self.add_page(page)

@@ -1,0 +1,137 @@
+"""A simulated search engine over the legitimate portion of the web.
+
+The target identification process (Section V-B) queries a search engine
+with keyterms and inspects the registered domains (RDNs) of the top hits.
+It rests on the paper's assumption that *a search engine does not return
+phishing sites as top hits*: fresh phish are not yet indexed and old
+phish are already blacklisted.  Our :class:`SearchEngine` enforces this
+by indexing only the legitimate websites of the synthetic web.
+
+Ranking is classic TF-IDF with document-length normalisation; results
+are deduplicated by RDN, so the engine returns at most one hit per
+registered domain — what matters to the identification steps.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.text.terms import extract_terms
+from repro.urls.parsing import UrlParseError, parse_url
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One search hit."""
+
+    url: str
+    rdn: str
+    mld: str
+    score: float
+
+
+class SearchEngine:
+    """An inverted-index, TF-IDF-ranked search engine.
+
+    Documents are added with :meth:`index_page`; each document is the
+    textual content of one page, keyed by its URL.  Domain terms (mld,
+    subdomains) are indexed too with a boost — like real engines, domain
+    matches rank highly.
+    """
+
+    DOMAIN_BOOST = 3.0
+
+    def __init__(self):
+        self._postings: dict[str, dict[int, float]] = defaultdict(dict)
+        self._doc_urls: list[str] = []
+        self._doc_rdns: list[str] = []
+        self._doc_mlds: list[str] = []
+        self._doc_lengths: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._doc_urls)
+
+    # ------------------------------------------------------------------
+    def index_page(self, url: str, content: str) -> None:
+        """Add one page to the index.
+
+        ``content`` should be the searchable text (title + body text).
+        Pages with unparsable URLs or no registered domain are skipped —
+        a real engine would not index a bare IP host highly anyway.
+        """
+        try:
+            parsed = parse_url(url)
+        except UrlParseError:
+            return
+        if not parsed.rdn or not parsed.mld:
+            return
+
+        doc_id = len(self._doc_urls)
+        counts = Counter(extract_terms(content))
+        for term in extract_terms(parsed.mld) + extract_terms(parsed.subdomains):
+            counts[term] += self.DOMAIN_BOOST
+        # Whole-mld token so exact domain queries hit hard.
+        counts[parsed.mld] += self.DOMAIN_BOOST
+
+        if not counts:
+            return
+        self._doc_urls.append(url)
+        self._doc_rdns.append(parsed.rdn)
+        self._doc_mlds.append(parsed.mld)
+        self._doc_lengths.append(
+            math.sqrt(sum(count * count for count in counts.values()))
+        )
+        for term, count in counts.items():
+            self._postings[term][doc_id] = count
+
+    # ------------------------------------------------------------------
+    def query(self, terms, top_k: int = 10) -> list[SearchResult]:
+        """Run a keyterm query, returning at most ``top_k`` results.
+
+        ``terms`` is an iterable of already-extracted terms (a keyterms
+        list).  Results are ranked by TF-IDF cosine-ish score and
+        deduplicated by RDN.
+        """
+        terms = [term.lower() for term in terms if term]
+        if not terms or not self._doc_urls:
+            return []
+        n_docs = len(self._doc_urls)
+        scores: dict[int, float] = defaultdict(float)
+        # Sorted iteration keeps score summation order hash-seed-free.
+        for term in sorted(set(terms)):
+            postings = self._postings.get(term)
+            if not postings:
+                continue
+            idf = math.log(1 + n_docs / len(postings))
+            for doc_id, tf in postings.items():
+                scores[doc_id] += tf * idf / self._doc_lengths[doc_id]
+
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        results: list[SearchResult] = []
+        seen_rdns: set[str] = set()
+        for doc_id, score in ranked:
+            rdn = self._doc_rdns[doc_id]
+            if rdn in seen_rdns:
+                continue
+            seen_rdns.add(rdn)
+            results.append(
+                SearchResult(
+                    url=self._doc_urls[doc_id],
+                    rdn=rdn,
+                    mld=self._doc_mlds[doc_id],
+                    score=score,
+                )
+            )
+            if len(results) >= top_k:
+                break
+        return results
+
+    def result_rdns(self, terms, top_k: int = 10) -> set[str]:
+        """Convenience: the set of RDNs returned for a query."""
+        return {result.rdn for result in self.query(terms, top_k=top_k)}
+
+    def result_mlds(self, terms, top_k: int = 10) -> set[str]:
+        """Convenience: the set of mlds returned for a query."""
+        return {result.mld for result in self.query(terms, top_k=top_k)}

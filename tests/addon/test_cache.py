@@ -1,0 +1,72 @@
+"""Tests for the add-on verdict cache."""
+
+import pytest
+
+from repro.addon.cache import VerdictCache
+from repro.core.pipeline import PageVerdict
+
+
+def verdict(kind="legitimate"):
+    return PageVerdict(verdict=kind, confidence=0.5, targets=[])
+
+
+class TestVerdictCache:
+    def test_put_get(self):
+        cache = VerdictCache()
+        cache.put("http://a.com/", verdict(), now=0.0)
+        assert cache.get("http://a.com/", now=10.0) is not None
+
+    def test_miss(self):
+        cache = VerdictCache()
+        assert cache.get("http://a.com/", now=0.0) is None
+        assert cache.misses == 1
+
+    def test_ttl_expiry(self):
+        cache = VerdictCache(ttl=100.0)
+        cache.put("http://a.com/", verdict(), now=0.0)
+        assert cache.get("http://a.com/", now=50.0) is not None
+        assert cache.get("http://a.com/", now=101.0) is None
+        assert len(cache) == 0  # expired entry removed
+
+    def test_lru_eviction(self):
+        cache = VerdictCache(max_entries=2)
+        cache.put("http://1.com/", verdict(), now=0)
+        cache.put("http://2.com/", verdict(), now=1)
+        cache.get("http://1.com/", now=2)        # touch 1 -> 2 is LRU
+        cache.put("http://3.com/", verdict(), now=3)
+        assert cache.get("http://1.com/", now=4) is not None
+        assert cache.get("http://2.com/", now=4) is None
+
+    def test_put_refreshes_existing(self):
+        cache = VerdictCache(ttl=100)
+        cache.put("http://a.com/", verdict("legitimate"), now=0)
+        cache.put("http://a.com/", verdict("phish"), now=90)
+        result = cache.get("http://a.com/", now=150)
+        assert result is not None and result.verdict == "phish"
+
+    def test_invalidate(self):
+        cache = VerdictCache()
+        cache.put("http://a.com/", verdict(), now=0)
+        assert cache.invalidate("http://a.com/")
+        assert not cache.invalidate("http://a.com/")
+
+    def test_clear_keeps_counters(self):
+        cache = VerdictCache()
+        cache.put("http://a.com/", verdict(), now=0)
+        cache.get("http://a.com/", now=1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_hit_rate(self):
+        cache = VerdictCache()
+        cache.put("http://a.com/", verdict(), now=0)
+        cache.get("http://a.com/", now=1)
+        cache.get("http://b.com/", now=1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VerdictCache(max_entries=0)
+        with pytest.raises(ValueError):
+            VerdictCache(ttl=0)

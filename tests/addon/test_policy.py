@@ -1,0 +1,81 @@
+"""Tests for the add-on warning policy."""
+
+from repro.addon.policy import Action, WarningPolicy
+from repro.core.pipeline import PageVerdict
+
+
+def verdict(kind):
+    return PageVerdict(verdict=kind, confidence=0.9, targets=[])
+
+
+class TestDecisions:
+    def test_legitimate_allowed(self):
+        policy = WarningPolicy()
+        assert policy.decide("http://a.com/", verdict("legitimate")) is Action.ALLOW
+
+    def test_phish_blocked_by_default(self):
+        policy = WarningPolicy()
+        assert policy.decide("http://a.com/", verdict("phish")) is Action.BLOCK
+
+    def test_phish_warn_when_configured(self):
+        policy = WarningPolicy(block_confirmed_phish=False)
+        assert policy.decide("http://a.com/", verdict("phish")) is Action.WARN
+
+    def test_suspicious_warns_by_default(self):
+        policy = WarningPolicy()
+        assert policy.decide("http://a.com/", verdict("suspicious")) is Action.WARN
+
+    def test_suspicious_allowed_when_lenient(self):
+        policy = WarningPolicy(warn_on_suspicious=False)
+        assert policy.decide("http://a.com/", verdict("suspicious")) is Action.ALLOW
+
+
+class TestTrust:
+    def test_trusted_domain_always_allowed(self):
+        policy = WarningPolicy()
+        policy.trust_domain("mybank.com")
+        assert policy.decide(
+            "https://www.mybank.com/login", verdict("phish")
+        ) is Action.ALLOW
+
+    def test_trust_is_rdn_scoped(self):
+        policy = WarningPolicy()
+        policy.trust_domain("mybank.com")
+        # A different RDN with mybank in the subdomain is NOT trusted.
+        assert policy.decide(
+            "http://mybank.com.evil.xyz/login", verdict("phish")
+        ) is Action.BLOCK
+
+    def test_revoke_trust(self):
+        policy = WarningPolicy()
+        policy.trust_domain("a.com")
+        assert policy.revoke_trust("a.com")
+        assert not policy.revoke_trust("a.com")
+        assert policy.decide("http://a.com/", verdict("phish")) is Action.BLOCK
+
+    def test_trust_case_insensitive(self):
+        policy = WarningPolicy()
+        policy.trust_domain("MyBank.COM")
+        assert policy.is_trusted("https://mybank.com/")
+
+    def test_unparsable_url_not_trusted(self):
+        assert not WarningPolicy().is_trusted(":::")
+
+
+class TestOverrides:
+    def test_override_allows_exact_url(self):
+        policy = WarningPolicy()
+        policy.record_override("http://a.com/page")
+        assert policy.decide(
+            "http://a.com/page", verdict("suspicious")
+        ) is Action.ALLOW
+        # Other URLs on the same host still warn.
+        assert policy.decide(
+            "http://a.com/other", verdict("suspicious")
+        ) is Action.WARN
+
+    def test_session_reset_clears_overrides(self):
+        policy = WarningPolicy()
+        policy.record_override("http://a.com/")
+        policy.reset_session()
+        assert not policy.was_overridden("http://a.com/")

@@ -1,0 +1,122 @@
+"""Tests for the Table X baseline re-implementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BagOfWordsClassifier,
+    CantinaClassifier,
+    UrlLexicalClassifier,
+)
+from repro.ml.metrics import binary_metrics, roc_auc
+
+
+@pytest.fixture(scope="module")
+def split(tiny_world):
+    train = tiny_world.dataset("legTrain") + tiny_world.dataset("phishTrain")
+    test = (
+        tiny_world.dataset("english").subset(range(100))
+        + tiny_world.dataset("phishTest")
+    )
+    return train, test
+
+
+class TestCantina:
+    def test_better_than_chance(self, tiny_world, split):
+        train, test = split
+        cantina = CantinaClassifier(tiny_world.search)
+        cantina.fit_idf(
+            page.snapshot for page in tiny_world.dataset("legTrain")
+        )
+        predictions = cantina.predict_snapshots(
+            [page.snapshot for page in test]
+        )
+        metrics = binary_metrics(test.labels(), predictions)
+        assert metrics.recall > 0.5
+        assert metrics.accuracy > 0.6
+
+    def test_signature_ranks_repeated_terms(self, tiny_world):
+        cantina = CantinaClassifier(tiny_world.search)
+        cantina.fit_idf(
+            page.snapshot for page in tiny_world.dataset("legTrain")[:50]
+        )
+        page = tiny_world.dataset("english")[0]
+        signature = cantina.signature(page.snapshot)
+        assert len(signature) <= 5
+
+    def test_contentless_page_flagged(self, tiny_world):
+        from repro.web.page import PageSnapshot
+        cantina = CantinaClassifier(tiny_world.search)
+        snapshot = PageSnapshot(
+            starting_url="http://e.com/", landing_url="http://e.com/", html=""
+        )
+        assert cantina.classify_snapshot(snapshot) is True
+
+
+class TestUrlLexical:
+    def test_learns_url_patterns(self, split):
+        train, test = split
+        model = UrlLexicalClassifier(epochs=30)
+        model.fit_snapshots([p.snapshot for p in train], train.labels())
+        scores = model.predict_proba_snapshots([p.snapshot for p in test])
+        assert roc_auc(test.labels(), scores) > 0.8
+
+    def test_featurize_width(self):
+        model = UrlLexicalClassifier(n_hash_features=64)
+        vector = model.featurize_url("http://example.com/path?q=1")
+        assert vector.shape == (68,)
+
+    def test_ip_flag(self):
+        model = UrlLexicalClassifier(n_hash_features=64)
+        assert model.featurize_url("http://1.2.3.4/x")[-1] == 1.0
+        assert model.featurize_url("http://a.com/x")[-1] == 0.0
+
+    def test_unparsable_url(self):
+        model = UrlLexicalClassifier(n_hash_features=64)
+        vector = model.featurize_url(":::not a url:::")
+        assert vector.shape == (68,)
+
+    def test_predict_hard_labels(self, split):
+        train, test = split
+        model = UrlLexicalClassifier(epochs=10)
+        model.fit_snapshots([p.snapshot for p in train], train.labels())
+        predictions = model.predict_snapshots([p.snapshot for p in test][:5])
+        assert set(predictions.tolist()) <= {0, 1}
+
+
+class TestBagOfWords:
+    def test_learns_content_patterns(self, split):
+        train, test = split
+        model = BagOfWordsClassifier(n_estimators=30)
+        model.fit_snapshots([p.snapshot for p in train], train.labels())
+        scores = model.predict_proba_snapshots([p.snapshot for p in test])
+        assert roc_auc(test.labels(), scores) > 0.8
+
+    def test_featurize_counts_terms(self, tiny_world):
+        model = BagOfWordsClassifier(n_hash_features=128)
+        page = tiny_world.dataset("english")[0]
+        vector = model.featurize_snapshot(page.snapshot)
+        assert vector.sum() > 0
+
+    def test_brand_dependence_weakness(self, tiny_world):
+        """The paper's adaptability argument: bag-of-words degrades on
+        brands absent from training more than our feature set does."""
+        train = tiny_world.dataset("legTrain") + tiny_world.dataset("phishTrain")
+        train_targets = {
+            page.target_mld for page in tiny_world.dataset("phishTrain")
+        }
+        unseen = [
+            page for page in tiny_world.dataset("phishTest")
+            if page.target_mld and page.target_mld not in train_targets
+        ]
+        if len(unseen) < 5:
+            pytest.skip("not enough unseen-brand phish in tiny world")
+        model = BagOfWordsClassifier(n_estimators=30)
+        model.fit_snapshots([p.snapshot for p in train], train.labels())
+        scores = model.predict_proba_snapshots([p.snapshot for p in unseen])
+        # Sanity only at tiny-world scale: the baseline must at least
+        # produce usable scores on unseen brands.  The *directional*
+        # brand-dependence comparison (baseline degrades more than our
+        # feature set) is measured at full scale in the Table X benchmark.
+        assert 0.0 <= scores.mean() <= 1.0
+        assert len(scores) == len(unseen)

@@ -1,0 +1,41 @@
+"""Shared fixtures: a tiny synthetic world reused across test modules."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.brands import default_brands
+from repro.corpus.datasets import CorpusConfig, build_world
+from repro.corpus.legitimate import LegitimateSiteGenerator
+from repro.corpus.phishing import PhishingSiteGenerator
+from repro.web.browser import Browser
+from repro.web.hosting import SyntheticWeb
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """A small but complete world: every dataset, fast to build."""
+    config = CorpusConfig(
+        leg_train=80, phish_train=40, phish_test=40, phish_brand=30,
+        english_test=150, other_language_test=40, seed=5,
+    )
+    return build_world(config)
+
+
+@pytest.fixture()
+def fresh_web():
+    """An empty synthetic web with a browser."""
+    web = SyntheticWeb()
+    return web, Browser(web)
+
+
+@pytest.fixture()
+def site_generators(fresh_web):
+    """Legitimate and phishing generators over a fresh web."""
+    web, browser = fresh_web
+    rng = np.random.default_rng(42)
+    brands = default_brands()
+    legit = LegitimateSiteGenerator(web, rng)
+    for brand in list(brands)[:8]:
+        legit.generate_brand_site(brand)
+    phish = PhishingSiteGenerator(web, rng, brands)
+    return web, browser, legit, phish

@@ -1,0 +1,84 @@
+"""Tests for the combined detection + target-identification pipeline."""
+
+import pytest
+
+from repro.core.detector import PhishingDetector
+from repro.core.features import FeatureExtractor
+from repro.core.pipeline import KnowYourPhish, PageVerdict
+from repro.core.target import TargetIdentifier
+from repro.web.ocr import SimulatedOcr
+
+
+@pytest.fixture(scope="module")
+def pipeline(tiny_world):
+    extractor = FeatureExtractor(alexa=tiny_world.alexa)
+    train = tiny_world.dataset("legTrain") + tiny_world.dataset("phishTrain")
+    detector = PhishingDetector(extractor, n_estimators=40)
+    detector.fit_snapshots([page.snapshot for page in train], train.labels())
+    identifier = TargetIdentifier(
+        tiny_world.search, ocr=SimulatedOcr(error_rate=0.02)
+    )
+    return KnowYourPhish(detector, identifier)
+
+
+class TestPipeline:
+    def test_phish_detected_with_target(self, pipeline, tiny_world):
+        hits = 0
+        pages = [
+            page for page in tiny_world.dataset("phishTest")[:20]
+            if page.target_mld
+        ]
+        for page in pages:
+            verdict = pipeline.analyze(page.snapshot)
+            if verdict.is_phish and page.target_mld in verdict.targets:
+                hits += 1
+        assert hits / len(pages) > 0.6
+
+    def test_legit_mostly_passes(self, pipeline, tiny_world):
+        passed = 0
+        for page in tiny_world.dataset("english")[:30]:
+            verdict = pipeline.analyze(page.snapshot)
+            passed += verdict.verdict == "legitimate"
+        assert passed >= 25
+
+    def test_confidence_in_unit_interval(self, pipeline, tiny_world):
+        verdict = pipeline.analyze(tiny_world.dataset("english")[0].snapshot)
+        assert 0.0 <= verdict.confidence <= 1.0
+
+    def test_low_confidence_short_circuits(self, pipeline, tiny_world):
+        # Legitimate verdicts below threshold carry no identification.
+        for page in tiny_world.dataset("english")[:30]:
+            verdict = pipeline.analyze(page.snapshot)
+            if verdict.confidence < pipeline.detector.threshold:
+                assert verdict.identification is None
+                break
+
+    def test_without_identifier(self, tiny_world, pipeline):
+        bare = KnowYourPhish(pipeline.detector, identifier=None)
+        verdict = bare.analyze(tiny_world.dataset("phishTest")[0].snapshot)
+        assert verdict.verdict in ("legitimate", "phish")
+
+    def test_is_blocked_semantics(self, pipeline):
+        phish = PageVerdict(verdict="phish", confidence=0.9, targets=["x"])
+        suspicious = PageVerdict(verdict="suspicious", confidence=0.8,
+                                 targets=[])
+        legit = PageVerdict(verdict="legitimate", confidence=0.1, targets=[])
+        assert pipeline.is_blocked(phish)
+        assert pipeline.is_blocked(suspicious)
+        assert not pipeline.is_blocked(legit)
+
+    def test_suspicious_not_blocked_when_configured(self, pipeline):
+        lenient = KnowYourPhish(
+            pipeline.detector, pipeline.identifier,
+            treat_suspicious_as_phish=False,
+        )
+        suspicious = PageVerdict(verdict="suspicious", confidence=0.8,
+                                 targets=[])
+        assert not lenient.is_blocked(suspicious)
+
+    def test_page_verdict_helpers(self):
+        verdict = PageVerdict(verdict="phish", confidence=0.95,
+                              targets=["paypal", "visa"])
+        assert verdict.is_phish
+        assert verdict.top_target == "paypal"
+        assert PageVerdict("legitimate", 0.1, []).top_target is None

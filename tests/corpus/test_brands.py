@@ -1,0 +1,84 @@
+"""Tests for the brand registry."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.brands import Brand, BrandRegistry, default_brands
+
+
+class TestBrand:
+    def test_rdn_and_homepage(self):
+        brand = Brand("PayPal", "paypal", "com")
+        assert brand.rdn == "paypal.com"
+        assert brand.homepage == "https://www.paypal.com/"
+
+    def test_name_words(self):
+        brand = Brand("Bank of America", "bankofamerica")
+        assert brand.name_words == ("bank", "america")
+
+    def test_name_words_hyphenated(self):
+        brand = Brand("Credit-Agricole", "credit-agricole", "fr")
+        assert "credit" in brand.name_words
+        assert "agricole" in brand.name_words
+
+
+class TestDefaultBrands:
+    def test_minimum_count(self):
+        assert len(default_brands(126)) >= 126
+
+    def test_custom_minimum(self):
+        assert len(default_brands(150)) >= 150
+
+    def test_rdns_unique(self):
+        registry = default_brands(150)
+        rdns = [brand.rdn for brand in registry]
+        assert len(rdns) == len(set(rdns))
+
+    def test_core_brands_present(self):
+        registry = default_brands()
+        assert registry.by_mld("paypal") is not None
+        assert registry.by_mld("amazon") is not None
+
+    def test_languages_covered(self):
+        registry = default_brands()
+        for language in ("english", "french", "german", "portuguese",
+                         "spanish", "italian"):
+            assert registry.by_language(language), language
+
+
+class TestRegistry:
+    def test_by_rdn(self):
+        registry = default_brands()
+        assert registry.by_rdn("paypal.com").name == "PayPal"
+        assert registry.by_rdn("nope.example") is None
+
+    def test_shared_mld_allowed(self):
+        registry = BrandRegistry([
+            Brand("Amazon", "amazon", "com"),
+            Brand("Amazon UK", "amazon", "co.uk"),
+        ])
+        assert len(registry) == 2
+        assert registry.by_mld("amazon").suffix == "com"
+
+    def test_duplicate_rdn_rejected(self):
+        with pytest.raises(ValueError):
+            BrandRegistry([
+                Brand("A", "same", "com"), Brand("B", "same", "com"),
+            ])
+
+    def test_sample_distinct_and_weighted(self):
+        registry = default_brands()
+        rng = np.random.default_rng(0)
+        sampled = registry.sample(rng, 10)
+        assert len({brand.rdn for brand in sampled}) == 10
+
+    def test_sample_popularity_bias(self):
+        registry = default_brands()
+        rng = np.random.default_rng(0)
+        draws = [registry.sample(rng, 1)[0].popularity for _ in range(300)]
+        # Popular (tier-1) brands must be drawn far more often than tier-5.
+        assert draws.count(1) > draws.count(5)
+
+    def test_indexing(self):
+        registry = default_brands()
+        assert isinstance(registry[0], Brand)

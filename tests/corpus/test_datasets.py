@@ -1,0 +1,141 @@
+"""Tests for world/dataset construction (Table V shape)."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.datasets import CorpusConfig, Dataset, LabeledPage, build_world
+from repro.corpus.wordlists import LANGUAGES
+from repro.web.page import PageSnapshot
+
+
+class TestWorldShape:
+    def test_all_datasets_present(self, tiny_world):
+        expected = {"legTrain", "english", "phishTrain", "phishTest",
+                    "phishBrand"} | set(LANGUAGES)
+        assert expected <= set(tiny_world.datasets)
+
+    def test_dataset_sizes(self, tiny_world):
+        config = tiny_world.config
+        assert len(tiny_world.dataset("legTrain")) == config.leg_train
+        assert len(tiny_world.dataset("english")) == config.english_test
+        assert len(tiny_world.dataset("phishTrain")) == config.phish_train
+        assert len(tiny_world.dataset("phishBrand")) == config.phish_brand
+
+    def test_labels(self, tiny_world):
+        assert tiny_world.dataset("legTrain").labels().sum() == 0
+        phish = tiny_world.dataset("phishTest")
+        assert phish.labels().sum() == len(phish)
+
+    def test_initial_counts_exceed_clean(self, tiny_world):
+        for name in ("phishTrain", "phishTest"):
+            dataset = tiny_world.dataset(name)
+            assert dataset.initial_count > len(dataset)
+
+    def test_language_sets_language(self, tiny_world):
+        for language in LANGUAGES:
+            if language == "english":
+                continue
+            for page in tiny_world.dataset(language)[:10]:
+                assert page.language == language
+
+    def test_legtrain_is_cleaned(self, tiny_world):
+        kinds = {page.kind for page in tiny_world.dataset("legTrain")}
+        assert "parked" not in kinds and "minimal" not in kinds
+
+    def test_unknown_dataset_raises(self, tiny_world):
+        with pytest.raises(KeyError):
+            tiny_world.dataset("nope")
+
+    def test_phishbrand_has_targets(self, tiny_world):
+        targets = [page.target_mld for page in tiny_world.dataset("phishBrand")]
+        known = [target for target in targets if target]
+        assert len(known) >= len(targets) - 3  # a few unknown-target pages
+
+    def test_alexa_nonempty_and_brands_ranked(self, tiny_world):
+        assert len(tiny_world.alexa) > 50
+        assert tiny_world.alexa.is_ranked("paypal.com")
+
+    def test_search_engine_indexed(self, tiny_world):
+        assert len(tiny_world.search) > 100
+        assert "paypal.com" in tiny_world.search.result_rdns(["paypal"])
+
+    def test_test_phish_include_unseen_brands(self, tiny_world):
+        train_targets = {
+            page.target_mld for page in tiny_world.dataset("phishTrain")
+        }
+        test_targets = {
+            page.target_mld for page in tiny_world.dataset("phishTest")
+            if page.target_mld
+        }
+        assert test_targets - train_targets, \
+            "test campaigns must hit brands unseen in training"
+
+    def test_feeds_clean_to_dataset_urls(self, tiny_world):
+        feed = tiny_world.feeds["phishTrain"]
+        survivors = feed.clean(tiny_world.browser)
+        dataset_urls = {page.url for page in tiny_world.dataset("phishTrain")}
+        assert {entry.url for entry in survivors} == dataset_urls
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        config = CorpusConfig(
+            leg_train=20, phish_train=10, phish_test=10, phish_brand=8,
+            english_test=30, other_language_test=10, seed=99,
+        )
+        first = build_world(config)
+        second = build_world(config)
+        assert [p.url for p in first.dataset("english")] == \
+            [p.url for p in second.dataset("english")]
+        assert [p.url for p in first.dataset("phishTest")] == \
+            [p.url for p in second.dataset("phishTest")]
+
+
+class TestDatasetApi:
+    def _tiny(self):
+        snapshot = PageSnapshot(starting_url="http://a.com/",
+                                landing_url="http://a.com/")
+        return Dataset("x", [
+            LabeledPage(snapshot=snapshot, label=0, language="english",
+                        kind="business"),
+            LabeledPage(snapshot=snapshot, label=1, language="english",
+                        kind="random"),
+        ])
+
+    def test_len_iter_getitem(self):
+        dataset = self._tiny()
+        assert len(dataset) == 2
+        assert dataset[0].label == 0
+        assert [page.label for page in dataset] == [0, 1]
+
+    def test_labels_vector(self):
+        assert self._tiny().labels().tolist() == [0, 1]
+
+    def test_subset(self):
+        subset = self._tiny().subset([1])
+        assert len(subset) == 1
+        assert subset[0].label == 1
+
+    def test_concatenation(self):
+        combined = self._tiny() + self._tiny()
+        assert len(combined) == 4
+
+    def test_page_url_property(self):
+        assert self._tiny()[0].url == "http://a.com/"
+
+
+class TestPaperScale:
+    def test_full_scale_sizes(self):
+        config = CorpusConfig.paper_scale(1.0)
+        assert config.leg_train == 4531
+        assert config.phish_test == 1216
+        assert config.english_test == 100_000
+
+    def test_fractional_scale(self):
+        config = CorpusConfig.paper_scale(0.1)
+        assert config.leg_train == 453
+        assert config.english_test == 10_000
+
+    def test_floors_applied(self):
+        config = CorpusConfig.paper_scale(0.001)
+        assert config.phish_train >= 30

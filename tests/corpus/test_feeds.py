@@ -1,0 +1,57 @@
+"""Tests for the PhishTank-style feed simulation."""
+
+import pytest
+
+from repro.corpus.feeds import FeedEntry, PhishFeed
+from repro.web.browser import Browser
+from repro.web.hosting import SyntheticWeb
+
+
+@pytest.fixture()
+def feed_setup():
+    web = SyntheticWeb()
+    web.host("http://phish1.com/x", "<body>phish</body>")
+    web.host("http://phish2.com/x", "<body>phish</body>")
+    web.host("http://legit.com/", "<body>legit</body>")
+    web.host("http://parked.com/", "<body>parked</body>")
+    feed = PhishFeed("test")
+    feed.submit("http://phish1.com/x", hour=0)
+    feed.submit("http://phish2.com/x", hour=2)
+    feed.submit("http://dead.com/gone", hour=1)          # unavailable
+    feed.submit("http://legit.com/", hour=3, status="legitimate")
+    feed.submit("http://parked.com/", hour=4, status="parked")
+    return web, feed
+
+
+class TestFeed:
+    def test_initial_count(self, feed_setup):
+        _web, feed = feed_setup
+        assert feed.initial_count == 5
+
+    def test_chronological_iteration(self, feed_setup):
+        _web, feed = feed_setup
+        hours = [entry.submitted_hour for entry in feed]
+        assert hours == sorted(hours)
+
+    def test_clean_removes_junk(self, feed_setup):
+        web, feed = feed_setup
+        survivors = feed.clean(Browser(web))
+        urls = [entry.url for entry in survivors]
+        assert urls == ["http://phish1.com/x", "http://phish2.com/x"]
+
+    def test_status_counts(self, feed_setup):
+        _web, feed = feed_setup
+        counts = feed.status_counts()
+        assert counts["phish"] == 3  # dead.com was submitted as phish
+        assert counts["legitimate"] == 1
+        assert counts["parked"] == 1
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(ValueError):
+            FeedEntry(url="http://x.com/", submitted_hour=0, status="weird")
+
+    def test_submit_returns_entry(self):
+        feed = PhishFeed("x")
+        entry = feed.submit("http://a.com/", hour=1)
+        assert entry.url == "http://a.com/"
+        assert len(feed) == 1

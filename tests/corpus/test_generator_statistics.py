@@ -1,0 +1,114 @@
+"""Distribution-level tests of the corpus generators.
+
+The experiment shapes depend on the generators actually sampling what
+their weight tables promise; these tests check the realised frequencies
+against the configured distributions with generous tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.corpus.brands import default_brands
+from repro.corpus.legitimate import KIND_WEIGHTS, LegitimateSiteGenerator
+from repro.corpus.phishing import (
+    HOSTING_WEIGHTS,
+    QUALITY_WEIGHTS,
+    PhishingSiteGenerator,
+)
+from repro.urls.parsing import parse_url
+from repro.web.hosting import SyntheticWeb
+
+SAMPLE = 400
+
+
+@pytest.fixture(scope="module")
+def populations():
+    web = SyntheticWeb()
+    rng = np.random.default_rng(77)
+    brands = default_brands()
+    legit_gen = LegitimateSiteGenerator(web, rng)
+    for brand in list(brands)[:10]:
+        legit_gen.generate_brand_site(brand)
+    phish_gen = PhishingSiteGenerator(
+        web, rng, brands, compromised_pool=["victim1.com", "victim2.com"]
+    )
+    legit = [legit_gen.generate() for _ in range(SAMPLE)]
+    phish = [phish_gen.generate() for _ in range(SAMPLE)]
+    return legit, phish
+
+
+class TestLegitimateStatistics:
+    def test_kind_frequencies(self, populations):
+        legit, _phish = populations
+        total_weight = sum(KIND_WEIGHTS.values())
+        for kind, weight in KIND_WEIGHTS.items():
+            expected = weight / total_weight
+            observed = sum(site.kind == kind for site in legit) / len(legit)
+            tolerance = max(0.05, 3 * np.sqrt(expected / SAMPLE))
+            assert abs(observed - expected) < tolerance, (
+                kind, observed, expected
+            )
+
+    def test_https_majority(self, populations):
+        legit, _phish = populations
+        https = sum(
+            site.landing_url.startswith("https") for site in legit
+        ) / len(legit)
+        assert 0.65 < https < 0.95
+
+    def test_popularity_tiers_spread(self, populations):
+        legit, _phish = populations
+        tiers = {site.popularity_tier for site in legit}
+        assert {1, 2, 3, 4} <= tiers
+
+
+class TestPhishingStatistics:
+    def test_hosting_frequencies(self, populations):
+        _legit, phish = populations
+        total_weight = sum(HOSTING_WEIGHTS.values())
+        for hosting, weight in HOSTING_WEIGHTS.items():
+            expected = weight / total_weight
+            observed = sum(p.hosting == hosting for p in phish) / len(phish)
+            tolerance = max(0.05, 3 * np.sqrt(expected / SAMPLE))
+            assert abs(observed - expected) < tolerance, (
+                hosting, observed, expected
+            )
+
+    def test_quality_frequencies(self, populations):
+        _legit, phish = populations
+        for quality, weight in QUALITY_WEIGHTS.items():
+            observed = sum(p.quality == quality for p in phish) / len(phish)
+            assert abs(observed - weight) < 0.08, (quality, observed)
+
+    def test_http_majority(self, populations):
+        _legit, phish = populations
+        http = sum(
+            p.landing_url.startswith("http://") for p in phish
+        ) / len(phish)
+        assert http > 0.6  # phishers rarely bother with TLS (in 2015)
+
+    def test_popular_brands_targeted_more(self, populations):
+        _legit, phish = populations
+        tiers = [p.target.popularity for p in phish if p.target]
+        assert np.mean([tier <= 2 for tier in tiers]) > 0.35
+
+    def test_default_evasion_rate(self, populations):
+        _legit, phish = populations
+        evading = sum(
+            any([p.evasion.minimal_text, p.evasion.no_external_resources,
+                 p.evasion.image_based, p.evasion.misspell_terms])
+            for p in phish
+        ) / len(phish)
+        assert 0.08 < evading < 0.28  # configured ~16%
+
+    def test_landing_urls_unique(self, populations):
+        _legit, phish = populations
+        urls = [p.landing_url for p in phish]
+        assert len(urls) == len(set(urls))
+
+    def test_ip_share_small(self, populations):
+        _legit, phish = populations
+        ip_share = sum(
+            parse_url(p.landing_url).is_ip for p in phish
+        ) / len(phish)
+        assert ip_share < 0.08  # paper: <2% of phishing URLs

@@ -1,0 +1,87 @@
+"""Tests for dataset JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.corpus.io import (
+    load_dataset,
+    page_from_record,
+    page_to_record,
+    save_dataset,
+)
+
+
+class TestRecordRoundtrip:
+    def test_roundtrip_preserves_fields(self, tiny_world):
+        page = tiny_world.dataset("phishBrand")[0]
+        rebuilt = page_from_record(page_to_record(page))
+        assert rebuilt.label == page.label
+        assert rebuilt.language == page.language
+        assert rebuilt.kind == page.kind
+        assert rebuilt.target_mld == page.target_mld
+        assert rebuilt.snapshot.starting_url == page.snapshot.starting_url
+        assert rebuilt.snapshot.html == page.snapshot.html
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError):
+            page_from_record({"label": 1})
+
+    def test_defaults_for_optional_fields(self, tiny_world):
+        page = tiny_world.dataset("english")[0]
+        record = page_to_record(page)
+        del record["language"], record["kind"]
+        rebuilt = page_from_record(record)
+        assert rebuilt.language == "english"
+        assert rebuilt.kind == "unknown"
+
+
+class TestFileRoundtrip:
+    def test_save_and_load(self, tiny_world, tmp_path):
+        dataset = tiny_world.dataset("phishTest")
+        path = tmp_path / "phishTest.jsonl"
+        written = save_dataset(dataset, path)
+        assert written == len(dataset)
+
+        loaded = load_dataset(path)
+        assert loaded.name == "phishTest"
+        assert len(loaded) == len(dataset)
+        assert loaded.initial_count == dataset.initial_count
+        assert loaded.labels().tolist() == dataset.labels().tolist()
+        assert [page.url for page in loaded] == \
+            [page.url for page in dataset]
+
+    def test_features_survive_roundtrip(self, tiny_world, tmp_path):
+        """Persisted pages yield identical feature vectors."""
+        from repro.core import FeatureExtractor
+        extractor = FeatureExtractor(alexa=tiny_world.alexa)
+        dataset = tiny_world.dataset("phishTest").subset(range(5))
+        path = tmp_path / "subset.jsonl"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        import numpy as np
+        original = extractor.extract_many(p.snapshot for p in dataset)
+        rebuilt = extractor.extract_many(p.snapshot for p in loaded)
+        assert np.array_equal(original, rebuilt)
+
+    def test_creates_parent_dirs(self, tiny_world, tmp_path):
+        dataset = tiny_world.dataset("phishTest").subset(range(2))
+        path = tmp_path / "deep" / "nested" / "d.jsonl"
+        save_dataset(dataset, path)
+        assert path.exists()
+
+    def test_bad_record_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"__dataset__": "x", "initial_count": None}) + "\n"
+            + json.dumps({"label": 1}) + "\n"
+        )
+        with pytest.raises(ValueError, match=":2:"):
+            load_dataset(path)
+
+    def test_blank_lines_skipped(self, tiny_world, tmp_path):
+        dataset = tiny_world.dataset("phishTest").subset(range(2))
+        path = tmp_path / "d.jsonl"
+        save_dataset(dataset, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_dataset(path)) == 2

@@ -1,0 +1,129 @@
+"""Tests for the legitimate-site generator."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.legitimate import (
+    CLEANED_KIND_WEIGHTS,
+    KIND_WEIGHTS,
+    LegitimateSiteGenerator,
+)
+from repro.urls.parsing import parse_url
+
+
+class TestGenerate:
+    def test_site_is_loadable(self, site_generators):
+        web, browser, legit, _phish = site_generators
+        site = legit.generate()
+        snapshot = browser.load(site.starting_url)
+        assert snapshot.landing_url == site.landing_url
+
+    def test_label_is_zero(self, site_generators):
+        _web, _browser, legit, _phish = site_generators
+        assert legit.generate().label == 0
+
+    def test_mlds_unique_across_sites(self, site_generators):
+        _web, _browser, legit, _phish = site_generators
+        mlds = [legit.generate().mld for _ in range(40)]
+        assert len(mlds) == len(set(mlds))
+
+    def test_kind_forcing(self, site_generators):
+        _web, _browser, legit, _phish = site_generators
+        for kind in ("business", "blog", "shop", "portal", "parked", "minimal"):
+            assert legit.generate(kind=kind).kind == kind
+
+    def test_language_forcing(self, site_generators):
+        _web, _browser, legit, _phish = site_generators
+        site = legit.generate(language="german")
+        assert site.language == "german"
+
+    def test_name_terms_in_content(self, site_generators):
+        # Term-usage consistency: the site's name terms appear in the page.
+        _web, browser, legit, _phish = site_generators
+        hits = 0
+        for _ in range(10):
+            site = legit.generate(kind="business")
+            snapshot = browser.load(site.starting_url)
+            content = (snapshot.title + " " + snapshot.text).lower()
+            if any(term in content for term in site.name_terms):
+                hits += 1
+        assert hits >= 8
+
+    def test_mostly_internal_links(self, site_generators):
+        _web, browser, legit, _phish = site_generators
+        internal = external = 0
+        for _ in range(10):
+            site = legit.generate(kind="business")
+            snapshot = browser.load(site.starting_url)
+            for link in snapshot.href_links:
+                if parse_url(link).rdn == site.rdn:
+                    internal += 1
+                else:
+                    external += 1
+        assert internal > external
+
+    def test_parked_site_shape(self, site_generators):
+        _web, browser, legit, _phish = site_generators
+        site = legit.generate(kind="parked")
+        snapshot = browser.load(site.starting_url)
+        assert "parked" in snapshot.title
+        assert len(snapshot.text) < 200
+
+    def test_minimal_site_shape(self, site_generators):
+        _web, browser, legit, _phish = site_generators
+        site = legit.generate(kind="minimal")
+        snapshot = browser.load(site.starting_url)
+        assert snapshot.title == ""
+
+    def test_portal_has_password_field(self, site_generators):
+        _web, browser, legit, _phish = site_generators
+        site = legit.generate(kind="portal")
+        snapshot = browser.load(site.starting_url)
+        assert snapshot.elements.input_count >= 2
+
+    def test_abbrev_mld_shorter_than_name(self, site_generators):
+        _web, _browser, legit, _phish = site_generators
+        site = legit.generate(kind="abbrev")
+        assert len(site.mld) <= 4
+
+
+class TestBrandSites:
+    def test_brand_homepage_and_login_hosted(self, site_generators):
+        web, browser, legit, _phish = site_generators
+        from repro.corpus.brands import default_brands
+        brand = default_brands().by_mld("netflix")
+        site = legit.generate_brand_site(brand)
+        home = browser.load(site.starting_url)
+        assert brand.name in home.title
+        login = browser.load(f"https://www.{brand.rdn}/signin")
+        assert login.elements.input_count >= 2
+
+    def test_bare_domain_redirects(self, site_generators):
+        web, browser, legit, _phish = site_generators
+        from repro.corpus.brands import default_brands
+        brand = default_brands().by_mld("spotify")
+        legit.generate_brand_site(brand)
+        snapshot = browser.load(f"http://{brand.rdn}/")
+        assert snapshot.landing_url == f"https://www.{brand.rdn}/"
+        assert len(snapshot.redirection_chain) == 2
+
+
+class TestKindWeights:
+    def test_weights_cover_all_kinds(self):
+        assert set(KIND_WEIGHTS) >= {
+            "business", "blog", "shop", "portal", "parked", "minimal"
+        }
+
+    def test_cleaned_weights_drop_junk(self):
+        assert "parked" not in CLEANED_KIND_WEIGHTS
+        assert "minimal" not in CLEANED_KIND_WEIGHTS
+
+    def test_generate_respects_cleaned_weights(self):
+        from repro.web.hosting import SyntheticWeb
+        web = SyntheticWeb()
+        generator = LegitimateSiteGenerator(web, np.random.default_rng(0))
+        kinds = {
+            generator.generate(kind_weights=CLEANED_KIND_WEIGHTS).kind
+            for _ in range(60)
+        }
+        assert "parked" not in kinds and "minimal" not in kinds

@@ -1,0 +1,172 @@
+"""Tests for the phishing-site generator (phisher limitations model)."""
+
+import pytest
+
+from repro.corpus.phishing import EvasionProfile
+from repro.urls.parsing import parse_url
+
+
+class TestPhisherConstraints:
+    def test_cannot_use_target_rdn(self, site_generators):
+        """The core constraint: the phish's RDN is never the target's."""
+        _web, _browser, _legit, phish_gen = site_generators
+        for _ in range(25):
+            phish = phish_gen.generate()
+            if phish.hosting == "compromised":
+                continue
+            assert phish.rdn != phish.target.rdn
+
+    def test_target_terms_in_freeurl_sometimes(self, site_generators):
+        _web, _browser, _legit, phish_gen = site_generators
+        hits = 0
+        for _ in range(30):
+            phish = phish_gen.generate(hosting="random")
+            parsed = parse_url(phish.landing_url)
+            if phish.target.mld in parsed.free_url:
+                hits += 1
+        assert hits > 3  # obfuscation happens regularly
+
+    def test_external_links_point_to_target(self, site_generators):
+        _web, browser, _legit, phish_gen = site_generators
+        hits = 0
+        for _ in range(10):
+            phish = phish_gen.generate(
+                quality="medium", evasion=EvasionProfile.none()
+            )
+            snapshot = browser.load(phish.starting_url)
+            if any(phish.target.rdn in link for link in snapshot.href_links):
+                hits += 1
+        assert hits >= 7
+
+    def test_content_mimics_target(self, site_generators):
+        _web, browser, _legit, phish_gen = site_generators
+        phish = phish_gen.generate(evasion=EvasionProfile.none())
+        snapshot = browser.load(phish.starting_url)
+        content = (snapshot.title + " " + snapshot.text).lower()
+        target_terms = phish.target.name_words + phish.target.keyterms
+        assert any(term in content for term in target_terms)
+
+    def test_has_input_fields(self, site_generators):
+        _web, browser, _legit, phish_gen = site_generators
+        phish = phish_gen.generate()
+        snapshot = browser.load(phish.starting_url)
+        assert snapshot.elements.input_count >= 2
+
+    def test_label_is_one(self, site_generators):
+        _web, _browser, _legit, phish_gen = site_generators
+        assert phish_gen.generate().label == 1
+
+
+class TestHostingModes:
+    def test_ip_hosting(self, site_generators):
+        _web, _browser, _legit, phish_gen = site_generators
+        phish = phish_gen.generate(hosting="ip")
+        assert phish.rdn is None
+        assert parse_url(phish.landing_url).is_ip
+
+    def test_hosting_provider_uses_private_suffix(self, site_generators):
+        _web, _browser, _legit, phish_gen = site_generators
+        phish = phish_gen.generate(hosting="hosting_provider")
+        parsed = parse_url(phish.landing_url)
+        # The registrable unit is the phisher's token on the provider.
+        assert parsed.rdn == phish.rdn
+        assert parsed.rdn.count(".") >= 1
+
+    def test_typosquat_resembles_target(self, site_generators):
+        _web, _browser, _legit, phish_gen = site_generators
+        for _ in range(10):
+            phish = phish_gen.generate(hosting="typosquat")
+            base = phish.target.mld.replace("-", "")
+            mutated = phish.mld.replace("-", "")
+            # Small edit distance: lengths within 1 and high prefix overlap.
+            assert abs(len(mutated) - len(base)) <= 1
+
+    def test_compromised_without_pool_falls_back(self, site_generators):
+        _web, _browser, _legit, phish_gen = site_generators
+        phish_gen.compromised_pool = []
+        phish = phish_gen.generate(hosting="compromised")
+        assert phish.hosting == "random"
+
+    def test_compromised_uses_pool(self, site_generators):
+        _web, _browser, _legit, phish_gen = site_generators
+        phish_gen.compromised_pool = ["victim.com"]
+        phish = phish_gen.generate(hosting="compromised")
+        assert phish.rdn == "victim.com"
+
+
+class TestEvasion:
+    def test_image_based_moves_text_to_screenshot(self, site_generators):
+        _web, browser, _legit, phish_gen = site_generators
+        phish = phish_gen.generate_with_evasion("image_based")
+        snapshot = browser.load(phish.starting_url)
+        assert len(snapshot.text) < 100
+        assert snapshot.screenshot.image_texts  # text lives in images
+
+    def test_minimal_text(self, site_generators):
+        _web, browser, _legit, phish_gen = site_generators
+        phish = phish_gen.generate_with_evasion("minimal_text")
+        snapshot = browser.load(phish.starting_url)
+        assert len(snapshot.text.split()) < 30
+
+    def test_no_external_links(self, site_generators):
+        _web, browser, _legit, phish_gen = site_generators
+        phish = phish_gen.generate_with_evasion("no_external_links")
+        snapshot = browser.load(phish.starting_url)
+        assert not any(
+            phish.target.rdn in link for link in snapshot.href_links
+        )
+
+    def test_short_url(self, site_generators):
+        _web, _browser, _legit, phish_gen = site_generators
+        phish = phish_gen.generate_with_evasion("short_url")
+        assert len(parse_url(phish.landing_url).path) < 12
+
+    def test_ip_url_shortcut(self, site_generators):
+        _web, _browser, _legit, phish_gen = site_generators
+        phish = phish_gen.generate_with_evasion("ip_url")
+        assert phish.hosting == "ip"
+
+    def test_unknown_technique_rejected(self, site_generators):
+        _web, _browser, _legit, phish_gen = site_generators
+        with pytest.raises(ValueError):
+            phish_gen.generate_with_evasion("cloaking")
+
+    def test_all_tricks_profile(self):
+        profile = EvasionProfile.all_tricks()
+        assert profile.minimal_text and profile.image_based
+
+    def test_quality_tiers(self, site_generators):
+        _web, browser, _legit, phish_gen = site_generators
+        clone = phish_gen.generate(quality="high",
+                                   evasion=EvasionProfile.none())
+        low = phish_gen.generate(quality="low",
+                                 evasion=EvasionProfile.none())
+        clone_snapshot = browser.load(clone.starting_url)
+        low_snapshot = browser.load(low.starting_url)
+        assert len(clone_snapshot.text) > len(low_snapshot.text)
+
+    def test_unknown_quality_rejected(self, site_generators):
+        _web, _browser, _legit, phish_gen = site_generators
+        with pytest.raises(ValueError):
+            phish_gen.generate(quality="superb")
+
+
+class TestUnknownTarget:
+    def test_no_target_hint(self, site_generators):
+        _web, browser, _legit, phish_gen = site_generators
+        phish = phish_gen.generate(with_target_hint=False)
+        assert phish.target is None
+        assert phish.target_mld is None
+        snapshot = browser.load(phish.starting_url)
+        assert snapshot.elements.input_count >= 2
+
+
+class TestRedirection:
+    def test_some_phish_use_redirect_chains(self, site_generators):
+        _web, browser, _legit, phish_gen = site_generators
+        chain_lengths = []
+        for _ in range(30):
+            phish = phish_gen.generate()
+            snapshot = browser.load(phish.starting_url)
+            chain_lengths.append(len(snapshot.redirection_chain))
+        assert max(chain_lengths) >= 2

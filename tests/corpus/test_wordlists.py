@@ -1,0 +1,38 @@
+"""Tests for the per-language vocabularies."""
+
+import pytest
+
+from repro.corpus.wordlists import LANGUAGES, all_words, vocabulary
+from repro.text.terms import extract_terms
+
+
+class TestWordlists:
+    def test_six_languages(self):
+        assert len(LANGUAGES) == 6
+        assert "english" in LANGUAGES and "spanish" in LANGUAGES
+
+    @pytest.mark.parametrize("language", LANGUAGES)
+    def test_banks_present(self, language):
+        banks = vocabulary(language)
+        assert set(banks) == {"common", "web", "business"}
+        assert len(banks["common"]) >= 100
+        assert len(banks["web"]) >= 30
+        assert len(banks["business"]) >= 25
+
+    @pytest.mark.parametrize("language", LANGUAGES)
+    def test_words_survive_term_extraction(self, language):
+        # Every vocabulary word must canonicalise to a term of length >= 3,
+        # otherwise the generators would emit invisible words.
+        for word in all_words(language):
+            terms = extract_terms(word)
+            assert terms, f"{word!r} extracts to nothing"
+
+    def test_unknown_language(self):
+        with pytest.raises(ValueError):
+            vocabulary("klingon")
+
+    def test_vocabularies_differ(self):
+        english = set(vocabulary("english")["common"])
+        german = set(vocabulary("german")["common"])
+        overlap = english & german
+        assert len(overlap) < min(len(english), len(german)) * 0.2

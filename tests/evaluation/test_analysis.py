@@ -1,0 +1,88 @@
+"""Tests for error and feature analysis (§VII-A/B)."""
+
+import pytest
+
+from repro.core.detector import PhishingDetector
+from repro.core.features import FeatureExtractor
+from repro.evaluation.analysis import (
+    TERM_ISSUE_KINDS,
+    feature_group_importances,
+    misclassified_legitimate,
+    missed_phish,
+    top_features,
+)
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_world):
+    extractor = FeatureExtractor(alexa=tiny_world.alexa)
+    train = tiny_world.dataset("legTrain") + tiny_world.dataset("phishTrain")
+    detector = PhishingDetector(extractor, n_estimators=40)
+    detector.fit_snapshots([page.snapshot for page in train], train.labels())
+    return detector
+
+
+class TestMisclassification:
+    def test_report_shape(self, trained, tiny_world):
+        report = misclassified_legitimate(trained, tiny_world.dataset("english"))
+        assert report.total_legitimate == len(tiny_world.dataset("english"))
+        assert report.fp_count == sum(report.kind_counts.values())
+        assert 0.0 <= report.fpr <= 1.0
+        assert 0.0 <= report.term_issue_share <= 1.0
+        assert report.hard_case_share <= 1.0 + 1e-9
+
+    def test_rejects_mixed_dataset(self, trained, tiny_world):
+        mixed = tiny_world.dataset("english") + tiny_world.dataset("phishTest")
+        with pytest.raises(ValueError):
+            misclassified_legitimate(trained, mixed)
+
+    def test_accepts_precomputed_features(self, trained, tiny_world):
+        dataset = tiny_world.dataset("french")
+        features = trained.extractor.extract_many(
+            page.snapshot for page in dataset
+        )
+        report = misclassified_legitimate(trained, dataset, features=features)
+        assert report.total_legitimate == len(dataset)
+
+    def test_empty_fp_shares_are_zero(self):
+        from repro.evaluation.analysis import MisclassificationReport
+        report = MisclassificationReport(total_legitimate=10)
+        assert report.fpr == 0.0
+        assert report.term_issue_share == 0.0
+        assert report.degenerate_share == 0.0
+
+    def test_term_issue_kinds_constant(self):
+        assert "longword" in TERM_ISSUE_KINDS
+        assert "abbrev" in TERM_ISSUE_KINDS
+
+
+class TestMissedPhish:
+    def test_counts_by_hosting(self, trained, tiny_world):
+        misses = missed_phish(trained, tiny_world.dataset("phishTest"))
+        assert sum(misses.values()) <= len(tiny_world.dataset("phishTest"))
+
+    def test_rejects_legit_dataset(self, trained, tiny_world):
+        with pytest.raises(ValueError):
+            missed_phish(trained, tiny_world.dataset("english"))
+
+
+class TestImportances:
+    def test_groups_sum_to_one(self, trained):
+        groups = feature_group_importances(trained)
+        assert set(groups) == {"f1", "f2", "f3", "f4", "f5"}
+        assert sum(groups.values()) == pytest.approx(1.0)
+
+    def test_requires_fall_detector(self, tiny_world, trained):
+        masked = PhishingDetector(trained.extractor, feature_set="f1")
+        with pytest.raises(ValueError):
+            feature_group_importances(masked)
+
+    def test_top_features_named(self, trained):
+        features = top_features(trained, count=5)
+        assert len(features) == 5
+        for name, importance in features:
+            assert name.startswith("f")
+            assert importance >= 0
+        # Sorted descending.
+        values = [importance for _name, importance in features]
+        assert values == sorted(values, reverse=True)

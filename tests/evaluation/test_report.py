@@ -1,0 +1,51 @@
+"""Tests for the reproduction-report compiler."""
+
+import pytest
+
+from repro.evaluation.report import compile_report
+
+
+class TestCompileReport:
+    def test_assembles_known_sections_in_order(self, tmp_path):
+        (tmp_path / "table6_languages.txt").write_text("T6 CONTENT")
+        (tmp_path / "table9_target_id.txt").write_text("T9 CONTENT")
+        report = compile_report(tmp_path)
+        assert "Table VI" in report
+        assert "T6 CONTENT" in report
+        assert report.index("Table VI") < report.index("Table IX")
+
+    def test_unknown_artefacts_appended(self, tmp_path):
+        (tmp_path / "custom_experiment.txt").write_text("CUSTOM")
+        report = compile_report(tmp_path)
+        assert "custom_experiment" in report
+        assert "CUSTOM" in report
+
+    def test_missing_dir_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            compile_report(tmp_path / "nope")
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            compile_report(tmp_path)
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+        (tmp_path / "table5_datasets.txt").write_text("T5")
+        out_file = tmp_path / "report.md"
+        code = main([
+            "report", "--results-dir", str(tmp_path), "--out", str(out_file)
+        ])
+        assert code == 0
+        assert "Table V" in out_file.read_text()
+
+    def test_cli_report_stdout(self, tmp_path, capsys):
+        from repro.cli import main
+        (tmp_path / "table5_datasets.txt").write_text("T5")
+        assert main(["report", "--results-dir", str(tmp_path)]) == 0
+        assert "T5" in capsys.readouterr().out
+
+    def test_cli_report_missing_dir(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main([
+            "report", "--results-dir", str(tmp_path / "none")
+        ]) == 1

@@ -1,0 +1,43 @@
+"""Tests for ASCII table/curve rendering."""
+
+import numpy as np
+
+from repro.evaluation.reporting import format_curve, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"], [["alpha", 0.123456], ["b", 1]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "0.123" in table
+
+    def test_small_floats_get_more_digits(self):
+        table = format_table(["x"], [[0.0005]])
+        assert "0.0005" in table
+
+    def test_zero_rendered_compactly(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table
+
+
+class TestFormatCurve:
+    def test_subsampling(self):
+        xs = np.linspace(0, 1, 100)
+        ys = xs ** 2
+        line = format_curve("roc", xs, ys, points=5)
+        assert line.startswith("roc:")
+        assert "(1.000,1.000)" in line
+
+    def test_empty(self):
+        assert "empty" in format_curve("x", [], [])
+
+    def test_short_series(self):
+        line = format_curve("c", np.array([0.5]), np.array([0.25]))
+        assert "(0.500,0.250)" in line

@@ -1,0 +1,101 @@
+"""Tests for streaming evaluation."""
+
+import pytest
+
+from repro.core.detector import PhishingDetector
+from repro.core.features import FeatureExtractor
+from repro.evaluation.streaming import StreamingEvaluator, interleave_stream
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_world):
+    extractor = FeatureExtractor(alexa=tiny_world.alexa)
+    train = tiny_world.dataset("legTrain") + tiny_world.dataset("phishTrain")
+    detector = PhishingDetector(extractor, n_estimators=40)
+    detector.fit_snapshots([page.snapshot for page in train], train.labels())
+    return detector
+
+
+class TestInterleaveStream:
+    def test_ratio_approximate(self, tiny_world):
+        stream = interleave_stream(
+            tiny_world.dataset("english"), tiny_world.dataset("phishTest"),
+            legit_per_phish=10, seed=0, limit=2000,
+        )
+        labels = [page.label for page in stream]
+        phish_share = sum(labels) / len(labels)
+        assert 0.05 <= phish_share <= 0.15  # ~1/11
+
+    def test_limit_respected(self, tiny_world):
+        stream = interleave_stream(
+            tiny_world.dataset("english"), tiny_world.dataset("phishTest"),
+            limit=50,
+        )
+        assert len(list(stream)) == 50
+
+    def test_deterministic(self, tiny_world):
+        def urls(seed):
+            return [
+                page.url for page in interleave_stream(
+                    tiny_world.dataset("english"),
+                    tiny_world.dataset("phishTest"),
+                    seed=seed, limit=30,
+                )
+            ]
+        assert urls(3) == urls(3)
+        assert urls(3) != urls(4)
+
+    def test_validation(self, tiny_world):
+        from repro.corpus.datasets import Dataset
+        empty = Dataset("empty", [])
+        with pytest.raises(ValueError):
+            next(interleave_stream(empty, tiny_world.dataset("phishTest")))
+        with pytest.raises(ValueError):
+            next(interleave_stream(
+                tiny_world.dataset("english"),
+                tiny_world.dataset("phishTest"),
+                legit_per_phish=0,
+            ))
+
+
+class TestStreamingEvaluator:
+    def test_report_shape(self, trained, tiny_world):
+        stream = interleave_stream(
+            tiny_world.dataset("english"), tiny_world.dataset("phishTest"),
+            legit_per_phish=20, seed=1, limit=120,
+        )
+        report = StreamingEvaluator(trained, window=50).run(stream)
+        assert report.pages_processed == 120
+        assert set(report.overall) == {
+            "precision", "recall", "f1", "fpr", "accuracy"
+        }
+        assert len(report.latencies_ms) == 120
+        assert report.latency_percentile(95) >= report.latency_percentile(50)
+
+    def test_rolling_windows_emitted(self, trained, tiny_world):
+        stream = interleave_stream(
+            tiny_world.dataset("english"), tiny_world.dataset("phishTest"),
+            legit_per_phish=10, seed=2, limit=80,
+        )
+        report = StreamingEvaluator(trained, window=40).run(stream)
+        # Windows appear once the deque is full: 80 - 40 + 1 snapshots.
+        assert len(report.window_fpr) == 41
+
+    def test_quality_in_stream_regime(self, trained, tiny_world):
+        """At a ~50:1 ratio the detector keeps low FPR and high recall."""
+        stream = interleave_stream(
+            tiny_world.dataset("english"), tiny_world.dataset("phishTest"),
+            legit_per_phish=50, seed=3, limit=400,
+        )
+        report = StreamingEvaluator(trained, window=100).run(stream)
+        assert report.overall["fpr"] < 0.05
+        assert report.overall["recall"] > 0.7
+
+    def test_window_validation(self, trained):
+        with pytest.raises(ValueError):
+            StreamingEvaluator(trained, window=5)
+
+    def test_empty_stream(self, trained):
+        report = StreamingEvaluator(trained).run(iter(()))
+        assert report.pages_processed == 0
+        assert report.latency_percentile(50) == 0.0

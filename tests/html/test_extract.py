@@ -1,0 +1,123 @@
+"""Tests for webpage-element extraction (Section II-C data sources)."""
+
+from repro.html.extract import extract_elements, find_copyright
+
+PAGE = """
+<html><head>
+  <title>My Bank - secure banking</title>
+  <link rel="stylesheet" href="/css/site.css">
+  <script src="https://cdn.example.net/lib.js"></script>
+</head><body>
+  <h1>Welcome</h1>
+  <p>Manage your account online.</p>
+  <a href="/accounts">Accounts</a>
+  <a href="https://partner.example.org/offer">Partner</a>
+  <a href="javascript:void(0)">JS</a>
+  <a href="mailto:help@mybank.com">Mail</a>
+  <img src="/img/logo.png">
+  <img src="http://ads.example.com/banner.png">
+  <iframe src="/frames/help.html"></iframe>
+  <form action="/login" method="post">
+    <input type="text" name="user">
+    <input type="password" name="pass">
+    <input type="hidden" name="csrf">
+    <textarea name="notes"></textarea>
+  </form>
+  <p>© 2015 MyBank Inc. All rights reserved.</p>
+</body></html>
+"""
+
+
+class TestExtractElements:
+    def setup_method(self):
+        self.elements = extract_elements(PAGE, base_url="https://mybank.com/home")
+
+    def test_title(self):
+        assert self.elements.title == "My Bank - secure banking"
+
+    def test_text_contains_body_content(self):
+        assert "Manage your account online." in self.elements.text
+
+    def test_text_excludes_title(self):
+        assert "secure banking" not in self.elements.text
+
+    def test_href_links_absolutized(self):
+        assert "https://mybank.com/accounts" in self.elements.href_links
+
+    def test_href_links_keep_absolute(self):
+        assert "https://partner.example.org/offer" in self.elements.href_links
+
+    def test_pseudo_links_dropped(self):
+        joined = " ".join(self.elements.href_links)
+        assert "javascript:" not in joined
+        assert "mailto:" not in joined
+
+    def test_resources_include_css_script_img_iframe(self):
+        resources = self.elements.resource_links
+        assert "https://mybank.com/css/site.css" in resources
+        assert "https://cdn.example.net/lib.js" in resources
+        assert "https://mybank.com/img/logo.png" in resources
+        assert "http://ads.example.com/banner.png" in resources
+        assert "https://mybank.com/frames/help.html" in resources
+
+    def test_iframe_links(self):
+        assert self.elements.iframe_links == ["https://mybank.com/frames/help.html"]
+
+    def test_input_count_excludes_hidden(self):
+        # text + password + textarea = 3 (hidden excluded)
+        assert self.elements.input_count == 3
+
+    def test_image_count(self):
+        assert self.elements.image_count == 2
+
+    def test_iframe_count(self):
+        assert self.elements.iframe_count == 1
+
+    def test_form_action(self):
+        assert self.elements.form_actions == ["https://mybank.com/login"]
+
+    def test_copyright(self):
+        assert "MyBank Inc" in self.elements.copyright_notice
+
+
+class TestEdgeCases:
+    def test_empty_page(self):
+        elements = extract_elements("", base_url="http://x.com/")
+        assert elements.title == ""
+        assert elements.text == ""
+        assert elements.href_links == []
+
+    def test_no_base_url_keeps_absolute_only(self):
+        html = '<a href="/rel">r</a><a href="http://abs.com/x">a</a>'
+        elements = extract_elements(html)
+        assert elements.href_links == ["http://abs.com/x"]
+
+    def test_malformed_html_does_not_raise(self):
+        elements = extract_elements("<a href='x<<><p>>bad", base_url="http://x.com")
+        assert isinstance(elements.href_links, list)
+
+    def test_data_uri_dropped(self):
+        html = '<img src="data:image/png;base64,AAAA">'
+        elements = extract_elements(html, base_url="http://x.com/")
+        assert elements.resource_links == []
+        assert elements.image_count == 1
+
+
+class TestFindCopyright:
+    def test_symbol(self):
+        assert find_copyright("line one\n© 2015 Acme\nmore") == "© 2015 Acme"
+
+    def test_word(self):
+        assert "Copyright" in find_copyright("Copyright 2014 Acme Corp")
+
+    def test_parenthetical(self):
+        assert find_copyright("(c) Acme") == "(c) Acme"
+
+    def test_all_rights_reserved(self):
+        assert find_copyright("Acme. All Rights Reserved.") != ""
+
+    def test_absent(self):
+        assert find_copyright("no notice here") == ""
+
+    def test_empty(self):
+        assert find_copyright("") == ""

@@ -1,0 +1,129 @@
+"""Tests for the gradient boosting classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.metrics import roc_auc
+
+
+def _linear_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 6))
+    y = (X[:, 0] + 0.5 * X[:, 1] + rng.normal(scale=0.2, size=n) > 0)
+    return X, y.astype(int)
+
+
+def _xor_data(n=400, seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestLearning:
+    def test_learns_linear_boundary(self):
+        X, y = _linear_data()
+        model = GradientBoostingClassifier(
+            n_estimators=50, random_state=0
+        ).fit(X[:300], y[:300])
+        assert roc_auc(y[300:], model.predict_proba(X[300:])) > 0.95
+
+    def test_learns_xor(self):
+        # XOR needs interactions: trees of depth >= 2 must capture it.
+        X, y = _xor_data()
+        model = GradientBoostingClassifier(
+            n_estimators=80, max_depth=2, random_state=0
+        ).fit(X[:300], y[:300])
+        assert roc_auc(y[300:], model.predict_proba(X[300:])) > 0.95
+
+    def test_train_deviance_decreases(self):
+        X, y = _linear_data()
+        model = GradientBoostingClassifier(n_estimators=30, random_state=0)
+        model.fit(X, y)
+        deviance = model.train_deviance_
+        assert deviance[-1] < deviance[0]
+
+    def test_subsample(self):
+        X, y = _linear_data()
+        model = GradientBoostingClassifier(
+            n_estimators=30, subsample=0.5, random_state=0
+        ).fit(X, y)
+        assert roc_auc(y, model.predict_proba(X)) > 0.9
+
+    def test_deterministic_given_seed(self):
+        X, y = _linear_data()
+        first = GradientBoostingClassifier(
+            n_estimators=10, subsample=0.7, random_state=7
+        ).fit(X, y).predict_proba(X)
+        second = GradientBoostingClassifier(
+            n_estimators=10, subsample=0.7, random_state=7
+        ).fit(X, y).predict_proba(X)
+        assert np.allclose(first, second)
+
+
+class TestPrediction:
+    def test_proba_in_unit_interval(self):
+        X, y = _linear_data()
+        model = GradientBoostingClassifier(n_estimators=20).fit(X, y)
+        scores = model.predict_proba(X)
+        assert scores.min() >= 0.0 and scores.max() <= 1.0
+
+    def test_predict_threshold(self):
+        X, y = _linear_data()
+        model = GradientBoostingClassifier(n_estimators=20).fit(X, y)
+        strict = model.predict(X, threshold=0.9).sum()
+        lax = model.predict(X, threshold=0.1).sum()
+        assert strict <= lax
+
+    def test_staged_predict_converges_to_final(self):
+        X, y = _linear_data(n=100)
+        model = GradientBoostingClassifier(n_estimators=15).fit(X, y)
+        stages = list(model.staged_predict_proba(X))
+        assert len(stages) == 15
+        assert np.allclose(stages[-1], model.predict_proba(X))
+
+    def test_feature_importances(self):
+        X, y = _linear_data()
+        model = GradientBoostingClassifier(n_estimators=30, random_state=0)
+        model.fit(X, y)
+        importances = model.feature_importances()
+        assert importances.shape == (6,)
+        assert importances.sum() == pytest.approx(1.0)
+        # The informative features dominate.
+        assert importances[0] + importances[1] > 0.5
+
+
+class TestValidation:
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=-1)
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier().fit(np.ones((4, 2)),
+                                             np.array([0, 1, 2, 1]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier().fit(np.ones((4, 2)), np.ones(3))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingClassifier().predict_proba(np.ones((1, 2)))
+
+    def test_predict_wrong_width(self):
+        X, y = _linear_data(n=50)
+        model = GradientBoostingClassifier(n_estimators=5).fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict_proba(np.ones((2, 3)))
+
+    def test_single_class_training(self):
+        # Degenerate but should not crash: all-legitimate training data.
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        model = GradientBoostingClassifier(n_estimators=5).fit(X, np.zeros(30))
+        assert model.predict_proba(X).max() < 0.5

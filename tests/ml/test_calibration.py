@@ -1,0 +1,101 @@
+"""Tests for calibration and threshold selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml.calibration import (
+    expected_calibration_error,
+    reliability_curve,
+    threshold_for_fpr,
+    threshold_for_precision,
+)
+
+
+class TestReliabilityCurve:
+    def test_perfectly_calibrated(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(20_000)
+        y = (rng.random(20_000) < scores).astype(int)
+        centers, observed, counts = reliability_curve(y, scores, n_bins=5)
+        assert len(centers) == 5
+        assert counts.sum() == 20_000
+        mask = counts > 0
+        assert np.allclose(centers[mask], observed[mask], atol=0.03)
+
+    def test_empty_bins_are_nan(self):
+        y = np.array([0, 1])
+        scores = np.array([0.05, 0.95])
+        _centers, observed, counts = reliability_curve(y, scores, n_bins=10)
+        assert counts[0] == 1 and counts[-1] == 1
+        assert np.isnan(observed[5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reliability_curve(np.ones(3), np.ones(3), n_bins=1)
+        with pytest.raises(ValueError):
+            reliability_curve(np.ones(3), np.ones(4))
+
+
+class TestEce:
+    def test_zero_for_calibrated(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(30_000)
+        y = (rng.random(30_000) < scores).astype(int)
+        assert expected_calibration_error(y, scores) < 0.02
+
+    def test_large_for_anticalibrated(self):
+        scores = np.array([0.95] * 100 + [0.05] * 100)
+        y = np.array([0] * 100 + [1] * 100)
+        assert expected_calibration_error(y, scores) > 0.8
+
+    def test_empty(self):
+        assert expected_calibration_error(np.array([]), np.array([])) == 0.0
+
+
+class TestThresholdForFpr:
+    def test_meets_budget(self):
+        rng = np.random.default_rng(2)
+        y = np.array([0] * 900 + [1] * 100)
+        scores = np.concatenate([
+            rng.beta(1, 6, 900), rng.beta(6, 1, 100)
+        ])
+        for budget in (0.0, 0.01, 0.05):
+            threshold = threshold_for_fpr(y, scores, budget)
+            fpr = float((scores[y == 0] >= threshold).mean())
+            assert fpr <= budget + 1e-12
+
+    def test_most_permissive_within_budget(self):
+        y = np.array([0, 0, 0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.3, 0.8, 0.85, 0.9])
+        # 25% budget allows exactly one negative (0.8) above threshold.
+        threshold = threshold_for_fpr(y, scores, 0.25)
+        assert threshold <= 0.8
+        assert (scores[y == 0] >= threshold).sum() == 1
+
+    def test_no_negatives(self):
+        assert threshold_for_fpr(np.array([1, 1]), np.array([0.5, 0.9]),
+                                 0.01) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            threshold_for_fpr(np.array([0, 1]), np.array([0.1, 0.9]), 1.5)
+
+
+class TestThresholdForPrecision:
+    def test_achievable(self):
+        y = np.array([0, 0, 1, 1, 1])
+        scores = np.array([0.1, 0.55, 0.6, 0.8, 0.9])
+        threshold = threshold_for_precision(y, scores, 0.75)
+        assert threshold is not None
+        predictions = scores >= threshold
+        precision = (predictions & (y == 1)).sum() / predictions.sum()
+        assert precision >= 0.75
+
+    def test_unachievable_returns_none(self):
+        y = np.array([0, 0, 0])
+        scores = np.array([0.9, 0.8, 0.7])
+        assert threshold_for_precision(y, scores, 0.5) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            threshold_for_precision(np.array([0, 1]), np.array([0.1, 0.9]), 0)

@@ -1,0 +1,54 @@
+"""Tests for logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics import roc_auc
+
+
+class TestLogisticRegression:
+    def _data(self, n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 5))
+        y = (2 * X[:, 0] - X[:, 1] > 0).astype(int)
+        return X, y
+
+    def test_learns_separable_data(self):
+        X, y = self._data()
+        model = LogisticRegression(epochs=50, random_state=0).fit(
+            X[:200], y[:200]
+        )
+        assert roc_auc(y[200:], model.predict_proba(X[200:])) > 0.95
+
+    def test_proba_bounds(self):
+        X, y = self._data()
+        model = LogisticRegression(epochs=10).fit(X, y)
+        scores = model.predict_proba(X)
+        assert scores.min() >= 0 and scores.max() <= 1
+
+    def test_predict_threshold(self):
+        X, y = self._data()
+        model = LogisticRegression(epochs=10).fit(X, y)
+        assert model.predict(X, threshold=0.9).sum() <= \
+            model.predict(X, threshold=0.1).sum()
+
+    def test_l2_shrinks_weights(self):
+        X, y = self._data()
+        free = LogisticRegression(epochs=30, l2=0.0, random_state=0).fit(X, y)
+        shrunk = LogisticRegression(epochs=30, l2=1.0, random_state=0).fit(X, y)
+        assert np.linalg.norm(shrunk.weights) < np.linalg.norm(free.weights)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(epochs=0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.ones((4, 2)), np.ones(3))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.ones((1, 2)))

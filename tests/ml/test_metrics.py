@@ -1,0 +1,161 @@
+"""Tests for classification metrics and curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    auc,
+    binary_metrics,
+    confusion_counts,
+    precision_recall_curve,
+    recall_at_precision,
+    roc_auc,
+    roc_curve,
+)
+
+
+class TestConfusion:
+    def test_counts(self):
+        y_true = np.array([1, 1, 0, 0, 1, 0])
+        y_pred = np.array([1, 0, 0, 1, 1, 0])
+        assert confusion_counts(y_true, y_pred) == (2, 1, 2, 1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_counts(np.ones(3), np.ones(4))
+
+
+class TestBinaryMetrics:
+    def test_hand_computed(self):
+        y_true = np.array([1, 1, 1, 0, 0, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0, 0, 0, 0])
+        metrics = binary_metrics(y_true, y_pred)
+        assert metrics.precision == pytest.approx(2 / 3)
+        assert metrics.recall == pytest.approx(2 / 3)
+        assert metrics.f1 == pytest.approx(2 / 3)
+        assert metrics.fpr == pytest.approx(1 / 5)
+        assert metrics.accuracy == pytest.approx(6 / 8)
+
+    def test_perfect(self):
+        y = np.array([1, 0, 1, 0])
+        metrics = binary_metrics(y, y)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.fpr == 0.0
+
+    def test_degenerate_no_predicted_positives(self):
+        metrics = binary_metrics(np.array([1, 0]), np.array([0, 0]))
+        assert metrics.precision == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_degenerate_no_actual_positives(self):
+        metrics = binary_metrics(np.array([0, 0]), np.array([1, 0]))
+        assert metrics.recall == 0.0
+        assert metrics.fpr == 0.5
+
+    def test_as_dict_keys(self):
+        metrics = binary_metrics(np.array([1, 0]), np.array([1, 0]))
+        assert set(metrics.as_dict()) == {
+            "precision", "recall", "f1", "fpr", "accuracy"
+        }
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert roc_auc(y, scores) == pytest.approx(1.0)
+
+    def test_inverted_scores(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(y, scores) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 2000)
+        scores = rng.random(2000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_thresholds_descend(self):
+        y = np.array([0, 1, 0, 1, 1])
+        scores = np.array([0.3, 0.6, 0.1, 0.9, 0.6])
+        _fpr, _tpr, thresholds = roc_curve(y, scores)
+        assert all(
+            first >= second
+            for first, second in zip(thresholds, thresholds[1:])
+        )
+
+    def test_tied_scores_single_vertex(self):
+        y = np.array([0, 1, 1, 0])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert len(fpr) == 2  # origin + one vertex
+
+
+class TestAuc:
+    def test_unit_square_diagonal(self):
+        assert auc(np.array([0, 1]), np.array([0, 1])) == pytest.approx(0.5)
+
+    def test_unsorted_input(self):
+        assert auc(np.array([1, 0]), np.array([1, 0])) == pytest.approx(0.5)
+
+    def test_single_point(self):
+        assert auc(np.array([0.5]), np.array([0.5])) == 0.0
+
+
+class TestPrecisionRecallCurve:
+    def test_monotone_recall(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 100)
+        scores = rng.random(100)
+        _precision, recall, _ = precision_recall_curve(y, scores)
+        assert all(a <= b for a, b in zip(recall, recall[1:]))
+
+    def test_perfect_classifier(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        precision, recall, _ = precision_recall_curve(y, scores)
+        assert precision[0] == 1.0
+        assert recall[-1] == 1.0
+
+    def test_recall_at_precision(self):
+        y = np.array([0, 0, 1, 1, 1, 0])
+        scores = np.array([0.1, 0.95, 0.8, 0.9, 0.7, 0.2])
+        # At precision >= 0.6 we can take the top-5 (3 TP, 2 FP): rec=1.
+        assert recall_at_precision(y, scores, 0.6) == pytest.approx(1.0)
+        # Demanding precision 1.0 is impossible past the first FP.
+        assert recall_at_precision(y, scores, 1.0) < 1.0
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=60),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_auc_bounded(self, labels, seed):
+        y = np.asarray(labels)
+        if y.min() == y.max():
+            return  # need both classes
+        scores = np.random.default_rng(seed).random(len(y))
+        value = roc_auc(y, scores)
+        assert 0.0 <= value <= 1.0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=60),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_roc_endpoints(self, labels, seed):
+        y = np.asarray(labels)
+        if y.min() == y.max():
+            return
+        scores = np.random.default_rng(seed).random(len(y))
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0)
+        assert tpr[-1] == pytest.approx(1.0)

@@ -1,0 +1,113 @@
+"""Tests for the regression-tree base learner."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import RegressionTree
+
+
+def _step_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 3))
+    y = np.where(X[:, 0] > 0.2, 2.0, -1.0)
+    return X, y
+
+
+class TestFit:
+    def test_learns_step_function(self):
+        X, y = _step_data()
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        predictions = tree.predict(X)
+        assert np.abs(predictions - y).mean() < 0.05
+
+    def test_threshold_found_near_step(self):
+        X, y = _step_data(n=500)
+        tree = RegressionTree(max_depth=1).fit(X, y)
+        assert tree.feature[0] == 0
+        assert 0.1 < tree.threshold[0] < 0.3
+
+    def test_constant_target_yields_leaf(self):
+        X = np.random.default_rng(0).normal(size=(50, 4))
+        tree = RegressionTree(max_depth=3).fit(X, np.ones(50))
+        assert tree.n_nodes == 1
+        assert tree.predict(X[:5]) == pytest.approx(np.ones(5))
+
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 5))
+        y = rng.normal(size=300)
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        assert tree.depth_used <= 2
+
+    def test_min_samples_leaf(self):
+        X, y = _step_data(n=100)
+        tree = RegressionTree(max_depth=5, min_samples_leaf=30).fit(X, y)
+        for leaf in tree.leaf_ids():
+            assert len(tree.training_samples_in_leaf(leaf)) >= 30
+
+    def test_min_samples_split(self):
+        X, y = _step_data(n=10)
+        tree = RegressionTree(max_depth=10, min_samples_split=100).fit(X, y)
+        assert tree.n_nodes == 1
+
+    def test_max_features_subsampling(self):
+        X, y = _step_data()
+        tree = RegressionTree(
+            max_depth=2, max_features=1, rng=np.random.default_rng(3)
+        ).fit(X, y)
+        assert tree.n_nodes >= 1
+
+    def test_single_sample(self):
+        tree = RegressionTree().fit(np.array([[1.0, 2.0]]), np.array([5.0]))
+        assert tree.predict(np.array([[0.0, 0.0]]))[0] == pytest.approx(5.0)
+
+
+class TestValidation:
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+
+    def test_rejects_1d_x(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.ones(5), np.ones(5))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.ones((5, 2)), np.ones(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.ones((1, 2)))
+
+
+class TestLeafApi:
+    def test_apply_returns_leaves(self):
+        X, y = _step_data()
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        leaves = set(tree.leaf_ids().tolist())
+        assert set(tree.apply(X).tolist()) <= leaves
+
+    def test_set_leaf_value(self):
+        X, y = _step_data()
+        tree = RegressionTree(max_depth=1).fit(X, y)
+        leaf = int(tree.leaf_ids()[0])
+        tree.set_leaf_value(leaf, 99.0)
+        assert 99.0 in tree.predict(X)
+
+    def test_set_leaf_value_rejects_internal(self):
+        X, y = _step_data()
+        tree = RegressionTree(max_depth=1).fit(X, y)
+        with pytest.raises(ValueError):
+            tree.set_leaf_value(0, 1.0)  # root is internal here
+
+    def test_training_samples_partition(self):
+        X, y = _step_data(n=80)
+        tree = RegressionTree(max_depth=3).fit(X, y)
+        collected = np.concatenate([
+            tree.training_samples_in_leaf(leaf) for leaf in tree.leaf_ids()
+        ])
+        assert sorted(collected.tolist()) == list(range(80))

@@ -1,0 +1,86 @@
+"""Tests for cross-validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.validation import (
+    cross_validate,
+    cross_validate_scores,
+    stratified_kfold,
+    train_test_split,
+)
+
+
+class TestStratifiedKfold:
+    def test_folds_cover_everything_once(self):
+        y = np.array([0] * 20 + [1] * 10)
+        seen = []
+        for _train, test in stratified_kfold(y, n_splits=5, random_state=0):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(30))
+
+    def test_train_test_disjoint(self):
+        y = np.array([0, 1] * 15)
+        for train, test in stratified_kfold(y, n_splits=3, random_state=0):
+            assert not set(train.tolist()) & set(test.tolist())
+
+    def test_class_balance_preserved(self):
+        y = np.array([0] * 40 + [1] * 10)
+        for _train, test in stratified_kfold(y, n_splits=5, random_state=1):
+            ratio = y[test].mean()
+            assert 0.1 <= ratio <= 0.3
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(stratified_kfold(np.array([0, 0, 1]), n_splits=5))
+
+    def test_rejects_bad_n_splits(self):
+        with pytest.raises(ValueError):
+            list(stratified_kfold(np.array([0, 1] * 10), n_splits=1))
+
+    def test_deterministic(self):
+        y = np.array([0, 1] * 20)
+        first = [t.tolist() for _tr, t in stratified_kfold(y, random_state=3)]
+        second = [t.tolist() for _tr, t in stratified_kfold(y, random_state=3)]
+        assert first == second
+
+
+class TestTrainTestSplit:
+    def test_disjoint_and_complete(self):
+        train, test = train_test_split(20, test_fraction=0.25, random_state=0)
+        assert len(test) == 5
+        assert sorted(np.concatenate([train, test]).tolist()) == list(range(20))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, test_fraction=1.5)
+
+
+class TestCrossValidate:
+    def _data(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(150, 4))
+        y = (X[:, 0] > 0).astype(int)
+        return X, y
+
+    def test_metrics_keys_and_quality(self):
+        X, y = self._data()
+        result = cross_validate(
+            lambda: GradientBoostingClassifier(n_estimators=15),
+            X, y, n_splits=3, random_state=0,
+        )
+        assert set(result) == {
+            "precision", "recall", "f1", "fpr", "accuracy", "auc"
+        }
+        assert result["auc"] > 0.9
+
+    def test_scores_shapes(self):
+        X, y = self._data()
+        y_true, scores = cross_validate_scores(
+            lambda: GradientBoostingClassifier(n_estimators=10),
+            X, y, n_splits=3, random_state=0,
+        )
+        assert len(y_true) == len(y)
+        assert len(scores) == len(y)
+        assert scores.min() >= 0 and scores.max() <= 1

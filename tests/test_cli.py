@@ -1,0 +1,57 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import _EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in _EXPERIMENTS:
+            assert experiment_id in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["experiment", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_seed_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["--scale", "0.01", "--seed", "3", "list-experiments"]
+        )
+        assert args.scale == 0.01
+        assert args.seed == 3
+
+
+class TestCommands:
+    """Smoke runs at minimum scale (slow-ish: builds a world)."""
+
+    @pytest.fixture(scope="class")
+    def base_args(self):
+        return ["--scale", "0.002", "--seed", "21", "--estimators", "15"]
+
+    def test_experiment_table5(self, base_args, capsys):
+        assert main(base_args + ["experiment", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "phishTrain" in out and "english" in out
+
+    def test_experiment_table9(self, base_args, capsys):
+        assert main(base_args + ["experiment", "table9"]) == 0
+        out = capsys.readouterr().out
+        assert "top-1" in out and "success_rate" in out
+
+    def test_demo(self, base_args, capsys):
+        assert main(base_args + ["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "->" in out
+
+    def test_analyze(self, base_args, capsys):
+        assert main(base_args + ["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "feature-group importances" in out
+        assert "false positives" in out

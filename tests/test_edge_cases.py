@@ -1,0 +1,153 @@
+"""Edge-case tests across components: inputs real crawls actually produce."""
+
+import numpy as np
+
+from repro.core import FeatureExtractor
+from repro.core.datasources import DataSources
+from repro.core.keyterms import KeytermExtractor
+from repro.html.extract import extract_elements
+from repro.text.distributions import TermDistribution, hellinger_distance
+from repro.text.terms import extract_terms
+from repro.urls.parsing import parse_url
+from repro.web.page import PageSnapshot
+
+
+class TestUrlEdgeCases:
+    def test_userinfo_stripped_from_host(self):
+        # Classic obfuscation: http://paypal.com@evil.xyz/ — the real
+        # host is evil.xyz.
+        url = parse_url("http://paypal.com@evil.xyz/login")
+        assert url.fqdn == "evil.xyz"
+        assert url.rdn == "evil.xyz"
+
+    def test_port_not_in_fqdn(self):
+        url = parse_url("http://evil.xyz:8080/x")
+        assert url.fqdn == "evil.xyz"
+        assert url.port == 8080
+
+    def test_percent_encoded_path(self):
+        url = parse_url("http://a.com/p%20ath?q=%3Cscript%3E")
+        assert url.path == "/p%20ath"
+
+    def test_very_long_url(self):
+        url = parse_url("http://a.com/" + "x" * 5000)
+        assert len(url.raw) > 5000
+
+    def test_single_label_host(self):
+        url = parse_url("http://localhost/admin")
+        assert url.fqdn == "localhost"
+        # Whole host is treated as the (implicit-rule) public suffix.
+        assert url.rdn is None
+
+    def test_punycode_host_parses(self):
+        url = parse_url("http://xn--pypal-4ve.com/")
+        assert url.mld == "xn--pypal-4ve"
+
+
+class TestHtmlEdgeCases:
+    def test_nested_iframes_counted(self):
+        html = "<iframe src='/a'><iframe src='/b'></iframe></iframe>"
+        elements = extract_elements(html, base_url="http://x.com")
+        assert elements.iframe_count == 2
+
+    def test_comment_content_not_text(self):
+        elements = extract_elements(
+            "<body><!-- hidden secret --><p>visible</p></body>",
+            base_url="http://x.com",
+        )
+        assert "secret" not in elements.text
+
+    def test_attribute_less_tags(self):
+        elements = extract_elements("<a>no href</a><img>", "http://x.com")
+        assert elements.href_links == []
+        assert elements.image_count == 1
+
+    def test_uppercase_tags(self):
+        elements = extract_elements(
+            "<TITLE>Upper</TITLE><BODY><A HREF='/x'>l</A></BODY>",
+            base_url="http://x.com",
+        )
+        assert elements.title == "Upper"
+        assert elements.href_links == ["http://x.com/x"]
+
+    def test_protocol_relative_resource(self):
+        elements = extract_elements(
+            '<img src="//cdn.example.net/a.png">',
+            base_url="https://site.com/page",
+        )
+        assert elements.resource_links == ["https://cdn.example.net/a.png"]
+
+
+class TestTermEdgeCases:
+    def test_only_separators(self):
+        assert extract_terms("...---///123") == []
+
+    def test_mixed_script_word(self):
+        # Cyrillic 'раураl' homoglyph spoof canonicalises into letters.
+        terms = extract_terms("раyраl")
+        assert terms  # recovered as a term, not dropped
+
+    def test_distribution_of_one_repeated_term(self):
+        dist = TermDistribution.from_terms(["aaa"] * 50)
+        assert dist.probability("aaa") == 1.0
+
+    def test_hellinger_subset_distributions(self):
+        small = TermDistribution.from_counts({"aaa": 1})
+        large = TermDistribution.from_counts(
+            {"aaa": 1, "bbb": 1, "ccc": 1, "ddd": 1}
+        )
+        distance = hellinger_distance(small, large)
+        assert 0.0 < distance < 1.0
+
+
+class TestPipelineEdgeCases:
+    def test_snapshot_with_no_links_or_text(self):
+        snapshot = PageSnapshot(
+            starting_url="http://bare.com/", landing_url="http://bare.com/",
+            html="<html></html>",
+        )
+        vector = FeatureExtractor().extract(snapshot)
+        assert vector.shape == (212,)
+        assert np.all(np.isfinite(vector))
+
+    def test_snapshot_with_hundreds_of_links(self):
+        links = "".join(
+            f'<a href="http://site{i}.com/page">l{i}</a>' for i in range(300)
+        )
+        snapshot = PageSnapshot(
+            starting_url="http://hub.com/", landing_url="http://hub.com/",
+            html=f"<title>hub</title><body>{links}</body>",
+        )
+        sources = DataSources(snapshot)
+        assert len(sources.external_href) == 300
+        vector = FeatureExtractor().extract(snapshot)
+        assert np.all(np.isfinite(vector))
+
+    def test_keyterms_on_whitespace_only_page(self):
+        snapshot = PageSnapshot(
+            starting_url="http://x.com/", landing_url="http://x.com/",
+            html="<body>   \n\t  </body>",
+        )
+        keyterms = KeytermExtractor().extract(DataSources(snapshot))
+        assert keyterms.prominent == []
+
+    def test_unicode_heavy_page(self):
+        snapshot = PageSnapshot(
+            starting_url="http://unicode.com/",
+            landing_url="http://unicode.com/",
+            html=(
+                "<title>Üñíçødé Bänk</title><body>"
+                "<p>Überweisung tätigen — Crédit épargne</p></body>"
+            ),
+        )
+        sources = DataSources(snapshot)
+        assert "unicode" in sources.d_startrdn
+        assert "uberweisung" in sources.d_text
+        vector = FeatureExtractor().extract(snapshot)
+        assert np.all(np.isfinite(vector))
+
+    def test_identical_start_and_land_with_query(self):
+        url = "http://a.com/page?x=1&y=2"
+        snapshot = PageSnapshot(starting_url=url, landing_url=url, html="")
+        sources = DataSources(snapshot)
+        assert hellinger_distance(sources.d_start, sources.d_land) == 0.0

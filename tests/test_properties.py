@@ -1,0 +1,150 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import string
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import FeatureExtractor
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.tree import RegressionTree
+from repro.urls.parsing import UrlParseError, parse_url
+from repro.urls.public_suffix import default_psl
+from repro.web.page import PageSnapshot, Screenshot
+
+_LABEL = st.text(alphabet=string.ascii_lowercase + string.digits,
+                 min_size=1, max_size=12)
+_HOST = st.lists(_LABEL, min_size=1, max_size=5).map(".".join)
+
+
+class TestUrlInvariants:
+    @given(_HOST, st.sampled_from(["http", "https"]))
+    def test_structural_invariants(self, host, scheme):
+        """FQDN = subdomains + RDN; RDN = mld + public suffix."""
+        try:
+            url = parse_url(f"{scheme}://{host}/path")
+        except UrlParseError:
+            return
+        if url.is_ip:
+            assert url.rdn is None
+            return
+        if url.rdn is not None:
+            assert url.fqdn.endswith(url.rdn)
+            assert url.rdn == f"{url.mld}.{url.public_suffix}" or \
+                url.rdn == url.mld
+            if url.subdomains:
+                assert url.fqdn == f"{url.subdomains}.{url.rdn}"
+            else:
+                assert url.fqdn == url.rdn
+        assert url.protocol == scheme
+
+    @given(_HOST)
+    def test_free_url_carries_path_and_query(self, host):
+        try:
+            url = parse_url(f"http://{host}/some/path?q=1")
+        except UrlParseError:
+            return
+        assert "/some/path" in url.free_url
+        assert "q=1" in url.free_url
+
+    @given(_HOST)
+    def test_psl_split_reassembles(self, host):
+        psl = default_psl()
+        subdomains, mld, suffix = psl.split(host)
+        parts = [part for part in (subdomains, mld, suffix) if part]
+        assert ".".join(parts) == host.lower().strip(".")
+
+
+class TestTreeInvariants:
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_predictions_bounded_by_targets(self, seed, depth):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 3))
+        y = rng.normal(size=60)
+        tree = RegressionTree(max_depth=depth).fit(X, y)
+        predictions = tree.predict(rng.normal(size=(40, 3)))
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_apply_partitions_consistently(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(50, 4))
+        y = rng.normal(size=50)
+        tree = RegressionTree(max_depth=3).fit(X, y)
+        leaves = tree.apply(X)
+        values = tree.predict(X)
+        # Same leaf -> same prediction.
+        for leaf in np.unique(leaves):
+            leaf_values = values[leaves == leaf]
+            assert np.allclose(leaf_values, leaf_values[0])
+
+
+class TestBoostingInvariants:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_probabilities_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(80, 4))
+        y = (X[:, 0] > 0).astype(int)
+        if y.min() == y.max():
+            return
+        model = GradientBoostingClassifier(
+            n_estimators=8, random_state=0
+        ).fit(X, y)
+        scores = model.predict_proba(X)
+        assert np.all((scores >= 0) & (scores <= 1))
+        assert np.array_equal(
+            model.predict(X, threshold=0.5), (scores >= 0.5).astype(int)
+        )
+
+
+class TestFeatureInvariants:
+    _WORD = st.text(alphabet=string.ascii_lowercase, min_size=3, max_size=8)
+
+    @given(
+        st.lists(_WORD, min_size=0, max_size=30),
+        _HOST,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_extractor_always_yields_212_finite_features(self, words, host):
+        try:
+            parse_url(f"http://{host}/")
+        except UrlParseError:
+            return
+        html = (
+            "<title>" + " ".join(words[:5]) + "</title><body><p>"
+            + " ".join(words) + "</p></body>"
+        )
+        snapshot = PageSnapshot(
+            starting_url=f"http://{host}/",
+            landing_url=f"http://{host}/",
+            html=html,
+            screenshot=Screenshot(rendered_text=" ".join(words)),
+        )
+        vector = FeatureExtractor().extract(snapshot)
+        assert vector.shape == (212,)
+        assert np.all(np.isfinite(vector))
+        # All f2 features (Hellinger distances) stay in [0, 1].
+        f2 = vector[106:172]
+        assert np.all((f2 >= 0) & (f2 <= 1))
+
+    @given(st.lists(_WORD, min_size=1, max_size=10))
+    @settings(max_examples=20, deadline=None)
+    def test_extraction_deterministic(self, words):
+        snapshot = PageSnapshot(
+            starting_url="http://example.com/",
+            landing_url="http://example.com/",
+            html="<body>" + " ".join(words) + "</body>",
+        )
+        extractor = FeatureExtractor()
+        assert np.array_equal(
+            extractor.extract(snapshot), extractor.extract(snapshot)
+        )

@@ -1,0 +1,126 @@
+"""Tests for term distributions and the Hellinger distance."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.distributions import TermDistribution, hellinger_distance
+
+
+class TestConstruction:
+    def test_from_counts(self):
+        dist = TermDistribution.from_counts({"pay": 3, "bank": 1})
+        assert dist.probability("pay") == pytest.approx(0.75)
+        assert dist.probability("bank") == pytest.approx(0.25)
+
+    def test_from_terms(self):
+        dist = TermDistribution.from_terms(["a" * 3, "a" * 3, "bbb"])
+        assert dist.probability("aaa") == pytest.approx(2 / 3)
+
+    def test_from_text(self):
+        dist = TermDistribution.from_text("secure secure login")
+        assert dist.probability("secure") == pytest.approx(2 / 3)
+
+    def test_zero_counts_dropped(self):
+        dist = TermDistribution.from_counts({"pay": 1, "gone": 0})
+        assert "gone" not in dist
+
+    def test_empty(self):
+        dist = TermDistribution()
+        assert not dist
+        assert len(dist) == 0
+        assert dist.probability("x") == 0.0
+
+    def test_rejects_non_normalised(self):
+        with pytest.raises(ValueError):
+            TermDistribution({"a": 0.5, "b": 0.2})
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            TermDistribution({"a": 0.0, "b": 1.0})
+
+
+class TestAccessors:
+    def test_terms(self):
+        dist = TermDistribution.from_counts({"aaa": 1, "bbb": 1})
+        assert dist.terms == {"aaa", "bbb"}
+
+    def test_contains_and_iter(self):
+        dist = TermDistribution.from_counts({"aaa": 1})
+        assert "aaa" in dist
+        assert list(dist) == ["aaa"]
+
+    def test_top(self):
+        dist = TermDistribution.from_counts({"low": 1, "high": 5, "mid": 3})
+        assert [term for term, _p in dist.top(2)] == ["high", "mid"]
+
+    def test_top_ties_alphabetical(self):
+        dist = TermDistribution.from_counts({"bbb": 1, "aaa": 1})
+        assert [term for term, _p in dist.top(2)] == ["aaa", "bbb"]
+
+    def test_substring_mass(self):
+        dist = TermDistribution.from_counts({"bank": 1, "america": 1, "xyz": 2})
+        mass = dist.probability_mass_of_substrings("bankofamerica")
+        assert mass == pytest.approx(0.5)
+
+    def test_substring_mass_empty_text(self):
+        dist = TermDistribution.from_counts({"bank": 1})
+        assert dist.probability_mass_of_substrings("") == 0.0
+
+    def test_equality(self):
+        first = TermDistribution.from_counts({"aaa": 2})
+        second = TermDistribution.from_counts({"aaa": 5})
+        assert first == second  # both are point masses on "aaa"
+
+
+class TestHellinger:
+    def test_identical_is_zero(self):
+        dist = TermDistribution.from_counts({"aaa": 1, "bbb": 3})
+        assert hellinger_distance(dist, dist) == 0.0
+
+    def test_disjoint_is_one(self):
+        first = TermDistribution.from_counts({"aaa": 1})
+        second = TermDistribution.from_counts({"bbb": 1})
+        assert hellinger_distance(first, second) == 1.0
+
+    def test_both_empty_is_zero(self):
+        assert hellinger_distance(TermDistribution(), TermDistribution()) == 0.0
+
+    def test_one_empty_is_one(self):
+        dist = TermDistribution.from_counts({"aaa": 1})
+        assert hellinger_distance(dist, TermDistribution()) == 1.0
+        assert hellinger_distance(TermDistribution(), dist) == 1.0
+
+    def test_known_value(self):
+        # P = {a: 1}, Q = {a: 1/2, b: 1/2}:
+        # H^2 = 1/2 [ (1 - sqrt(.5))^2 + .5 ] = 1 - sqrt(0.5)
+        first = TermDistribution.from_counts({"aaa": 1})
+        second = TermDistribution.from_counts({"aaa": 1, "bbb": 1})
+        expected = 1 - math.sqrt(0.5)
+        assert hellinger_distance(first, second) == pytest.approx(expected)
+
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcdef", min_size=3, max_size=5),
+            st.integers(min_value=1, max_value=20),
+            min_size=1, max_size=8,
+        ),
+        st.dictionaries(
+            st.text(alphabet="abcdef", min_size=3, max_size=5),
+            st.integers(min_value=1, max_value=20),
+            min_size=1, max_size=8,
+        ),
+    )
+    def test_properties(self, first_counts, second_counts):
+        first = TermDistribution.from_counts(first_counts)
+        second = TermDistribution.from_counts(second_counts)
+        distance = hellinger_distance(first, second)
+        # Bounded, symmetric, zero iff same distribution.
+        assert 0.0 <= distance <= 1.0
+        assert distance == pytest.approx(
+            hellinger_distance(second, first)
+        )
+        if first == second:
+            assert distance == pytest.approx(0.0, abs=1e-12)

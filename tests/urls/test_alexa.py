@@ -1,0 +1,66 @@
+"""Tests for the Alexa-style popularity ranking."""
+
+import pytest
+
+from repro.urls.alexa import DEFAULT_UNRANKED, AlexaRanking
+
+
+class TestRank:
+    def test_ordered_iterable_assigns_positions(self):
+        ranking = AlexaRanking(["google.com", "facebook.com", "youtube.com"])
+        assert ranking.rank("google.com") == 1
+        assert ranking.rank("youtube.com") == 3
+
+    def test_mapping_input(self):
+        ranking = AlexaRanking({"example.com": 42})
+        assert ranking.rank("example.com") == 42
+
+    def test_default_for_unknown(self):
+        ranking = AlexaRanking(["google.com"])
+        assert ranking.rank("unknown.com") == DEFAULT_UNRANKED
+
+    def test_default_for_none(self):
+        assert AlexaRanking().rank(None) == DEFAULT_UNRANKED
+
+    def test_case_insensitive(self):
+        ranking = AlexaRanking(["Example.COM"])
+        assert ranking.rank("EXAMPLE.com") == 1
+
+    def test_custom_default(self):
+        ranking = AlexaRanking(default=99)
+        assert ranking.rank("x.com") == 99
+
+
+class TestMembership:
+    def test_contains(self):
+        ranking = AlexaRanking(["a.com"])
+        assert "a.com" in ranking
+        assert "b.com" not in ranking
+
+    def test_is_ranked(self):
+        ranking = AlexaRanking(["a.com"])
+        assert ranking.is_ranked("a.com")
+        assert not ranking.is_ranked("b.com")
+        assert not ranking.is_ranked(None)
+
+    def test_len(self):
+        assert len(AlexaRanking(["a.com", "b.com"])) == 2
+
+
+class TestMutation:
+    def test_add(self):
+        ranking = AlexaRanking()
+        ranking.add("new.com", 7)
+        assert ranking.rank("new.com") == 7
+
+    def test_add_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            AlexaRanking().add("x.com", 0)
+
+    def test_top(self):
+        ranking = AlexaRanking({"c.com": 3, "a.com": 1, "b.com": 2})
+        assert ranking.top(2) == ["a.com", "b.com"]
+
+    def test_from_popularity(self):
+        ranking = AlexaRanking.from_popularity(["first.com", "second.com"])
+        assert ranking.rank("first.com") < ranking.rank("second.com")

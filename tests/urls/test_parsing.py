@@ -1,0 +1,126 @@
+"""Tests for URL decomposition (Section II-B model)."""
+
+import pytest
+
+from repro.urls.parsing import ParsedUrl, UrlParseError, parse_url
+
+
+class TestComponents:
+    def test_paper_example(self):
+        url = parse_url("https://www.amazon.co.uk/ap/signin?_encoding=UTF8")
+        assert url.protocol == "https"
+        assert url.fqdn == "www.amazon.co.uk"
+        assert url.rdn == "amazon.co.uk"
+        assert url.mld == "amazon"
+        assert url.public_suffix == "co.uk"
+        assert url.subdomains == "www"
+        assert url.path == "/ap/signin"
+        assert url.query == "_encoding=UTF8"
+
+    def test_no_subdomains(self):
+        url = parse_url("http://example.com/")
+        assert url.subdomains == ""
+        assert url.rdn == "example.com"
+
+    def test_deep_subdomains(self):
+        url = parse_url("http://paypal.com.secure.evil.xyz/login")
+        assert url.rdn == "evil.xyz"
+        assert url.mld == "evil"
+        assert url.subdomains == "paypal.com.secure"
+
+    def test_missing_scheme_defaults_to_http(self):
+        url = parse_url("example.com/page")
+        assert url.protocol == "http"
+        assert url.fqdn == "example.com"
+
+    def test_port(self):
+        assert parse_url("http://example.com:8080/x").port == 8080
+        assert parse_url("http://example.com/x").port is None
+
+    def test_fragment(self):
+        assert parse_url("http://example.com/a#sec").fragment == "sec"
+
+    def test_host_case_normalised(self):
+        assert parse_url("http://ExAmPle.COM/Path").fqdn == "example.com"
+
+    def test_free_hosting_private_suffix(self):
+        url = parse_url("http://victim-login.000webhostapp.com/x")
+        assert url.rdn == "victim-login.000webhostapp.com"
+        assert url.mld == "victim-login"
+
+
+class TestIpUrls:
+    def test_ipv4(self):
+        url = parse_url("http://192.168.1.10/admin")
+        assert url.is_ip
+        assert url.rdn is None
+        assert url.mld is None
+        assert url.public_suffix is None
+        assert url.level_domain_count == 0
+
+    def test_ipv6(self):
+        url = parse_url("http://[2001:db8::1]/x")
+        assert url.is_ip
+
+    def test_dotted_but_not_ip(self):
+        assert not parse_url("http://10.20.30.example.com/").is_ip
+
+
+class TestFreeUrl:
+    def test_contains_subdomains_path_query(self):
+        url = parse_url("https://www.shop.example.com/buy/now?id=3")
+        assert "www.shop" in url.free_url
+        assert "/buy/now" in url.free_url
+        assert "id=3" in url.free_url
+
+    def test_homepage_is_empty(self):
+        assert parse_url("https://example.com/").free_url == ""
+
+    def test_rdn_not_in_free_url(self):
+        url = parse_url("https://sub.example.com/path")
+        assert "example.com" not in url.free_url
+
+
+class TestErrors:
+    def test_empty_string(self):
+        with pytest.raises(UrlParseError):
+            parse_url("")
+
+    def test_none(self):
+        with pytest.raises(UrlParseError):
+            parse_url(None)
+
+    def test_no_host(self):
+        with pytest.raises(UrlParseError):
+            parse_url("http:///path-only")
+
+    def test_bad_label(self):
+        with pytest.raises(UrlParseError):
+            parse_url("http://exa mple.com/")
+
+
+class TestHelpers:
+    def test_same_rdn(self):
+        first = parse_url("http://a.example.com/1")
+        second = parse_url("https://b.example.com/2")
+        assert first.same_rdn(second)
+
+    def test_same_rdn_ip_never_matches(self):
+        first = parse_url("http://10.0.0.1/")
+        second = parse_url("http://10.0.0.1/")
+        assert not first.same_rdn(second)
+
+    def test_uses_https(self):
+        assert parse_url("https://example.com/").uses_https
+        assert not parse_url("http://example.com/").uses_https
+
+    def test_level_domain_count(self):
+        assert parse_url("http://a.b.example.com/").level_domain_count == 4
+
+    def test_frozen(self):
+        url = parse_url("http://example.com/")
+        with pytest.raises(AttributeError):
+            url.fqdn = "other.com"
+
+    def test_is_parsed_url(self):
+        assert isinstance(parse_url("http://example.com/"), ParsedUrl)

@@ -1,0 +1,97 @@
+"""Tests for the public-suffix rules engine."""
+
+import pytest
+
+from repro.urls.public_suffix import PublicSuffixList, default_psl
+
+
+@pytest.fixture(scope="module")
+def psl():
+    return default_psl()
+
+
+class TestPublicSuffix:
+    def test_simple_tld(self, psl):
+        assert psl.public_suffix("example.com") == "com"
+
+    def test_second_level_rule(self, psl):
+        assert psl.public_suffix("www.amazon.co.uk") == "co.uk"
+
+    def test_deep_subdomains(self, psl):
+        assert psl.public_suffix("a.b.c.d.example.org") == "org"
+
+    def test_wildcard_rule(self, psl):
+        # *.ck makes any second-level label part of the suffix.
+        assert psl.public_suffix("foo.bar.ck") == "bar.ck"
+
+    def test_exception_rule(self, psl):
+        # !www.ck overrides the *.ck wildcard.
+        assert psl.public_suffix("www.ck") == "ck"
+        assert psl.registered_domain("foo.www.ck") == "www.ck"
+
+    def test_unknown_tld_falls_back_to_last_label(self, psl):
+        assert psl.public_suffix("host.unknowntld") == "unknowntld"
+        assert psl.registered_domain("host.unknowntld") == "host.unknowntld"
+
+    def test_private_hosting_rule(self, psl):
+        assert psl.public_suffix("me.github.io") == "github.io"
+        assert psl.registered_domain("a.b.github.io") == "b.github.io"
+
+
+class TestRegisteredDomain:
+    def test_basic(self, psl):
+        assert psl.registered_domain("www.example.com") == "example.com"
+
+    def test_bare_suffix_has_no_rdn(self, psl):
+        assert psl.registered_domain("com") is None
+        assert psl.registered_domain("co.uk") is None
+
+    def test_empty_input(self, psl):
+        assert psl.registered_domain("") is None
+
+    def test_case_and_trailing_dot_insensitive(self, psl):
+        assert psl.registered_domain("WWW.Example.COM.") == "example.com"
+
+
+class TestSplit:
+    def test_full_split(self, psl):
+        assert psl.split("www.amazon.co.uk") == ("www", "amazon", "co.uk")
+
+    def test_no_subdomains(self, psl):
+        assert psl.split("amazon.co.uk") == ("", "amazon", "co.uk")
+
+    def test_suffix_only(self, psl):
+        assert psl.split("co.uk") == ("", "", "co.uk")
+
+    def test_multiple_subdomains(self, psl):
+        subdomains, mld, suffix = psl.split("a.b.c.example.com")
+        assert (subdomains, mld, suffix) == ("a.b.c", "example", "com")
+
+    def test_empty(self, psl):
+        assert psl.split("") == ("", "", "")
+
+
+class TestIsPublicSuffix:
+    def test_positive(self, psl):
+        assert psl.is_public_suffix("co.uk")
+        assert psl.is_public_suffix("com")
+
+    def test_negative(self, psl):
+        assert not psl.is_public_suffix("example.com")
+        assert not psl.is_public_suffix("")
+
+
+class TestCustomRules:
+    def test_custom_rule_set(self):
+        custom = PublicSuffixList(["com", "*.example", "!special.example"])
+        # Wildcard: any label under .example is a suffix...
+        assert custom.public_suffix("www.shop.example") == "shop.example"
+        # ...except the exception rule, which registers at special.example.
+        assert custom.public_suffix("special.example") == "example"
+        assert custom.registered_domain("x.special.example") == "special.example"
+
+    def test_len_counts_rules(self):
+        assert len(PublicSuffixList(["com", "net"])) == 2
+
+    def test_default_is_cached(self):
+        assert default_psl() is default_psl()

@@ -1,0 +1,89 @@
+"""Tests for the simulated browser/scraper."""
+
+import pytest
+
+from repro.web.browser import Browser, PageNotFound, RedirectLoopError
+from repro.web.hosting import SyntheticWeb
+from repro.web.page import Screenshot
+
+
+@pytest.fixture()
+def web():
+    return SyntheticWeb()
+
+
+class TestLoad:
+    def test_direct_page(self, web):
+        web.host("http://a.com/", "<title>A</title>",
+                 Screenshot(rendered_text="A"))
+        snapshot = Browser(web).load("http://a.com/")
+        assert snapshot.starting_url == "http://a.com/"
+        assert snapshot.landing_url == "http://a.com/"
+        assert snapshot.redirection_chain == ["http://a.com/"]
+        assert snapshot.title == "A"
+        assert snapshot.screenshot.rendered_text == "A"
+
+    def test_single_redirect(self, web):
+        web.redirect("http://short.com/x", "http://a.com/")
+        web.host("http://a.com/", "<title>A</title>")
+        snapshot = Browser(web).load("http://short.com/x")
+        assert snapshot.starting_url == "http://short.com/x"
+        assert snapshot.landing_url == "http://a.com/"
+        assert snapshot.redirection_chain == ["http://short.com/x", "http://a.com/"]
+
+    def test_multi_hop_chain(self, web):
+        web.redirect("http://1.com/", "http://2.com/")
+        web.redirect("http://2.com/", "http://3.com/")
+        web.host("http://3.com/", "x")
+        snapshot = Browser(web).load("http://1.com/")
+        assert len(snapshot.redirection_chain) == 3
+
+    def test_not_found(self, web):
+        with pytest.raises(PageNotFound):
+            Browser(web).load("http://missing.com/")
+
+    def test_broken_redirect_target(self, web):
+        web.redirect("http://a.com/", "http://gone.com/")
+        with pytest.raises(PageNotFound):
+            Browser(web).load("http://a.com/")
+
+    def test_redirect_loop(self, web):
+        web.redirect("http://a.com/", "http://b.com/")
+        web.redirect("http://b.com/", "http://a.com/")
+        with pytest.raises(RedirectLoopError):
+            Browser(web).load("http://a.com/")
+
+    def test_try_load_swallows_errors(self, web):
+        assert Browser(web).try_load("http://missing.com/") is None
+
+    def test_try_load_success(self, web):
+        web.host("http://a.com/", "x")
+        assert Browser(web).try_load("http://a.com/") is not None
+
+
+class TestLoggedLinks:
+    def test_resources_logged(self, web):
+        html = (
+            '<img src="http://a.com/logo.png">'
+            '<script src="http://cdn.com/lib.js"></script>'
+        )
+        web.host("http://a.com/", html)
+        snapshot = Browser(web).load("http://a.com/")
+        assert "http://a.com/logo.png" in snapshot.logged_links
+        assert "http://cdn.com/lib.js" in snapshot.logged_links
+
+    def test_iframe_contents_logged_too(self, web):
+        web.host("http://framed.com/inner",
+                 '<img src="http://framed.com/deep.png">')
+        web.host(
+            "http://a.com/",
+            '<iframe src="http://framed.com/inner"></iframe>',
+        )
+        snapshot = Browser(web).load("http://a.com/")
+        assert "http://framed.com/inner" in snapshot.logged_links
+        assert "http://framed.com/deep.png" in snapshot.logged_links
+
+    def test_unresolvable_iframe_skipped(self, web):
+        web.host("http://a.com/", '<iframe src="http://gone.com/f"></iframe>')
+        snapshot = Browser(web).load("http://a.com/")
+        assert "http://gone.com/f" in snapshot.logged_links

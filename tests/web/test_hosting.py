@@ -1,0 +1,77 @@
+"""Tests for the synthetic web registry."""
+
+import pytest
+
+from repro.web.hosting import HostedPage, SyntheticWeb, normalize_url
+
+
+class TestNormalize:
+    def test_fragment_stripped(self):
+        assert normalize_url("http://a.com/x#frag") == "http://a.com/x"
+
+    def test_root_slash_dropped(self):
+        assert normalize_url("http://a.com/") == "http://a.com"
+
+    def test_deep_path_slash_kept(self):
+        assert normalize_url("http://a.com/x/") == "http://a.com/x/"
+
+
+class TestSyntheticWeb:
+    def test_host_and_get(self):
+        web = SyntheticWeb()
+        web.host("http://a.com/", "<p>hi</p>")
+        page = web.get("http://a.com/")
+        assert page is not None
+        assert page.html == "<p>hi</p>"
+        assert not page.is_redirect
+
+    def test_get_normalised_variants(self):
+        web = SyntheticWeb()
+        web.host("http://a.com/", "x")
+        assert web.get("http://a.com") is not None
+        assert web.get("http://a.com/#top") is not None
+
+    def test_missing_returns_none(self):
+        assert SyntheticWeb().get("http://nowhere.com/") is None
+
+    def test_redirect(self):
+        web = SyntheticWeb()
+        web.redirect("http://short.com/a", "http://long.com/b")
+        page = web.get("http://short.com/a")
+        assert page.is_redirect
+        assert page.redirect_to == "http://long.com/b"
+
+    def test_no_clobber_by_default(self):
+        web = SyntheticWeb()
+        web.host("http://a.com/", "first")
+        with pytest.raises(ValueError):
+            web.host("http://a.com/", "second")
+
+    def test_overwrite_allowed_explicitly(self):
+        web = SyntheticWeb()
+        web.host("http://a.com/", "first")
+        web.host("http://a.com/", "second", overwrite=True)
+        assert web.get("http://a.com/").html == "second"
+
+    def test_contains_and_len(self):
+        web = SyntheticWeb()
+        web.host("http://a.com/", "x")
+        assert "http://a.com/" in web
+        assert len(web) == 1
+
+    def test_content_pages_excludes_redirects(self):
+        web = SyntheticWeb()
+        web.host("http://a.com/", "x")
+        web.redirect("http://b.com/", "http://a.com/")
+        assert [page.url for page in web.content_pages()] == ["http://a.com/"]
+
+    def test_merge(self):
+        first, second = SyntheticWeb(), SyntheticWeb()
+        first.host("http://a.com/", "x")
+        second.host("http://b.com/", "y")
+        first.merge(second)
+        assert len(first) == 2
+
+    def test_hosted_page_dataclass(self):
+        page = HostedPage(url="http://a.com/", redirect_to="http://b.com/")
+        assert page.is_redirect

@@ -1,0 +1,51 @@
+"""Tests for the simulated OCR engine."""
+
+import pytest
+
+from repro.web.ocr import SimulatedOcr
+from repro.web.page import Screenshot
+
+
+class TestSimulatedOcr:
+    def test_perfect_ocr(self):
+        shot = Screenshot(rendered_text="PayPal login", image_texts=("logo",))
+        assert SimulatedOcr(error_rate=0.0).read(shot) == "PayPal login\nlogo"
+
+    def test_empty_screenshot(self):
+        assert SimulatedOcr().read(Screenshot()) == ""
+
+    def test_deterministic(self):
+        shot = Screenshot(rendered_text="the quick brown fox " * 10)
+        ocr = SimulatedOcr(error_rate=0.2, seed=3)
+        assert ocr.read(shot) == ocr.read(shot)
+
+    def test_noise_corrupts_some_characters(self):
+        text = "abcdefghij" * 50
+        shot = Screenshot(rendered_text=text)
+        noisy = SimulatedOcr(error_rate=0.3, seed=1).read(shot)
+        assert noisy != text
+
+    def test_low_error_rate_mostly_preserves(self):
+        text = "paypal secure login " * 20
+        noisy = SimulatedOcr(error_rate=0.02, seed=0).read(
+            Screenshot(rendered_text=text)
+        )
+        # The overwhelming majority of characters survive.
+        assert abs(len(noisy) - len(text)) < len(text) * 0.05
+
+    def test_different_seeds_differ(self):
+        shot = Screenshot(rendered_text="abcdefghij" * 30)
+        first = SimulatedOcr(error_rate=0.3, seed=1).read(shot)
+        second = SimulatedOcr(error_rate=0.3, seed=2).read(shot)
+        assert first != second
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            SimulatedOcr(error_rate=1.5)
+        with pytest.raises(ValueError):
+            SimulatedOcr(drop_rate=-0.1)
+
+    def test_image_texts_recoverable(self):
+        # Image-based phishing: text only in images, OCR still sees it.
+        shot = Screenshot(rendered_text="", image_texts=("verify paypal",))
+        assert "paypal" in SimulatedOcr(error_rate=0.0).read(shot)

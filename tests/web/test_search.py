@@ -1,0 +1,88 @@
+"""Tests for the simulated search engine."""
+
+import pytest
+
+from repro.web.search import SearchEngine
+
+
+@pytest.fixture()
+def engine():
+    engine = SearchEngine()
+    engine.index_page(
+        "https://www.paypal.com/",
+        "paypal payment money transfer account secure online payments",
+    )
+    engine.index_page(
+        "https://www.bankofamerica.com/",
+        "bank america banking account credit checking savings",
+    )
+    engine.index_page(
+        "https://www.gardenshop.co.uk/",
+        "garden plants flowers shop delivery seeds",
+    )
+    return engine
+
+
+class TestIndexing:
+    def test_len(self, engine):
+        assert len(engine) == 3
+
+    def test_ip_urls_not_indexed(self):
+        engine = SearchEngine()
+        engine.index_page("http://10.0.0.1/", "some content here")
+        assert len(engine) == 0
+
+    def test_unparsable_not_indexed(self):
+        engine = SearchEngine()
+        engine.index_page("not a url at all", "content")
+        assert len(engine) == 0
+
+    def test_empty_content_page_skipped(self):
+        engine = SearchEngine()
+        engine.index_page("https://x.com/", "")
+        # Domain terms still indexed (the mld is content too).
+        assert len(engine) == 1
+
+
+class TestQuery:
+    def test_relevant_domain_first(self, engine):
+        results = engine.query(["paypal", "payment"])
+        assert results[0].rdn == "paypal.com"
+
+    def test_mld_query_hits_domain(self, engine):
+        # Whole-mld token is boosted: querying the domain name finds it.
+        results = engine.query(["bankofamerica"])
+        assert results and results[0].rdn == "bankofamerica.com"
+
+    def test_unknown_terms_empty(self, engine):
+        assert engine.query(["zzzqqq"]) == []
+
+    def test_empty_query(self, engine):
+        assert engine.query([]) == []
+
+    def test_top_k_limit(self, engine):
+        results = engine.query(["account"], top_k=1)
+        assert len(results) == 1
+
+    def test_rdn_dedup(self):
+        engine = SearchEngine()
+        engine.index_page("https://www.shop.com/a", "widget store prices")
+        engine.index_page("https://www.shop.com/b", "widget store deals")
+        results = engine.query(["widget", "store"])
+        assert len(results) == 1
+
+    def test_result_fields(self, engine):
+        result = engine.query(["garden"])[0]
+        assert result.rdn == "gardenshop.co.uk"
+        assert result.mld == "gardenshop"
+        assert result.score > 0
+
+    def test_result_rdns_and_mlds(self, engine):
+        assert "paypal.com" in engine.result_rdns(["paypal"])
+        assert "paypal" in engine.result_mlds(["paypal"])
+
+    def test_case_insensitive_terms(self, engine):
+        assert engine.query(["PayPal"])[0].rdn == "paypal.com"
+
+    def test_query_on_empty_index(self):
+        assert SearchEngine().query(["anything"]) == []
