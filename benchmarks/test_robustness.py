@@ -1,0 +1,75 @@
+"""Robustness benchmark: detection quality vs injected fault rate.
+
+Measures three things the paper's production argument (Section VIII)
+implies but never quantifies:
+
+* **completion** — with transient faults injected at increasing rates
+  and retries enabled, every page must still produce a verdict (no
+  uncaught exceptions, nothing quarantined but permanent failures);
+* **accuracy under faults** — transient faults leave content untouched,
+  so the retried verdicts must match the fault-free baseline exactly;
+* **graceful degradation** — with the search engine forced down, every
+  flagged page still yields a detector-only verdict tagged ``degraded``;
+  with partial content (truncated HTML, lost screenshots) accuracy
+  degrades smoothly instead of the run crashing.
+"""
+
+from repro.evaluation.reporting import format_table
+
+PAGES_PER_CLASS = 40
+
+
+def test_robustness_curve(lab, benchmark, save_result):
+    """Completion rate and accuracy vs transient-fault rate."""
+    rows = benchmark.pedantic(
+        lab.robustness_curve,
+        kwargs={"pages_per_class": PAGES_PER_CLASS},
+        rounds=1, iterations=1,
+    )
+    save_result("robustness_fault_curve", format_table(
+        ["fault_rate", "pages", "completed", "quarantined", "retried",
+         "faults_injected", "accuracy"],
+        [[r["fault_rate"], r["pages"], r["completed"], r["quarantined"],
+          r["retried_pages"], r["faults_injected"], r["accuracy"]]
+         for r in rows],
+    ))
+
+    baseline = rows[0]
+    assert baseline["fault_rate"] == 0.0
+    for row in rows:
+        # Retries ride out every transient fault: full completion, no
+        # quarantine, and verdicts identical to the fault-free run.
+        assert row["completion_rate"] == 1.0
+        assert row["quarantined"] == 0
+        assert row["accuracy"] == baseline["accuracy"]
+    twenty = next(r for r in rows if r["fault_rate"] == 0.2)
+    assert twenty["faults_injected"] > 0
+    assert twenty["retried_pages"] > 0
+
+
+def test_search_outage_degrades_gracefully(lab, save_result):
+    """Search down: breaker trips, flagged pages stay detector-only."""
+    result = lab.robustness_search_outage(count=30)
+    save_result("robustness_search_outage", format_table(
+        ["metric", "value"], [[k, v] for k, v in result.items()],
+    ))
+    assert result["flagged"] > 0
+    # Every flagged page degraded to a detector-only verdict — none lost.
+    assert result["degraded_detector_only"] == result["flagged"]
+    assert result["breaker_trips"] >= 1
+    # After the trip, queries fail fast instead of hitting the engine.
+    assert result["rejected_fast"] > 0
+    assert result["queries_attempted"] <= 3
+
+
+def test_partial_content_accuracy_floor(lab, save_result):
+    """Partial pages are analyzed, costing bounded accuracy, not a crash."""
+    result = lab.robustness_degraded_content(
+        rate=0.5, pages_per_class=PAGES_PER_CLASS
+    )
+    save_result("robustness_partial_content", format_table(
+        ["metric", "value"], [[k, v] for k, v in result.items()],
+    ))
+    assert result["degraded_pages"] > 0
+    # Features from surviving sources keep most of the signal.
+    assert result["degraded_accuracy"] >= result["baseline_accuracy"] - 0.15

@@ -23,6 +23,8 @@ import sys
 from repro.corpus.datasets import CorpusConfig
 from repro.evaluation.reporting import format_curve, format_table
 from repro.evaluation.runner import Lab
+from repro.resilience import DeadlineExceeded, FetchError
+from repro.web import PageNotFound, RedirectLoopError
 
 _EXPERIMENTS = {
     "table5": "Table V    - dataset description",
@@ -41,6 +43,7 @@ _EXPERIMENTS = {
     "ext-blacklist": "Extension  - blacklist-delay victim exposure (Sec. VIII)",
     "ext-model": "Extension  - gradient boosting vs linear model (Sec. IV-C)",
     "ext-drift": "Extension  - recall under temporal campaign drift",
+    "ext-robustness": "Extension  - resilience under injected faults",
 }
 
 
@@ -154,9 +157,33 @@ def _run_experiment(lab: Lab, experiment: str) -> str:
     if experiment == "ext-drift":
         result = lab.temporal_drift()
         return format_table(
-            ["campaign wave", "recall"],
-            [["training-era", result["baseline_recall"]],
-             ["drifted", result["drifted_recall"]]],
+            ["metric", "value"],
+            [["training-era recall", result["baseline_recall"]],
+             ["drifted recall", result["drifted_recall"]],
+             ["skipped urls (unparsable)", result["skipped_urls"]]],
+        )
+    if experiment == "ext-robustness":
+        curve = format_table(
+            ["fault_rate", "pages", "completed", "quarantined",
+             "retried", "faults", "accuracy"],
+            [[r["fault_rate"], r["pages"], r["completed"], r["quarantined"],
+              r["retried_pages"], r["faults_injected"], r["accuracy"]]
+             for r in lab.robustness_curve()],
+        )
+        outage = lab.robustness_search_outage()
+        outage_table = format_table(
+            ["metric", "value"], [[k, v] for k, v in outage.items()]
+        )
+        partial = lab.robustness_degraded_content()
+        partial_table = format_table(
+            ["metric", "value"], [[k, v] for k, v in partial.items()]
+        )
+        return (
+            "transient faults + retries:\n" + curve
+            + "\n\nsearch engine forced down (circuit breaker):\n"
+            + outage_table
+            + "\n\npartial content (truncation, lost screenshots):\n"
+            + partial_table
         )
     raise ValueError(f"unknown experiment {experiment!r}")
 
@@ -302,10 +329,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Navigation and resilience failures surface as a one-line error on
+    stderr and a nonzero exit code — never a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (PageNotFound, RedirectLoopError) as exc:
+        print(f"error: navigation failed: {exc}", file=sys.stderr)
+        return 1
+    except (FetchError, DeadlineExceeded) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

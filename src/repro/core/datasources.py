@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from functools import cached_property
 
+from repro.resilience.errors import OcrFailure
 from repro.text.distributions import TermDistribution
 from repro.text.terms import extract_terms
 from repro.urls.parsing import ParsedUrl, UrlParseError, parse_url
@@ -67,6 +68,9 @@ class DataSources:
         self.snapshot = snapshot
         self.psl = psl or default_psl()
         self.ocr = ocr
+        #: degradation tags accumulated while deriving the sources
+        #: (e.g. ``"ocr_failed"``); consumed by the pipeline's verdict.
+        self.degradation_notes: set[str] = set()
 
     # ------------------------------------------------------------------
     # parsed URL views
@@ -182,12 +186,21 @@ class DataSources:
 
     @cached_property
     def d_image(self) -> TermDistribution:
-        """OCR-derived distribution; empty without an OCR engine."""
+        """OCR-derived distribution; empty without an OCR engine.
+
+        An OCR *failure* degrades gracefully to the same empty
+        distribution an OCR-less run produces, noted in
+        :attr:`degradation_notes` — image terms are a refinement, never
+        a hard dependency.
+        """
         if self.ocr is None:
             return TermDistribution()
-        return TermDistribution.from_text(
-            self.ocr.read(self.snapshot.screenshot)
-        )
+        try:
+            text = self.ocr.read(self.snapshot.screenshot)
+        except OcrFailure:
+            self.degradation_notes.add("ocr_failed")
+            return TermDistribution()
+        return TermDistribution.from_text(text)
 
     @cached_property
     def d_start(self) -> TermDistribution:

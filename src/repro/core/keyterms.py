@@ -27,6 +27,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.core.datasources import DataSources
+from repro.resilience.errors import OcrFailure
 from repro.text.terms import extract_terms
 from repro.web.ocr import SimulatedOcr
 
@@ -137,9 +138,15 @@ class KeytermExtractor:
         )
 
         if self.ocr is not None:
-            image_terms = set(
-                extract_terms(self.ocr.read(sources.snapshot.screenshot))
-            )
+            try:
+                recognised = self.ocr.read(sources.snapshot.screenshot)
+            except OcrFailure:
+                # Graceful degradation: a failed OCR pass simply leaves
+                # the OCR-prominent list empty (identification step 4 is
+                # skipped), exactly as if no OCR engine were configured.
+                sources.degradation_notes.add("ocr_failed")
+                return keyterms
+            image_terms = set(extract_terms(recognised))
             all_source_terms = set().union(*term_sets.values())
             ocr_candidates = image_terms & all_source_terms
             # Image terms may be absent from the visible frequency count

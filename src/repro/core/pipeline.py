@@ -5,15 +5,34 @@ tentatively flags a page; flagged pages are fed to the target
 identification system, which either names the purported target or — when
 it confirms the page's own domain as legitimate — removes the false
 positive (the Section VI-D experiment).
+
+The pipeline degrades gracefully when auxiliary data sources fail, the
+way a production deployment facing the live web must:
+
+* search engine unreachable (or its circuit breaker open) — flagged
+  pages get a detector-only verdict tagged ``degraded`` instead of an
+  exception;
+* OCR failure — the OCR keyterm list is skipped (identification step 4
+  never runs) and the verdict is tagged;
+* partial snapshot (truncated HTML, lost screenshot) — features are
+  extracted from whatever sources did load, and the verdict carries the
+  load's degradation tags.
+
+:meth:`KnowYourPhish.analyze_many` extends this to batches: pages that
+cannot be loaded at all are quarantined as structured error records
+rather than aborting the run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.datasources import DataSources
 from repro.core.detector import PhishingDetector
 from repro.core.target import TargetIdentification, TargetIdentifier
+from repro.resilience.batch import BatchReport, analyze_many
+from repro.resilience.browser import LoadResult
+from repro.resilience.errors import SearchUnavailableError
 from repro.web.page import PageSnapshot
 
 
@@ -28,12 +47,18 @@ class PageVerdict:
     * ``"phish"`` — classifier flagged and a target was identified;
     * ``"suspicious"`` — classifier flagged, no target found, no
       legitimate confirmation.
+
+    ``degraded`` marks verdicts produced with reduced-fidelity inputs
+    (search outage, OCR failure, partial snapshot); ``degradations``
+    lists the specific tags.
     """
 
     verdict: str
     confidence: float
     targets: list[str]
     identification: TargetIdentification | None = None
+    degraded: bool = False
+    degradations: list[str] = field(default_factory=list)
 
     @property
     def is_phish(self) -> bool:
@@ -73,39 +98,77 @@ class KnowYourPhish:
         self.identifier = identifier
         self.treat_suspicious_as_phish = treat_suspicious_as_phish
 
-    def analyze(self, snapshot: PageSnapshot) -> PageVerdict:
-        """Run the full pipeline on one page snapshot."""
+    def analyze(self, page: PageSnapshot | LoadResult) -> PageVerdict:
+        """Run the full pipeline on one page.
+
+        Accepts either a bare :class:`PageSnapshot` or a
+        :class:`~repro.resilience.browser.LoadResult` (whose load-time
+        degradation tags then seed the verdict's).  Auxiliary-source
+        failures degrade the verdict instead of raising: a search outage
+        yields a detector-only verdict tagged ``search_unavailable``,
+        an OCR failure tags ``ocr_failed`` and skips the OCR keyterms.
+        """
+        degradations: list[str] = []
+        if isinstance(page, LoadResult):
+            degradations.extend(page.degradations)
+            snapshot = page.snapshot
+        else:
+            snapshot = page
         sources = DataSources(
             snapshot,
             psl=self.detector.extractor.psl,
             ocr=self.identifier.ocr if self.identifier else None,
         )
+
+        def _verdict(final: str, confidence: float, **kwargs) -> PageVerdict:
+            tags = degradations + sorted(sources.degradation_notes)
+            return PageVerdict(
+                verdict=final,
+                confidence=confidence,
+                degraded=bool(tags),
+                degradations=tags,
+                **kwargs,
+            )
+
         vector = self.detector.extractor.extract_from_sources(sources)
         confidence = float(
             self.detector.predict_proba(vector.reshape(1, -1))[0]
         )
         if confidence < self.detector.threshold:
-            return PageVerdict(
-                verdict="legitimate", confidence=confidence, targets=[]
-            )
+            return _verdict("legitimate", confidence, targets=[])
         if self.identifier is None:
-            return PageVerdict(
-                verdict="phish", confidence=confidence, targets=[]
-            )
+            return _verdict("phish", confidence, targets=[])
 
-        identification = self.identifier.identify(sources)
+        try:
+            identification = self.identifier.identify(sources)
+        except SearchUnavailableError:
+            # Search down / circuit open: fall back to the detector's
+            # tentative flag rather than losing the page entirely.
+            degradations.append("search_unavailable")
+            return _verdict("phish", confidence, targets=[])
         if identification.verdict == "legitimate":
             final = "legitimate"
         elif identification.verdict == "phish":
             final = "phish"
         else:
             final = "suspicious"
-        return PageVerdict(
-            verdict=final,
-            confidence=confidence,
+        return _verdict(
+            final,
+            confidence,
             targets=list(identification.targets),
             identification=identification,
         )
+
+    def analyze_many(self, urls, browser) -> BatchReport:
+        """Analyze a batch of URLs, quarantining unloadable pages.
+
+        Thin forwarding wrapper around
+        :func:`repro.resilience.batch.analyze_many`; see there for the
+        quarantine semantics.  ``browser`` is ideally a
+        :class:`~repro.resilience.browser.ResilientBrowser` so transient
+        faults are retried before a page is given up on.
+        """
+        return analyze_many(self, browser, urls)
 
     def is_blocked(self, verdict: PageVerdict) -> bool:
         """Binary blocking decision derived from a verdict."""

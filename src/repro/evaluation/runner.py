@@ -572,10 +572,12 @@ class Lab:
         detector = self.detector("fall")
         rng = np.random.default_rng(self.config.seed + 999)
         compromised_pool = []
+        skipped_urls = 0
         for page in self.dataset("legTrain")[:60]:
             try:
                 rdn = parse_url(page.snapshot.landing_url).rdn
             except UrlParseError:
+                skipped_urls += 1
                 continue
             if rdn:
                 compromised_pool.append(rdn)
@@ -610,6 +612,9 @@ class Lab:
         return {
             "baseline_recall": baseline_recall,
             "drifted_recall": drifted_recall,
+            # Unparsable URLs are counted, not silently dropped: a run
+            # summary hiding skips would overstate pool coverage.
+            "skipped_urls": float(skipped_urls),
         }
 
     def sec7_evasion(self, count: int = 30) -> dict[str, float]:
@@ -640,3 +645,183 @@ class Lab:
                 (detector.predict_proba(X) >= self.threshold).mean()
             )
         return results
+
+    # ------------------------------------------------------------------
+    # robustness: fault injection + graceful degradation
+    # ------------------------------------------------------------------
+    def _robustness_workload(
+        self, pages_per_class: int
+    ) -> tuple[list[str], dict[str, int]]:
+        """Starting URLs + ground-truth labels for the robustness runs."""
+        urls: list[str] = []
+        labels: dict[str, int] = {}
+        for name, label in (("english", 0), ("phishTest", 1)):
+            for page in list(self.dataset(name))[:pages_per_class]:
+                url = page.snapshot.starting_url
+                urls.append(url)
+                labels[url] = label
+        return urls, labels
+
+    def _resilient_pipeline(self, search=None, ocr=None) -> "KnowYourPhish":
+        """The full pipeline over a (possibly wrapped) search engine."""
+        from repro.core.pipeline import KnowYourPhish
+
+        identifier = TargetIdentifier(
+            search if search is not None else self.world.search,
+            ocr=ocr if ocr is not None else self.ocr,
+        )
+        return KnowYourPhish(self.detector("fall"), identifier)
+
+    def _batch_accuracy(self, pipeline, report, labels) -> float:
+        """Blocking accuracy over the analyzed pages of a batch report."""
+        if not report.analyzed:
+            return 0.0
+        correct = sum(
+            1 for page in report.analyzed
+            if int(pipeline.is_blocked(page.verdict)) == labels[page.url]
+        )
+        return correct / len(report.analyzed)
+
+    def robustness_curve(
+        self,
+        fault_rates: tuple[float, ...] = (0.0, 0.1, 0.2, 0.4),
+        pages_per_class: int = 40,
+        max_attempts: int = 20,
+    ) -> list[dict]:
+        """Completion and accuracy vs injected transient-fault rate.
+
+        For each rate the synthetic web is wrapped in a seeded
+        :class:`~repro.web.faults.FlakyWeb` injecting timeouts, resets
+        and 5xx responses; a
+        :class:`~repro.resilience.browser.ResilientBrowser` retries with
+        exponential backoff over a virtual clock (instant, deterministic)
+        and failures are quarantined by ``analyze_many`` instead of
+        aborting.  Transient faults leave content untouched, so retried
+        pages must reproduce the fault-free verdicts exactly — the
+        experiment measures that the resilience layer preserves both
+        completion (100%) and accuracy under fire.
+        """
+        from repro.resilience import ManualClock, ResilientBrowser, RetryPolicy
+        from repro.web.faults import FaultPlan, FlakyWeb
+
+        urls, labels = self._robustness_workload(pages_per_class)
+        rows = []
+        for rate in fault_rates:
+            clock = ManualClock()
+            plan = FaultPlan.transient(
+                rate, seed=self.config.seed + int(rate * 1000)
+            )
+            flaky = FlakyWeb(self.world.web, plan, clock=clock)
+            browser = ResilientBrowser(
+                flaky,
+                policy=RetryPolicy(
+                    max_attempts=max_attempts, base_delay=0.05,
+                    clock=clock, seed=self.config.seed,
+                ),
+                page_budget=120.0,
+                clock=clock,
+            )
+            pipeline = self._resilient_pipeline()
+            report = pipeline.analyze_many(urls, browser)
+            summary = report.summary()
+            faults_injected = int(sum(
+                flaky.stats[kind] for kind in ("timeout", "reset",
+                                               "server_error")
+            ))
+            rows.append({
+                "fault_rate": rate,
+                "pages": summary["total"],
+                "completed": summary["analyzed"],
+                "quarantined": summary["quarantined"],
+                "completion_rate": summary["completion_rate"],
+                "retried_pages": summary["retried"],
+                "faults_injected": faults_injected,
+                "accuracy": self._batch_accuracy(pipeline, report, labels),
+            })
+        return rows
+
+    def robustness_search_outage(self, count: int = 30) -> dict:
+        """Graceful degradation with the search engine forced down.
+
+        Every query fails, the circuit breaker trips after its failure
+        threshold, and from then on flagged pages fail fast into
+        detector-only verdicts tagged ``degraded`` — no exception ever
+        reaches the caller, and no page is lost.
+        """
+        from repro.resilience import (
+            CircuitBreaker,
+            GuardedSearchEngine,
+            ManualClock,
+            SearchUnavailableError,
+        )
+        from repro.web.faults import FlakySearchEngine
+
+        clock = ManualClock()
+        flaky_search = FlakySearchEngine(self.world.search, forced_down=True)
+        breaker = CircuitBreaker(
+            failure_threshold=3, recovery_time=300.0,
+            failure_types=(SearchUnavailableError,), clock=clock,
+            name="search",
+        )
+        guarded = GuardedSearchEngine(flaky_search, breaker=breaker)
+        pipeline = self._resilient_pipeline(search=guarded)
+
+        flagged = degraded_detector_only = 0
+        pages = list(self.dataset("phishTest"))[:count]
+        for page in pages:
+            verdict = pipeline.analyze(page.snapshot)
+            if verdict.confidence >= self.threshold:
+                flagged += 1
+                if verdict.degraded and "search_unavailable" in verdict.degradations:
+                    degraded_detector_only += 1
+        return {
+            "pages": len(pages),
+            "flagged": flagged,
+            "degraded_detector_only": degraded_detector_only,
+            "breaker_trips": breaker.stats["trips"],
+            "queries_attempted": breaker.stats["calls"],
+            "rejected_fast": breaker.stats["rejected"],
+        }
+
+    def robustness_degraded_content(
+        self, rate: float = 0.5, pages_per_class: int = 40
+    ) -> dict:
+        """Accuracy when pages load, but partially.
+
+        Content faults (truncated HTML, missing screenshots) cannot be
+        retried away — the page *did* load.  Features are extracted from
+        whatever sources survived; this measures the accuracy cost of
+        analysing partial pages instead of dropping them.
+        """
+        from repro.resilience import ManualClock, ResilientBrowser, RetryPolicy
+        from repro.web.faults import FaultPlan, FlakyWeb
+
+        urls, labels = self._robustness_workload(pages_per_class)
+        pipeline = self._resilient_pipeline()
+
+        clean_clock = ManualClock()
+        clean_browser = ResilientBrowser(
+            FlakyWeb(self.world.web, FaultPlan(seed=self.config.seed),
+                     clock=clean_clock),
+            policy=RetryPolicy(clock=clean_clock), clock=clean_clock,
+        )
+        baseline = pipeline.analyze_many(urls, clean_browser)
+
+        clock = ManualClock()
+        plan = FaultPlan.degraded_content(rate, seed=self.config.seed + 77)
+        browser = ResilientBrowser(
+            FlakyWeb(self.world.web, plan, clock=clock),
+            policy=RetryPolicy(clock=clock), clock=clock,
+        )
+        report = pipeline.analyze_many(urls, browser)
+        return {
+            "fault_rate": rate,
+            "pages": report.summary()["total"],
+            "degraded_pages": report.summary()["degraded"],
+            "baseline_accuracy": self._batch_accuracy(
+                pipeline, baseline, labels
+            ),
+            "degraded_accuracy": self._batch_accuracy(
+                pipeline, report, labels
+            ),
+        }

@@ -1,0 +1,76 @@
+"""Resilience layer: retries, deadlines, circuit breaking, degradation.
+
+The paper's system runs against the live web, where fetches time out,
+HTML arrives truncated, OCR fails and the search engine behind target
+identification goes unreachable.  This package makes the reproduction
+survive those conditions the way a production deployment must:
+
+* a structured error taxonomy (:mod:`repro.resilience.errors`)
+  separating transient from permanent failures;
+* :class:`~repro.resilience.retry.RetryPolicy` — exponential backoff
+  with jitter over an injectable clock — and per-page
+  :class:`~repro.resilience.retry.Deadline` budgets;
+* :class:`~repro.resilience.breaker.CircuitBreaker` and the
+  :class:`~repro.resilience.search.GuardedSearchEngine` guarding the
+  search engine;
+* :class:`~repro.resilience.browser.ResilientBrowser` wrapping page
+  loads, and :func:`~repro.resilience.batch.analyze_many` quarantining
+  failed pages instead of aborting batch runs.
+
+The matching fault-injection harness lives in :mod:`repro.web.faults`.
+"""
+
+from repro.resilience.batch import (
+    AnalyzedPage,
+    BatchReport,
+    QuarantinedPage,
+    analyze_many,
+)
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.browser import LoadResult, ResilientBrowser
+from repro.resilience.clock import Clock, ManualClock, SystemClock
+from repro.resilience.errors import (
+    CircuitOpenError,
+    ConnectionReset,
+    DeadlineExceeded,
+    FetchError,
+    FetchTimeout,
+    OcrFailure,
+    PermanentFetchError,
+    ResilienceError,
+    RetriesExhausted,
+    SearchUnavailableError,
+    ServerError,
+    TransientFetchError,
+)
+from repro.resilience.retry import Deadline, RetryOutcome, RetryPolicy
+from repro.resilience.search import GuardedSearchEngine
+
+__all__ = [
+    "AnalyzedPage",
+    "BatchReport",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Clock",
+    "ConnectionReset",
+    "Deadline",
+    "DeadlineExceeded",
+    "FetchError",
+    "FetchTimeout",
+    "GuardedSearchEngine",
+    "LoadResult",
+    "ManualClock",
+    "OcrFailure",
+    "PermanentFetchError",
+    "QuarantinedPage",
+    "ResilienceError",
+    "ResilientBrowser",
+    "RetriesExhausted",
+    "RetryOutcome",
+    "RetryPolicy",
+    "SearchUnavailableError",
+    "ServerError",
+    "SystemClock",
+    "TransientFetchError",
+    "analyze_many",
+]

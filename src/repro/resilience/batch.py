@@ -1,0 +1,141 @@
+"""Batch analysis with quarantine: one sick page never aborts a run.
+
+``analyze_many`` drives the full pipeline over a list of starting URLs.
+Pages that cannot be loaded — permanently dead hosts, retry budgets
+exhausted, deadlines blown — are recorded as structured
+:class:`QuarantinedPage` entries instead of raising out of the loop, so
+a crawl over a million URLs degrades into a report, not a traceback.
+Successfully analyzed pages keep their verdicts alongside the effort
+(attempts, degradations) the load cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resilience.browser import LoadResult
+from repro.resilience.errors import (
+    DeadlineExceeded,
+    FetchError,
+    PermanentFetchError,
+    TransientFetchError,
+)
+from repro.web.browser import PageNotFound, RedirectLoopError
+
+
+@dataclass
+class QuarantinedPage:
+    """A URL the run gave up on, with the structured reason."""
+
+    url: str
+    error_kind: str            # exception class name
+    message: str
+    permanent: bool            # False for exhausted-retries / deadline
+    attempts: int = 0
+
+    @classmethod
+    def from_error(cls, url: str, error: Exception) -> "QuarantinedPage":
+        """Classify an exception into a quarantine record."""
+        permanent = isinstance(
+            error, (PageNotFound, RedirectLoopError, PermanentFetchError)
+        ) and not isinstance(error, TransientFetchError)
+        attempts = getattr(error, "attempts", 0)
+        return cls(
+            url=url,
+            error_kind=type(error).__name__,
+            message=str(error),
+            permanent=permanent,
+            attempts=attempts,
+        )
+
+
+@dataclass
+class AnalyzedPage:
+    """One successfully analyzed page: verdict plus load effort."""
+
+    url: str
+    verdict: object            # a core.pipeline.PageVerdict
+    attempts: int = 1
+    degradations: list[str] = field(default_factory=list)
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one ``analyze_many`` run."""
+
+    analyzed: list[AnalyzedPage] = field(default_factory=list)
+    quarantined: list[QuarantinedPage] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Pages attempted (analyzed + quarantined)."""
+        return len(self.analyzed) + len(self.quarantined)
+
+    @property
+    def completion_rate(self) -> float:
+        """Share of attempted pages that produced a verdict."""
+        return len(self.analyzed) / self.total if self.total else 0.0
+
+    @property
+    def degraded_count(self) -> int:
+        """Analyzed pages whose verdict carries a degradation tag."""
+        return sum(
+            1 for page in self.analyzed
+            if getattr(page.verdict, "degraded", False)
+        )
+
+    @property
+    def retried_count(self) -> int:
+        """Analyzed pages that needed more than one load attempt."""
+        return sum(1 for page in self.analyzed if page.attempts > 1)
+
+    def summary(self) -> dict[str, float]:
+        """Flat numeric summary for reports and experiment tables."""
+        return {
+            "total": self.total,
+            "analyzed": len(self.analyzed),
+            "quarantined": len(self.quarantined),
+            "quarantined_permanent": sum(
+                1 for page in self.quarantined if page.permanent
+            ),
+            "completion_rate": self.completion_rate,
+            "degraded": self.degraded_count,
+            "retried": self.retried_count,
+        }
+
+
+def analyze_many(pipeline, browser, urls) -> BatchReport:
+    """Analyze every URL, quarantining failures instead of raising.
+
+    Parameters
+    ----------
+    pipeline:
+        A :class:`~repro.core.pipeline.KnowYourPhish` (anything with an
+        ``analyze`` accepting a snapshot or :class:`LoadResult`).
+    browser:
+        A :class:`ResilientBrowser` (preferred) or plain
+        :class:`~repro.web.browser.Browser`.
+    urls:
+        Iterable of starting URLs.
+    """
+    report = BatchReport()
+    for url in urls:
+        try:
+            loaded = browser.load(url)
+        except (
+            PageNotFound, RedirectLoopError, FetchError, DeadlineExceeded
+        ) as error:
+            report.quarantined.append(QuarantinedPage.from_error(url, error))
+            continue
+        if not isinstance(loaded, LoadResult):
+            loaded = LoadResult(snapshot=loaded)
+        verdict = pipeline.analyze(loaded)
+        report.analyzed.append(
+            AnalyzedPage(
+                url=url,
+                verdict=verdict,
+                attempts=loaded.attempts,
+                degradations=list(loaded.degradations),
+            )
+        )
+    return report

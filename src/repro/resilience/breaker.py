@@ -1,0 +1,117 @@
+"""Circuit breaker guarding flaky dependencies (Nygard's pattern).
+
+When a dependency — here, the search engine backing target
+identification — starts failing consistently, hammering it with more
+requests only adds latency and load.  The breaker watches consecutive
+failures; after ``failure_threshold`` of them it *opens* and rejects
+calls immediately with :class:`CircuitOpenError` (which the pipeline
+converts into a degraded, detector-only verdict).  After
+``recovery_time`` it becomes *half-open* and lets a single probe
+through: success closes the circuit, failure re-opens it for another
+cooldown.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.clock import Clock, SystemClock
+from repro.resilience.errors import CircuitOpenError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """A consecutive-failure circuit breaker with a recovery probe.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    recovery_time:
+        Seconds the breaker stays open before allowing a probe call.
+    failure_types:
+        Exception types counted as failures; others propagate without
+        touching the failure count.
+    clock:
+        Time source for the cooldown (injectable for tests).
+    name:
+        Label used in error messages (e.g. ``"search"``).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_time: float = 30.0,
+        failure_types: tuple[type[BaseException], ...] = (Exception,),
+        clock: Clock | None = None,
+        name: str = "dependency",
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.failure_types = failure_types
+        self.clock = clock or SystemClock()
+        self.name = name
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        #: lifetime counters, exposed for experiment reporting
+        self.stats = {"calls": 0, "failures": 0, "rejected": 0, "trips": 0}
+
+    @property
+    def state(self) -> str:
+        """Current state: ``closed``, ``open`` or ``half-open``.
+
+        Reading the state performs the open → half-open transition when
+        the cooldown has elapsed.
+        """
+        if self._state == OPEN and (
+            self.clock.now() - self._opened_at >= self.recovery_time
+        ):
+            self._state = HALF_OPEN
+        return self._state
+
+    def call(self, fn, *args, **kwargs):
+        """Invoke ``fn(*args, **kwargs)`` through the breaker.
+
+        Raises :class:`CircuitOpenError` without calling ``fn`` while
+        the circuit is open; otherwise records the call's outcome.
+        """
+        if self.state == OPEN:
+            self.stats["rejected"] += 1
+            raise CircuitOpenError(
+                f"{self.name} circuit open: failing fast after "
+                f"{self._consecutive_failures} consecutive failures"
+            )
+        self.stats["calls"] += 1
+        try:
+            result = fn(*args, **kwargs)
+        except self.failure_types:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def record_success(self) -> None:
+        """Note a successful call: closes the circuit, resets failures."""
+        self._consecutive_failures = 0
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        """Note a failed call; trips the breaker at the threshold.
+
+        A failure during the half-open probe re-opens immediately —
+        the dependency has not recovered yet.
+        """
+        self.stats["failures"] += 1
+        self._consecutive_failures += 1
+        probing = self._state == HALF_OPEN
+        if probing or self._consecutive_failures >= self.failure_threshold:
+            if self._state != OPEN:
+                self.stats["trips"] += 1
+            self._state = OPEN
+            self._opened_at = self.clock.now()

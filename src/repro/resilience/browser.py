@@ -1,0 +1,131 @@
+"""A fault-tolerant browser: retries, per-page deadlines, degradation notes.
+
+:class:`ResilientBrowser` wraps the plain
+:class:`~repro.web.browser.Browser` with the retry/deadline machinery:
+
+* transient fetch errors (timeouts, resets, 5xx) are retried with
+  exponential backoff under a :class:`~repro.resilience.retry.RetryPolicy`;
+* each page load runs against a :class:`~repro.resilience.retry.Deadline`
+  so one sick URL cannot stall a batch run;
+* permanent failures (:class:`~repro.web.browser.PageNotFound`,
+  :class:`~repro.web.browser.RedirectLoopError`,
+  :class:`~repro.resilience.errors.PermanentFetchError`) are *not*
+  retried — they propagate immediately for the batch layer to quarantine;
+* content degradations reported by a fault-injecting web (truncated
+  HTML, missing screenshots, slow responses) are collected into the
+  returned :class:`LoadResult` so downstream verdicts can be tagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resilience.clock import Clock, SystemClock
+from repro.resilience.errors import (
+    DeadlineExceeded,
+    FetchError,
+    RetriesExhausted,
+    TransientFetchError,
+)
+from repro.resilience.retry import Deadline, RetryPolicy
+from repro.web.browser import Browser, PageNotFound, RedirectLoopError
+from repro.web.page import PageSnapshot
+
+
+@dataclass
+class LoadResult:
+    """A successfully loaded page plus how hard the load fought for it."""
+
+    snapshot: PageSnapshot
+    attempts: int = 1
+    degradations: list[str] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """True when the snapshot loaded with reduced fidelity."""
+        return bool(self.degradations)
+
+
+class ResilientBrowser:
+    """Loads pages through retries and a per-page time budget.
+
+    Parameters
+    ----------
+    web:
+        The (possibly fault-injected) synthetic web to browse.
+    policy:
+        Retry policy for transient fetch errors (default: 4 attempts,
+        50 ms base backoff).
+    page_budget:
+        Per-page deadline in seconds; ``None`` disables the budget.
+    clock:
+        Time source shared by deadline and backoff sleeps.
+    max_redirects:
+        Redirect hop limit, forwarded to the underlying browser.
+    """
+
+    def __init__(
+        self,
+        web,
+        policy: RetryPolicy | None = None,
+        page_budget: float | None = None,
+        clock: Clock | None = None,
+        max_redirects: int = 10,
+    ):
+        self.clock = clock or SystemClock()
+        self.policy = policy or RetryPolicy(clock=self.clock)
+        self.page_budget = page_budget
+        self._browser = Browser(web, max_redirects=max_redirects)
+        self.web = web
+
+    # ------------------------------------------------------------------
+    def load(
+        self, starting_url: str, deadline: Deadline | None = None
+    ) -> LoadResult:
+        """Visit ``starting_url``, riding out transient faults.
+
+        Returns a :class:`LoadResult`; raises
+        :class:`~repro.resilience.errors.RetriesExhausted` when every
+        attempt failed transiently,
+        :class:`~repro.resilience.errors.DeadlineExceeded` when the page
+        budget ran out first, and the permanent navigation errors
+        unchanged.
+        """
+        if deadline is None and self.page_budget is not None:
+            deadline = Deadline(self.page_budget, clock=self.clock)
+        started = self.clock.now()
+        degradations: list[str] = []
+
+        def _attempt() -> PageSnapshot:
+            self._pop_degradations()  # drop notes from a failed attempt
+            return self._browser.load(starting_url)
+
+        try:
+            outcome = self.policy.call(_attempt, deadline=deadline)
+        except TransientFetchError as error:
+            raise RetriesExhausted(
+                starting_url, self.policy.max_attempts, error
+            ) from error
+        degradations = self._pop_degradations()
+        return LoadResult(
+            snapshot=outcome.result,
+            attempts=outcome.attempts,
+            degradations=degradations,
+            elapsed=self.clock.now() - started,
+        )
+
+    def try_load(self, starting_url: str) -> LoadResult | None:
+        """Like :meth:`load` but returns ``None`` on any navigation failure."""
+        try:
+            return self.load(starting_url)
+        except (PageNotFound, RedirectLoopError, FetchError, DeadlineExceeded):
+            return None
+
+    # ------------------------------------------------------------------
+    def _pop_degradations(self) -> list[str]:
+        """Drain degradation notes from a fault-injecting web, if any."""
+        pop = getattr(self.web, "pop_degradations", None)
+        if pop is None:
+            return []
+        return list(pop())

@@ -1,0 +1,61 @@
+"""Injectable time sources for the resilience layer.
+
+Retry backoff, deadlines and circuit-breaker cooldowns all consume
+time.  Hard-coding ``time.monotonic``/``time.sleep`` would make every
+test slow and flaky, so each component takes a :class:`Clock`.  The
+default :class:`SystemClock` defers to the real timers; tests and the
+fault-injection harness use :class:`ManualClock`, where ``sleep``
+advances a virtual instant instantly and deterministically — a
+simulated slow response costs simulated seconds, not wall-clock ones.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Interface: a monotonic time source with a matching sleep."""
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or simulate blocking) for ``seconds``."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real wall clock: ``time.monotonic`` + ``time.sleep``."""
+
+    def now(self) -> float:
+        """Current ``time.monotonic`` reading."""
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        """Actually sleep for ``seconds``."""
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A virtual clock advanced explicitly or by (instant) sleeps."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Advance virtual time by ``seconds`` without blocking."""
+        if seconds > 0:
+            self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Jump the clock forward (e.g. past a breaker cooldown)."""
+        if seconds < 0:
+            raise ValueError(f"cannot rewind a monotonic clock ({seconds})")
+        self._now += seconds

@@ -1,0 +1,106 @@
+"""Structured error taxonomy for the resilient analysis pipeline.
+
+The live web fails in two fundamentally different ways, and the
+pipeline's reaction must differ accordingly:
+
+* **transient** faults (timeouts, connection resets, 5xx responses,
+  search-engine hiccups) — worth retrying with backoff; the resource
+  usually recovers within seconds;
+* **permanent** faults (dead hosts, DNS failures, takedowns) — retrying
+  wastes the per-page time budget; the page is quarantined instead.
+
+Every error in this module derives from :class:`ResilienceError`, so
+batch drivers can catch the whole taxonomy with a single handler while
+still discriminating on the subclasses.  The pre-existing navigation
+errors (:class:`~repro.web.browser.PageNotFound`,
+:class:`~repro.web.browser.RedirectLoopError`) are treated as permanent
+by the retry machinery without being re-parented here.
+"""
+
+from __future__ import annotations
+
+
+class ResilienceError(Exception):
+    """Base class of every failure the resilience layer models."""
+
+
+# ---------------------------------------------------------------------------
+# fetch-path errors
+# ---------------------------------------------------------------------------
+class FetchError(ResilienceError):
+    """A page fetch failed; ``url`` names the resource that failed."""
+
+    def __init__(self, url: str, message: str | None = None):
+        self.url = url
+        super().__init__(message or f"fetch failed: {url}")
+
+
+class TransientFetchError(FetchError):
+    """A fetch failure expected to heal on retry (timeouts, resets, 5xx)."""
+
+
+class PermanentFetchError(FetchError):
+    """A fetch failure no amount of retrying will fix (host is gone)."""
+
+
+class FetchTimeout(TransientFetchError):
+    """The remote host did not answer within the socket timeout."""
+
+    def __init__(self, url: str):
+        super().__init__(url, f"timed out fetching {url}")
+
+
+class ConnectionReset(TransientFetchError):
+    """The remote host reset the connection mid-transfer."""
+
+    def __init__(self, url: str):
+        super().__init__(url, f"connection reset fetching {url}")
+
+
+class ServerError(TransientFetchError):
+    """The remote host answered with a 5xx status."""
+
+    def __init__(self, url: str, status: int = 503):
+        self.status = status
+        super().__init__(url, f"HTTP {status} fetching {url}")
+
+
+class RetriesExhausted(TransientFetchError):
+    """Every retry attempt failed; carries the last underlying error.
+
+    Still classified transient — the page *might* load later — but the
+    current analysis gives up and the batch layer quarantines the URL.
+    """
+
+    def __init__(self, url: str, attempts: int, last_error: Exception):
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            url, f"gave up on {url} after {attempts} attempts: {last_error}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# budget errors
+# ---------------------------------------------------------------------------
+class DeadlineExceeded(ResilienceError):
+    """The per-page time budget ran out before the work completed."""
+
+
+# ---------------------------------------------------------------------------
+# auxiliary-subsystem errors
+# ---------------------------------------------------------------------------
+class SearchUnavailableError(ResilienceError):
+    """The search engine backing target identification is unreachable."""
+
+
+class CircuitOpenError(SearchUnavailableError):
+    """A circuit breaker is open: the call was rejected without trying.
+
+    Subclasses :class:`SearchUnavailableError` so callers guarding the
+    search engine handle breaker rejections and live outages uniformly.
+    """
+
+
+class OcrFailure(ResilienceError):
+    """The OCR engine failed to process a screenshot."""

@@ -1,0 +1,72 @@
+"""A circuit-breaker-guarded view of the search engine.
+
+Target identification (Section V-B) issues several search queries per
+flagged page.  When the engine is down, every query would otherwise eat
+a full timeout; :class:`GuardedSearchEngine` routes all queries through
+one :class:`~repro.resilience.breaker.CircuitBreaker`, so a sick engine
+is probed a bounded number of times and then failed fast — the pipeline
+degrades to detector-only verdicts until the engine recovers.
+
+The wrapper exposes the same query surface as
+:class:`~repro.web.search.SearchEngine`, so a
+:class:`~repro.core.target.TargetIdentifier` accepts either
+transparently.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.clock import Clock
+from repro.resilience.errors import SearchUnavailableError
+from repro.web.search import SearchResult
+
+
+class GuardedSearchEngine:
+    """Wraps a search engine; every query goes through the breaker.
+
+    Parameters
+    ----------
+    inner:
+        The real (or fault-injected) search engine.
+    breaker:
+        The guarding breaker; a default one (5 failures, 30 s cooldown,
+        counting :class:`SearchUnavailableError`) is built when omitted.
+    clock:
+        Clock for the default breaker's cooldown.
+    """
+
+    def __init__(
+        self,
+        inner,
+        breaker: CircuitBreaker | None = None,
+        clock: Clock | None = None,
+    ):
+        self.inner = inner
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=5,
+            recovery_time=30.0,
+            failure_types=(SearchUnavailableError,),
+            clock=clock,
+            name="search",
+        )
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def query(self, terms, top_k: int = 10) -> list[SearchResult]:
+        """Run a query through the breaker.
+
+        Raises :class:`~repro.resilience.errors.CircuitOpenError`
+        immediately while the circuit is open, and propagates the
+        engine's own :class:`SearchUnavailableError` (counted as a
+        breaker failure) while it is closed.
+        """
+        return self.breaker.call(self.inner.query, terms, top_k=top_k)
+
+    def result_rdns(self, terms, top_k: int = 10) -> set[str]:
+        """Guarded counterpart of ``SearchEngine.result_rdns``."""
+        return {result.rdn for result in self.query(terms, top_k=top_k)}
+
+    def result_mlds(self, terms, top_k: int = 10) -> set[str]:
+        """Guarded counterpart of ``SearchEngine.result_mlds``."""
+        return {result.mld for result in self.query(terms, top_k=top_k)}

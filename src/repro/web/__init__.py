@@ -13,10 +13,15 @@ web.  Offline, this subpackage provides the same observable surface:
   screenshots (the ``D_image`` / OCR-prominent-terms source);
 * :class:`~repro.web.search.SearchEngine` — an inverted-index search
   engine over legitimate pages, standing in for the search-engine queries
-  of the target identification process (Section V-B).
+  of the target identification process (Section V-B);
+* :mod:`~repro.web.faults` — deterministic fault injection
+  (:class:`~repro.web.faults.FlakyWeb` and friends) simulating the live
+  web's timeouts, resets, truncated pages and outages for the
+  robustness experiments.
 """
 
 from repro.web.browser import Browser, PageNotFound, RedirectLoopError
+from repro.web.faults import FaultPlan, FlakyOcr, FlakySearchEngine, FlakyWeb
 from repro.web.hosting import HostedPage, SyntheticWeb
 from repro.web.ocr import SimulatedOcr
 from repro.web.page import PageSnapshot, Screenshot
@@ -24,6 +29,10 @@ from repro.web.search import SearchEngine, SearchResult
 
 __all__ = [
     "Browser",
+    "FaultPlan",
+    "FlakyOcr",
+    "FlakySearchEngine",
+    "FlakyWeb",
     "HostedPage",
     "PageNotFound",
     "PageSnapshot",

@@ -1,0 +1,381 @@
+"""Deterministic fault injection over the synthetic web.
+
+The live web fails constantly: fetches time out, connections reset,
+servers answer 5xx, HTML arrives truncated, screenshots go missing and
+the search engine has outages.  :class:`FlakyWeb` wraps a
+:class:`~repro.web.hosting.SyntheticWeb` and injects exactly those
+failures at configurable rates, *deterministically*: each URL gets its
+own seeded fault schedule indexed by visit number, so a run (including
+every retry) replays identically regardless of page ordering — the
+property the robustness benchmarks rely on.
+
+Transient faults are genuinely transient: the schedule never emits more
+than ``max_consecutive_transient`` faults in a row for one URL, so a
+retry policy with more attempts than that is guaranteed to get through.
+Permanent faults (dead hosts) are per-URL and never heal.
+
+:class:`FlakySearchEngine` and :class:`FlakyOcr` play the same role for
+the two auxiliary dependencies of target identification.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import Counter
+from dataclasses import dataclass, replace
+
+from repro.resilience.errors import (
+    ConnectionReset,
+    FetchTimeout,
+    OcrFailure,
+    PermanentFetchError,
+    SearchUnavailableError,
+    ServerError,
+)
+from repro.resilience.clock import Clock, SystemClock
+from repro.web.hosting import HostedPage, SyntheticWeb, normalize_url
+from repro.web.page import Screenshot
+
+#: Degradation tags a :class:`FlakyWeb` can attach to a load.
+TRUNCATED_HTML = "truncated_html"
+MISSING_SCREENSHOT = "missing_screenshot"
+SLOW_RESPONSE = "slow_response"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Rates and shapes of the injected failures (all per fetch).
+
+    Parameters
+    ----------
+    seed:
+        Base seed; per-URL schedules derive from it and the URL.
+    timeout_rate, reset_rate, server_error_rate:
+        Probabilities of the three transient fetch faults.
+    slow_rate, slow_delay:
+        Probability of a slow (but successful) response and its cost in
+        clock seconds — consumed from the page's deadline budget.
+    truncate_rate, truncate_fraction:
+        Probability of serving truncated HTML, and the fraction of the
+        document that survives.
+    drop_screenshot_rate:
+        Probability of losing the screenshot capture.
+    permanent_rate:
+        Share of URLs that are permanently dead (never heal).
+    max_consecutive_transient:
+        Hard cap on back-to-back transient faults per URL; guarantees a
+        retry policy with more attempts than this always succeeds.
+    """
+
+    seed: int = 0
+    timeout_rate: float = 0.0
+    reset_rate: float = 0.0
+    server_error_rate: float = 0.0
+    slow_rate: float = 0.0
+    slow_delay: float = 1.0
+    truncate_rate: float = 0.0
+    truncate_fraction: float = 0.3
+    drop_screenshot_rate: float = 0.0
+    permanent_rate: float = 0.0
+    max_consecutive_transient: int = 3
+
+    def __post_init__(self):
+        rates = (
+            self.timeout_rate, self.reset_rate, self.server_error_rate,
+            self.slow_rate, self.truncate_rate, self.drop_screenshot_rate,
+            self.permanent_rate,
+        )
+        for rate in rates:
+            if not 0 <= rate <= 1:
+                raise ValueError(f"rates must be in [0, 1], got {rate}")
+        if self.max_consecutive_transient < 1:
+            raise ValueError("max_consecutive_transient must be >= 1")
+
+    @property
+    def transient_rate(self) -> float:
+        """Combined probability of the three transient fetch faults."""
+        return self.timeout_rate + self.reset_rate + self.server_error_rate
+
+    @classmethod
+    def transient(cls, rate: float, seed: int = 0, **kwargs) -> "FaultPlan":
+        """A plan with ``rate`` split evenly across the transient kinds.
+
+        Pure transient faults leave page *content* untouched, so a
+        retried load is byte-identical to a fault-free one — the shape
+        the completion-vs-accuracy robustness experiment needs.
+        """
+        share = rate / 3.0
+        return cls(
+            seed=seed, timeout_rate=share, reset_rate=share,
+            server_error_rate=share, **kwargs,
+        )
+
+    @classmethod
+    def degraded_content(
+        cls, rate: float, seed: int = 0, **kwargs
+    ) -> "FaultPlan":
+        """A plan that only degrades content (truncation, lost shots)."""
+        return cls(
+            seed=seed, truncate_rate=rate, drop_screenshot_rate=rate,
+            **kwargs,
+        )
+
+
+@dataclass(frozen=True)
+class _VisitFaults:
+    """The faults scheduled for one (url, visit-index) pair."""
+
+    transient: str | None = None       # "timeout" | "reset" | "server"
+    slow: bool = False
+    truncate: bool = False
+    drop_screenshot: bool = False
+
+
+class _UrlSchedule:
+    """Deterministic per-URL fault schedule, extended lazily per visit."""
+
+    def __init__(self, url: str, plan: FaultPlan):
+        self._rng = random.Random(
+            zlib.crc32(url.encode("utf-8")) ^ (plan.seed * 0x9E3779B1)
+        )
+        self._plan = plan
+        self.permanently_dead = self._rng.random() < plan.permanent_rate
+        self._visits: list[_VisitFaults] = []
+        self._consecutive = 0
+        self.next_visit = 0
+
+    def visit(self) -> _VisitFaults:
+        """Consume and return the next visit's fault decision."""
+        while len(self._visits) <= self.next_visit:
+            self._visits.append(self._draw())
+        faults = self._visits[self.next_visit]
+        self.next_visit += 1
+        return faults
+
+    def _draw(self) -> _VisitFaults:
+        plan = self._plan
+        transient = None
+        if self._consecutive < plan.max_consecutive_transient:
+            draw = self._rng.random()
+            if draw < plan.timeout_rate:
+                transient = "timeout"
+            elif draw < plan.timeout_rate + plan.reset_rate:
+                transient = "reset"
+            elif draw < plan.transient_rate:
+                transient = "server"
+        else:
+            self._rng.random()  # keep the stream aligned
+        self._consecutive = self._consecutive + 1 if transient else 0
+        return _VisitFaults(
+            transient=transient,
+            slow=self._rng.random() < plan.slow_rate,
+            truncate=self._rng.random() < plan.truncate_rate,
+            drop_screenshot=self._rng.random() < plan.drop_screenshot_rate,
+        )
+
+
+class FlakyWeb:
+    """A :class:`SyntheticWeb` view that injects the plan's faults.
+
+    Satisfies the same ``get`` contract the browser relies on, raising
+    the resilience taxonomy's errors for faulted fetches and serving
+    degraded copies (truncated HTML, missing screenshots) for content
+    faults.  Degradations applied since the last
+    :meth:`pop_degradations` call are queryable, so a wrapping
+    :class:`~repro.resilience.browser.ResilientBrowser` can tag its
+    verdicts.
+
+    Parameters
+    ----------
+    inner:
+        The pristine synthetic web.
+    plan:
+        The fault plan to inject.
+    clock:
+        Clock charged for slow responses (a
+        :class:`~repro.resilience.clock.ManualClock` makes simulated
+        slowness free in wall-clock terms).
+    """
+
+    def __init__(
+        self,
+        inner: SyntheticWeb,
+        plan: FaultPlan,
+        clock: Clock | None = None,
+    ):
+        self.inner = inner
+        self.plan = plan
+        self.clock = clock or SystemClock()
+        self._schedules: dict[str, _UrlSchedule] = {}
+        self._degradations: list[str] = []
+        #: lifetime fault counters, exposed for experiment reporting
+        self.stats: Counter = Counter()
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self.inner
+
+    def __getattr__(self, name: str):
+        """Delegate the registry surface (host, urls, ...) to the inner web."""
+        return getattr(self.inner, name)
+
+    # ------------------------------------------------------------------
+    def get(self, url: str) -> HostedPage | None:
+        """Resolve ``url``, applying this fetch's scheduled faults.
+
+        Raises :class:`PermanentFetchError` for dead URLs and one of
+        the transient errors (:class:`FetchTimeout`,
+        :class:`ConnectionReset`, :class:`ServerError`) for scheduled
+        transient faults.  Content faults return a degraded *copy*; the
+        hosted registry is never mutated.
+        """
+        page = self.inner.get(url)
+        if page is None:
+            return None
+
+        key = normalize_url(url)
+        schedule = self._schedules.get(key)
+        if schedule is None:
+            schedule = self._schedules[key] = _UrlSchedule(key, self.plan)
+        if schedule.permanently_dead:
+            self.stats["permanent"] += 1
+            raise PermanentFetchError(url, f"host permanently down: {url}")
+
+        faults = schedule.visit()
+        if faults.transient == "timeout":
+            self.stats["timeout"] += 1
+            raise FetchTimeout(url)
+        if faults.transient == "reset":
+            self.stats["reset"] += 1
+            raise ConnectionReset(url)
+        if faults.transient == "server":
+            self.stats["server_error"] += 1
+            raise ServerError(url)
+
+        if faults.slow:
+            self.stats["slow"] += 1
+            self._degradations.append(SLOW_RESPONSE)
+            self.clock.sleep(self.plan.slow_delay)
+        if page.is_redirect:
+            return page
+
+        degraded = page
+        if faults.truncate and page.html:
+            self.stats["truncated"] += 1
+            self._degradations.append(TRUNCATED_HTML)
+            keep = int(len(page.html) * self.plan.truncate_fraction)
+            degraded = replace(degraded, html=page.html[:keep])
+        if faults.drop_screenshot and page.screenshot.full_text:
+            self.stats["screenshot_dropped"] += 1
+            self._degradations.append(MISSING_SCREENSHOT)
+            degraded = replace(degraded, screenshot=Screenshot())
+        return degraded
+
+    def pop_degradations(self) -> list[str]:
+        """Drain the degradation tags recorded since the last call."""
+        tags, self._degradations = self._degradations, []
+        return tags
+
+
+class FlakySearchEngine:
+    """A search engine wrapper injecting outages.
+
+    Parameters
+    ----------
+    inner:
+        The real search engine.
+    outage_rate:
+        Per-query probability of :class:`SearchUnavailableError`.
+    forced_down:
+        When True every query fails — the "search engine is down"
+        scenario of the degradation experiments.
+    seed:
+        Seed for the outage stream.
+    """
+
+    def __init__(
+        self,
+        inner,
+        outage_rate: float = 0.0,
+        forced_down: bool = False,
+        seed: int = 0,
+    ):
+        if not 0 <= outage_rate <= 1:
+            raise ValueError(f"outage_rate must be in [0, 1], got {outage_rate}")
+        self.inner = inner
+        self.outage_rate = outage_rate
+        self.forced_down = forced_down
+        self._rng = random.Random(seed)
+        self.stats: Counter = Counter()
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def force_down(self) -> None:
+        """Take the engine down until :meth:`restore` is called."""
+        self.forced_down = True
+
+    def restore(self) -> None:
+        """Bring a forced-down engine back up."""
+        self.forced_down = False
+
+    def query(self, terms, top_k: int = 10):
+        """Query the inner engine, or raise during an outage."""
+        if self.forced_down or (
+            self.outage_rate and self._rng.random() < self.outage_rate
+        ):
+            self.stats["outages"] += 1
+            raise SearchUnavailableError("search engine unreachable")
+        self.stats["queries"] += 1
+        return self.inner.query(terms, top_k=top_k)
+
+    def result_rdns(self, terms, top_k: int = 10) -> set[str]:
+        """Outage-aware counterpart of ``SearchEngine.result_rdns``."""
+        return {result.rdn for result in self.query(terms, top_k=top_k)}
+
+    def result_mlds(self, terms, top_k: int = 10) -> set[str]:
+        """Outage-aware counterpart of ``SearchEngine.result_mlds``."""
+        return {result.mld for result in self.query(terms, top_k=top_k)}
+
+
+class FlakyOcr:
+    """An OCR wrapper that fails on a deterministic share of screenshots.
+
+    Failure is keyed on the screenshot *content* (like the OCR noise
+    itself), so the same screenshot either always fails or always reads,
+    independent of call order.
+
+    Parameters
+    ----------
+    inner:
+        The real OCR engine.
+    failure_rate:
+        Share of screenshots whose recognition raises
+        :class:`OcrFailure`.
+    seed:
+        Seed mixed into the per-screenshot failure decision.
+    """
+
+    def __init__(self, inner, failure_rate: float = 0.0, seed: int = 0):
+        if not 0 <= failure_rate <= 1:
+            raise ValueError(
+                f"failure_rate must be in [0, 1], got {failure_rate}"
+            )
+        self.inner = inner
+        self.failure_rate = failure_rate
+        self.seed = seed
+        self.stats: Counter = Counter()
+
+    def read(self, screenshot: Screenshot) -> str:
+        """Recognise the screenshot, or raise :class:`OcrFailure`."""
+        text = screenshot.full_text
+        if text and self.failure_rate:
+            digest = zlib.crc32(text.encode("utf-8")) ^ (self.seed * 0x85EBCA6B)
+            if (digest % 10_000) / 10_000.0 < self.failure_rate:
+                self.stats["failures"] += 1
+                raise OcrFailure("ocr engine failed on screenshot")
+        self.stats["reads"] += 1
+        return self.inner.read(screenshot)

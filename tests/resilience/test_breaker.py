@@ -1,0 +1,157 @@
+"""Tests for the circuit breaker and the guarded search engine."""
+
+import pytest
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.clock import ManualClock
+from repro.resilience.errors import CircuitOpenError, SearchUnavailableError
+from repro.resilience.search import GuardedSearchEngine
+from repro.web.faults import FlakySearchEngine
+from repro.web.search import SearchEngine
+
+
+def _failing():
+    raise SearchUnavailableError("down")
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_passes_calls(self):
+        breaker = CircuitBreaker(clock=ManualClock())
+        assert breaker.state == "closed"
+        assert breaker.call(lambda: "ok") == "ok"
+
+    def test_trips_after_threshold(self):
+        breaker = CircuitBreaker(
+            failure_threshold=3, clock=ManualClock(),
+            failure_types=(SearchUnavailableError,),
+        )
+        for _ in range(3):
+            with pytest.raises(SearchUnavailableError):
+                breaker.call(_failing)
+        assert breaker.state == "open"
+        assert breaker.stats["trips"] == 1
+
+    def test_open_circuit_fails_fast(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, clock=ManualClock(),
+            failure_types=(SearchUnavailableError,),
+        )
+        with pytest.raises(SearchUnavailableError):
+            breaker.call(_failing)
+        calls = {"n": 0}
+
+        def counted():
+            calls["n"] += 1
+
+        with pytest.raises(CircuitOpenError):
+            breaker.call(counted)
+        assert calls["n"] == 0
+        assert breaker.stats["rejected"] == 1
+
+    def test_half_open_probe_success_closes(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_time=10.0, clock=clock,
+            failure_types=(SearchUnavailableError,),
+        )
+        with pytest.raises(SearchUnavailableError):
+            breaker.call(_failing)
+        clock.advance(10.0)
+        assert breaker.state == "half-open"
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, recovery_time=10.0, clock=clock,
+            failure_types=(SearchUnavailableError,),
+        )
+        for _ in range(2):
+            with pytest.raises(SearchUnavailableError):
+                breaker.call(_failing)
+        clock.advance(10.0)
+        # One failed probe re-opens immediately (below the threshold).
+        with pytest.raises(SearchUnavailableError):
+            breaker.call(_failing)
+        assert breaker.state == "open"
+        assert breaker.stats["trips"] == 2
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(
+            failure_threshold=2, clock=ManualClock(),
+            failure_types=(SearchUnavailableError,),
+        )
+        with pytest.raises(SearchUnavailableError):
+            breaker.call(_failing)
+        breaker.call(lambda: "ok")
+        with pytest.raises(SearchUnavailableError):
+            breaker.call(_failing)
+        assert breaker.state == "closed"
+
+    def test_unexpected_errors_do_not_count(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, clock=ManualClock(),
+            failure_types=(SearchUnavailableError,),
+        )
+
+        def boom():
+            raise KeyError("bug, not outage")
+
+        with pytest.raises(KeyError):
+            breaker.call(boom)
+        assert breaker.state == "closed"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestGuardedSearchEngine:
+    @pytest.fixture()
+    def engine(self):
+        engine = SearchEngine()
+        engine.index_page("http://paypal.com/", "paypal secure payment login")
+        engine.index_page("http://bank.com/", "bank account online login")
+        return engine
+
+    def test_passthrough_when_healthy(self, engine):
+        guarded = GuardedSearchEngine(engine, clock=ManualClock())
+        rdns = guarded.result_rdns(["paypal"])
+        assert "paypal.com" in rdns
+        assert len(guarded) == 2
+
+    def test_opens_after_outages_then_fails_fast(self, engine):
+        flaky = FlakySearchEngine(engine, forced_down=True)
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, recovery_time=60.0, clock=clock,
+            failure_types=(SearchUnavailableError,),
+        )
+        guarded = GuardedSearchEngine(flaky, breaker=breaker)
+        for _ in range(3):
+            with pytest.raises(SearchUnavailableError):
+                guarded.query(["paypal"])
+        # Circuit now open: the inner engine is no longer hit.
+        with pytest.raises(CircuitOpenError):
+            guarded.query(["paypal"])
+        assert flaky.stats["outages"] == 3
+
+    def test_recovers_after_cooldown(self, engine):
+        flaky = FlakySearchEngine(engine, forced_down=True)
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_time=30.0, clock=clock,
+            failure_types=(SearchUnavailableError,),
+        )
+        guarded = GuardedSearchEngine(flaky, breaker=breaker)
+        with pytest.raises(SearchUnavailableError):
+            guarded.query(["paypal"])
+        flaky.restore()
+        clock.advance(30.0)
+        assert "paypal.com" in guarded.result_rdns(["paypal"])
+        assert breaker.state == "closed"
+
+    def test_result_mlds(self, engine):
+        guarded = GuardedSearchEngine(engine, clock=ManualClock())
+        assert "paypal" in guarded.result_mlds(["paypal"])

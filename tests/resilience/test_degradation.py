@@ -1,0 +1,138 @@
+"""End-to-end graceful degradation through the full pipeline."""
+
+import pytest
+
+from repro.core.detector import PhishingDetector
+from repro.core.features import FeatureExtractor
+from repro.core.pipeline import KnowYourPhish
+from repro.core.target import TargetIdentifier
+from repro.resilience import (
+    CircuitBreaker,
+    GuardedSearchEngine,
+    ManualClock,
+    ResilientBrowser,
+    RetryPolicy,
+    SearchUnavailableError,
+)
+from repro.web.faults import FaultPlan, FlakyOcr, FlakySearchEngine, FlakyWeb
+from repro.web.ocr import SimulatedOcr
+
+
+@pytest.fixture(scope="module")
+def detector(tiny_world):
+    extractor = FeatureExtractor(alexa=tiny_world.alexa)
+    train = tiny_world.dataset("legTrain") + tiny_world.dataset("phishTrain")
+    model = PhishingDetector(extractor, n_estimators=40)
+    model.fit_snapshots([page.snapshot for page in train], train.labels())
+    return model
+
+
+def _flagged_snapshot(detector, tiny_world):
+    """A phishing snapshot the detector actually flags."""
+    for page in tiny_world.dataset("phishTest"):
+        vector = detector.extractor.extract(page.snapshot)
+        if float(detector.predict_proba(vector.reshape(1, -1))[0]) \
+                >= detector.threshold:
+            return page.snapshot
+    raise AssertionError("no flagged phishing page in tiny world")
+
+
+class TestSearchOutageDegradation:
+    def test_forced_outage_yields_degraded_detector_verdict(
+        self, detector, tiny_world
+    ):
+        down = FlakySearchEngine(tiny_world.search, forced_down=True)
+        pipeline = KnowYourPhish(
+            detector, TargetIdentifier(down, ocr=SimulatedOcr(0.02))
+        )
+        verdict = pipeline.analyze(_flagged_snapshot(detector, tiny_world))
+        assert verdict.verdict == "phish"
+        assert verdict.degraded
+        assert "search_unavailable" in verdict.degradations
+        assert verdict.targets == []
+        assert verdict.identification is None
+
+    def test_open_circuit_also_degrades(self, detector, tiny_world):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_time=300.0, clock=clock,
+            failure_types=(SearchUnavailableError,),
+        )
+        down = FlakySearchEngine(tiny_world.search, forced_down=True)
+        guarded = GuardedSearchEngine(down, breaker=breaker)
+        pipeline = KnowYourPhish(
+            detector, TargetIdentifier(guarded, ocr=SimulatedOcr(0.02))
+        )
+        snapshot = _flagged_snapshot(detector, tiny_world)
+        first = pipeline.analyze(snapshot)
+        second = pipeline.analyze(snapshot)
+        assert first.degraded and second.degraded
+        # The second page never reached the engine: circuit open.
+        assert breaker.stats["rejected"] > 0
+
+    def test_healthy_search_not_degraded(self, detector, tiny_world):
+        pipeline = KnowYourPhish(
+            detector,
+            TargetIdentifier(tiny_world.search, ocr=SimulatedOcr(0.02)),
+        )
+        verdict = pipeline.analyze(_flagged_snapshot(detector, tiny_world))
+        assert not verdict.degraded
+        assert verdict.identification is not None
+
+
+class TestOcrFailureDegradation:
+    def test_ocr_failure_skips_ocr_keyterms(self, detector, tiny_world):
+        broken_ocr = FlakyOcr(SimulatedOcr(0.02), failure_rate=1.0)
+        pipeline = KnowYourPhish(
+            detector, TargetIdentifier(tiny_world.search, ocr=broken_ocr)
+        )
+        verdict = pipeline.analyze(_flagged_snapshot(detector, tiny_world))
+        # The verdict exists, tagged; identification either completed
+        # without step 4 or confirmed/flagged as usual.
+        assert verdict.verdict in ("phish", "suspicious", "legitimate")
+        if verdict.identification is not None:
+            assert verdict.identification.keyterms.ocr_prominent == []
+        assert "ocr_failed" in verdict.degradations
+
+
+class TestPartialSnapshotDegradation:
+    def test_load_degradations_tag_the_verdict(self, detector, tiny_world):
+        clock = ManualClock()
+        plan = FaultPlan(seed=1, truncate_rate=1.0, drop_screenshot_rate=1.0)
+        browser = ResilientBrowser(
+            FlakyWeb(tiny_world.web, plan, clock=clock),
+            policy=RetryPolicy(clock=clock), clock=clock,
+        )
+        pipeline = KnowYourPhish(
+            detector,
+            TargetIdentifier(tiny_world.search, ocr=SimulatedOcr(0.02)),
+        )
+        url = tiny_world.dataset("english")[0].snapshot.starting_url
+        loaded = browser.load(url)
+        verdict = pipeline.analyze(loaded)
+        assert loaded.degraded
+        assert verdict.degraded
+        assert "truncated_html" in verdict.degradations
+
+
+class TestBatchOverWorld:
+    def test_analyze_many_quarantines_missing_pages(
+        self, detector, tiny_world
+    ):
+        clock = ManualClock()
+        browser = ResilientBrowser(
+            tiny_world.web, policy=RetryPolicy(clock=clock), clock=clock
+        )
+        pipeline = KnowYourPhish(
+            detector,
+            TargetIdentifier(tiny_world.search, ocr=SimulatedOcr(0.02)),
+        )
+        urls = [
+            page.snapshot.starting_url
+            for page in tiny_world.dataset("english")[:5]
+        ] + ["http://definitely-not-hosted.example/"]
+        report = pipeline.analyze_many(urls, browser)
+        assert len(report.analyzed) == 5
+        assert len(report.quarantined) == 1
+        assert report.quarantined[0].error_kind == "PageNotFound"
+        assert report.quarantined[0].permanent

@@ -1,0 +1,226 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.resilience.errors import (
+    OcrFailure,
+    PermanentFetchError,
+    SearchUnavailableError,
+    TransientFetchError,
+)
+from repro.resilience.clock import ManualClock
+from repro.web.faults import (
+    MISSING_SCREENSHOT,
+    TRUNCATED_HTML,
+    FaultPlan,
+    FlakyOcr,
+    FlakySearchEngine,
+    FlakyWeb,
+)
+from repro.web.hosting import SyntheticWeb
+from repro.web.ocr import SimulatedOcr
+from repro.web.page import Screenshot
+from repro.web.search import SearchEngine
+
+
+@pytest.fixture()
+def web():
+    web = SyntheticWeb()
+    web.host("http://a.com/", "<title>A</title>" + "x" * 1000,
+             Screenshot(rendered_text="hello world"))
+    web.host("http://b.com/", "<title>B</title>")
+    return web
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(timeout_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(max_consecutive_transient=0)
+
+    def test_transient_splits_rate(self):
+        plan = FaultPlan.transient(0.3)
+        assert plan.transient_rate == pytest.approx(0.3)
+        assert plan.truncate_rate == 0.0
+
+    def test_degraded_content_plan(self):
+        plan = FaultPlan.degraded_content(0.4)
+        assert plan.truncate_rate == 0.4
+        assert plan.drop_screenshot_rate == 0.4
+        assert plan.transient_rate == 0.0
+
+
+class TestFlakyWebTransient:
+    def test_zero_rate_is_transparent(self, web):
+        flaky = FlakyWeb(web, FaultPlan())
+        page = flaky.get("http://a.com/")
+        assert page is web.get("http://a.com/")
+        assert flaky.pop_degradations() == []
+
+    def test_faults_injected_at_high_rate(self, web):
+        flaky = FlakyWeb(web, FaultPlan.transient(0.9, seed=1))
+        errors = 0
+        for _ in range(20):
+            try:
+                flaky.get("http://a.com/")
+            except TransientFetchError:
+                errors += 1
+        assert errors > 0
+        assert sum(
+            flaky.stats[k] for k in ("timeout", "reset", "server_error")
+        ) == errors
+
+    def test_deterministic_per_seed(self, web):
+        def trace(seed):
+            flaky = FlakyWeb(web, FaultPlan.transient(0.5, seed=seed))
+            out = []
+            for _ in range(30):
+                try:
+                    flaky.get("http://a.com/")
+                    out.append("ok")
+                except TransientFetchError as e:
+                    out.append(type(e).__name__)
+            return out
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)
+
+    def test_consecutive_faults_bounded(self, web):
+        plan = FaultPlan.transient(0.99, seed=3, max_consecutive_transient=2)
+        flaky = FlakyWeb(web, plan)
+        consecutive = longest = 0
+        for _ in range(60):
+            try:
+                flaky.get("http://a.com/")
+                consecutive = 0
+            except TransientFetchError:
+                consecutive += 1
+                longest = max(longest, consecutive)
+        assert longest <= 2
+
+    def test_missing_url_still_none(self, web):
+        flaky = FlakyWeb(web, FaultPlan.transient(0.9, seed=1))
+        assert flaky.get("http://nope.com/") is None
+
+
+class TestFlakyWebPermanent:
+    def test_permanently_dead_urls_never_heal(self, web):
+        flaky = FlakyWeb(web, FaultPlan(seed=0, permanent_rate=1.0))
+        for _ in range(3):
+            with pytest.raises(PermanentFetchError):
+                flaky.get("http://a.com/")
+        assert flaky.stats["permanent"] == 3
+
+
+class TestFlakyWebDegradation:
+    def test_truncation_degrades_copy_not_registry(self, web):
+        plan = FaultPlan(seed=0, truncate_rate=1.0, truncate_fraction=0.1)
+        flaky = FlakyWeb(web, plan)
+        page = flaky.get("http://a.com/")
+        original = web.get("http://a.com/")
+        assert len(page.html) < len(original.html)
+        assert len(original.html) > 1000  # registry untouched
+        assert TRUNCATED_HTML in flaky.pop_degradations()
+
+    def test_screenshot_dropped(self, web):
+        plan = FaultPlan(seed=0, drop_screenshot_rate=1.0)
+        flaky = FlakyWeb(web, plan)
+        page = flaky.get("http://a.com/")
+        assert page.screenshot.full_text == ""
+        assert MISSING_SCREENSHOT in flaky.pop_degradations()
+
+    def test_slow_response_charges_clock(self, web):
+        clock = ManualClock()
+        plan = FaultPlan(seed=0, slow_rate=1.0, slow_delay=2.0)
+        flaky = FlakyWeb(web, plan, clock=clock)
+        flaky.get("http://a.com/")
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_pop_degradations_drains(self, web):
+        plan = FaultPlan(seed=0, truncate_rate=1.0)
+        flaky = FlakyWeb(web, plan)
+        flaky.get("http://a.com/")
+        assert flaky.pop_degradations() != []
+        assert flaky.pop_degradations() == []
+
+
+class TestFlakyWebDelegation:
+    def test_registry_surface_delegates(self, web):
+        flaky = FlakyWeb(web, FaultPlan())
+        assert len(flaky) == 2
+        assert "http://a.com/" in flaky
+        assert set(flaky.urls()) == set(web.urls())
+        flaky.host("http://c.com/", "<title>C</title>")
+        assert "http://c.com/" in web
+
+
+class TestFlakySearchEngine:
+    @pytest.fixture()
+    def engine(self):
+        engine = SearchEngine()
+        engine.index_page("http://paypal.com/", "paypal login")
+        return engine
+
+    def test_forced_down(self, engine):
+        flaky = FlakySearchEngine(engine, forced_down=True)
+        with pytest.raises(SearchUnavailableError):
+            flaky.query(["paypal"])
+        flaky.restore()
+        assert flaky.query(["paypal"])
+
+    def test_outage_rate_deterministic(self, engine):
+        def outages(seed):
+            flaky = FlakySearchEngine(engine, outage_rate=0.5, seed=seed)
+            failures = 0
+            for _ in range(40):
+                try:
+                    flaky.query(["paypal"])
+                except SearchUnavailableError:
+                    failures += 1
+            return failures
+
+        assert outages(1) == outages(1)
+        assert 0 < outages(1) < 40
+
+    def test_convenience_methods(self, engine):
+        flaky = FlakySearchEngine(engine)
+        assert "paypal.com" in flaky.result_rdns(["paypal"])
+        assert "paypal" in flaky.result_mlds(["paypal"])
+        assert len(flaky) == 1
+
+    def test_rate_validated(self, engine):
+        with pytest.raises(ValueError):
+            FlakySearchEngine(engine, outage_rate=2.0)
+
+
+class TestFlakyOcr:
+    def test_failure_keyed_on_content(self):
+        ocr = FlakyOcr(SimulatedOcr(error_rate=0.0), failure_rate=0.5, seed=0)
+        shots = [
+            Screenshot(rendered_text=f"page number {i}") for i in range(30)
+        ]
+        outcomes = []
+        for shot in shots:
+            try:
+                ocr.read(shot)
+                outcomes.append("ok")
+            except OcrFailure:
+                outcomes.append("fail")
+        assert "ok" in outcomes and "fail" in outcomes
+        # Same screenshot, same outcome — regardless of call order.
+        for shot, expected in zip(reversed(shots), reversed(outcomes)):
+            try:
+                ocr.read(shot)
+                again = "ok"
+            except OcrFailure:
+                again = "fail"
+            assert again == expected
+
+    def test_zero_rate_reads_through(self):
+        ocr = FlakyOcr(SimulatedOcr(error_rate=0.0), failure_rate=0.0)
+        assert ocr.read(Screenshot(rendered_text="hello")) == "hello"
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            FlakyOcr(SimulatedOcr(), failure_rate=-0.1)

@@ -1,0 +1,174 @@
+"""Tests for the retry policy, deadlines and injectable clocks."""
+
+import pytest
+
+from repro.resilience.clock import ManualClock, SystemClock
+from repro.resilience.errors import (
+    DeadlineExceeded,
+    FetchTimeout,
+    PermanentFetchError,
+)
+from repro.resilience.retry import Deadline, RetryPolicy
+
+
+class TestManualClock:
+    def test_sleep_advances_instantly(self):
+        clock = ManualClock()
+        clock.sleep(5.0)
+        assert clock.now() == 5.0
+
+    def test_advance(self):
+        clock = ManualClock(start=10.0)
+        clock.advance(2.5)
+        assert clock.now() == 12.5
+
+    def test_rewind_rejected(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+    def test_system_clock_monotonic(self):
+        clock = SystemClock()
+        a = clock.now()
+        clock.sleep(0.0)
+        assert clock.now() >= a
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = ManualClock()
+        deadline = Deadline(10.0, clock=clock)
+        clock.advance(4.0)
+        assert deadline.remaining() == pytest.approx(6.0)
+        assert not deadline.expired()
+
+    def test_expires(self):
+        clock = ManualClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(1.5)
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("scrape")
+
+    def test_unlimited(self):
+        deadline = Deadline(None, clock=ManualClock())
+        assert deadline.remaining() is None
+        assert not deadline.expired()
+        assert deadline.allows(1e9)
+
+    def test_allows(self):
+        clock = ManualClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert deadline.allows(0.5)
+        assert not deadline.allows(2.0)
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+
+class TestRetryPolicy:
+    def test_succeeds_first_try(self):
+        policy = RetryPolicy(clock=ManualClock())
+        outcome = policy.call(lambda: 42)
+        assert outcome.result == 42
+        assert outcome.attempts == 1
+        assert outcome.total_delay == 0.0
+
+    def test_retries_transient_until_success(self):
+        clock = ManualClock()
+        policy = RetryPolicy(max_attempts=5, clock=clock)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise FetchTimeout("http://x.com/")
+            return "ok"
+
+        outcome = policy.call(flaky)
+        assert outcome.result == "ok"
+        assert outcome.attempts == 3
+        assert outcome.total_delay > 0
+        assert clock.now() == pytest.approx(outcome.total_delay)
+
+    def test_exhaustion_reraises_last_error(self):
+        policy = RetryPolicy(max_attempts=3, clock=ManualClock())
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise FetchTimeout("http://x.com/")
+
+        with pytest.raises(FetchTimeout):
+            policy.call(always_fails)
+        assert calls["n"] == 3
+
+    def test_permanent_error_not_retried(self):
+        policy = RetryPolicy(max_attempts=5, clock=ManualClock())
+        calls = {"n": 0}
+
+        def dead():
+            calls["n"] += 1
+            raise PermanentFetchError("http://x.com/")
+
+        with pytest.raises(PermanentFetchError):
+            policy.call(dead)
+        assert calls["n"] == 1
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0,
+            clock=ManualClock(),
+        )
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=10.0, max_delay=3.0, jitter=0,
+            clock=ManualClock(),
+        )
+        assert policy.delay(5) == 3.0
+
+    def test_jitter_within_bounds_and_seeded(self):
+        delays_a = [
+            RetryPolicy(base_delay=1.0, jitter=0.5, seed=3,
+                        clock=ManualClock()).delay(1)
+            for _ in range(1)
+        ]
+        delays_b = [
+            RetryPolicy(base_delay=1.0, jitter=0.5, seed=3,
+                        clock=ManualClock()).delay(1)
+            for _ in range(1)
+        ]
+        assert delays_a == delays_b
+        assert all(0.5 <= d <= 1.0 for d in delays_a)
+
+    def test_deadline_blocks_backoff_sleep(self):
+        clock = ManualClock()
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=5.0, jitter=0, clock=clock
+        )
+        deadline = Deadline(1.0, clock=clock)
+
+        def always_fails():
+            raise FetchTimeout("http://x.com/")
+
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            policy.call(always_fails, deadline=deadline)
+        assert isinstance(excinfo.value.__cause__, FetchTimeout)
+
+    def test_expired_deadline_stops_next_attempt(self):
+        clock = ManualClock()
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, clock=clock)
+        deadline = Deadline(0.5, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceeded):
+            policy.call(lambda: 1, deadline=deadline)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)

@@ -55,3 +55,50 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "feature-group importances" in out
         assert "false positives" in out
+
+
+class TestErrorHandling:
+    """Navigation/resilience failures exit cleanly, never with a traceback."""
+
+    def _failing_list(self, error):
+        def fail(_args):
+            raise error
+        return fail
+
+    def test_page_not_found_clean_exit(self, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro.web import PageNotFound
+
+        monkeypatch.setattr(
+            cli, "_cmd_list",
+            self._failing_list(PageNotFound("http://gone.example/")),
+        )
+        assert cli.main(["list-experiments"]) == 1
+        captured = capsys.readouterr()
+        assert "error: navigation failed" in captured.err
+        assert "gone.example" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_redirect_loop_clean_exit(self, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro.web import RedirectLoopError
+
+        monkeypatch.setattr(
+            cli, "_cmd_list",
+            self._failing_list(RedirectLoopError("more than 10 redirects")),
+        )
+        assert cli.main(["list-experiments"]) == 1
+        assert "navigation failed" in capsys.readouterr().err
+
+    def test_fetch_errors_clean_exit(self, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro.resilience import FetchTimeout
+
+        monkeypatch.setattr(
+            cli, "_cmd_list",
+            self._failing_list(FetchTimeout("http://slow.example/")),
+        )
+        assert cli.main(["list-experiments"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "slow.example" in captured.err

@@ -87,3 +87,53 @@ class TestLoggedLinks:
         web.host("http://a.com/", '<iframe src="http://gone.com/f"></iframe>')
         snapshot = Browser(web).load("http://a.com/")
         assert "http://gone.com/f" in snapshot.logged_links
+
+
+class TestErrorPaths:
+    """Boundary behaviour of the navigation failure modes."""
+
+    def _chain(self, web, hops):
+        for i in range(hops):
+            web.redirect(f"http://r{i}.com/", f"http://r{i + 1}.com/")
+        web.host(f"http://r{hops}.com/", "<title>end</title>")
+
+    def test_hop_limit_allows_exactly_max_redirects(self, web):
+        self._chain(web, 10)
+        snapshot = Browser(web, max_redirects=10).load("http://r0.com/")
+        assert snapshot.landing_url == "http://r10.com/"
+        assert len(snapshot.redirection_chain) == 11
+
+    def test_hop_limit_rejects_one_over(self, web):
+        self._chain(web, 11)
+        with pytest.raises(RedirectLoopError) as excinfo:
+            Browser(web, max_redirects=10).load("http://r0.com/")
+        assert "http://r0.com/" in str(excinfo.value)
+
+    def test_missing_page_mid_chain_names_missing_hop(self, web):
+        web.redirect("http://1.com/", "http://2.com/")
+        web.redirect("http://2.com/", "http://vanished.com/")
+        with pytest.raises(PageNotFound) as excinfo:
+            Browser(web).load("http://1.com/")
+        assert "vanished.com" in str(excinfo.value)
+
+    def test_chain_tail_not_duplicated(self, web):
+        web.redirect("http://short.com/x", "http://a.com/")
+        web.host("http://a.com/", "x")
+        snapshot = Browser(web).load("http://short.com/x")
+        assert snapshot.redirection_chain == [
+            "http://short.com/x", "http://a.com/",
+        ]
+        assert len(snapshot.redirection_chain) == \
+            len(set(snapshot.redirection_chain))
+
+    def test_chain_appends_hosted_url_when_target_spelled_differently(
+        self, web
+    ):
+        # The redirect names the page without the trailing slash; URL
+        # normalisation still resolves it, and the chain ends with the
+        # hosted spelling so landing_url is always chain[-1].
+        web.redirect("http://short.com/x", "http://a.com")
+        web.host("http://a.com/", "x")
+        snapshot = Browser(web).load("http://short.com/x")
+        assert snapshot.redirection_chain[-1] == "http://a.com/"
+        assert snapshot.landing_url == snapshot.redirection_chain[-1]
