@@ -1,0 +1,48 @@
+"""Throughput benchmark: serial vs parallel, cold vs warm caches.
+
+The paper argues deployability from per-page latency (Table VIII); a
+production crawl additionally needs batch throughput.  This benchmark
+drives the full pipeline over the robustness workload in four
+configurations — {serial, 4-worker pool} × {cold cache, warm cache} —
+and records pages/sec for each.  Two guarantees are asserted, not just
+measured:
+
+* every configuration produces verdicts identical to the serial cold
+  run (parallelism and caching are execution strategies, not
+  approximations);
+* the warm-cache parallel run reaches at least 2x the serial cold
+  throughput.
+"""
+
+from repro.evaluation.reporting import format_table
+
+PAGES_PER_CLASS = 40
+WORKERS = 4
+
+
+def test_throughput_serial_vs_parallel(lab, save_result):
+    rows = lab.throughput_benchmark(
+        pages_per_class=PAGES_PER_CLASS, workers=WORKERS, backend="thread"
+    )
+    save_result("throughput", format_table(
+        ["mode", "pages", "seconds", "pages_per_sec", "speedup",
+         "verdicts_match"],
+        [[r["mode"], r["pages"], round(r["seconds"], 3),
+          round(r["pages_per_sec"], 1), round(r["speedup"], 2),
+          r["verdicts_match"]] for r in rows],
+    ))
+
+    assert [r["mode"] for r in rows] == [
+        "serial/cold", f"parallel{WORKERS}/cold",
+        "serial/warm", f"parallel{WORKERS}/warm",
+    ]
+    # The core guarantee: identical verdicts in every configuration.
+    assert all(r["verdicts_match"] for r in rows)
+    # The acceptance bar: warm parallel is at least 2x serial cold.
+    warm_parallel = rows[-1]
+    assert warm_parallel["speedup"] >= 2.0, (
+        f"warm parallel reached only {warm_parallel['speedup']:.2f}x"
+    )
+    # Caching alone already pays for itself on a repeat visit.
+    serial_warm = rows[2]
+    assert serial_warm["pages_per_sec"] > rows[0]["pages_per_sec"]

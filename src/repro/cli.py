@@ -44,16 +44,24 @@ _EXPERIMENTS = {
     "ext-model": "Extension  - gradient boosting vs linear model (Sec. IV-C)",
     "ext-drift": "Extension  - recall under temporal campaign drift",
     "ext-robustness": "Extension  - resilience under injected faults",
+    "ext-throughput": "Extension  - batch throughput (serial vs parallel, cold vs warm cache)",
 }
 
 
 def _build_lab(args) -> Lab:
     config = CorpusConfig.paper_scale(args.scale, seed=args.seed)
+    workers = getattr(args, "workers", 0)
     print(
-        f"building world (scale={args.scale}, seed={args.seed})...",
+        f"building world (scale={args.scale}, seed={args.seed}, "
+        f"workers={workers or 1}, cache={'on' if args.cache else 'off'})...",
         file=sys.stderr,
     )
-    return Lab(config, n_estimators=args.estimators)
+    return Lab(
+        config,
+        n_estimators=args.estimators,
+        workers=workers or None,
+        cache=args.cache,
+    )
 
 
 def _run_experiment(lab: Lab, experiment: str) -> str:
@@ -185,6 +193,15 @@ def _run_experiment(lab: Lab, experiment: str) -> str:
             + "\n\npartial content (truncation, lost screenshots):\n"
             + partial_table
         )
+    if experiment == "ext-throughput":
+        rows = lab.throughput_benchmark()
+        return format_table(
+            ["mode", "workers", "warm_cache", "pages", "pages_per_sec",
+             "speedup", "verdicts_match"],
+            [[r["mode"], r["workers"], r["warm_cache"], r["pages"],
+              r["pages_per_sec"], r["speedup"], r["verdicts_match"]]
+             for r in rows],
+        )
     raise ValueError(f"unknown experiment {experiment!r}")
 
 
@@ -293,6 +310,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--estimators", type=int, default=100,
         help="boosting stages per trained model",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker threads for batch extraction/analysis "
+             "(0 or 1 = serial; results are identical either way)",
+    )
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="memoize per-snapshot feature work by content hash "
+             "(--no-cache disables)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 

@@ -18,11 +18,13 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.features import FeatureExtractor, feature_set_mask
-from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.boosting import PAPER_THRESHOLD, GradientBoostingClassifier
 from repro.web.page import PageSnapshot
 
-#: The paper's discrimination threshold (Section VI-A).
-DEFAULT_THRESHOLD = 0.7
+#: The paper's discrimination threshold (Section VI-A), single-sourced
+#: from :data:`repro.ml.boosting.PAPER_THRESHOLD` so the classifier's
+#: ``predict`` default and the pipeline can never diverge.
+DEFAULT_THRESHOLD = PAPER_THRESHOLD
 
 
 class PhishingDetector:

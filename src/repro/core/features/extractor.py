@@ -18,6 +18,7 @@ from repro.core.features import (
     term_consistency,
     url_features,
 )
+from repro.parallel.cache import AnalysisCache, snapshot_fingerprint
 from repro.urls.alexa import AlexaRanking
 from repro.urls.public_suffix import PublicSuffixList, default_psl
 from repro.web.page import PageSnapshot
@@ -74,6 +75,14 @@ class FeatureExtractor:
         keeps the extractor usable without the synthetic world.
     psl:
         Public-suffix list for URL decomposition.
+    cache:
+        Optional :class:`~repro.parallel.cache.AnalysisCache` memoizing
+        term distributions, f2 pair matrices and full feature vectors by
+        snapshot content hash.  Feature vectors depend on the extractor's
+        configuration (Alexa ranking, term metric), so a cache must not
+        be shared between differently-configured extractors.  Hits
+        return copies of values computed by the exact same code path as
+        misses — caching never changes results.
     """
 
     def __init__(
@@ -81,6 +90,7 @@ class FeatureExtractor:
         alexa: AlexaRanking | None = None,
         psl: PublicSuffixList | None = None,
         term_metric: str = "hellinger",
+        cache: AnalysisCache | None = None,
     ):
         if term_metric not in term_consistency.METRICS:
             raise ValueError(
@@ -90,6 +100,7 @@ class FeatureExtractor:
         self.alexa = alexa or AlexaRanking()
         self.psl = psl or default_psl()
         self.term_metric = term_metric
+        self.cache = cache
         self._names = [
             name for _group, module in _GROUPS for name in module.feature_names()
         ]
@@ -106,14 +117,41 @@ class FeatureExtractor:
 
     def extract(self, snapshot: PageSnapshot) -> np.ndarray:
         """Feature vector for one page snapshot."""
-        sources = DataSources(snapshot, psl=self.psl)
-        return self.extract_from_sources(sources)
+        if self.cache is None:
+            return self._extract_uncached(
+                DataSources(snapshot, psl=self.psl), key=None
+            )
+        key = snapshot_fingerprint(snapshot)
+        hit = self.cache.get_features(key)
+        if hit is not None:
+            return hit
+        sources = DataSources(
+            snapshot,
+            psl=self.psl,
+            distribution_cache=self.cache.distributions,
+            cache_key=key,
+        )
+        return self._extract_uncached(sources, key=key)
 
     def extract_from_sources(self, sources: DataSources) -> np.ndarray:
         """Feature vector for an already-built :class:`DataSources`."""
+        if self.cache is None:
+            return self._extract_uncached(sources, key=None)
+        # Reuse the fingerprint the sources were built with, if any.
+        key = getattr(sources, "_cache_key", None) or snapshot_fingerprint(
+            sources.snapshot
+        )
+        hit = self.cache.get_features(key)
+        if hit is not None:
+            return hit
+        return self._extract_uncached(sources, key=key)
+
+    def _extract_uncached(
+        self, sources: DataSources, key: str | None
+    ) -> np.ndarray:
         vector = (
             url_features.compute(sources, self.alexa)
-            + term_consistency.compute(sources, metric=self.term_metric)
+            + self._f2_block(sources, key)
             + mld_usage.compute(sources)
             + rdn_usage.compute(sources)
             + content.compute(sources)
@@ -123,11 +161,44 @@ class FeatureExtractor:
             raise AssertionError(
                 f"feature vector has shape {out.shape}, expected ({N_FEATURES},)"
             )
+        if self.cache is not None and key is not None:
+            self.cache.put_features(key, out)
         return out
 
-    def extract_many(self, snapshots) -> np.ndarray:
-        """Feature matrix for an iterable of snapshots."""
-        rows = [self.extract(snapshot) for snapshot in snapshots]
-        if not rows:
+    def _f2_block(self, sources: DataSources, key: str | None) -> list[float]:
+        """The 66 f2 distances, served from the pair-matrix cache if hot.
+
+        The pair matrix is keyed by (metric, fingerprint) — unlike full
+        feature vectors it does not depend on the Alexa ranking, so this
+        sub-result stays valid across extractors differing only in f1
+        configuration.
+        """
+        if self.cache is None or key is None:
+            return term_consistency.compute(sources, metric=self.term_metric)
+        pair_key = (self.term_metric, key)
+        pairs = self.cache.get_pair_matrix(pair_key)
+        if pairs is None:
+            pairs = term_consistency.compute_pairs(
+                sources, metric=self.term_metric
+            )
+            self.cache.put_pair_matrix(pair_key, pairs)
+        return pairs.tolist()
+
+    def extract_many(self, snapshots, pool=None) -> np.ndarray:
+        """Feature matrix for an iterable of snapshots.
+
+        ``pool`` is an optional :class:`~repro.parallel.WorkerPool`; rows
+        come back in snapshot order and bit-identical to the serial run
+        regardless of backend or scheduling.  With the ``process``
+        backend the extractor is pickled into each worker, so cache
+        fills stay worker-local (the ``thread`` backend shares this
+        extractor's cache).
+        """
+        snapshots = list(snapshots)
+        if not snapshots:
             return np.empty((0, N_FEATURES))
+        if pool is None:
+            rows = [self.extract(snapshot) for snapshot in snapshots]
+        else:
+            rows = pool.map(self.extract, snapshots)
         return np.vstack(rows)

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from repro.core.datasources import DataSources
 from repro.core.detector import PhishingDetector
 from repro.core.target import TargetIdentification, TargetIdentifier
+from repro.parallel.cache import snapshot_fingerprint
 from repro.resilience.batch import BatchReport, analyze_many
 from repro.resilience.browser import LoadResult
 from repro.resilience.errors import SearchUnavailableError
@@ -114,10 +115,13 @@ class KnowYourPhish:
             snapshot = page.snapshot
         else:
             snapshot = page
+        cache = self.detector.extractor.cache
         sources = DataSources(
             snapshot,
             psl=self.detector.extractor.psl,
             ocr=self.identifier.ocr if self.identifier else None,
+            distribution_cache=cache.distributions if cache else None,
+            cache_key=snapshot_fingerprint(snapshot) if cache else None,
         )
 
         def _verdict(final: str, confidence: float, **kwargs) -> PageVerdict:
@@ -159,16 +163,19 @@ class KnowYourPhish:
             identification=identification,
         )
 
-    def analyze_many(self, urls, browser) -> BatchReport:
+    def analyze_many(self, urls, browser, pool=None) -> BatchReport:
         """Analyze a batch of URLs, quarantining unloadable pages.
 
         Thin forwarding wrapper around
         :func:`repro.resilience.batch.analyze_many`; see there for the
         quarantine semantics.  ``browser`` is ideally a
         :class:`~repro.resilience.browser.ResilientBrowser` so transient
-        faults are retried before a page is given up on.
+        faults are retried before a page is given up on.  ``pool`` is an
+        optional :class:`~repro.parallel.WorkerPool`; loads stay serial,
+        per-page analysis fans out, and the report is identical to the
+        serial run (same verdicts, same order).
         """
-        return analyze_many(self, browser, urls)
+        return analyze_many(self, browser, urls, pool=pool)
 
     def is_blocked(self, verdict: PageVerdict) -> bool:
         """Binary blocking decision derived from a verdict."""

@@ -46,6 +46,7 @@ from repro.corpus.phishing import PhishingSiteGenerator
 from repro.corpus.wordlists import LANGUAGES
 from repro.ml.metrics import binary_metrics, precision_recall_curve, roc_auc, roc_curve
 from repro.ml.validation import stratified_kfold
+from repro.parallel import AnalysisCache, WorkerPool
 from repro.web.ocr import SimulatedOcr
 from repro.web.page import PageSnapshot
 
@@ -65,6 +66,17 @@ class Lab:
         Boosting stages for every trained detector.
     ocr_error_rate:
         Character error rate of the simulated OCR.
+    workers:
+        Worker count for batch feature extraction and analysis; ``None``
+        or ``1`` keeps everything serial.  Parallel runs produce results
+        bit-identical to serial runs (ordered pool maps, serial loads).
+    pool_backend:
+        Pool backend (``"thread"`` or ``"process"``) when ``workers``
+        is set.  Threads share this Lab's analysis cache; processes
+        work on copies of it.
+    cache:
+        Whether to memoize term distributions, pair matrices and feature
+        vectors by snapshot content hash (default on).
     """
 
     def __init__(
@@ -73,12 +85,24 @@ class Lab:
         threshold: float = 0.7,
         n_estimators: int = 120,
         ocr_error_rate: float = 0.02,
+        workers: int | None = None,
+        pool_backend: str = "thread",
+        cache: bool = True,
     ):
         self.config = config or CorpusConfig()
         self.threshold = threshold
         self.n_estimators = n_estimators
         self.world: World = build_world(self.config)
-        self.extractor = FeatureExtractor(alexa=self.world.alexa)
+        self.cache: AnalysisCache | None = (
+            AnalysisCache(max_entries=16384) if cache else None
+        )
+        self.extractor = FeatureExtractor(
+            alexa=self.world.alexa, cache=self.cache
+        )
+        self.pool: WorkerPool | None = (
+            WorkerPool(workers=workers, backend=pool_backend)
+            if workers and workers > 1 else None
+        )
         self.ocr = SimulatedOcr(error_rate=ocr_error_rate)
         self._features: dict[str, np.ndarray] = {}
         self._detectors: dict[str, PhishingDetector] = {}
@@ -96,7 +120,7 @@ class Lab:
         if name not in self._features:
             pages = self.world.dataset(name)
             self._features[name] = self.extractor.extract_many(
-                page.snapshot for page in pages
+                (page.snapshot for page in pages), pool=self.pool
             )
         return self._features[name]
 
@@ -722,7 +746,7 @@ class Lab:
                 clock=clock,
             )
             pipeline = self._resilient_pipeline()
-            report = pipeline.analyze_many(urls, browser)
+            report = pipeline.analyze_many(urls, browser, pool=self.pool)
             summary = report.summary()
             faults_injected = int(sum(
                 flaky.stats[kind] for kind in ("timeout", "reset",
@@ -737,6 +761,97 @@ class Lab:
                 "retried_pages": summary["retried"],
                 "faults_injected": faults_injected,
                 "accuracy": self._batch_accuracy(pipeline, report, labels),
+            })
+        return rows
+
+    def throughput_benchmark(
+        self,
+        pages_per_class: int = 40,
+        workers: int = 4,
+        backend: str = "thread",
+    ) -> list[dict]:
+        """Batch-analysis throughput: serial vs parallel, cold vs warm cache.
+
+        Runs the full pipeline over the ``ext-robustness`` workload
+        (English legitimate + phishTest starting URLs) in four
+        configurations — {serial, ``workers``-worker pool} × {cold
+        cache, warm cache} — and reports pages/sec for each plus the
+        speedup over the serial cold run.  Every configuration is
+        checked to produce verdicts identical to the serial cold run
+        (the throughput layer's core guarantee).
+
+        Cold runs use a fresh :class:`~repro.parallel.AnalysisCache`;
+        warm runs reuse one filled by a priming pass over the same
+        workload.
+        """
+        from repro.core.pipeline import KnowYourPhish
+        from repro.web.browser import Browser as PlainBrowser
+
+        urls, _labels = self._robustness_workload(pages_per_class)
+        base = self.detector("fall")
+
+        def _pipeline(cache: AnalysisCache | None) -> KnowYourPhish:
+            detector = PhishingDetector(
+                extractor=FeatureExtractor(
+                    alexa=self.world.alexa, cache=cache
+                ),
+                feature_set=base.feature_set,
+                threshold=base.threshold,
+            )
+            detector.model = base.model
+            identifier = TargetIdentifier(self.world.search, ocr=self.ocr)
+            return KnowYourPhish(detector, identifier)
+
+        def _verdict_key(report) -> list[tuple]:
+            return [
+                (page.url, page.verdict.verdict, page.verdict.confidence,
+                 tuple(page.verdict.targets))
+                for page in report.analyzed
+            ]
+
+        warm_cache = AnalysisCache(max_entries=16384)
+        _pipeline(warm_cache).analyze_many(urls, PlainBrowser(self.world.web))
+
+        runs = (
+            ("serial/cold", None, None),
+            (f"parallel{workers}/cold", workers, None),
+            ("serial/warm", None, warm_cache),
+            (f"parallel{workers}/warm", workers, warm_cache),
+        )
+        rows = []
+        reference: list[tuple] | None = None
+        baseline_rate: float | None = None
+        for mode, run_workers, cache in runs:
+            pipeline = _pipeline(
+                cache if cache is not None else AnalysisCache(max_entries=16384)
+            )
+            browser = PlainBrowser(self.world.web)
+            pool = (
+                WorkerPool(workers=run_workers, backend=backend)
+                if run_workers else None
+            )
+            try:
+                started = time.perf_counter()
+                report = pipeline.analyze_many(urls, browser, pool=pool)
+                elapsed = time.perf_counter() - started
+            finally:
+                if pool is not None:
+                    pool.close()
+            key = _verdict_key(report)
+            if reference is None:
+                reference = key
+            rate = len(urls) / elapsed if elapsed else float("inf")
+            if baseline_rate is None:
+                baseline_rate = rate
+            rows.append({
+                "mode": mode,
+                "workers": run_workers or 1,
+                "warm_cache": cache is not None,
+                "pages": len(urls),
+                "seconds": elapsed,
+                "pages_per_sec": rate,
+                "speedup": rate / baseline_rate if baseline_rate else 0.0,
+                "verdicts_match": key == reference,
             })
         return rows
 
@@ -805,7 +920,7 @@ class Lab:
                      clock=clean_clock),
             policy=RetryPolicy(clock=clean_clock), clock=clean_clock,
         )
-        baseline = pipeline.analyze_many(urls, clean_browser)
+        baseline = pipeline.analyze_many(urls, clean_browser, pool=self.pool)
 
         clock = ManualClock()
         plan = FaultPlan.degraded_content(rate, seed=self.config.seed + 77)
@@ -813,7 +928,7 @@ class Lab:
             FlakyWeb(self.world.web, plan, clock=clock),
             policy=RetryPolicy(clock=clock), clock=clock,
         )
-        report = pipeline.analyze_many(urls, browser)
+        report = pipeline.analyze_many(urls, browser, pool=self.pool)
         return {
             "fault_rate": rate,
             "pages": report.summary()["total"],

@@ -23,6 +23,13 @@ import numpy as np
 
 from repro.ml.tree import RegressionTree
 
+#: The paper's discrimination threshold (Section VI-A): confidences in
+#: ``[0, 0.7)`` predict legitimate, ``[0.7, 1]`` predict phishing,
+#: deliberately favouring the legitimate class.  Single-sourced here so
+#: the classifier default and :data:`repro.core.detector.DEFAULT_THRESHOLD`
+#: cannot drift apart.
+PAPER_THRESHOLD = 0.7
+
 
 def _sigmoid(raw: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-np.clip(raw, -500, 500)))
@@ -155,6 +162,17 @@ class GradientBoostingClassifier:
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Raw additive score before the logistic link."""
         X = self._check_fitted(X)
+        if len(X) == 1:
+            # Per-page scoring path: walking each tree with Python
+            # scalars skips n_estimators rounds of numpy overhead.
+            # tolist() and scalar ops are exact float64, and the
+            # accumulation order matches the batch loop below, so the
+            # result is bit-identical.
+            row = X[0].tolist()
+            raw = self._initial_raw
+            for tree in self._trees:
+                raw = raw + self.learning_rate * tree.predict_row(row)
+            return np.array([raw], dtype=np.float64)
         raw = np.full(len(X), self._initial_raw)
         for tree in self._trees:
             raw += self.learning_rate * tree.predict(X)
@@ -164,11 +182,16 @@ class GradientBoostingClassifier:
         """Confidence of the positive (phishing) class, in ``[0, 1]``."""
         return _sigmoid(self.decision_function(X))
 
-    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+    def predict(
+        self, X: np.ndarray, threshold: float = PAPER_THRESHOLD
+    ) -> np.ndarray:
         """Binary predictions at the given discrimination threshold.
 
-        The paper sets the threshold to 0.7, predicting legitimate for
-        confidences in ``[0, 0.7)`` and phishing for ``[0.7, 1]``.
+        The default is the paper's 0.7 (:data:`PAPER_THRESHOLD`), the
+        same value :class:`~repro.core.detector.PhishingDetector` uses —
+        not the conventional 0.5 — predicting legitimate for confidences
+        in ``[0, 0.7)`` and phishing for ``[0.7, 1]``.  Pass
+        ``threshold=0.5`` explicitly for the conventional cut.
         """
         return (self.predict_proba(X) >= threshold).astype(np.int64)
 

@@ -57,6 +57,9 @@ class RegressionTree:
         self.right: np.ndarray | None = None
         self.value: np.ndarray | None = None
         self.n_nodes = 0
+        # Plain-list mirror of the node arrays, built lazily by
+        # predict_row() and dropped whenever the tree changes.
+        self._flat: tuple | None = None
 
     # ------------------------------------------------------------------
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
@@ -107,6 +110,7 @@ class RegressionTree:
         self.value = np.asarray(values, dtype=np.float64)
         self.n_nodes = len(features)
         self._leaf_sample_indices = leaf_sample_indices
+        self._flat = None
         return self
 
     def _candidate_features(self, n_features: int) -> np.ndarray:
@@ -187,6 +191,33 @@ class RegressionTree:
         """Predict the leaf value for each row of ``X``."""
         return self.value[self.apply(X)]
 
+    def predict_row(self, row) -> float:
+        """Leaf value for a single row — the scalar hot path.
+
+        Per-page scoring (``predict_proba`` on one snapshot) would pay
+        numpy array overhead ``n_estimators`` times per page through
+        :meth:`apply`; this walks the tree with plain Python lists
+        instead.  ``value.tolist()`` round-trips float64 exactly, so the
+        result is bit-identical to ``predict(row.reshape(1, -1))[0]``.
+        """
+        if self.feature is None:
+            raise RuntimeError("tree is not fitted")
+        if self._flat is None:
+            self._flat = (
+                self.feature.tolist(),
+                self.threshold.tolist(),
+                self.left.tolist(),
+                self.right.tolist(),
+                self.value.tolist(),
+            )
+        feature, threshold, left, right, value = self._flat
+        node = 0
+        feat = feature[0]
+        while feat != _LEAF:
+            node = left[node] if row[feat] <= threshold[node] else right[node]
+            feat = feature[node]
+        return value[node]
+
     # ------------------------------------------------------------------
     def leaf_ids(self) -> np.ndarray:
         """Ids of all leaf nodes."""
@@ -203,6 +234,7 @@ class RegressionTree:
         if self.feature[leaf_id] != _LEAF:
             raise ValueError(f"node {leaf_id} is not a leaf")
         self.value[leaf_id] = value
+        self._flat = None
 
     @property
     def depth_used(self) -> int:

@@ -1,0 +1,184 @@
+"""Content-keyed memoization for the feature-extraction hot path.
+
+The paper's deployment argument (Table VIII) needs feature computation
+fast enough for in-browser use; at crawl scale the same page content is
+re-analysed constantly (re-crawls, retries, evaluation re-runs).  This
+module amortises that work:
+
+* :func:`snapshot_fingerprint` — a stable content hash of a
+  :class:`~repro.web.page.PageSnapshot` (its serialised form), so equal
+  content maps to equal keys across processes and runs;
+* :class:`LruCache` — a thread-safe, size-bounded LRU with hit/miss
+  counters, the same eviction idiom as the add-on's
+  :class:`~repro.addon.cache.VerdictCache` (minus the TTL: features are
+  a pure function of content and never go stale);
+* :class:`AnalysisCache` — one bundle of three keyed stores for the
+  quantities worth memoizing per snapshot: the Table I term
+  distributions, the 66-entry f2 pair matrix, and the full
+  212-dimension feature vector.
+
+Cached values are immutable or defensively copied, so a hit is
+indistinguishable from a recomputation — bit-identical, by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.web.page import PageSnapshot
+
+
+def snapshot_fingerprint(snapshot: PageSnapshot) -> str:
+    """Stable content hash of a snapshot (sha256 over canonical JSON).
+
+    Two snapshots with equal serialised content (URLs, redirection
+    chain, logged links, HTML, screenshot) share a fingerprint — even
+    across processes, unlike ``id()``- or ``hash()``-based keys.
+    """
+    payload = json.dumps(
+        snapshot.to_dict(), sort_keys=True, ensure_ascii=False,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class LruCache:
+    """A thread-safe, size-bounded LRU mapping with hit/miss counters.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum stored keys; least-recently-used entries are evicted.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key):
+        """Return the cached value or ``None``, updating counters."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        """Store a value, evicting the oldest entry when full."""
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # Locks do not pickle; drop the lock so process-pool workers can
+    # receive a copy of a warm cache (their fills stay worker-local).
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+class AnalysisCache:
+    """Memoization bundle for per-snapshot analysis artefacts.
+
+    Three independent LRU stores, all keyed by snapshot fingerprint
+    (plus the term metric where the value depends on it):
+
+    * ``features`` — full 212-dimension feature vectors;
+    * ``pair_matrices`` — the f2 pairwise-distance block (66 values);
+    * ``distributions`` — individual Table I term distributions.
+
+    One cache belongs to one extractor configuration: feature vectors
+    depend on the Alexa ranking and term metric, so sharing a cache
+    between differently-configured extractors yields wrong hits.  The
+    ``image`` distribution is never cached (it depends on the OCR
+    engine, not only on content).
+
+    Parameters
+    ----------
+    max_entries:
+        Bound for the feature and pair-matrix stores; the distribution
+        store holds up to 13 entries per snapshot and is bounded at
+        ``16 * max_entries``.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        self.features = LruCache(max_entries)
+        self.pair_matrices = LruCache(max_entries)
+        self.distributions = LruCache(16 * max_entries)
+
+    # ------------------------------------------------------------------
+    def get_features(self, key: str) -> np.ndarray | None:
+        """Cached feature vector (a defensive copy) or ``None``."""
+        hit = self.features.get(key)
+        return None if hit is None else hit.copy()
+
+    def put_features(self, key: str, vector: np.ndarray) -> None:
+        """Store a feature vector (copied, so later mutation is safe)."""
+        self.features.put(key, np.array(vector, dtype=np.float64, copy=True))
+
+    def get_pair_matrix(self, key: str) -> np.ndarray | None:
+        """Cached f2 pair block (a defensive copy) or ``None``."""
+        hit = self.pair_matrices.get(key)
+        return None if hit is None else hit.copy()
+
+    def put_pair_matrix(self, key: str, values: np.ndarray) -> None:
+        """Store an f2 pair block."""
+        self.pair_matrices.put(
+            key, np.array(values, dtype=np.float64, copy=True)
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, float]:
+        """Flat hit/miss summary across all three stores."""
+        out: dict[str, float] = {}
+        for name, store in (
+            ("features", self.features),
+            ("pair_matrices", self.pair_matrices),
+            ("distributions", self.distributions),
+        ):
+            out[f"{name}_entries"] = len(store)
+            out[f"{name}_hits"] = store.hits
+            out[f"{name}_misses"] = store.misses
+            out[f"{name}_hit_rate"] = store.hit_rate
+        return out
+
+    def clear(self) -> None:
+        """Drop every entry from every store."""
+        self.features.clear()
+        self.pair_matrices.clear()
+        self.distributions.clear()

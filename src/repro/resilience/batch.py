@@ -104,7 +104,7 @@ class BatchReport:
         }
 
 
-def analyze_many(pipeline, browser, urls) -> BatchReport:
+def analyze_many(pipeline, browser, urls, pool=None) -> BatchReport:
     """Analyze every URL, quarantining failures instead of raising.
 
     Parameters
@@ -117,23 +117,54 @@ def analyze_many(pipeline, browser, urls) -> BatchReport:
         :class:`~repro.web.browser.Browser`.
     urls:
         Iterable of starting URLs.
+    pool:
+        Optional :class:`~repro.parallel.WorkerPool` fanning the
+        *analysis* stage out over workers.  Page **loads always run
+        serially in input order**: browsers, retry policies and
+        fault-injecting webs are stateful (RNG streams, degradation
+        notes, circuit breakers), so serial loading keeps every fault,
+        retry and quarantine decision identical to the serial run.
+        Analysis is a pure function of the loaded page, so the report —
+        verdicts, ordering, quarantine records — is bit-identical to
+        ``pool=None`` for any backend and worker count.
     """
     report = BatchReport()
+    # Phase 1 (serial): load every page, quarantining failures.
+    loaded_pages: list[tuple[str, LoadResult]] = []
+    outcomes: list[tuple[str, object]] = []  # (kind, record/index)
     for url in urls:
         try:
             loaded = browser.load(url)
         except (
             PageNotFound, RedirectLoopError, FetchError, DeadlineExceeded
         ) as error:
-            report.quarantined.append(QuarantinedPage.from_error(url, error))
+            outcomes.append(
+                ("quarantined", QuarantinedPage.from_error(url, error))
+            )
             continue
         if not isinstance(loaded, LoadResult):
             loaded = LoadResult(snapshot=loaded)
-        verdict = pipeline.analyze(loaded)
+        outcomes.append(("analyzed", len(loaded_pages)))
+        loaded_pages.append((url, loaded))
+
+    # Phase 2 (parallel): analyze the pages that loaded.
+    loads = [loaded for _url, loaded in loaded_pages]
+    if pool is None:
+        verdicts = [pipeline.analyze(loaded) for loaded in loads]
+    else:
+        verdicts = pool.map(pipeline.analyze, loads)
+
+    # Phase 3: assemble the report in input order, as a serial run would.
+    for kind, payload in outcomes:
+        if kind == "quarantined":
+            report.quarantined.append(payload)
+            continue
+        index = payload
+        url, loaded = loaded_pages[index]
         report.analyzed.append(
             AnalyzedPage(
                 url=url,
-                verdict=verdict,
+                verdict=verdicts[index],
                 attempts=loaded.attempts,
                 degradations=list(loaded.degradations),
             )

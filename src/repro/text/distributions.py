@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.text.terms import MIN_TERM_LENGTH, extract_terms
 
@@ -154,3 +156,63 @@ def hellinger_distance(p: TermDistribution, q: TermDistribution) -> float:
         total += diff * diff
     # Clamp tiny floating point overshoot so the metric stays in [0, 1].
     return min(1.0, max(0.0, 0.5 * total))
+
+
+def sqrt_probability_matrix(
+    distributions: Sequence[TermDistribution],
+) -> np.ndarray:
+    """Dense ``(n, |vocab|)`` matrix of square-root probabilities.
+
+    Columns follow the sorted union vocabulary of all ``distributions``;
+    rows of empty distributions are all-zero.  This is the shared input
+    representation for batched distance computations.
+    """
+    vocab: set[str] = set()
+    for dist in distributions:
+        vocab |= dist.terms
+    column = {term: i for i, term in enumerate(sorted(vocab))}
+    matrix = np.zeros((len(distributions), len(column)), dtype=np.float64)
+    for row, dist in enumerate(distributions):
+        for term, prob in dist.items():
+            matrix[row, column[term]] = math.sqrt(prob)
+    return matrix
+
+
+def hellinger_pairs(
+    distributions: Sequence[TermDistribution],
+    pairs: Sequence[tuple[int, int]],
+) -> np.ndarray:
+    """Squared Hellinger distances for index ``pairs``, as one numpy batch.
+
+    Replaces ``len(pairs)`` scalar :func:`hellinger_distance` calls with
+    one vectorised difference-and-reduce over the shared vocabulary —
+    the hot path of feature set f2 (66 pairs per page).  Conventions
+    match the scalar function exactly: two empty distributions are at
+    distance 0.0, empty vs non-empty at 1.0, everything clamped to
+    ``[0, 1]``.  Values agree with the scalar path to within float
+    summation reordering (≤ a few ulps).
+    """
+    if not pairs:
+        return np.empty(0, dtype=np.float64)
+    matrix = sqrt_probability_matrix(distributions)
+    left = np.fromiter((p[0] for p in pairs), dtype=np.intp, count=len(pairs))
+    right = np.fromiter((p[1] for p in pairs), dtype=np.intp, count=len(pairs))
+    if matrix.shape[1] == 0:
+        distances = np.zeros(len(pairs), dtype=np.float64)
+    else:
+        # Difference-based form (not the dot-product expansion): it is
+        # numerically closest to the scalar accumulation and can never
+        # go negative through cancellation.
+        diff = matrix[left] - matrix[right]
+        distances = 0.5 * np.einsum("ij,ij->i", diff, diff)
+        np.clip(distances, 0.0, 1.0, out=distances)
+    # Empty-distribution conventions override the algebraic result.
+    empty = np.fromiter(
+        (not dist for dist in distributions), dtype=bool,
+        count=len(distributions),
+    )
+    both_empty = empty[left] & empty[right]
+    one_empty = empty[left] ^ empty[right]
+    distances[both_empty] = 0.0
+    distances[one_empty] = 1.0
+    return distances

@@ -18,6 +18,8 @@ import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.text.terms import extract_terms
 from repro.urls.parsing import UrlParseError, parse_url
 
@@ -49,6 +51,10 @@ class SearchEngine:
         self._doc_rdns: list[str] = []
         self._doc_mlds: list[str] = []
         self._doc_lengths: list[float] = []
+        # Array mirrors of the postings/lengths, built lazily per term
+        # by query() and dropped whenever a page is indexed.
+        self._term_arrays: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._lengths_array: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self._doc_urls)
@@ -85,6 +91,8 @@ class SearchEngine:
         )
         for term, count in counts.items():
             self._postings[term][doc_id] = count
+        self._term_arrays.clear()
+        self._lengths_array = None
 
     # ------------------------------------------------------------------
     def query(self, terms, top_k: int = 10) -> list[SearchResult]:
@@ -98,20 +106,46 @@ class SearchEngine:
         if not terms or not self._doc_urls:
             return []
         n_docs = len(self._doc_urls)
-        scores: dict[int, float] = defaultdict(float)
+        if self._lengths_array is None:
+            self._lengths_array = np.asarray(
+                self._doc_lengths, dtype=np.float64
+            )
+        scores = np.zeros(n_docs, dtype=np.float64)
+        touched = np.zeros(n_docs, dtype=bool)
         # Sorted iteration keeps score summation order hash-seed-free.
         for term in sorted(set(terms)):
             postings = self._postings.get(term)
             if not postings:
                 continue
+            arrays = self._term_arrays.get(term)
+            if arrays is None:
+                arrays = (
+                    np.fromiter(
+                        postings.keys(), dtype=np.int64, count=len(postings)
+                    ),
+                    np.fromiter(
+                        postings.values(), dtype=np.float64,
+                        count=len(postings),
+                    ),
+                )
+                self._term_arrays[term] = arrays
+            doc_ids, tf = arrays
             idf = math.log(1 + n_docs / len(postings))
-            for doc_id, tf in postings.items():
-                scores[doc_id] += tf * idf / self._doc_lengths[doc_id]
+            # Doc ids are unique per term, so fancy-index += is exact;
+            # per element this is tf * idf / length, accumulated in the
+            # same term order as the scalar loop it replaced.
+            scores[doc_ids] += tf * idf / self._lengths_array[doc_ids]
+            touched[doc_ids] = True
 
-        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        hit_ids = np.flatnonzero(touched)
+        hit_scores = scores[hit_ids]
+        # Rank by (-score, doc_id): lexsort's last key is primary.
+        order = np.lexsort((hit_ids, -hit_scores))
         results: list[SearchResult] = []
         seen_rdns: set[str] = set()
-        for doc_id, score in ranked:
+        for position in order:
+            doc_id = int(hit_ids[position])
+            score = float(hit_scores[position])
             rdn = self._doc_rdns[doc_id]
             if rdn in seen_rdns:
                 continue

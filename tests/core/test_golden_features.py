@@ -1,0 +1,168 @@
+"""Golden regression test: the 212-feature matrix is frozen.
+
+A small fixed corpus of hand-crafted snapshots has its full feature
+matrix committed at ``tests/data/golden_features.json``.  Any change to
+tokenisation, URL parsing, term distributions, Hellinger computation or
+feature ordering that alters even one value — including a last-bit
+float difference from reordering a summation — fails here.
+
+Regenerate (only after deliberately changing feature semantics) with::
+
+    PYTHONPATH=src python tests/core/test_golden_features.py --regenerate
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.features import FeatureExtractor
+from repro.parallel import AnalysisCache, WorkerPool
+from repro.web.page import PageSnapshot, Screenshot
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_features.json"
+
+
+def golden_snapshots() -> list[PageSnapshot]:
+    """Six deterministic snapshots spanning the feature space."""
+    return [
+        # Plain legitimate-looking page, matching start and landing URLs.
+        PageSnapshot(
+            starting_url="https://www.paypal.com/signin",
+            landing_url="https://www.paypal.com/signin",
+            html=(
+                "<title>PayPal login</title><body>"
+                "<p>Log in to your paypal account to send money</p>"
+                '<a href="https://www.paypal.com/help">help</a>'
+                '<img src="https://www.paypal.com/logo.png">'
+                "</body>"
+            ),
+            screenshot=Screenshot(
+                rendered_text="log in to your paypal account"
+            ),
+        ),
+        # Deceptive phish: brand in subdomain, foreign RDN, redirect.
+        PageSnapshot(
+            starting_url="http://paypal.com.secure-login.bizarre-host.net/"
+            "verify?acct=1",
+            landing_url="http://bizarre-host.net/landing",
+            html=(
+                "<title>Verify your PayPal account now</title><body>"
+                "<p>urgent verify account suspended paypal security</p>"
+                '<a href="http://bizarre-host.net/submit">continue</a>'
+                '<a href="https://www.paypal.com/">real site</a>'
+                "</body>"
+            ),
+            screenshot=Screenshot(
+                rendered_text="urgent verify your paypal account",
+                image_texts=("paypal",),
+            ),
+        ),
+        # IP-hosted page: no RDN, no registered domain features.
+        PageSnapshot(
+            starting_url="http://192.168.13.37/login.php",
+            landing_url="http://192.168.13.37/login.php",
+            html="<body><form>username password submit</form></body>",
+        ),
+        # Minimal page: empty body, no screenshot, bare host.
+        PageSnapshot(
+            starting_url="http://example.org/",
+            landing_url="http://example.org/",
+            html="",
+        ),
+        # Link-heavy page with external domains and a long free URL.
+        PageSnapshot(
+            starting_url="https://news.aggregator-site.co.uk/stories/today"
+            "?ref=newsletter&utm_source=mail",
+            landing_url="https://news.aggregator-site.co.uk/stories/today",
+            html=(
+                "<title>Top stories today</title><body>"
+                '<a href="https://www.bbc.co.uk/news">bbc news</a>'
+                '<a href="https://edition.cnn.com/world">cnn world</a>'
+                '<a href="/stories/archive">archive</a>'
+                '<a href="https://www.bbc.co.uk/sport">bbc sport</a>'
+                "<p>today top stories from around the world</p></body>"
+            ),
+            screenshot=Screenshot(rendered_text="top stories today"),
+        ),
+        # Unicode / mixed-language content with punycode-ish tokens.
+        PageSnapshot(
+            starting_url="http://banque-en-ligne.fr/connexion",
+            landing_url="http://banque-en-ligne.fr/connexion",
+            html=(
+                "<title>Banque en ligne connexion</title><body>"
+                "<p>accédez à votre compte bancaire en ligne</p>"
+                '<img src="http://banque-en-ligne.fr/sécurité.png">'
+                "</body>"
+            ),
+            screenshot=Screenshot(rendered_text="banque en ligne"),
+        ),
+    ]
+
+
+def _extract_matrix() -> np.ndarray:
+    return FeatureExtractor().extract_many(golden_snapshots())
+
+
+def _regenerate() -> None:
+    matrix = _extract_matrix()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(
+            {
+                "format": "golden-features/1",
+                "n_snapshots": int(matrix.shape[0]),
+                "n_features": int(matrix.shape[1]),
+                "features": [
+                    [repr(value) for value in row] for row in matrix.tolist()
+                ],
+            },
+            indent=1,
+        )
+    )
+    print(f"wrote {GOLDEN_PATH} ({matrix.shape[0]}x{matrix.shape[1]})")
+
+
+def _load_golden() -> np.ndarray:
+    payload = json.loads(GOLDEN_PATH.read_text())
+    assert payload["format"] == "golden-features/1"
+    return np.array(
+        [[float(value) for value in row] for row in payload["features"]],
+        dtype=np.float64,
+    )
+
+
+class TestGoldenFeatures:
+    def test_matrix_shape_frozen(self):
+        golden = _load_golden()
+        assert golden.shape == (6, 212)
+
+    def test_extract_many_reproduces_golden_exactly(self):
+        # Bitwise equality — not allclose — so even summation-order
+        # drift in the vectorized f2 block is caught.
+        assert np.array_equal(_extract_matrix(), _load_golden())
+
+    def test_cached_extraction_reproduces_golden_exactly(self):
+        extractor = FeatureExtractor(cache=AnalysisCache())
+        snapshots = golden_snapshots()
+        cold = extractor.extract_many(snapshots)
+        warm = extractor.extract_many(snapshots)
+        golden = _load_golden()
+        assert np.array_equal(cold, golden)
+        assert np.array_equal(warm, golden)
+        assert extractor.cache.features.hits >= len(snapshots)
+
+    def test_parallel_extraction_reproduces_golden_exactly(self):
+        with WorkerPool(workers=3, backend="thread") as pool:
+            matrix = FeatureExtractor().extract_many(
+                golden_snapshots(), pool=pool
+            )
+        assert np.array_equal(matrix, _load_golden())
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -6,11 +6,13 @@ from repro.core.detector import PhishingDetector
 from repro.core.features import FeatureExtractor
 from repro.evaluation.analysis import (
     TERM_ISSUE_KINDS,
+    assert_valid_group,
     feature_group_importances,
     misclassified_legitimate,
     missed_phish,
     top_features,
 )
+from repro.parallel import WorkerPool
 
 
 @pytest.fixture(scope="module")
@@ -56,6 +58,36 @@ class TestMisclassification:
         assert "abbrev" in TERM_ISSUE_KINDS
 
 
+    def test_precomputed_features_match_reextraction(
+        self, trained, tiny_world
+    ):
+        """Feeding a cached matrix must not change the attribution."""
+        dataset = tiny_world.dataset("english")
+        features = trained.extractor.extract_many(
+            page.snapshot for page in dataset
+        )
+        from_matrix = misclassified_legitimate(
+            trained, dataset, features=features
+        )
+        from_scratch = misclassified_legitimate(trained, dataset)
+        assert from_matrix.fp_count == from_scratch.fp_count
+        assert from_matrix.kind_counts == from_scratch.kind_counts
+
+    def test_parallel_extraction_matches_serial_analysis(
+        self, trained, tiny_world
+    ):
+        dataset = tiny_world.dataset("french")
+        with WorkerPool(workers=2, backend="thread") as pool:
+            features = trained.extractor.extract_many(
+                [page.snapshot for page in dataset], pool=pool
+            )
+        parallel = misclassified_legitimate(
+            trained, dataset, features=features
+        )
+        serial = misclassified_legitimate(trained, dataset)
+        assert parallel.kind_counts == serial.kind_counts
+
+
 class TestMissedPhish:
     def test_counts_by_hosting(self, trained, tiny_world):
         misses = missed_phish(trained, tiny_world.dataset("phishTest"))
@@ -64,6 +96,16 @@ class TestMissedPhish:
     def test_rejects_legit_dataset(self, trained, tiny_world):
         with pytest.raises(ValueError):
             missed_phish(trained, tiny_world.dataset("english"))
+
+    def test_precomputed_features_match_reextraction(
+        self, trained, tiny_world
+    ):
+        dataset = tiny_world.dataset("phishTest")
+        features = trained.extractor.extract_many(
+            page.snapshot for page in dataset
+        )
+        assert missed_phish(trained, dataset, features=features) == \
+            missed_phish(trained, dataset)
 
 
 class TestImportances:
@@ -86,3 +128,9 @@ class TestImportances:
         # Sorted descending.
         values = [importance for _name, importance in features]
         assert values == sorted(values, reverse=True)
+
+    def test_assert_valid_group(self):
+        for name in ("f1", "f2", "fall", "f2,3,4"):
+            assert_valid_group(name)
+        with pytest.raises(ValueError):
+            assert_valid_group("f99")

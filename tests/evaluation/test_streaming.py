@@ -1,10 +1,12 @@
 """Tests for streaming evaluation."""
 
+import numpy as np
 import pytest
 
 from repro.core.detector import PhishingDetector
 from repro.core.features import FeatureExtractor
 from repro.evaluation.streaming import StreamingEvaluator, interleave_stream
+from repro.ml.metrics import binary_metrics
 
 
 @pytest.fixture(scope="module")
@@ -90,6 +92,50 @@ class TestStreamingEvaluator:
         report = StreamingEvaluator(trained, window=100).run(stream)
         assert report.overall["fpr"] < 0.05
         assert report.overall["recall"] > 0.7
+
+    def test_streaming_matches_one_shot_aggregation(
+        self, trained, tiny_world
+    ):
+        """Page-at-a-time scoring aggregates to batch-mode metrics.
+
+        The same pages pushed through the streaming evaluator and
+        through one ``extract_many`` + ``predict`` batch must yield
+        identical overall metrics — streaming is an execution strategy,
+        not a different measurement.
+        """
+        pages = list(interleave_stream(
+            tiny_world.dataset("english"), tiny_world.dataset("phishTest"),
+            legit_per_phish=15, seed=7, limit=150,
+        ))
+        report = StreamingEvaluator(trained, window=50).run(iter(pages))
+
+        X = trained.extractor.extract_many(
+            [page.snapshot for page in pages]
+        )
+        one_shot = binary_metrics(
+            np.asarray([page.label for page in pages]),
+            trained.predict(X),
+        ).as_dict()
+        assert report.overall == one_shot
+
+    def test_final_window_matches_direct_computation(
+        self, trained, tiny_world
+    ):
+        """The last rolling window equals metrics over the last N pages."""
+        window = 60
+        pages = list(interleave_stream(
+            tiny_world.dataset("english"), tiny_world.dataset("phishTest"),
+            legit_per_phish=10, seed=9, limit=100,
+        ))
+        report = StreamingEvaluator(trained, window=window).run(iter(pages))
+
+        tail = pages[-window:]
+        X = trained.extractor.extract_many([page.snapshot for page in tail])
+        metrics = binary_metrics(
+            np.asarray([page.label for page in tail]), trained.predict(X)
+        )
+        assert report.window_fpr[-1] == metrics.fpr
+        assert report.window_recall[-1] == metrics.recall
 
     def test_window_validation(self, trained):
         with pytest.raises(ValueError):

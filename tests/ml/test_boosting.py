@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.boosting import PAPER_THRESHOLD, GradientBoostingClassifier
 from repro.ml.metrics import roc_auc
 
 
@@ -75,6 +75,35 @@ class TestPrediction:
         strict = model.predict(X, threshold=0.9).sum()
         lax = model.predict(X, threshold=0.1).sum()
         assert strict <= lax
+
+    def test_default_threshold_is_papers_07(self):
+        """Section VI-A: the discrimination threshold is 0.7, not 0.5.
+
+        Pins the whole decision chain to the paper's value — the module
+        constant, the ``predict`` default, and the pipeline-level
+        default the detector is built with.
+        """
+        from repro.core.detector import DEFAULT_THRESHOLD, PhishingDetector
+
+        assert PAPER_THRESHOLD == 0.7
+        assert DEFAULT_THRESHOLD == PAPER_THRESHOLD
+        assert PhishingDetector().threshold == PAPER_THRESHOLD
+
+        X, y = _linear_data()
+        model = GradientBoostingClassifier(
+            n_estimators=20, random_state=0
+        ).fit(X, y)
+        scores = model.predict_proba(X)
+        # The default cut equals an explicit 0.7 cut...
+        assert np.array_equal(
+            model.predict(X), (scores >= 0.7).astype(int)
+        )
+        # ...and genuinely differs from the conventional 0.5 cut: rows
+        # with confidence in [0.5, 0.7) flip to legitimate.
+        between = (scores >= 0.5) & (scores < 0.7)
+        assert between.any(), "test data must populate the [0.5, 0.7) band"
+        assert model.predict(X)[between].sum() == 0
+        assert model.predict(X, threshold=0.5)[between].sum() == between.sum()
 
     def test_staged_predict_converges_to_final(self):
         X, y = _linear_data(n=100)

@@ -1,0 +1,132 @@
+"""Tests for the content-keyed analysis caches."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.parallel import AnalysisCache, LruCache, snapshot_fingerprint
+from repro.web.page import PageSnapshot, Screenshot
+
+
+def _snapshot(html="<body>hello world</body>", url="http://a.example.com/"):
+    return PageSnapshot(
+        starting_url=url, landing_url=url, html=html,
+        screenshot=Screenshot(rendered_text="hello"),
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert snapshot_fingerprint(_snapshot()) == \
+            snapshot_fingerprint(_snapshot())
+
+    def test_differs_on_any_content_change(self):
+        base = snapshot_fingerprint(_snapshot())
+        assert snapshot_fingerprint(_snapshot(html="<body>bye</body>")) != base
+        assert snapshot_fingerprint(
+            _snapshot(url="http://b.example.com/")
+        ) != base
+
+    def test_sensitive_to_screenshot(self):
+        plain = _snapshot()
+        with_image = _snapshot()
+        with_image.screenshot = Screenshot(
+            rendered_text="hello", image_texts=("login now",)
+        )
+        assert snapshot_fingerprint(plain) != snapshot_fingerprint(with_image)
+
+    def test_survives_serialisation_round_trip(self):
+        snapshot = _snapshot()
+        clone = PageSnapshot.from_dict(snapshot.to_dict())
+        assert snapshot_fingerprint(snapshot) == snapshot_fingerprint(clone)
+
+
+class TestLruCache:
+    def test_get_put_and_counters(self):
+        cache = LruCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_is_lru(self):
+        cache = LruCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a" -> "b" is now the oldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_overwrite_refreshes(self):
+        cache = LruCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # re-put refreshes recency
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_clear_keeps_counters(self):
+        cache = LruCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_rejects_invalid_bound(self):
+        with pytest.raises(ValueError):
+            LruCache(max_entries=0)
+
+    def test_picklable_despite_lock(self):
+        cache = LruCache(max_entries=8)
+        cache.put("a", np.arange(3))
+        clone = pickle.loads(pickle.dumps(cache))
+        assert np.array_equal(clone.get("a"), np.arange(3))
+        clone.put("b", 2)  # the restored lock works
+
+
+class TestAnalysisCache:
+    def test_feature_hits_are_copies(self):
+        cache = AnalysisCache()
+        vector = np.ones(212)
+        cache.put_features("k", vector)
+        vector[0] = 99.0            # mutating the original is safe
+        hit = cache.get_features("k")
+        assert hit[0] == 1.0
+        hit[1] = 42.0               # and mutating the hit is safe too
+        assert cache.get_features("k")[1] == 1.0
+
+    def test_pair_matrix_round_trip(self):
+        cache = AnalysisCache()
+        assert cache.get_pair_matrix(("hellinger", "k")) is None
+        cache.put_pair_matrix(("hellinger", "k"), np.full(66, 0.5))
+        assert np.array_equal(
+            cache.get_pair_matrix(("hellinger", "k")), np.full(66, 0.5)
+        )
+
+    def test_stats_shape(self):
+        cache = AnalysisCache()
+        cache.put_features("k", np.zeros(212))
+        cache.get_features("k")
+        cache.get_features("missing")
+        stats = cache.stats()
+        assert stats["features_entries"] == 1
+        assert stats["features_hits"] == 1
+        assert stats["features_misses"] == 1
+        assert stats["features_hit_rate"] == 0.5
+        for store in ("pair_matrices", "distributions"):
+            assert stats[f"{store}_hits"] == 0
+
+    def test_clear_empties_all_stores(self):
+        cache = AnalysisCache()
+        cache.put_features("k", np.zeros(212))
+        cache.put_pair_matrix("k", np.zeros(66))
+        cache.distributions.put("k", "value")
+        cache.clear()
+        assert cache.stats()["features_entries"] == 0
+        assert cache.distributions.get("k") is None

@@ -1,0 +1,104 @@
+"""Tests for the deterministic worker pool."""
+
+import os
+import threading
+
+import pytest
+
+from repro.parallel import BACKENDS, MAX_WORKERS, WorkerPool, default_workers
+
+
+def _square(value):
+    return value * value
+
+
+def _fail_on_three(value):
+    if value == 3:
+        raise ValueError("three")
+    return value
+
+
+class TestConstruction:
+    def test_backends_constant(self):
+        assert BACKENDS == ("serial", "thread", "process")
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            WorkerPool(backend="goroutines")
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+
+    def test_default_workers_capped(self):
+        assert 1 <= default_workers() <= MAX_WORKERS
+        assert WorkerPool(workers=10_000).workers == MAX_WORKERS
+
+    def test_context_manager(self):
+        with WorkerPool(workers=2, backend="thread") as pool:
+            assert pool.map(_square, [1, 2]) == [1, 4]
+        # close() is idempotent.
+        pool.close()
+
+
+class TestMapSemantics:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_order_preserved(self, backend):
+        items = list(range(50))
+        with WorkerPool(workers=4, backend=backend) as pool:
+            assert pool.map(_square, items) == [i * i for i in items]
+
+    def test_order_preserved_process(self):
+        items = list(range(20))
+        with WorkerPool(workers=2, backend="process") as pool:
+            assert pool.map(_square, items) == [i * i for i in items]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_empty_and_singleton(self, backend):
+        with WorkerPool(workers=2, backend=backend) as pool:
+            assert pool.map(_square, []) == []
+            assert pool.map(_square, [7]) == [49]
+
+    def test_exception_propagates(self):
+        with WorkerPool(workers=2, backend="thread") as pool:
+            with pytest.raises(ValueError, match="three"):
+                pool.map(_fail_on_three, [1, 2, 3, 4])
+
+    def test_exception_propagates_serial(self):
+        with WorkerPool(backend="serial") as pool:
+            with pytest.raises(ValueError, match="three"):
+                pool.map(_fail_on_three, [3])
+
+    def test_pool_reusable_across_maps(self):
+        with WorkerPool(workers=2, backend="thread") as pool:
+            first = pool.map(_square, range(10))
+            second = pool.map(_square, range(10))
+        assert first == second
+
+    def test_threads_actually_run_concurrently(self):
+        barrier = threading.Barrier(2, timeout=5)
+
+        def _rendezvous(_item):
+            # Both workers must be inside the function at once to pass.
+            barrier.wait()
+            return threading.get_ident()
+
+        with WorkerPool(workers=2, backend="thread") as pool:
+            idents = pool.map(_rendezvous, [0, 1])
+        assert len(set(idents)) == 2
+
+    def test_process_backend_uses_other_processes(self):
+        with WorkerPool(workers=2, backend="process") as pool:
+            pids = pool.map(_pid, [0, 1, 2, 3])
+        assert os.getpid() not in pids
+
+    def test_single_worker_degrades_to_serial(self):
+        pool = WorkerPool(workers=1, backend="thread")
+        assert pool.map(_square, range(5)) == [0, 1, 4, 9, 16]
+        # No executor was ever started.
+        assert pool._executor is None
+        pool.close()
+
+
+def _pid(_item):
+    return os.getpid()

@@ -7,11 +7,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.detector import PhishingDetector
 from repro.core.features import FeatureExtractor
+from repro.core.pipeline import KnowYourPhish
+from repro.core.target import TargetIdentifier
 from repro.ml.boosting import GradientBoostingClassifier
 from repro.ml.tree import RegressionTree
+from repro.parallel import AnalysisCache, WorkerPool
 from repro.urls.parsing import UrlParseError, parse_url
 from repro.urls.public_suffix import default_psl
+from repro.web.browser import Browser
+from repro.web.ocr import SimulatedOcr
 from repro.web.page import PageSnapshot, Screenshot
 
 _LABEL = st.text(alphabet=string.ascii_lowercase + string.digits,
@@ -148,3 +154,100 @@ class TestFeatureInvariants:
         assert np.array_equal(
             extractor.extract(snapshot), extractor.extract(snapshot)
         )
+
+
+# Shared state for the parallel invariants below: one small trained
+# pipeline per session, built lazily so test collection stays cheap.
+_PIPELINE_CACHE: dict = {}
+
+
+def _trained_pipeline(world):
+    if "pipeline" not in _PIPELINE_CACHE:
+        extractor = FeatureExtractor(
+            alexa=world.alexa, cache=AnalysisCache()
+        )
+        train = world.dataset("legTrain") + world.dataset("phishTrain")
+        detector = PhishingDetector(extractor, n_estimators=30)
+        detector.fit_snapshots(
+            [page.snapshot for page in train], train.labels()
+        )
+        _PIPELINE_CACHE["pipeline"] = KnowYourPhish(
+            detector,
+            TargetIdentifier(world.search, ocr=SimulatedOcr(error_rate=0.02)),
+        )
+    return _PIPELINE_CACHE["pipeline"]
+
+
+def _verdict_key(verdict):
+    return (
+        verdict.verdict,
+        verdict.confidence,
+        tuple(verdict.targets),
+        verdict.degraded,
+        tuple(verdict.degradations),
+        repr(verdict.identification),
+    )
+
+
+class TestParallelInvariants:
+    """Caching and parallelism must be invisible in the results."""
+
+    _WORD = st.text(alphabet=string.ascii_lowercase, min_size=3, max_size=8)
+
+    @given(st.lists(_WORD, min_size=0, max_size=25), _HOST)
+    @settings(max_examples=25, deadline=None)
+    def test_cached_extraction_matches_uncached(self, words, host):
+        try:
+            parse_url(f"http://{host}/")
+        except UrlParseError:
+            return
+        snapshot = PageSnapshot(
+            starting_url=f"http://{host}/login",
+            landing_url=f"http://{host}/login",
+            html="<title>" + " ".join(words[:4]) + "</title><body>"
+            + " ".join(words) + "</body>",
+            screenshot=Screenshot(rendered_text=" ".join(words)),
+        )
+        uncached = FeatureExtractor().extract(snapshot)
+        caching = FeatureExtractor(cache=AnalysisCache())
+        cold = caching.extract(snapshot)          # populates the cache
+        warm = caching.extract(snapshot)          # served from the cache
+        assert np.array_equal(uncached, cold)
+        assert np.array_equal(uncached, warm)
+        assert caching.cache.features.hits >= 1
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=4, deadline=None)
+    def test_parallel_extract_many_matches_serial(self, tiny_world, seed):
+        rng = np.random.default_rng(seed)
+        pages = list(tiny_world.dataset("english"))
+        rows = rng.choice(len(pages), size=6, replace=False)
+        snapshots = [pages[int(i)].snapshot for i in rows]
+        extractor = _trained_pipeline(tiny_world).detector.extractor
+        serial = extractor.extract_many(snapshots)
+        with WorkerPool(workers=2, backend="thread") as pool:
+            parallel = extractor.extract_many(snapshots, pool=pool)
+        assert np.array_equal(serial, parallel)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=3, deadline=None)
+    def test_parallel_analyze_many_matches_serial(
+        self, tiny_world, backend, seed
+    ):
+        pipeline = _trained_pipeline(tiny_world)
+        rng = np.random.default_rng(seed)
+        pages = list(tiny_world.dataset("english")) + \
+            list(tiny_world.dataset("phishTest"))
+        rows = rng.choice(len(pages), size=6, replace=False)
+        urls = [pages[int(i)].snapshot.starting_url for i in rows]
+        serial = pipeline.analyze_many(urls, Browser(tiny_world.web))
+        with WorkerPool(workers=2, backend=backend) as pool:
+            fanned = pipeline.analyze_many(
+                urls, Browser(tiny_world.web), pool=pool
+            )
+        assert len(serial.quarantined) == len(fanned.quarantined) == 0
+        assert [page.url for page in serial.analyzed] == \
+            [page.url for page in fanned.analyzed]
+        assert [_verdict_key(page.verdict) for page in serial.analyzed] == \
+            [_verdict_key(page.verdict) for page in fanned.analyzed]
