@@ -12,6 +12,7 @@ Environment knobs:
   (default 1.0; the default corpus is already ~1/25 of the paper's).
 """
 
+import json
 import os
 from pathlib import Path
 
@@ -49,5 +50,18 @@ def save_result():
     def _save(name: str, text: str) -> None:
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         print(f"\n=== {name} ===\n{text}")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json():
+    """Write a machine-readable benchmark artefact to ``results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, payload: dict) -> None:
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\n=== {name} -> {path} ===")
 
     return _save

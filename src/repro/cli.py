@@ -45,6 +45,7 @@ _EXPERIMENTS = {
     "ext-drift": "Extension  - recall under temporal campaign drift",
     "ext-robustness": "Extension  - resilience under injected faults",
     "ext-throughput": "Extension  - batch throughput (serial vs parallel, cold vs warm cache)",
+    "ext-training": "Extension  - training speed (tree methods + fold-parallel CV)",
 }
 
 
@@ -61,6 +62,7 @@ def _build_lab(args) -> Lab:
         n_estimators=args.estimators,
         workers=workers or None,
         cache=args.cache,
+        tree_method=getattr(args, "tree_method", "presort"),
     )
 
 
@@ -202,6 +204,29 @@ def _run_experiment(lab: Lab, experiment: str) -> str:
               r["pages_per_sec"], r["speedup"], r["verdicts_match"]]
              for r in rows],
         )
+    if experiment == "ext-training":
+        result = lab.training_benchmark()
+        methods = format_table(
+            ["tree_method", "fit_seconds", "stages_per_sec",
+             "speedup_vs_exact", "proba_identical"],
+            [[name, m["fit_seconds"], m["stages_per_sec"],
+              m["speedup_vs_exact"], m["proba_identical_to_exact"]]
+             for name, m in result["methods"].items()],
+        )
+        cv = result["cross_validation"]
+        cv_table = format_table(
+            ["metric", "value"],
+            [["folds", cv["n_splits"]],
+             ["workers", cv["workers"]],
+             ["serial_seconds", cv["serial_seconds"]],
+             ["parallel_seconds", cv["parallel_seconds"]],
+             ["speedup", cv["speedup"]],
+             ["scores_identical", cv["scores_identical"]]],
+        )
+        return (
+            "tree methods (fit on the training matrix):\n" + methods
+            + "\n\nfold-parallel cross-validation:\n" + cv_table
+        )
     raise ValueError(f"unknown experiment {experiment!r}")
 
 
@@ -320,6 +345,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", action=argparse.BooleanOptionalAction, default=True,
         help="memoize per-snapshot feature work by content hash "
              "(--no-cache disables)",
+    )
+    parser.add_argument(
+        "--tree-method", choices=("exact", "presort", "histogram"),
+        default="presort", dest="tree_method",
+        help="split-finding strategy for training: presort is "
+             "bit-identical to exact but much faster; histogram is "
+             "approximate (default presort)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 

@@ -44,13 +44,45 @@ from repro.core.target import TargetIdentifier
 from repro.corpus.datasets import CorpusConfig, Dataset, World, build_world
 from repro.corpus.phishing import PhishingSiteGenerator
 from repro.corpus.wordlists import LANGUAGES
+from repro.ml.boosting import GradientBoostingClassifier
 from repro.ml.metrics import binary_metrics, precision_recall_curve, roc_auc, roc_curve
-from repro.ml.validation import stratified_kfold
+from repro.ml.validation import cross_validate_scores
 from repro.parallel import AnalysisCache, WorkerPool
 from repro.web.ocr import SimulatedOcr
 from repro.web.page import PageSnapshot
 
 FEATURE_SETS = ("f1", "f2", "f3", "f4", "f5", "f1,5", "f2,3,4", "fall")
+
+
+class _FoldDetectorFactory:
+    """Picklable factory building one fresh detector per CV fold.
+
+    Module-level (not a closure over the Lab) so the ``process`` pool
+    backend can ship it to workers.  Cross-validation operates on
+    precomputed feature matrices, so the detector's own extractor is
+    never used and each fold builds a default one.
+    """
+
+    def __init__(
+        self,
+        feature_set: str,
+        threshold: float,
+        n_estimators: int,
+        tree_method: str,
+    ):
+        self.feature_set = feature_set
+        self.threshold = threshold
+        self.n_estimators = n_estimators
+        self.tree_method = tree_method
+
+    def __call__(self) -> PhishingDetector:
+        """Build a fresh, identically configured detector."""
+        return PhishingDetector(
+            feature_set=self.feature_set,
+            threshold=self.threshold,
+            n_estimators=self.n_estimators,
+            tree_method=self.tree_method,
+        )
 
 
 class Lab:
@@ -67,9 +99,11 @@ class Lab:
     ocr_error_rate:
         Character error rate of the simulated OCR.
     workers:
-        Worker count for batch feature extraction and analysis; ``None``
-        or ``1`` keeps everything serial.  Parallel runs produce results
-        bit-identical to serial runs (ordered pool maps, serial loads).
+        Worker count for batch feature extraction, analysis and
+        cross-validation folds; ``None`` or ``1`` keeps everything
+        serial.  Parallel runs produce results bit-identical to serial
+        runs (ordered pool maps, serial loads, schedule-independent
+        fold seeds).
     pool_backend:
         Pool backend (``"thread"`` or ``"process"``) when ``workers``
         is set.  Threads share this Lab's analysis cache; processes
@@ -77,6 +111,10 @@ class Lab:
     cache:
         Whether to memoize term distributions, pair matrices and feature
         vectors by snapshot content hash (default on).
+    tree_method:
+        Split-finding strategy for every trained detector:
+        ``"presort"`` (default; bit-identical to ``"exact"`` but much
+        faster), ``"exact"``, or the approximate ``"histogram"``.
     """
 
     def __init__(
@@ -88,10 +126,12 @@ class Lab:
         workers: int | None = None,
         pool_backend: str = "thread",
         cache: bool = True,
+        tree_method: str = "presort",
     ):
         self.config = config or CorpusConfig()
         self.threshold = threshold
         self.n_estimators = n_estimators
+        self.tree_method = tree_method
         self.world: World = build_world(self.config)
         self.cache: AnalysisCache | None = (
             AnalysisCache(max_entries=16384) if cache else None
@@ -142,6 +182,7 @@ class Lab:
                 feature_set=feature_set,
                 threshold=self.threshold,
                 n_estimators=self.n_estimators,
+                tree_method=self.tree_method,
             )
             model.fit(X, y)
             self._detectors[feature_set] = model
@@ -164,26 +205,25 @@ class Lab:
         """Pooled out-of-fold ``(y_true, scores)`` for scenario1 (CV).
 
         Cached per (feature_set, n_splits): Table VII and Fig. 5 share
-        the same cross-validation runs.
+        the same cross-validation runs.  Folds fan out over this Lab's
+        worker pool when one is configured; results are identical to
+        the serial run (the fold split is drawn before dispatch and the
+        pool map preserves input order).
         """
         key = (feature_set, n_splits)
         if key in self._scenario1_cache:
             return self._scenario1_cache[key]
         X, y = self.train_matrix()
-        trues, scores = [], []
-        for train_idx, test_idx in stratified_kfold(
-            y, n_splits=n_splits, random_state=self.config.seed
-        ):
-            model = PhishingDetector(
-                self.extractor,
-                feature_set=feature_set,
-                threshold=self.threshold,
-                n_estimators=self.n_estimators,
-            )
-            model.fit(X[train_idx], y[train_idx])
-            trues.append(y[test_idx])
-            scores.append(model.predict_proba(X[test_idx]))
-        result = (np.concatenate(trues), np.concatenate(scores))
+        factory = _FoldDetectorFactory(
+            feature_set=feature_set,
+            threshold=self.threshold,
+            n_estimators=self.n_estimators,
+            tree_method=self.tree_method,
+        )
+        result = cross_validate_scores(
+            factory, X, y, n_splits=n_splits,
+            random_state=self.config.seed, pool=self.pool,
+        )
         self._scenario1_cache[key] = result
         return result
 
@@ -854,6 +894,101 @@ class Lab:
                 "verdicts_match": key == reference,
             })
         return rows
+
+    def training_benchmark(
+        self,
+        n_estimators: int | None = None,
+        cv_splits: int = 5,
+        cv_workers: int = 4,
+        cv_backend: str = "process",
+    ) -> dict:
+        """Training-speed benchmark: tree methods + fold-parallel CV.
+
+        Part one fits the ensemble on the standard corpus feature
+        matrix (legTrain + phishTrain, paper hyperparameters) once per
+        ``tree_method`` and reports each method's
+        :class:`~repro.ml.instrumentation.TrainingStats`, its speedup
+        over the seed ``exact`` path, and whether its ``predict_proba``
+        output is bit-identical to ``exact`` (guaranteed for
+        ``presort``, not for ``histogram``).
+
+        Part two runs scenario1-style cross-validation serially and
+        fold-parallel over a ``cv_workers``-worker pool and reports the
+        speedup plus an exact equality check of the pooled scores.  The
+        default backend is ``process``: tree fitting holds the GIL, so
+        threads cannot parallelise it.  On a single-core machine the
+        parallel run cannot win — equality still holds and the measured
+        (possibly sub-1x) speedup is reported as-is.
+
+        Returns a machine-readable dict; the training benchmark writes
+        it to ``benchmarks/results/training.json``.
+        """
+        X, y = self.train_matrix()
+        stages = n_estimators or self.n_estimators
+        results: dict = {
+            "n_samples": int(X.shape[0]),
+            "n_features": int(X.shape[1]),
+            "n_estimators": stages,
+            "methods": {},
+        }
+
+        reference_proba: np.ndarray | None = None
+        exact_seconds: float | None = None
+        for method in ("exact", "presort", "histogram"):
+            clf = GradientBoostingClassifier(
+                n_estimators=stages, random_state=0, subsample=0.9,
+                tree_method=method,
+            )
+            started = time.perf_counter()
+            clf.fit(X, y)
+            elapsed = time.perf_counter() - started
+            proba = clf.predict_proba(X)
+            if method == "exact":
+                reference_proba = proba
+                exact_seconds = elapsed
+            entry = clf.fit_stats_.as_dict()
+            entry["fit_seconds"] = elapsed
+            entry["speedup_vs_exact"] = (
+                exact_seconds / elapsed if elapsed else float("inf")
+            )
+            entry["proba_identical_to_exact"] = bool(
+                np.array_equal(proba, reference_proba)
+            )
+            results["methods"][method] = entry
+
+        factory = _FoldDetectorFactory(
+            feature_set="fall", threshold=self.threshold,
+            n_estimators=stages, tree_method="presort",
+        )
+        started = time.perf_counter()
+        serial = cross_validate_scores(
+            factory, X, y, n_splits=cv_splits,
+            random_state=self.config.seed,
+        )
+        serial_seconds = time.perf_counter() - started
+        with WorkerPool(workers=cv_workers, backend=cv_backend) as pool:
+            started = time.perf_counter()
+            parallel = cross_validate_scores(
+                factory, X, y, n_splits=cv_splits,
+                random_state=self.config.seed, pool=pool,
+            )
+            parallel_seconds = time.perf_counter() - started
+        results["cross_validation"] = {
+            "n_splits": cv_splits,
+            "workers": cv_workers,
+            "backend": cv_backend,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": (
+                serial_seconds / parallel_seconds
+                if parallel_seconds else float("inf")
+            ),
+            "scores_identical": bool(
+                np.array_equal(serial[0], parallel[0])
+                and np.array_equal(serial[1], parallel[1])
+            ),
+        }
+        return results
 
     def robustness_search_outage(self, count: int = 30) -> dict:
         """Graceful degradation with the search engine forced down.

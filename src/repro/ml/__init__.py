@@ -6,9 +6,19 @@ numpy: regression trees as base learners, stochastic gradient boosting
 with binomial deviance loss, plus the evaluation metrics (precision,
 recall, F1, FPR, ROC/AUC, precision-recall curves) and stratified
 cross-validation used throughout Section VI.
+
+Training is served by three split-finding strategies (see
+:mod:`repro.ml.tree`): the seed ``exact`` greedy path, the bit-identical
+shared-``presort`` path (the default), and the opt-in approximate
+``histogram`` path built on :mod:`repro.ml.histogram`.  Fits expose
+:class:`~repro.ml.instrumentation.TrainingStats`, and cross-validation
+can fan folds out over a :class:`repro.parallel.executor.WorkerPool`
+with results identical to the serial run.
 """
 
-from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.boosting import PAPER_THRESHOLD, GradientBoostingClassifier
+from repro.ml.histogram import BinnedMatrix, bin_matrix
+from repro.ml.instrumentation import TrainingStats
 from repro.ml.metrics import (
     BinaryMetrics,
     auc,
@@ -18,17 +28,30 @@ from repro.ml.metrics import (
     roc_auc,
     roc_curve,
 )
-from repro.ml.tree import RegressionTree
-from repro.ml.validation import stratified_kfold, train_test_split
+from repro.ml.tree import RegressionTree, presort_matrix, restrict_presort
+from repro.ml.validation import (
+    cross_validate,
+    cross_validate_scores,
+    stratified_kfold,
+    train_test_split,
+)
 
 __all__ = [
     "BinaryMetrics",
+    "BinnedMatrix",
     "GradientBoostingClassifier",
+    "PAPER_THRESHOLD",
     "RegressionTree",
+    "TrainingStats",
     "auc",
+    "bin_matrix",
     "binary_metrics",
     "confusion_counts",
+    "cross_validate",
+    "cross_validate_scores",
     "precision_recall_curve",
+    "presort_matrix",
+    "restrict_presort",
     "roc_auc",
     "roc_curve",
     "stratified_kfold",

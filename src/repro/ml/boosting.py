@@ -15,13 +15,35 @@ detector (Section IV-C):
 
 ``predict_proba`` returns the confidence values in ``[0, 1]`` that the
 paper thresholds at 0.7 to favour predicting the legitimate class.
+
+Training performance: the ensemble trains its trees through one of
+three split-finding strategies (``tree_method``).  The default
+``"presort"`` computes **one global stable argsort of the feature
+matrix per fit** and propagates it to every node of every stage by
+partition-stable selection — feature order never changes between
+boosting stages, only the targets do — producing trees bit-identical to
+the reference ``"exact"`` path without ever re-sorting.  The opt-in
+``"histogram"`` mode quantises features once per fit into at most
+``max_bins`` quantile bins (approximate; for large corpora).  Stage
+subsamples are drawn and then sorted ascending: the sample *set* is
+unchanged, and the canonical order is what lets the presorted and exact
+paths agree bit-for-bit.  Each ``fit`` records timing and split-search
+counters in ``fit_stats_``
+(:class:`repro.ml.instrumentation.TrainingStats`).
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from repro.ml.tree import RegressionTree
+from repro.ml.histogram import bin_matrix
+from repro.ml.instrumentation import TrainingStats
+from repro.ml.tree import RegressionTree, presort_matrix, restrict_presort
+
+#: Split-finding strategies accepted by :class:`GradientBoostingClassifier`.
+TREE_METHODS = ("exact", "presort", "histogram")
 
 #: The paper's discrimination threshold (Section VI-A): confidences in
 #: ``[0, 0.7)`` predict legitimate, ``[0.7, 1]`` predict phishing,
@@ -55,6 +77,14 @@ class GradientBoostingClassifier:
         Features examined per split; ``None`` means all.
     random_state:
         Seed for subsampling and feature subsampling.
+    tree_method:
+        Split-finding strategy: ``"presort"`` (default; one global
+        argsort per fit, bit-identical to ``"exact"``), ``"exact"``
+        (per-node argsort, the reference), or ``"histogram"``
+        (quantile-binned, approximate, fastest on large corpora).
+    max_bins:
+        Maximum quantile bins per feature for ``tree_method="histogram"``;
+        ignored by the exact paths.
     """
 
     def __init__(
@@ -66,6 +96,8 @@ class GradientBoostingClassifier:
         min_samples_leaf: int = 1,
         max_features: int | None = None,
         random_state: int | None = None,
+        tree_method: str = "presort",
+        max_bins: int = 64,
     ):
         if not 0 < subsample <= 1:
             raise ValueError(f"subsample must be in (0, 1], got {subsample}")
@@ -73,6 +105,11 @@ class GradientBoostingClassifier:
             raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
         if learning_rate <= 0:
             raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        if tree_method not in TREE_METHODS:
+            raise ValueError(
+                f"unknown tree_method {tree_method!r}; "
+                f"expected one of {TREE_METHODS}"
+            )
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
         self.max_depth = max_depth
@@ -80,9 +117,13 @@ class GradientBoostingClassifier:
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.random_state = random_state
+        self.tree_method = tree_method
+        self.max_bins = max_bins
         self._trees: list[RegressionTree] = []
         self._initial_raw = 0.0
         self.n_features_in_: int | None = None
+        #: Timing + split-search counters of the last fit.
+        self.fit_stats_: TrainingStats | None = None
 
     # ------------------------------------------------------------------
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
@@ -104,14 +145,36 @@ class GradientBoostingClassifier:
         self._trees = []
         self.n_features_in_ = X.shape[1]
         self.train_deviance_: list[float] = []
+        stats = TrainingStats(
+            tree_method=self.tree_method, n_samples=n, n_features=X.shape[1]
+        )
+
+        # One-off preparation, shared by every stage: feature order never
+        # changes between stages (only the targets do), so the presort /
+        # binning of X is computed exactly once per ensemble fit.
+        prep_start = time.perf_counter()
+        sorted_all = sorted_vals_all = None
+        if self.tree_method == "presort":
+            sorted_all = presort_matrix(X)
+            sorted_vals_all = X[sorted_all, np.arange(X.shape[1])[:, None]]
+        binned_all = (
+            bin_matrix(X, self.max_bins)
+            if self.tree_method == "histogram" else None
+        )
+        stats.prep_seconds = time.perf_counter() - prep_start
 
         for _stage in range(self.n_estimators):
+            stage_start = time.perf_counter()
             prob = _sigmoid(raw)
             residual = y - prob
 
             if self.subsample < 1.0:
                 sample_size = max(1, int(round(self.subsample * n)))
-                rows = rng.choice(n, size=sample_size, replace=False)
+                # The draw is sorted ascending: the sample set is
+                # unchanged and the canonical order makes the fit
+                # independent of draw order — the invariant that lets
+                # the presorted path replicate the exact path bit-for-bit.
+                rows = np.sort(rng.choice(n, size=sample_size, replace=False))
             else:
                 rows = np.arange(n)
 
@@ -121,7 +184,28 @@ class GradientBoostingClassifier:
                 max_features=self.max_features,
                 rng=rng,
             )
-            tree.fit(X[rows], residual[rows])
+            if sorted_all is not None:
+                if len(rows) == n:
+                    tree.fit(
+                        X, residual, sorted_idx=sorted_all,
+                        sorted_vals=sorted_vals_all,
+                    )
+                else:
+                    sub_sorted, sub_vals = restrict_presort(
+                        sorted_all, rows, n, sorted_vals_all
+                    )
+                    tree.fit(
+                        X[rows], residual[rows],
+                        sorted_idx=sub_sorted, sorted_vals=sub_vals,
+                    )
+            elif binned_all is not None:
+                binned = (
+                    binned_all if len(rows) == n
+                    else binned_all.take_rows(rows)
+                )
+                tree.fit(X[rows], residual[rows], binned=binned)
+            else:
+                tree.fit(X[rows], residual[rows])
 
             # Newton step: replace each leaf mean with the deviance-optimal
             # value computed from the samples that reached that leaf.
@@ -138,6 +222,10 @@ class GradientBoostingClassifier:
             raw = raw + self.learning_rate * tree.predict(X)
             self._trees.append(tree)
             self.train_deviance_.append(self._deviance(y, raw))
+            stats.stage_seconds.append(time.perf_counter() - stage_start)
+            stats.nodes_built += tree.n_nodes
+            stats.split_evaluations += tree.split_evaluations_
+        self.fit_stats_ = stats
         return self
 
     @staticmethod
@@ -221,6 +309,8 @@ class GradientBoostingClassifier:
                 "min_samples_leaf": self.min_samples_leaf,
                 "max_features": self.max_features,
                 "random_state": self.random_state,
+                "tree_method": self.tree_method,
+                "max_bins": self.max_bins,
             },
             "initial_raw": self._initial_raw,
             "n_features": self.n_features_in_,

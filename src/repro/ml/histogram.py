@@ -1,0 +1,91 @@
+"""Fixed-bin feature quantisation for histogram split finding.
+
+LightGBM-style training replaces the exact evaluation of every distinct
+threshold with a pass over at most ``max_bins`` quantile bins per
+feature: the bin edges are computed **once per ensemble fit** from the
+training matrix, every sample is mapped to a small integer code, and
+split search at a node reduces to a bincount over codes followed by a
+prefix scan — ``O(samples + bins)`` per feature instead of
+``O(samples)`` distinct thresholds.
+
+This mode is **approximate**: candidate thresholds are restricted to the
+bin edges, so trees (and therefore predictions) can differ from the
+exact greedy path.  It exists for large corpora where the exact paths
+become the bottleneck; the exact and presorted paths remain the
+reference.  Thresholds stored in the fitted trees are raw feature
+values (the bin edges), so prediction needs no binning step.
+
+The code contract that keeps fitting and prediction consistent: codes
+are assigned with ``np.searchsorted(cuts, x, side="left")``, which makes
+``code <= b`` equivalent to ``x <= cuts[b]`` — exactly the ``<=``
+predicate :meth:`repro.ml.tree.RegressionTree.apply` evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BinnedMatrix:
+    """A quantised feature matrix: integer codes plus per-feature cuts.
+
+    Attributes
+    ----------
+    codes:
+        ``(n_samples, n_features)`` int32 bin codes; feature ``f`` takes
+        values in ``[0, len(cuts[f])]``.
+    cuts:
+        Per-feature ascending threshold values.  A split "after bin b"
+        corresponds to the predicate ``x <= cuts[f][b]``.
+    width:
+        Row width used when histogramming all features into one flat
+        bincount: ``max(len(cuts[f])) + 1`` over all features.
+    """
+
+    codes: np.ndarray
+    cuts: list[np.ndarray]
+    width: int
+
+    def take_rows(self, rows: np.ndarray) -> "BinnedMatrix":
+        """The binned view of a row subset (shared cuts, sliced codes).
+
+        Used by stochastic boosting: per-stage subsamples reuse the
+        ensemble-level binning instead of re-quantising.
+        """
+        return BinnedMatrix(self.codes[rows], self.cuts, self.width)
+
+
+def bin_matrix(X: np.ndarray, max_bins: int = 64) -> BinnedMatrix:
+    """Quantise ``X`` into at most ``max_bins`` quantile bins per feature.
+
+    Cut points are the interior quantiles of each column, deduplicated;
+    columns with fewer distinct values than bins keep one bin per value
+    (the histogram split is then exact for that column).  Cuts equal to
+    the column maximum are dropped — a split there would leave an empty
+    right child and can never be chosen.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if max_bins < 2:
+        raise ValueError(f"max_bins must be >= 2, got {max_bins}")
+    n, n_features = X.shape
+    quantiles = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
+    cuts: list[np.ndarray] = []
+    codes = np.empty((n, n_features), dtype=np.int32)
+    for f in range(n_features):
+        column = X[:, f]
+        distinct = np.unique(column)
+        if len(distinct) <= max_bins:
+            # Few distinct values: one bin per value boundary (exact).
+            feature_cuts = distinct[:-1]
+        else:
+            feature_cuts = np.unique(np.quantile(column, quantiles))
+            feature_cuts = feature_cuts[feature_cuts < distinct[-1]]
+        cuts.append(feature_cuts)
+        codes[:, f] = np.searchsorted(feature_cuts, column, side="left")
+    width = max((len(c) for c in cuts), default=0) + 1
+    return BinnedMatrix(codes=codes, cuts=cuts, width=width)

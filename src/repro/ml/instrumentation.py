@@ -1,0 +1,83 @@
+"""Lightweight training instrumentation for the boosting engine.
+
+:class:`TrainingStats` is filled in by
+:meth:`repro.ml.boosting.GradientBoostingClassifier.fit`: per-stage wall
+times, the one-off preparation cost (the global presort or the feature
+binning, depending on ``tree_method``), and split-search counters
+aggregated over every tree.  The numbers feed the machine-readable
+training benchmark (``benchmarks/test_training_speed.py`` →
+``benchmarks/results/training.json``) and the ``ext-training`` CLI
+experiment, and cost only a ``perf_counter`` call per stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TrainingStats:
+    """Timing and split-search counters for one ensemble ``fit``.
+
+    Attributes
+    ----------
+    tree_method:
+        Split-finding strategy used (``exact``/``presort``/``histogram``).
+    n_samples, n_features:
+        Shape of the training matrix.
+    prep_seconds:
+        One-off preparation paid before the first stage: the global
+        stable argsort (presort) or the quantile binning (histogram);
+        0.0 for the exact path.
+    stage_seconds:
+        Wall time of each boosting stage (tree fit + Newton step +
+        raw-score update).
+    nodes_built:
+        Total tree nodes created across all stages.
+    split_evaluations:
+        Candidate ``(node, feature)`` pairs scored across all stages —
+        the unit of split-search work all three methods share.
+    """
+
+    tree_method: str
+    n_samples: int = 0
+    n_features: int = 0
+    prep_seconds: float = 0.0
+    stage_seconds: list[float] = field(default_factory=list)
+    nodes_built: int = 0
+    split_evaluations: int = 0
+
+    @property
+    def n_stages(self) -> int:
+        """Number of boosting stages timed."""
+        return len(self.stage_seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end fit time: preparation plus every stage."""
+        return self.prep_seconds + float(sum(self.stage_seconds))
+
+    @property
+    def stages_per_sec(self) -> float:
+        """Boosting stages fit per second (the fit-throughput number)."""
+        total = self.total_seconds
+        return self.n_stages / total if total > 0 else float("inf")
+
+    def as_dict(self) -> dict:
+        """Machine-readable summary for benchmark artifacts."""
+        stage = np.asarray(self.stage_seconds, dtype=np.float64)
+        return {
+            "tree_method": self.tree_method,
+            "n_samples": self.n_samples,
+            "n_features": self.n_features,
+            "n_stages": self.n_stages,
+            "prep_seconds": self.prep_seconds,
+            "total_seconds": self.total_seconds,
+            "stages_per_sec": self.stages_per_sec,
+            "stage_seconds_mean": float(stage.mean()) if len(stage) else 0.0,
+            "stage_seconds_max": float(stage.max()) if len(stage) else 0.0,
+            "nodes_built": self.nodes_built,
+            "split_evaluations": self.split_evaluations,
+        }

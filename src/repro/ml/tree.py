@@ -1,10 +1,44 @@
 """Regression trees — the base learners of gradient boosting.
 
 A CART-style regression tree fit by exact greedy variance-reduction
-splits.  The implementation is vectorised with numpy: at each node, every
-candidate feature is argsorted once and the best threshold is found from
-prefix sums of the targets, so the per-node cost is
-``O(features * n log n)``.
+splits, with three split-finding strategies sharing one split-scoring
+formula:
+
+``exact`` (the reference)
+    At each node every candidate feature column is argsorted and the
+    best threshold found from prefix sums of the targets — per-node cost
+    ``O(features * n log n)``.  This is the seed implementation and the
+    baseline every faster path is measured against.
+
+``presort`` (exact results, no per-node sorting)
+    The caller passes one **global stable argsort per feature**
+    (``presort_matrix``, computed once per ensemble fit) and the tree
+    propagates the sorted orders to child nodes by *partition-stable
+    selection*: restricting a stable sort to a subset yields exactly the
+    stable sort of that subset, so no node ever sorts again.  Split
+    search is additionally vectorised across all candidate features at
+    once.  Per-node cost drops to ``O(features * n)`` and the fitted
+    tree is **bit-identical** to the exact path (see the ordering
+    invariant below).
+
+``histogram`` (approximate, opt-in)
+    Features are quantised once per ensemble fit into at most
+    ``max_bins`` quantile bins (:mod:`repro.ml.histogram`); split search
+    becomes a bincount plus prefix scan per feature.  Candidate
+    thresholds are restricted to bin edges, so results may differ from
+    the exact path — this mode is for corpora where even the presorted
+    path is too slow.
+
+Ordering invariant (what makes presort bit-identical): node sample
+index arrays are kept in **ascending order** everywhere — the root is
+``arange(n)`` and children are the ascending subset of their parent.
+With that canonical order, a stable argsort of a node's column breaks
+ties by ascending global index, which is precisely the order obtained
+by filtering the global stable argsort down to the node's samples.
+Every downstream float computation (prefix sums, node means, the
+boosting Newton step) therefore consumes its inputs in the same order
+under both strategies, making not just the splits but every stored
+float bit-identical.
 
 Only the pieces gradient boosting needs are implemented: squared-error
 fitting, optional feature subsampling, externally adjustable leaf values
@@ -15,7 +49,70 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ml.histogram import BinnedMatrix
+
 _LEAF = -1  # sentinel feature index marking a leaf node
+
+#: Seed used when no ``rng`` is given, so feature subsampling is
+#: reproducible by default (mirroring
+#: ``GradientBoostingClassifier.random_state``).
+DEFAULT_SEED = 0
+
+#: Minimum gain a split must exceed (strictly) to be accepted.
+_MIN_GAIN = 1e-12
+
+
+def presort_matrix(X: np.ndarray) -> np.ndarray:
+    """Per-feature stable argsort of ``X``: shape ``(n_features, n)``.
+
+    Row ``f`` lists the sample indices sorted ascending by feature ``f``
+    with ties broken by sample index (numpy's stable sort).  Computed
+    **once per ensemble fit** and reused by every node of every boosting
+    stage — targets change between stages, feature order never does.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    # int32 halves the bandwidth of every per-node partition; sample
+    # counts are far below 2**31.
+    return np.argsort(X.T, axis=1, kind="stable").astype(np.int32)
+
+
+def restrict_presort(
+    sorted_by_feature: np.ndarray,
+    rows: np.ndarray,
+    n_samples: int,
+    sorted_vals: np.ndarray | None = None,
+):
+    """Presort of the submatrix ``X[rows]`` derived without re-sorting.
+
+    ``rows`` must be ascending and unique.  Filtering each globally
+    sorted row down to the subset preserves value order and (because
+    ``rows`` is ascending) maps global tie-breaking onto local
+    tie-breaking, so the result equals ``presort_matrix(X[rows])``
+    exactly — at ``O(features * n)`` instead of a fresh
+    ``O(features * n log n)`` sort.  Used by stochastic boosting to
+    reuse the ensemble-level presort for per-stage subsamples.
+
+    When ``sorted_vals`` (the pre-gathered value matrix aligned with
+    ``sorted_by_feature``) is given, it is filtered under the same
+    selection and ``(subset_idx, subset_vals)`` is returned, saving the
+    caller a per-stage 2-D gather from ``X``.
+    """
+    mask = np.zeros(n_samples, dtype=bool)
+    mask[rows] = True
+    selected = mask[sorted_by_feature]
+    n_features = sorted_by_feature.shape[0]
+    subset = sorted_by_feature[selected].reshape(n_features, len(rows))
+    # Rank of each surviving global index within the ascending `rows`,
+    # i.e. its local row number in X[rows].
+    position = np.cumsum(mask, dtype=np.int32)
+    position -= 1
+    local = position[subset]
+    if sorted_vals is None:
+        return local
+    subset_vals = sorted_vals[selected].reshape(n_features, len(rows))
+    return local, subset_vals
 
 
 class RegressionTree:
@@ -32,7 +129,9 @@ class RegressionTree:
     max_features:
         Number of features examined per split; ``None`` means all.
     rng:
-        ``numpy.random.Generator`` used for feature subsampling.
+        Randomness for feature subsampling: a
+        ``numpy.random.Generator``, an int seed, or ``None`` for the
+        fixed :data:`DEFAULT_SEED` — fitting is reproducible by default.
     """
 
     def __init__(
@@ -41,7 +140,7 @@ class RegressionTree:
         min_samples_split: int = 2,
         min_samples_leaf: int = 1,
         max_features: int | None = None,
-        rng: np.random.Generator | None = None,
+        rng: np.random.Generator | int | None = None,
     ):
         if max_depth < 1:
             raise ValueError(f"max_depth must be >= 1, got {max_depth}")
@@ -49,7 +148,11 @@ class RegressionTree:
         self.min_samples_split = max(2, min_samples_split)
         self.min_samples_leaf = max(1, min_samples_leaf)
         self.max_features = max_features
-        self._rng = rng or np.random.default_rng()
+        if rng is None:
+            rng = DEFAULT_SEED
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        self._rng = rng
         # Flat array representation, filled by fit().
         self.feature: np.ndarray | None = None
         self.threshold: np.ndarray | None = None
@@ -57,13 +160,34 @@ class RegressionTree:
         self.right: np.ndarray | None = None
         self.value: np.ndarray | None = None
         self.n_nodes = 0
+        #: Candidate (node, feature) pairs scored during the last fit.
+        self.split_evaluations_ = 0
         # Plain-list mirror of the node arrays, built lazily by
         # predict_row() and dropped whenever the tree changes.
         self._flat: tuple | None = None
 
     # ------------------------------------------------------------------
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
-        """Fit the tree to ``(X, y)`` minimising squared error."""
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sorted_idx: np.ndarray | None = None,
+        binned: BinnedMatrix | None = None,
+        sorted_vals: np.ndarray | None = None,
+    ) -> "RegressionTree":
+        """Fit the tree to ``(X, y)`` minimising squared error.
+
+        With no extra argument the exact per-node argsort path runs.
+        Passing ``sorted_idx`` (from :func:`presort_matrix`) selects the
+        presorted path — bit-identical results, no per-node sorting;
+        ``sorted_vals`` optionally supplies the matching pre-gathered
+        value matrix ``X[sorted_idx, arange(F)[:, None]]`` (the ensemble
+        reuses one across stages when no subsampling reshuffles rows).
+        Passing ``binned`` (from :func:`repro.ml.histogram.bin_matrix`)
+        selects the approximate histogram path.
+        """
+        if sorted_idx is not None and binned is not None:
+            raise ValueError("pass at most one of sorted_idx and binned")
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
         if X.ndim != 2:
@@ -72,63 +196,103 @@ class RegressionTree:
             raise ValueError(f"X and y disagree: {len(X)} vs {len(y)}")
         if len(X) == 0:
             raise ValueError("cannot fit a tree on an empty dataset")
+        if sorted_idx is not None and sorted_idx.shape != (X.shape[1], len(X)):
+            raise ValueError(
+                f"sorted_idx must have shape {(X.shape[1], len(X))}, "
+                f"got {sorted_idx.shape}"
+            )
 
-        features: list[int] = []
-        thresholds: list[float] = []
-        lefts: list[int] = []
-        rights: list[int] = []
-        values: list[float] = []
-        leaf_sample_indices: dict[int, np.ndarray] = {}
+        self._features: list[int] = []
+        self._thresholds: list[float] = []
+        self._lefts: list[int] = []
+        self._rights: list[int] = []
+        self._values: list[float] = []
+        self._leaf_samples: dict[int, np.ndarray] = {}
+        self.split_evaluations_ = 0
 
-        def build(indices: np.ndarray, depth: int) -> int:
-            node_id = len(features)
-            features.append(_LEAF)
-            thresholds.append(0.0)
-            lefts.append(-1)
-            rights.append(-1)
-            values.append(float(y[indices].mean()))
+        if sorted_idx is not None:
+            # Gather the value and target matrices once per fit; the
+            # recursion partitions them instead of re-gathering per node.
+            if sorted_vals is None:
+                sorted_vals = X[sorted_idx, np.arange(X.shape[1])[:, None]]
+            sorted_y = y[sorted_idx]
+            self._build_presorted(
+                X, y, sorted_idx, sorted_vals, sorted_y,
+                np.arange(len(X)), depth=0,
+            )
+        elif binned is not None:
+            self._build_histogram(X, y, binned, np.arange(len(X)), depth=0)
+        else:
+            self._build_exact(X, y, np.arange(len(X)), depth=0)
 
-            if depth >= self.max_depth or len(indices) < self.min_samples_split:
-                leaf_sample_indices[node_id] = indices
-                return node_id
-            split = self._best_split(X, y, indices)
-            if split is None:
-                leaf_sample_indices[node_id] = indices
-                return node_id
-            feat, thresh, left_idx, right_idx = split
-            features[node_id] = feat
-            thresholds[node_id] = thresh
-            lefts[node_id] = build(left_idx, depth + 1)
-            rights[node_id] = build(right_idx, depth + 1)
-            return node_id
-
-        build(np.arange(len(X)), depth=0)
-        self.feature = np.asarray(features, dtype=np.int64)
-        self.threshold = np.asarray(thresholds, dtype=np.float64)
-        self.left = np.asarray(lefts, dtype=np.int64)
-        self.right = np.asarray(rights, dtype=np.int64)
-        self.value = np.asarray(values, dtype=np.float64)
-        self.n_nodes = len(features)
-        self._leaf_sample_indices = leaf_sample_indices
+        self.feature = np.asarray(self._features, dtype=np.int64)
+        self.threshold = np.asarray(self._thresholds, dtype=np.float64)
+        self.left = np.asarray(self._lefts, dtype=np.int64)
+        self.right = np.asarray(self._rights, dtype=np.int64)
+        self.value = np.asarray(self._values, dtype=np.float64)
+        self.n_nodes = len(self._features)
+        self._leaf_sample_indices = self._leaf_samples
+        del (self._features, self._thresholds, self._lefts, self._rights,
+             self._values, self._leaf_samples)
         self._flat = None
         return self
+
+    # ------------------------------------------------------------------
+    # shared node plumbing
+    # ------------------------------------------------------------------
+    def _open_node(self, y: np.ndarray, indices: np.ndarray) -> int:
+        """Append a provisional leaf for ``indices`` and return its id."""
+        node_id = len(self._features)
+        self._features.append(_LEAF)
+        self._thresholds.append(0.0)
+        self._lefts.append(-1)
+        self._rights.append(-1)
+        self._values.append(float(y[indices].mean()))
+        return node_id
+
+    def _splittable(self, indices: np.ndarray, depth: int) -> bool:
+        return (
+            depth < self.max_depth
+            and len(indices) >= self.min_samples_split
+        )
 
     def _candidate_features(self, n_features: int) -> np.ndarray:
         if self.max_features is None or self.max_features >= n_features:
             return np.arange(n_features)
         return self._rng.choice(n_features, size=self.max_features, replace=False)
 
+    # ------------------------------------------------------------------
+    # exact path (the seed reference)
+    # ------------------------------------------------------------------
+    def _build_exact(self, X, y, indices, depth) -> int:
+        node_id = self._open_node(y, indices)
+        if not self._splittable(indices, depth):
+            self._leaf_samples[node_id] = indices
+            return node_id
+        split = self._best_split(X, y, indices)
+        if split is None:
+            self._leaf_samples[node_id] = indices
+            return node_id
+        feat, thresh, left_idx, right_idx = split
+        self._features[node_id] = feat
+        self._thresholds[node_id] = thresh
+        self._lefts[node_id] = self._build_exact(X, y, left_idx, depth + 1)
+        self._rights[node_id] = self._build_exact(X, y, right_idx, depth + 1)
+        return node_id
+
     def _best_split(self, X, y, indices):
         """Best (feature, threshold) by variance reduction, or None."""
         y_node = y[indices]
         n = len(indices)
-        best_gain = 1e-12  # require strictly positive gain
+        best_gain = _MIN_GAIN  # require strictly positive gain
         best = None
         node_sum = y_node.sum()
         node_sq = float(y_node @ y_node)
         parent_sse = node_sq - node_sum * node_sum / n
 
-        for feat in self._candidate_features(X.shape[1]):
+        candidates = self._candidate_features(X.shape[1])
+        self.split_evaluations_ += len(candidates)
+        for feat in candidates:
             column = X[indices, feat]
             order = np.argsort(column, kind="stable")
             sorted_vals = column[order]
@@ -161,9 +325,224 @@ class RegressionTree:
         if best is None:
             return None
         feat, threshold, order, pos = best
-        left_idx = indices[order[: pos + 1]]
-        right_idx = indices[order[pos + 1:]]
+        # Children in ascending sample order — the canonical ordering
+        # that makes tie-breaking (and every downstream float reduction)
+        # independent of the path of split features, and therefore
+        # reproducible by the presorted partition propagation.
+        left_idx = np.sort(indices[order[: pos + 1]])
+        right_idx = np.sort(indices[order[pos + 1:]])
         return feat, threshold, left_idx, right_idx
+
+    # ------------------------------------------------------------------
+    # presorted path (bit-identical, no per-node sorting)
+    # ------------------------------------------------------------------
+    def _build_presorted(
+        self, X, y, node_sorted, node_vals, node_y, indices, depth
+    ) -> int:
+        node_id = self._open_node(y, indices)
+        if not self._splittable(indices, depth):
+            self._leaf_samples[node_id] = indices
+            return node_id
+        split = self._best_split_presorted(
+            X, y, node_vals, node_y, indices
+        )
+        if split is None:
+            self._leaf_samples[node_id] = indices
+            return node_id
+        feat, thresh, pos = split
+        # Partition-stable propagation: mark the left samples (a prefix
+        # of the winning feature's sorted row) and filter every sorted
+        # row through the mask.  Boolean selection preserves per-row
+        # order, so each child row remains the stable sort of the child
+        # subset; `indices` stays ascending for the same reason.  The
+        # value and target matrices partition under the same mask, so no
+        # node below ever gathers from X or y again.
+        mask = np.zeros(len(X), dtype=bool)
+        mask[node_sorted[feat, : pos + 1]] = True
+        in_left = mask[indices]
+        left_idx = indices[in_left]
+        right_idx = indices[~in_left]
+        n_features = node_sorted.shape[0]
+        n_left = pos + 1
+        n_right = node_sorted.shape[1] - n_left
+        # Partition the big matrices only for children that can still
+        # split — children at the depth limit (or below the sample
+        # minimum) become leaves without ever touching them, which skips
+        # the entire last level's partitions.
+        left_splittable = self._splittable(left_idx, depth + 1)
+        right_splittable = self._splittable(right_idx, depth + 1)
+        selected = unselected = None
+        if left_splittable or right_splittable:
+            selected = mask[node_sorted]
+        if right_splittable:
+            unselected = ~selected
+        self._features[node_id] = feat
+        self._thresholds[node_id] = thresh
+        if left_splittable:
+            left_child = self._build_presorted(
+                X, y,
+                node_sorted[selected].reshape(n_features, n_left),
+                node_vals[selected].reshape(n_features, n_left),
+                node_y[selected].reshape(n_features, n_left),
+                left_idx, depth + 1,
+            )
+        else:
+            left_child = self._open_node(y, left_idx)
+            self._leaf_samples[left_child] = left_idx
+        if right_splittable:
+            right_child = self._build_presorted(
+                X, y,
+                node_sorted[unselected].reshape(n_features, n_right),
+                node_vals[unselected].reshape(n_features, n_right),
+                node_y[unselected].reshape(n_features, n_right),
+                right_idx, depth + 1,
+            )
+        else:
+            right_child = self._open_node(y, right_idx)
+            self._leaf_samples[right_child] = right_idx
+        self._lefts[node_id] = left_child
+        self._rights[node_id] = right_child
+        return node_id
+
+    def _best_split_presorted(self, X, y, node_vals, node_y, indices):
+        """Presorted split search, vectorised across candidate features.
+
+        Scores every candidate feature's every boundary in one set of
+        2-D array operations.  Each row of the intermediate matrices is
+        elementwise identical to the arrays the exact path builds for
+        that feature (same elements, same order, same expressions), and
+        first-maximum ``argmax`` tie-breaking matches the exact path's
+        strict-improvement scan, so the chosen split is bit-identical.
+        """
+        n = len(indices)
+        y_node = y[indices]
+        node_sum = y_node.sum()
+        node_sq = float(y_node @ y_node)
+        parent_score = node_sum * node_sum / n
+        parent_sse = node_sq - parent_score
+
+        # Candidates are drawn before any early return so the rng
+        # stream matches the exact path draw-for-draw.
+        candidates = self._candidate_features(X.shape[1])
+        self.split_evaluations_ += len(candidates)
+        if n < 2 or not parent_sse > 0:
+            return None
+        if len(candidates) == node_vals.shape[0]:
+            sorted_vals, sorted_y = node_vals, node_y  # all features
+        else:
+            sorted_vals = node_vals[candidates]           # (C, n)
+            sorted_y = node_y[candidates]
+        # Prefix sums over the first n-1 positions only (the candidate
+        # boundaries) — identical values to cumsum-then-slice, but the
+        # result is contiguous and the in-place expressions below reuse
+        # its buffers.  Every arithmetic step matches the exact path's
+        # ``left_sum**2 / left_n + right_sum**2 / right_n`` bit for bit.
+        counts = np.arange(1, n)
+        left_n = counts
+        right_n = n - counts
+        left_sum = np.cumsum(sorted_y[:, :-1], axis=1)
+        right_sum = node_sum - left_sum
+        score = left_sum * left_sum
+        score /= left_n
+        np.multiply(right_sum, right_sum, out=right_sum)
+        right_sum /= right_n
+        score += right_sum
+        valid = sorted_vals[:, 1:] != sorted_vals[:, :-1]
+        if self.min_samples_leaf > 1:
+            valid &= (left_n >= self.min_samples_leaf) & (
+                right_n >= self.min_samples_leaf
+            )
+        np.logical_not(valid, out=valid)
+        score[valid] = -np.inf
+        pos = np.argmax(score, axis=1)                    # first max per row
+        gains = score[np.arange(len(candidates)), pos] - parent_score
+        best_row = int(np.argmax(gains))                  # first max feature
+        if not gains[best_row] > _MIN_GAIN:
+            return None
+        best_pos = int(pos[best_row])
+        threshold = 0.5 * (
+            sorted_vals[best_row, best_pos] + sorted_vals[best_row, best_pos + 1]
+        )
+        return int(candidates[best_row]), float(threshold), best_pos
+
+    # ------------------------------------------------------------------
+    # histogram path (approximate, opt-in)
+    # ------------------------------------------------------------------
+    def _build_histogram(self, X, y, binned, indices, depth) -> int:
+        node_id = self._open_node(y, indices)
+        if not self._splittable(indices, depth):
+            self._leaf_samples[node_id] = indices
+            return node_id
+        split = self._best_split_histogram(y, binned, indices)
+        if split is None:
+            self._leaf_samples[node_id] = indices
+            return node_id
+        feat, thresh, bin_id = split
+        go_left = binned.codes[indices, feat] <= bin_id
+        left_idx = indices[go_left]
+        right_idx = indices[~go_left]
+        self._features[node_id] = feat
+        self._thresholds[node_id] = thresh
+        self._lefts[node_id] = self._build_histogram(
+            X, y, binned, left_idx, depth + 1
+        )
+        self._rights[node_id] = self._build_histogram(
+            X, y, binned, right_idx, depth + 1
+        )
+        return node_id
+
+    def _best_split_histogram(self, y, binned, indices):
+        """Histogram split search: bincount + prefix scan per feature.
+
+        Candidate thresholds are the bin edges only, which is what makes
+        this path approximate; the gain formula and acceptance rule are
+        shared with the exact paths.
+        """
+        n = len(indices)
+        width = binned.width
+        if n < 2 or width < 2:
+            return None
+        y_node = y[indices]
+        node_sum = y_node.sum()
+        node_sq = float(y_node @ y_node)
+        parent_score = node_sum * node_sum / n
+        parent_sse = node_sq - parent_score
+        if not parent_sse > 0:
+            return None
+
+        candidates = self._candidate_features(binned.codes.shape[1])
+        self.split_evaluations_ += len(candidates)
+        codes = binned.codes[indices][:, candidates]      # (n, C)
+        n_cand = len(candidates)
+        flat = (codes + np.arange(n_cand, dtype=np.int32) * width).ravel()
+        sums = np.bincount(
+            flat, weights=np.repeat(y_node, n_cand), minlength=n_cand * width
+        ).reshape(n_cand, width)
+        cnts = np.bincount(flat, minlength=n_cand * width).reshape(
+            n_cand, width
+        )
+        left_sum = np.cumsum(sums, axis=1)[:, :-1]        # split after bin b
+        left_n = np.cumsum(cnts, axis=1)[:, :-1]
+        right_sum = node_sum - left_sum
+        right_n = n - left_n
+        n_cuts = np.array([len(binned.cuts[f]) for f in candidates])
+        min_leaf = self.min_samples_leaf
+        valid = (
+            (np.arange(width - 1) < n_cuts[:, None])
+            & (left_n >= min_leaf)
+            & (right_n >= min_leaf)
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            raw = left_sum**2 / left_n + right_sum**2 / right_n
+        score = np.where(valid, raw, -np.inf)
+        pos = np.argmax(score, axis=1)
+        gains = score[np.arange(n_cand), pos] - parent_score
+        best_row = int(np.argmax(gains))
+        if not gains[best_row] > _MIN_GAIN:
+            return None
+        feat = int(candidates[best_row])
+        bin_id = int(pos[best_row])
+        return feat, float(binned.cuts[feat][bin_id]), bin_id
 
     # ------------------------------------------------------------------
     def apply(self, X: np.ndarray) -> np.ndarray:

@@ -3,6 +3,16 @@
 Scenario1 in Section VI-C is a 5-fold cross-validation on the training
 corpora; scenario2 trains on the oldest data and predicts on newer test
 sets.  This module provides the stratified splitting both need.
+
+Folds are independent once drawn, so :func:`cross_validate` and
+:func:`cross_validate_scores` can fan them out over a
+:class:`repro.parallel.executor.WorkerPool` (``pool=``).  The fold
+assignment is materialised **before** dispatch (the split RNG is
+consumed serially) and every fold trains a fresh estimator whose seed
+comes from the factory, so results are independent of schedule: pooled
+metrics and AUC are identical to the serial run on every backend.  With
+the ``process`` backend the ``model_factory`` and the data must be
+picklable (a module-level factory function or class).
 """
 
 from __future__ import annotations
@@ -11,7 +21,9 @@ from collections.abc import Callable, Iterator
 
 import numpy as np
 
+from repro.ml.boosting import PAPER_THRESHOLD
 from repro.ml.metrics import BinaryMetrics, binary_metrics, roc_auc
+from repro.parallel.executor import WorkerPool
 
 
 def stratified_kfold(
@@ -66,36 +78,77 @@ def train_test_split(
     )
 
 
+def _fit_score_fold(job: tuple) -> tuple[np.ndarray, np.ndarray]:
+    """Fit one CV fold and return its ``(y_true, y_score)`` pair.
+
+    Module-level (not a closure) so the ``process`` pool backend can
+    pickle it; the fold's full context travels inside ``job``.
+    """
+    model_factory, X, y, train_idx, test_idx = job
+    model = model_factory()
+    model.fit(X[train_idx], y[train_idx])
+    return y[test_idx], model.predict_proba(X[test_idx])
+
+
+def _fold_results(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int,
+    random_state: int | None,
+    pool: WorkerPool | None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Out-of-fold ``(y_true, y_score)`` per fold, optionally pooled.
+
+    The fold assignment is drawn up front in the calling thread — the
+    only RNG involved — and :meth:`WorkerPool.map` preserves input
+    order, so the returned list is identical for every backend.
+    """
+    folds = list(
+        stratified_kfold(y, n_splits=n_splits, random_state=random_state)
+    )
+    jobs = [
+        (model_factory, X, y, train_idx, test_idx)
+        for train_idx, test_idx in folds
+    ]
+    if pool is None:
+        return [_fit_score_fold(job) for job in jobs]
+    return pool.map(_fit_score_fold, jobs)
+
+
 def cross_validate(
     model_factory: Callable[[], object],
     X: np.ndarray,
     y: np.ndarray,
     n_splits: int = 5,
-    threshold: float = 0.5,
+    threshold: float = PAPER_THRESHOLD,
     random_state: int | None = None,
+    pool: WorkerPool | None = None,
 ) -> dict[str, float]:
     """Run stratified k-fold CV, return pooled metrics plus mean AUC.
 
     ``model_factory`` must build a fresh estimator exposing
     ``fit(X, y)`` / ``predict_proba(X)``.  Predictions of all folds are
     pooled before computing the metric row (so counts match a single pass
-    over the data), while AUC is averaged across folds.
+    over the data), while AUC is averaged across folds.  The default
+    ``threshold`` is the paper's 0.7
+    (:data:`repro.ml.boosting.PAPER_THRESHOLD`), matching the detector's
+    decision rule.  Passing a ``pool`` trains the folds concurrently
+    with results identical to the serial run (see the module docstring).
     """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y)
-    pooled_true: list[np.ndarray] = []
-    pooled_pred: list[np.ndarray] = []
-    aucs: list[float] = []
-
-    for train_idx, test_idx in stratified_kfold(
-        y, n_splits=n_splits, random_state=random_state
-    ):
-        model = model_factory()
-        model.fit(X[train_idx], y[train_idx])
-        scores = model.predict_proba(X[test_idx])
-        pooled_true.append(y[test_idx])
-        pooled_pred.append((scores >= threshold).astype(np.int64))
-        aucs.append(roc_auc(y[test_idx], scores))
+    results = _fold_results(
+        model_factory, X, y, n_splits, random_state, pool
+    )
+    pooled_true = [fold_true for fold_true, _ in results]
+    pooled_pred = [
+        (fold_scores >= threshold).astype(np.int64)
+        for _, fold_scores in results
+    ]
+    aucs = [
+        roc_auc(fold_true, fold_scores) for fold_true, fold_scores in results
+    ]
 
     metrics: BinaryMetrics = binary_metrics(
         np.concatenate(pooled_true), np.concatenate(pooled_pred)
@@ -111,17 +164,19 @@ def cross_validate_scores(
     y: np.ndarray,
     n_splits: int = 5,
     random_state: int | None = None,
+    pool: WorkerPool | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Pooled out-of-fold ``(y_true, y_score)`` for curve plotting (Fig. 5)."""
+    """Pooled out-of-fold ``(y_true, y_score)`` for curve plotting (Fig. 5).
+
+    Like :func:`cross_validate`, folds run concurrently when a ``pool``
+    is given, with output identical to the serial run.
+    """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y)
-    trues: list[np.ndarray] = []
-    scores: list[np.ndarray] = []
-    for train_idx, test_idx in stratified_kfold(
-        y, n_splits=n_splits, random_state=random_state
-    ):
-        model = model_factory()
-        model.fit(X[train_idx], y[train_idx])
-        trues.append(y[test_idx])
-        scores.append(model.predict_proba(X[test_idx]))
-    return np.concatenate(trues), np.concatenate(scores)
+    results = _fold_results(
+        model_factory, X, y, n_splits, random_state, pool
+    )
+    return (
+        np.concatenate([fold_true for fold_true, _ in results]),
+        np.concatenate([fold_scores for _, fold_scores in results]),
+    )
