@@ -45,6 +45,20 @@ for _name, _module in _GROUPS:
     _offset += _module.N_FEATURES
 
 
+def feature_groups() -> list[tuple[str, tuple[str, ...], int]]:
+    """The live feature registry: ``(set, names, declared_count)`` rows.
+
+    One row per feature set in concatenation order, pairing each
+    module's declared ``N_FEATURES`` with its actual ``feature_names()``
+    so contract checkers (``repro.lint`` PHL3xx, tests) can audit the
+    212-feature layout without reaching into module internals.
+    """
+    return [
+        (name, tuple(module.feature_names()), int(module.N_FEATURES))
+        for name, module in _GROUPS
+    ]
+
+
 def feature_set_mask(name: str) -> np.ndarray:
     """Boolean mask over the 212 features selecting a feature set.
 

@@ -45,7 +45,7 @@ def compile_report(results_dir: str | Path) -> str:
     results_dir = Path(results_dir)
     if not results_dir.is_dir():
         raise FileNotFoundError(f"no results directory at {results_dir}")
-    available = {path.stem: path for path in results_dir.glob("*.txt")}
+    available = {path.stem: path for path in sorted(results_dir.glob("*.txt"))}
     if not available:
         raise FileNotFoundError(
             f"no artefacts in {results_dir}; "

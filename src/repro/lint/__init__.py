@@ -1,0 +1,42 @@
+"""``repro.lint`` — project-invariant static analysis.
+
+An AST-visitor lint framework that enforces, on every commit, the
+structural invariants the test suite can only spot-check:
+
+* **PHL1xx determinism** — seeded RNGs, injectable clocks, ordered
+  iteration, stable hashing, sorted directory listings;
+* **PHL2xx concurrency** — lock discipline in classes that share state
+  with the thread :class:`~repro.parallel.WorkerPool` backend;
+* **PHL3xx feature contract** — the paper's 212-feature f1..f5 layout
+  cross-checked against ``tests/data/golden_features.json``;
+* **PHL4xx hygiene** — mutable defaults, bare excepts, library prints.
+
+Run ``python -m repro.lint src tests`` (exit 1 on findings), suppress a
+single occurrence with ``# phl: ignore[PHLxxx]``, and configure via
+``[tool.repro-lint]`` in ``pyproject.toml``.
+"""
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import (
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.findings import Finding
+from repro.lint.registry import RULES, ModuleContext, ProjectRule, Rule, all_rules
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "ModuleContext",
+    "ProjectRule",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+]

@@ -1,0 +1,169 @@
+"""Command-line front end: ``python -m repro.lint [paths]``.
+
+Exit codes: 0 — clean; 1 — findings reported; 2 — usage or internal
+error.  Configuration is read from the nearest ``pyproject.toml``
+(``[tool.repro-lint]``) and can be overridden per invocation with
+``--select``/``--ignore``/``--baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint import engine
+from repro.lint.config import LintConfig, load_config
+from repro.lint.registry import RULES, all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for `python -m repro.lint`."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Project-invariant static analysis: determinism (PHL1xx), "
+            "concurrency (PHL2xx), feature contract (PHL3xx), hygiene "
+            "(PHL4xx)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: from pyproject)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="rule-code prefix to enable (repeatable; e.g. PHL1, PHL301)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="rule-code prefix to disable (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append a per-code findings summary",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print a rule's rationale and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline file of accepted findings (overrides pyproject)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="record current findings as the accepted baseline and exit 0",
+    )
+    parser.add_argument(
+        "--config-root",
+        metavar="DIR",
+        help="directory whose pyproject.toml supplies configuration",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.name:28s} {rule.summary}")
+    return "\n".join(lines)
+
+
+def _explain(code: str) -> str | None:
+    rule = RULES.get(code)
+    if rule is None:
+        return None
+    return (
+        f"{rule.code} ({rule.name}): {rule.summary}\n\n{rule.rationale}\n\n"
+        f"Suppress a single occurrence with `# phl: ignore[{rule.code}]`."
+    )
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    root = Path(args.config_root) if args.config_root else Path.cwd()
+    config = load_config(root=root)
+    if args.select:
+        config.select = tuple(args.select)
+    if args.ignore:
+        config.ignore = tuple(config.ignore) + tuple(args.ignore)
+    if args.baseline:
+        config.baseline = args.baseline
+    return config
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter CLI; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if args.explain:
+        text = _explain(args.explain)
+        if text is None:
+            print(f"unknown rule code {args.explain!r}", file=sys.stderr)
+            return 2
+        print(text)
+        return 0
+    try:
+        config = _resolve_config(args)
+    except ValueError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return 2
+    targets = args.paths or list(config.paths)
+    missing = [t for t in targets if not Path(t).exists()]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        # Record raw findings (pre-baseline) so the new file is complete.
+        config.baseline = None
+        findings = engine.lint_paths(targets, config)
+        engine.write_baseline(findings, Path(args.write_baseline))
+        print(
+            f"wrote baseline with {len(findings)} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    findings = engine.lint_paths(targets, config)
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=1))
+    else:
+        for finding in findings:
+            print(finding.render())
+    if args.statistics and args.format == "text":
+        counts = Counter(f.code for f in findings)
+        for code in sorted(counts):
+            rule = RULES.get(code)
+            label = rule.name if rule is not None else "?"
+            print(f"{code} ({label}): {counts[code]}")
+        print(f"total: {len(findings)} finding(s)")
+    elif not findings and args.format == "text":
+        print("clean: no findings")
+    return 1 if findings else 0

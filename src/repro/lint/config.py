@@ -1,0 +1,150 @@
+"""pyproject-driven configuration for ``repro.lint``.
+
+Configuration lives under ``[tool.repro-lint]`` in ``pyproject.toml``;
+every key has a safe default so the linter also works on bare trees.
+Recognised keys::
+
+    [tool.repro-lint]
+    paths = ["src", "tests"]          # default CLI targets
+    select = ["PHL"]                  # rule-code prefixes to enable
+    ignore = []                       # rule-code prefixes to disable
+    exclude = ["build/*"]             # path globs never linted
+    clock-exempt = ["*/resilience/clock.py"]   # PHL102 allowlist
+    contract-golden = "tests/data/golden_features.json"
+    baseline = ".phl-baseline.json"   # optional baseline file
+
+    [tool.repro-lint.per-rule-exempt]
+    PHL403 = ["*/cli.py", "tests/*"]  # per-code path allowlists
+
+Path globs are matched with :mod:`fnmatch` against the file's
+'/'-separated path relative to the config root, so ``tests/*`` matches
+everything under ``tests/`` and ``*/cli.py`` matches any ``cli.py``.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+
+#: Modules whose wall-clock reads are legitimate by design (PHL102):
+#: the clock abstraction itself has to call the real timers somewhere.
+DEFAULT_CLOCK_EXEMPT = ("*/resilience/clock.py",)
+
+#: Paths where ``print`` is the product, not a debugging leftover
+#: (PHL403): CLI front-ends, tests, benchmarks and examples.
+DEFAULT_PER_RULE_EXEMPT = {
+    "PHL403": (
+        "*/cli.py",
+        "*/__main__.py",
+        "tests/*",
+        "benchmarks/*",
+        "examples/*",
+    ),
+}
+
+
+@dataclass
+class LintConfig:
+    """Resolved linter configuration."""
+
+    root: Path = field(default_factory=Path.cwd)
+    paths: tuple[str, ...] = ("src", "tests")
+    select: tuple[str, ...] = ("PHL",)
+    ignore: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    clock_exempt: tuple[str, ...] = DEFAULT_CLOCK_EXEMPT
+    per_rule_exempt: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_PER_RULE_EXEMPT)
+    )
+    contract_golden: str | None = "tests/data/golden_features.json"
+    baseline: str | None = None
+
+    # ------------------------------------------------------------------
+    def display_path(self, path: Path) -> str:
+        """'/'-separated path relative to the root (for output/matching)."""
+        try:
+            relative = path.resolve().relative_to(self.root.resolve())
+        except ValueError:
+            relative = path
+        return relative.as_posix()
+
+    def _matches(self, display: str, patterns: tuple[str, ...]) -> bool:
+        return any(fnmatch(display, pattern) for pattern in patterns)
+
+    def is_excluded(self, path: Path) -> bool:
+        """True when ``path`` is excluded from linting entirely."""
+        return self._matches(self.display_path(path), self.exclude)
+
+    def is_clock_exempt(self, display: str) -> bool:
+        """True when ``display`` may read the wall clock directly."""
+        return self._matches(display, self.clock_exempt)
+
+    def is_rule_exempt(self, code: str, display: str) -> bool:
+        """True when ``code`` is allowlisted for this file."""
+        patterns = self.per_rule_exempt.get(code, ())
+        return self._matches(display, tuple(patterns))
+
+    def golden_path(self) -> Path | None:
+        """Absolute path of the feature-contract golden file, if set."""
+        if self.contract_golden is None:
+            return None
+        return self.root / self.contract_golden
+
+
+def _tuple(value: object, key: str) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise ValueError(f"[tool.repro-lint] {key} must be a list of strings")
+    return tuple(value)
+
+
+def load_config(
+    root: Path | None = None, pyproject: Path | None = None
+) -> LintConfig:
+    """Build a :class:`LintConfig` from ``pyproject.toml``.
+
+    ``root`` defaults to the directory containing ``pyproject`` (or the
+    current directory when no file is found); a missing file or a
+    missing ``[tool.repro-lint]`` table yields the defaults.
+    """
+    if pyproject is None:
+        base = (root or Path.cwd()).resolve()
+        for candidate in (base, *base.parents):
+            if (candidate / "pyproject.toml").is_file():
+                pyproject = candidate / "pyproject.toml"
+                break
+    config = LintConfig(root=root or (pyproject.parent if pyproject else Path.cwd()))
+    if pyproject is None or not pyproject.is_file():
+        return config
+    with pyproject.open("rb") as handle:
+        payload = tomllib.load(handle)
+    table = payload.get("tool", {}).get("repro-lint", {})
+    if not isinstance(table, dict):
+        raise ValueError("[tool.repro-lint] must be a table")
+    for key in ("paths", "select", "ignore", "exclude"):
+        if key in table:
+            setattr(config, key, _tuple(table[key], key))
+    if "clock-exempt" in table:
+        config.clock_exempt = _tuple(table["clock-exempt"], "clock-exempt")
+    if "contract-golden" in table:
+        value = table["contract-golden"]
+        if value is not None and not isinstance(value, str):
+            raise ValueError("[tool.repro-lint] contract-golden must be a string")
+        config.contract_golden = value
+    if "baseline" in table:
+        value = table["baseline"]
+        if value is not None and not isinstance(value, str):
+            raise ValueError("[tool.repro-lint] baseline must be a string")
+        config.baseline = value
+    exempt = table.get("per-rule-exempt", {})
+    if exempt:
+        if not isinstance(exempt, dict):
+            raise ValueError("[tool.repro-lint] per-rule-exempt must be a table")
+        merged = dict(config.per_rule_exempt)
+        for code, patterns in exempt.items():
+            merged[code] = _tuple(patterns, f"per-rule-exempt.{code}")
+        config.per_rule_exempt = merged
+    return config

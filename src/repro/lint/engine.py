@@ -1,0 +1,169 @@
+"""The lint engine: file discovery, rule dispatch, baselines.
+
+Entry points:
+
+* :func:`lint_source` — lint one in-memory module (fixture tests);
+* :func:`lint_file` — lint one file on disk;
+* :func:`lint_paths` — lint files/trees plus the project-scope rules,
+  returning findings sorted by (path, line, col, code).
+
+Inline ``# phl: ignore[...]`` comments and the optional baseline file
+are both applied here, so every entry point sees identical semantics.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint import rules as _rules  # noqa: F401  (registers rules)
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, is_suppressed, parse_suppressions
+from repro.lint.registry import ModuleContext, ProjectRule, Rule, rules_matching
+
+
+def selected_rules(config: LintConfig) -> list[Rule]:
+    """The rules enabled by the config's select/ignore prefixes."""
+    return rules_matching(config.select, config.ignore)
+
+
+def iter_python_files(
+    targets: Sequence[str | Path], config: LintConfig
+) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Directories are walked recursively; exclusion globs from the config
+    are applied to files found either way.  The result is sorted so
+    output order never depends on filesystem enumeration order — the
+    linter practises what it preaches (PHL104).
+    """
+    out: set[Path] = set()
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            for found in sorted(path.rglob("*.py")):
+                if not config.is_excluded(found):
+                    out.add(found.resolve())
+        elif path.suffix == ".py" and not config.is_excluded(path):
+            out.add(path.resolve())
+    return sorted(out)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one module given as text (module-scope rules only)."""
+    config = config if config is not None else LintConfig()
+    if rules is None:
+        rules = [
+            rule
+            for rule in selected_rules(config)
+            if not isinstance(rule, ProjectRule)
+        ]
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="PHL000",
+                message=f"syntax error: {exc.msg}",
+                rule_name="syntax-error",
+            )
+        ]
+    ctx = ModuleContext(path, source, tree, config=config)
+    suppressions = parse_suppressions(source)
+    findings = [
+        finding
+        for rule in rules
+        for finding in rule.check_module(ctx)
+        if not is_suppressed(finding, suppressions)
+    ]
+    return sorted(findings)
+
+
+def lint_file(
+    path: Path, config: LintConfig, rules: Iterable[Rule] | None = None
+) -> list[Finding]:
+    """Lint one file on disk (module-scope rules only)."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(
+        source, path=config.display_path(path), config=config, rules=rules
+    )
+
+
+def lint_paths(
+    targets: Sequence[str | Path],
+    config: LintConfig | None = None,
+    with_project_rules: bool = True,
+) -> list[Finding]:
+    """Lint files/trees plus (optionally) the project-scope rules."""
+    config = config if config is not None else LintConfig()
+    enabled = selected_rules(config)
+    module_rules = [r for r in enabled if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in enabled if isinstance(r, ProjectRule)]
+    findings: list[Finding] = []
+    for path in iter_python_files(targets, config):
+        findings.extend(lint_file(path, config, rules=module_rules))
+    if with_project_rules:
+        for rule in project_rules:
+            findings.extend(rule.check_project(config))
+    findings = apply_baseline(findings, config)
+    return sorted(findings)
+
+
+# ----------------------------------------------------------------------
+# Baseline: accepted pre-existing findings, keyed by (path, code,
+# message) so they survive line drift from unrelated edits.
+
+def write_baseline(findings: Iterable[Finding], path: Path) -> None:
+    """Record current findings as the accepted baseline."""
+    keys = sorted({finding.baseline_key() for finding in findings})
+    payload = {
+        "format": "phl-baseline/1",
+        "findings": [
+            {"path": path_, "code": code, "message": message}
+            for path_, code, message in keys
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str]]:
+    """The baseline's accepted finding keys (empty when unreadable)."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return set()
+    if not isinstance(payload, dict):
+        return set()
+    out: set[tuple[str, str, str]] = set()
+    for entry in payload.get("findings", []):
+        if isinstance(entry, dict):
+            out.add(
+                (
+                    str(entry.get("path", "")),
+                    str(entry.get("code", "")),
+                    str(entry.get("message", "")),
+                )
+            )
+    return out
+
+
+def apply_baseline(
+    findings: list[Finding], config: LintConfig
+) -> list[Finding]:
+    """Drop findings accepted by the configured baseline file."""
+    if config.baseline is None:
+        return findings
+    accepted = load_baseline(config.root / config.baseline)
+    if not accepted:
+        return findings
+    return [f for f in findings if f.baseline_key() not in accepted]

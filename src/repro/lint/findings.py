@@ -1,0 +1,95 @@
+"""Finding model and inline-suppression parsing for ``repro.lint``.
+
+A :class:`Finding` is one rule violation at one source location.  The
+suppression syntax mirrors the established ``# noqa``/``# type:
+ignore`` idiom but is namespaced so it cannot collide with other
+tools::
+
+    risky_call()  # phl: ignore[PHL102]
+    other_call()  # phl: ignore[PHL101,PHL105]
+    anything()    # phl: ignore
+
+A bare ``# phl: ignore`` silences every rule on that line; the
+bracketed form silences only the listed codes.  Suppressions apply to
+the physical line a finding is reported on.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+#: Matches ``# phl: ignore`` with an optional ``[CODE,CODE]`` payload.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*phl:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    rule_name: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        """The canonical one-line textual form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly representation (used by ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "rule": self.rule_name,
+        }
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used by the baseline mechanism.
+
+        Deliberately excludes the line number so a baseline survives
+        unrelated edits that shift code up or down a file.
+        """
+        return (self.path, self.code, self.message)
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    """Map 1-based line numbers to their suppressed rule codes.
+
+    ``None`` means *all* codes are suppressed on that line (the bare
+    ``# phl: ignore`` form); a frozenset limits the suppression to the
+    listed codes.
+    """
+    out: dict[int, frozenset[str] | None] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "phl:" not in text:
+            continue
+        match = _SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        payload = match.group("codes")
+        if payload is None:
+            out[lineno] = None
+        else:
+            codes = frozenset(
+                code.strip() for code in payload.split(",") if code.strip()
+            )
+            out[lineno] = codes or None
+    return out
+
+
+def is_suppressed(
+    finding: Finding, suppressions: dict[int, frozenset[str] | None]
+) -> bool:
+    """True when an inline comment silences this finding."""
+    if finding.line not in suppressions:
+        return False
+    codes = suppressions[finding.line]
+    return codes is None or finding.code in codes

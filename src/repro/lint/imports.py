@@ -1,0 +1,54 @@
+"""Alias-aware resolution of dotted names in a module's AST.
+
+Rules match *canonical* dotted names (``numpy.random.default_rng``,
+``time.time``), but source code reaches those objects through arbitrary
+aliases: ``import numpy as np``, ``from time import time``, ``from
+numpy.random import default_rng as rng``.  :class:`ImportMap` records a
+module's import bindings so :meth:`ImportMap.resolve` can map an
+expression such as ``np.random.default_rng`` back to its canonical
+name, regardless of spelling at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class ImportMap:
+    """Canonical-name resolution for one module's AST."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        # ``import a.b.c as x`` binds x -> a.b.c
+                        self._aliases[alias.asname] = alias.name
+                    else:
+                        # ``import a.b.c`` binds the root name ``a``
+                        root = alias.name.split(".", 1)[0]
+                        self._aliases.setdefault(root, root)
+            elif isinstance(node, ast.ImportFrom):
+                # Relative imports keep a leading dot so they can never
+                # spuriously match an absolute canonical name.
+                module = ("." * node.level) + (node.module or "")
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted name for a Name/Attribute chain, or None.
+
+        Unimported bare names resolve to themselves (so builtins like
+        ``hash`` and ``set`` stay matchable); expressions that are not
+        plain dotted chains (calls, subscripts, ...) resolve to None.
+        """
+        if isinstance(node, ast.Name):
+            return self._aliases.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None

@@ -1,0 +1,144 @@
+"""Rule base classes and the global rule registry.
+
+Every rule has a stable code in a numbered family:
+
+* ``PHL1xx`` — determinism (seeded randomness, injectable clocks,
+  ordered iteration, stable hashing);
+* ``PHL2xx`` — concurrency (lock discipline around shared state);
+* ``PHL3xx`` — feature contract (the paper's 212-feature layout);
+* ``PHL4xx`` — hygiene (classic Python footguns).
+
+Module rules inspect one file's AST via :class:`ModuleContext`; project
+rules run once per lint invocation against repository-level state (the
+feature registry vs. the golden contract).  Rules self-register at
+import time through :func:`register`, so adding a rule is one class in
+one module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, TypeVar
+
+from repro.lint.findings import Finding
+from repro.lint.imports import ImportMap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.config import LintConfig
+
+
+class ModuleContext:
+    """Everything a module-scope rule may inspect for one file."""
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        config: "LintConfig | None" = None,
+    ) -> None:
+        from repro.lint.config import LintConfig
+
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.config = config if config is not None else LintConfig()
+        self.imports = ImportMap(tree)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (None for the module)."""
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Ancestors of ``node``, nearest first, excluding ``node``."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def walk(self) -> Iterator[ast.AST]:
+        """All AST nodes of the module."""
+        return ast.walk(self.tree)
+
+
+class Rule:
+    """Base class: a module-scope rule checked against one file's AST."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    rationale: str = ""
+    scope: str = "module"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        """Findings for one module (override in module-scope rules)."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def finding(
+        self, ctx: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node`` in ``ctx``'s file."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+            rule_name=self.name,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class: a rule checked once per lint run, not per file."""
+
+    scope = "project"
+
+    def check_project(self, config: "LintConfig") -> Iterable[Finding]:
+        """Findings for the repository described by ``config``."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+#: All registered rules, keyed by code.
+RULES: dict[str, Rule] = {}
+
+_R = TypeVar("_R", bound=type[Rule])
+
+
+def register(cls: _R) -> _R:
+    """Class decorator: instantiate and index a rule by its code."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULES[cls.code] = cls()
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in code order."""
+    return [RULES[code] for code in sorted(RULES)]
+
+
+def rules_matching(
+    select: Iterable[str], ignore: Iterable[str]
+) -> list[Rule]:
+    """Rules whose code starts with a selected prefix and no ignored one.
+
+    ``select``/``ignore`` entries are code prefixes, so ``PHL1`` picks
+    the whole determinism family and ``PHL103`` a single rule.
+    """
+    selected: Callable[[str], bool] = lambda code: any(
+        code.startswith(prefix) for prefix in select
+    )
+    ignored: Callable[[str], bool] = lambda code: any(
+        code.startswith(prefix) for prefix in ignore
+    )
+    return [
+        rule
+        for rule in all_rules()
+        if selected(rule.code) and not ignored(rule.code)
+    ]

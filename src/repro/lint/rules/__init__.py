@@ -1,0 +1,10 @@
+"""Rule modules for ``repro.lint``.
+
+Importing this package registers every rule family with the global
+registry (:mod:`repro.lint.registry`); rule modules self-register via
+the ``@register`` decorator at import time.
+"""
+
+from repro.lint.rules import concurrency, contract, determinism, hygiene
+
+__all__ = ["concurrency", "contract", "determinism", "hygiene"]

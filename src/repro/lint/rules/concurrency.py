@@ -1,0 +1,236 @@
+"""PHL2xx — concurrency rules.
+
+The thread backend of :class:`repro.parallel.WorkerPool` shares
+in-process state (the :class:`~repro.parallel.cache.AnalysisCache`
+LRUs, counters) between workers.  That only stays correct because every
+mutation of shared state happens under the owning object's lock.  These
+rules enforce the discipline statically: in any class that owns a lock,
+attribute mutations outside ``with self._lock:`` are flagged, and no
+lock may be held across a ``yield`` (the consumer controls when — and
+whether — the generator resumes, so the lock's hold time becomes
+unbounded and re-entrant iteration deadlocks).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: Name tokens treated as locks (exact word or ``_``-suffixed, so
+#: ``_lock``/``tree_lock`` match but ``clock`` does not).
+_LOCK_TOKENS = ("lock", "mutex")
+
+#: Methods allowed to touch shared state unguarded: construction and
+#: pickling run strictly before/after any concurrent sharing.
+_EXEMPT_METHODS = frozenset(
+    {"__init__", "__new__", "__getstate__", "__setstate__", "__reduce__"}
+)
+
+#: Container-method calls that mutate their receiver.
+_MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+
+def _is_lock_name(name: str) -> bool:
+    stripped = name.lstrip("_").lower()
+    return stripped in _LOCK_TOKENS or stripped.endswith(
+        tuple(f"_{token}" for token in _LOCK_TOKENS)
+    )
+
+
+def _self_attribute(node: ast.expr) -> str | None:
+    """``X`` when ``node`` is exactly ``self.X``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _rooted_self_attribute(node: ast.expr) -> str | None:
+    """``X`` when ``node`` is ``self.X`` possibly under subscripts."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return _self_attribute(node)
+
+
+def _lock_attributes(cls: ast.ClassDef) -> frozenset[str]:
+    """Names of lock-like attributes assigned anywhere in the class."""
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _self_attribute(target)
+                if attr is not None and _is_lock_name(attr):
+                    locks.add(attr)
+        elif isinstance(node, ast.AnnAssign):
+            attr = _self_attribute(node.target)
+            if attr is not None and _is_lock_name(attr):
+                locks.add(attr)
+    return frozenset(locks)
+
+
+def _guards_lock(item: ast.withitem, locks: frozenset[str]) -> bool:
+    expr = item.context_expr
+    attr = _self_attribute(expr)
+    if attr is not None:
+        return attr in locks
+    # ``with lock:`` on a local also counts — the heuristic is name-based.
+    return isinstance(expr, ast.Name) and _is_lock_name(expr.id)
+
+
+def _mutations(method: ast.AST) -> Iterator[tuple[ast.AST, str, str]]:
+    """Yield (node, attribute, verb) for each shared-state mutation."""
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _rooted_self_attribute(target)
+                if attr is not None:
+                    yield node, attr, "assignment to"
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            attr = _rooted_self_attribute(node.target)
+            if attr is not None:
+                yield node, attr, "assignment to"
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _rooted_self_attribute(target)
+                if attr is not None:
+                    yield node, attr, "deletion from"
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATOR_METHODS
+            ):
+                attr = _rooted_self_attribute(func.value)
+                if attr is not None:
+                    yield node, attr, f"`.{func.attr}()` on"
+
+
+@register
+class UnguardedSharedMutationRule(Rule):
+    """PHL201: shared-state mutation outside the owning lock."""
+
+    code = "PHL201"
+    name = "unguarded-shared-mutation"
+    summary = "lock-owning class mutates shared state outside its lock"
+    rationale = (
+        "A class that owns a lock (an attribute like `self._lock`) is "
+        "declaring its state shared between threads; any attribute "
+        "mutation outside `with self._lock:` is then a data race with "
+        "the thread WorkerPool backend. Construction and pickling "
+        "(`__init__`, `__getstate__`, `__setstate__`) run unshared and "
+        "are exempt."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Findings for one module's AST."""
+        for cls in ctx.walk():
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            locks = _lock_attributes(cls)
+            if not locks:
+                continue
+            for method in cls.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if method.name in _EXEMPT_METHODS:
+                    continue
+                for node, attr, verb in _mutations(method):
+                    if attr in locks:
+                        continue
+                    if self._guarded(node, ctx, locks, method):
+                        continue
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{verb} `self.{attr}` in `{cls.name}.{method.name}` "
+                        f"outside `with self.{sorted(locks)[0]}:`",
+                    )
+
+    def _guarded(
+        self,
+        node: ast.AST,
+        ctx: ModuleContext,
+        locks: frozenset[str],
+        method: ast.AST,
+    ) -> bool:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)) and any(
+                _guards_lock(item, locks) for item in ancestor.items
+            ):
+                return True
+            if ancestor is method:
+                break
+        return False
+
+
+@register
+class LockAcrossYieldRule(Rule):
+    """PHL202: lock held across a generator yield."""
+
+    code = "PHL202"
+    name = "lock-across-yield"
+    summary = "generator yields while holding a lock"
+    rationale = (
+        "`yield` inside `with self._lock:` suspends the generator with "
+        "the lock held; the consumer decides when (or whether) it "
+        "resumes, so the critical section's duration is unbounded and "
+        "any same-lock access during iteration deadlocks. Copy the "
+        "needed state under the lock, release it, then yield."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Findings for one module's AST."""
+        for node in ctx.walk():
+            if not isinstance(node, (ast.Yield, ast.YieldFrom)):
+                continue
+            for ancestor in ctx.ancestors(node):
+                if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    break
+                if isinstance(ancestor, (ast.With, ast.AsyncWith)) and any(
+                    _is_withitem_lock(item) for item in ancestor.items
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "yield while holding a lock; copy state under the "
+                        "lock and yield after releasing it",
+                    )
+                    break
+
+
+def _is_withitem_lock(item: ast.withitem) -> bool:
+    """Name-based lock detection for arbitrary ``with`` expressions."""
+    expr = item.context_expr
+    attr_chain = expr
+    while isinstance(attr_chain, ast.Attribute):
+        if _is_lock_name(attr_chain.attr):
+            return True
+        attr_chain = attr_chain.value
+    return isinstance(expr, ast.Name) and _is_lock_name(expr.id)

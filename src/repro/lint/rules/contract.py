@@ -1,0 +1,248 @@
+"""PHL3xx — feature-contract rules.
+
+The paper's core contract is a fixed 212-dimensional feature vector
+partitioned into f1..f5 (Table III).  The golden regression file
+``tests/data/golden_features.json`` freezes that layout (names, order,
+per-set counts) alongside the frozen values; these rules cross-check
+the *live* extractor registry against it on every lint run, so a
+feature added, dropped, renamed or reordered fails CI before it can
+silently invalidate trained models or the golden matrix.
+
+Unlike the AST rules, this family runs once per lint invocation
+(project scope) and loads real project state: the registry via
+:func:`repro.core.features.extractor.feature_groups` and the golden
+payload from the path configured as ``contract-golden``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+
+#: The paper's total feature count (Table III).
+EXPECTED_TOTAL = 212
+
+#: Where registry-side problems are anchored in lint output.
+REGISTRY_DISPLAY = "src/repro/core/features/extractor.py"
+
+#: Registry rows: (set name, ordered feature names, declared count).
+Groups = Sequence[tuple[str, tuple[str, ...], int]]
+
+
+def live_feature_groups() -> Groups:
+    """The registry of the importable ``repro.core.features`` package."""
+    from repro.core.features.extractor import feature_groups
+
+    return feature_groups()
+
+
+def load_golden_contract(path: Path) -> dict[str, object] | None:
+    """The golden payload, or None when unreadable/absent."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _duplicates(names: Sequence[str]) -> list[str]:
+    seen: set[str] = set()
+    dupes: set[str] = set()
+    for name in names:
+        if name in seen:
+            dupes.add(name)
+        seen.add(name)
+    return sorted(dupes)
+
+
+class _ContractRule(ProjectRule):
+    """Shared loading/anchoring for the PHL3xx family."""
+
+    def _finding(self, path: str, message: str) -> Finding:
+        return Finding(
+            path=path,
+            line=1,
+            col=1,
+            code=self.code,
+            message=message,
+            rule_name=self.name,
+        )
+
+    def _inputs(
+        self, config: LintConfig
+    ) -> tuple[Groups, dict[str, object] | None, str]:
+        golden_path = config.golden_path()
+        payload = (
+            None if golden_path is None else load_golden_contract(golden_path)
+        )
+        display = (
+            config.contract_golden or "tests/data/golden_features.json"
+        )
+        return live_feature_groups(), payload, display
+
+
+@register
+class FeaturePartitionRule(_ContractRule):
+    """PHL301: 212-feature total / f1..f5 partition drift."""
+
+    code = "PHL301"
+    name = "feature-partition-drift"
+    summary = "registry total/partition drifts from the 212-feature contract"
+    rationale = (
+        "Table III fixes 212 features split f1..f5 "
+        "(106/66/22/13/5). A module whose declared N_FEATURES disagrees "
+        "with its name list, a total that is not 212, or per-set counts "
+        "that differ from the golden contract mean every trained model "
+        "and the golden matrix are silently invalid."
+    )
+
+    def check_project(self, config: LintConfig) -> Iterator[Finding]:
+        """Check the live registry against the configured golden file."""
+        groups, payload, display = self._inputs(config)
+        yield from self.check(groups, payload, display)
+
+    def check(
+        self, groups: Groups, payload: dict[str, object] | None, display: str
+    ) -> Iterator[Finding]:
+        """Pure contract check over explicit registry/golden inputs."""
+        total = 0
+        for set_name, names, declared in groups:
+            total += len(names)
+            if len(names) != declared:
+                yield self._finding(
+                    REGISTRY_DISPLAY,
+                    f"feature set {set_name} declares N_FEATURES={declared} "
+                    f"but names {len(names)} features",
+                )
+        if total != EXPECTED_TOTAL:
+            yield self._finding(
+                REGISTRY_DISPLAY,
+                f"registry has {total} features, the paper's contract "
+                f"requires exactly {EXPECTED_TOTAL}",
+            )
+        if payload is None:
+            yield self._finding(
+                display,
+                "feature-contract golden file is missing or unreadable; "
+                "regenerate with tests/core/test_golden_features.py "
+                "--regenerate",
+            )
+            return
+        golden_total = payload.get("n_features")
+        if golden_total != EXPECTED_TOTAL:
+            yield self._finding(
+                display,
+                f"golden contract records n_features={golden_total!r}, "
+                f"expected {EXPECTED_TOTAL}",
+            )
+        golden_counts = payload.get("group_counts")
+        if not isinstance(golden_counts, dict):
+            yield self._finding(
+                display,
+                "golden contract lacks a group_counts table; regenerate "
+                "with tests/core/test_golden_features.py --regenerate",
+            )
+            return
+        live_counts = {name: len(names) for name, names, _ in groups}
+        if {k: int(v) for k, v in golden_counts.items()} != live_counts:
+            yield self._finding(
+                display,
+                f"f1..f5 partition drift: registry {live_counts} vs "
+                f"golden {golden_counts}",
+            )
+
+
+@register
+class FeatureNameUniquenessRule(_ContractRule):
+    """PHL302: duplicate feature names."""
+
+    code = "PHL302"
+    name = "duplicate-feature-name"
+    summary = "feature names are not unique across the registry"
+    rationale = (
+        "Feature importance reports, masks and serialized models address "
+        "features by name; a duplicate name makes two columns "
+        "indistinguishable and silently mis-attributes importances."
+    )
+
+    def check_project(self, config: LintConfig) -> Iterator[Finding]:
+        """Check the live registry against the configured golden file."""
+        groups, payload, display = self._inputs(config)
+        yield from self.check(groups, payload, display)
+
+    def check(
+        self, groups: Groups, payload: dict[str, object] | None, display: str
+    ) -> Iterator[Finding]:
+        """Pure uniqueness check over explicit registry/golden inputs."""
+        live_names = [name for _, names, _ in groups for name in names]
+        for dupe in _duplicates(live_names):
+            yield self._finding(
+                REGISTRY_DISPLAY,
+                f"feature name {dupe!r} appears more than once in the "
+                "registry",
+            )
+        golden_names = (payload or {}).get("feature_names")
+        if isinstance(golden_names, list):
+            for dupe in _duplicates([str(n) for n in golden_names]):
+                yield self._finding(
+                    display,
+                    f"feature name {dupe!r} appears more than once in the "
+                    "golden contract",
+                )
+
+
+@register
+class FeatureOrderRule(_ContractRule):
+    """PHL303: feature name/order drift vs the golden contract."""
+
+    code = "PHL303"
+    name = "feature-order-drift"
+    summary = "registry feature names/order drift from the golden contract"
+    rationale = (
+        "Models are trained against column positions; reordering or "
+        "renaming features keeps shapes valid while scrambling meaning. "
+        "The concatenated f1..f5 name sequence must match the golden "
+        "contract exactly, index by index."
+    )
+
+    def check_project(self, config: LintConfig) -> Iterator[Finding]:
+        """Check the live registry against the configured golden file."""
+        groups, payload, display = self._inputs(config)
+        yield from self.check(groups, payload, display)
+
+    def check(
+        self, groups: Groups, payload: dict[str, object] | None, display: str
+    ) -> Iterator[Finding]:
+        """Pure ordering check over explicit registry/golden inputs."""
+        if payload is None:
+            return  # PHL301 already reports the missing file
+        golden_names = payload.get("feature_names")
+        if not isinstance(golden_names, list):
+            yield self._finding(
+                display,
+                "golden contract lacks a feature_names list; regenerate "
+                "with tests/core/test_golden_features.py --regenerate",
+            )
+            return
+        live_names = [name for _, names, _ in groups for name in names]
+        golden = [str(name) for name in golden_names]
+        if live_names == golden:
+            return
+        for index, (have, want) in enumerate(zip(live_names, golden)):
+            if have != want:
+                yield self._finding(
+                    display,
+                    f"feature order drift at index {index}: registry has "
+                    f"{have!r}, golden contract has {want!r}",
+                )
+                return
+        yield self._finding(
+            display,
+            f"feature name count drift: registry has {len(live_names)} "
+            f"names, golden contract has {len(golden)}",
+        )

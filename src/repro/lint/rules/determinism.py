@@ -1,0 +1,292 @@
+"""PHL1xx — determinism rules.
+
+The project's reproducibility guarantees (bit-identical feature
+matrices across serial/thread/process backends, cached vs. uncached
+runs, and re-runs on other machines) only hold if no code path consults
+ambient nondeterminism: unseeded RNGs, the wall clock, unordered
+container iteration, per-process string hashing, or filesystem listing
+order.  Each rule here flags one of those sources statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: RNG constructors that are deterministic only when explicitly seeded.
+_SEEDABLE_CONSTRUCTORS = frozenset(
+    {"random.Random", "numpy.random.default_rng"}
+)
+
+#: Calls that always consume hidden global RNG state (unseedable at the
+#: call site), plus constructors that are nondeterministic by design.
+_GLOBAL_STATE_RANDOM = frozenset(
+    {
+        "random.SystemRandom",
+        "random.betavariate",
+        "random.choice",
+        "random.choices",
+        "random.expovariate",
+        "random.gauss",
+        "random.getrandbits",
+        "random.randbytes",
+        "random.randint",
+        "random.random",
+        "random.randrange",
+        "random.sample",
+        "random.seed",
+        "random.shuffle",
+        "random.triangular",
+        "random.uniform",
+        "numpy.random.choice",
+        "numpy.random.normal",
+        "numpy.random.permutation",
+        "numpy.random.rand",
+        "numpy.random.randint",
+        "numpy.random.randn",
+        "numpy.random.random",
+        "numpy.random.seed",
+        "numpy.random.shuffle",
+        "numpy.random.uniform",
+    }
+)
+
+#: Wall-clock reads that make behaviour depend on when code runs.
+#: Monotonic duration timers (``time.monotonic``/``time.perf_counter``)
+#: are deliberately absent: measuring elapsed time for a report is fine,
+#: branching on the date is not.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Directory-listing calls whose order is filesystem-dependent.
+_LISTING_FUNCTIONS = frozenset({"os.listdir", "os.scandir"})
+_LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+#: Wrappers that make listing order irrelevant (sorting, counting, or
+#: collapsing into an unordered set).
+_ORDER_NEUTRALIZERS = frozenset({"sorted", "len", "set", "frozenset"})
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """True when a seedable constructor is called without a seed."""
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for keyword in call.keywords:
+        if keyword.arg in ("seed", "x", None):
+            if keyword.arg is None:
+                return False  # **kwargs — assume the seed is in there
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is None
+    return True
+
+
+@register
+class UnseededRandomRule(Rule):
+    """PHL101: unseeded RNG construction / global random state."""
+
+    code = "PHL101"
+    name = "unseeded-rng"
+    summary = "RNG constructed without a seed, or global random state used"
+    rationale = (
+        "Unseeded `random.Random()` / `np.random.default_rng()` and the "
+        "module-level `random.*` / legacy `np.random.*` functions draw "
+        "from OS entropy or hidden global state, so two runs of the same "
+        "pipeline diverge. Every RNG in this project must be constructed "
+        "from an explicit seed that the caller controls."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Findings for one module's AST."""
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.imports.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved in _SEEDABLE_CONSTRUCTORS and _is_unseeded(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{resolved}()` without an explicit seed; pass a "
+                    "caller-controlled seed so runs are reproducible",
+                )
+            elif resolved in _GLOBAL_STATE_RANDOM:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{resolved}()` uses hidden global RNG state; "
+                    "construct a seeded Random/Generator instead",
+                )
+
+
+@register
+class WallClockRule(Rule):
+    """PHL102: wall-clock reads outside the clock module."""
+
+    code = "PHL102"
+    name = "direct-wall-clock"
+    summary = "wall-clock read outside the injectable clock module"
+    rationale = (
+        "Retries, deadlines and breaker cooldowns take an injectable "
+        "`repro.resilience.clock.Clock`; reading `time.time()` or "
+        "`datetime.now()` directly reintroduces wall-clock coupling, "
+        "making tests slow/flaky and behaviour time-of-day dependent. "
+        "Only the clock module itself may touch the real timers."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Findings for one module's AST."""
+        if ctx.config.is_clock_exempt(ctx.path):
+            return
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.imports.resolve(node.func)
+            if resolved in _WALL_CLOCK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct wall-clock call `{resolved}()`; inject a "
+                    "`repro.resilience.clock.Clock` instead",
+                )
+
+
+def _is_set_expression(node: ast.expr, ctx: ModuleContext) -> bool:
+    """True for set literals/comprehensions/constructors and unions."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        resolved = ctx.imports.resolve(node.func)
+        return resolved in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expression(node.left, ctx) or _is_set_expression(
+            node.right, ctx
+        )
+    return False
+
+
+@register
+class SetIterationRule(Rule):
+    """PHL103: iteration directly over set expressions."""
+
+    code = "PHL103"
+    name = "unordered-set-iteration"
+    summary = "iteration directly over a set expression"
+    rationale = (
+        "Set iteration order varies with insertion history and string "
+        "hashing, so any ordered output fed from it (feature vectors, "
+        "report rows, serialized caches) silently changes between "
+        "processes. Wrap the set in `sorted(...)` at the iteration site."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Findings for one module's AST."""
+        for node in ctx.walk():
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for iterable in iters:
+                if _is_set_expression(iterable, ctx):
+                    yield self.finding(
+                        ctx,
+                        iterable,
+                        "iterating directly over a set expression has "
+                        "nondeterministic order; wrap it in `sorted(...)`",
+                    )
+
+
+@register
+class DirectoryListingRule(Rule):
+    """PHL104: unsorted directory listings."""
+
+    code = "PHL104"
+    name = "unsorted-dir-listing"
+    summary = "directory listing consumed without sorted(...)"
+    rationale = (
+        "`os.listdir`, `os.scandir` and `Path.iterdir/glob/rglob` return "
+        "entries in filesystem order, which differs across machines and "
+        "runs. Any listing that feeds ordered processing must pass "
+        "through `sorted(...)` first."
+    )
+
+    def _neutralized(self, node: ast.Call, ctx: ModuleContext) -> bool:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.Call):
+                resolved = ctx.imports.resolve(ancestor.func)
+                if resolved in _ORDER_NEUTRALIZERS:
+                    return True
+            elif isinstance(ancestor, ast.stmt):
+                break
+        return False
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Findings for one module's AST."""
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.imports.resolve(node.func)
+            listing = resolved in _LISTING_FUNCTIONS or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _LISTING_METHODS
+                and resolved not in _LISTING_FUNCTIONS
+            )
+            if listing and not self._neutralized(node, ctx):
+                label = resolved or node.func.attr  # type: ignore[union-attr]
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"directory listing `{label}(...)` has filesystem-"
+                    "dependent order; wrap it in `sorted(...)`",
+                )
+
+
+@register
+class BuiltinHashRule(Rule):
+    """PHL105: per-process-salted builtin hash()."""
+
+    code = "PHL105"
+    name = "salted-builtin-hash"
+    summary = "builtin hash() used where a stable digest is needed"
+    rationale = (
+        "`hash()` on str/bytes is salted per process (PYTHONHASHSEED), "
+        "so values differ between runs and workers — poison for cache "
+        "keys, fingerprints or anything persisted. Use hashlib digests "
+        "or zlib.crc32 as in `repro.parallel.cache.snapshot_fingerprint`."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Findings for one module's AST."""
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Name)
+                and ctx.imports.resolve(node.func) == "hash"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "builtin `hash()` is salted per process; use a "
+                    "hashlib digest (or zlib.crc32) for stable keys",
+                )

@@ -1,0 +1,127 @@
+"""PHL4xx — hygiene rules.
+
+Classic Python footguns that have bitten reproducibility projects
+before: mutable default arguments (state leaks between calls, so two
+"identical" invocations diverge), bare ``except:`` (swallows
+``KeyboardInterrupt``/``SystemExit`` and masks the resilience layer's
+typed error taxonomy), and ``print`` in library code (results must flow
+through return values and reports, not interleave nondeterministically
+on stdout under the thread pool).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: Constructor calls that produce fresh mutable containers.
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "collections.OrderedDict",
+     "collections.defaultdict", "collections.deque", "collections.Counter"}
+)
+
+
+@register
+class MutableDefaultRule(Rule):
+    """PHL401: mutable default arguments."""
+
+    code = "PHL401"
+    name = "mutable-default-argument"
+    summary = "function parameter defaults to a mutable container"
+    rationale = (
+        "Default values are evaluated once at definition time, so a "
+        "mutable default is shared by every call: state leaks between "
+        "invocations and identical inputs stop producing identical "
+        "outputs. Default to None and construct inside the function."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Findings for one module's AST."""
+        for node in ctx.walk():
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default, ctx):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in `{node.name}(...)`; "
+                        "default to None and build the container inside",
+                    )
+
+    def _is_mutable(self, node: ast.expr, ctx: ModuleContext) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            resolved = ctx.imports.resolve(node.func)
+            return resolved in _MUTABLE_FACTORIES
+        return False
+
+
+@register
+class BareExceptRule(Rule):
+    """PHL402: bare except clauses."""
+
+    code = "PHL402"
+    name = "bare-except"
+    summary = "bare except clause catches everything"
+    rationale = (
+        "`except:` also catches KeyboardInterrupt/SystemExit and hides "
+        "real failures behind generic fallbacks, defeating the typed "
+        "error taxonomy in repro.resilience.errors. Catch the narrowest "
+        "exception the handler can actually recover from (or at minimum "
+        "`except Exception`)."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Findings for one module's AST."""
+        for node in ctx.walk():
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:`; catch a specific exception type "
+                    "(at minimum `except Exception`)",
+                )
+
+
+@register
+class PrintInLibraryRule(Rule):
+    """PHL403: print() in library code."""
+
+    code = "PHL403"
+    name = "print-in-library"
+    summary = "print() in library code (CLI/test/benchmark paths exempt)"
+    rationale = (
+        "Library results must flow through return values and report "
+        "objects; prints from worker threads interleave "
+        "nondeterministically and cannot be captured by callers. "
+        "Front-end paths (`cli.py`, `__main__.py`, tests, benchmarks) "
+        "are exempt via per-rule config."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Findings for one module's AST."""
+        if ctx.config.is_rule_exempt(self.code, ctx.path):
+            return
+        for node in ctx.walk():
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and ctx.imports.resolve(node.func) == "print"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "print() in library code; return data or use the "
+                    "reporting layer instead",
+                )

@@ -35,6 +35,7 @@ counters in ``fit_stats_``
 from __future__ import annotations
 
 import time
+from typing import Iterator
 
 import numpy as np
 
@@ -98,7 +99,7 @@ class GradientBoostingClassifier:
         random_state: int | None = None,
         tree_method: str = "presort",
         max_bins: int = 64,
-    ):
+    ) -> None:
         if not 0 < subsample <= 1:
             raise ValueError(f"subsample must be in (0, 1], got {subsample}")
         if n_estimators < 1:
@@ -283,7 +284,7 @@ class GradientBoostingClassifier:
         """
         return (self.predict_proba(X) >= threshold).astype(np.int64)
 
-    def staged_predict_proba(self, X: np.ndarray):
+    def staged_predict_proba(self, X: np.ndarray) -> Iterator[np.ndarray]:
         """Yield the positive-class probability after each boosting stage."""
         X = self._check_fitted(X)
         raw = np.full(len(X), self._initial_raw)

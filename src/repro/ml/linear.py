@@ -40,7 +40,7 @@ class LogisticRegression:
         epochs: int = 30,
         batch_size: int = 64,
         random_state: int | None = 0,
-    ):
+    ) -> None:
         if learning_rate <= 0:
             raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
         if epochs < 1:

@@ -83,7 +83,7 @@ def restrict_presort(
     rows: np.ndarray,
     n_samples: int,
     sorted_vals: np.ndarray | None = None,
-):
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
     """Presort of the submatrix ``X[rows]`` derived without re-sorting.
 
     ``rows`` must be ascending and unique.  Filtering each globally
@@ -141,7 +141,7 @@ class RegressionTree:
         min_samples_leaf: int = 1,
         max_features: int | None = None,
         rng: np.random.Generator | int | None = None,
-    ):
+    ) -> None:
         if max_depth < 1:
             raise ValueError(f"max_depth must be >= 1, got {max_depth}")
         self.max_depth = max_depth
@@ -264,7 +264,9 @@ class RegressionTree:
     # ------------------------------------------------------------------
     # exact path (the seed reference)
     # ------------------------------------------------------------------
-    def _build_exact(self, X, y, indices, depth) -> int:
+    def _build_exact(
+        self, X: np.ndarray, y: np.ndarray, indices: np.ndarray, depth: int
+    ) -> int:
         node_id = self._open_node(y, indices)
         if not self._splittable(indices, depth):
             self._leaf_samples[node_id] = indices
@@ -280,7 +282,9 @@ class RegressionTree:
         self._rights[node_id] = self._build_exact(X, y, right_idx, depth + 1)
         return node_id
 
-    def _best_split(self, X, y, indices):
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, indices: np.ndarray
+    ) -> tuple[int, float, np.ndarray, np.ndarray] | None:
         """Best (feature, threshold) by variance reduction, or None."""
         y_node = y[indices]
         n = len(indices)
@@ -337,7 +341,14 @@ class RegressionTree:
     # presorted path (bit-identical, no per-node sorting)
     # ------------------------------------------------------------------
     def _build_presorted(
-        self, X, y, node_sorted, node_vals, node_y, indices, depth
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        node_sorted: np.ndarray,
+        node_vals: np.ndarray,
+        node_y: np.ndarray,
+        indices: np.ndarray,
+        depth: int,
     ) -> int:
         node_id = self._open_node(y, indices)
         if not self._splittable(indices, depth):
@@ -404,7 +415,14 @@ class RegressionTree:
         self._rights[node_id] = right_child
         return node_id
 
-    def _best_split_presorted(self, X, y, node_vals, node_y, indices):
+    def _best_split_presorted(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        node_vals: np.ndarray,
+        node_y: np.ndarray,
+        indices: np.ndarray,
+    ) -> tuple[int, float, np.ndarray, np.ndarray] | None:
         """Presorted split search, vectorised across candidate features.
 
         Scores every candidate feature's every boundary in one set of
@@ -468,7 +486,14 @@ class RegressionTree:
     # ------------------------------------------------------------------
     # histogram path (approximate, opt-in)
     # ------------------------------------------------------------------
-    def _build_histogram(self, X, y, binned, indices, depth) -> int:
+    def _build_histogram(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        binned: BinnedMatrix,
+        indices: np.ndarray,
+        depth: int,
+    ) -> int:
         node_id = self._open_node(y, indices)
         if not self._splittable(indices, depth):
             self._leaf_samples[node_id] = indices
@@ -491,7 +516,9 @@ class RegressionTree:
         )
         return node_id
 
-    def _best_split_histogram(self, y, binned, indices):
+    def _best_split_histogram(
+        self, y: np.ndarray, binned: BinnedMatrix, indices: np.ndarray
+    ) -> tuple[int, float, np.ndarray, np.ndarray] | None:
         """Histogram split search: bincount + prefix scan per feature.
 
         Candidate thresholds are the bin edges only, which is what makes
@@ -570,7 +597,7 @@ class RegressionTree:
         """Predict the leaf value for each row of ``X``."""
         return self.value[self.apply(X)]
 
-    def predict_row(self, row) -> float:
+    def predict_row(self, row: np.ndarray) -> float:
         """Leaf value for a single row — the scalar hot path.
 
         Per-page scoring (``predict_proba`` on one snapshot) would pay

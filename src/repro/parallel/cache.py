@@ -56,7 +56,7 @@ class LruCache:
         Maximum stored keys; least-recently-used entries are evicted.
     """
 
-    def __init__(self, max_entries: int = 4096):
+    def __init__(self, max_entries: int = 4096) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
@@ -68,7 +68,7 @@ class LruCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key):
+    def get(self, key: object) -> object | None:
         """Return the cached value or ``None``, updating counters."""
         with self._lock:
             try:
@@ -80,7 +80,7 @@ class LruCache:
             self.hits += 1
             return value
 
-    def put(self, key, value) -> None:
+    def put(self, key: object, value: object) -> None:
         """Store a value, evicting the oldest entry when full."""
         with self._lock:
             if key in self._entries:
@@ -136,7 +136,7 @@ class AnalysisCache:
         ``16 * max_entries``.
     """
 
-    def __init__(self, max_entries: int = 4096):
+    def __init__(self, max_entries: int = 4096) -> None:
         self.features = LruCache(max_entries)
         self.pair_matrices = LruCache(max_entries)
         self.distributions = LruCache(16 * max_entries)

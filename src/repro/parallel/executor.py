@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable
 
 #: Backends accepted by :class:`WorkerPool`.
 BACKENDS = ("serial", "thread", "process")
@@ -57,7 +58,9 @@ class WorkerPool:
     threads/processes are started lazily on the first :meth:`map`.
     """
 
-    def __init__(self, workers: int | None = None, backend: str = "thread"):
+    def __init__(
+        self, workers: int | None = None, backend: str = "thread"
+    ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
@@ -77,7 +80,7 @@ class WorkerPool:
                 self._executor = ProcessPoolExecutor(max_workers=self.workers)
         return self._executor
 
-    def map(self, fn, items) -> list:
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
         """Apply ``fn`` to every item, returning results in input order.
 
         Equivalent to ``[fn(item) for item in items]`` for pure ``fn``;
@@ -106,7 +109,7 @@ class WorkerPool:
     def __enter__(self) -> "WorkerPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -18,6 +18,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.features import FeatureExtractor
+from repro.core.features.extractor import feature_groups
 from repro.parallel import AnalysisCache, WorkerPool
 from repro.web.page import PageSnapshot, Screenshot
 
@@ -107,6 +108,7 @@ def _extract_matrix() -> np.ndarray:
 
 def _regenerate() -> None:
     matrix = _extract_matrix()
+    groups = feature_groups()
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(
         json.dumps(
@@ -114,6 +116,15 @@ def _regenerate() -> None:
                 "format": "golden-features/1",
                 "n_snapshots": int(matrix.shape[0]),
                 "n_features": int(matrix.shape[1]),
+                # The feature *contract*: per-set counts and the exact
+                # concatenated name order, cross-checked statically by
+                # repro.lint's PHL3xx rules on every lint run.
+                "group_counts": {
+                    name: len(names) for name, names, _ in groups
+                },
+                "feature_names": [
+                    name for _, names, _ in groups for name in names
+                ],
                 "features": [
                     [repr(value) for value in row] for row in matrix.tolist()
                 ],
@@ -152,6 +163,21 @@ class TestGoldenFeatures:
         assert np.array_equal(cold, golden)
         assert np.array_equal(warm, golden)
         assert extractor.cache.features.hits >= len(snapshots)
+
+    def test_feature_name_contract_frozen(self):
+        # The golden file freezes the *layout* (names, order, per-set
+        # counts) alongside the values; repro.lint PHL3xx enforces the
+        # same contract statically.
+        payload = json.loads(GOLDEN_PATH.read_text())
+        groups = feature_groups()
+        live_names = [name for _, names, _ in groups for name in names]
+        assert payload["feature_names"] == live_names
+        assert payload["group_counts"] == {
+            name: len(names) for name, names, _ in groups
+        }
+        assert len(set(live_names)) == len(live_names) == 212
+        assert all(count == declared for _, names, declared in groups
+                   for count in [len(names)])
 
     def test_parallel_extraction_reproduces_golden_exactly(self):
         with WorkerPool(workers=3, backend="thread") as pool:

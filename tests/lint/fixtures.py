@@ -1,0 +1,220 @@
+"""Flagged/clean source fixtures for every AST-scope lint rule.
+
+``AST_FIXTURES`` maps each module-scope rule code to ``(flagged,
+clean)`` snippet pairs: every ``flagged`` snippet must produce at least
+one finding with exactly that code, and every ``clean`` snippet must
+produce none.  The project-scope PHL3xx rules are exercised separately
+in ``test_contract.py`` with tampered golden files, since their inputs
+are repository state rather than source text.
+
+The snippets live as strings (not importable modules) so the self-check
+run of ``repro.lint`` over the live ``tests/`` tree does not trip over
+its own test data.
+"""
+
+#: code -> (list of flagged snippets, list of clean snippets)
+AST_FIXTURES: dict[str, tuple[list[str], list[str]]] = {
+    "PHL101": (
+        [
+            "import random\nrng = random.Random()\n",
+            "import random\nrng = random.Random(None)\n",
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            "from numpy.random import default_rng\nrng = default_rng()\n",
+            "import random\nvalue = random.random()\n",
+            "from random import choice\npick = choice([1, 2, 3])\n",
+            "import numpy as np\nnp.random.seed(0)\n",
+            "import random\nrng = random.SystemRandom()\n",
+        ],
+        [
+            "import random\nrng = random.Random(42)\n",
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+            "from numpy.random import default_rng\nrng = default_rng(seed)\n",
+            "rng.random()\n",  # drawing from an existing generator
+            "import numpy as np\nrng = np.random.default_rng(config.seed)\n",
+        ],
+    ),
+    "PHL102": (
+        [
+            "import time\nstamp = time.time()\n",
+            "import time\nstamp = time.time_ns()\n",
+            "from time import time\nstamp = time()\n",
+            "import datetime\nnow = datetime.datetime.now()\n",
+            "from datetime import datetime\nnow = datetime.utcnow()\n",
+            "from datetime import date\ntoday = date.today()\n",
+        ],
+        [
+            "import time\nelapsed = time.perf_counter()\n",
+            "import time\nreading = time.monotonic()\n",
+            "now = clock.now()\n",  # the injectable Clock interface
+            "import time\ntime.sleep(0.1)\n",
+        ],
+    ),
+    "PHL103": (
+        [
+            "for item in {1, 2, 3}:\n    use(item)\n",
+            "for item in set(values):\n    use(item)\n",
+            "out = [x for x in {v for v in values}]\n",
+            "for item in set(a) | set(b):\n    use(item)\n",
+            "for item in frozenset(values):\n    use(item)\n",
+        ],
+        [
+            "for item in sorted({1, 2, 3}):\n    use(item)\n",
+            "for item in sorted(set(values)):\n    use(item)\n",
+            "present = value in {1, 2, 3}\n",  # membership, not iteration
+            "for item in [1, 2, 3]:\n    use(item)\n",
+        ],
+    ),
+    "PHL104": (
+        [
+            "import os\nnames = os.listdir(path)\n",
+            "import os\nfor entry in os.scandir(path):\n    use(entry)\n",
+            "for path in base.iterdir():\n    use(path)\n",
+            "found = {p.stem: p for p in base.glob('*.txt')}\n",
+            "for path in base.rglob('*.py'):\n    use(path)\n",
+        ],
+        [
+            "import os\nnames = sorted(os.listdir(path))\n",
+            "for path in sorted(base.glob('*.txt')):\n    use(path)\n",
+            "import os\ncount = len(os.listdir(path))\n",
+            "import os\npresent = set(os.listdir(path))\n",
+        ],
+    ),
+    "PHL105": (
+        [
+            "key = hash(url)\n",
+            "bucket = hash(name) % shards\n",
+        ],
+        [
+            "import hashlib\nkey = hashlib.sha256(url.encode()).hexdigest()\n",
+            "import zlib\nkey = zlib.crc32(url.encode())\n",
+            "digest = obj.hash()\n",  # a method, not the builtin
+        ],
+    ),
+    "PHL201": (
+        [
+            # Unguarded dict store in a lock-owning class.
+            (
+                "import threading\n"
+                "class Cache:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._entries = {}\n"
+                "    def put(self, key, value):\n"
+                "        self._entries[key] = value\n"
+            ),
+            # Unguarded counter bump and container method.
+            (
+                "import threading\n"
+                "class Pool:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.RLock()\n"
+                "        self.pending = []\n"
+                "        self.hits = 0\n"
+                "    def record(self, item):\n"
+                "        self.hits += 1\n"
+                "        self.pending.append(item)\n"
+            ),
+        ],
+        [
+            # Same mutations, correctly guarded.
+            (
+                "import threading\n"
+                "class Cache:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._entries = {}\n"
+                "    def put(self, key, value):\n"
+                "        with self._lock:\n"
+                "            self._entries[key] = value\n"
+            ),
+            # Pickling hooks run unshared and are exempt.
+            (
+                "import threading\n"
+                "class Cache:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "    def __getstate__(self):\n"
+                "        state = self.__dict__.copy()\n"
+                "        del state['_lock']\n"
+                "        return state\n"
+                "    def __setstate__(self, state):\n"
+                "        self.__dict__.update(state)\n"
+                "        self._lock = threading.Lock()\n"
+            ),
+            # No lock attribute: the class opted out of sharing.
+            (
+                "class Plain:\n"
+                "    def __init__(self):\n"
+                "        self._entries = {}\n"
+                "    def put(self, key, value):\n"
+                "        self._entries[key] = value\n"
+            ),
+        ],
+    ),
+    "PHL202": (
+        [
+            (
+                "import threading\n"
+                "class Registry:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._items = []\n"
+                "    def entries(self):\n"
+                "        with self._lock:\n"
+                "            for item in self._items:\n"
+                "                yield item\n"
+            ),
+        ],
+        [
+            # Snapshot under the lock, yield after releasing it.
+            (
+                "import threading\n"
+                "class Registry:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._items = []\n"
+                "    def entries(self):\n"
+                "        with self._lock:\n"
+                "            snapshot = list(self._items)\n"
+                "        for item in snapshot:\n"
+                "            yield item\n"
+            ),
+        ],
+    ),
+    "PHL401": (
+        [
+            "def collect(item, bucket=[]):\n    bucket.append(item)\n",
+            "def tally(counts={}):\n    return counts\n",
+            "def gather(*, seen=set()):\n    return seen\n",
+            "def build(rows=list()):\n    return rows\n",
+        ],
+        [
+            "def collect(item, bucket=None):\n    bucket = bucket or []\n",
+            "def tally(counts=()):\n    return dict(counts)\n",
+            "def label(name='default'):\n    return name\n",
+        ],
+    ),
+    "PHL402": (
+        [
+            "try:\n    risky()\nexcept:\n    pass\n",
+        ],
+        [
+            "try:\n    risky()\nexcept ValueError:\n    pass\n",
+            "try:\n    risky()\nexcept Exception:\n    pass\n",
+        ],
+    ),
+    "PHL403": (
+        [
+            "print('debug value', value)\n",
+            "def report(rows):\n    print(rows)\n",
+        ],
+        [
+            "import logging\nlogging.getLogger(__name__).info('value')\n",
+            "text = 'print this later'\n",
+        ],
+    ),
+}
+
+#: Path used when linting fixture snippets: inside ``src`` so no
+#: per-rule path exemption (e.g. PHL403's CLI allowlist) applies.
+FIXTURE_PATH = "src/repro/_lint_fixture.py"

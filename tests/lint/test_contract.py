@@ -1,0 +1,173 @@
+"""PHL3xx feature-contract rules: flagged and clean fixtures.
+
+The contract rules read repository state (the live extractor registry
+and the golden contract file), so their fixtures are tampered copies of
+``tests/data/golden_features.json`` in a temporary root — the clean
+fixture is the real golden file itself.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths
+from repro.lint.rules.contract import (
+    EXPECTED_TOTAL,
+    FeatureNameUniquenessRule,
+    FeatureOrderRule,
+    FeaturePartitionRule,
+    live_feature_groups,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN = REPO_ROOT / "tests" / "data" / "golden_features.json"
+
+
+def _config_with_golden(tmp_path: Path, payload: dict) -> LintConfig:
+    golden = tmp_path / "golden.json"
+    golden.write_text(json.dumps(payload))
+    return LintConfig(root=tmp_path, contract_golden="golden.json")
+
+
+def _golden_payload() -> dict:
+    return json.loads(GOLDEN.read_text())
+
+
+def _contract_codes(config: LintConfig) -> set[str]:
+    # Lint no files: only the project-scope rules run.
+    return {f.code for f in lint_paths([], config)}
+
+
+# ----------------------------------------------------------------------
+# Clean fixture: the real repository golden file and live registry.
+
+def test_clean_real_golden_contract():
+    config = LintConfig(
+        root=REPO_ROOT, contract_golden="tests/data/golden_features.json"
+    )
+    assert _contract_codes(config) == set()
+
+
+# ----------------------------------------------------------------------
+# PHL301 — partition drift.
+
+def test_phl301_flagged_on_total_drift(tmp_path):
+    payload = _golden_payload()
+    payload["n_features"] = EXPECTED_TOTAL - 12
+    config = _config_with_golden(tmp_path, payload)
+    assert "PHL301" in _contract_codes(config)
+
+
+def test_phl301_flagged_on_partition_drift(tmp_path):
+    payload = _golden_payload()
+    payload["group_counts"]["f1"] -= 1
+    payload["group_counts"]["f5"] += 1
+    config = _config_with_golden(tmp_path, payload)
+    assert "PHL301" in _contract_codes(config)
+
+
+def test_phl301_flagged_on_missing_golden(tmp_path):
+    config = LintConfig(root=tmp_path, contract_golden="absent.json")
+    assert "PHL301" in _contract_codes(config)
+
+
+def test_phl301_registry_drift_via_injected_groups():
+    """A registry that is not 212-total or self-consistent is flagged."""
+    rule = FeaturePartitionRule()
+    groups = [("f1", ("a", "b"), 2), ("f2", ("c",), 2)]
+    findings = list(rule.check(groups, _golden_payload(), "golden.json"))
+    codes = {f.code for f in findings}
+    assert codes == {"PHL301"}
+    messages = " | ".join(f.message for f in findings)
+    assert "N_FEATURES=2" in messages  # f2 declares 2 but names 1
+    assert f"requires exactly {EXPECTED_TOTAL}" in messages
+
+
+def test_phl301_clean_on_live_registry(tmp_path):
+    rule = FeaturePartitionRule()
+    findings = list(
+        rule.check(live_feature_groups(), _golden_payload(), "golden.json")
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# PHL302 — duplicate names.
+
+def test_phl302_flagged_on_duplicate_golden_name(tmp_path):
+    payload = _golden_payload()
+    payload["feature_names"][1] = payload["feature_names"][0]
+    config = _config_with_golden(tmp_path, payload)
+    assert "PHL302" in _contract_codes(config)
+
+
+def test_phl302_flagged_on_duplicate_registry_name():
+    rule = FeatureNameUniquenessRule()
+    groups = [("f1", ("dup", "dup"), 2)]
+    findings = list(rule.check(groups, None, "golden.json"))
+    assert [f.code for f in findings] == ["PHL302"]
+    assert "'dup'" in findings[0].message
+
+
+def test_phl302_clean_on_live_registry():
+    rule = FeatureNameUniquenessRule()
+    findings = list(
+        rule.check(live_feature_groups(), _golden_payload(), "golden.json")
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# PHL303 — name/order drift.
+
+def test_phl303_flagged_on_reordered_names(tmp_path):
+    payload = _golden_payload()
+    names = payload["feature_names"]
+    names[0], names[1] = names[1], names[0]
+    config = _config_with_golden(tmp_path, payload)
+    codes = _contract_codes(config)
+    assert "PHL303" in codes
+
+
+def test_phl303_reports_first_divergent_index():
+    rule = FeatureOrderRule()
+    payload = _golden_payload()
+    payload["feature_names"] = list(payload["feature_names"])
+    payload["feature_names"][5] = "renamed_feature"
+    findings = list(
+        rule.check(live_feature_groups(), payload, "golden.json")
+    )
+    assert [f.code for f in findings] == ["PHL303"]
+    assert "index 5" in findings[0].message
+
+
+def test_phl303_flagged_on_missing_names_key(tmp_path):
+    payload = _golden_payload()
+    del payload["feature_names"]
+    config = _config_with_golden(tmp_path, payload)
+    assert "PHL303" in _contract_codes(config)
+
+
+def test_phl303_clean_on_live_registry():
+    rule = FeatureOrderRule()
+    findings = list(
+        rule.check(live_feature_groups(), _golden_payload(), "golden.json")
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# The contract data itself.
+
+def test_live_registry_matches_paper_partition():
+    groups = live_feature_groups()
+    assert [(name, len(names)) for name, names, _ in groups] == [
+        ("f1", 106), ("f2", 66), ("f3", 22), ("f4", 13), ("f5", 5),
+    ]
+    assert sum(len(names) for _, names, _ in groups) == EXPECTED_TOTAL
+
+
+@pytest.mark.parametrize("key", ["feature_names", "group_counts"])
+def test_golden_file_carries_contract_fields(key):
+    assert key in _golden_payload()

@@ -1,0 +1,253 @@
+"""Engine mechanics: suppression, config, selection, baseline, imports."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths, lint_source, load_config
+from repro.lint.engine import iter_python_files, write_baseline
+from repro.lint.findings import Finding, parse_suppressions
+from repro.lint.imports import ImportMap
+
+import ast
+
+#: A module with one violation per determinism family member.
+DIRTY = (
+    "import random\n"
+    "import time\n"
+    "rng = random.Random()\n"
+    "stamp = time.time()\n"
+    "key = hash('x')\n"
+)
+
+FIXTURE_PATH = "src/repro/_engine_fixture.py"
+
+
+def _no_contract(root: Path, **kwargs) -> LintConfig:
+    """A config whose project-scope contract rules are disabled."""
+    kwargs.setdefault("select", ("PHL1", "PHL2", "PHL4"))
+    return LintConfig(root=root, contract_golden=None, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Inline suppression.
+
+def test_inline_suppression_single_code():
+    source = "import time\nstamp = time.time()  # phl: ignore[PHL102]\n"
+    assert lint_source(source, path=FIXTURE_PATH) == []
+
+
+def test_inline_suppression_is_code_specific():
+    source = "import time\nstamp = time.time()  # phl: ignore[PHL105]\n"
+    assert [f.code for f in lint_source(source, path=FIXTURE_PATH)] == [
+        "PHL102"
+    ]
+
+
+def test_inline_suppression_bare_form_silences_all():
+    source = (
+        "import time, random\n"
+        "x = (time.time(), random.random())  # phl: ignore\n"
+    )
+    assert lint_source(source, path=FIXTURE_PATH) == []
+
+
+def test_inline_suppression_multiple_codes():
+    source = (
+        "import time, random\n"
+        "x = (time.time(), random.random())"
+        "  # phl: ignore[PHL102,PHL101]\n"
+    )
+    assert lint_source(source, path=FIXTURE_PATH) == []
+
+
+def test_parse_suppressions_shapes():
+    mapping = parse_suppressions(
+        "a = 1\n"
+        "b = 2  # phl: ignore\n"
+        "c = 3  # phl: ignore[PHL101, PHL105]\n"
+    )
+    assert mapping == {2: None, 3: frozenset({"PHL101", "PHL105"})}
+
+
+# ----------------------------------------------------------------------
+# Selection and exclusion.
+
+def test_select_prefix_limits_rules():
+    config = LintConfig(select=("PHL105",), contract_golden=None)
+    findings = lint_source(DIRTY, path=FIXTURE_PATH, config=config)
+    assert [f.code for f in findings] == ["PHL105"]
+
+
+def test_ignore_prefix_disables_family():
+    config = LintConfig(ignore=("PHL10",), contract_golden=None)
+    findings = lint_source(DIRTY, path=FIXTURE_PATH, config=config)
+    assert findings == []
+
+
+def test_exclude_glob_skips_file(tmp_path):
+    (tmp_path / "generated.py").write_text("import time\nt = time.time()\n")
+    config = _no_contract(tmp_path, exclude=("generated.py",))
+    assert lint_paths([tmp_path], config) == []
+
+
+def test_clock_exempt_path_allows_wall_clock(tmp_path):
+    # The default exemption glob is `*/resilience/clock.py`, which
+    # requires at least one leading path component.
+    clock_dir = tmp_path / "pkg" / "resilience"
+    clock_dir.mkdir(parents=True)
+    (clock_dir / "clock.py").write_text("import time\nt = time.time()\n")
+    config = _no_contract(tmp_path)
+    assert lint_paths([tmp_path], config) == []
+
+
+def test_per_rule_exempt_path(tmp_path):
+    # The default exemption glob is `*/cli.py` (any nested cli.py).
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "cli.py").write_text("print('usage: ...')\n")
+    (pkg / "core.py").write_text("print('leak')\n")
+    config = _no_contract(tmp_path)
+    findings = lint_paths([tmp_path], config)
+    assert [(f.path, f.code) for f in findings] == [
+        ("pkg/core.py", "PHL403")
+    ]
+
+
+# ----------------------------------------------------------------------
+# Discovery and ordering.
+
+def test_iter_python_files_sorted_and_filtered(tmp_path):
+    (tmp_path / "b.py").write_text("x = 1\n")
+    (tmp_path / "a.py").write_text("x = 1\n")
+    sub = tmp_path / "sub"
+    sub.mkdir()
+    (sub / "c.py").write_text("x = 1\n")
+    (tmp_path / "notes.txt").write_text("not python\n")
+    config = LintConfig(root=tmp_path)
+    files = iter_python_files([tmp_path], config)
+    assert [f.name for f in files] == ["a.py", "b.py", "c.py"]
+
+
+def test_findings_sorted_by_location(tmp_path):
+    (tmp_path / "zz.py").write_text("import time\nt = time.time()\n")
+    (tmp_path / "aa.py").write_text(
+        "import time\nt = time.time()\nu = time.time()\n"
+    )
+    config = _no_contract(tmp_path)
+    findings = lint_paths([tmp_path], config)
+    assert [(f.path, f.line) for f in findings] == [
+        ("aa.py", 2), ("aa.py", 3), ("zz.py", 2),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Baseline.
+
+def test_baseline_roundtrip(tmp_path):
+    (tmp_path / "legacy.py").write_text("import time\nt = time.time()\n")
+    config = _no_contract(tmp_path)
+    findings = lint_paths([tmp_path], config)
+    assert [f.code for f in findings] == ["PHL102"]
+    write_baseline(findings, tmp_path / "baseline.json")
+    baselined = _no_contract(tmp_path, baseline="baseline.json")
+    assert lint_paths([tmp_path], baselined) == []
+    # New findings in the same file still surface.
+    (tmp_path / "legacy.py").write_text(
+        "import time\nt = time.time()\nkey = hash('x')\n"
+    )
+    assert [f.code for f in lint_paths([tmp_path], baselined)] == ["PHL105"]
+
+
+def test_baseline_file_is_stable_json(tmp_path):
+    finding = Finding(
+        path="a.py", line=3, col=1, code="PHL105", message="msg"
+    )
+    write_baseline([finding], tmp_path / "baseline.json")
+    payload = json.loads((tmp_path / "baseline.json").read_text())
+    assert payload["format"] == "phl-baseline/1"
+    assert payload["findings"] == [
+        {"path": "a.py", "code": "PHL105", "message": "msg"}
+    ]
+
+
+# ----------------------------------------------------------------------
+# pyproject configuration.
+
+def test_load_config_reads_pyproject(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro-lint]\n"
+        'paths = ["lib"]\n'
+        'select = ["PHL1"]\n'
+        'ignore = ["PHL103"]\n'
+        'exclude = ["lib/generated/*"]\n'
+        'clock-exempt = ["lib/clock.py"]\n'
+        'contract-golden = "contract.json"\n'
+        'baseline = "accepted.json"\n'
+        "[tool.repro-lint.per-rule-exempt]\n"
+        'PHL105 = ["lib/fingerprint.py"]\n'
+    )
+    config = load_config(root=tmp_path)
+    assert config.paths == ("lib",)
+    assert config.select == ("PHL1",)
+    assert config.ignore == ("PHL103",)
+    assert config.exclude == ("lib/generated/*",)
+    assert config.clock_exempt == ("lib/clock.py",)
+    assert config.contract_golden == "contract.json"
+    assert config.baseline == "accepted.json"
+    assert config.per_rule_exempt["PHL105"] == ("lib/fingerprint.py",)
+    # Defaults that were not overridden survive the merge.
+    assert "PHL403" in config.per_rule_exempt
+
+
+def test_load_config_defaults_without_pyproject(tmp_path):
+    config = load_config(root=tmp_path, pyproject=tmp_path / "missing.toml")
+    assert config.select == ("PHL",)
+    assert config.paths == ("src", "tests")
+
+
+def test_load_config_rejects_bad_types(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro-lint]\nselect = 'PHL1'\n"
+    )
+    with pytest.raises(ValueError):
+        load_config(root=tmp_path)
+
+
+def test_repo_pyproject_parses():
+    repo_root = Path(__file__).resolve().parents[2]
+    config = load_config(root=repo_root)
+    assert config.paths == ("src", "tests")
+    assert config.contract_golden == "tests/data/golden_features.json"
+
+
+# ----------------------------------------------------------------------
+# Alias-aware import resolution.
+
+@pytest.mark.parametrize(
+    "source,expr_source,expected",
+    [
+        ("import numpy as np", "np.random.default_rng",
+         "numpy.random.default_rng"),
+        ("from numpy.random import default_rng as rng_factory",
+         "rng_factory", "numpy.random.default_rng"),
+        ("from time import time", "time", "time.time"),
+        ("import time", "time.time", "time.time"),
+        ("from datetime import datetime", "datetime.now",
+         "datetime.datetime.now"),
+        ("", "hash", "hash"),
+        ("from . import helpers", "helpers.fn", "..helpers.fn"),
+    ],
+)
+def test_import_map_resolution(source, expr_source, expected):
+    tree = ast.parse(source)
+    imports = ImportMap(tree)
+    expr = ast.parse(expr_source, mode="eval").body
+    assert imports.resolve(expr) == expected
+
+
+def test_import_map_rejects_non_dotted_expressions():
+    imports = ImportMap(ast.parse(""))
+    expr = ast.parse("f().attr", mode="eval").body
+    assert imports.resolve(expr) is None

@@ -1,0 +1,83 @@
+"""Fixture-driven rule tests: one flagged + one clean case per code.
+
+Every module-scope rule is exercised through the public
+:func:`repro.lint.lint_source` entry point, so these tests cover the
+AST matching *and* the dispatch/suppression machinery around it.
+"""
+
+import pytest
+
+from repro.lint import RULES, lint_source
+from repro.lint.registry import ProjectRule
+
+from tests.lint.fixtures import AST_FIXTURES, FIXTURE_PATH
+
+
+def _codes(source: str) -> set[str]:
+    return {f.code for f in lint_source(source, path=FIXTURE_PATH)}
+
+
+@pytest.mark.parametrize(
+    "code,snippet",
+    [
+        (code, snippet)
+        for code, (flagged, _clean) in sorted(AST_FIXTURES.items())
+        for snippet in flagged
+    ],
+)
+def test_flagged_fixture_is_flagged(code, snippet):
+    assert code in _codes(snippet), f"{code} missed:\n{snippet}"
+
+
+@pytest.mark.parametrize(
+    "code,snippet",
+    [
+        (code, snippet)
+        for code, (_flagged, clean) in sorted(AST_FIXTURES.items())
+        for snippet in clean
+    ],
+)
+def test_clean_fixture_is_clean(code, snippet):
+    assert code not in _codes(snippet), f"{code} false positive:\n{snippet}"
+
+
+def test_every_ast_rule_has_fixture_pair():
+    """Each module-scope rule code has >=1 flagged and >=1 clean case."""
+    ast_rules = {
+        code
+        for code, rule in RULES.items()
+        if not isinstance(rule, ProjectRule)
+    }
+    assert ast_rules == set(AST_FIXTURES)
+    for code, (flagged, clean) in AST_FIXTURES.items():
+        assert flagged, f"{code} has no flagged fixture"
+        assert clean, f"{code} has no clean fixture"
+
+
+def test_findings_carry_location_and_rule_name():
+    findings = lint_source(
+        "import time\nstamp = time.time()\n", path=FIXTURE_PATH
+    )
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.code == "PHL102"
+    assert finding.line == 2
+    assert finding.col >= 1
+    assert finding.rule_name == "direct-wall-clock"
+    assert FIXTURE_PATH in finding.render()
+
+
+def test_rule_metadata_complete():
+    """Every rule documents itself (used by --list-rules/--explain)."""
+    for code, rule in RULES.items():
+        assert rule.code == code
+        assert rule.name, code
+        assert rule.summary, code
+        assert rule.rationale, code
+        family = code[3]
+        assert family in "1234", code
+
+
+def test_syntax_error_reported_not_raised():
+    findings = lint_source("def broken(:\n", path=FIXTURE_PATH)
+    assert [f.code for f in findings] == ["PHL000"]

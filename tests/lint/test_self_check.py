@@ -1,0 +1,45 @@
+"""Self-check: the live repository tree is lint-clean.
+
+This is the acceptance criterion made executable: ``repro.lint`` over
+``src/`` and ``tests/`` with the repo's own pyproject configuration
+must report zero findings — including the PHL3xx feature-contract
+cross-check of the live registry against the golden file.  Any new
+nondeterminism, lock-discipline breach or contract drift lands here
+(and in the CI ``lint`` job) before it can reach the golden matrix.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths, load_config
+from repro.lint.engine import selected_rules
+from repro.lint.registry import ProjectRule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_live_tree_is_lint_clean():
+    config = load_config(root=REPO_ROOT)
+    findings = lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "tests"], config
+    )
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"repro.lint found violations:\n{rendered}"
+
+
+def test_repo_config_enables_every_family():
+    config = load_config(root=REPO_ROOT)
+    enabled = {rule.code for rule in selected_rules(config)}
+    assert {code[:4] for code in enabled} == {"PHL1", "PHL2", "PHL3", "PHL4"}
+
+
+def test_contract_rules_run_against_repo_golden():
+    """The self-check genuinely includes the project-scope rules."""
+    config = load_config(root=REPO_ROOT)
+    project = [
+        rule
+        for rule in selected_rules(config)
+        if isinstance(rule, ProjectRule)
+    ]
+    assert {rule.code for rule in project} == {"PHL301", "PHL302", "PHL303"}
+    golden = config.golden_path()
+    assert golden is not None and golden.is_file()
