@@ -56,7 +56,12 @@ def test_search_outage_degrades_gracefully(lab, save_result):
     assert result["flagged"] > 0
     # Every flagged page degraded to a detector-only verdict — none lost.
     assert result["degraded_detector_only"] == result["flagged"]
+    # The breaker's transition log records the open as an explicit
+    # event: it entered ``open`` exactly once and never recovered
+    # (the engine stays down for the whole run).
+    assert result["breaker_opened"] == 1
     assert result["breaker_trips"] >= 1
+    assert result["transitions"].get("closed->open") == 1
     # After the trip, queries fail fast instead of hitting the engine.
     assert result["rejected_fast"] > 0
     assert result["queries_attempted"] <= 3

@@ -46,3 +46,80 @@ def test_throughput_serial_vs_parallel(lab, save_result):
     # Caching alone already pays for itself on a repeat visit.
     serial_warm = rows[2]
     assert serial_warm["pages_per_sec"] > rows[0]["pages_per_sec"]
+
+
+def _observed_batch(lab, tracer, metrics, pool=None):
+    """One cold-cache batch over the robustness workload, instrumented."""
+    from repro.core.detector import PhishingDetector
+    from repro.core.features import FeatureExtractor
+    from repro.core.pipeline import KnowYourPhish
+    from repro.core.target import TargetIdentifier
+    from repro.parallel import AnalysisCache
+    from repro.web.browser import Browser
+
+    urls, _labels = lab._robustness_workload(PAGES_PER_CLASS)
+    base = lab.detector("fall")
+    detector = PhishingDetector(
+        FeatureExtractor(alexa=lab.world.alexa, cache=AnalysisCache()),
+        feature_set=base.feature_set,
+        threshold=base.threshold,
+    )
+    detector.model = base.model
+    identifier = TargetIdentifier(lab.world.search, ocr=lab.ocr)
+    pipeline = KnowYourPhish(
+        detector, identifier, tracer=tracer, metrics=metrics
+    )
+    return pipeline.analyze_many(urls, Browser(lab.world.web), pool=pool)
+
+
+def test_observability_overhead_bounded(lab, save_result):
+    """Live tracing+metrics cost at most 5% of batch throughput."""
+    import time
+
+    from repro.obs import NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
+
+    def _timed(fn):
+        started = time.perf_counter()
+        fn()
+        return time.perf_counter() - started
+
+    # Interleave the rounds so a transient load spike on the machine
+    # hits both variants instead of skewing whichever phase it lands on.
+    null_seconds = live_seconds = float("inf")
+    for _ in range(5):
+        null_seconds = min(null_seconds, _timed(
+            lambda: _observed_batch(lab, NULL_TRACER, NULL_METRICS)
+        ))
+        live_seconds = min(live_seconds, _timed(
+            lambda: _observed_batch(lab, Tracer(), MetricsRegistry())
+        ))
+    overhead = live_seconds / null_seconds - 1.0
+    save_result("observability_overhead", format_table(
+        ["instruments", "seconds"],
+        [["null (NullTracer/NullMetrics)", round(null_seconds, 3)],
+         ["live (Tracer/MetricsRegistry)", round(live_seconds, 3)],
+         ["overhead", f"{overhead:+.1%}"]],
+    ))
+    assert overhead <= 0.05, (
+        f"live instrumentation cost {overhead:.1%} (budget 5%)"
+    )
+
+
+def test_observed_metric_totals_process_equals_serial(lab):
+    """Per-worker metric deltas merge to exactly the serial totals."""
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.parallel import WorkerPool
+
+    serial_tracer, serial_metrics = Tracer(), MetricsRegistry()
+    serial = _observed_batch(lab, serial_tracer, serial_metrics)
+    pool_tracer, pool_metrics = Tracer(), MetricsRegistry()
+    with WorkerPool(workers=WORKERS, backend="process") as pool:
+        fanned = _observed_batch(lab, pool_tracer, pool_metrics, pool=pool)
+
+    assert pool_metrics.as_dict() == serial_metrics.as_dict()
+    assert [page.verdict.verdict for page in fanned.analyzed] == \
+        [page.verdict.verdict for page in serial.analyzed]
+    # the span *structure* is schedule-independent too (times are wall
+    # clock here, so byte-identity is asserted in tests/obs instead)
+    assert [span.name for span in pool_tracer.iter_spans()] == \
+        [span.name for span in serial_tracer.iter_spans()]

@@ -10,7 +10,12 @@ Commands
     sec6d, sec7-ip, sec7-evasion).
 ``analyze``
     Train the detector and print the §VII-A/B analysis: feature-group
-    importances and the false-positive attribution.
+    importances and the false-positive attribution.  With
+    ``--trace-out``/``--metrics-out`` it also runs an observed batch
+    and dumps span/metric artifacts.
+``obs report``
+    Render a run report (stage timing, verdicts, cache hit rates,
+    resilience counters) from dumped artifacts alone.
 ``demo``
     A one-minute end-to-end demonstration.
 """
@@ -281,6 +286,46 @@ def _cmd_analyze(args) -> int:
     print(f"share with term-extraction pathologies: "
           f"{report.term_issue_share:.0%}")
     print(f"share parked/near-empty: {report.degenerate_share:.0%}")
+
+    if args.trace_out or args.metrics_out:
+        print(
+            "\nrunning observed batch (tracing + metrics)...",
+            file=sys.stderr,
+        )
+        run = lab.observed_run(
+            workers=getattr(args, "workers", 0) or None,
+            trace_out=args.trace_out,
+            metrics_out=args.metrics_out,
+        )
+        print(
+            f"\nobserved run: {int(run['analyzed'])} pages analyzed, "
+            f"{run['span_count']} spans recorded"
+        )
+        for key in ("trace_out", "metrics_out"):
+            if key in run:
+                print(f"wrote {run[key]}", file=sys.stderr)
+    return 0
+
+
+def _cmd_obs_report(args) -> int:
+    from repro.obs import RunReport
+
+    spans = args.spans if args.spans else None
+    metrics = args.metrics if args.metrics else None
+    if spans is None and metrics is None:
+        print(
+            "error: pass --spans and/or --metrics artifact paths",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = RunReport.from_artifacts(
+            spans_path=spans, metrics_path=metrics
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
     return 0
 
 
@@ -365,9 +410,20 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("id", help="experiment id (see list-experiments)")
     experiment.set_defaults(func=_cmd_experiment)
 
-    commands.add_parser(
+    analyze = commands.add_parser(
         "analyze", help="feature importances + FP attribution"
-    ).set_defaults(func=_cmd_analyze)
+    )
+    analyze.add_argument(
+        "--trace-out", default=None, dest="trace_out", metavar="PATH",
+        help="also run an observed batch and dump its span tree "
+             "as JSON lines to PATH",
+    )
+    analyze.add_argument(
+        "--metrics-out", default=None, dest="metrics_out", metavar="PATH",
+        help="also run an observed batch and dump its metrics in "
+             "Prometheus text format to PATH",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
 
     commands.add_parser(
         "demo", help="end-to-end demonstration"
@@ -384,6 +440,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="-", help="output file ('-' for stdout)",
     )
     report.set_defaults(func=_cmd_report)
+
+    obs = commands.add_parser(
+        "obs", help="observability artifact tools"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_commands.add_parser(
+        "report",
+        help="render a run report from dumped span/metric artifacts",
+    )
+    obs_report.add_argument(
+        "--spans", default=None, metavar="PATH",
+        help="spans JSONL dump (from --trace-out)",
+    )
+    obs_report.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="Prometheus metrics dump (from --metrics-out)",
+    )
+    obs_report.set_defaults(func=_cmd_obs_report)
     return parser
 
 

@@ -18,6 +18,7 @@ from repro.core.features import (
     term_consistency,
     url_features,
 )
+from repro.obs.trace import NULL_TRACER, AnyTracer
 from repro.parallel.cache import AnalysisCache, snapshot_fingerprint
 from repro.urls.alexa import AlexaRanking
 from repro.urls.public_suffix import PublicSuffixList, default_psl
@@ -147,29 +148,47 @@ class FeatureExtractor:
         )
         return self._extract_uncached(sources, key=key)
 
-    def extract_from_sources(self, sources: DataSources) -> np.ndarray:
-        """Feature vector for an already-built :class:`DataSources`."""
+    def extract_from_sources(
+        self, sources: DataSources, tracer: AnyTracer = NULL_TRACER
+    ) -> np.ndarray:
+        """Feature vector for an already-built :class:`DataSources`.
+
+        ``tracer`` optionally receives an ``extract`` span with one
+        child per feature group (``extract.f1`` .. ``extract.f5``);
+        a cache hit produces just the ``extract`` span with
+        ``cached=True``.  Tracing never changes the vector.
+        """
         if self.cache is None:
-            return self._extract_uncached(sources, key=None)
+            with tracer.span("extract", cached=False):
+                return self._extract_uncached(sources, key=None, tracer=tracer)
         # Reuse the fingerprint the sources were built with, if any.
         key = getattr(sources, "_cache_key", None) or snapshot_fingerprint(
             sources.snapshot
         )
         hit = self.cache.get_features(key)
         if hit is not None:
-            return hit
-        return self._extract_uncached(sources, key=key)
+            with tracer.span("extract", cached=True):
+                return hit
+        with tracer.span("extract", cached=False):
+            return self._extract_uncached(sources, key=key, tracer=tracer)
 
     def _extract_uncached(
-        self, sources: DataSources, key: str | None
+        self,
+        sources: DataSources,
+        key: str | None,
+        tracer: AnyTracer = NULL_TRACER,
     ) -> np.ndarray:
-        vector = (
-            url_features.compute(sources, self.alexa)
-            + self._f2_block(sources, key)
-            + mld_usage.compute(sources)
-            + rdn_usage.compute(sources)
-            + content.compute(sources)
-        )
+        with tracer.span("extract.f1"):
+            f1 = url_features.compute(sources, self.alexa)
+        with tracer.span("extract.f2"):
+            f2 = self._f2_block(sources, key, tracer=tracer)
+        with tracer.span("extract.f3"):
+            f3 = mld_usage.compute(sources)
+        with tracer.span("extract.f4"):
+            f4 = rdn_usage.compute(sources)
+        with tracer.span("extract.f5"):
+            f5 = content.compute(sources)
+        vector = f1 + f2 + f3 + f4 + f5
         out = np.asarray(vector, dtype=np.float64)
         if out.shape != (N_FEATURES,):  # pragma: no cover - invariant guard
             raise AssertionError(
@@ -179,23 +198,36 @@ class FeatureExtractor:
             self.cache.put_features(key, out)
         return out
 
-    def _f2_block(self, sources: DataSources, key: str | None) -> list[float]:
+    def _f2_block(
+        self,
+        sources: DataSources,
+        key: str | None,
+        tracer: AnyTracer = NULL_TRACER,
+    ) -> list[float]:
         """The 66 f2 distances, served from the pair-matrix cache if hot.
 
         The pair matrix is keyed by (metric, fingerprint) — unlike full
         feature vectors it does not depend on the Alexa ranking, so this
         sub-result stays valid across extractors differing only in f1
-        configuration.
+        configuration.  The Hellinger (or other metric) pair-matrix
+        computation itself is timed under an ``extract.f2.pairs`` span.
         """
         if self.cache is None or key is None:
-            return term_consistency.compute(sources, metric=self.term_metric)
+            with tracer.span("extract.f2.pairs", cached=False):
+                return term_consistency.compute(
+                    sources, metric=self.term_metric
+                )
         pair_key = (self.term_metric, key)
         pairs = self.cache.get_pair_matrix(pair_key)
         if pairs is None:
-            pairs = term_consistency.compute_pairs(
-                sources, metric=self.term_metric
-            )
+            with tracer.span("extract.f2.pairs", cached=False):
+                pairs = term_consistency.compute_pairs(
+                    sources, metric=self.term_metric
+                )
             self.cache.put_pair_matrix(pair_key, pairs)
+        else:
+            with tracer.span("extract.f2.pairs", cached=True):
+                pass
         return pairs.tolist()
 
     def extract_many(self, snapshots, pool=None) -> np.ndarray:

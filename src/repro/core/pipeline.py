@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from repro.core.datasources import DataSources
 from repro.core.detector import PhishingDetector
 from repro.core.target import TargetIdentification, TargetIdentifier
+from repro.obs.metrics import NULL_METRICS, AnyMetrics
+from repro.obs.trace import NULL_TRACER, AnyTracer
 from repro.parallel.cache import snapshot_fingerprint
 from repro.resilience.batch import BatchReport, analyze_many
 from repro.resilience.browser import LoadResult
@@ -87,6 +89,18 @@ class KnowYourPhish:
         How the final binary decision counts ``"suspicious"`` pages
         (default True: no legitimate confirmation means the page stays
         blocked).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` receiving the
+        ``analyze`` span tree of every call (``extract.f1``..``f5``,
+        ``classify``, ``target.identify``).  Defaults to the zero-cost
+        :data:`~repro.obs.trace.NULL_TRACER`.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        ``verdicts_total{verdict=...}`` / ``verdicts_degraded_total``
+        counters.  Defaults to :data:`~repro.obs.metrics.NULL_METRICS`.
+
+    Tracing and metrics never perturb verdicts: with or without them
+    the pipeline's outputs are bit-identical.
     """
 
     def __init__(
@@ -94,12 +108,21 @@ class KnowYourPhish:
         detector: PhishingDetector,
         identifier: TargetIdentifier | None = None,
         treat_suspicious_as_phish: bool = True,
+        tracer: AnyTracer = NULL_TRACER,
+        metrics: AnyMetrics = NULL_METRICS,
     ):
         self.detector = detector
         self.identifier = identifier
         self.treat_suspicious_as_phish = treat_suspicious_as_phish
+        self.tracer = tracer
+        self.metrics = metrics
 
-    def analyze(self, page: PageSnapshot | LoadResult) -> PageVerdict:
+    def analyze(
+        self,
+        page: PageSnapshot | LoadResult,
+        tracer: AnyTracer | None = None,
+        metrics: AnyMetrics | None = None,
+    ) -> PageVerdict:
         """Run the full pipeline on one page.
 
         Accepts either a bare :class:`PageSnapshot` or a
@@ -108,60 +131,84 @@ class KnowYourPhish:
         failures degrade the verdict instead of raising: a search outage
         yields a detector-only verdict tagged ``search_unavailable``,
         an OCR failure tags ``ocr_failed`` and skips the OCR keyterms.
+
+        ``tracer``/``metrics`` override the pipeline-level instruments
+        for this call (used by the batch layer, which gives each mapped
+        page its own tracer so span dumps stay deterministic).
         """
+        tracer = self.tracer if tracer is None else tracer
+        metrics = self.metrics if metrics is None else metrics
         degradations: list[str] = []
         if isinstance(page, LoadResult):
             degradations.extend(page.degradations)
             snapshot = page.snapshot
         else:
             snapshot = page
-        cache = self.detector.extractor.cache
-        sources = DataSources(
-            snapshot,
-            psl=self.detector.extractor.psl,
-            ocr=self.identifier.ocr if self.identifier else None,
-            distribution_cache=cache.distributions if cache else None,
-            cache_key=snapshot_fingerprint(snapshot) if cache else None,
-        )
-
-        def _verdict(final: str, confidence: float, **kwargs) -> PageVerdict:
-            tags = degradations + sorted(sources.degradation_notes)
-            return PageVerdict(
-                verdict=final,
-                confidence=confidence,
-                degraded=bool(tags),
-                degradations=tags,
-                **kwargs,
+        with tracer.span("analyze", url=snapshot.starting_url) as root:
+            cache = self.detector.extractor.cache
+            sources = DataSources(
+                snapshot,
+                psl=self.detector.extractor.psl,
+                ocr=self.identifier.ocr if self.identifier else None,
+                distribution_cache=cache.distributions if cache else None,
+                cache_key=snapshot_fingerprint(snapshot) if cache else None,
             )
 
-        vector = self.detector.extractor.extract_from_sources(sources)
-        confidence = float(
-            self.detector.predict_proba(vector.reshape(1, -1))[0]
-        )
-        if confidence < self.detector.threshold:
-            return _verdict("legitimate", confidence, targets=[])
-        if self.identifier is None:
-            return _verdict("phish", confidence, targets=[])
+            def _verdict(
+                final: str, confidence: float, **kwargs
+            ) -> PageVerdict:
+                tags = degradations + sorted(sources.degradation_notes)
+                root.set(verdict=final, degraded=bool(tags))
+                metrics.inc("verdicts_total", verdict=final)
+                if tags:
+                    metrics.inc("verdicts_degraded_total")
+                return PageVerdict(
+                    verdict=final,
+                    confidence=confidence,
+                    degraded=bool(tags),
+                    degradations=tags,
+                    **kwargs,
+                )
 
-        try:
-            identification = self.identifier.identify(sources)
-        except SearchUnavailableError:
-            # Search down / circuit open: fall back to the detector's
-            # tentative flag rather than losing the page entirely.
-            degradations.append("search_unavailable")
-            return _verdict("phish", confidence, targets=[])
-        if identification.verdict == "legitimate":
-            final = "legitimate"
-        elif identification.verdict == "phish":
-            final = "phish"
-        else:
-            final = "suspicious"
-        return _verdict(
-            final,
-            confidence,
-            targets=list(identification.targets),
-            identification=identification,
-        )
+            vector = self.detector.extractor.extract_from_sources(
+                sources, tracer=tracer
+            )
+            with tracer.span("classify"):
+                confidence = float(
+                    self.detector.predict_proba(vector.reshape(1, -1))[0]
+                )
+            if confidence < self.detector.threshold:
+                return _verdict("legitimate", confidence, targets=[])
+            if self.identifier is None:
+                return _verdict("phish", confidence, targets=[])
+
+            try:
+                with tracer.span("target.identify") as target_span:
+                    identification = self.identifier.identify(sources)
+                    target_span.set(
+                        step=identification.step,
+                        verdict=identification.verdict,
+                    )
+            except SearchUnavailableError:
+                # Search down / circuit open: fall back to the detector's
+                # tentative flag rather than losing the page entirely.
+                degradations.append("search_unavailable")
+                return _verdict("phish", confidence, targets=[])
+            if identification.verdict == "legitimate":
+                # The identifier confirmed the page's own domain: the
+                # detector's flag was a false positive and is filtered.
+                metrics.inc("fp_filtered_total")
+                final = "legitimate"
+            elif identification.verdict == "phish":
+                final = "phish"
+            else:
+                final = "suspicious"
+            return _verdict(
+                final,
+                confidence,
+                targets=list(identification.targets),
+                identification=identification,
+            )
 
     def analyze_many(self, urls, browser, pool=None) -> BatchReport:
         """Analyze a batch of URLs, quarantining unloadable pages.
@@ -173,9 +220,15 @@ class KnowYourPhish:
         faults are retried before a page is given up on.  ``pool`` is an
         optional :class:`~repro.parallel.WorkerPool`; loads stay serial,
         per-page analysis fans out, and the report is identical to the
-        serial run (same verdicts, same order).
+        serial run (same verdicts, same order).  The pipeline's tracer
+        and metrics observe the whole batch (each page's span tree is
+        spliced back in input order, so dumps are deterministic across
+        backends).
         """
-        return analyze_many(self, browser, urls, pool=pool)
+        return analyze_many(
+            self, browser, urls, pool=pool,
+            tracer=self.tracer, metrics=self.metrics,
+        )
 
     def is_blocked(self, verdict: PageVerdict) -> bool:
         """Binary blocking decision derived from a verdict."""

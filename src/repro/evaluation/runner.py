@@ -1028,9 +1028,11 @@ class Lab:
             "pages": len(pages),
             "flagged": flagged,
             "degraded_detector_only": degraded_detector_only,
+            "breaker_opened": breaker.opened_count,
             "breaker_trips": breaker.stats["trips"],
             "queries_attempted": breaker.stats["calls"],
             "rejected_fast": breaker.stats["rejected"],
+            "transitions": dict(sorted(breaker.transitions.items())),
         }
 
     def robustness_degraded_content(
@@ -1075,3 +1077,92 @@ class Lab:
                 pipeline, report, labels
             ),
         }
+
+    # ------------------------------------------------------------------
+    # observability: one fully traced + metered run
+    # ------------------------------------------------------------------
+    def observed_run(
+        self,
+        pages_per_class: int = 20,
+        workers: int | None = None,
+        backend: str = "thread",
+        trace_out: str | None = None,
+        metrics_out: str | None = None,
+        clock=None,
+    ) -> dict:
+        """One end-to-end batch run with live tracing and metrics.
+
+        Builds a :class:`~repro.obs.trace.Tracer` and
+        :class:`~repro.obs.metrics.MetricsRegistry`, threads them
+        through every instrumented layer — a breaker-guarded search
+        engine, a :class:`~repro.resilience.ResilientBrowser`, the full
+        :class:`~repro.core.pipeline.KnowYourPhish` pipeline — and
+        analyzes the ext-robustness workload (English legitimate +
+        phishTest starting URLs).  Analysis-cache counters are bridged
+        into the registry at the end, then the span/metric artifacts are
+        written when paths are given; ``repro obs report`` reconstructs
+        per-stage timing, verdict tallies, cache hit rates and
+        resilience counts from those files alone.
+
+        ``clock`` (a :class:`~repro.resilience.Clock`) is injectable so
+        tests can pin span durations; defaults to the monotonic system
+        clock.  Verdicts are bit-identical to an uninstrumented run —
+        observability never perturbs the pipeline.
+        """
+        from repro.core.pipeline import KnowYourPhish
+        from repro.obs import (
+            MetricsRegistry,
+            Tracer,
+            write_metrics_prometheus,
+            write_spans_jsonl,
+        )
+        from repro.resilience import (
+            CircuitBreaker,
+            GuardedSearchEngine,
+            ResilientBrowser,
+            SearchUnavailableError,
+        )
+
+        tracer = Tracer(clock=clock)
+        metrics = MetricsRegistry()
+        urls, _labels = self._robustness_workload(pages_per_class)
+
+        breaker = CircuitBreaker(
+            failure_threshold=3,
+            failure_types=(SearchUnavailableError,),
+            name="search",
+            metrics=metrics,
+        )
+        guarded = GuardedSearchEngine(self.world.search, breaker=breaker)
+        identifier = TargetIdentifier(guarded, ocr=self.ocr)
+        pipeline = KnowYourPhish(
+            self.detector("fall"), identifier,
+            tracer=tracer, metrics=metrics,
+        )
+        browser = ResilientBrowser(
+            self.world.web, clock=clock, tracer=tracer, metrics=metrics
+        )
+        pool = (
+            WorkerPool(workers=workers, backend=backend)
+            if workers and workers > 1 else None
+        )
+        try:
+            report = pipeline.analyze_many(urls, browser, pool=pool)
+        finally:
+            if pool is not None:
+                pool.close()
+        if self.cache is not None:
+            self.cache.fill_metrics(metrics)
+
+        result = report.summary()
+        result["span_count"] = sum(1 for _ in tracer.iter_spans())
+        result["breaker_opened"] = breaker.opened_count
+        if trace_out:
+            result["trace_out"] = str(write_spans_jsonl(tracer, trace_out))
+        if metrics_out:
+            result["metrics_out"] = str(
+                write_metrics_prometheus(metrics, metrics_out)
+            )
+        result["tracer"] = tracer
+        result["metrics"] = metrics
+        return result

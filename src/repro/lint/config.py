@@ -10,6 +10,7 @@ Recognised keys::
     ignore = []                       # rule-code prefixes to disable
     exclude = ["build/*"]             # path globs never linted
     clock-exempt = ["*/resilience/clock.py"]   # PHL102 allowlist
+    instrumented-paths = ["*/obs/*"]           # PHL106 scope
     contract-golden = "tests/data/golden_features.json"
     baseline = ".phl-baseline.json"   # optional baseline file
 
@@ -31,6 +32,21 @@ from pathlib import Path
 #: Modules whose wall-clock reads are legitimate by design (PHL102):
 #: the clock abstraction itself has to call the real timers somewhere.
 DEFAULT_CLOCK_EXEMPT = ("*/resilience/clock.py",)
+
+#: Modules wired into the observability layer (PHL106): span durations
+#: and stage timings there must come from the tracer's injected
+#: ``repro.resilience.clock.Clock`` — a direct ``time.perf_counter()``
+#: would leak real elapsed time into span dumps that tests assert are
+#: byte-identical under a ManualClock.
+DEFAULT_INSTRUMENTED_PATHS = (
+    "*/obs/*",
+    "*/core/pipeline.py",
+    "*/core/features/extractor.py",
+    "*/ml/boosting.py",
+    "*/resilience/batch.py",
+    "*/resilience/browser.py",
+    "*/web/browser.py",
+)
 
 #: Paths where ``print`` is the product, not a debugging leftover
 #: (PHL403): CLI front-ends, tests, benchmarks and examples.
@@ -55,6 +71,7 @@ class LintConfig:
     ignore: tuple[str, ...] = ()
     exclude: tuple[str, ...] = ()
     clock_exempt: tuple[str, ...] = DEFAULT_CLOCK_EXEMPT
+    instrumented_paths: tuple[str, ...] = DEFAULT_INSTRUMENTED_PATHS
     per_rule_exempt: dict[str, tuple[str, ...]] = field(
         default_factory=lambda: dict(DEFAULT_PER_RULE_EXEMPT)
     )
@@ -80,6 +97,10 @@ class LintConfig:
     def is_clock_exempt(self, display: str) -> bool:
         """True when ``display`` may read the wall clock directly."""
         return self._matches(display, self.clock_exempt)
+
+    def is_instrumented(self, display: str) -> bool:
+        """True when ``display`` is part of the observability wiring."""
+        return self._matches(display, self.instrumented_paths)
 
     def is_rule_exempt(self, code: str, display: str) -> bool:
         """True when ``code`` is allowlisted for this file."""
@@ -129,6 +150,10 @@ def load_config(
             setattr(config, key, _tuple(table[key], key))
     if "clock-exempt" in table:
         config.clock_exempt = _tuple(table["clock-exempt"], "clock-exempt")
+    if "instrumented-paths" in table:
+        config.instrumented_paths = _tuple(
+            table["instrumented-paths"], "instrumented-paths"
+        )
     if "contract-golden" in table:
         value = table["contract-golden"]
         if value is not None and not isinstance(value, str):

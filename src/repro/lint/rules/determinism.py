@@ -72,6 +72,21 @@ _WALL_CLOCK = frozenset(
     }
 )
 
+#: Stdlib timers that bypass the injectable clock.  In instrumented
+#: modules even the monotonic duration timers are banned (unlike
+#: PHL102): span durations must come from the tracer's clock so dumps
+#: are byte-identical under a ManualClock.
+_STDLIB_TIMERS = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.time",
+        "time.time_ns",
+    }
+)
+
 #: Directory-listing calls whose order is filesystem-dependent.
 _LISTING_FUNCTIONS = frozenset({"os.listdir", "os.scandir"})
 _LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
@@ -163,6 +178,42 @@ class WallClockRule(Rule):
                     node,
                     f"direct wall-clock call `{resolved}()`; inject a "
                     "`repro.resilience.clock.Clock` instead",
+                )
+
+
+@register
+class DirectTimerInInstrumentationRule(Rule):
+    """PHL106: stdlib timer calls inside instrumented modules."""
+
+    code = "PHL106"
+    name = "direct-timer-in-instrumentation"
+    summary = "stdlib timer call in an observability-instrumented module"
+    rationale = (
+        "Modules wired into repro.obs (see `instrumented-paths` in "
+        "[tool.repro-lint]) time their work through the tracer's "
+        "injected `repro.resilience.clock.Clock`. A direct "
+        "`time.perf_counter()`/`time.time()` there leaks real elapsed "
+        "time into span dumps and metrics that tests assert are "
+        "byte-identical under a ManualClock."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Findings for one module's AST."""
+        if not ctx.config.is_instrumented(ctx.path):
+            return
+        if ctx.config.is_clock_exempt(ctx.path):
+            return
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.imports.resolve(node.func)
+            if resolved in _STDLIB_TIMERS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct timer call `{resolved}()` in an "
+                    "instrumented module; read the injected clock "
+                    "(`clock.now()`) so span dumps stay deterministic",
                 )
 
 

@@ -16,6 +16,7 @@ from typing import Iterator
 
 from repro.lint.findings import Finding
 from repro.lint.registry import ModuleContext, Rule, register
+from repro.obs.trace import SPAN_NAME_PATTERN
 
 #: Constructor calls that produce fresh mutable containers.
 _MUTABLE_FACTORIES = frozenset(
@@ -124,4 +125,46 @@ class PrintInLibraryRule(Rule):
                     node,
                     "print() in library code; return data or use the "
                     "reporting layer instead",
+                )
+
+
+@register
+class SpanNameTaxonomyRule(Rule):
+    """PHL404: span-name literals outside the documented taxonomy."""
+
+    code = "PHL404"
+    name = "span-name-taxonomy"
+    summary = "span name literal does not match the documented taxonomy"
+    rationale = (
+        "Span names are the join key between trace dumps, the run "
+        "report's per-stage timing table and the docs (DESIGN.md §8). "
+        "Free-form names (`'Extract F1'`, `'extract-f1'`) fragment that "
+        "key, so every literal passed to `.span(...)` must match "
+        "`^[a-z_]+(\\.[a-z_{}0-9]+)*$` — lowercase dot-separated "
+        "segments, `{}` allowed for templates like `extract.f{group}`."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Findings for one module's AST."""
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and node.args
+            ):
+                continue
+            first = node.args[0]
+            if (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+                and not SPAN_NAME_PATTERN.match(first.value)
+            ):
+                yield self.finding(
+                    ctx,
+                    first,
+                    f"span name {first.value!r} is outside the "
+                    "taxonomy; use lowercase dot-separated segments "
+                    "(see SPAN_NAME_PATTERN and DESIGN.md §8)",
                 )

@@ -34,7 +34,6 @@ counters in ``fit_stats_``
 
 from __future__ import annotations
 
-import time
 from typing import Iterator
 
 import numpy as np
@@ -42,6 +41,7 @@ import numpy as np
 from repro.ml.histogram import bin_matrix
 from repro.ml.instrumentation import TrainingStats
 from repro.ml.tree import RegressionTree, presort_matrix, restrict_presort
+from repro.obs.trace import AnyTracer, Tracer
 
 #: Split-finding strategies accepted by :class:`GradientBoostingClassifier`.
 TREE_METHODS = ("exact", "presort", "histogram")
@@ -127,8 +127,20 @@ class GradientBoostingClassifier:
         self.fit_stats_: TrainingStats | None = None
 
     # ------------------------------------------------------------------
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
-        """Fit the ensemble on features ``X`` and binary labels ``y``."""
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        tracer: AnyTracer | None = None,
+    ) -> "GradientBoostingClassifier":
+        """Fit the ensemble on features ``X`` and binary labels ``y``.
+
+        ``tracer`` optionally receives the per-stage spans
+        (``train.fit`` → ``train.prep`` + one ``train.stage`` each);
+        without one the spans are recorded into a private tracer, which
+        is also where ``fit_stats_`` now comes from
+        (:meth:`~repro.ml.instrumentation.TrainingStats.from_spans`).
+        """
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
         if X.ndim != 2:
@@ -146,87 +158,106 @@ class GradientBoostingClassifier:
         self._trees = []
         self.n_features_in_ = X.shape[1]
         self.train_deviance_: list[float] = []
-        stats = TrainingStats(
-            tree_method=self.tree_method, n_samples=n, n_features=X.shape[1]
-        )
-
-        # One-off preparation, shared by every stage: feature order never
-        # changes between stages (only the targets do), so the presort /
-        # binning of X is computed exactly once per ensemble fit.
-        prep_start = time.perf_counter()
-        sorted_all = sorted_vals_all = None
-        if self.tree_method == "presort":
-            sorted_all = presort_matrix(X)
-            sorted_vals_all = X[sorted_all, np.arange(X.shape[1])[:, None]]
-        binned_all = (
-            bin_matrix(X, self.max_bins)
-            if self.tree_method == "histogram" else None
-        )
-        stats.prep_seconds = time.perf_counter() - prep_start
-
-        for _stage in range(self.n_estimators):
-            stage_start = time.perf_counter()
-            prob = _sigmoid(raw)
-            residual = y - prob
-
-            if self.subsample < 1.0:
-                sample_size = max(1, int(round(self.subsample * n)))
-                # The draw is sorted ascending: the sample set is
-                # unchanged and the canonical order makes the fit
-                # independent of draw order — the invariant that lets
-                # the presorted path replicate the exact path bit-for-bit.
-                rows = np.sort(rng.choice(n, size=sample_size, replace=False))
-            else:
-                rows = np.arange(n)
-
-            tree = RegressionTree(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                rng=rng,
-            )
-            if sorted_all is not None:
-                if len(rows) == n:
-                    tree.fit(
-                        X, residual, sorted_idx=sorted_all,
-                        sorted_vals=sorted_vals_all,
-                    )
-                else:
-                    sub_sorted, sub_vals = restrict_presort(
-                        sorted_all, rows, n, sorted_vals_all
-                    )
-                    tree.fit(
-                        X[rows], residual[rows],
-                        sorted_idx=sub_sorted, sorted_vals=sub_vals,
-                    )
-            elif binned_all is not None:
-                binned = (
-                    binned_all if len(rows) == n
-                    else binned_all.take_rows(rows)
+        nodes_built = 0
+        split_evaluations = 0
+        # Spans always record somewhere: into the caller's tracer when a
+        # live one is injected, else into a private one — either way
+        # `fit_stats_` is derived from the span tree afterwards.
+        rec = tracer if isinstance(tracer, Tracer) else Tracer()
+        with rec.span(
+            "train.fit",
+            tree_method=self.tree_method,
+            n_samples=n,
+            n_features=int(X.shape[1]),
+            n_estimators=self.n_estimators,
+        ) as fit_span:
+            # One-off preparation, shared by every stage: feature order
+            # never changes between stages (only the targets do), so the
+            # presort / binning of X is computed exactly once per fit.
+            with rec.span("train.prep"):
+                sorted_all = sorted_vals_all = None
+                if self.tree_method == "presort":
+                    sorted_all = presort_matrix(X)
+                    sorted_vals_all = X[
+                        sorted_all, np.arange(X.shape[1])[:, None]
+                    ]
+                binned_all = (
+                    bin_matrix(X, self.max_bins)
+                    if self.tree_method == "histogram" else None
                 )
-                tree.fit(X[rows], residual[rows], binned=binned)
-            else:
-                tree.fit(X[rows], residual[rows])
 
-            # Newton step: replace each leaf mean with the deviance-optimal
-            # value computed from the samples that reached that leaf.
-            hessian = prob * (1 - prob)
-            for leaf in tree.leaf_ids():
-                leaf_rows = rows[tree.training_samples_in_leaf(leaf)]
-                numerator = residual[leaf_rows].sum()
-                denominator = hessian[leaf_rows].sum()
-                if denominator < 1e-12:
-                    tree.set_leaf_value(leaf, 0.0)
-                else:
-                    tree.set_leaf_value(leaf, float(numerator / denominator))
+            for _stage in range(self.n_estimators):
+                with rec.span("train.stage"):
+                    prob = _sigmoid(raw)
+                    residual = y - prob
 
-            raw = raw + self.learning_rate * tree.predict(X)
-            self._trees.append(tree)
-            self.train_deviance_.append(self._deviance(y, raw))
-            stats.stage_seconds.append(time.perf_counter() - stage_start)
-            stats.nodes_built += tree.n_nodes
-            stats.split_evaluations += tree.split_evaluations_
-        self.fit_stats_ = stats
+                    if self.subsample < 1.0:
+                        sample_size = max(1, int(round(self.subsample * n)))
+                        # The draw is sorted ascending: the sample set is
+                        # unchanged and the canonical order makes the fit
+                        # independent of draw order — the invariant that
+                        # lets the presorted path replicate the exact
+                        # path bit-for-bit.
+                        rows = np.sort(
+                            rng.choice(n, size=sample_size, replace=False)
+                        )
+                    else:
+                        rows = np.arange(n)
+
+                    tree = RegressionTree(
+                        max_depth=self.max_depth,
+                        min_samples_leaf=self.min_samples_leaf,
+                        max_features=self.max_features,
+                        rng=rng,
+                    )
+                    if sorted_all is not None:
+                        if len(rows) == n:
+                            tree.fit(
+                                X, residual, sorted_idx=sorted_all,
+                                sorted_vals=sorted_vals_all,
+                            )
+                        else:
+                            sub_sorted, sub_vals = restrict_presort(
+                                sorted_all, rows, n, sorted_vals_all
+                            )
+                            tree.fit(
+                                X[rows], residual[rows],
+                                sorted_idx=sub_sorted, sorted_vals=sub_vals,
+                            )
+                    elif binned_all is not None:
+                        binned = (
+                            binned_all if len(rows) == n
+                            else binned_all.take_rows(rows)
+                        )
+                        tree.fit(X[rows], residual[rows], binned=binned)
+                    else:
+                        tree.fit(X[rows], residual[rows])
+
+                    # Newton step: replace each leaf mean with the
+                    # deviance-optimal value computed from the samples
+                    # that reached that leaf.
+                    hessian = prob * (1 - prob)
+                    for leaf in tree.leaf_ids():
+                        leaf_rows = rows[tree.training_samples_in_leaf(leaf)]
+                        numerator = residual[leaf_rows].sum()
+                        denominator = hessian[leaf_rows].sum()
+                        if denominator < 1e-12:
+                            tree.set_leaf_value(leaf, 0.0)
+                        else:
+                            tree.set_leaf_value(
+                                leaf, float(numerator / denominator)
+                            )
+
+                    raw = raw + self.learning_rate * tree.predict(X)
+                    self._trees.append(tree)
+                    self.train_deviance_.append(self._deviance(y, raw))
+                    nodes_built += tree.n_nodes
+                    split_evaluations += tree.split_evaluations_
+        self.fit_stats_ = TrainingStats.from_spans(
+            fit_span,
+            nodes_built=nodes_built,
+            split_evaluations=split_evaluations,
+        )
         return self
 
     @staticmethod

@@ -1,13 +1,17 @@
 """Lightweight training instrumentation for the boosting engine.
 
-:class:`TrainingStats` is filled in by
+:class:`TrainingStats` summarises one
 :meth:`repro.ml.boosting.GradientBoostingClassifier.fit`: per-stage wall
 times, the one-off preparation cost (the global presort or the feature
 binning, depending on ``tree_method``), and split-search counters
-aggregated over every tree.  The numbers feed the machine-readable
-training benchmark (``benchmarks/test_training_speed.py`` →
+aggregated over every tree.  Since the observability layer landed, the
+timings come from the fit's ``train.*`` span tree
+(:meth:`TrainingStats.from_spans`) rather than bespoke timer calls, so
+the same numbers are available to trace exporters and to the
+machine-readable training benchmark
+(``benchmarks/test_training_speed.py`` →
 ``benchmarks/results/training.json``) and the ``ext-training`` CLI
-experiment, and cost only a ``perf_counter`` call per stage.
+experiment.
 """
 
 from __future__ import annotations
@@ -15,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.obs.trace import Span
 
 
 @dataclass
@@ -48,6 +54,34 @@ class TrainingStats:
     stage_seconds: list[float] = field(default_factory=list)
     nodes_built: int = 0
     split_evaluations: int = 0
+
+    @classmethod
+    def from_spans(
+        cls,
+        fit_span: "Span",
+        nodes_built: int = 0,
+        split_evaluations: int = 0,
+    ) -> "TrainingStats":
+        """Stats distilled from a ``train.fit`` span tree.
+
+        ``fit_span`` is the root span recorded by
+        :meth:`~repro.ml.boosting.GradientBoostingClassifier.fit`
+        (attrs carry the matrix shape and tree method; children are one
+        ``train.prep`` plus one ``train.stage`` per boosting stage).
+        """
+        stats = cls(
+            tree_method=str(fit_span.attrs.get("tree_method", "")),
+            n_samples=int(fit_span.attrs.get("n_samples", 0)),
+            n_features=int(fit_span.attrs.get("n_features", 0)),
+            nodes_built=nodes_built,
+            split_evaluations=split_evaluations,
+        )
+        for child in fit_span.children:
+            if child.name == "train.prep":
+                stats.prep_seconds = child.duration
+            elif child.name == "train.stage":
+                stats.stage_seconds.append(child.duration)
+        return stats
 
     @property
     def n_stages(self) -> int:

@@ -1,0 +1,74 @@
+"""Unified observability: tracing spans, metrics, run-report exporters.
+
+The paper's deployment argument (Section VI / Table VIII) rests on
+*where time goes* inside the analysis pipeline — feature extraction vs.
+classification vs. target identification — and a production crawl
+additionally needs cache hit rates, retry/breaker activity and verdict
+tallies.  This package provides one common model for all of it:
+
+* :mod:`repro.obs.trace` — hierarchical spans with deterministic ids
+  (a per-tracer counter, not wall-clock or random ids) and durations
+  read from the injectable :class:`repro.resilience.clock.Clock`;
+  :class:`~repro.obs.trace.NullTracer` is the zero-cost default.
+* :mod:`repro.obs.metrics` — a registry of named counters, gauges and
+  fixed-bucket histograms with label support, mergeable across
+  :class:`~repro.parallel.WorkerPool` workers so serial, thread and
+  process backends aggregate to identical totals.
+* :mod:`repro.obs.export` — JSON-lines span/metric dumps and a
+  Prometheus-style text format, both parseable back.
+* :mod:`repro.obs.report` — :class:`~repro.obs.report.RunReport`, a
+  human-readable reconstruction of a run from dumped artifacts alone.
+
+Span names follow the documented taxonomy (DESIGN.md §8):
+``batch.* / browse.* / analyze / extract.f{1..5} / classify /
+target.* / cache.* / train.*``, statically checked by the PHL404 lint
+rule.  Tracing and metrics never perturb verdicts: the golden feature
+matrix and the parallel==serial equivalence guarantees hold with
+tracing enabled.
+"""
+
+from repro.obs.export import (
+    metrics_to_jsonl,
+    metrics_to_prometheus,
+    parse_prometheus,
+    read_spans_jsonl,
+    spans_to_jsonl,
+    write_metrics_jsonl,
+    write_metrics_prometheus,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.report import RunReport
+from repro.obs.trace import (
+    NULL_TRACER,
+    SPAN_NAME_PATTERN,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "RunReport",
+    "SPAN_NAME_PATTERN",
+    "Span",
+    "Tracer",
+    "metrics_to_jsonl",
+    "metrics_to_prometheus",
+    "parse_prometheus",
+    "read_spans_jsonl",
+    "spans_to_jsonl",
+    "write_metrics_jsonl",
+    "write_metrics_prometheus",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,342 @@
+"""Exporters: JSON-lines span/metric dumps + Prometheus text format.
+
+Every format here is deterministic (sorted keys, sorted series,
+canonical float formatting) and round-trips: ``spans.jsonl`` reads back
+with :func:`read_spans_jsonl`, ``metrics.prom`` with
+:func:`parse_prometheus`.  That round-trip is what lets
+``repro obs report`` reconstruct a run from artifacts alone, and what
+the span-determinism tests compare byte-for-byte.
+
+Span lines are the flattened depth-first pre-order walk of each root
+tree — one JSON object per span with ``span_id``/``parent_id`` links,
+so consumers can rebuild the hierarchy without nesting in the file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Protocol
+
+
+class _SpanLike(Protocol):
+    """The subset of :class:`repro.obs.trace.Span` exporters need."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float
+    attrs: dict[str, Any]
+
+    def walk(self) -> Iterable["_SpanLike"]: ...
+
+
+class _TracerLike(Protocol):
+    """The subset of :class:`repro.obs.trace.Tracer` exporters need."""
+
+    def iter_spans(self) -> Iterable[_SpanLike]: ...
+
+
+class _MetricsLike(Protocol):
+    """The subset of :class:`repro.obs.metrics.MetricsRegistry` used."""
+
+    def as_dict(self) -> dict[str, Any]: ...
+
+
+# ----------------------------------------------------------------------
+# Spans: JSON lines
+# ----------------------------------------------------------------------
+
+def spans_to_jsonl(tracer: _TracerLike) -> str:
+    """All finished spans as JSON lines (depth-first, roots in order)."""
+    lines = []
+    for span in tracer.iter_spans():
+        lines.append(
+            json.dumps(
+                {
+                    "name": span.name,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "start": span.start,
+                    "end": span.end,
+                    "attrs": span.attrs,
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_spans_jsonl(tracer: _TracerLike, path: str | Path) -> Path:
+    """Dump :func:`spans_to_jsonl` to ``path`` and return it."""
+    out = Path(path)
+    out.write_text(spans_to_jsonl(tracer), encoding="utf-8")
+    return out
+
+
+def read_spans_jsonl(source: str | Path) -> list[dict[str, Any]]:
+    """Parse a spans JSONL file (or literal text) back into dicts.
+
+    Accepts a path or raw JSONL text; returns one flat dict per span in
+    file order (which is the deterministic depth-first dump order).
+    """
+    if isinstance(source, Path):
+        text = source.read_text(encoding="utf-8")
+    elif "\n" in source or source.lstrip().startswith("{"):
+        text = source
+    else:
+        text = Path(source).read_text(encoding="utf-8")
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(json.loads(line))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Metrics: JSON lines
+# ----------------------------------------------------------------------
+
+def metrics_to_jsonl(metrics: _MetricsLike) -> str:
+    """Every metric series as one JSON line: kind, name, labels, data."""
+    snapshot = metrics.as_dict()
+    lines = []
+    for kind in ("counters", "gauges", "histograms"):
+        for name, entries in snapshot.get(kind, {}).items():
+            for entry in entries:
+                record = {"kind": kind[:-1], "name": name, **entry}
+                lines.append(
+                    json.dumps(record, sort_keys=True, separators=(",", ":"))
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics_jsonl(metrics: _MetricsLike, path: str | Path) -> Path:
+    """Dump :func:`metrics_to_jsonl` to ``path`` and return it."""
+    out = Path(path)
+    out.write_text(metrics_to_jsonl(metrics), encoding="utf-8")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Metrics: Prometheus text format
+# ----------------------------------------------------------------------
+
+def _format_value(value: float) -> str:
+    """Canonical sample value: integral floats print without a dot."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{str(val)}"' for key, val in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def metrics_to_prometheus(metrics: _MetricsLike) -> str:
+    """The registry in the Prometheus exposition text format.
+
+    Counters and gauges emit one sample per label series; histograms
+    expand to cumulative ``_bucket{le=...}`` samples plus ``_sum`` and
+    ``_count``.  Output ordering is fully deterministic (names and
+    label series sorted).
+    """
+    snapshot = metrics.as_dict()
+    lines: list[str] = []
+    for name, entries in snapshot.get("counters", {}).items():
+        lines.append(f"# TYPE {name} counter")
+        for entry in entries:
+            lines.append(
+                f"{name}{_format_labels(entry['labels'])} "
+                f"{_format_value(entry['value'])}"
+            )
+    for name, entries in snapshot.get("gauges", {}).items():
+        lines.append(f"# TYPE {name} gauge")
+        for entry in entries:
+            lines.append(
+                f"{name}{_format_labels(entry['labels'])} "
+                f"{_format_value(entry['value'])}"
+            )
+    for name, entries in snapshot.get("histograms", {}).items():
+        lines.append(f"# TYPE {name} histogram")
+        for entry in entries:
+            cumulative = 0
+            for bound, count in zip(entry["buckets"], entry["counts"]):
+                cumulative += count
+                labels = dict(entry["labels"], le=repr(float(bound)))
+                lines.append(
+                    f"{name}_bucket{_format_labels(labels)} {cumulative}"
+                )
+            cumulative += entry["counts"][len(entry["buckets"])]
+            labels = dict(entry["labels"], le="+Inf")
+            lines.append(
+                f"{name}_bucket{_format_labels(labels)} {cumulative}"
+            )
+            lines.append(
+                f"{name}_sum{_format_labels(entry['labels'])} "
+                f"{_format_value(entry['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_format_labels(entry['labels'])} "
+                f"{entry['count']}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics_prometheus(
+    metrics: _MetricsLike, path: str | Path
+) -> Path:
+    """Dump :func:`metrics_to_prometheus` to ``path`` and return it."""
+    out = Path(path)
+    out.write_text(metrics_to_prometheus(metrics), encoding="utf-8")
+    return out
+
+
+def _parse_labels(body: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    for part in _split_label_pairs(body):
+        key, _, raw = part.partition("=")
+        labels[key.strip()] = raw.strip().strip('"')
+    return labels
+
+
+def _split_label_pairs(body: str) -> list[str]:
+    # Split on commas outside quotes; label values here never contain
+    # escaped quotes (exporter writes plain identifiers), keep it simple.
+    parts: list[str] = []
+    depth_quote = False
+    current = ""
+    for ch in body:
+        if ch == '"':
+            depth_quote = not depth_quote
+            current += ch
+        elif ch == "," and not depth_quote:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current:
+        parts.append(current)
+    return parts
+
+
+def parse_prometheus(source: str | Path) -> dict[str, Any]:
+    """Parse exporter output back into an ``as_dict``-shaped snapshot.
+
+    The result feeds :meth:`repro.obs.metrics.MetricsRegistry.merge`
+    and :meth:`repro.obs.report.RunReport.from_artifacts`; only the
+    subset of the exposition format this package writes is understood.
+    """
+    if isinstance(source, Path):
+        text = source.read_text(encoding="utf-8")
+    elif "\n" in source or source.lstrip().startswith("#"):
+        text = source
+    else:
+        text = Path(source).read_text(encoding="utf-8")
+
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        labels: dict[str, str] = {}
+        name = name_part
+        if "{" in name_part:
+            name, _, label_body = name_part.partition("{")
+            labels = _parse_labels(label_body.rstrip("}"))
+        value = float("inf") if value_part == "+Inf" else float(value_part)
+        samples.append((name, labels, value))
+
+    counters: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
+    gauges: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
+    hist_parts: dict[
+        str, dict[tuple[tuple[str, str], ...], dict[str, Any]]
+    ] = {}
+
+    def _hist_entry(
+        base: str, labels: dict[str, str]
+    ) -> dict[str, Any]:
+        key = tuple(sorted(labels.items()))
+        series = hist_parts.setdefault(base, {})
+        entry = series.get(key)
+        if entry is None:
+            entry = series[key] = {
+                "labels": dict(labels),
+                "bucket_samples": [],
+                "sum": 0.0,
+                "count": 0,
+            }
+        return entry
+
+    for name, labels, value in samples:
+        base = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            candidate = name[: -len(suffix)] if name.endswith(suffix) else None
+            if candidate and types.get(candidate) == "histogram":
+                base = candidate
+                break
+        if base is not None:
+            if name.endswith("_bucket"):
+                le = labels.pop("le", "+Inf")
+                bound = float("inf") if le == "+Inf" else float(le)
+                _hist_entry(base, labels)["bucket_samples"].append(
+                    (bound, value)
+                )
+            elif name.endswith("_sum"):
+                _hist_entry(base, labels)["sum"] = value
+            else:
+                _hist_entry(base, labels)["count"] = int(value)
+            continue
+        kind = types.get(name, "counter")
+        target = gauges if kind == "gauge" else counters
+        target.setdefault(name, {})[tuple(sorted(labels.items()))] = value
+
+    histograms: dict[str, list[dict[str, Any]]] = {}
+    for base, series in hist_parts.items():
+        entries = []
+        for key in sorted(series):
+            entry = series[key]
+            bucket_samples = sorted(entry.pop("bucket_samples"))
+            bounds = [b for b, _ in bucket_samples if b != float("inf")]
+            cumulative = [int(v) for _, v in bucket_samples]
+            counts = [
+                c - (cumulative[i - 1] if i else 0)
+                for i, c in enumerate(cumulative)
+            ]
+            entry["buckets"] = bounds
+            entry["counts"] = counts
+            entries.append(entry)
+        histograms[base] = entries
+
+    return {
+        "counters": {
+            name: [
+                {"labels": dict(key), "value": series[key]}
+                for key in sorted(series)
+            ]
+            for name, series in sorted(counters.items())
+        },
+        "gauges": {
+            name: [
+                {"labels": dict(key), "value": series[key]}
+                for key in sorted(series)
+            ]
+            for name, series in sorted(gauges.items())
+        },
+        "histograms": dict(sorted(histograms.items())),
+    }

@@ -1,0 +1,306 @@
+"""Metrics registry: labelled counters, gauges, fixed-bucket histograms.
+
+One :class:`MetricsRegistry` holds all three instrument kinds, keyed by
+``(metric name, sorted label items)``.  Everything is lock-guarded, and
+the whole registry round-trips through :meth:`MetricsRegistry.as_dict`
+/ :meth:`MetricsRegistry.merge`, which is how per-worker deltas from
+:meth:`repro.parallel.WorkerPool.map_observed` aggregate: counters and
+histogram buckets *add*, gauges take the incoming value (last write
+wins).  Because merge is commutative over counters/histograms and the
+batch layer merges deltas in input order, serial, thread and process
+backends aggregate to identical totals.
+
+Metric names follow the Prometheus data model from the start
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``, e.g. ``cache_hits_total``), so the text
+exporter in :mod:`repro.obs.export` never needs to mangle them.
+
+:class:`NullMetrics` is the zero-cost disabled default, mirroring
+:class:`repro.obs.trace.NullTracer`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+#: Default histogram bucket upper bounds, in seconds — sized for
+#: per-page pipeline stages (sub-millisecond cache hits up to
+#: multi-second cold extractions).  ``+Inf`` is implicit.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+)
+
+#: A label set frozen into a canonical, hashable, sortable key.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Histogram:
+    """Fixed-bucket histogram state: cumulative counts + sum + count."""
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # trailing slot = +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        slot = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                slot = i
+                break
+        self.counts[slot] += 1
+        self.total += value
+        self.count += 1
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, dict[LabelKey, float]] = {}
+        self._gauges: dict[str, dict[LabelKey, float]] = {}
+        self._histograms: dict[str, dict[LabelKey, _Histogram]] = {}
+        self._buckets: dict[str, tuple[float, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle support (process pools ship instrumented pipelines):
+        the lock is process-local and recreated on the other side."""
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """True: this registry records (NullMetrics reports False)."""
+        return True
+
+    def inc(self, name: str, value: float = 1.0, /, **labels: Any) -> None:
+        """Add ``value`` to the counter ``name{labels}``."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, /, **labels: Any) -> None:
+        """Set the gauge ``name{labels}`` to ``value``."""
+        key = _label_key(labels)
+        with self._lock:
+            self._gauges.setdefault(name, {})[key] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        /,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> None:
+        """Record ``value`` into the histogram ``name{labels}``.
+
+        The first observation of a metric name fixes its bucket bounds;
+        later calls with different ``buckets`` keep the original bounds
+        so every series of one metric stays comparable.
+        """
+        key = _label_key(labels)
+        with self._lock:
+            bounds = self._buckets.setdefault(name, tuple(buckets))
+            series = self._histograms.setdefault(name, {})
+            hist = series.get(key)
+            if hist is None:
+                hist = series[key] = _Histogram(bounds)
+            hist.observe(value)
+
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, /, **labels: Any) -> float:
+        """Current value of one counter series (0.0 when unset)."""
+        key = _label_key(labels)
+        with self._lock:
+            return self._counters.get(name, {}).get(key, 0.0)
+
+    def gauge_value(self, name: str, /, **labels: Any) -> float | None:
+        """Current value of one gauge series (None when unset)."""
+        key = _label_key(labels)
+        with self._lock:
+            return self._gauges.get(name, {}).get(key)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of every label series of one counter."""
+        with self._lock:
+            return sum(self._counters.get(name, {}).values())
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """Canonical snapshot: sorted names, sorted label series.
+
+        The layout is stable (sorted at every level) so two registries
+        holding the same data serialize identically — the basis of the
+        serial==process equality assertions.
+        """
+        with self._lock:
+            return {
+                "counters": {
+                    name: [
+                        {"labels": dict(key), "value": series[key]}
+                        for key in sorted(series)
+                    ]
+                    for name, series in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: [
+                        {"labels": dict(key), "value": series[key]}
+                        for key in sorted(series)
+                    ]
+                    for name, series in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: [
+                        {"labels": dict(key), **series[key].as_dict()}
+                        for key in sorted(series)
+                    ]
+                    for name, series in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold an :meth:`as_dict` snapshot into this registry.
+
+        Counters and histogram bucket counts/sums add; gauges take the
+        incoming value (last write wins).  Used to aggregate per-worker
+        deltas from the process backend.
+        """
+        for name, entries in snapshot.get("counters", {}).items():
+            for entry in entries:
+                self.inc(name, entry["value"], **entry["labels"])
+        for name, entries in snapshot.get("gauges", {}).items():
+            for entry in entries:
+                self.set_gauge(name, entry["value"], **entry["labels"])
+        for name, entries in snapshot.get("histograms", {}).items():
+            for entry in entries:
+                self._merge_histogram(name, entry)
+
+    def _merge_histogram(self, name: str, entry: dict[str, Any]) -> None:
+        key = _label_key(entry["labels"])
+        bounds = tuple(entry["buckets"])
+        with self._lock:
+            bounds = self._buckets.setdefault(name, bounds)
+            series = self._histograms.setdefault(name, {})
+            hist = series.get(key)
+            if hist is None:
+                hist = series[key] = _Histogram(bounds)
+            for i, n in enumerate(entry["counts"]):
+                if i < len(hist.counts):
+                    hist.counts[i] += int(n)
+            hist.total += float(entry["sum"])
+            hist.count += int(entry["count"])
+
+    def clear(self) -> None:
+        """Drop every recorded series."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._buckets.clear()
+
+    # ------------------------------------------------------------------
+    def iter_counters(self) -> Iterator[tuple[str, dict[str, str], float]]:
+        """Every counter series as (name, labels, value), sorted."""
+        with self._lock:
+            items = [
+                (name, dict(key), series[key])
+                for name, series in sorted(self._counters.items())
+                for key in sorted(series)
+            ]
+        yield from items
+
+
+class NullMetrics:
+    """The zero-cost disabled registry: every method is a no-op.
+
+    API-compatible with :class:`MetricsRegistry` so instrumented code
+    never branches on whether metrics are on.
+    """
+
+    @property
+    def enabled(self) -> bool:
+        """False: recording calls are no-ops under this registry."""
+        return False
+
+    def inc(self, name: str, value: float = 1.0, /, **labels: Any) -> None:
+        """Discard the increment (metrics are disabled)."""
+
+    def set_gauge(self, name: str, value: float, /, **labels: Any) -> None:
+        """Discard the gauge write (metrics are disabled)."""
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        /,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> None:
+        """Discard the observation (metrics are disabled)."""
+
+    def counter_value(self, name: str, /, **labels: Any) -> float:
+        """Always 0.0."""
+        return 0.0
+
+    def gauge_value(self, name: str, /, **labels: Any) -> float | None:
+        """Always None."""
+        return None
+
+    def counter_total(self, name: str) -> float:
+        """Always 0.0."""
+        return 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """Always the empty snapshot."""
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Discard the snapshot (metrics are disabled)."""
+
+    def clear(self) -> None:
+        """Nothing to drop."""
+
+    def iter_counters(self) -> Iterator[tuple[str, dict[str, str], float]]:
+        """Always empty."""
+        return iter(())
+
+
+#: Module-wide default: instrumented code paths fall back to this when
+#: no registry is injected, making metrics strictly opt-in.
+NULL_METRICS = NullMetrics()
+
+#: What instrumented signatures accept: a live registry or the null one.
+AnyMetrics = MetricsRegistry | NullMetrics

@@ -1,0 +1,223 @@
+"""Human-readable run reports reconstructed from dumped artifacts.
+
+:class:`RunReport` is the consumer side of the observability layer: it
+takes a spans JSONL dump and a Prometheus metrics dump — *artifacts
+only*, no access to the process that produced them — and reconstructs
+per-stage timing (``extract.f1``..``extract.f5``, ``classify``,
+``target.identify``), verdict tallies, cache hit rates and
+retry/breaker activity as aligned ASCII tables.  This is what the
+``repro obs report`` CLI subcommand renders.
+
+The formatter is intentionally self-contained (not imported from
+:mod:`repro.evaluation.reporting`) because the evaluation package
+imports this one; sharing code would create an import cycle.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.obs.export import parse_prometheus, read_spans_jsonl
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.01:
+            return f"{value:.5f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _table(headers: list[str], rows: list[list[Any]]) -> str:
+    str_rows = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for i in [index] for row in str_rows))
+        if str_rows
+        else len(header)
+        for index, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+class RunReport:
+    """A pipeline run reconstructed from span + metric artifacts."""
+
+    def __init__(
+        self,
+        spans: list[dict[str, Any]],
+        metrics: dict[str, Any],
+    ) -> None:
+        self.spans = spans
+        self.metrics = metrics
+
+    @classmethod
+    def from_artifacts(
+        cls,
+        spans_path: str | Path | None = None,
+        metrics_path: str | Path | None = None,
+    ) -> "RunReport":
+        """Build a report from dump files written by the exporters."""
+        spans: list[dict[str, Any]] = []
+        metrics: dict[str, Any] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        if spans_path is not None:
+            spans = read_spans_jsonl(Path(spans_path))
+        if metrics_path is not None:
+            metrics = parse_prometheus(Path(metrics_path))
+        return cls(spans, metrics)
+
+    # ------------------------------------------------------------------
+    def stage_timing(self) -> list[dict[str, Any]]:
+        """Spans aggregated by name: count, total/mean/max seconds."""
+        agg: dict[str, dict[str, Any]] = {}
+        for span in self.spans:
+            entry = agg.setdefault(
+                span["name"], {"count": 0, "total": 0.0, "max": 0.0}
+            )
+            duration = float(span["end"]) - float(span["start"])
+            entry["count"] += 1
+            entry["total"] += duration
+            entry["max"] = max(entry["max"], duration)
+        return [
+            {
+                "name": name,
+                "count": entry["count"],
+                "total_s": entry["total"],
+                "mean_s": entry["total"] / entry["count"],
+                "max_s": entry["max"],
+            }
+            for name, entry in sorted(agg.items())
+        ]
+
+    def _counter_series(self, name: str) -> list[dict[str, Any]]:
+        return self.metrics.get("counters", {}).get(name, [])
+
+    def _counter_total(self, name: str) -> float:
+        return sum(e["value"] for e in self._counter_series(name))
+
+    def verdict_tallies(self) -> dict[str, float]:
+        """Verdict counts by label, plus the ``degraded`` tally."""
+        tallies = {
+            entry["labels"].get("verdict", ""): entry["value"]
+            for entry in self._counter_series("verdicts_total")
+        }
+        degraded = self._counter_total("verdicts_degraded_total")
+        if degraded:
+            tallies["degraded"] = degraded
+        return tallies
+
+    def cache_rates(self) -> list[dict[str, Any]]:
+        """Per-store cache hits/misses/evictions and hit rate."""
+        stores: dict[str, dict[str, float]] = {}
+        for metric, field in (
+            ("cache_hits_total", "hits"),
+            ("cache_misses_total", "misses"),
+            ("cache_evictions_total", "evictions"),
+        ):
+            for entry in self._counter_series(metric):
+                store = entry["labels"].get("store", "")
+                stores.setdefault(
+                    store, {"hits": 0.0, "misses": 0.0, "evictions": 0.0}
+                )[field] = entry["value"]
+        rows = []
+        for store in sorted(stores):
+            data = stores[store]
+            lookups = data["hits"] + data["misses"]
+            rows.append(
+                {
+                    "store": store,
+                    "hits": data["hits"],
+                    "misses": data["misses"],
+                    "evictions": data["evictions"],
+                    "hit_rate": data["hits"] / lookups if lookups else 0.0,
+                }
+            )
+        return rows
+
+    def resilience_counts(self) -> dict[str, float]:
+        """Navigation, retry and breaker-transition totals."""
+        counts = {
+            "loads": self._counter_total("browse_loads_total"),
+            "redirects": self._counter_total("browse_redirects_total"),
+            "retries": self._counter_total("browse_retries_total"),
+            "breaker_opened": sum(
+                entry["value"]
+                for entry in self._counter_series("breaker_transitions_total")
+                if entry["labels"].get("to") == "open"
+            ),
+            "breaker_transitions": self._counter_total(
+                "breaker_transitions_total"
+            ),
+        }
+        return counts
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The full report as aligned ASCII sections."""
+        sections: list[str] = []
+
+        timing = self.stage_timing()
+        if timing:
+            rows = [
+                [t["name"], t["count"], t["total_s"], t["mean_s"], t["max_s"]]
+                for t in timing
+            ]
+            sections.append(
+                "Per-stage timing (from spans)\n"
+                + _table(
+                    ["span", "count", "total s", "mean s", "max s"], rows
+                )
+            )
+
+        tallies = self.verdict_tallies()
+        if tallies:
+            rows = [
+                [verdict, int(count)]
+                for verdict, count in sorted(tallies.items())
+            ]
+            sections.append(
+                "Verdicts\n" + _table(["verdict", "count"], rows)
+            )
+
+        caches = self.cache_rates()
+        if caches:
+            rows = [
+                [
+                    c["store"],
+                    int(c["hits"]),
+                    int(c["misses"]),
+                    int(c["evictions"]),
+                    c["hit_rate"],
+                ]
+                for c in caches
+            ]
+            sections.append(
+                "Caches\n"
+                + _table(
+                    ["store", "hits", "misses", "evictions", "hit rate"],
+                    rows,
+                )
+            )
+
+        resilience = self.resilience_counts()
+        if any(resilience.values()):
+            rows = [[key, int(val)] for key, val in sorted(resilience.items())]
+            sections.append(
+                "Resilience\n" + _table(["counter", "count"], rows)
+            )
+
+        if not sections:
+            return "(no observability data in artifacts)"
+        return "\n\n".join(sections)

@@ -15,10 +15,16 @@ serial run bit-for-bit; cache hits return copies of values computed by
 the exact same code path as a miss.
 """
 
-from repro.parallel.cache import AnalysisCache, LruCache, snapshot_fingerprint
+from repro.parallel.cache import (
+    AnalysisCache,
+    CacheCountsProbe,
+    LruCache,
+    snapshot_fingerprint,
+)
 from repro.parallel.executor import (
     BACKENDS,
     MAX_WORKERS,
+    CounterProbe,
     WorkerPool,
     default_workers,
 )
@@ -26,6 +32,8 @@ from repro.parallel.executor import (
 __all__ = [
     "AnalysisCache",
     "BACKENDS",
+    "CacheCountsProbe",
+    "CounterProbe",
     "LruCache",
     "MAX_WORKERS",
     "WorkerPool",

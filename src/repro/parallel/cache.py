@@ -64,6 +64,7 @@ class LruCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -88,6 +89,7 @@ class LruCache:
             self._entries[key] = value
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
@@ -99,6 +101,31 @@ class LruCache:
         """Fraction of lookups served from cache."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Current counter values (a snapshot, safe to diff later)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def merge_counts(self, other: "LruCache | dict[str, int]") -> None:
+        """Fold another store's counters (or a delta dict) into this one.
+
+        This is how process-backend workers report back: their pickled
+        cache copy accumulates hits/misses/evictions that would
+        otherwise be lost when the worker exits, so the caller merges
+        the per-item counter *deltas* returned by
+        :meth:`repro.parallel.WorkerPool.map_observed`.
+        """
+        delta = other.counts() if isinstance(other, LruCache) else other
+        with self._lock:
+            self.hits += int(delta.get("hits", 0))
+            self.misses += int(delta.get("misses", 0))
+            self.evictions += int(delta.get("evictions", 0))
 
     # Locks do not pickle; drop the lock so process-pool workers can
     # receive a copy of a warm cache (their fills stay worker-local).
@@ -163,22 +190,91 @@ class AnalysisCache:
         )
 
     # ------------------------------------------------------------------
-    def stats(self) -> dict[str, float]:
-        """Flat hit/miss summary across all three stores."""
-        out: dict[str, float] = {}
-        for name, store in (
+    def _stores(self) -> tuple[tuple[str, LruCache], ...]:
+        return (
             ("features", self.features),
             ("pair_matrices", self.pair_matrices),
             ("distributions", self.distributions),
-        ):
+        )
+
+    def stats(self) -> dict[str, float]:
+        """Flat hit/miss/eviction summary across all three stores."""
+        out: dict[str, float] = {}
+        for name, store in self._stores():
             out[f"{name}_entries"] = len(store)
             out[f"{name}_hits"] = store.hits
             out[f"{name}_misses"] = store.misses
+            out[f"{name}_evictions"] = store.evictions
             out[f"{name}_hit_rate"] = store.hit_rate
         return out
+
+    def counts(self) -> dict[str, dict[str, int]]:
+        """Per-store counter snapshot, diffable and mergeable."""
+        return {name: store.counts() for name, store in self._stores()}
+
+    def merge_counts(
+        self, other: "AnalysisCache | dict[str, dict[str, int]]"
+    ) -> None:
+        """Fold another cache's counters (or a delta dict) into this one."""
+        deltas = (
+            other.counts() if isinstance(other, AnalysisCache) else other
+        )
+        for name, store in self._stores():
+            delta = deltas.get(name)
+            if delta:
+                store.merge_counts(delta)
+
+    def fill_metrics(self, metrics: object) -> None:
+        """Bridge current counters into a metrics registry.
+
+        ``metrics`` follows the :class:`repro.obs.metrics.MetricsRegistry`
+        API (duck-typed to keep this package import-light).  Called at
+        export time: counters land as ``cache_*_total{store=...}``.
+        """
+        inc = getattr(metrics, "inc")
+        for name, store in self._stores():
+            counts = store.counts()
+            inc("cache_hits_total", counts["hits"], store=name)
+            inc("cache_misses_total", counts["misses"], store=name)
+            inc("cache_evictions_total", counts["evictions"], store=name)
 
     def clear(self) -> None:
         """Drop every entry from every store."""
         self.features.clear()
         self.pair_matrices.clear()
         self.distributions.clear()
+
+
+class CacheCountsProbe:
+    """A :meth:`~repro.parallel.WorkerPool.map_observed` probe for caches.
+
+    Ships inside the task wrapper so that in a process-pool worker the
+    probe's ``cache`` is the *same object* as the one the mapped
+    function uses (pickle memoization preserves the shared reference);
+    per-item counter deltas then merge back into the caller's cache,
+    closing the hole where worker-side hits/misses were silently lost.
+    """
+
+    def __init__(self, cache: AnalysisCache) -> None:
+        self.cache = cache
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """Counter state before the mapped call."""
+        return self.cache.counts()
+
+    def delta(
+        self, before: dict[str, dict[str, int]]
+    ) -> dict[str, dict[str, int]]:
+        """Counter growth since ``before`` (one item's contribution)."""
+        after = self.cache.counts()
+        return {
+            name: {
+                key: after[name][key] - before[name].get(key, 0)
+                for key in after[name]
+            }
+            for name in after
+        }
+
+    def merge(self, delta: dict[str, dict[str, int]]) -> None:
+        """Fold a worker-side delta into the caller's cache."""
+        self.cache.merge_counts(delta)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Protocol, Sequence
 
 #: Backends accepted by :class:`WorkerPool`.
 BACKENDS = ("serial", "thread", "process")
@@ -40,6 +40,55 @@ MAX_WORKERS = 32
 def default_workers() -> int:
     """A sensible worker count for this machine (capped)."""
     return min(MAX_WORKERS, os.cpu_count() or 1)
+
+
+class CounterProbe(Protocol):
+    """Observes counter-like state around :meth:`WorkerPool.map_observed`.
+
+    The probe must be picklable *together with* the mapped function so
+    that inside a process-pool worker ``snapshot``/``delta`` see the
+    same objects the function mutates (pickle memoization within one
+    task wrapper preserves shared references).  ``delta`` payloads must
+    themselves be picklable; ``merge`` must be additive so per-item
+    deltas can be folded back in any grouping.
+    """
+
+    def snapshot(self) -> Any:
+        """State before one mapped call."""
+        ...
+
+    def delta(self, before: Any) -> Any:
+        """State growth since ``before`` (one item's contribution)."""
+        ...
+
+    def merge(self, delta: Any) -> None:
+        """Fold a worker-side delta into caller-side state."""
+        ...
+
+
+class _ObservedTask:
+    """Pickles ``fn`` and its probes as one object graph per item.
+
+    Returns ``(value, worker_pid, deltas)``: the pid lets the caller
+    distinguish process-backend results (deltas must merge back — the
+    worker mutated a *copy*) from thread/serial results (the worker
+    already mutated shared state; merging would double-count).
+    """
+
+    def __init__(
+        self, fn: Callable[[Any], Any], probes: Sequence[CounterProbe]
+    ) -> None:
+        self.fn = fn
+        self.probes = tuple(probes)
+
+    def __call__(self, item: Any) -> tuple[Any, int, list[Any]]:
+        befores = [probe.snapshot() for probe in self.probes]
+        value = self.fn(item)
+        deltas = [
+            probe.delta(before)
+            for probe, before in zip(self.probes, befores)
+        ]
+        return value, os.getpid(), deltas
 
 
 class WorkerPool:
@@ -98,6 +147,41 @@ class WorkerPool:
         # into a list restores the serial ordering regardless of which
         # worker finished first.
         return list(executor.map(fn, items))
+
+    def map_observed(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        probes: Sequence[CounterProbe] = (),
+    ) -> list[Any]:
+        """:meth:`map`, plus counter reconciliation across backends.
+
+        Each probe snapshots its counters around every call and, when
+        the call ran in *another process* (its pid differs from the
+        caller's), the per-item delta is merged back via
+        :meth:`CounterProbe.merge` — in input order, so totals are
+        schedule-independent.  On the serial and thread backends the
+        probes' state is shared with ``fn`` and already up to date, so
+        deltas are discarded rather than double-counted.  Result values
+        are identical to :meth:`map`'s.
+        """
+        probes = tuple(probes)
+        items = list(items)
+        if not probes or not items:
+            return self.map(fn, items)
+        if self.backend == "serial" or self.workers == 1 or len(items) == 1:
+            return [fn(item) for item in items]
+        executor = self._ensure_executor()
+        task = _ObservedTask(fn, probes)
+        outcomes = list(executor.map(task, items))
+        caller_pid = os.getpid()
+        results: list[Any] = []
+        for value, pid, deltas in outcomes:
+            results.append(value)
+            if pid != caller_pid:
+                for probe, delta in zip(probes, deltas):
+                    probe.merge(delta)
+        return results
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -13,6 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import NULL_METRICS, AnyMetrics, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, AnyTracer, Tracer
+from repro.parallel.cache import CacheCountsProbe
 from repro.resilience.browser import LoadResult
 from repro.resilience.errors import (
     DeadlineExceeded,
@@ -104,7 +107,44 @@ class BatchReport:
         }
 
 
-def analyze_many(pipeline, browser, urls, pool=None) -> BatchReport:
+class _TracedAnalyze:
+    """Per-item observed analysis: one fresh tracer/registry per page.
+
+    Mapped over loaded pages (serially or through a
+    :class:`~repro.parallel.WorkerPool`).  Every call records into its
+    *own* :class:`~repro.obs.trace.Tracer` and
+    :class:`~repro.obs.metrics.MetricsRegistry` and ships the finished
+    span records + metric snapshot back with the verdict; the caller
+    splices them into the batch-level instruments **in input order**.
+    That isolation is what makes span dumps byte-identical across
+    serial, thread and process backends — worker scheduling can never
+    interleave two pages' spans.
+
+    The clock is shared (pickled along, for process workers) so
+    manual-clock tests stay deterministic there too.
+    """
+
+    def __init__(self, pipeline, clock) -> None:
+        self.pipeline = pipeline
+        self.clock = clock
+
+    def __call__(self, loaded) -> tuple[object, list, dict]:
+        tracer = Tracer(clock=self.clock)
+        metrics = MetricsRegistry()
+        verdict = self.pipeline.analyze(
+            loaded, tracer=tracer, metrics=metrics
+        )
+        return verdict, tracer.export_records(), metrics.as_dict()
+
+
+def analyze_many(
+    pipeline,
+    browser,
+    urls,
+    pool=None,
+    tracer: AnyTracer = NULL_TRACER,
+    metrics: AnyMetrics = NULL_METRICS,
+) -> BatchReport:
     """Analyze every URL, quarantining failures instead of raising.
 
     Parameters
@@ -127,32 +167,62 @@ def analyze_many(pipeline, browser, urls, pool=None) -> BatchReport:
         Analysis is a pure function of the loaded page, so the report —
         verdicts, ordering, quarantine records — is bit-identical to
         ``pool=None`` for any backend and worker count.
+    tracer, metrics:
+        Batch-level instruments.  Loads are observed live (the phase-1
+        ``batch.load`` span); each page's analysis records into a fresh
+        per-item tracer/registry whose output is spliced back in input
+        order, so dumps are deterministic across backends and runs.
+        With both left at their null defaults the function takes the
+        exact pre-observability fast path.
     """
     report = BatchReport()
+    observed = tracer.enabled or metrics.enabled
     # Phase 1 (serial): load every page, quarantining failures.
     loaded_pages: list[tuple[str, LoadResult]] = []
     outcomes: list[tuple[str, object]] = []  # (kind, record/index)
-    for url in urls:
-        try:
-            loaded = browser.load(url)
-        except (
-            PageNotFound, RedirectLoopError, FetchError, DeadlineExceeded
-        ) as error:
-            outcomes.append(
-                ("quarantined", QuarantinedPage.from_error(url, error))
-            )
-            continue
-        if not isinstance(loaded, LoadResult):
-            loaded = LoadResult(snapshot=loaded)
-        outcomes.append(("analyzed", len(loaded_pages)))
-        loaded_pages.append((url, loaded))
+    with tracer.span("batch.load"):
+        for url in urls:
+            try:
+                loaded = browser.load(url)
+            except (
+                PageNotFound, RedirectLoopError, FetchError, DeadlineExceeded
+            ) as error:
+                record = QuarantinedPage.from_error(url, error)
+                metrics.inc("batch_quarantined_total", error=record.error_kind)
+                outcomes.append(("quarantined", record))
+                continue
+            if not isinstance(loaded, LoadResult):
+                loaded = LoadResult(snapshot=loaded)
+            outcomes.append(("analyzed", len(loaded_pages)))
+            loaded_pages.append((url, loaded))
 
     # Phase 2 (parallel): analyze the pages that loaded.
     loads = [loaded for _url, loaded in loaded_pages]
-    if pool is None:
-        verdicts = [pipeline.analyze(loaded) for loaded in loads]
+    if not observed:
+        if pool is None:
+            verdicts = [pipeline.analyze(loaded) for loaded in loads]
+        else:
+            verdicts = pool.map(pipeline.analyze, loads)
     else:
-        verdicts = pool.map(pipeline.analyze, loads)
+        worker = _TracedAnalyze(pipeline, tracer.clock)
+        if pool is None:
+            observed_results = [worker(loaded) for loaded in loads]
+        else:
+            # Cache counters accumulated inside process workers would
+            # otherwise be lost with the pipeline copy; the probe ships
+            # per-item deltas back for merging.
+            cache = getattr(
+                getattr(getattr(pipeline, "detector", None), "extractor", None),
+                "cache",
+                None,
+            )
+            probes = [CacheCountsProbe(cache)] if cache is not None else []
+            observed_results = pool.map_observed(worker, loads, probes=probes)
+        verdicts = []
+        for verdict, records, snapshot in observed_results:
+            verdicts.append(verdict)
+            tracer.adopt(records)
+            metrics.merge(snapshot)
 
     # Phase 3: assemble the report in input order, as a serial run would.
     for kind, payload in outcomes:

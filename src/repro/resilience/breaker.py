@@ -20,6 +20,9 @@ CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
 
+#: Gauge encoding of breaker states for the metrics layer.
+STATE_GAUGE = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
 
 class CircuitBreaker:
     """A consecutive-failure circuit breaker with a recovery probe.
@@ -37,6 +40,12 @@ class CircuitBreaker:
         Time source for the cooldown (injectable for tests).
     name:
         Label used in error messages (e.g. ``"search"``).
+    metrics:
+        Optional metrics registry (the
+        :class:`repro.obs.metrics.MetricsRegistry` API, duck-typed):
+        every state change emits a
+        ``breaker_transitions_total{name=,to=}`` counter increment and
+        updates the ``breaker_state{name=}`` gauge.
     """
 
     def __init__(
@@ -46,6 +55,7 @@ class CircuitBreaker:
         failure_types: tuple[type[BaseException], ...] = (Exception,),
         clock: Clock | None = None,
         name: str = "dependency",
+        metrics=None,
     ):
         if failure_threshold < 1:
             raise ValueError(
@@ -56,11 +66,45 @@ class CircuitBreaker:
         self.failure_types = failure_types
         self.clock = clock or SystemClock()
         self.name = name
+        self.metrics = metrics
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
         #: lifetime counters, exposed for experiment reporting
         self.stats = {"calls": 0, "failures": 0, "rejected": 0, "trips": 0}
+        #: per-edge state-transition counts, e.g. ``"closed->open": 2``
+        self.transitions: dict[str, int] = {}
+
+    @property
+    def opened_count(self) -> int:
+        """Times the breaker has *entered* the open state.
+
+        Counts every ``-> open`` transition — trips from closed as well
+        as re-opens from a failed half-open probe — as explicit events,
+        so callers no longer need to infer opens from raised
+        :class:`~repro.resilience.errors.CircuitOpenError`\\ s.
+        """
+        return sum(
+            count
+            for edge, count in self.transitions.items()
+            if edge.endswith(f"->{OPEN}")
+        )
+
+    def _set_state(self, new_state: str) -> None:
+        """Move to ``new_state``, recording the transition as an event."""
+        old = self._state
+        if old == new_state:
+            return
+        self._state = new_state
+        edge = f"{old}->{new_state}"
+        self.transitions[edge] = self.transitions.get(edge, 0) + 1
+        if self.metrics is not None:
+            self.metrics.inc(
+                "breaker_transitions_total", name=self.name, to=new_state
+            )
+            self.metrics.set_gauge(
+                "breaker_state", STATE_GAUGE[new_state], name=self.name
+            )
 
     @property
     def state(self) -> str:
@@ -72,7 +116,7 @@ class CircuitBreaker:
         if self._state == OPEN and (
             self.clock.now() - self._opened_at >= self.recovery_time
         ):
-            self._state = HALF_OPEN
+            self._set_state(HALF_OPEN)
         return self._state
 
     def call(self, fn, *args, **kwargs):
@@ -99,7 +143,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         """Note a successful call: closes the circuit, resets failures."""
         self._consecutive_failures = 0
-        self._state = CLOSED
+        self._set_state(CLOSED)
 
     def record_failure(self) -> None:
         """Note a failed call; trips the breaker at the threshold.
@@ -113,5 +157,5 @@ class CircuitBreaker:
         if probing or self._consecutive_failures >= self.failure_threshold:
             if self._state != OPEN:
                 self.stats["trips"] += 1
-            self._state = OPEN
+            self._set_state(OPEN)
             self._opened_at = self.clock.now()

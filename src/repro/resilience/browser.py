@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import NULL_METRICS, AnyMetrics
+from repro.obs.trace import NULL_TRACER, AnyTracer
 from repro.resilience.clock import Clock, SystemClock
 from repro.resilience.errors import (
     DeadlineExceeded,
@@ -63,6 +65,14 @@ class ResilientBrowser:
         Time source shared by deadline and backoff sleeps.
     max_redirects:
         Redirect hop limit, forwarded to the underlying browser.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`: each page load
+        becomes a ``browse.load`` span whose children are the
+        per-attempt ``browse.navigate`` spans of the inner browser.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` counting
+        ``browse_loads_total`` / ``browse_retries_total`` on top of the
+        inner browser's navigation/redirect counters.
     """
 
     def __init__(
@@ -72,11 +82,20 @@ class ResilientBrowser:
         page_budget: float | None = None,
         clock: Clock | None = None,
         max_redirects: int = 10,
+        tracer: AnyTracer = NULL_TRACER,
+        metrics: AnyMetrics = NULL_METRICS,
     ):
         self.clock = clock or SystemClock()
         self.policy = policy or RetryPolicy(clock=self.clock)
         self.page_budget = page_budget
-        self._browser = Browser(web, max_redirects=max_redirects)
+        self.tracer = tracer
+        self.metrics = metrics
+        self._browser = Browser(
+            web,
+            max_redirects=max_redirects,
+            tracer=tracer if tracer.enabled else None,
+            metrics=metrics if metrics.enabled else None,
+        )
         self.web = web
 
     # ------------------------------------------------------------------
@@ -101,19 +120,32 @@ class ResilientBrowser:
             self._pop_degradations()  # drop notes from a failed attempt
             return self._browser.load(starting_url)
 
-        try:
-            outcome = self.policy.call(_attempt, deadline=deadline)
-        except TransientFetchError as error:
-            raise RetriesExhausted(
-                starting_url, self.policy.max_attempts, error
-            ) from error
-        degradations = self._pop_degradations()
-        return LoadResult(
-            snapshot=outcome.result,
-            attempts=outcome.attempts,
-            degradations=degradations,
-            elapsed=self.clock.now() - started,
-        )
+        with self.tracer.span("browse.load", url=starting_url) as span:
+            try:
+                outcome = self.policy.call(_attempt, deadline=deadline)
+            except TransientFetchError as error:
+                span.set(failed=True, attempts=self.policy.max_attempts)
+                self.metrics.inc(
+                    "browse_retries_total", self.policy.max_attempts - 1
+                )
+                raise RetriesExhausted(
+                    starting_url, self.policy.max_attempts, error
+                ) from error
+            degradations = self._pop_degradations()
+            span.set(
+                attempts=outcome.attempts, degraded=bool(degradations)
+            )
+            self.metrics.inc("browse_loads_total")
+            if outcome.attempts > 1:
+                self.metrics.inc(
+                    "browse_retries_total", outcome.attempts - 1
+                )
+            return LoadResult(
+                snapshot=outcome.result,
+                attempts=outcome.attempts,
+                degradations=degradations,
+                elapsed=self.clock.now() - started,
+            )
 
     def try_load(self, starting_url: str) -> LoadResult | None:
         """Like :meth:`load` but returns ``None`` on any navigation failure."""

@@ -31,11 +31,27 @@ class Browser:
     max_redirects:
         Maximum redirect hops before declaring a loop (default 10,
         mirroring typical browser limits).
+    tracer:
+        Optional tracer (the :class:`repro.obs.trace.Tracer` API,
+        duck-typed so this module stays import-light) wrapping each
+        navigation attempt in a ``browse.navigate`` span.
+    metrics:
+        Optional metrics registry (the
+        :class:`repro.obs.metrics.MetricsRegistry` API) counting
+        ``browse_navigations_total`` and ``browse_redirects_total``.
     """
 
-    def __init__(self, web: SyntheticWeb, max_redirects: int = 10):
+    def __init__(
+        self,
+        web: SyntheticWeb,
+        max_redirects: int = 10,
+        tracer=None,
+        metrics=None,
+    ):
         self.web = web
         self.max_redirects = max_redirects
+        self.tracer = tracer
+        self.metrics = metrics
 
     def load(self, starting_url: str) -> PageSnapshot:
         """Visit ``starting_url`` and return the scraped snapshot.
@@ -43,6 +59,14 @@ class Browser:
         Raises :class:`PageNotFound` for unknown URLs and
         :class:`RedirectLoopError` for over-long redirect chains.
         """
+        if self.tracer is None:
+            return self._load(starting_url)
+        with self.tracer.span("browse.navigate", url=starting_url) as span:
+            snapshot = self._load(starting_url)
+            span.set(redirects=len(snapshot.redirection_chain) - 1)
+            return snapshot
+
+    def _load(self, starting_url: str) -> PageSnapshot:
         chain = [starting_url]
         current = self.web.get(starting_url)
         if current is None:
@@ -69,6 +93,10 @@ class Browser:
             screenshot=current.screenshot or Screenshot(),
         )
         snapshot.logged_links = self._log_resources(snapshot)
+        if self.metrics is not None:
+            self.metrics.inc("browse_navigations_total")
+            if hops:
+                self.metrics.inc("browse_redirects_total", hops)
         return snapshot
 
     def _log_resources(self, snapshot: PageSnapshot) -> list[str]:

@@ -181,6 +181,19 @@ AST_FIXTURES: dict[str, tuple[list[str], list[str]]] = {
             ),
         ],
     ),
+    "PHL106": (
+        [
+            "import time\nstart = time.perf_counter()\n",
+            "from time import perf_counter\nstart = perf_counter()\n",
+            "import time\nreading = time.monotonic()\n",
+            "import time\nstamp = time.time()\n",
+        ],
+        [
+            "start = tracer.clock.now()\n",  # the injected clock
+            "now = clock.now()\n",
+            "import time\ntime.sleep(0.1)\n",  # sleeping is not timing
+        ],
+    ),
     "PHL401": (
         [
             "def collect(item, bucket=[]):\n    bucket.append(item)\n",
@@ -213,8 +226,24 @@ AST_FIXTURES: dict[str, tuple[list[str], list[str]]] = {
             "text = 'print this later'\n",
         ],
     ),
+    "PHL404": (
+        [
+            "with tracer.span('Extract F1'):\n    pass\n",
+            "tracer.span('extract..f1')\n",
+            "with rec.span('extract-f1') as sp:\n    sp.set(ok=True)\n",
+            "tracer.span('')\n",
+        ],
+        [
+            "with tracer.span('extract.f2', metric='h'):\n    pass\n",
+            "tracer.span('browse.load')\n",
+            "tracer.span('extract.f{group}')\n",  # template segment
+            "tracer.span(name)\n",  # non-literal names are dynamic
+            "cell.span(2)\n",  # unrelated .span API, not a name
+        ],
+    ),
 }
 
 #: Path used when linting fixture snippets: inside ``src`` so no
-#: per-rule path exemption (e.g. PHL403's CLI allowlist) applies.
-FIXTURE_PATH = "src/repro/_lint_fixture.py"
+#: per-rule path exemption (e.g. PHL403's CLI allowlist) applies, and
+#: inside ``obs/`` so the instrumented-path scope of PHL106 does.
+FIXTURE_PATH = "src/repro/obs/_lint_fixture.py"

@@ -58,9 +58,10 @@ def test_findings_carry_location_and_rule_name():
     findings = lint_source(
         "import time\nstamp = time.time()\n", path=FIXTURE_PATH
     )
-    assert len(findings) == 1
-    finding = findings[0]
-    assert finding.code == "PHL102"
+    # At the obs fixture path a wall-clock read trips both PHL102 and
+    # the instrumented-path timer rule; check the PHL102 finding.
+    assert {f.code for f in findings} == {"PHL102", "PHL106"}
+    (finding,) = [f for f in findings if f.code == "PHL102"]
     assert finding.line == 2
     assert finding.col >= 1
     assert finding.rule_name == "direct-wall-clock"

@@ -1,0 +1,143 @@
+"""Exporter round-trips and artifact-only run reports."""
+
+from repro.obs import (
+    MetricsRegistry,
+    RunReport,
+    Tracer,
+    metrics_to_jsonl,
+    metrics_to_prometheus,
+    parse_prometheus,
+    read_spans_jsonl,
+    spans_to_jsonl,
+    write_metrics_prometheus,
+    write_spans_jsonl,
+)
+from repro.resilience import ManualClock
+
+
+def _sample_tracer() -> Tracer:
+    clock = ManualClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("analyze", url="http://a/") as span:
+        clock.advance(0.5)
+        with tracer.span("extract"):
+            clock.advance(0.25)
+        span.set(verdict="phish")
+    return tracer
+
+
+def _sample_metrics() -> MetricsRegistry:
+    metrics = MetricsRegistry()
+    metrics.inc("verdicts_total", 3, verdict="phish")
+    metrics.inc("verdicts_total", 5, verdict="legitimate")
+    metrics.inc("cache_hits_total", 7, store="features")
+    metrics.inc("cache_misses_total", 2, store="features")
+    metrics.set_gauge("breaker_state", 2.0, name="search")
+    metrics.observe("stage_seconds", 0.02, buckets=(0.01, 0.1))
+    metrics.observe("stage_seconds", 0.5, buckets=(0.01, 0.1))
+    return metrics
+
+
+class TestSpansJsonl:
+    def test_one_sorted_json_object_per_span(self):
+        text = spans_to_jsonl(_sample_tracer())
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+        assert all(line.startswith("{") for line in lines)
+
+    def test_round_trip_through_a_file(self, tmp_path):
+        tracer = _sample_tracer()
+        path = write_spans_jsonl(tracer, tmp_path / "spans.jsonl")
+        spans = read_spans_jsonl(path)
+        assert [span["name"] for span in spans] == ["analyze", "extract"]
+        assert spans[0]["parent_id"] is None
+        assert spans[1]["parent_id"] == spans[0]["span_id"]
+        assert spans[0]["end"] - spans[0]["start"] == 0.75
+        assert spans[0]["attrs"]["verdict"] == "phish"
+
+    def test_identical_tracers_dump_identical_bytes(self):
+        assert spans_to_jsonl(_sample_tracer()) == \
+            spans_to_jsonl(_sample_tracer())
+
+    def test_empty_tracer_dumps_empty_text(self):
+        assert spans_to_jsonl(Tracer(clock=ManualClock())) == ""
+
+
+class TestPrometheus:
+    def test_format_is_deterministic(self):
+        assert metrics_to_prometheus(_sample_metrics()) == \
+            metrics_to_prometheus(_sample_metrics())
+
+    def test_counter_and_gauge_lines(self):
+        text = metrics_to_prometheus(_sample_metrics())
+        assert 'verdicts_total{verdict="phish"} 3' in text
+        assert 'breaker_state{name="search"} 2' in text
+        assert "# TYPE verdicts_total counter" in text
+        assert "# TYPE breaker_state gauge" in text
+
+    def test_histogram_is_cumulative_with_inf(self):
+        text = metrics_to_prometheus(_sample_metrics())
+        assert 'stage_seconds_bucket{le="0.01"} 0' in text
+        assert 'stage_seconds_bucket{le="0.1"} 1' in text
+        assert 'stage_seconds_bucket{le="+Inf"} 2' in text
+        assert "stage_seconds_count 2" in text
+
+    def test_parse_round_trips_into_an_equal_registry(self, tmp_path):
+        metrics = _sample_metrics()
+        path = write_metrics_prometheus(metrics, tmp_path / "m.prom")
+        snapshot = parse_prometheus(path)
+        rebuilt = MetricsRegistry()
+        rebuilt.merge(snapshot)
+        assert metrics_to_prometheus(rebuilt) == metrics_to_prometheus(metrics)
+
+    def test_metrics_jsonl_snapshot(self):
+        text = metrics_to_jsonl(_sample_metrics())
+        assert '"verdicts_total"' in text
+
+
+class TestRunReport:
+    def test_report_from_artifacts_alone(self, tmp_path):
+        spans_path = write_spans_jsonl(
+            _sample_tracer(), tmp_path / "spans.jsonl"
+        )
+        metrics_path = write_metrics_prometheus(
+            _sample_metrics(), tmp_path / "metrics.prom"
+        )
+        report = RunReport.from_artifacts(
+            spans_path=spans_path, metrics_path=metrics_path
+        )
+
+        timing = {row["name"]: row for row in report.stage_timing()}
+        assert timing["analyze"]["count"] == 1
+        assert timing["analyze"]["total_s"] == 0.75
+        assert timing["extract"]["mean_s"] == 0.25
+
+        assert report.verdict_tallies() == {"phish": 3.0, "legitimate": 5.0}
+
+        (features,) = report.cache_rates()
+        assert features["store"] == "features"
+        assert features["hits"] == 7.0
+        assert abs(features["hit_rate"] - 7 / 9) < 1e-9
+
+        rendered = report.render()
+        assert "Per-stage timing (from spans)" in rendered
+        assert "Verdicts" in rendered
+        assert "Caches" in rendered
+
+    def test_resilience_counts_from_breaker_metrics(self):
+        metrics = MetricsRegistry()
+        metrics.inc("browse_loads_total", 10)
+        metrics.inc("browse_retries_total", 4)
+        metrics.inc("breaker_transitions_total", name="search", to="open")
+        metrics.inc("breaker_transitions_total", name="search", to="half-open")
+        report = RunReport([], metrics.as_dict())
+        counts = report.resilience_counts()
+        assert counts["loads"] == 10.0
+        assert counts["retries"] == 4.0
+        assert counts["breaker_opened"] == 1.0
+        assert counts["breaker_transitions"] == 2.0
+        assert "Resilience" in report.render()
+
+    def test_empty_artifacts_render_placeholder(self):
+        report = RunReport.from_artifacts()
+        assert report.render() == "(no observability data in artifacts)"

@@ -1,0 +1,161 @@
+"""MetricsRegistry invariants: labels, snapshots, commutative merges."""
+
+import threading
+
+from repro.obs import DEFAULT_BUCKETS, NULL_METRICS, MetricsRegistry, NullMetrics
+
+
+class TestCounters:
+    def test_inc_defaults_to_one_and_accumulates(self):
+        metrics = MetricsRegistry()
+        metrics.inc("verdicts_total", verdict="phish")
+        metrics.inc("verdicts_total", verdict="phish")
+        metrics.inc("verdicts_total", 3.0, verdict="legitimate")
+        assert metrics.counter_value("verdicts_total", verdict="phish") == 2.0
+        assert metrics.counter_total("verdicts_total") == 5.0
+
+    def test_label_named_name_does_not_collide(self):
+        # inc/set_gauge take the metric name positionally-only, so a
+        # label literally called ``name`` (the breaker uses one) works.
+        metrics = MetricsRegistry()
+        metrics.inc("breaker_transitions_total", name="search", to="open")
+        metrics.set_gauge("breaker_state", 2.0, name="search")
+        assert metrics.counter_value(
+            "breaker_transitions_total", name="search", to="open"
+        ) == 1.0
+        assert metrics.gauge_value("breaker_state", name="search") == 2.0
+
+    def test_unset_series_read_as_zero(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter_value("nope") == 0.0
+        assert metrics.counter_total("nope") == 0.0
+        assert metrics.gauge_value("nope") is None
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("breaker_state", 0.0, name="search")
+        metrics.set_gauge("breaker_state", 2.0, name="search")
+        assert metrics.gauge_value("breaker_state", name="search") == 2.0
+
+
+class TestHistograms:
+    def test_observations_land_in_buckets(self):
+        metrics = MetricsRegistry()
+        metrics.observe("stage_seconds", 0.0005, buckets=(0.001, 0.1))
+        metrics.observe("stage_seconds", 0.05, buckets=(0.001, 0.1))
+        metrics.observe("stage_seconds", 7.0, buckets=(0.001, 0.1))
+        entry = metrics.as_dict()["histograms"]["stage_seconds"][0]
+        assert entry["buckets"] == [0.001, 0.1]
+        assert entry["counts"] == [1, 1, 1]  # last slot = +Inf
+        assert entry["count"] == 3
+        assert abs(entry["sum"] - 7.0505) < 1e-9
+
+    def test_first_observation_fixes_bounds(self):
+        metrics = MetricsRegistry()
+        metrics.observe("stage_seconds", 0.5, buckets=(1.0,))
+        metrics.observe("stage_seconds", 0.5, buckets=(0.1, 0.2))
+        entry = metrics.as_dict()["histograms"]["stage_seconds"][0]
+        assert entry["buckets"] == [1.0]
+        assert entry["counts"] == [2, 0]
+
+    def test_default_buckets_used_when_unspecified(self):
+        metrics = MetricsRegistry()
+        metrics.observe("stage_seconds", 0.02)
+        entry = metrics.as_dict()["histograms"]["stage_seconds"][0]
+        assert entry["buckets"] == list(DEFAULT_BUCKETS)
+
+
+class TestSnapshotAndMerge:
+    def test_as_dict_is_sorted_and_stable(self):
+        one = MetricsRegistry()
+        one.inc("b_total", z="2")
+        one.inc("b_total", a="1")
+        one.inc("a_total")
+        two = MetricsRegistry()
+        two.inc("a_total")
+        two.inc("b_total", a="1")
+        two.inc("b_total", z="2")
+        assert one.as_dict() == two.as_dict()
+        assert list(one.as_dict()["counters"]) == ["a_total", "b_total"]
+
+    def test_merge_adds_counters_and_histograms(self):
+        base = MetricsRegistry()
+        base.inc("cache_hits_total", 2, store="features")
+        base.observe("stage_seconds", 0.3, buckets=(1.0,))
+        delta = MetricsRegistry()
+        delta.inc("cache_hits_total", 3, store="features")
+        delta.observe("stage_seconds", 0.4, buckets=(1.0,))
+        base.merge(delta.as_dict())
+        assert base.counter_value("cache_hits_total", store="features") == 5.0
+        entry = base.as_dict()["histograms"]["stage_seconds"][0]
+        assert entry["count"] == 2
+        assert abs(entry["sum"] - 0.7) < 1e-9
+
+    def test_merge_is_commutative_for_counters(self):
+        parts = []
+        for value in (1, 2, 3):
+            part = MetricsRegistry()
+            part.inc("verdicts_total", value, verdict="phish")
+            part.inc("browse_loads_total")
+            parts.append(part.as_dict())
+        forward = MetricsRegistry()
+        for snapshot in parts:
+            forward.merge(snapshot)
+        backward = MetricsRegistry()
+        for snapshot in reversed(parts):
+            backward.merge(snapshot)
+        assert forward.as_dict() == backward.as_dict()
+
+    def test_merge_gauge_last_write_wins(self):
+        base = MetricsRegistry()
+        base.set_gauge("breaker_state", 0.0, name="search")
+        delta = MetricsRegistry()
+        delta.set_gauge("breaker_state", 2.0, name="search")
+        base.merge(delta.as_dict())
+        assert base.gauge_value("breaker_state", name="search") == 2.0
+
+    def test_clear_empties_everything(self):
+        metrics = MetricsRegistry()
+        metrics.inc("a_total")
+        metrics.set_gauge("g", 1.0)
+        metrics.observe("h", 0.1)
+        metrics.clear()
+        assert metrics.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestThreadSafety:
+    def test_concurrent_incs_do_not_lose_updates(self):
+        metrics = MetricsRegistry()
+
+        def work():
+            for _ in range(500):
+                metrics.inc("hits_total")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counter_value("hits_total") == 2000.0
+
+
+class TestNullMetrics:
+    def test_null_is_disabled_and_records_nothing(self):
+        null = NullMetrics()
+        assert null.enabled is False
+        assert MetricsRegistry().enabled is True
+        null.inc("a_total", 5, verdict="phish")
+        null.set_gauge("g", 1.0)
+        null.observe("h", 0.1)
+        null.merge({"counters": {"a_total": [{"labels": {}, "value": 9}]}})
+        assert null.counter_value("a_total", verdict="phish") == 0.0
+        assert null.counter_total("a_total") == 0.0
+        assert null.gauge_value("g") is None
+        assert null.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert list(NULL_METRICS.iter_counters()) == []

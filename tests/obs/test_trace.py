@@ -1,0 +1,187 @@
+"""Tracer invariants: deterministic ids, nesting, adoption, null cost."""
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_TRACER, SPAN_NAME_PATTERN, NullTracer, Tracer
+from repro.resilience import ManualClock
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer(clock=ManualClock())
+        with tracer.span("analyze") as root:
+            with tracer.span("extract"):
+                with tracer.span("extract.f1"):
+                    pass
+                with tracer.span("extract.f2"):
+                    pass
+            with tracer.span("classify"):
+                pass
+        assert [span.name for span in tracer.iter_spans()] == [
+            "analyze", "extract", "extract.f1", "extract.f2", "classify",
+        ]
+        assert root.parent_id is None
+        extract = tracer.roots[0].children[0]
+        assert extract.parent_id == root.span_id
+        assert [child.parent_id for child in extract.children] == \
+            [extract.span_id, extract.span_id]
+
+    def test_ids_assigned_in_start_order_from_one(self):
+        tracer = Tracer(clock=ManualClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [span.span_id for span in tracer.iter_spans()] == [1, 2, 3]
+
+    def test_durations_come_from_the_injected_clock(self):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer") as outer:
+            clock.advance(1.0)
+            with tracer.span("inner") as inner:
+                clock.advance(0.25)
+        assert inner.duration == 0.25
+        assert outer.duration == 1.25
+        assert inner.start == 1.0
+
+    def test_attrs_at_entry_and_via_set(self):
+        tracer = Tracer(clock=ManualClock())
+        with tracer.span("analyze", url="http://x/") as span:
+            span.set(verdict="phish", degraded=False)
+        assert tracer.roots[0].attrs == {
+            "url": "http://x/", "verdict": "phish", "degraded": False,
+        }
+
+    def test_span_finishes_even_when_body_raises(self):
+        tracer = Tracer(clock=ManualClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert [span.name for span in tracer.iter_spans()] == ["doomed"]
+        # the stack unwound: the next span is a fresh root
+        with tracer.span("next"):
+            pass
+        assert tracer.roots[1].parent_id is None
+
+    def test_sibling_roots_recorded_in_order(self):
+        tracer = Tracer(clock=ManualClock())
+        for name in ("first", "second", "third"):
+            with tracer.span(name):
+                pass
+        assert [root.name for root in tracer.roots] == \
+            ["first", "second", "third"]
+
+    def test_clear_drops_spans_but_not_the_counter(self):
+        tracer = Tracer(clock=ManualClock())
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        with tracer.span("b"):
+            pass
+        assert [span.span_id for span in tracer.iter_spans()] == [2]
+
+
+class TestAdoption:
+    def test_adopt_renumbers_in_preorder(self):
+        clock = ManualClock()
+        worker = Tracer(clock=clock)
+        with worker.span("analyze"):
+            with worker.span("extract"):
+                pass
+            with worker.span("classify"):
+                pass
+        parent = Tracer(clock=clock)
+        with parent.span("batch.load"):
+            pass
+        parent.adopt(worker.export_records())
+        assert [(s.name, s.span_id) for s in parent.iter_spans()] == [
+            ("batch.load", 1), ("analyze", 2), ("extract", 3),
+            ("classify", 4),
+        ]
+
+    def test_adopted_dump_matches_directly_recorded_dump(self):
+        from repro.obs import spans_to_jsonl
+
+        def record(tracer):
+            with tracer.span("analyze", url="u"):
+                with tracer.span("extract"):
+                    pass
+
+        direct = Tracer(clock=ManualClock())
+        record(direct)
+
+        worker = Tracer(clock=ManualClock())
+        record(worker)
+        adopting = Tracer(clock=ManualClock())
+        adopting.adopt(worker.export_records())
+
+        assert spans_to_jsonl(adopting) == spans_to_jsonl(direct)
+
+    def test_export_records_round_trips_times_and_attrs(self):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("a", k=1):
+            clock.advance(2.0)
+        records = tracer.export_records()
+        assert records[0]["start"] == 0.0
+        assert records[0]["end"] == 2.0
+        assert records[0]["attrs"] == {"k": 1}
+
+
+class TestThreadIsolation:
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer(clock=ManualClock())
+        barrier = threading.Barrier(2)
+
+        def work(label):
+            with tracer.span(label):
+                barrier.wait()
+
+        threads = [
+            threading.Thread(target=work, args=(name,))
+            for name in ("one", "two")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # both spans are roots: neither nested under the other
+        assert sorted(root.name for root in tracer.roots) == ["one", "two"]
+        assert all(root.parent_id is None for root in tracer.roots)
+
+
+class TestNullTracer:
+    def test_disabled_and_shared_span(self):
+        null = NullTracer()
+        assert null.enabled is False
+        assert Tracer(clock=ManualClock()).enabled is True
+        first = null.span("anything", url="x")
+        second = null.span("else")
+        assert first is second  # shared no-op instance
+
+    def test_null_records_nothing(self):
+        with NULL_TRACER.span("a") as span:
+            span.set(ignored=True)
+        NULL_TRACER.adopt([{"name": "x"}])
+        assert NULL_TRACER.export_records() == []
+        assert list(NULL_TRACER.iter_spans()) == []
+
+
+class TestSpanNamePattern:
+    @pytest.mark.parametrize("name", [
+        "analyze", "batch.load", "extract.f1", "extract.f2.pairs",
+        "target.identify", "extract.f{group}", "train.stage",
+    ])
+    def test_taxonomy_names_match(self, name):
+        assert SPAN_NAME_PATTERN.match(name)
+
+    @pytest.mark.parametrize("name", [
+        "Analyze", "extract..f1", "extract.", ".extract", "ex tract",
+        "extract-f1", "1extract", "",
+    ])
+    def test_bad_names_rejected(self, name):
+        assert not SPAN_NAME_PATTERN.match(name)

@@ -130,3 +130,97 @@ class TestAnalysisCache:
         cache.clear()
         assert cache.stats()["features_entries"] == 0
         assert cache.distributions.get("k") is None
+
+
+class TestEvictionCounters:
+    def test_overfill_counts_evictions(self):
+        cache = LruCache(max_entries=3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert cache.evictions == 7
+        assert cache.counts() == {"hits": 0, "misses": 0, "evictions": 7}
+
+    def test_replacing_a_key_is_not_an_eviction(self):
+        cache = LruCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        cache.put("b", 1)
+        assert cache.evictions == 0
+
+    def test_analysis_cache_stats_report_evictions(self):
+        cache = AnalysisCache(max_entries=2)
+        for i in range(5):
+            cache.put_features(f"k{i}", np.zeros(212))
+        stats = cache.stats()
+        assert stats["features_evictions"] == 3
+        assert stats["features_entries"] == 2
+        assert stats["pair_matrices_evictions"] == 0
+
+
+class TestMergeCounts:
+    def test_lru_merge_from_cache_and_dict(self):
+        ours = LruCache()
+        ours.put("a", 1)
+        ours.get("a")
+        theirs = LruCache(max_entries=1)
+        theirs.get("missing")
+        theirs.put("x", 1)
+        theirs.put("y", 1)          # evicts x
+        ours.merge_counts(theirs)
+        assert ours.counts() == {"hits": 1, "misses": 1, "evictions": 1}
+        ours.merge_counts({"hits": 2})
+        assert ours.hits == 3
+
+    def test_analysis_cache_merge_counts(self):
+        ours = AnalysisCache()
+        theirs = AnalysisCache()
+        theirs.get_features("missing")
+        theirs.put_features("k", np.zeros(212))
+        theirs.get_features("k")
+        theirs.distributions.get("nope")
+        ours.merge_counts(theirs)
+        assert ours.features.hits == 1
+        assert ours.features.misses == 1
+        assert ours.distributions.misses == 1
+        # merging a partial delta dict only touches the named stores
+        ours.merge_counts({"features": {"hits": 4}})
+        assert ours.features.hits == 5
+
+    def test_fill_metrics_bridges_all_stores(self):
+        from repro.obs import MetricsRegistry
+
+        cache = AnalysisCache(max_entries=1)
+        cache.get_features("missing")
+        cache.put_features("a", np.zeros(212))
+        cache.get_features("a")
+        cache.put_features("b", np.zeros(212))   # evicts a
+        metrics = MetricsRegistry()
+        cache.fill_metrics(metrics)
+        assert metrics.counter_value(
+            "cache_hits_total", store="features") == 1.0
+        assert metrics.counter_value(
+            "cache_misses_total", store="features") == 1.0
+        assert metrics.counter_value(
+            "cache_evictions_total", store="features") == 1.0
+        assert metrics.counter_value(
+            "cache_hits_total", store="distributions") == 0.0
+
+
+class TestCacheCountsProbe:
+    def test_snapshot_delta_merge_round_trip(self):
+        from repro.parallel import CacheCountsProbe
+
+        cache = AnalysisCache()
+        probe = CacheCountsProbe(cache)
+        before = probe.snapshot()
+        cache.get_features("missing")
+        cache.put_features("k", np.zeros(212))
+        cache.get_features("k")
+        delta = probe.delta(before)
+        assert delta["features"] == {"hits": 1, "misses": 1, "evictions": 0}
+
+        other = AnalysisCache()
+        CacheCountsProbe(other).merge(delta)
+        assert other.features.hits == 1
+        assert other.features.misses == 1

@@ -102,3 +102,70 @@ class TestMapSemantics:
 
 def _pid(_item):
     return os.getpid()
+
+
+class _LookupTask:
+    """Picklable mapped fn doing one unique-key cache lookup per item."""
+
+    def __init__(self, cache):
+        self.cache = cache
+
+    def __call__(self, item):
+        import numpy as np
+        if self.cache.get_features(f"k{item}") is None:
+            self.cache.put_features(f"k{item}", np.full(4, float(item)))
+        return item * item
+
+
+class TestMapObserved:
+    """Counter reconciliation: totals are backend-independent."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_counter_totals_equal_across_backends(self, backend):
+        from repro.parallel import AnalysisCache, CacheCountsProbe
+
+        cache = AnalysisCache()
+        fn = _LookupTask(cache)
+        with WorkerPool(workers=2, backend=backend) as pool:
+            results = pool.map_observed(
+                fn, range(8), probes=[CacheCountsProbe(cache)]
+            )
+        assert results == [i * i for i in range(8)]
+        # one unique key per item: exactly one miss each, any backend
+        assert cache.features.misses == 8
+        assert cache.features.hits == 0
+
+    def test_thread_backend_does_not_double_count(self):
+        from repro.parallel import AnalysisCache, CacheCountsProbe
+
+        cache = AnalysisCache()
+        fn = _LookupTask(cache)
+        with WorkerPool(workers=2, backend="thread") as pool:
+            pool.map_observed(fn, range(6), probes=[CacheCountsProbe(cache)])
+        # fn already mutated the shared cache; deltas must be discarded
+        assert cache.features.misses == 6
+
+    def test_process_worker_counts_are_recovered(self):
+        from repro.parallel import AnalysisCache, CacheCountsProbe
+
+        cache = AnalysisCache()
+        fn = _LookupTask(cache)
+        with WorkerPool(workers=2, backend="process") as pool:
+            pool.map(fn, range(6))
+            # plain map: worker-side counter growth is silently lost
+            assert cache.features.misses == 0
+            pool.map_observed(fn, range(6), probes=[CacheCountsProbe(cache)])
+        # observed map ships per-item deltas back from the workers
+        assert cache.features.misses == 6
+
+    def test_no_probes_degrades_to_map(self):
+        with WorkerPool(workers=2, backend="thread") as pool:
+            assert pool.map_observed(_square, range(5)) == \
+                [0, 1, 4, 9, 16]
+
+    def test_empty_items(self):
+        from repro.parallel import AnalysisCache, CacheCountsProbe
+
+        probe = CacheCountsProbe(AnalysisCache())
+        with WorkerPool(workers=2, backend="thread") as pool:
+            assert pool.map_observed(_square, [], probes=[probe]) == []

@@ -155,3 +155,66 @@ class TestGuardedSearchEngine:
     def test_result_mlds(self, engine):
         guarded = GuardedSearchEngine(engine, clock=ManualClock())
         assert "paypal" in guarded.result_mlds(["paypal"])
+
+
+class TestTransitionEvents:
+    def _tripped(self, metrics=None):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, recovery_time=30.0, clock=clock,
+            failure_types=(SearchUnavailableError,), name="search",
+            metrics=metrics,
+        )
+        for _ in range(2):
+            with pytest.raises(SearchUnavailableError):
+                breaker.call(_failing)
+        return breaker, clock
+
+    def test_opened_count_counts_every_entry_into_open(self):
+        breaker, clock = self._tripped()
+        assert breaker.opened_count == 1
+        clock.advance(31.0)
+        assert breaker.state == "half-open"
+        with pytest.raises(SearchUnavailableError):
+            breaker.call(_failing)           # failed probe re-opens
+        assert breaker.opened_count == 2
+        assert breaker.transitions == {
+            "closed->open": 1,
+            "open->half-open": 1,
+            "half-open->open": 1,
+        }
+
+    def test_successful_probe_closes_without_opening(self):
+        breaker, clock = self._tripped()
+        clock.advance(31.0)
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == "closed"
+        assert breaker.opened_count == 1
+        assert breaker.transitions["half-open->closed"] == 1
+
+    def test_success_in_closed_state_records_no_transition(self):
+        breaker = CircuitBreaker(clock=ManualClock())
+        breaker.call(lambda: "ok")
+        breaker.call(lambda: "ok")
+        assert breaker.transitions == {}
+        assert breaker.opened_count == 0
+
+    def test_transitions_feed_the_metrics_registry(self):
+        from repro.obs import MetricsRegistry
+        from repro.resilience.breaker import STATE_GAUGE
+
+        metrics = MetricsRegistry()
+        breaker, clock = self._tripped(metrics=metrics)
+        assert metrics.counter_value(
+            "breaker_transitions_total", name="search", to="open"
+        ) == 1.0
+        assert metrics.gauge_value(
+            "breaker_state", name="search") == STATE_GAUGE["open"]
+        clock.advance(31.0)
+        assert breaker.state == "half-open"
+        assert metrics.gauge_value(
+            "breaker_state", name="search") == STATE_GAUGE["half-open"]
+        breaker.call(lambda: "ok")
+        assert metrics.gauge_value(
+            "breaker_state", name="search") == STATE_GAUGE["closed"]
+        assert metrics.counter_total("breaker_transitions_total") == 3.0

@@ -102,3 +102,60 @@ class TestErrorHandling:
         captured = capsys.readouterr()
         assert captured.err.startswith("error:")
         assert "slow.example" in captured.err
+
+
+class TestObservabilityCommands:
+    """`analyze --trace-out/--metrics-out` + `obs report` round trip."""
+
+    @pytest.fixture(scope="class")
+    def base_args(self):
+        return ["--scale", "0.002", "--seed", "21", "--estimators", "15"]
+
+    @pytest.fixture(scope="class")
+    def artifacts(self, base_args, tmp_path_factory):
+        out = tmp_path_factory.mktemp("obs")
+        spans = out / "spans.jsonl"
+        metrics = out / "metrics.prom"
+        assert main(
+            base_args + ["--workers", "2", "analyze",
+                         "--trace-out", str(spans),
+                         "--metrics-out", str(metrics)]
+        ) == 0
+        return spans, metrics
+
+    def test_analyze_writes_both_artifacts(self, artifacts):
+        spans, metrics = artifacts
+        assert spans.exists() and spans.stat().st_size > 0
+        assert metrics.exists() and metrics.stat().st_size > 0
+        assert "verdicts_total" in metrics.read_text()
+        assert '"name":"analyze"' in spans.read_text()
+
+    def test_obs_report_reconstructs_the_run(self, artifacts, capsys):
+        spans, metrics = artifacts
+        assert main(
+            ["obs", "report", "--spans", str(spans),
+             "--metrics", str(metrics)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage timing (from spans)" in out
+        assert "Verdicts" in out
+        assert "Caches" in out
+        assert "extract" in out
+
+    def test_obs_report_metrics_only(self, artifacts, capsys):
+        _spans, metrics = artifacts
+        assert main(["obs", "report", "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "Verdicts" in out
+        assert "Per-stage timing" not in out
+
+    def test_obs_report_without_artifacts_errors(self, capsys):
+        assert main(["obs", "report"]) == 2
+        assert "artifact paths" in capsys.readouterr().err
+
+    def test_obs_report_missing_file_clean_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["obs", "report", "--spans", str(missing)]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "Traceback" not in err
