@@ -1,0 +1,84 @@
+"""Serving-engine chaos benchmark: overload + faults, zero surprises.
+
+Offers 3x the sustainable request rate of Zipf-skewed traffic to the
+:class:`~repro.serve.ServingEngine` and injects every failure mode the
+serving core defends against — a mid-run search outage, hot-key storms
+on pages first seen during the outage, deterministic page stalls, a
+worker loss, and a graceful drain — all on a
+:class:`~repro.resilience.ManualClock` so the run is byte-identical
+every time.
+
+The assertions are the serving core's contract under overload:
+
+* **no lost requests** — every offered request reaches exactly one
+  terminal outcome (served / degraded / shed);
+* **bounded** — the queue never exceeds its limit and sheds stay below
+  100%;
+* **correct** — every completed verdict is byte-identical to offline
+  ``analyze_many`` under one of the two dependency states chaos
+  creates (healthy search, forced-down search);
+* **on time** — no completed response exceeds its deadline budget;
+* **drains clean** — post-drain arrivals are refused with ``draining``
+  and everything admitted before the drain completes.
+"""
+
+
+def _scenario(lab):
+    result = lab.serving_benchmark()
+    # Stamp of the exercised defences: the run is only a meaningful
+    # chaos benchmark if every mechanism actually fired.
+    report = result["report"]
+    assert report["degraded"] > 0, "outage never degraded a verdict"
+    assert report["coalesced"] > 0, "no request coalescing occurred"
+    assert report["memo_hits"] > 0, "verdict memo never hit"
+    assert result["web_stalls"] > 0, "no stall faults fired"
+    assert result["breaker"]["opened"] >= 1, "search breaker never opened"
+    return result
+
+
+def test_serving_overload_contract(lab, save_result, save_json):
+    """The six acceptance properties of the overload scenario."""
+    result = _scenario(lab)
+    report = result["report"]
+
+    # 1. Every request terminates: served, degraded, or shed.
+    assert result["terminated"] == result["requests"]
+    assert (
+        report["served"] + report["degraded"] + report["shed"]
+        == result["requests"]
+    )
+
+    # 2. Shed rate below 100% — the engine keeps doing useful work at
+    #    3x overload — while the queue never exceeds its bound.
+    assert 0.0 < report["shed_rate"] < 1.0
+    assert report["max_queue_depth"] <= report["queue_limit"]
+    assert report["max_inflight"] <= result["workers"]
+
+    # 3. Completed verdicts byte-identical to offline analyze_many.
+    assert result["verdict_mismatches"] == 0
+
+    # 4. No completed response past its deadline budget.
+    assert result["budget_violations"] == 0
+    assert report["latency_p99"] <= result["budget_s"]
+
+    # 5. Graceful drain: exactly the post-drain arrivals are refused
+    #    as ``draining`` — admitted requests are never abandoned.
+    assert (
+        report["shed_reasons"]["draining"] == result["post_drain_arrivals"]
+    )
+
+    # 6. Overload surfaced as *explicit* shed verdicts across the
+    #    defence layers, not silent queue growth.
+    for reason in ("deadline", "queue_full", "rate_limited",
+                   "upstream_failure"):
+        assert report["shed_reasons"].get(reason, 0) > 0, reason
+    assert report["admission"]["throttle_engaged"] >= 1
+
+    save_json("serving_overload", result)
+    lines = [f"{key:>22}  {value}" for key, value in sorted(report.items())]
+    save_result("serving_overload", "\n".join(lines))
+
+
+def test_serving_overload_deterministic(lab):
+    """Two full chaos runs produce byte-identical reports."""
+    assert _scenario(lab) == _scenario(lab)

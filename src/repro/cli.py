@@ -16,6 +16,10 @@ Commands
 ``obs report``
     Render a run report (stage timing, verdicts, cache hit rates,
     resilience counters) from dumped artifacts alone.
+``serve-bench``
+    Run the overload + chaos serving scenario (admission control,
+    backpressure, coalescing, deadlines, breaker, drain) in simulated
+    time and print its report; ``--json`` dumps the full result.
 ``demo``
     A one-minute end-to-end demonstration.
 """
@@ -349,6 +353,60 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    import json
+
+    lab = _build_lab(args)
+    print(
+        f"running serving scenario ({args.overload}x overload, "
+        f"{args.serve_workers} workers, {args.duration}s simulated)...",
+        file=sys.stderr,
+    )
+    result = lab.serving_benchmark(
+        workers=args.serve_workers,
+        overload=args.overload,
+        duration=args.duration,
+        budget=args.budget,
+        queue_limit=args.queue_limit,
+    )
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    report = result["report"]
+    print(
+        f"offered {result['requests']} requests "
+        f"({result['offered_rps']:.0f} rps vs "
+        f"{result['capacity_rps']:.0f} rps capacity)"
+    )
+    rows = [
+        ["served", report["served"]],
+        ["degraded", report["degraded"]],
+        ["shed", report["shed"]],
+        ["shed_rate", f"{report['shed_rate']:.3f}"],
+        ["coalesced", report["coalesced"]],
+        ["memo_hits", report["memo_hits"]],
+        ["max_queue_depth",
+         f"{report['max_queue_depth']}/{report['queue_limit']}"],
+        ["latency_p50", f"{report['latency_p50']:.3f}s"],
+        ["latency_p99", f"{report['latency_p99']:.3f}s"],
+        ["breaker_opened", result["breaker"]["opened"]],
+        ["verdict_mismatches", result["verdict_mismatches"]],
+        ["budget_violations", result["budget_violations"]],
+    ]
+    for reason, count in report["shed_reasons"].items():
+        rows.append([f"shed[{reason}]", count])
+    print(format_table(["metric", "value"], rows))
+    ok = (
+        result["terminated"] == result["requests"]
+        and result["verdict_mismatches"] == 0
+        and result["budget_violations"] == 0
+    )
+    if not ok:
+        print("error: serving contract violated", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.evaluation.report import compile_report
 
@@ -428,6 +486,36 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "demo", help="end-to-end demonstration"
     ).set_defaults(func=_cmd_demo)
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="overload + chaos serving scenario in simulated time",
+    )
+    serve_bench.add_argument(
+        "--serve-workers", type=int, default=4, dest="serve_workers",
+        help="concurrent analysis workers in the serving engine",
+    )
+    serve_bench.add_argument(
+        "--overload", type=float, default=3.0,
+        help="offered load as a multiple of sustainable capacity",
+    )
+    serve_bench.add_argument(
+        "--duration", type=float, default=2.0,
+        help="simulated seconds of offered traffic",
+    )
+    serve_bench.add_argument(
+        "--budget", type=float, default=1.2,
+        help="per-request deadline budget in simulated seconds",
+    )
+    serve_bench.add_argument(
+        "--queue-limit", type=int, default=32, dest="queue_limit",
+        help="bounded admission queue size",
+    )
+    serve_bench.add_argument(
+        "--json", action="store_true",
+        help="print the full result as JSON instead of a table",
+    )
+    serve_bench.set_defaults(func=_cmd_serve_bench)
 
     report = commands.add_parser(
         "report", help="compile benchmark artefacts into one Markdown report"

@@ -35,7 +35,8 @@ from repro.obs.trace import NULL_TRACER, AnyTracer
 from repro.parallel.cache import snapshot_fingerprint
 from repro.resilience.batch import BatchReport, analyze_many
 from repro.resilience.browser import LoadResult
-from repro.resilience.errors import SearchUnavailableError
+from repro.resilience.errors import DeadlineExceeded, SearchUnavailableError
+from repro.resilience.retry import Deadline
 from repro.web.page import PageSnapshot
 
 
@@ -122,6 +123,7 @@ class KnowYourPhish:
         page: PageSnapshot | LoadResult,
         tracer: AnyTracer | None = None,
         metrics: AnyMetrics | None = None,
+        deadline: Deadline | None = None,
     ) -> PageVerdict:
         """Run the full pipeline on one page.
 
@@ -131,6 +133,13 @@ class KnowYourPhish:
         failures degrade the verdict instead of raising: a search outage
         yields a detector-only verdict tagged ``search_unavailable``,
         an OCR failure tags ``ocr_failed`` and skips the OCR keyterms.
+
+        ``deadline`` caps the target-identification stage: once the
+        request's budget is exhausted — before or during the search
+        queries — a flagged page keeps the detector-only verdict tagged
+        ``deadline_exhausted`` instead of searching past the budget.
+        Classification itself always completes (it is local compute and
+        the page is already in hand).
 
         ``tracer``/``metrics`` override the pipeline-level instruments
         for this call (used by the batch layer, which gives each mapped
@@ -181,10 +190,15 @@ class KnowYourPhish:
                 return _verdict("legitimate", confidence, targets=[])
             if self.identifier is None:
                 return _verdict("phish", confidence, targets=[])
+            if deadline is not None and deadline.expired():
+                degradations.append("deadline_exhausted")
+                return _verdict("phish", confidence, targets=[])
 
             try:
                 with tracer.span("target.identify") as target_span:
-                    identification = self.identifier.identify(sources)
+                    identification = self.identifier.identify(
+                        sources, deadline=deadline
+                    )
                     target_span.set(
                         step=identification.step,
                         verdict=identification.verdict,
@@ -193,6 +207,12 @@ class KnowYourPhish:
                 # Search down / circuit open: fall back to the detector's
                 # tentative flag rather than losing the page entirely.
                 degradations.append("search_unavailable")
+                return _verdict("phish", confidence, targets=[])
+            except DeadlineExceeded:
+                # The budget ran out mid-identification: keep the
+                # detector's tentative flag rather than blowing the
+                # request's deadline on further searches.
+                degradations.append("deadline_exhausted")
                 return _verdict("phish", confidence, targets=[])
             if identification.verdict == "legitimate":
                 # The identifier confirmed the page's own domain: the
@@ -210,7 +230,9 @@ class KnowYourPhish:
                 identification=identification,
             )
 
-    def analyze_many(self, urls, browser, pool=None) -> BatchReport:
+    def analyze_many(
+        self, urls, browser, pool=None, page_budget=None
+    ) -> BatchReport:
         """Analyze a batch of URLs, quarantining unloadable pages.
 
         Thin forwarding wrapper around
@@ -220,14 +242,17 @@ class KnowYourPhish:
         faults are retried before a page is given up on.  ``pool`` is an
         optional :class:`~repro.parallel.WorkerPool`; loads stay serial,
         per-page analysis fans out, and the report is identical to the
-        serial run (same verdicts, same order).  The pipeline's tracer
-        and metrics observe the whole batch (each page's span tree is
-        spliced back in input order, so dumps are deterministic across
-        backends).
+        serial run (same verdicts, same order).  ``page_budget`` gives
+        every page its own end-to-end deadline (load + analysis); see
+        the batch layer for how leftover budget carries into analysis.
+        The pipeline's tracer and metrics observe the whole batch (each
+        page's span tree is spliced back in input order, so dumps are
+        deterministic across backends).
         """
         return analyze_many(
             self, browser, urls, pool=pool,
             tracer=self.tracer, metrics=self.metrics,
+            page_budget=page_budget,
         )
 
     def is_blocked(self, verdict: PageVerdict) -> bool:

@@ -126,8 +126,21 @@ class TargetIdentifier:
         self.psl = psl or default_psl()
 
     # ------------------------------------------------------------------
-    def identify(self, page: PageSnapshot | DataSources) -> TargetIdentification:
-        """Run the full five-step identification on one page."""
+    def identify(
+        self,
+        page: PageSnapshot | DataSources,
+        deadline=None,
+    ) -> TargetIdentification:
+        """Run the full five-step identification on one page.
+
+        ``deadline`` (a :class:`~repro.resilience.retry.Deadline`) is
+        checked before every search query — the expensive, external
+        part of identification — raising
+        :class:`~repro.resilience.errors.DeadlineExceeded` once the
+        budget is gone, so a request never searches past its budget.
+        The caller (the pipeline) turns that into a degraded,
+        detector-only verdict.
+        """
         sources = (
             page if isinstance(page, DataSources)
             else DataSources(page, psl=self.psl, ocr=self.ocr)
@@ -144,6 +157,8 @@ class TargetIdentifier:
             if mld_composable_from(mld, keyterms.boosted_prominent)
         ][:3]  # "typically 2-3" guessed FQDNs
         for guess in guesses:
+            if deadline is not None:
+                deadline.check("target identification (step 1 search)")
             returned = self.search.result_rdns(
                 [guess, *keyterms.boosted_prominent], top_k=self.search_depth
             )
@@ -165,6 +180,8 @@ class TargetIdentifier:
                 continue
             if step == 4 and self.ocr is None:
                 continue
+            if deadline is not None:
+                deadline.check(f"target identification (step {step} search)")
             results = self.search.query(terms, top_k=self.search_depth)
             result_rdns = {result.rdn for result in results}
             if suspected_rdns & result_rdns:

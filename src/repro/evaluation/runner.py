@@ -1079,6 +1079,224 @@ class Lab:
         }
 
     # ------------------------------------------------------------------
+    # serving: overload + chaos under simulated time
+    # ------------------------------------------------------------------
+    def _offline_reference(self, urls, search) -> dict[str, tuple]:
+        """Offline ``analyze_many`` verdicts keyed by URL.
+
+        The serving benchmark's ground truth: each URL's
+        ``(verdict, confidence, targets)`` triple from a plain batch
+        run over the clean web with the given search engine.
+        """
+        from repro.resilience import ManualClock, ResilientBrowser, RetryPolicy
+
+        clock = ManualClock()
+        browser = ResilientBrowser(
+            self.world.web, policy=RetryPolicy(clock=clock), clock=clock
+        )
+        pipeline = self._resilient_pipeline(search=search)
+        report = pipeline.analyze_many(urls, browser)
+        return {
+            page.url: (
+                page.verdict.verdict,
+                page.verdict.confidence,
+                tuple(page.verdict.targets),
+            )
+            for page in report.analyzed
+        }
+
+    def serving_benchmark(
+        self,
+        pages_per_class: int = 25,
+        workers: int = 4,
+        analysis_cost: float = 0.1,
+        overload: float = 3.0,
+        duration: float = 2.0,
+        budget: float = 1.2,
+        queue_limit: int = 32,
+        stall_rate: float = 0.04,
+        outage: tuple[float, float] = (0.4, 0.6),
+        storm_at: tuple[float, ...] = (0.3, 0.45, 0.6),
+    ) -> dict:
+        """The overload + chaos serving scenario, end to end.
+
+        Offers ``overload``× the sustainable rate
+        (``workers / analysis_cost``) of Zipf-skewed traffic to a
+        :class:`~repro.serve.ServingEngine` for ``duration`` simulated
+        seconds, then stresses every defence mid-run:
+
+        * a **search outage** (breaker-guarded ``force_down``) in the
+          middle third — flagged pages degrade to detector-only
+          verdicts;
+        * a **hot-key storm** on a held-out URL *during* the outage —
+          exercises coalescing on a page first seen while degraded;
+        * **slow pages** (deterministic stall faults) against the
+          per-request deadline — stalled loads shed instead of
+          blocking a worker past the budget;
+        * a **worker loss** while overloaded;
+        * a **graceful drain** before the offered load ends — late
+          arrivals shed ``draining``, everything admitted completes.
+
+        Returns the serving report summary plus the cross-checks the
+        benchmark asserts on: every request terminated, completed
+        verdicts byte-identical to offline ``analyze_many`` references
+        (healthy and forced-down search), no completed response past
+        its budget, and the queue never beyond its bound.  Everything
+        runs on a :class:`~repro.resilience.ManualClock` — simulated
+        seconds, deterministic to the byte.
+        """
+        from repro.resilience import (
+            CircuitBreaker,
+            GuardedSearchEngine,
+            ManualClock,
+            ResilientBrowser,
+            RetryPolicy,
+            SearchUnavailableError,
+        )
+        from repro.serve import (
+            AdmissionController,
+            ServingEngine,
+            TokenBucket,
+            ZipfSampler,
+            build_requests,
+            burst,
+            constant_rate,
+            hot_key_storm,
+            search_outage,
+            worker_loss,
+        )
+        from repro.web.faults import FaultPlan, FlakySearchEngine, FlakyWeb
+
+        urls, _labels = self._robustness_workload(pages_per_class)
+        # Hold the last three (phishing) URLs out of the steady traffic
+        # so the storms hit pages first seen mid-outage: their fresh
+        # analyses must run search queries into the dead engine,
+        # degrading to detector-only verdicts and tripping the breaker.
+        held_out = urls[-3:]
+        sampler = ZipfSampler(
+            urls[:-3], exponent=1.1, seed=self.config.seed
+        )
+        capacity = workers / analysis_cost
+        offered_rate = overload * capacity
+        drain_at = 0.9 * duration
+        storms = [
+            hot_key_storm(
+                url, at=fraction * duration, count=12,
+                spread=0.04 * duration,
+            )
+            for url, fraction in zip(held_out, storm_at)
+        ]
+        requests = build_requests(
+            constant_rate(sampler, offered_rate, duration),
+            *storms,
+            burst(sampler, at=0.95 * duration, count=20),
+            budget=budget,
+        )
+
+        clock = ManualClock()
+        flaky_web = FlakyWeb(
+            self.world.web,
+            # Stall delay sits just above the request budget: a stalled
+            # load must blow the deadline (and shed) rather than merely
+            # run slow, without starving the workers for long.
+            FaultPlan.latency(stall_rate, delay=budget * 1.25,
+                              seed=self.config.seed),
+            clock=clock,
+        )
+        browser = ResilientBrowser(
+            flaky_web,
+            policy=RetryPolicy(clock=clock, seed=self.config.seed),
+            clock=clock,
+        )
+        flaky_search = FlakySearchEngine(self.world.search)
+        # Threshold 2, not 3: coalescing and the verdict memo are so
+        # effective that only the storms' fresh analyses ever reach the
+        # dead search engine — repeat requests ride the memoized
+        # degraded verdicts without touching the breaker at all.
+        breaker = CircuitBreaker(
+            failure_threshold=2,
+            recovery_time=0.2 * duration,
+            failure_types=(SearchUnavailableError,),
+            clock=clock,
+            name="search",
+        )
+        pipeline = self._resilient_pipeline(
+            search=GuardedSearchEngine(flaky_search, breaker=breaker)
+        )
+        admission = AdmissionController(
+            TokenBucket(rate=capacity, capacity=float(workers * 4)),
+            queue_limit=queue_limit,
+        )
+        engine = ServingEngine(
+            pipeline, browser, admission,
+            clock=clock, workers=workers, analysis_cost=analysis_cost,
+        )
+        chaos = search_outage(
+            flaky_search,
+            at=outage[0] * duration,
+            duration=outage[1] * duration,
+        ) + worker_loss(at=0.6 * duration)
+        report = engine.run(requests, chaos=chaos, drain_at=drain_at)
+
+        # Cross-check served verdicts against offline analyze_many on
+        # the same pages: healthy search and forced-down search are the
+        # only two states chaos puts the dependency in, so every
+        # completed response must be byte-identical to one of them.
+        unique_urls = sorted({request.url for request in requests})
+        reference_healthy = self._offline_reference(
+            unique_urls, search=self.world.search
+        )
+        reference_outage = self._offline_reference(
+            unique_urls,
+            search=FlakySearchEngine(self.world.search, forced_down=True),
+        )
+        mismatches = 0
+        budget_violations = 0
+        for response in report.responses:
+            if not response.completed:
+                continue
+            triple = (
+                response.verdict,
+                response.confidence,
+                tuple(response.targets),
+            )
+            if triple not in (
+                reference_healthy.get(response.url),
+                reference_outage.get(response.url),
+            ):
+                mismatches += 1
+            if response.latency > budget + 1e-9:
+                budget_violations += 1
+
+        summary = report.summary()
+        return {
+            "requests": len(requests),
+            "unique_urls": len(unique_urls),
+            "workers": workers,
+            "capacity_rps": capacity,
+            "offered_rps": offered_rate,
+            "overload": overload,
+            "duration_s": duration,
+            "budget_s": budget,
+            "drain_at_s": drain_at,
+            "report": summary,
+            "terminated": len(report.responses),
+            # Drain must refuse exactly the post-drain arrivals and
+            # nothing else: admitted work is never abandoned.
+            "post_drain_arrivals": sum(
+                1 for request in requests if request.arrival >= drain_at
+            ),
+            "verdict_mismatches": mismatches,
+            "budget_violations": budget_violations,
+            "web_stalls": int(flaky_web.stats["stall"]),
+            "breaker": {
+                "opened": breaker.opened_count,
+                "rejected_fast": breaker.stats["rejected"],
+                "transitions": dict(sorted(breaker.transitions.items())),
+            },
+        }
+
+    # ------------------------------------------------------------------
     # observability: one fully traced + metered run
     # ------------------------------------------------------------------
     def observed_run(

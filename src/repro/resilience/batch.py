@@ -17,12 +17,14 @@ from repro.obs.metrics import NULL_METRICS, AnyMetrics, MetricsRegistry
 from repro.obs.trace import NULL_TRACER, AnyTracer, Tracer
 from repro.parallel.cache import CacheCountsProbe
 from repro.resilience.browser import LoadResult
+from repro.resilience.clock import SystemClock
 from repro.resilience.errors import (
     DeadlineExceeded,
     FetchError,
     PermanentFetchError,
     TransientFetchError,
 )
+from repro.resilience.retry import Deadline
 from repro.web.browser import PageNotFound, RedirectLoopError
 
 
@@ -92,8 +94,21 @@ class BatchReport:
         """Analyzed pages that needed more than one load attempt."""
         return sum(1 for page in self.analyzed if page.attempts > 1)
 
-    def summary(self) -> dict[str, float]:
-        """Flat numeric summary for reports and experiment tables."""
+    def error_kinds(self) -> dict[str, int]:
+        """Histogram of quarantine causes by exception class name.
+
+        Distinguishes navigation failures (``PageNotFound``) from
+        outage signatures (``RetriesExhausted``, ``DeadlineExceeded``)
+        in reports, which aggregate counts alone cannot.  Keys are
+        sorted for deterministic report output.
+        """
+        counts: dict[str, int] = {}
+        for page in self.quarantined:
+            counts[page.error_kind] = counts.get(page.error_kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def summary(self) -> dict[str, object]:
+        """Flat summary for reports and experiment tables."""
         return {
             "total": self.total,
             "analyzed": len(self.analyzed),
@@ -104,6 +119,7 @@ class BatchReport:
             "completion_rate": self.completion_rate,
             "degraded": self.degraded_count,
             "retried": self.retried_count,
+            "error_kinds": self.error_kinds(),
         }
 
 
@@ -122,19 +138,59 @@ class _TracedAnalyze:
 
     The clock is shared (pickled along, for process workers) so
     manual-clock tests stay deterministic there too.
+
+    With ``budgeted=True`` each item is a ``(loaded, remaining)`` pair
+    and the analysis runs under a fresh :class:`Deadline` holding the
+    budget the page load left over.
+    """
+
+    def __init__(self, pipeline, clock, budgeted: bool = False) -> None:
+        self.pipeline = pipeline
+        self.clock = clock
+        self.budgeted = budgeted
+
+    def __call__(self, item) -> tuple[object, list, dict]:
+        tracer = Tracer(clock=self.clock)
+        metrics = MetricsRegistry()
+        if self.budgeted:
+            loaded, remaining = item
+            deadline = (
+                Deadline(remaining, clock=self.clock)
+                if remaining is not None
+                else None
+            )
+            verdict = self.pipeline.analyze(
+                loaded, tracer=tracer, metrics=metrics, deadline=deadline
+            )
+        else:
+            verdict = self.pipeline.analyze(
+                item, tracer=tracer, metrics=metrics
+            )
+        return verdict, tracer.export_records(), metrics.as_dict()
+
+
+class _BudgetedAnalyze:
+    """Picklable analysis wrapper carrying each page's leftover budget.
+
+    Mapped over ``(loaded, remaining)`` pairs in the fast
+    (unobserved) path when ``analyze_many`` runs with a page budget:
+    the deadline is reconstructed at analysis start from the seconds
+    the load left over, so queue position in the load phase never
+    charges against a later page's analysis.
     """
 
     def __init__(self, pipeline, clock) -> None:
         self.pipeline = pipeline
         self.clock = clock
 
-    def __call__(self, loaded) -> tuple[object, list, dict]:
-        tracer = Tracer(clock=self.clock)
-        metrics = MetricsRegistry()
-        verdict = self.pipeline.analyze(
-            loaded, tracer=tracer, metrics=metrics
+    def __call__(self, item):
+        loaded, remaining = item
+        deadline = (
+            Deadline(remaining, clock=self.clock)
+            if remaining is not None
+            else None
         )
-        return verdict, tracer.export_records(), metrics.as_dict()
+        return self.pipeline.analyze(loaded, deadline=deadline)
 
 
 def analyze_many(
@@ -144,6 +200,7 @@ def analyze_many(
     pool=None,
     tracer: AnyTracer = NULL_TRACER,
     metrics: AnyMetrics = NULL_METRICS,
+    page_budget: float | None = None,
 ) -> BatchReport:
     """Analyze every URL, quarantining failures instead of raising.
 
@@ -174,16 +231,34 @@ def analyze_many(
         order, so dumps are deterministic across backends and runs.
         With both left at their null defaults the function takes the
         exact pre-observability fast path.
+    page_budget:
+        Optional per-page deadline in seconds.  Each page's load runs
+        under its own :class:`Deadline`; a load that blows the budget
+        is quarantined as ``DeadlineExceeded``.  The seconds the load
+        left over are carried into that page's analysis (target
+        identification degrades rather than searching past the
+        budget).  ``None`` (the default) keeps the historical
+        unbudgeted fast path byte-identical.
     """
     report = BatchReport()
     observed = tracer.enabled or metrics.enabled
+    clock = getattr(browser, "clock", None) or SystemClock()
     # Phase 1 (serial): load every page, quarantining failures.
     loaded_pages: list[tuple[str, LoadResult]] = []
+    leftovers: list[float | None] = []  # budget seconds left per load
     outcomes: list[tuple[str, object]] = []  # (kind, record/index)
     with tracer.span("batch.load"):
         for url in urls:
+            deadline = (
+                Deadline(page_budget, clock=clock)
+                if page_budget is not None
+                else None
+            )
             try:
-                loaded = browser.load(url)
+                if deadline is not None:
+                    loaded = browser.load(url, deadline=deadline)
+                else:
+                    loaded = browser.load(url)
             except (
                 PageNotFound, RedirectLoopError, FetchError, DeadlineExceeded
             ) as error:
@@ -195,18 +270,30 @@ def analyze_many(
                 loaded = LoadResult(snapshot=loaded)
             outcomes.append(("analyzed", len(loaded_pages)))
             loaded_pages.append((url, loaded))
+            leftovers.append(
+                deadline.remaining() if deadline is not None else None
+            )
 
     # Phase 2 (parallel): analyze the pages that loaded.
     loads = [loaded for _url, loaded in loaded_pages]
+    budgeted = page_budget is not None
     if not observed:
-        if pool is None:
+        if budgeted:
+            worker = _BudgetedAnalyze(pipeline, clock)
+            items = list(zip(loads, leftovers))
+            if pool is None:
+                verdicts = [worker(item) for item in items]
+            else:
+                verdicts = pool.map(worker, items)
+        elif pool is None:
             verdicts = [pipeline.analyze(loaded) for loaded in loads]
         else:
             verdicts = pool.map(pipeline.analyze, loads)
     else:
-        worker = _TracedAnalyze(pipeline, tracer.clock)
+        worker = _TracedAnalyze(pipeline, tracer.clock, budgeted=budgeted)
+        items = list(zip(loads, leftovers)) if budgeted else loads
         if pool is None:
-            observed_results = [worker(loaded) for loaded in loads]
+            observed_results = [worker(item) for item in items]
         else:
             # Cache counters accumulated inside process workers would
             # otherwise be lost with the pipeline copy; the probe ships
@@ -217,7 +304,7 @@ def analyze_many(
                 None,
             )
             probes = [CacheCountsProbe(cache)] if cache is not None else []
-            observed_results = pool.map_observed(worker, loads, probes=probes)
+            observed_results = pool.map_observed(worker, items, probes=probes)
         verdicts = []
         for verdict, records, snapshot in observed_results:
             verdicts.append(verdict)

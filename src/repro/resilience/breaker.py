@@ -9,9 +9,16 @@ converts into a degraded, detector-only verdict).  After
 ``recovery_time`` it becomes *half-open* and lets a single probe
 through: success closes the circuit, failure re-opens it for another
 cooldown.
+
+The breaker is thread-safe: state transitions happen under a lock, and
+the half-open probe is exclusive — while one caller's probe is in
+flight, concurrent callers are rejected rather than stampeding the
+recovering dependency.
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.resilience.clock import Clock, SystemClock
 from repro.resilience.errors import CircuitOpenError
@@ -67,13 +74,25 @@ class CircuitBreaker:
         self.clock = clock or SystemClock()
         self.name = name
         self.metrics = metrics
+        self._lock = threading.RLock()
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
+        self._probe_in_flight = False
         #: lifetime counters, exposed for experiment reporting
         self.stats = {"calls": 0, "failures": 0, "rejected": 0, "trips": 0}
         #: per-edge state-transition counts, e.g. ``"closed->open": 2``
         self.transitions: dict[str, int] = {}
+
+    def __getstate__(self) -> dict:
+        """Pickle support: locks don't travel to process workers."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     @property
     def opened_count(self) -> int:
@@ -84,20 +103,22 @@ class CircuitBreaker:
         so callers no longer need to infer opens from raised
         :class:`~repro.resilience.errors.CircuitOpenError`\\ s.
         """
-        return sum(
-            count
-            for edge, count in self.transitions.items()
-            if edge.endswith(f"->{OPEN}")
-        )
+        with self._lock:
+            return sum(
+                count
+                for edge, count in self.transitions.items()
+                if edge.endswith(f"->{OPEN}")
+            )
 
     def _set_state(self, new_state: str) -> None:
         """Move to ``new_state``, recording the transition as an event."""
-        old = self._state
-        if old == new_state:
-            return
-        self._state = new_state
-        edge = f"{old}->{new_state}"
-        self.transitions[edge] = self.transitions.get(edge, 0) + 1
+        with self._lock:
+            old = self._state
+            if old == new_state:
+                return
+            self._state = new_state
+            edge = f"{old}->{new_state}"
+            self.transitions[edge] = self.transitions.get(edge, 0) + 1
         if self.metrics is not None:
             self.metrics.inc(
                 "breaker_transitions_total", name=self.name, to=new_state
@@ -113,37 +134,60 @@ class CircuitBreaker:
         Reading the state performs the open → half-open transition when
         the cooldown has elapsed.
         """
-        if self._state == OPEN and (
-            self.clock.now() - self._opened_at >= self.recovery_time
-        ):
-            self._set_state(HALF_OPEN)
-        return self._state
+        with self._lock:
+            if self._state == OPEN and (
+                self.clock.now() - self._opened_at >= self.recovery_time
+            ):
+                self._set_state(HALF_OPEN)
+            return self._state
 
     def call(self, fn, *args, **kwargs):
         """Invoke ``fn(*args, **kwargs)`` through the breaker.
 
         Raises :class:`CircuitOpenError` without calling ``fn`` while
         the circuit is open; otherwise records the call's outcome.
+        In the half-open state exactly one caller at a time may run
+        the probe — concurrent callers are rejected until the probe
+        resolves, so a recovering dependency sees one request, not a
+        thundering herd.
         """
-        if self.state == OPEN:
-            self.stats["rejected"] += 1
-            raise CircuitOpenError(
-                f"{self.name} circuit open: failing fast after "
-                f"{self._consecutive_failures} consecutive failures"
-            )
-        self.stats["calls"] += 1
+        with self._lock:
+            state = self.state
+            if state == OPEN:
+                self.stats["rejected"] += 1
+                raise CircuitOpenError(
+                    f"{self.name} circuit open: failing fast after "
+                    f"{self._consecutive_failures} consecutive failures"
+                )
+            if state == HALF_OPEN:
+                if self._probe_in_flight:
+                    self.stats["rejected"] += 1
+                    raise CircuitOpenError(
+                        f"{self.name} circuit half-open: recovery probe "
+                        "already in flight"
+                    )
+                self._probe_in_flight = True
+            self.stats["calls"] += 1
         try:
             result = fn(*args, **kwargs)
         except self.failure_types:
             self.record_failure()
+            raise
+        except BaseException:
+            # Not counted as a dependency failure, but the probe slot
+            # must be released or the breaker would reject forever.
+            with self._lock:
+                self._probe_in_flight = False
             raise
         self.record_success()
         return result
 
     def record_success(self) -> None:
         """Note a successful call: closes the circuit, resets failures."""
-        self._consecutive_failures = 0
-        self._set_state(CLOSED)
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            self._set_state(CLOSED)
 
     def record_failure(self) -> None:
         """Note a failed call; trips the breaker at the threshold.
@@ -151,11 +195,16 @@ class CircuitBreaker:
         A failure during the half-open probe re-opens immediately —
         the dependency has not recovered yet.
         """
-        self.stats["failures"] += 1
-        self._consecutive_failures += 1
-        probing = self._state == HALF_OPEN
-        if probing or self._consecutive_failures >= self.failure_threshold:
-            if self._state != OPEN:
-                self.stats["trips"] += 1
-            self._set_state(OPEN)
-            self._opened_at = self.clock.now()
+        with self._lock:
+            self.stats["failures"] += 1
+            self._consecutive_failures += 1
+            self._probe_in_flight = False
+            probing = self._state == HALF_OPEN
+            if (
+                probing
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                if self._state != OPEN:
+                    self.stats["trips"] += 1
+                self._set_state(OPEN)
+                self._opened_at = self.clock.now()

@@ -131,6 +131,10 @@ class ResilientBrowser:
                 raise RetriesExhausted(
                     starting_url, self.policy.max_attempts, error
                 ) from error
+            if deadline is not None:
+                # A stalled response can return *after* blowing the
+                # budget; callers must not treat it as within-deadline.
+                deadline.check("page load")
             degradations = self._pop_degradations()
             span.set(
                 attempts=outcome.attempts, degraded=bool(degradations)

@@ -99,7 +99,14 @@ class RetryPolicy:
     clock:
         Time source whose ``sleep`` implements the backoff waits.
     seed:
-        Seed for the jitter stream (deterministic tests/benchmarks).
+        Seed for the jitter (deterministic tests/benchmarks).
+
+    The jittered delay is a **pure function of ``(seed, attempt)``** —
+    there is no shared RNG stream to advance — so ``delay(n)`` returns
+    the same value however many retries ran before it, and identically
+    configured policies produce identical backoff schedules on the
+    serial, thread and process pool backends (a policy shipped to a
+    process worker by pickling backs off exactly like the original).
     """
 
     def __init__(
@@ -124,16 +131,23 @@ class RetryPolicy:
         self.jitter = jitter
         self.retry_on = retry_on
         self.clock = clock or SystemClock()
-        self._rng = random.Random(seed)
+        self.seed = seed
 
     def delay(self, attempt: int) -> float:
-        """Backoff delay after the ``attempt``-th failure (1-based)."""
+        """Backoff delay after the ``attempt``-th failure (1-based).
+
+        Deterministic per ``(seed, attempt)``: the jitter draw comes
+        from a throwaway ``random.Random`` keyed on both, never from a
+        shared stream, so repeated calls — and calls from different
+        worker threads or processes — agree exactly.
+        """
         raw = min(
             self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
         )
         if self.jitter == 0:
             return raw
-        return raw * (1 - self.jitter * self._rng.random())
+        draw = random.Random(self.seed * 0x9E3779B1 ^ attempt).random()
+        return raw * (1 - self.jitter * draw)
 
     def call(self, fn, deadline: Deadline | None = None) -> RetryOutcome:
         """Run ``fn()`` under this policy, returning a :class:`RetryOutcome`.

@@ -1,0 +1,169 @@
+"""Admission control: token-bucket rate limiting with backpressure.
+
+The engine asks the :class:`AdmissionController` one question per
+arriving request: *admit, or shed with which reason?*  Two mechanisms
+answer it:
+
+* a **bounded queue** — depth at the limit is an immediate
+  ``queue_full`` shed; an unbounded queue under overload is just a
+  latency bomb with extra steps;
+* a **token bucket** — sustained arrival rate above the refill rate
+  drains the bucket and sheds ``rate_limited`` with a ``retry_after``
+  computed from the refill rate, so well-behaved clients back off to
+  exactly the sustainable rate.
+
+**Backpressure** links the two: once queue depth crosses the high
+watermark the controller *throttles* — each admission costs more
+tokens, shrinking the effective admitted rate by ``shed_factor`` —
+and only un-throttles once depth falls back to the low watermark
+(hysteresis, so the admitted rate does not flap at the boundary).
+The queue therefore starts refusing load *before* it overflows.
+
+Everything is driven by explicit ``now`` instants from the engine's
+simulated timeline: no wall clock, fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.request import SHED_QUEUE_FULL, SHED_RATE_LIMITED
+
+
+class TokenBucket:
+    """A classic token bucket over an explicit timeline.
+
+    Parameters
+    ----------
+    rate:
+        Tokens added per simulated second (the sustained admit rate).
+    capacity:
+        Maximum tokens held (the tolerated burst size).
+    """
+
+    def __init__(self, rate: float, capacity: float):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.rate = rate
+        self.capacity = capacity
+        self._tokens = capacity
+        self._updated = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._updated:
+            self._tokens = min(
+                self.capacity, self._tokens + (now - self._updated) * self.rate
+            )
+            self._updated = now
+
+    def try_take(self, now: float, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens at instant ``now`` if available."""
+        self._refill(now)
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True
+        return False
+
+    def retry_after(self, now: float, cost: float = 1.0) -> float:
+        """Seconds until ``cost`` tokens will have accumulated."""
+        self._refill(now)
+        deficit = cost - self._tokens
+        return max(0.0, deficit / self.rate)
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently held (as of the last refill)."""
+        return self._tokens
+
+
+@dataclass
+class AdmissionDecision:
+    """The controller's answer for one arrival."""
+
+    admitted: bool
+    reason: str | None = None       # a SHED_* constant when refused
+    retry_after: float | None = None
+
+
+class AdmissionController:
+    """Bounded queue + token bucket + watermark backpressure.
+
+    Parameters
+    ----------
+    bucket:
+        The token bucket bounding the sustained admitted rate.
+    queue_limit:
+        Hard queue-depth bound; arrivals at the bound shed
+        ``queue_full``.
+    high_watermark / low_watermark:
+        Queue depths at which throttling engages / releases.  Both
+        default relative to ``queue_limit`` (75% / 25%).
+    shed_factor:
+        Fraction of the bucket rate still admitted while throttled
+        (0.5 = every admission costs two tokens).
+    """
+
+    def __init__(
+        self,
+        bucket: TokenBucket,
+        queue_limit: int,
+        high_watermark: int | None = None,
+        low_watermark: int | None = None,
+        shed_factor: float = 0.5,
+    ):
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if not 0 < shed_factor <= 1:
+            raise ValueError(
+                f"shed_factor must be in (0, 1], got {shed_factor}"
+            )
+        self.bucket = bucket
+        self.queue_limit = queue_limit
+        self.high_watermark = (
+            high_watermark if high_watermark is not None
+            else max(1, (queue_limit * 3) // 4)
+        )
+        self.low_watermark = (
+            low_watermark if low_watermark is not None
+            else max(0, queue_limit // 4)
+        )
+        if self.low_watermark >= self.high_watermark:
+            raise ValueError(
+                f"low_watermark ({self.low_watermark}) must be below "
+                f"high_watermark ({self.high_watermark})"
+            )
+        self.shed_factor = shed_factor
+        self.throttled = False
+        #: lifetime counters, exposed for reports
+        self.stats = {"admitted": 0, "shed_queue": 0, "shed_rate": 0,
+                      "throttle_engaged": 0}
+
+    def decide(self, now: float, queue_depth: int) -> AdmissionDecision:
+        """Admit or shed one arrival at instant ``now``."""
+        was_throttled = self.throttled
+        if queue_depth >= self.high_watermark:
+            self.throttled = True
+        elif queue_depth <= self.low_watermark:
+            self.throttled = False
+        if self.throttled and not was_throttled:
+            self.stats["throttle_engaged"] += 1
+
+        if queue_depth >= self.queue_limit:
+            self.stats["shed_queue"] += 1
+            # The queue must first drain below the limit; the earliest
+            # useful retry is one service interval away.
+            return AdmissionDecision(
+                False, SHED_QUEUE_FULL, retry_after=1.0 / self.bucket.rate
+            )
+        cost = 1.0 / self.shed_factor if self.throttled else 1.0
+        if not self.bucket.try_take(now, cost):
+            self.stats["shed_rate"] += 1
+            return AdmissionDecision(
+                False,
+                SHED_RATE_LIMITED,
+                retry_after=self.bucket.retry_after(now, cost),
+            )
+        self.stats["admitted"] += 1
+        return AdmissionDecision(True)

@@ -1,0 +1,439 @@
+"""The overload-robust serving engine.
+
+:class:`ServingEngine` turns the offline pipeline into a request
+server and makes its overload behaviour *explicit*: every request
+terminates as served, degraded or shed — never dropped, never stuck —
+and every defence (admission control, backpressure, coalescing,
+deadlines, breakers, drain) is deterministic under an injectable
+clock, so chaos scenarios are exact assertions rather than flaky
+observations.
+
+The engine is a discrete-event simulator driven synchronously: it
+walks the merged timeline of request arrivals, chaos events and work
+completions.  Workers are modelled as capacity — up to ``workers``
+requests are in flight at once, each occupying its slot for its
+*service time* (the page load's simulated duration plus a modelled
+per-analysis cost).  The shared :class:`~repro.resilience.clock.Clock`
+backs the load-level deadlines and fault stalls; the serving timeline
+itself is plain event arithmetic, so reordering-independent and exact.
+
+Request lifecycle::
+
+    arrival ── coalesce? ── admission ── queue ── dispatch ── complete
+                  │             │          │         │
+                  │           shed       shed      shed
+              (follower)  (queue_full, (deadline) (deadline,
+                          rate_limited,            upstream)
+                           draining)
+
+Deadline propagation: a request's budget is consumed by queue wait,
+then threaded as a :class:`~repro.resilience.retry.Deadline` through
+the browser's retries and into the pipeline's target-identification
+search queries.  No stage starts work the budget cannot cover.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.obs.metrics import NULL_METRICS, AnyMetrics
+from repro.obs.trace import NULL_TRACER, AnyTracer
+from repro.parallel.cache import snapshot_fingerprint
+from repro.resilience.clock import Clock, SystemClock
+from repro.resilience.errors import DeadlineExceeded, FetchError
+from repro.resilience.retry import Deadline
+from repro.serve.admission import AdmissionController
+from repro.serve.coalesce import InflightTable, VerdictMemo
+from repro.serve.loadgen import ChaosEvent
+from repro.serve.report import ServingReport
+from repro.serve.request import (
+    DEGRADED,
+    SERVED,
+    SHED,
+    SHED_DEADLINE,
+    SHED_DRAINING,
+    SHED_UPSTREAM,
+    ServeRequest,
+    ServeResponse,
+)
+from repro.web.browser import PageNotFound, RedirectLoopError
+
+_EPS = 1e-9
+
+
+class ServingEngine:
+    """Serves verdict requests with explicit overload behaviour.
+
+    Parameters
+    ----------
+    pipeline:
+        A :class:`~repro.core.pipeline.KnowYourPhish` (accepting
+        ``analyze(loaded, deadline=...)``).
+    browser:
+        A :class:`~repro.resilience.browser.ResilientBrowser` over the
+        (possibly fault-injected) web.
+    admission:
+        The :class:`AdmissionController` guarding the queue.
+    clock:
+        Shared time source; defaults to the browser's clock.  With a
+        :class:`~repro.resilience.clock.ManualClock` the engine
+        advances it along the event timeline, so breaker cooldowns and
+        fault stalls live in the same simulated seconds as the load.
+    workers:
+        Concurrent in-flight capacity (chaos can change it mid-run;
+        it never falls below 1).
+    analysis_cost:
+        Modelled seconds one full analysis occupies a worker.
+    memo_cost:
+        Modelled seconds for a content-hash memo hit (default: 10% of
+        ``analysis_cost``).
+    tracer / metrics:
+        Optional observability instruments (``serve.*`` spans;
+        ``serve_*`` counters, queue-depth gauge, latency histograms).
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        browser,
+        admission: AdmissionController,
+        clock: Clock | None = None,
+        workers: int = 4,
+        analysis_cost: float = 0.05,
+        memo_cost: float | None = None,
+        tracer: AnyTracer = NULL_TRACER,
+        metrics: AnyMetrics = NULL_METRICS,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if analysis_cost <= 0:
+            raise ValueError(
+                f"analysis_cost must be positive, got {analysis_cost}"
+            )
+        self.pipeline = pipeline
+        self.browser = browser
+        self.admission = admission
+        self.clock = clock or getattr(browser, "clock", None) or SystemClock()
+        self.workers = workers
+        self.analysis_cost = analysis_cost
+        self.memo_cost = (
+            memo_cost if memo_cost is not None else analysis_cost * 0.1
+        )
+        self.tracer = tracer
+        self.metrics = metrics
+        self.inflight_table = InflightTable()
+        self.memo = VerdictMemo()
+        # per-run state, reset by run()
+        self._pending: deque[ServeRequest] = deque()
+        self._inflight: list = []
+        self._seq = 0
+        self._drain_at: float | None = None
+        self.max_queue_depth = 0
+        self.max_inflight = 0
+
+    # -- chaos hooks ---------------------------------------------------
+    def lose_worker(self) -> None:
+        """Chaos: one worker dies (capacity never drops below 1)."""
+        self.workers = max(1, self.workers - 1)
+
+    def add_worker(self) -> None:
+        """Chaos/recovery: one worker joins."""
+        self.workers += 1
+
+    # -- main loop -----------------------------------------------------
+    def run(
+        self,
+        requests: list[ServeRequest],
+        chaos: list[ChaosEvent] | tuple = (),
+        drain_at: float | None = None,
+    ) -> ServingReport:
+        """Serve ``requests`` to completion and return the report.
+
+        ``chaos`` events fire at their simulated instants.  From
+        ``drain_at`` on the engine stops admitting (arrivals shed with
+        ``draining``) but finishes everything already admitted — the
+        graceful-drain contract: zero admitted requests are lost.
+        """
+        ordered = sorted(requests, key=lambda r: (r.arrival, r.request_id))
+        chaos_queue = deque(sorted(chaos, key=lambda c: (c.time, c.label)))
+        arrivals = deque(ordered)
+        responses: dict[int, ServeResponse] = {}
+        self._pending = deque()
+        self._inflight = []
+        self._drain_at = drain_at
+        self.max_queue_depth = 0
+        self.max_inflight = 0
+
+        with self.tracer.span("serve.run", requests=len(ordered)):
+            while arrivals:
+                self._tick(
+                    self._next_time(arrivals, chaos_queue),
+                    arrivals, chaos_queue, responses,
+                )
+            with self.tracer.span(
+                "serve.drain",
+                queued=len(self._pending),
+                inflight=len(self._inflight),
+            ):
+                while self._pending or self._inflight or chaos_queue:
+                    self._tick(
+                        self._next_time(arrivals, chaos_queue),
+                        arrivals, chaos_queue, responses,
+                    )
+
+        ordered_responses = [
+            responses[request.request_id] for request in ordered
+        ]
+        return ServingReport(
+            responses=ordered_responses,
+            max_queue_depth=self.max_queue_depth,
+            max_inflight=self.max_inflight,
+            queue_limit=self.admission.queue_limit,
+            workers=self.workers,
+            coalesced=self.inflight_table.coalesced_total,
+            memo_hits=self.memo.hits,
+            memo_misses=self.memo.misses,
+            admission_stats=dict(self.admission.stats),
+        )
+
+    def _next_time(self, arrivals, chaos_queue) -> float:
+        candidates = []
+        if arrivals:
+            candidates.append(arrivals[0].arrival)
+        if chaos_queue:
+            candidates.append(chaos_queue[0].time)
+        if self._inflight:
+            candidates.append(self._inflight[0][0])
+        if not candidates:  # only queued work left: dispatch immediately
+            return self.clock.now()
+        return min(candidates)
+
+    def _tick(self, t: float, arrivals, chaos_queue, responses) -> None:
+        """Process every event due at ``t``, then fill free workers."""
+        advance = getattr(self.clock, "advance", None)
+        if advance is not None and t > self.clock.now():
+            advance(t - self.clock.now())
+        while self._inflight and self._inflight[0][0] <= t + _EPS:
+            finish, _seq, request, payload = heapq.heappop(self._inflight)
+            self._complete(request, payload, finish, responses)
+        while chaos_queue and chaos_queue[0].time <= t + _EPS:
+            event = chaos_queue.popleft()
+            self.metrics.inc("serve_chaos_total", event=event.label)
+            event.action(self)
+        while arrivals and arrivals[0].arrival <= t + _EPS:
+            self._admit(arrivals.popleft(), responses)
+        self._dispatch(t, responses)
+        self.max_queue_depth = max(self.max_queue_depth, len(self._pending))
+        self.max_inflight = max(self.max_inflight, len(self._inflight))
+        self.metrics.set_gauge("serve_queue_depth", len(self._pending))
+
+    # -- admission -----------------------------------------------------
+    def _admit(self, request: ServeRequest, responses) -> None:
+        now = request.arrival
+        if self._drain_at is not None and now >= self._drain_at - _EPS:
+            self._record(
+                self._shed(request, SHED_DRAINING, now), responses
+            )
+            return
+        leader_id = self.inflight_table.leader_for(request.url)
+        if leader_id is not None:
+            # Same URL already queued or being analyzed: ride along for
+            # free — no queue slot, no token, no worker.
+            self.inflight_table.follow(leader_id, request)
+            self.metrics.inc("serve_coalesced_total")
+            return
+        decision = self.admission.decide(now, len(self._pending))
+        if not decision.admitted:
+            self._record(
+                self._shed(
+                    request, decision.reason, now,
+                    retry_after=decision.retry_after,
+                ),
+                responses,
+            )
+            return
+        self._pending.append(request)
+        self.inflight_table.lead(request)
+
+    # -- dispatch ------------------------------------------------------
+    def _dispatch(self, t: float, responses) -> None:
+        while self._pending and len(self._inflight) < self.workers:
+            request = self._pending.popleft()
+            queue_wait = t - request.arrival
+            remaining = request.remaining_at(t)
+            if remaining is not None and remaining <= 0:
+                # The budget died in the queue; do no work for it (or
+                # for the followers that were riding on it).
+                self._record(
+                    self._shed(
+                        request, SHED_DEADLINE, t, queue_wait=queue_wait
+                    ),
+                    responses,
+                )
+                for follower in self.inflight_table.complete(request):
+                    self._record(
+                        self._shed(
+                            follower, SHED_DEADLINE, t,
+                            latency=t - follower.arrival, coalesced=True,
+                        ),
+                        responses,
+                    )
+                continue
+            with self.tracer.span(
+                "serve.request", url=request.url, id=request.request_id
+            ) as span:
+                payload, service = self._work(request, remaining)
+                span.set(kind=payload[0], service=service)
+            finish = t + service
+            heapq.heappush(
+                self._inflight, (finish, self._seq, request, payload)
+            )
+            self._seq += 1
+
+    def _work(self, request: ServeRequest, remaining: float | None):
+        """Load + analyze one request; return (payload, service_time).
+
+        The service time is the load's simulated duration (measured on
+        the shared clock, which fault stalls and retry backoffs
+        advance) plus the modelled analysis cost.  The payload is
+        either ``("verdict", PageVerdict, from_memo)`` or
+        ``("shed", reason)``.
+        """
+        load_start = self.clock.now()
+        deadline = (
+            Deadline(remaining, clock=self.clock)
+            if remaining is not None
+            else None
+        )
+        try:
+            if deadline is not None:
+                loaded = self.browser.load(request.url, deadline=deadline)
+            else:
+                loaded = self.browser.load(request.url)
+        except DeadlineExceeded:
+            return ("shed", SHED_DEADLINE), self.clock.now() - load_start
+        except (PageNotFound, RedirectLoopError, FetchError):
+            return ("shed", SHED_UPSTREAM), self.clock.now() - load_start
+        load_delta = self.clock.now() - load_start
+        left = remaining - load_delta if remaining is not None else None
+
+        fingerprint = snapshot_fingerprint(loaded.snapshot)
+        memoized = self.memo.get(fingerprint)
+        if memoized is not None:
+            if left is not None and left < self.memo_cost:
+                return ("shed", SHED_DEADLINE), load_delta
+            return ("verdict", memoized, True), load_delta + self.memo_cost
+        if left is not None and left < self.analysis_cost:
+            # Loading ate the budget; analyzing would finish past the
+            # deadline, so the answer would be useless — shed instead.
+            return ("shed", SHED_DEADLINE), load_delta
+        verdict = self.pipeline.analyze(
+            loaded,
+            deadline=(
+                Deadline(left, clock=self.clock) if left is not None else None
+            ),
+        )
+        self.memo.put(fingerprint, verdict)
+        return ("verdict", verdict, False), load_delta + self.analysis_cost
+
+    # -- completion ----------------------------------------------------
+    def _complete(self, request, payload, finish: float, responses) -> None:
+        followers = self.inflight_table.complete(request)
+        kind = payload[0]
+        if kind == "shed":
+            reason = payload[1]
+            self._record(
+                self._shed(
+                    request, reason, finish,
+                    latency=finish - request.arrival,
+                ),
+                responses,
+            )
+            for follower in followers:
+                self._record(
+                    self._shed(
+                        follower, SHED_UPSTREAM, finish,
+                        latency=finish - follower.arrival, coalesced=True,
+                    ),
+                    responses,
+                )
+            return
+        verdict = payload[1]
+        from_memo = payload[2]
+        self._record(
+            self._completed(request, verdict, finish, coalesced=from_memo),
+            responses,
+        )
+        for follower in followers:
+            latency = finish - follower.arrival
+            if follower.budget is not None and latency > follower.budget:
+                # The shared result arrived past this follower's own
+                # deadline; a late verdict is a broken promise.
+                self._record(
+                    self._shed(
+                        follower, SHED_DEADLINE, finish,
+                        latency=latency, coalesced=True,
+                    ),
+                    responses,
+                )
+                continue
+            self._record(
+                self._completed(follower, verdict, finish, coalesced=True),
+                responses,
+            )
+
+    def _completed(
+        self, request, verdict, finish: float, coalesced: bool
+    ) -> ServeResponse:
+        outcome = DEGRADED if verdict.degraded else SERVED
+        return ServeResponse(
+            request_id=request.request_id,
+            url=request.url,
+            outcome=outcome,
+            finished=finish,
+            latency=finish - request.arrival,
+            verdict=verdict.verdict,
+            confidence=verdict.confidence,
+            targets=tuple(verdict.targets),
+            degradations=tuple(verdict.degradations),
+            coalesced=coalesced,
+        )
+
+    def _shed(
+        self,
+        request: ServeRequest,
+        reason: str,
+        now: float,
+        retry_after: float | None = None,
+        queue_wait: float = 0.0,
+        latency: float = 0.0,
+        coalesced: bool = False,
+    ) -> ServeResponse:
+        return ServeResponse(
+            request_id=request.request_id,
+            url=request.url,
+            outcome=SHED,
+            finished=now,
+            latency=latency,
+            shed_reason=reason,
+            retry_after=retry_after,
+            queue_wait=queue_wait,
+            coalesced=coalesced,
+        )
+
+    def _record(self, response: ServeResponse, responses) -> None:
+        if response.request_id in responses:
+            raise AssertionError(
+                f"request {response.request_id} terminated twice"
+            )
+        responses[response.request_id] = response
+        self.metrics.inc("serve_requests_total", outcome=response.outcome)
+        if response.shed:
+            self.metrics.inc("serve_shed_total", reason=response.shed_reason)
+        else:
+            self.metrics.observe(
+                "serve_latency_seconds",
+                response.latency,
+                outcome=response.outcome,
+            )

@@ -1,0 +1,177 @@
+"""Deterministic load generation and chaos scheduling.
+
+Serving behaviour only matters under realistic load shapes, and the
+realistic shape for URL checks is *skew*: a handful of viral campaign
+URLs dominate arrivals (the case request coalescing exists for).  The
+generator therefore samples URLs from a seeded Zipf distribution and
+composes arrival schedules — steady rates, bursts, hot-key storms —
+into one sorted list of :class:`~repro.serve.request.ServeRequest`
+arrivals.
+
+Chaos is scheduled the same way: a :class:`ChaosEvent` is a labelled
+action fired at a simulated instant (search outage begins, a worker
+dies).  Everything is seeded and pure — the same inputs produce the
+same workload byte for byte, which is what lets the overload benchmark
+assert exact outcomes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.serve.request import ServeRequest
+
+
+class ZipfSampler:
+    """Samples URLs with Zipf-skewed popularity (rank ``r`` ∝ r^-s).
+
+    Parameters
+    ----------
+    urls:
+        Candidate URLs; position is popularity rank (first = hottest).
+    exponent:
+        Skew ``s``; 0 is uniform, ~1 matches observed web popularity.
+    seed:
+        Seed for the sampling stream.
+    """
+
+    def __init__(
+        self, urls: Sequence[str], exponent: float = 1.0, seed: int = 0
+    ):
+        if not urls:
+            raise ValueError("urls must be non-empty")
+        if exponent < 0:
+            raise ValueError(f"exponent must be >= 0, got {exponent}")
+        self.urls = list(urls)
+        self.exponent = exponent
+        self._rng = random.Random(seed)
+        weights = [
+            (rank + 1) ** -exponent for rank in range(len(self.urls))
+        ]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0  # guard against float drift
+        self._cumulative = cumulative
+
+    def sample(self) -> str:
+        """Draw one URL from the popularity distribution."""
+        index = bisect.bisect_left(self._cumulative, self._rng.random())
+        return self.urls[min(index, len(self.urls) - 1)]
+
+
+@dataclass(frozen=True)
+class _RawArrival:
+    time: float
+    url: str
+
+
+def constant_rate(
+    sampler: ZipfSampler,
+    rate: float,
+    duration: float,
+    start: float = 0.0,
+) -> list[_RawArrival]:
+    """Evenly spaced arrivals at ``rate``/s for ``duration`` seconds."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    count = int(rate * duration)
+    return [
+        _RawArrival(time=start + index / rate, url=sampler.sample())
+        for index in range(count)
+    ]
+
+
+def burst(
+    sampler: ZipfSampler,
+    at: float,
+    count: int,
+    spread: float = 0.0,
+) -> list[_RawArrival]:
+    """``count`` arrivals packed into ``[at, at + spread]``."""
+    spacing = spread / count if count else 0.0
+    return [
+        _RawArrival(time=at + index * spacing, url=sampler.sample())
+        for index in range(count)
+    ]
+
+
+def hot_key_storm(
+    url: str,
+    at: float,
+    count: int,
+    spread: float = 0.0,
+) -> list[_RawArrival]:
+    """A storm of ``count`` requests for one (viral) URL."""
+    spacing = spread / count if count else 0.0
+    return [
+        _RawArrival(time=at + index * spacing, url=url)
+        for index in range(count)
+    ]
+
+
+def build_requests(
+    *schedules: Sequence[_RawArrival],
+    budget: float | None = None,
+) -> list[ServeRequest]:
+    """Merge schedules into time-ordered requests with stable ids.
+
+    Ties on arrival time break by schedule order then position —
+    deterministic for any composition of generators.
+    """
+    merged: list[tuple[float, int, str]] = []
+    sequence = 0
+    for schedule in schedules:
+        for arrival in schedule:
+            merged.append((arrival.time, sequence, arrival.url))
+            sequence += 1
+    merged.sort(key=lambda item: (item[0], item[1]))
+    return [
+        ServeRequest(
+            request_id=index, url=url, arrival=time, budget=budget
+        )
+        for index, (time, _seq, url) in enumerate(merged)
+    ]
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """A labelled fault (or repair) fired at a simulated instant."""
+
+    time: float
+    label: str
+    action: Callable[[object], None]   # receives the ServingEngine
+
+
+def search_outage(search, at: float, duration: float) -> list[ChaosEvent]:
+    """Force a :class:`FlakySearchEngine` down for ``duration`` seconds."""
+    return [
+        ChaosEvent(at, "search_down", lambda _engine: search.force_down()),
+        ChaosEvent(
+            at + duration, "search_up", lambda _engine: search.restore()
+        ),
+    ]
+
+
+def worker_loss(at: float, count: int = 1) -> list[ChaosEvent]:
+    """Kill ``count`` workers at instant ``at``."""
+    return [
+        ChaosEvent(
+            at, "worker_loss", lambda engine: engine.lose_worker()
+        )
+        for _ in range(count)
+    ]
+
+
+def worker_join(at: float, count: int = 1) -> list[ChaosEvent]:
+    """Add ``count`` workers at instant ``at`` (recovery/scale-up)."""
+    return [
+        ChaosEvent(at, "worker_join", lambda engine: engine.add_worker())
+        for _ in range(count)
+    ]

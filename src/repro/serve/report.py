@@ -1,0 +1,122 @@
+"""Serving-run reports: outcome counts, latency percentiles, JSON.
+
+A :class:`ServingReport` is the engine's complete account of one run:
+every request's terminal response (in request order) plus the
+behavioural bounds the overload benchmark asserts on — peak queue
+depth against its limit, shed breakdown by reason, coalescing and
+memoization effectiveness, and nearest-rank latency percentiles over
+the completed responses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.serve.request import DEGRADED, SERVED, ServeResponse
+
+
+@dataclass
+class ServingReport:
+    """Everything one :meth:`ServingEngine.run` produced."""
+
+    responses: list[ServeResponse] = field(default_factory=list)
+    max_queue_depth: int = 0
+    max_inflight: int = 0
+    queue_limit: int = 0
+    workers: int = 0
+    coalesced: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    admission_stats: dict = field(default_factory=dict)
+
+    # -- outcome counts ------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Requests that received a terminal response."""
+        return len(self.responses)
+
+    @property
+    def served_count(self) -> int:
+        """Full-fidelity verdicts."""
+        return sum(1 for r in self.responses if r.outcome == SERVED)
+
+    @property
+    def degraded_count(self) -> int:
+        """Reduced-fidelity verdicts (outage / deadline / partial page)."""
+        return sum(1 for r in self.responses if r.outcome == DEGRADED)
+
+    @property
+    def shed_count(self) -> int:
+        """Requests refused without a verdict."""
+        return sum(1 for r in self.responses if r.shed)
+
+    @property
+    def completed_count(self) -> int:
+        """Served + degraded."""
+        return self.served_count + self.degraded_count
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of requests shed."""
+        return self.shed_count / self.total if self.total else 0.0
+
+    def shed_reasons(self) -> dict[str, int]:
+        """Shed counts by structured reason, key-sorted."""
+        counts: dict[str, int] = {}
+        for response in self.responses:
+            if response.shed and response.shed_reason:
+                counts[response.shed_reason] = (
+                    counts.get(response.shed_reason, 0) + 1
+                )
+        return dict(sorted(counts.items()))
+
+    def degradation_tags(self) -> dict[str, int]:
+        """Degradation-tag histogram over completed responses."""
+        counts: dict[str, int] = {}
+        for response in self.responses:
+            for tag in response.degradations:
+                counts[tag] = counts.get(tag, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # -- latency -------------------------------------------------------
+    def latencies(self) -> list[float]:
+        """Sorted latencies of completed (served/degraded) responses."""
+        return sorted(
+            response.latency
+            for response in self.responses
+            if response.completed
+        )
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Nearest-rank percentile over completed-response latencies."""
+        if not 0 < quantile <= 1:
+            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+        ordered = self.latencies()
+        if not ordered:
+            return 0.0
+        rank = max(1, math.ceil(quantile * len(ordered)))
+        return ordered[rank - 1]
+
+    # -- export --------------------------------------------------------
+    def summary(self) -> dict:
+        """Flat JSON-safe summary for reports and CI artifacts."""
+        return {
+            "total": self.total,
+            "served": self.served_count,
+            "degraded": self.degraded_count,
+            "shed": self.shed_count,
+            "shed_rate": self.shed_rate,
+            "shed_reasons": self.shed_reasons(),
+            "degradation_tags": self.degradation_tags(),
+            "coalesced": self.coalesced,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "max_queue_depth": self.max_queue_depth,
+            "queue_limit": self.queue_limit,
+            "max_inflight": self.max_inflight,
+            "workers": self.workers,
+            "latency_p50": self.latency_percentile(0.50),
+            "latency_p99": self.latency_percentile(0.99),
+            "admission": dict(self.admission_stats),
+        }

@@ -1,0 +1,75 @@
+"""Request/response records for the serving engine.
+
+A :class:`ServeRequest` is one client asking for a verdict on one URL
+at a point in simulated time, carrying its own deadline budget.  Every
+request terminates in exactly one :class:`ServeResponse` — served,
+degraded or shed — so an overloaded engine never silently drops work;
+shed responses carry the structured reason and a ``retry_after`` hint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SERVED = "served"
+DEGRADED = "degraded"
+SHED = "shed"
+
+#: Structured shed reasons (the ``reason`` label on ``serve_shed_total``).
+SHED_QUEUE_FULL = "queue_full"        # bounded queue at capacity
+SHED_RATE_LIMITED = "rate_limited"    # token bucket empty (or throttled)
+SHED_DEADLINE = "deadline"            # budget exhausted before completion
+SHED_UPSTREAM = "upstream_failure"    # page unloadable within the budget
+SHED_DRAINING = "draining"            # engine stopped admitting
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One client request: a URL, an arrival instant, a time budget."""
+
+    request_id: int
+    url: str
+    arrival: float
+    budget: float | None = None    # seconds allowed end to end; None = ∞
+
+    def remaining_at(self, now: float) -> float | None:
+        """Budget seconds left at simulated instant ``now``."""
+        if self.budget is None:
+            return None
+        return self.budget - (now - self.arrival)
+
+
+@dataclass
+class ServeResponse:
+    """The terminal outcome of one request.
+
+    ``outcome`` is ``"served"`` (full-fidelity verdict), ``"degraded"``
+    (verdict produced with reduced-fidelity inputs — search outage,
+    exhausted deadline, partial snapshot) or ``"shed"`` (no verdict;
+    ``shed_reason`` says why and ``retry_after`` hints when to retry).
+    """
+
+    request_id: int
+    url: str
+    outcome: str
+    finished: float
+    latency: float
+    verdict: str | None = None
+    confidence: float | None = None
+    targets: tuple[str, ...] = ()
+    degradations: tuple[str, ...] = ()
+    shed_reason: str | None = None
+    retry_after: float | None = None
+    coalesced: bool = False
+    queue_wait: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def shed(self) -> bool:
+        """True when the request was refused without a verdict."""
+        return self.outcome == SHED
+
+    @property
+    def completed(self) -> bool:
+        """True when the request got a verdict (served or degraded)."""
+        return self.outcome in (SERVED, DEGRADED)

@@ -42,6 +42,11 @@ TRUNCATED_HTML = "truncated_html"
 MISSING_SCREENSHOT = "missing_screenshot"
 SLOW_RESPONSE = "slow_response"
 
+#: Fault-stat key for latency stalls (no degradation tag: a stalled
+#: response arrives late but byte-identical, so verdicts are unaffected
+#: — only deadlines and serving latency are).
+STALL = "stall"
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -55,7 +60,17 @@ class FaultPlan:
         Probabilities of the three transient fetch faults.
     slow_rate, slow_delay:
         Probability of a slow (but successful) response and its cost in
-        clock seconds — consumed from the page's deadline budget.
+        clock seconds — consumed from the page's deadline budget.  Slow
+        responses are tagged as a :data:`SLOW_RESPONSE` degradation.
+    stall_rate, stall_delay:
+        Probability of a latency *stall*: the fetch succeeds with
+        byte-identical content but only after ``stall_delay`` clock
+        seconds — a tail-latency spike, not a fidelity loss, so no
+        degradation tag is attached.  Stalls are sized to blow
+        per-request deadline budgets, which is what makes deadline
+        expiry and load shedding testable without wall-clock sleeps
+        (the delay advances the injected
+        :class:`~repro.resilience.clock.Clock`).
     truncate_rate, truncate_fraction:
         Probability of serving truncated HTML, and the fraction of the
         document that survives.
@@ -74,6 +89,8 @@ class FaultPlan:
     server_error_rate: float = 0.0
     slow_rate: float = 0.0
     slow_delay: float = 1.0
+    stall_rate: float = 0.0
+    stall_delay: float = 30.0
     truncate_rate: float = 0.0
     truncate_fraction: float = 0.3
     drop_screenshot_rate: float = 0.0
@@ -83,14 +100,18 @@ class FaultPlan:
     def __post_init__(self):
         rates = (
             self.timeout_rate, self.reset_rate, self.server_error_rate,
-            self.slow_rate, self.truncate_rate, self.drop_screenshot_rate,
-            self.permanent_rate,
+            self.slow_rate, self.stall_rate, self.truncate_rate,
+            self.drop_screenshot_rate, self.permanent_rate,
         )
         for rate in rates:
             if not 0 <= rate <= 1:
                 raise ValueError(f"rates must be in [0, 1], got {rate}")
         if self.max_consecutive_transient < 1:
             raise ValueError("max_consecutive_transient must be >= 1")
+        if self.stall_delay < 0:
+            raise ValueError(
+                f"stall_delay must be >= 0, got {self.stall_delay}"
+            )
 
     @property
     def transient_rate(self) -> float:
@@ -121,6 +142,20 @@ class FaultPlan:
             **kwargs,
         )
 
+    @classmethod
+    def latency(
+        cls, rate: float, delay: float = 30.0, seed: int = 0, **kwargs
+    ) -> "FaultPlan":
+        """A plan that only injects latency stalls (content untouched).
+
+        The shape the serving benchmarks use: every page loads with
+        byte-identical content, but ``rate`` of the fetches cost
+        ``delay`` injected-clock seconds — long enough to blow a
+        per-request deadline, free in wall-clock terms under a
+        :class:`~repro.resilience.clock.ManualClock`.
+        """
+        return cls(seed=seed, stall_rate=rate, stall_delay=delay, **kwargs)
+
 
 @dataclass(frozen=True)
 class _VisitFaults:
@@ -128,6 +163,7 @@ class _VisitFaults:
 
     transient: str | None = None       # "timeout" | "reset" | "server"
     slow: bool = False
+    stall: bool = False
     truncate: bool = False
     drop_screenshot: bool = False
 
@@ -138,6 +174,11 @@ class _UrlSchedule:
     def __init__(self, url: str, plan: FaultPlan):
         self._rng = random.Random(
             zlib.crc32(url.encode("utf-8")) ^ (plan.seed * 0x9E3779B1)
+        )
+        # Stalls draw from their own derived stream so enabling them
+        # leaves every pre-existing fault schedule byte-identical.
+        self._stall_rng = random.Random(
+            zlib.crc32(url.encode("utf-8")) ^ (plan.seed * 0xC2B2AE35)
         )
         self._plan = plan
         self.permanently_dead = self._rng.random() < plan.permanent_rate
@@ -170,6 +211,7 @@ class _UrlSchedule:
         return _VisitFaults(
             transient=transient,
             slow=self._rng.random() < plan.slow_rate,
+            stall=self._stall_rng.random() < plan.stall_rate,
             truncate=self._rng.random() < plan.truncate_rate,
             drop_screenshot=self._rng.random() < plan.drop_screenshot_rate,
         )
@@ -259,6 +301,12 @@ class FlakyWeb:
             self.stats["slow"] += 1
             self._degradations.append(SLOW_RESPONSE)
             self.clock.sleep(self.plan.slow_delay)
+        if faults.stall:
+            # A latency spike, not a fidelity loss: the content below is
+            # served unchanged, so no degradation tag — only the clock
+            # (and any deadline measured against it) notices.
+            self.stats[STALL] += 1
+            self.clock.sleep(self.plan.stall_delay)
         if page.is_redirect:
             return page
 

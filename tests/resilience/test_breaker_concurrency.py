@@ -1,0 +1,203 @@
+"""Thread-safety tests for the circuit breaker.
+
+The breaker guards shared dependencies from *concurrent* callers —
+the thread pool hits one breaker from every worker — so its state
+machine must hold up under real threads: a half-open circuit admits
+exactly one recovery probe at a time, counters never tear, and the
+transition log stays consistent with the observed state changes.
+"""
+
+import threading
+
+import pytest
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.clock import ManualClock
+from repro.resilience.errors import CircuitOpenError, SearchUnavailableError
+
+
+def _failing():
+    raise SearchUnavailableError("down")
+
+
+def _tripped(threshold=1, recovery=10.0):
+    clock = ManualClock()
+    breaker = CircuitBreaker(
+        failure_threshold=threshold, recovery_time=recovery, clock=clock,
+        failure_types=(SearchUnavailableError,), name="search",
+    )
+    for _ in range(threshold):
+        with pytest.raises(SearchUnavailableError):
+            breaker.call(_failing)
+    assert breaker.state == "open"
+    return breaker, clock
+
+
+class TestHalfOpenProbeExclusivity:
+    def test_single_probe_admitted_concurrently(self):
+        breaker, clock = _tripped()
+        clock.advance(10.0)
+
+        probe_entered = threading.Event()
+        release_probe = threading.Event()
+        probes = []
+
+        def slow_probe():
+            probes.append(threading.current_thread().name)
+            probe_entered.set()
+            release_probe.wait(timeout=5.0)
+            return "ok"
+
+        outcomes = {}
+
+        def attempt(name):
+            try:
+                outcomes[name] = breaker.call(slow_probe)
+            except CircuitOpenError:
+                outcomes[name] = "rejected"
+
+        first = threading.Thread(target=attempt, args=("first",))
+        first.start()
+        assert probe_entered.wait(timeout=5.0)
+        # While the probe is in flight, every other caller fails fast —
+        # a thundering herd must not hammer a barely-recovering service.
+        others = [
+            threading.Thread(target=attempt, args=(f"other-{i}",))
+            for i in range(8)
+        ]
+        for thread in others:
+            thread.start()
+        for thread in others:
+            thread.join(timeout=5.0)
+        assert all(
+            outcomes[f"other-{i}"] == "rejected" for i in range(8)
+        )
+        release_probe.set()
+        first.join(timeout=5.0)
+        assert outcomes["first"] == "ok"
+        assert len(probes) == 1
+        assert breaker.state == "closed"
+        assert breaker.stats["rejected"] == 8
+
+    def test_failed_probe_releases_the_slot(self):
+        breaker, clock = _tripped()
+        clock.advance(10.0)
+        with pytest.raises(SearchUnavailableError):
+            breaker.call(_failing)
+        assert breaker.state == "open"
+        # Next recovery window admits a fresh probe (slot not leaked).
+        clock.advance(10.0)
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == "closed"
+
+    def test_unexpected_probe_error_releases_the_slot(self):
+        breaker, clock = _tripped()
+        clock.advance(10.0)
+
+        def boom():
+            raise KeyError("bug, not outage")
+
+        with pytest.raises(KeyError):
+            breaker.call(boom)
+        # A non-failure exception neither trips nor wedges the probe
+        # slot: the next caller may probe immediately.
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == "closed"
+
+
+class TestConcurrentCounters:
+    def test_stats_consistent_under_contention(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, recovery_time=1e9, clock=clock,
+            failure_types=(SearchUnavailableError,), name="search",
+        )
+        outcomes = {"ok": 0, "failed": 0, "rejected": 0}
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def worker(index):
+            barrier.wait(timeout=5.0)
+            for call in range(50):
+                try:
+                    if (index + call) % 3 == 0:
+                        breaker.call(_failing)
+                    else:
+                        breaker.call(lambda: "ok")
+                    key = "ok"
+                except SearchUnavailableError:
+                    key = "failed"
+                except CircuitOpenError:
+                    key = "rejected"
+                with lock:
+                    outcomes[key] += 1
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        total = sum(outcomes.values())
+        assert total == 8 * 50
+        # Every attempt is accounted for exactly once: admitted calls
+        # split into successes and failures, the rest failed fast.
+        assert breaker.stats["calls"] == outcomes["ok"] + outcomes["failed"]
+        assert breaker.stats["rejected"] == outcomes["rejected"]
+        assert breaker.stats["failures"] == outcomes["failed"]
+
+    def test_transition_log_matches_opened_count_with_threads(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, recovery_time=0.001, clock=clock,
+            failure_types=(SearchUnavailableError,), name="search",
+        )
+        barrier = threading.Barrier(6)
+
+        def worker():
+            barrier.wait(timeout=5.0)
+            for _ in range(40):
+                try:
+                    breaker.call(_failing)
+                except (SearchUnavailableError, CircuitOpenError):
+                    pass
+                clock.advance(0.001)   # lets the circuit half-open again
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        transitions = dict(breaker.transitions)
+        opened = transitions.get("closed->open", 0) \
+            + transitions.get("half-open->open", 0)
+        assert breaker.opened_count == opened == breaker.stats["trips"]
+        # Only legal state-machine edges ever get logged, even with six
+        # threads racing the transitions.
+        assert set(transitions) <= {
+            "closed->open", "open->half-open",
+            "half-open->open", "half-open->closed",
+        }
+        # Conservation within one step: every entry into half-open is
+        # resolved back to open/closed, except at most the final one
+        # (the run may end mid-probe).
+        entered = transitions.get("open->half-open", 0)
+        resolved = transitions.get("half-open->open", 0) \
+            + transitions.get("half-open->closed", 0)
+        assert 0 <= entered - resolved <= 1
+
+
+class TestPickling:
+    def test_breaker_survives_pickling_without_its_lock(self):
+        import pickle
+
+        breaker, _clock = _tripped(threshold=2)
+        clone = pickle.loads(pickle.dumps(breaker))
+        assert clone.state == "open"
+        assert clone.stats == breaker.stats
+        # The clone has a working lock of its own: calls still work.
+        with pytest.raises(CircuitOpenError):
+            clone.call(lambda: "ok")

@@ -224,3 +224,48 @@ class TestFlakyOcr:
     def test_rate_validated(self):
         with pytest.raises(ValueError):
             FlakyOcr(SimulatedOcr(), failure_rate=-0.1)
+
+
+class TestFlakyWebStall:
+    def test_latency_plan_only_stalls(self):
+        plan = FaultPlan.latency(0.3, delay=5.0, seed=2)
+        assert plan.stall_rate == pytest.approx(0.3)
+        assert plan.stall_delay == 5.0
+        assert plan.transient_rate == 0.0
+        assert plan.truncate_rate == 0.0
+
+    def test_stall_charges_the_clock_but_not_the_content(self, web):
+        clock = ManualClock()
+        flaky = FlakyWeb(
+            web, FaultPlan.latency(1.0, delay=7.5, seed=3), clock=clock
+        )
+        page = flaky.get("http://a.com/")
+        assert clock.now() == pytest.approx(7.5)
+        assert flaky.stats["stall"] == 1
+        # Byte-identical content: a stall is a latency fault, not a
+        # fidelity fault...
+        assert page.html == web.get("http://a.com/").html
+        assert page.screenshot == web.get("http://a.com/").screenshot
+        # ...so it must NOT tag the load as degraded.
+        assert flaky.pop_degradations() == []
+
+    def test_stall_schedule_deterministic_per_seed(self, web):
+        def stalls(seed):
+            clock = ManualClock()
+            flaky = FlakyWeb(
+                web, FaultPlan.latency(0.4, delay=1.0, seed=seed),
+                clock=clock,
+            )
+            pattern = []
+            for _ in range(20):
+                before = clock.now()
+                flaky.get("http://a.com/")
+                pattern.append(clock.now() > before)
+            return pattern
+
+        assert stalls(5) == stalls(5)
+        assert True in stalls(5) and False in stalls(5)
+
+    def test_stall_delay_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(stall_delay=-1.0)

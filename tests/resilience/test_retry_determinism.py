@@ -1,0 +1,125 @@
+"""RetryPolicy.delay is a pure function of (seed, attempt).
+
+The backoff schedule must not depend on execution history or on which
+pool backend runs the policy: a policy pickled to a process worker, or
+shared across threads, backs off exactly like the original.  These
+tests pin that contract.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.resilience.clock import ManualClock
+from repro.resilience.errors import TransientFetchError
+from repro.resilience.retry import RetryPolicy
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:          # pragma: no cover - hypothesis is a dev dep
+    HAVE_HYPOTHESIS = False
+
+ATTEMPTS = range(1, 9)
+
+
+def _policy(seed: int = 0, clock=None) -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=8, base_delay=0.05, multiplier=2.0, max_delay=2.0,
+        jitter=0.5, clock=clock or ManualClock(), seed=seed,
+    )
+
+
+class TestDelayPurity:
+    def test_repeated_calls_agree(self):
+        policy = _policy()
+        first = [policy.delay(a) for a in ATTEMPTS]
+        assert first == [policy.delay(a) for a in ATTEMPTS]
+
+    def test_call_order_is_irrelevant(self):
+        forward = [_policy().delay(a) for a in ATTEMPTS]
+        backward = [_policy().delay(a) for a in reversed(ATTEMPTS)]
+        assert forward == list(reversed(backward))
+
+    def test_running_retries_does_not_perturb_the_schedule(self):
+        policy = _policy()
+        before = [policy.delay(a) for a in ATTEMPTS]
+        failures = iter([TransientFetchError("x")] * 3)
+
+        def flaky():
+            try:
+                raise next(failures)
+            except StopIteration:
+                return "ok"
+
+        assert policy.call(flaky).result == "ok"
+        assert [policy.delay(a) for a in ATTEMPTS] == before
+
+    def test_pickled_policy_backs_off_identically(self):
+        policy = _policy(seed=13)
+        clone = pickle.loads(pickle.dumps(policy))
+        assert [clone.delay(a) for a in ATTEMPTS] \
+            == [policy.delay(a) for a in ATTEMPTS]
+
+    def test_threads_read_the_same_schedule(self):
+        policy = _policy(seed=5)
+        expected = [policy.delay(a) for a in ATTEMPTS]
+        results = {}
+
+        def worker(index):
+            results[index] = [policy.delay(a) for a in ATTEMPTS]
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert all(results[i] == expected for i in range(8))
+
+    def test_different_seeds_jitter_differently(self):
+        assert [_policy(seed=1).delay(a) for a in ATTEMPTS] \
+            != [_policy(seed=2).delay(a) for a in ATTEMPTS]
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestDelayPurityProperty:
+        @settings(max_examples=200, deadline=None)
+        @given(
+            seed=st.integers(min_value=0, max_value=2**31 - 1),
+            attempt=st.integers(min_value=1, max_value=32),
+        )
+        def test_delay_pure_and_bounded(self, seed, attempt):
+            policy = _policy(seed=seed)
+            delay = policy.delay(attempt)
+            # Pure: same (seed, attempt) -> same delay, fresh instance
+            # or pickled clone alike.
+            assert _policy(seed=seed).delay(attempt) == delay
+            assert pickle.loads(pickle.dumps(policy)).delay(attempt) == delay
+            # Bounded: inside [raw * (1 - jitter), raw].
+            raw = min(
+                policy.max_delay,
+                policy.base_delay * policy.multiplier ** (attempt - 1),
+            )
+            assert raw * (1 - policy.jitter) <= delay <= raw
+
+        @settings(max_examples=100, deadline=None)
+        @given(
+            seed=st.integers(min_value=0, max_value=2**31 - 1),
+            order=st.permutations(list(range(1, 9))),
+        )
+        def test_delay_independent_of_evaluation_order(self, seed, order):
+            policy = _policy(seed=seed)
+            by_order = {a: policy.delay(a) for a in order}
+            fresh = _policy(seed=seed)
+            assert {a: fresh.delay(a) for a in sorted(order)} == by_order
+
+else:                        # pragma: no cover - hypothesis is a dev dep
+
+    @pytest.mark.skip(reason="hypothesis not installed")
+    def test_delay_purity_property():
+        pass

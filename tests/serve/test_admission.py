@@ -1,0 +1,134 @@
+"""Tests for token-bucket admission control and watermark backpressure."""
+
+import pytest
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.request import SHED_QUEUE_FULL, SHED_RATE_LIMITED
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends(self):
+        bucket = TokenBucket(rate=10.0, capacity=3.0)
+        assert bucket.tokens == 3.0
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+
+    def test_refills_at_rate_up_to_capacity(self):
+        bucket = TokenBucket(rate=2.0, capacity=4.0)
+        for _ in range(4):
+            assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        # 1 second at 2 tokens/s -> exactly two more admissions.
+        assert bucket.try_take(1.0)
+        assert bucket.try_take(1.0)
+        assert not bucket.try_take(1.0)
+        # Long idle caps at capacity, not unbounded credit.
+        assert bucket.try_take(100.0)
+        assert bucket.tokens == pytest.approx(3.0)
+
+    def test_variable_cost(self):
+        bucket = TokenBucket(rate=1.0, capacity=4.0)
+        assert bucket.try_take(0.0, cost=3.0)
+        assert not bucket.try_take(0.0, cost=2.0)
+        assert bucket.try_take(0.0, cost=1.0)
+
+    def test_retry_after_measures_deficit(self):
+        bucket = TokenBucket(rate=2.0, capacity=1.0)
+        assert bucket.try_take(0.0)
+        # Empty bucket, need 1 token at 2/s -> 0.5 s.
+        assert bucket.retry_after(0.0) == pytest.approx(0.5)
+        assert bucket.retry_after(0.25) == pytest.approx(0.25)
+        # Once affordable, the wait is zero, never negative.
+        assert bucket.retry_after(10.0) == 0.0
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        assert bucket.try_take(5.0)
+        # An out-of-order earlier instant neither refills nor crashes.
+        assert not bucket.try_take(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, capacity=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=0.0)
+
+
+class TestAdmissionController:
+    def _controller(self, **kwargs) -> AdmissionController:
+        defaults = dict(
+            bucket=TokenBucket(rate=10.0, capacity=100.0),
+            queue_limit=8,
+            high_watermark=6,
+            low_watermark=2,
+        )
+        defaults.update(kwargs)
+        return AdmissionController(**defaults)
+
+    def test_admits_under_the_limits(self):
+        controller = self._controller()
+        decision = controller.decide(0.0, queue_depth=0)
+        assert decision.admitted
+        assert decision.reason is None
+        assert controller.stats["admitted"] == 1
+
+    def test_full_queue_sheds_with_retry_after(self):
+        controller = self._controller()
+        decision = controller.decide(0.0, queue_depth=8)
+        assert not decision.admitted
+        assert decision.reason == SHED_QUEUE_FULL
+        assert decision.retry_after == pytest.approx(0.1)
+        assert controller.stats["shed_queue"] == 1
+
+    def test_empty_bucket_sheds_rate_limited(self):
+        controller = self._controller(
+            bucket=TokenBucket(rate=2.0, capacity=1.0)
+        )
+        assert controller.decide(0.0, queue_depth=0).admitted
+        decision = controller.decide(0.0, queue_depth=0)
+        assert not decision.admitted
+        assert decision.reason == SHED_RATE_LIMITED
+        assert decision.retry_after == pytest.approx(0.5)
+
+    def test_watermark_hysteresis(self):
+        controller = self._controller()
+        assert not controller.throttled
+        controller.decide(0.0, queue_depth=6)     # at high watermark
+        assert controller.throttled
+        # Between the watermarks the throttle holds (no flapping)...
+        controller.decide(0.0, queue_depth=4)
+        assert controller.throttled
+        # ...and only releases at the low watermark.
+        controller.decide(0.0, queue_depth=2)
+        assert not controller.throttled
+        assert controller.stats["throttle_engaged"] == 1
+
+    def test_throttling_doubles_the_token_cost(self):
+        bucket = TokenBucket(rate=1.0, capacity=4.0)
+        controller = self._controller(bucket=bucket, shed_factor=0.5)
+        controller.decide(0.0, queue_depth=6)     # engages throttle
+        assert bucket.tokens == pytest.approx(2.0)   # cost 2, not 1
+        controller.decide(0.0, queue_depth=6)
+        assert bucket.tokens == pytest.approx(0.0)
+        # Drained: the throttled rate is shed_factor * bucket rate.
+        assert not controller.decide(0.0, queue_depth=6).admitted
+
+    def test_default_watermarks_derived_from_limit(self):
+        controller = AdmissionController(
+            TokenBucket(rate=1.0, capacity=1.0), queue_limit=32
+        )
+        assert controller.high_watermark == 24
+        assert controller.low_watermark == 8
+
+    def test_validation(self):
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        with pytest.raises(ValueError):
+            AdmissionController(bucket, queue_limit=0)
+        with pytest.raises(ValueError):
+            AdmissionController(bucket, queue_limit=8, shed_factor=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(
+                bucket, queue_limit=8, high_watermark=2, low_watermark=2
+            )

@@ -1,0 +1,135 @@
+"""Tests for the deterministic load generator and chaos scheduling."""
+
+import pytest
+
+from repro.serve.loadgen import (
+    ZipfSampler,
+    burst,
+    build_requests,
+    constant_rate,
+    hot_key_storm,
+    search_outage,
+    worker_join,
+    worker_loss,
+)
+
+URLS = [f"http://site-{index}.com/" for index in range(10)]
+
+
+class TestZipfSampler:
+    def test_deterministic_per_seed(self):
+        first = ZipfSampler(URLS, exponent=1.1, seed=7)
+        second = ZipfSampler(URLS, exponent=1.1, seed=7)
+        draws = [first.sample() for _ in range(200)]
+        assert draws == [second.sample() for _ in range(200)]
+        other = ZipfSampler(URLS, exponent=1.1, seed=8)
+        assert draws != [other.sample() for _ in range(200)]
+
+    def test_skews_towards_the_head(self):
+        sampler = ZipfSampler(URLS, exponent=1.2, seed=0)
+        draws = [sampler.sample() for _ in range(2000)]
+        head = draws.count(URLS[0])
+        tail = draws.count(URLS[-1])
+        assert head > 5 * max(tail, 1)
+
+    def test_zero_exponent_is_roughly_uniform(self):
+        sampler = ZipfSampler(URLS, exponent=0.0, seed=0)
+        draws = [sampler.sample() for _ in range(5000)]
+        for url in URLS:
+            assert draws.count(url) == pytest.approx(500, rel=0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler([])
+        with pytest.raises(ValueError):
+            ZipfSampler(URLS, exponent=-1.0)
+
+
+class TestSchedules:
+    def test_constant_rate_spacing(self):
+        sampler = ZipfSampler(URLS, seed=0)
+        arrivals = constant_rate(sampler, rate=10.0, duration=1.0, start=2.0)
+        assert len(arrivals) == 10
+        assert arrivals[0].time == pytest.approx(2.0)
+        assert arrivals[1].time - arrivals[0].time == pytest.approx(0.1)
+
+    def test_burst_packs_into_spread(self):
+        sampler = ZipfSampler(URLS, seed=0)
+        arrivals = burst(sampler, at=5.0, count=4, spread=0.4)
+        assert [a.time for a in arrivals] == pytest.approx(
+            [5.0, 5.1, 5.2, 5.3]
+        )
+
+    def test_hot_key_storm_is_one_url(self):
+        arrivals = hot_key_storm("http://viral.com/", at=1.0, count=5)
+        assert {a.url for a in arrivals} == {"http://viral.com/"}
+        assert all(a.time == 1.0 for a in arrivals)
+
+
+class TestBuildRequests:
+    def test_merges_sorted_with_stable_ids(self):
+        sampler = ZipfSampler(URLS, seed=0)
+        requests = build_requests(
+            constant_rate(sampler, rate=5.0, duration=1.0),
+            hot_key_storm("http://viral.com/", at=0.35, count=3),
+            budget=2.0,
+        )
+        assert [r.request_id for r in requests] == list(range(8))
+        times = [r.arrival for r in requests]
+        assert times == sorted(times)
+        assert all(r.budget == 2.0 for r in requests)
+
+    def test_ties_break_by_schedule_order(self):
+        first = hot_key_storm("http://a.com/", at=1.0, count=1)
+        second = hot_key_storm("http://b.com/", at=1.0, count=1)
+        requests = build_requests(first, second)
+        assert [r.url for r in requests] == ["http://a.com/", "http://b.com/"]
+
+    def test_no_budget_means_unlimited(self):
+        requests = build_requests(
+            hot_key_storm("http://a.com/", at=0.0, count=1)
+        )
+        assert requests[0].budget is None
+        assert requests[0].remaining_at(1e9) is None
+
+
+class TestChaosSchedules:
+    class _Search:
+        def __init__(self):
+            self.down = False
+
+        def force_down(self):
+            self.down = True
+
+        def restore(self):
+            self.down = False
+
+    class _Engine:
+        def __init__(self):
+            self.workers = 4
+
+        def lose_worker(self):
+            self.workers -= 1
+
+        def add_worker(self):
+            self.workers += 1
+
+    def test_search_outage_brackets_the_window(self):
+        search = self._Search()
+        events = search_outage(search, at=1.0, duration=2.0)
+        assert [(e.time, e.label) for e in events] == [
+            (1.0, "search_down"), (3.0, "search_up"),
+        ]
+        events[0].action(None)
+        assert search.down
+        events[1].action(None)
+        assert not search.down
+
+    def test_worker_loss_and_join(self):
+        engine = self._Engine()
+        for event in worker_loss(at=1.0, count=2):
+            event.action(engine)
+        assert engine.workers == 2
+        for event in worker_join(at=2.0):
+            event.action(engine)
+        assert engine.workers == 3

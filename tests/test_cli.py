@@ -27,6 +27,19 @@ class TestParser:
         assert args.scale == 0.01
         assert args.seed == 3
 
+    def test_serve_bench_flags_parsed(self):
+        args = build_parser().parse_args([
+            "serve-bench", "--serve-workers", "2", "--overload", "4.0",
+            "--duration", "1.5", "--budget", "0.9",
+            "--queue-limit", "16", "--json",
+        ])
+        assert args.serve_workers == 2
+        assert args.overload == 4.0
+        assert args.duration == 1.5
+        assert args.budget == 0.9
+        assert args.queue_limit == 16
+        assert args.json
+
 
 class TestCommands:
     """Smoke runs at minimum scale (slow-ish: builds a world)."""
@@ -55,6 +68,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "feature-group importances" in out
         assert "false positives" in out
+
+    def test_serve_bench(self, base_args, capsys):
+        assert main(base_args + [
+            "serve-bench", "--duration", "1.0", "--serve-workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shed_rate" in out
+        assert "verdict_mismatches" in out
+
+    def test_serve_bench_json(self, base_args, capsys):
+        import json
+
+        assert main(base_args + [
+            "serve-bench", "--duration", "1.0", "--serve-workers", "2",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["terminated"] == payload["requests"]
+        assert payload["verdict_mismatches"] == 0
 
 
 class TestErrorHandling:
