@@ -230,21 +230,50 @@ class FeatureExtractor:
                 pass
         return pairs.tolist()
 
+    def extract_batch(
+        self,
+        snapshots,
+        tracer: AnyTracer = NULL_TRACER,
+        keys: list[str | None] | None = None,
+    ) -> np.ndarray:
+        """Columnar feature matrix for a snapshot batch.
+
+        Delegates to :class:`~repro.core.features.batch.BatchExtractor`:
+        one numpy pass per feature group over the whole batch, rows
+        bit-identical to stacking :meth:`extract` outputs.  ``keys``
+        optionally passes precomputed snapshot fingerprints; with a
+        cache attached, warm rows skip columnarization entirely.
+        """
+        # Local import: the batch module builds on this one.
+        from repro.core.features.batch import BatchExtractor
+
+        return BatchExtractor(self).extract_batch(
+            snapshots, tracer=tracer, keys=keys
+        )
+
     def extract_many(self, snapshots, pool=None) -> np.ndarray:
         """Feature matrix for an iterable of snapshots.
 
-        ``pool`` is an optional :class:`~repro.parallel.WorkerPool`; rows
-        come back in snapshot order and bit-identical to the serial run
-        regardless of backend or scheduling.  With the ``process``
-        backend the extractor is pickled into each worker, so cache
-        fills stay worker-local (the ``thread`` backend shares this
-        extractor's cache).
+        An empty iterable yields an empty ``(0, 212)`` float64 matrix.
+        Without a ``pool`` the whole batch runs through the columnar
+        :meth:`extract_batch` path; with one, contiguous snapshot
+        chunks (one columnar pass each) are dispatched via
+        :meth:`~repro.parallel.WorkerPool.map_chunks` with a
+        backend-aware chunk count — one chunk per process worker, a
+        single chunk on the GIL-bound thread backend.  Either way rows
+        come back in snapshot order and bit-identical to the serial
+        per-page run regardless of backend, chunking or scheduling.
+        With the ``process`` backend the extractor is pickled into each
+        worker, so cache fills stay worker-local (the ``thread`` backend
+        shares this extractor's cache).
         """
         snapshots = list(snapshots)
         if not snapshots:
-            return np.empty((0, N_FEATURES))
+            return np.empty((0, N_FEATURES), dtype=np.float64)
         if pool is None:
-            rows = [self.extract(snapshot) for snapshot in snapshots]
-        else:
-            rows = pool.map(self.extract, snapshots)
+            return self.extract_batch(snapshots)
+        rows = pool.map_chunks(
+            self.extract_batch, snapshots,
+            chunk_count=pool.columnar_chunks(len(snapshots)),
+        )
         return np.vstack(rows)

@@ -230,6 +230,150 @@ class KnowYourPhish:
                 identification=identification,
             )
 
+    def analyze_batch(
+        self,
+        pages,
+        tracer: AnyTracer | None = None,
+        metrics: AnyMetrics | None = None,
+    ) -> list[PageVerdict]:
+        """Columnar analysis of already-loaded pages, in input order.
+
+        The batch counterpart of :meth:`analyze`: features come from
+        one :meth:`~repro.core.features.extractor.FeatureExtractor.extract_batch`
+        pass, classification from one compiled-ensemble
+        ``predict_proba`` call, and only the flagged pages proceed to
+        per-page target identification — in input order, so stateful
+        collaborators (search engine, circuit breakers, caches) see the
+        exact call sequence of the per-page loop.  Verdicts — final
+        label, confidence, targets, degradation tags — and metric
+        increments are identical to ``[self.analyze(page) for page in
+        pages]``; the differential harness pins this.
+
+        Unlike :meth:`analyze` this path takes no per-page deadline:
+        callers with page budgets (the budgeted batch path, budgeted
+        serve requests) keep the per-page route, whose deadline reads
+        interleave with the clock exactly as before.
+
+        Tracing emits a single ``analyze.batch`` span (with the
+        ``extract.batch`` child) instead of per-page ``analyze`` trees,
+        so observed runs that must preserve per-page span dumps should
+        keep calling :meth:`analyze`.
+        """
+        tracer = self.tracer if tracer is None else tracer
+        metrics = self.metrics if metrics is None else metrics
+        pages = list(pages)
+        if not pages:
+            return []
+        load_tags: list[list[str]] = []
+        snapshots: list[PageSnapshot] = []
+        for page in pages:
+            if isinstance(page, LoadResult):
+                load_tags.append(list(page.degradations))
+                snapshots.append(page.snapshot)
+            else:
+                load_tags.append([])
+                snapshots.append(page)
+        cache = self.detector.extractor.cache
+        keys: list[str | None] = (
+            [snapshot_fingerprint(snapshot) for snapshot in snapshots]
+            if cache
+            else [None] * len(snapshots)
+        )
+
+        def _finish(
+            final: str,
+            confidence: float,
+            degradations: list[str],
+            sources: DataSources | None,
+            **kwargs,
+        ) -> PageVerdict:
+            notes = sorted(sources.degradation_notes) if sources else []
+            tags = degradations + notes
+            metrics.inc("verdicts_total", verdict=final)
+            if tags:
+                metrics.inc("verdicts_degraded_total")
+            return PageVerdict(
+                verdict=final,
+                confidence=confidence,
+                degraded=bool(tags),
+                degradations=tags,
+                **kwargs,
+            )
+
+        with tracer.span("analyze.batch", n_pages=len(pages)) as root:
+            matrix = self.detector.extractor.extract_batch(
+                snapshots, tracer=tracer, keys=keys
+            )
+            with tracer.span("classify", n_pages=len(pages)):
+                confidences = self.detector.predict_proba(matrix)
+            verdicts: list[PageVerdict] = []
+            flagged = 0
+            for index, snapshot in enumerate(snapshots):
+                confidence = float(confidences[index])
+                degradations = list(load_tags[index])
+                if confidence < self.detector.threshold:
+                    verdicts.append(
+                        _finish("legitimate", confidence, degradations,
+                                None, targets=[])
+                    )
+                    continue
+                flagged += 1
+                if self.identifier is None:
+                    verdicts.append(
+                        _finish("phish", confidence, degradations,
+                                None, targets=[])
+                    )
+                    continue
+                sources = DataSources(
+                    snapshot,
+                    psl=self.detector.extractor.psl,
+                    ocr=self.identifier.ocr,
+                    distribution_cache=(
+                        cache.distributions if cache else None
+                    ),
+                    cache_key=keys[index],
+                )
+                try:
+                    with tracer.span("target.identify") as target_span:
+                        identification = self.identifier.identify(sources)
+                        target_span.set(
+                            step=identification.step,
+                            verdict=identification.verdict,
+                        )
+                except SearchUnavailableError:
+                    degradations.append("search_unavailable")
+                    verdicts.append(
+                        _finish("phish", confidence, degradations,
+                                sources, targets=[])
+                    )
+                    continue
+                except DeadlineExceeded:
+                    degradations.append("deadline_exhausted")
+                    verdicts.append(
+                        _finish("phish", confidence, degradations,
+                                sources, targets=[])
+                    )
+                    continue
+                if identification.verdict == "legitimate":
+                    metrics.inc("fp_filtered_total")
+                    final = "legitimate"
+                elif identification.verdict == "phish":
+                    final = "phish"
+                else:
+                    final = "suspicious"
+                verdicts.append(
+                    _finish(
+                        final,
+                        confidence,
+                        degradations,
+                        sources,
+                        targets=list(identification.targets),
+                        identification=identification,
+                    )
+                )
+            root.set(flagged=flagged)
+        return verdicts
+
     def analyze_many(
         self, urls, browser, pool=None, page_budget=None
     ) -> BatchReport:

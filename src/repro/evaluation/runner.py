@@ -809,6 +809,7 @@ class Lab:
         pages_per_class: int = 40,
         workers: int = 4,
         backend: str = "thread",
+        repeats: int = 3,
     ) -> list[dict]:
         """Batch-analysis throughput: serial vs parallel, cold vs warm cache.
 
@@ -822,7 +823,10 @@ class Lab:
 
         Cold runs use a fresh :class:`~repro.parallel.AnalysisCache`;
         warm runs reuse one filled by a priming pass over the same
-        workload.
+        workload.  Each configuration runs ``repeats`` times (cold
+        modes rebuild their cache every round) and reports the fastest
+        round — min-of-N keeps the mode-vs-mode comparisons stable on
+        a noisy machine.
         """
         from repro.core.pipeline import KnowYourPhish
         from repro.web.browser import Browser as PlainBrowser
@@ -858,29 +862,42 @@ class Lab:
             ("serial/warm", None, warm_cache),
             (f"parallel{workers}/warm", workers, warm_cache),
         )
+        pools = {
+            mode: WorkerPool(workers=run_workers, backend=backend)
+            for mode, run_workers, _cache in runs if run_workers
+        }
+        best: dict[str, float] = {mode: float("inf") for mode, _w, _c in runs}
+        keys: dict[str, list[tuple]] = {}
+        try:
+            # Interleave the rounds: the machine's speed drifts over a
+            # benchmark's lifetime, and timing each mode's rounds
+            # back-to-back would let that drift masquerade as a
+            # mode-vs-mode difference.  One round of every mode per
+            # pass, fastest round kept.
+            for _ in range(repeats):
+                for mode, _run_workers, cache in runs:
+                    pipeline = _pipeline(
+                        cache if cache is not None
+                        else AnalysisCache(max_entries=16384)
+                    )
+                    browser = PlainBrowser(self.world.web)
+                    pool = pools.get(mode)
+                    started = time.perf_counter()
+                    report = pipeline.analyze_many(urls, browser, pool=pool)
+                    best[mode] = min(
+                        best[mode], time.perf_counter() - started
+                    )
+                    keys[mode] = _verdict_key(report)
+        finally:
+            for pool in pools.values():
+                pool.close()
         rows = []
         reference: list[tuple] | None = None
         baseline_rate: float | None = None
         for mode, run_workers, cache in runs:
-            pipeline = _pipeline(
-                cache if cache is not None else AnalysisCache(max_entries=16384)
-            )
-            browser = PlainBrowser(self.world.web)
-            pool = (
-                WorkerPool(workers=run_workers, backend=backend)
-                if run_workers else None
-            )
-            try:
-                started = time.perf_counter()
-                report = pipeline.analyze_many(urls, browser, pool=pool)
-                elapsed = time.perf_counter() - started
-            finally:
-                if pool is not None:
-                    pool.close()
-            key = _verdict_key(report)
             if reference is None:
-                reference = key
-            rate = len(urls) / elapsed if elapsed else float("inf")
+                reference = keys[mode]
+            rate = len(urls) / best[mode] if best[mode] else float("inf")
             if baseline_rate is None:
                 baseline_rate = rate
             rows.append({
@@ -888,10 +905,79 @@ class Lab:
                 "workers": run_workers or 1,
                 "warm_cache": cache is not None,
                 "pages": len(urls),
-                "seconds": elapsed,
+                "seconds": best[mode],
                 "pages_per_sec": rate,
                 "speedup": rate / baseline_rate if baseline_rate else 0.0,
-                "verdicts_match": key == reference,
+                "verdicts_match": keys[mode] == reference,
+            })
+        return rows
+
+    def extraction_benchmark(
+        self,
+        pages_per_class: int = 40,
+        repeats: int = 3,
+    ) -> list[dict]:
+        """Feature-extraction stage in isolation: per-page vs columnar.
+
+        The end-to-end pipeline rate is floored by serial page loads
+        and per-page target identification, which no extraction rewrite
+        can touch — so the columnar path's real effect is measured at
+        the stage level.  Three configurations over the robustness
+        workload's snapshots: the per-page ``extract`` loop, a cold
+        ``extract_batch`` pass, and a warm (cache-hit) ``extract_batch``
+        pass.  Each is timed ``repeats`` times and the fastest run kept
+        (min-of-N is the stable estimator on a noisy machine).  Every
+        row reports pages/sec and the speedup over the per-page loop;
+        ``bit_identical`` re-checks the differential guarantee — batch
+        cells equal serial cells to the last bit — on live corpus data.
+        """
+        snapshots = [
+            page.snapshot
+            for name in ("english", "phishTest")
+            for page in list(self.dataset(name))[:pages_per_class]
+        ]
+
+        per_page = FeatureExtractor(alexa=self.world.alexa)
+        warm_extractor = FeatureExtractor(
+            alexa=self.world.alexa,
+            cache=AnalysisCache(max_entries=16384),
+        )
+        warm_extractor.extract_batch(snapshots)  # priming pass
+        configs = (
+            ("per_page/cold", lambda: np.vstack(
+                [per_page.extract(snapshot) for snapshot in snapshots]
+            )),
+            # a fresh extractor per round keeps this pass genuinely cold
+            ("batch/cold", lambda: FeatureExtractor(
+                alexa=self.world.alexa
+            ).extract_batch(snapshots)),
+            ("batch/warm", lambda: warm_extractor.extract_batch(snapshots)),
+        )
+        best = {mode: float("inf") for mode, _fn in configs}
+        matrices = {}
+        # Interleaved rounds, for the same reason as in
+        # :meth:`throughput_benchmark`: machine-speed drift must hit
+        # every configuration, not whichever happened to run last.
+        for _ in range(repeats):
+            for mode, fn in configs:
+                started = time.perf_counter()
+                matrices[mode] = fn()
+                best[mode] = min(best[mode], time.perf_counter() - started)
+
+        n_pages = len(snapshots)
+        base_rate = n_pages / best["per_page/cold"]
+        reference = matrices["per_page/cold"]
+        rows = []
+        for mode, _fn in configs:
+            seconds, matrix = best[mode], matrices[mode]
+            rate = n_pages / seconds if seconds else float("inf")
+            rows.append({
+                "mode": mode,
+                "pages": n_pages,
+                "seconds": seconds,
+                "pages_per_sec": rate,
+                "speedup": rate / base_rate,
+                "bit_identical": bool(np.array_equal(matrix, reference)),
             })
         return rows
 

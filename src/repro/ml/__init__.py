@@ -17,6 +17,7 @@ with results identical to the serial run.
 """
 
 from repro.ml.boosting import PAPER_THRESHOLD, GradientBoostingClassifier
+from repro.ml.compiled import CompiledEnsemble
 from repro.ml.histogram import BinnedMatrix, bin_matrix
 from repro.ml.instrumentation import TrainingStats
 from repro.ml.metrics import (
@@ -39,6 +40,7 @@ from repro.ml.validation import (
 __all__ = [
     "BinaryMetrics",
     "BinnedMatrix",
+    "CompiledEnsemble",
     "GradientBoostingClassifier",
     "PAPER_THRESHOLD",
     "RegressionTree",

@@ -38,6 +38,8 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.ml.compiled import CompiledEnsemble
+from repro.ml.compiled import sigmoid as _sigmoid
 from repro.ml.histogram import bin_matrix
 from repro.ml.instrumentation import TrainingStats
 from repro.ml.tree import RegressionTree, presort_matrix, restrict_presort
@@ -52,10 +54,6 @@ TREE_METHODS = ("exact", "presort", "histogram")
 #: the classifier default and :data:`repro.core.detector.DEFAULT_THRESHOLD`
 #: cannot drift apart.
 PAPER_THRESHOLD = 0.7
-
-
-def _sigmoid(raw: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-np.clip(raw, -500, 500)))
 
 
 class GradientBoostingClassifier:
@@ -122,6 +120,7 @@ class GradientBoostingClassifier:
         self.max_bins = max_bins
         self._trees: list[RegressionTree] = []
         self._initial_raw = 0.0
+        self._compiled: CompiledEnsemble | None = None
         self.n_features_in_: int | None = None
         #: Timing + split-search counters of the last fit.
         self.fit_stats_: TrainingStats | None = None
@@ -156,6 +155,7 @@ class GradientBoostingClassifier:
         self._initial_raw = float(np.log(positive_rate / (1 - positive_rate)))
         raw = np.full(n, self._initial_raw)
         self._trees = []
+        self._compiled = None
         self.n_features_in_ = X.shape[1]
         self.train_deviance_: list[float] = []
         nodes_built = 0
@@ -253,6 +253,18 @@ class GradientBoostingClassifier:
                     self.train_deviance_.append(self._deviance(y, raw))
                     nodes_built += tree.n_nodes
                     split_evaluations += tree.split_evaluations_
+
+            # Flatten the finished ensemble for level-wise batch
+            # inference while the fit span is still open, so compile
+            # cost is visible in the same trace as the fit it belongs
+            # to.  (TrainingStats ignores unknown child span names.)
+            with rec.span("train.compile", n_trees=len(self._trees)):
+                self._compiled = CompiledEnsemble.from_trees(
+                    self._trees,
+                    initial_raw=self._initial_raw,
+                    learning_rate=self.learning_rate,
+                    n_features=int(X.shape[1]),
+                )
         self.fit_stats_ = TrainingStats.from_spans(
             fit_span,
             nodes_built=nodes_built,
@@ -279,20 +291,51 @@ class GradientBoostingClassifier:
             )
         return X
 
+    def compiled(self) -> CompiledEnsemble:
+        """The level-wise compiled form of the fitted ensemble.
+
+        Compiled eagerly at the end of :meth:`fit` (under the
+        ``train.compile`` span) and lazily here for models rebuilt via
+        :meth:`from_dict`.  Compilation is a pure restructuring: scores
+        from the compiled form are bit-identical to
+        :meth:`decision_function_trees`.
+        """
+        if not self._trees:
+            raise RuntimeError("model is not fitted")
+        if self._compiled is None:
+            self._compiled = CompiledEnsemble.from_trees(
+                self._trees,
+                initial_raw=self._initial_raw,
+                learning_rate=self.learning_rate,
+                n_features=int(self.n_features_in_ or 0),
+            )
+        return self._compiled
+
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Raw additive score before the logistic link."""
         X = self._check_fitted(X)
         if len(X) == 1:
             # Per-page scoring path: walking each tree with Python
-            # scalars skips n_estimators rounds of numpy overhead.
-            # tolist() and scalar ops are exact float64, and the
-            # accumulation order matches the batch loop below, so the
-            # result is bit-identical.
+            # scalars skips every round of numpy overhead.  tolist()
+            # and scalar ops are exact float64, and the accumulation
+            # order matches the per-tree loop, so the result is
+            # bit-identical.
             row = X[0].tolist()
             raw = self._initial_raw
             for tree in self._trees:
                 raw = raw + self.learning_rate * tree.predict_row(row)
             return np.array([raw], dtype=np.float64)
+        return self.compiled().decision_function(X)
+
+    def decision_function_trees(self, X: np.ndarray) -> np.ndarray:
+        """Reference per-tree scoring loop (the pre-compiled path).
+
+        Kept as the uncompiled baseline the differential harness checks
+        :class:`~repro.ml.compiled.CompiledEnsemble` against; both
+        accumulate ``learning_rate * tree_value`` in the same ensemble
+        order, so they agree to the last bit.
+        """
+        X = self._check_fitted(X)
         raw = np.full(len(X), self._initial_raw)
         for tree in self._trees:
             raw += self.learning_rate * tree.predict(X)

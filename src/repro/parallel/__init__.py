@@ -26,6 +26,7 @@ from repro.parallel.executor import (
     MAX_WORKERS,
     CounterProbe,
     WorkerPool,
+    chunk_slices,
     default_workers,
 )
 
@@ -37,6 +38,7 @@ __all__ = [
     "LruCache",
     "MAX_WORKERS",
     "WorkerPool",
+    "chunk_slices",
     "default_workers",
     "snapshot_fingerprint",
 ]

@@ -42,6 +42,27 @@ def default_workers() -> int:
     return min(MAX_WORKERS, os.cpu_count() or 1)
 
 
+def chunk_slices(n_items: int, n_chunks: int) -> list[slice]:
+    """Deterministic contiguous split of ``n_items`` into ``n_chunks``.
+
+    Chunk sizes differ by at most one (the first ``n_items % n_chunks``
+    chunks carry the extra item), every slice is non-empty, and
+    concatenating the slices in order reproduces ``range(n_items)`` —
+    the invariant that makes chunked dispatch order-preserving.
+    """
+    if n_items < 1:
+        return []
+    n_chunks = max(1, min(n_chunks, n_items))
+    base, extra = divmod(n_items, n_chunks)
+    slices = []
+    start = 0
+    for index in range(n_chunks):
+        size = base + (1 if index < extra else 0)
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
+
+
 class CounterProbe(Protocol):
     """Observes counter-like state around :meth:`WorkerPool.map_observed`.
 
@@ -178,6 +199,100 @@ class WorkerPool:
         results: list[Any] = []
         for value, pid, deltas in outcomes:
             results.append(value)
+            if pid != caller_pid:
+                for probe, delta in zip(probes, deltas):
+                    probe.merge(delta)
+        return results
+
+    def columnar_chunks(self, n_items: int) -> int:
+        """Chunk count for a GIL-bound columnar pass over ``n_items``.
+
+        Process workers run truly in parallel, so they get one chunk
+        each.  Thread workers share the interpreter lock: fanning a
+        CPU-bound columnar function out across them buys no parallelism
+        and pays dispatch plus per-chunk fixed costs (fingerprinting,
+        pool construction) several times over — a single chunk, run on
+        one worker thread, is the fastest columnar shape there.  Pass
+        the result as ``chunk_count`` to :meth:`map_chunks` /
+        :meth:`map_observed_chunks`; functions that release the GIL can
+        still chunk per worker explicitly.
+        """
+        if self.backend == "process":
+            return max(1, min(self.workers, n_items))
+        return 1
+
+    def map_chunks(
+        self,
+        fn: Callable[[list], Any],
+        items: Iterable[Any],
+        chunk_count: int | None = None,
+    ) -> list:
+        """Apply a batch function over contiguous item chunks.
+
+        ``fn`` takes a **list of items** and returns a sequence with one
+        result per item (a list, or an array iterated row-wise).  The
+        flattened results come back in input order.  This is the
+        dispatch shape for columnar workloads: instead of paying one
+        scheduling round-trip per item (the overhead that made
+        per-page parallelism lose to serial), each worker receives one
+        contiguous chunk and runs a single vectorised pass over it.
+
+        Contract: ``fn`` must be *chunk-local pure* — ``list(fn(chunk))``
+        equals the concatenation of ``list(fn([item]))`` over the chunk
+        — which holds for batch extraction and batch analysis (memo
+        pools and caches change timing, never values).  Under that
+        contract the result equals ``list(fn(items))`` for every
+        backend, worker count and chunking.
+
+        ``chunk_count`` defaults to the worker count; the serial
+        backend (or a single worker) runs the whole batch as one chunk,
+        which is also the fastest columnar shape.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self.backend == "serial" or self.workers == 1 or len(items) == 1:
+            return list(fn(items))
+        count = chunk_count if chunk_count is not None else self.workers
+        chunks = [items[part] for part in chunk_slices(len(items), count)]
+        if len(chunks) == 1:
+            return list(fn(chunks[0]))
+        executor = self._ensure_executor()
+        results = list(executor.map(fn, chunks))
+        return [value for chunk_result in results for value in chunk_result]
+
+    def map_observed_chunks(
+        self,
+        fn: Callable[[list], Any],
+        items: Iterable[Any],
+        probes: Sequence[CounterProbe] = (),
+        chunk_count: int | None = None,
+    ) -> list[Any]:
+        """:meth:`map_chunks`, plus counter reconciliation per chunk.
+
+        The chunked analogue of :meth:`map_observed`: each probe
+        snapshots its counters around every *chunk* and process-backend
+        deltas merge back in chunk (hence input) order.  Totals equal
+        the serial run's for additive counters, with one merge per
+        chunk instead of one per item.
+        """
+        probes = tuple(probes)
+        items = list(items)
+        if not probes or not items:
+            return self.map_chunks(fn, items, chunk_count=chunk_count)
+        if self.backend == "serial" or self.workers == 1 or len(items) == 1:
+            return list(fn(items))
+        count = chunk_count if chunk_count is not None else self.workers
+        chunks = [items[part] for part in chunk_slices(len(items), count)]
+        if len(chunks) == 1:
+            return list(fn(chunks[0]))
+        executor = self._ensure_executor()
+        task = _ObservedTask(fn, probes)
+        outcomes = list(executor.map(task, chunks))
+        caller_pid = os.getpid()
+        results: list[Any] = []
+        for chunk_result, pid, deltas in outcomes:
+            results.extend(chunk_result)
             if pid != caller_pid:
                 for probe, delta in zip(probes, deltas):
                     probe.merge(delta)

@@ -178,6 +178,31 @@ def sqrt_probability_matrix(
     return matrix
 
 
+def hellinger_pairs_many(
+    pages: Sequence[Sequence[TermDistribution]],
+    pairs: Sequence[tuple[int, int]],
+) -> np.ndarray:
+    """Per-page Hellinger pair blocks for many pages: ``(n_pages, n_pairs)``.
+
+    The batch-extraction entry point for feature set f2.  Each page keeps
+    its **own** vocabulary: padding all pages into one shared matrix
+    would change the length of every row sum, and numpy's unrolled
+    summation groups partial sums by position — appending zeros regroups
+    the real addends and can shift the result by an ulp.  Per-page
+    kernels keep every value bit-identical to the single-page
+    :func:`hellinger_pairs` (and therefore to the serial extractor),
+    which is the contract the differential harness enforces; the batch
+    win comes from amortizing the pair-index arrays and the surrounding
+    Python dispatch, not from fusing vocabularies.
+    """
+    if not pages:
+        return np.empty((0, len(pairs)), dtype=np.float64)
+    out = np.empty((len(pages), len(pairs)), dtype=np.float64)
+    for row, distributions in enumerate(pages):
+        out[row] = hellinger_pairs(distributions, pairs)
+    return out
+
+
 def hellinger_pairs(
     distributions: Sequence[TermDistribution],
     pairs: Sequence[tuple[int, int]],

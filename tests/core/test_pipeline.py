@@ -76,6 +76,66 @@ class TestPipeline:
                                  targets=[])
         assert not lenient.is_blocked(suspicious)
 
+    def test_analyze_batch_matches_per_page_analyze(
+        self, pipeline, tiny_world
+    ):
+        pages = (
+            tiny_world.dataset("phishTest")[:12]
+            + tiny_world.dataset("english")[:12]
+        )
+        snapshots = [page.snapshot for page in pages]
+        serial = [pipeline.analyze(snapshot) for snapshot in snapshots]
+        batch = pipeline.analyze_batch(snapshots)
+        assert [
+            (v.verdict, v.confidence, tuple(v.targets),
+             tuple(v.degradations), v.degraded)
+            for v in batch
+        ] == [
+            (v.verdict, v.confidence, tuple(v.targets),
+             tuple(v.degradations), v.degraded)
+            for v in serial
+        ]
+
+    def test_analyze_batch_metrics_match_per_page(
+        self, pipeline, tiny_world
+    ):
+        from repro.obs import MetricsRegistry
+
+        snapshots = [
+            page.snapshot
+            for page in tiny_world.dataset("phishTest")[:8]
+            + tiny_world.dataset("english")[:8]
+        ]
+        serial_metrics = MetricsRegistry()
+        for snapshot in snapshots:
+            pipeline.analyze(snapshot, metrics=serial_metrics)
+        batch_metrics = MetricsRegistry()
+        pipeline.analyze_batch(snapshots, metrics=batch_metrics)
+        for name in ("verdicts_total", "verdicts_degraded_total",
+                     "fp_filtered_total"):
+            assert batch_metrics.counter_total(name) == \
+                serial_metrics.counter_total(name), name
+
+    def test_analyze_batch_empty(self, pipeline):
+        assert pipeline.analyze_batch([]) == []
+
+    def test_analyze_batch_carries_load_degradations(
+        self, pipeline, tiny_world
+    ):
+        from repro.resilience.browser import LoadResult
+
+        load = LoadResult(
+            snapshot=tiny_world.dataset("english")[0].snapshot,
+            attempts=2,
+            degradations=["partial_content"],
+        )
+        serial = pipeline.analyze(load)
+        [batch] = pipeline.analyze_batch([load])
+        assert batch.degradations == serial.degradations
+        assert "partial_content" in batch.degradations
+        assert batch.degraded
+        assert batch.verdict == serial.verdict
+
     def test_page_verdict_helpers(self):
         verdict = PageVerdict(verdict="phish", confidence=0.95,
                               targets=["paypal", "visa"])

@@ -169,3 +169,96 @@ class TestMapObserved:
         probe = CacheCountsProbe(AnalysisCache())
         with WorkerPool(workers=2, backend="thread") as pool:
             assert pool.map_observed(_square, [], probes=[probe]) == []
+
+
+def _square_chunk(chunk):
+    return [item * item for item in chunk]
+
+
+class _ChunkLookupTask(_LookupTask):
+    """Chunked variant: one unique-key lookup per item in the chunk."""
+
+    def __call__(self, chunk):
+        return [_LookupTask.__call__(self, item) for item in chunk]
+
+
+class TestChunkedDispatch:
+    """Columnar dispatch: chunking must be invisible in the results."""
+
+    def test_chunk_slices_invariants(self):
+        from hypothesis import given
+        from hypothesis import strategies as st
+
+        from repro.parallel import chunk_slices
+
+        @given(st.integers(0, 500), st.integers(1, 32))
+        def check(n_items, n_chunks):
+            slices = chunk_slices(n_items, n_chunks)
+            covered = [i for part in slices for i in range(n_items)[part]]
+            assert covered == list(range(n_items))
+            sizes = [part.stop - part.start for part in slices]
+            assert all(size > 0 for size in sizes)
+            assert not sizes or max(sizes) - min(sizes) <= 1
+            assert len(slices) == (min(n_chunks, n_items) if n_items else 0)
+
+        check()
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_map_chunks_order_preserved(self, backend):
+        items = list(range(37))
+        with WorkerPool(workers=4, backend=backend) as pool:
+            assert pool.map_chunks(_square_chunk, items) == \
+                [i * i for i in items]
+
+    def test_map_chunks_order_preserved_process(self):
+        items = list(range(23))
+        with WorkerPool(workers=2, backend="process") as pool:
+            assert pool.map_chunks(_square_chunk, items) == \
+                [i * i for i in items]
+
+    def test_serial_backend_runs_one_chunk(self):
+        calls = []
+
+        def observe(chunk):
+            calls.append(len(chunk))
+            return _square_chunk(chunk)
+
+        with WorkerPool(backend="serial") as pool:
+            pool.map_chunks(observe, range(9))
+        assert calls == [9]
+
+    def test_empty_and_singleton(self):
+        with WorkerPool(workers=2, backend="thread") as pool:
+            assert pool.map_chunks(_square_chunk, []) == []
+            assert pool.map_chunks(_square_chunk, [6]) == [36]
+
+    def test_columnar_chunks_backend_aware(self):
+        # Process workers get one chunk each; the GIL-bound thread and
+        # serial backends run a single chunk (fan-out only adds
+        # dispatch and per-chunk fixed costs there).
+        with WorkerPool(workers=4, backend="process") as pool:
+            assert pool.columnar_chunks(100) == 4
+            assert pool.columnar_chunks(3) == 3
+            assert pool.columnar_chunks(0) == 1
+        with WorkerPool(workers=4, backend="thread") as pool:
+            assert pool.columnar_chunks(100) == 1
+        with WorkerPool(backend="serial") as pool:
+            assert pool.columnar_chunks(100) == 1
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_observed_chunks_counter_totals_backend_independent(
+        self, backend
+    ):
+        from repro.parallel import AnalysisCache, CacheCountsProbe
+
+        cache = AnalysisCache()
+        fn = _ChunkLookupTask(cache)
+        with WorkerPool(workers=2, backend=backend) as pool:
+            results = pool.map_observed_chunks(
+                fn, range(10), probes=[CacheCountsProbe(cache)]
+            )
+        assert results == [i * i for i in range(10)]
+        # one unique key per item: chunking must not lose or double
+        # count a single probe delta, whatever the backend
+        assert cache.features.misses == 10
+        assert cache.features.hits == 0

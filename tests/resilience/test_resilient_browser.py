@@ -200,6 +200,37 @@ class TestAnalyzeMany:
         assert len(report.analyzed) == 1
         assert report.analyzed[0].attempts == 1
 
+    def test_batch_pipeline_used_and_report_equivalent(self, web):
+        class _FakeBatchPipeline(_FakePipeline):
+            def __init__(self):
+                self.batches = []
+
+            def analyze_batch(self, loads):
+                self.batches.append(len(loads))
+                return [self.analyze(load) for load in loads]
+
+        from repro.parallel import WorkerPool
+
+        urls = ["http://a.com/", "http://missing.com/", "http://short.com/x",
+                "http://a.com/"]
+        per_page = analyze_many(_FakePipeline(), _browser(web), urls)
+        batch_pipeline = _FakeBatchPipeline()
+        with WorkerPool(workers=3, backend="thread") as pool:
+            batched = analyze_many(
+                batch_pipeline, _browser(web), urls, pool=pool
+            )
+        # the three loadable pages went through batch analysis — one
+        # chunk, because the thread backend gains nothing from fanning
+        # a GIL-bound columnar pass out — and the report is
+        # indistinguishable from the per-page serial path
+        assert batch_pipeline.batches == [3]
+        assert [p.url for p in batched.analyzed] == \
+            [p.url for p in per_page.analyzed]
+        assert [p.verdict.verdict for p in batched.analyzed] == \
+            [p.verdict.verdict for p in per_page.analyzed]
+        assert [q.url for q in batched.quarantined] == \
+            [q.url for q in per_page.quarantined]
+
     def test_quarantine_record_fields(self):
         record = QuarantinedPage.from_error(
             "http://x.com/", FetchTimeout("http://x.com/")

@@ -88,6 +88,18 @@ class StubPipeline:
         )
 
 
+class BatchStubPipeline(StubPipeline):
+    """Stub that also exposes ``analyze_batch``, recording each batch."""
+
+    def __init__(self, degraded_urls=()):
+        super().__init__(degraded_urls)
+        self.batches = []
+
+    def analyze_batch(self, pages, tracer=None, metrics=None):
+        self.batches.append([page.snapshot.content for page in pages])
+        return [self.analyze(page) for page in pages]
+
+
 def _arrivals(*specs):
     """specs: (time, url) pairs -> one raw schedule."""
     return [_RawArrival(time=t, url=u) for t, u in specs]
@@ -399,6 +411,79 @@ class TestDeterminismAndObservability:
         assert "serve.run" in names
         assert "serve.drain" in names
         assert names.count("serve.request") == 2
+
+
+class TestMicroBatching:
+    """Tick-level batched analysis must be invisible to the simulation.
+
+    When the pipeline exposes ``analyze_batch`` and nothing is traced
+    or budgeted, the engine runs all analyses dispatched in one tick as
+    a single batch.  Every observable — responses, memo counters,
+    latencies — must match the per-request path exactly.
+    """
+
+    WORKLOAD = (
+        (0.0, "http://a.com/"),
+        (0.0, "http://b.com/"),
+        (0.0, "http://dup-of-a.com/"),   # same content as a.com
+        (0.0, "http://dead.com/"),       # upstream failure
+        (0.5, "http://a.com/"),          # warm memo hit, later tick
+    )
+
+    def _run(self, pipeline, budget=None, **kwargs):
+        clock = ManualClock()
+        browser = StubBrowser(
+            clock,
+            dead=("http://dead.com/",),
+            content={"http://dup-of-a.com/": "http://a.com/"},
+        )
+        engine, _browser, _pipeline = _engine(
+            clock=clock, browser=browser, pipeline=pipeline,
+            workers=4, **kwargs,
+        )
+        report = engine.run(
+            build_requests(_arrivals(*self.WORKLOAD), budget=budget)
+        )
+        return report, pipeline
+
+    def test_batched_run_matches_per_request_run_exactly(self):
+        batched, batch_pipeline = self._run(BatchStubPipeline())
+        serial, serial_pipeline = self._run(StubPipeline())
+        assert batched.responses == serial.responses
+        assert batched.memo_hits == serial.memo_hits
+        assert batched.memo_misses == serial.memo_misses
+        assert batch_pipeline.analyzed == serial_pipeline.analyzed
+        # ...and batching really engaged: one two-page batch (a, b).
+        assert batch_pipeline.batches == [
+            ["http://a.com/", "http://b.com/"]
+        ]
+
+    def test_within_tick_duplicate_and_warm_hit_take_memo_path(self):
+        report, pipeline = self._run(BatchStubPipeline())
+        by_url = {}
+        for response in report.responses:
+            by_url.setdefault(response.url, response)
+        assert report.memo_hits == 2          # dup-of-a + the 0.5s a.com
+        assert report.memo_misses == 2        # a.com, b.com
+        memo_latency = by_url["http://dup-of-a.com/"].latency
+        assert memo_latency == pytest.approx(0.1 * 0.1)  # memo_cost
+        assert by_url["http://dead.com/"].shed_reason == SHED_UPSTREAM
+
+    def test_budgeted_requests_bypass_batching(self):
+        report, pipeline = self._run(BatchStubPipeline(), budget=1.0)
+        assert pipeline.batches == []
+        assert pipeline.analyzed          # per-request path still ran
+        assert report.completed_count == 4
+
+    def test_traced_engine_bypasses_batching(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer(clock=ManualClock())
+        report, pipeline = self._run(BatchStubPipeline(), tracer=tracer)
+        assert pipeline.batches == []
+        names = [span.name for span in tracer.iter_spans()]
+        assert names.count("serve.request") == 5  # sheds are spanned too
+        assert report.completed_count == 4
 
 
 class TestValidation:
