@@ -5,19 +5,25 @@ paper], so a verdict must not outlive the page it describes.  The cache
 is keyed by full URL, bounded in size (LRU eviction) and bounded in age
 (TTL expiry).  Time is injected, never read from the wall clock, so
 behaviour is deterministic and testable.
+
+The storage engine is the serving tier's
+:class:`~repro.serve.cache.ShardedTtlCache` (a single shard here: the
+add-on runs in one browser process, so a strict whole-cache LRU order
+is the right eviction policy); this class only keeps the add-on's
+historical URL-keyed API.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.pipeline import PageVerdict
+from repro.serve.cache import ShardedTtlCache
 
 
 @dataclass(frozen=True)
 class CachedVerdict:
-    """A verdict plus the time it was cached."""
+    """A verdict plus the time it was cached (public record type)."""
 
     verdict: PageVerdict
     cached_at: float
@@ -41,48 +47,48 @@ class VerdictCache:
             raise ValueError(f"ttl must be > 0, got {ttl}")
         self.max_entries = max_entries
         self.ttl = ttl
-        self._entries: OrderedDict[str, CachedVerdict] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self._cache = ShardedTtlCache(
+            capacity=max_entries, ttl=ttl, shards=1
+        )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._cache)
 
     def get(self, url: str, now: float) -> PageVerdict | None:
         """Return the cached verdict for ``url`` or ``None``.
 
         Expired entries are removed and counted as misses.
         """
-        entry = self._entries.get(url)
-        if entry is None:
-            self.misses += 1
-            return None
-        if now - entry.cached_at > self.ttl:
-            del self._entries[url]
-            self.misses += 1
-            return None
-        self._entries.move_to_end(url)
-        self.hits += 1
-        return entry.verdict
+        verdict = self._cache.get(url, now=now)
+        return verdict if verdict is not None else None
 
     def put(self, url: str, verdict: PageVerdict, now: float) -> None:
         """Cache a verdict, evicting the oldest entry when full."""
-        if url in self._entries:
-            del self._entries[url]
-        self._entries[url] = CachedVerdict(verdict=verdict, cached_at=now)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        self._cache.put(url, verdict, now=now)
 
     def invalidate(self, url: str) -> bool:
         """Drop one URL from the cache; True when it was present."""
-        return self._entries.pop(url, None) is not None
+        return self._cache.invalidate(url)
 
     def clear(self) -> None:
         """Drop everything (counters are kept)."""
-        self._entries.clear()
+        self._cache.clear()
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from cache."""
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that found nothing (or only stale entries)."""
+        return self._cache.misses
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return self._cache.hit_rate
+
+    def stats(self) -> dict:
+        """Merged counter snapshot (size, hits, misses, evictions...)."""
+        return self._cache.stats()

@@ -7,7 +7,14 @@ with feature hashing into a fixed-width vector plus a handful of the
 numeric URL statistics they report, trained by logistic regression.
 
 Only the URL is consulted — no page content — which is why this family
-cannot model term-usage consistency.
+cannot model term-usage consistency.  That same property makes it the
+serving tier's **triage** model (see :mod:`repro.serve.triage`): it
+scores a URL in microseconds, before any page load.  To keep tier-0
+scoring a single numpy pass, featurisation is *vectorised*: token
+hashing runs as a table-driven CRC32 over a padded byte matrix —
+bit-identical to the per-token ``zlib.crc32`` loop (pinned by a
+differential test) but computed for every unique token of a batch at
+once.
 """
 
 from __future__ import annotations
@@ -19,6 +26,54 @@ import numpy as np
 from repro.ml.linear import LogisticRegression
 from repro.urls.parsing import UrlParseError, parse_url
 from repro.web.page import PageSnapshot
+
+
+def _crc32_table() -> np.ndarray:
+    """The 256-entry lookup table of the CRC-32 used by ``zlib.crc32``."""
+    table = np.arange(256, dtype=np.uint32)
+    polynomial = np.uint32(0xEDB88320)
+    for _ in range(8):
+        table = np.where(
+            (table & np.uint32(1)).astype(bool),
+            polynomial ^ (table >> np.uint32(1)),
+            table >> np.uint32(1),
+        ).astype(np.uint32)
+    return table
+
+
+_CRC32_TABLE = _crc32_table()
+
+
+def crc32_batch(tokens: list[bytes]) -> np.ndarray:
+    """``zlib.crc32`` of every token, vectorised across the batch.
+
+    Builds one padded ``uint8`` matrix (token x byte position) and runs
+    the table-driven CRC recurrence column by column, masked by token
+    length — a loop over the *longest token's* bytes, not over tokens.
+    Bit-identical to ``zlib.crc32(token)`` for every token.
+    """
+    if not tokens:
+        return np.zeros(0, dtype=np.uint32)
+    lengths = np.fromiter(
+        (len(token) for token in tokens), dtype=np.int64, count=len(tokens)
+    )
+    width = int(lengths.max()) if len(lengths) else 0
+    crc = np.full(len(tokens), 0xFFFFFFFF, dtype=np.uint32)
+    if width:
+        matrix = np.zeros((len(tokens), width), dtype=np.uint8)
+        blob = np.frombuffer(b"".join(tokens), dtype=np.uint8)
+        rows = np.repeat(np.arange(len(tokens)), lengths)
+        offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
+        matrix[rows, np.arange(len(blob)) - offsets] = blob
+        for column in range(width):
+            active = lengths > column
+            crc[active] = (
+                _CRC32_TABLE[
+                    (crc[active] ^ matrix[active, column]) & np.uint32(0xFF)
+                ]
+                ^ (crc[active] >> np.uint32(8))
+            )
+    return crc ^ np.uint32(0xFFFFFFFF)
 
 
 class UrlLexicalClassifier:
@@ -60,12 +115,8 @@ class UrlLexicalClassifier:
             tokens.extend(token for token in part.split() if token)
         return tokens
 
-    def featurize_url(self, url: str) -> np.ndarray:
-        """The hashed feature vector of one URL."""
-        vector = np.zeros(self.n_hash_features + 4)
-        for token in self._tokens(url):
-            index = zlib.crc32(token.encode()) % self.n_hash_features
-            vector[index] = 1.0
+    def _numeric_tail(self, url: str, vector: np.ndarray) -> None:
+        """Fill the four trailing numeric URL statistics in place."""
         try:
             parsed = parse_url(url)
             vector[-4] = len(url) / 100.0
@@ -74,23 +125,86 @@ class UrlLexicalClassifier:
             vector[-1] = 1.0 if parsed.is_ip else 0.0
         except UrlParseError:
             pass
+
+    def featurize_url(self, url: str) -> np.ndarray:
+        """The hashed feature vector of one URL (reference path)."""
+        vector = np.zeros(self.n_hash_features + 4)
+        for token in self._tokens(url):
+            index = zlib.crc32(token.encode()) % self.n_hash_features
+            vector[index] = 1.0
+        self._numeric_tail(url, vector)
         return vector
+
+    def featurize_urls(self, urls) -> np.ndarray:
+        """Feature matrix of a URL batch, one vectorised hashing pass.
+
+        Tokenisation stays per URL (it needs the URL parser), but
+        hashing — the per-token hot loop — runs once over the batch's
+        *unique* tokens via :func:`crc32_batch`, and the binary
+        indicators scatter into the matrix with one fancy-indexed
+        store.  Output is bit-identical to stacking
+        :meth:`featurize_url` row by row.
+        """
+        urls = list(urls)
+        matrix = np.zeros((len(urls), self.n_hash_features + 4))
+        if not urls:
+            return matrix
+        token_ids: dict[str, int] = {}
+        rows: list[int] = []
+        columns: list[int] = []
+        for row, url in enumerate(urls):
+            for token in self._tokens(url):
+                slot = token_ids.setdefault(token, len(token_ids))
+                rows.append(row)
+                columns.append(slot)
+        hashes = crc32_batch(
+            [token.encode() for token in token_ids]
+        ) % np.uint32(self.n_hash_features)
+        matrix[
+            np.asarray(rows, dtype=np.int64),
+            hashes[np.asarray(columns, dtype=np.int64)],
+        ] = 1.0
+        for row, url in enumerate(urls):
+            self._numeric_tail(url, matrix[row])
+        return matrix
 
     def featurize_snapshot(self, snapshot: PageSnapshot) -> np.ndarray:
         """Features of a page = features of its starting URL."""
         return self.featurize_url(snapshot.starting_url)
 
     # ------------------------------------------------------------------
-    def fit_snapshots(self, snapshots, labels) -> "UrlLexicalClassifier":
-        """Train on page snapshots (their starting URLs)."""
-        X = np.vstack([self.featurize_snapshot(s) for s in snapshots])
+    def fit_urls(self, urls, labels) -> "UrlLexicalClassifier":
+        """Train on raw URLs — no page snapshots required."""
+        X = self.featurize_urls(urls)
         self.model.fit(X, np.asarray(labels))
         return self
 
+    def predict_proba_urls(self, urls) -> np.ndarray:
+        """Phishing probability per URL, in one vectorised pass."""
+        return self.model.predict_proba(self.featurize_urls(urls))
+
+    def predict_urls(self, urls) -> np.ndarray:
+        """Hard 0/1 predictions per URL."""
+        return (self.predict_proba_urls(urls) >= self.threshold).astype(
+            np.int64
+        )
+
+    def score_url(self, url: str) -> float:
+        """Phishing probability of a single URL."""
+        return float(self.predict_proba_urls([url])[0])
+
+    # ------------------------------------------------------------------
+    def fit_snapshots(self, snapshots, labels) -> "UrlLexicalClassifier":
+        """Train on page snapshots (their starting URLs)."""
+        return self.fit_urls(
+            [snapshot.starting_url for snapshot in snapshots], labels
+        )
+
     def predict_proba_snapshots(self, snapshots) -> np.ndarray:
         """Phishing probability per snapshot."""
-        X = np.vstack([self.featurize_snapshot(s) for s in snapshots])
-        return self.model.predict_proba(X)
+        return self.predict_proba_urls(
+            [snapshot.starting_url for snapshot in snapshots]
+        )
 
     def predict_snapshots(self, snapshots) -> np.ndarray:
         """Hard 0/1 predictions per snapshot."""

@@ -20,6 +20,8 @@ Commands
     Run the overload + chaos serving scenario (admission control,
     backpressure, coalescing, deadlines, breaker, drain) in simulated
     time and print its report; ``--json`` dumps the full result.
+    ``--triage`` runs the tiered scenario instead: the URL-only tier-0
+    triage ladder vs the untriaged engine on one Zipf workload.
 ``demo``
     A one-minute end-to-end demonstration.
 """
@@ -357,6 +359,52 @@ def _cmd_serve_bench(args) -> int:
     import json
 
     lab = _build_lab(args)
+    if args.triage:
+        print(
+            f"running tiered serving scenario ({args.overload}x overload, "
+            f"{args.serve_workers} workers, {args.duration}s simulated)...",
+            file=sys.stderr,
+        )
+        result = lab.serving_tiered_benchmark(
+            workers=args.serve_workers,
+            overload=args.overload,
+            duration=args.duration,
+            queue_limit=args.queue_limit,
+        )
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"offered {result['requests']} requests "
+            f"({result['offered_rps']:.0f} rps vs "
+            f"{result['capacity_rps']:.0f} rps capacity)"
+        )
+        quality = result["quality"]
+        rows = [
+            ["tier0_share", f"{result['triage']['tier0_share']:.3f}"],
+            ["escalation_rate",
+             f"{result['triage']['corpus_escalation_rate']:.3f}"],
+            ["untriaged_p50", f"{result['untriaged']['latency_p50']:.4f}s"],
+            ["tiered_p50", f"{result['tiered']['latency_p50']:.4f}s"],
+            ["p50_speedup", f"{result['p50_speedup']:.1f}x"],
+            ["untriaged_rps",
+             f"{result['untriaged']['throughput_rps']:.1f}"],
+            ["tiered_rps", f"{result['tiered']['throughput_rps']:.1f}"],
+            ["escalated_mismatches",
+             result["escalated_verdict_mismatches"]],
+            ["tiered_precision", f"{quality['tiered']['precision']:.3f}"],
+            ["tiered_recall", f"{quality['tiered']['recall']:.3f}"],
+        ]
+        print(format_table(["metric", "value"], rows))
+        ok = (
+            result["escalated_verdict_mismatches"] == 0
+            and result["tiered"]["throughput_rps"]
+            > result["untriaged"]["throughput_rps"]
+        )
+        if not ok:
+            print("error: triage ladder contract violated", file=sys.stderr)
+            return 1
+        return 0
     print(
         f"running serving scenario ({args.overload}x overload, "
         f"{args.serve_workers} workers, {args.duration}s simulated)...",
@@ -510,6 +558,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument(
         "--queue-limit", type=int, default=32, dest="queue_limit",
         help="bounded admission queue size",
+    )
+    serve_bench.add_argument(
+        "--triage", action="store_true",
+        help="run the tiered scenario: URL-only tier-0 triage ladder "
+             "vs the untriaged engine on the same workload",
     )
     serve_bench.add_argument(
         "--json", action="store_true",

@@ -1383,6 +1383,216 @@ class Lab:
         }
 
     # ------------------------------------------------------------------
+    # serving: tiered triage ladder vs the untriaged engine
+    # ------------------------------------------------------------------
+    def triage_model(
+        self, max_fpr: float = 0.0, max_fnr: float = 0.0
+    ) -> "TriageModel":
+        """A tier-0 triage model fitted and calibrated on training URLs.
+
+        The URL-lexical classifier trains on legTrain+phishTrain
+        starting URLs (the same split every scenario2 experiment
+        uses), then the two-sided confident band calibrates on the
+        same validation URLs with the given error budgets.
+        """
+        from repro.serve import TriageModel
+
+        train = self.dataset("legTrain") + self.dataset("phishTrain")
+        urls = [page.snapshot.starting_url for page in train]
+        classifier = UrlLexicalClassifier()
+        classifier.fit_urls(urls, train.labels())
+        return TriageModel.calibrate(
+            classifier, urls, train.labels(),
+            max_fpr=max_fpr, max_fnr=max_fnr,
+        )
+
+    def serving_tiered_benchmark(
+        self,
+        pages_per_class: int = 25,
+        workers: int = 4,
+        analysis_cost: float = 0.1,
+        overload: float = 3.0,
+        duration: float = 2.0,
+        queue_limit: int = 32,
+        max_fpr: float = 0.0,
+        max_fnr: float = 0.0,
+    ) -> dict:
+        """Triage ladder vs untriaged engine on the same Zipf workload.
+
+        Offers the identical ``overload``× request schedule to two
+        engines over the clean web: the classic full-pipeline engine,
+        and one fronted by a :class:`~repro.serve.TriageModel` (plus a
+        short-TTL negative cache).  Tier 0 resolves the
+        high-confidence majority in ``triage_cost`` simulated seconds
+        without a page load, so the tiered engine's latency
+        percentiles and sustained throughput beat the untriaged run,
+        while every *escalated* verdict stays byte-identical to the
+        offline reference — the claim this benchmark exists to pin.
+
+        Also reports corpus-level precision/recall of both
+        configurations over the workload's unique URLs (tier-0
+        confident answers where triage fires, the full pipeline's
+        verdict where it escalates), so threshold calibration that
+        sacrificed accuracy for speed would show up immediately.
+        """
+        from repro.resilience import ManualClock, ResilientBrowser, RetryPolicy
+        from repro.serve import (
+            TIER_FULL,
+            TIER_TRIAGE,
+            AdmissionController,
+            ServingEngine,
+            TokenBucket,
+            ZipfSampler,
+            build_requests,
+            constant_rate,
+        )
+
+        urls, labels = self._robustness_workload(pages_per_class)
+        sampler = ZipfSampler(urls, exponent=1.1, seed=self.config.seed)
+        capacity = workers / analysis_cost
+        offered_rate = overload * capacity
+        requests = build_requests(
+            constant_rate(sampler, offered_rate, duration)
+        )
+        triage = self.triage_model(max_fpr=max_fpr, max_fnr=max_fnr)
+
+        def _run(with_triage: bool):
+            clock = ManualClock()
+            browser = ResilientBrowser(
+                self.world.web,
+                policy=RetryPolicy(clock=clock, seed=self.config.seed),
+                clock=clock,
+            )
+            engine = ServingEngine(
+                self._resilient_pipeline(),
+                browser,
+                AdmissionController(
+                    TokenBucket(rate=capacity, capacity=float(workers * 4)),
+                    queue_limit=queue_limit,
+                ),
+                clock=clock,
+                workers=workers,
+                analysis_cost=analysis_cost,
+                triage=triage if with_triage else None,
+                negative_ttl=0.25 * duration if with_triage else None,
+            )
+            return engine.run(requests)
+
+        def _side(report) -> dict:
+            makespan = max(
+                (response.finished for response in report.responses),
+                default=0.0,
+            )
+            return {
+                "report": report.summary(),
+                "completed": report.completed_count,
+                "throughput_rps": (
+                    report.completed_count / makespan if makespan else 0.0
+                ),
+                "latency_p50": report.latency_percentile(0.50),
+                "latency_p99": report.latency_percentile(0.99),
+            }
+
+        untriaged = _run(with_triage=False)
+        tiered = _run(with_triage=True)
+
+        # Escalated verdicts must be byte-identical to the offline
+        # reference — triage may only skip work, never change it.
+        unique_urls = sorted({request.url for request in requests})
+        reference = self._offline_reference(
+            unique_urls, search=self.world.search
+        )
+        escalated_mismatches = 0
+        for response in tiered.responses:
+            if not response.completed or response.tier != TIER_FULL:
+                continue
+            triple = (
+                response.verdict,
+                response.confidence,
+                tuple(response.targets),
+            )
+            if triple != reference.get(response.url):
+                escalated_mismatches += 1
+
+        # Corpus-level blocking quality of each configuration: the
+        # full pipeline everywhere vs tier-0-where-confident.
+        pipeline = self._resilient_pipeline()
+
+        def _blocked(verdict: str) -> bool:
+            if verdict == "phish":
+                return True
+            if verdict == "suspicious":
+                return pipeline.treat_suspicious_as_phish
+            return False
+
+        decisions = dict(zip(unique_urls, triage.decide_batch(unique_urls)))
+
+        def _quality(tiered_path: bool) -> dict:
+            true_positive = false_positive = false_negative = 0
+            for url in unique_urls:
+                decision = decisions[url]
+                if tiered_path and decision.resolved:
+                    blocked = decision.action == "phish"
+                else:
+                    blocked = _blocked(reference[url][0])
+                if blocked and labels[url]:
+                    true_positive += 1
+                elif blocked:
+                    false_positive += 1
+                elif labels[url]:
+                    false_negative += 1
+            predicted = true_positive + false_positive
+            actual = true_positive + false_negative
+            return {
+                "precision": (
+                    true_positive / predicted if predicted else 1.0
+                ),
+                "recall": true_positive / actual if actual else 1.0,
+            }
+
+        tier0 = tiered.tier_counts().get(TIER_TRIAGE, 0)
+        summary_tiered = _side(tiered)
+        summary_untriaged = _side(untriaged)
+        p50_speedup = (
+            summary_untriaged["latency_p50"]
+            / summary_tiered["latency_p50"]
+            if summary_tiered["latency_p50"]
+            else float("inf")
+        )
+        return {
+            "requests": len(requests),
+            "unique_urls": len(unique_urls),
+            "workers": workers,
+            "capacity_rps": capacity,
+            "offered_rps": offered_rate,
+            "overload": overload,
+            "duration_s": duration,
+            "triage": {
+                "legit_threshold": triage.legit_threshold,
+                "phish_threshold": triage.phish_threshold,
+                "corpus_escalation_rate": triage.escalation_rate(
+                    unique_urls
+                ),
+                "tier0_resolved": tier0,
+                "tier0_share": tier0 / len(requests) if requests else 0.0,
+            },
+            "untriaged": summary_untriaged,
+            "tiered": summary_tiered,
+            "p50_speedup": p50_speedup,
+            "throughput_gain": (
+                summary_tiered["throughput_rps"]
+                / summary_untriaged["throughput_rps"]
+                if summary_untriaged["throughput_rps"]
+                else float("inf")
+            ),
+            "escalated_verdict_mismatches": escalated_mismatches,
+            "quality": {
+                "untriaged": _quality(tiered_path=False),
+                "tiered": _quality(tiered_path=True),
+            },
+        }
+
+    # ------------------------------------------------------------------
     # observability: one fully traced + metered run
     # ------------------------------------------------------------------
     def observed_run(

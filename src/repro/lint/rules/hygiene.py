@@ -16,7 +16,7 @@ from typing import Iterator
 
 from repro.lint.findings import Finding
 from repro.lint.registry import ModuleContext, Rule, register
-from repro.obs.trace import SPAN_NAME_PATTERN
+from repro.obs.trace import SPAN_NAME_PATTERN, SPAN_NAME_ROOTS
 
 #: Constructor calls that produce fresh mutable containers.
 _MUTABLE_FACTORIES = frozenset(
@@ -141,7 +141,12 @@ class SpanNameTaxonomyRule(Rule):
         "Free-form names (`'Extract F1'`, `'extract-f1'`) fragment that "
         "key, so every literal passed to `.span(...)` must match "
         "`^[a-z_]+(\\.[a-z_{}0-9]+)*$` — lowercase dot-separated "
-        "segments, `{}` allowed for templates like `extract.f{group}`."
+        "segments, `{}` allowed for templates like `extract.f{group}` — "
+        "and a *dotted* name must root in one of the documented "
+        "subsystems (`SPAN_NAME_ROOTS`): a dotted literal claims a "
+        "place in the taxonomy, so an unknown root (`'frobnicate.run'`) "
+        "is a typo or an undocumented subsystem, either of which "
+        "should fail loudly."
     )
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
@@ -156,15 +161,29 @@ class SpanNameTaxonomyRule(Rule):
             ):
                 continue
             first = node.args[0]
-            if (
+            if not (
                 isinstance(first, ast.Constant)
                 and isinstance(first.value, str)
-                and not SPAN_NAME_PATTERN.match(first.value)
             ):
+                continue
+            if not SPAN_NAME_PATTERN.match(first.value):
                 yield self.finding(
                     ctx,
                     first,
                     f"span name {first.value!r} is outside the "
                     "taxonomy; use lowercase dot-separated segments "
                     "(see SPAN_NAME_PATTERN and DESIGN.md §8)",
+                )
+            elif (
+                "." in first.value
+                and first.value.split(".", 1)[0] not in SPAN_NAME_ROOTS
+            ):
+                yield self.finding(
+                    ctx,
+                    first,
+                    f"span name {first.value!r} roots outside the "
+                    "documented taxonomy; dotted names must start "
+                    "with one of "
+                    f"{sorted(SPAN_NAME_ROOTS)} "
+                    "(see SPAN_NAME_ROOTS and DESIGN.md §8)",
                 )

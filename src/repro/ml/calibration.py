@@ -84,6 +84,61 @@ def threshold_for_fpr(
     return min(1.0, threshold)
 
 
+def threshold_for_miss_rate(
+    y_true: np.ndarray, y_score: np.ndarray, max_fnr: float
+) -> float:
+    """Largest threshold below which at most ``max_fnr`` positives fall.
+
+    The mirror image of :func:`threshold_for_fpr`: scores *at or
+    under* the returned value may be called confidently negative while
+    missing at most a ``max_fnr`` share of validation positives.
+    Larger thresholds clear more negatives confidently, so the
+    returned value is the most permissive one still inside the
+    miss-rate budget.  Returns 1.0 when there are no positives (the
+    budget is trivially met everywhere).
+    """
+    if not 0 <= max_fnr <= 1:
+        raise ValueError(f"max_fnr must be in [0, 1], got {max_fnr}")
+    y_true = np.asarray(y_true).astype(bool)
+    y_score = np.asarray(y_score, dtype=float)
+    positives = np.sort(y_score[y_true])
+    if not len(positives):
+        return 1.0
+    # FNR at threshold t = share of positives with score <= t.  Allow
+    # at most floor(max_fnr * n) positives at or under the threshold.
+    allowed = int(np.floor(max_fnr * len(positives)))
+    if allowed >= len(positives):
+        return 1.0
+    # Threshold just below the (allowed+1)-th smallest positive score.
+    cutoff = positives[allowed]
+    threshold = float(np.nextafter(cutoff, -2.0))
+    return max(0.0, threshold)
+
+
+def two_sided_thresholds(
+    y_true: np.ndarray,
+    y_score: np.ndarray,
+    max_fpr: float = 0.0,
+    max_fnr: float = 0.0,
+) -> tuple[float, float]:
+    """Calibrate a confident-negative / confident-positive band.
+
+    Returns ``(legit_threshold, phish_threshold)`` for a triage
+    ladder: scores ``>= phish_threshold`` are confidently positive
+    (validation FPR within ``max_fpr``), scores ``<= legit_threshold``
+    confidently negative (validation FNR within ``max_fnr``), and the
+    band between the two *escalates* to a stronger model.  The
+    thresholds are clamped to ``legit_threshold < phish_threshold`` so
+    the two confident regions never overlap; the escalation band may
+    be empty when the classes separate cleanly.
+    """
+    phish = threshold_for_fpr(y_true, y_score, max_fpr)
+    legit = threshold_for_miss_rate(y_true, y_score, max_fnr)
+    if legit >= phish:
+        legit = max(0.0, float(np.nextafter(phish, -2.0)))
+    return legit, phish
+
+
 def threshold_for_precision(
     y_true: np.ndarray, y_score: np.ndarray, min_precision: float
 ) -> float | None:

@@ -19,10 +19,12 @@ tallies.  This package provides one common model for all of it:
 * :mod:`repro.obs.report` — :class:`~repro.obs.report.RunReport`, a
   human-readable reconstruction of a run from dumped artifacts alone.
 
-Span names follow the documented taxonomy (DESIGN.md §8):
+Span names follow the documented taxonomy (DESIGN.md §8, §11):
 ``batch.* / browse.* / analyze / extract.f{1..5} / classify /
-target.* / cache.* / train.*``, statically checked by the PHL404 lint
-rule.  Tracing and metrics never perturb verdicts: the golden feature
+target.* / cache.* / train.* / serve.*`` (including the triage
+ladder's ``serve.triage`` and the per-shard ``cache.shard`` snapshot
+spans), statically checked by the PHL404 lint rule — dotted names
+must additionally root in :data:`~repro.obs.trace.SPAN_NAME_ROOTS`.  Tracing and metrics never perturb verdicts: the golden feature
 matrix and the parallel==serial equivalence guarantees hold with
 tracing enabled.
 """
@@ -47,6 +49,7 @@ from repro.obs.report import RunReport
 from repro.obs.trace import (
     NULL_TRACER,
     SPAN_NAME_PATTERN,
+    SPAN_NAME_ROOTS,
     NullTracer,
     Span,
     Tracer,
@@ -61,6 +64,7 @@ __all__ = [
     "NullTracer",
     "RunReport",
     "SPAN_NAME_PATTERN",
+    "SPAN_NAME_ROOTS",
     "Span",
     "Tracer",
     "metrics_to_jsonl",

@@ -39,6 +39,16 @@ from repro.resilience.clock import Clock, SystemClock
 #: Statically enforced on span-name literals by lint rule PHL404.
 SPAN_NAME_PATTERN = re.compile(r"^[a-z_]+(\.[a-z_{}0-9]+)*$")
 
+#: The closed set of first segments a *dotted* span name may use
+#: (DESIGN.md §8 and §11).  Single-segment names stay shape-checked
+#: only — tests and scratch scripts use free-form one-word spans —
+#: but a dotted name claims a place in the documented taxonomy, so
+#: its root must be one of these subsystems.  Enforced by PHL404.
+SPAN_NAME_ROOTS = frozenset({
+    "analyze", "batch", "browse", "cache", "classify",
+    "extract", "serve", "target", "train",
+})
+
 
 class Span:
     """One timed operation: a node in a trace tree.

@@ -15,6 +15,12 @@ from repro.serve.admission import (
     AdmissionDecision,
     TokenBucket,
 )
+from repro.serve.cache import (
+    CacheEntry,
+    ShardedTtlCache,
+    TtlCacheShard,
+    shard_index,
+)
 from repro.serve.coalesce import InflightTable, VerdictMemo
 from repro.serve.engine import ServingEngine
 from repro.serve.loadgen import (
@@ -38,8 +44,18 @@ from repro.serve.request import (
     SHED_QUEUE_FULL,
     SHED_RATE_LIMITED,
     SHED_UPSTREAM,
+    TIER_FULL,
+    TIER_NEGATIVE,
+    TIER_TRIAGE,
     ServeRequest,
     ServeResponse,
+)
+from repro.serve.triage import (
+    TRIAGE_ESCALATE,
+    TRIAGE_LEGITIMATE,
+    TRIAGE_PHISH,
+    TriageDecision,
+    TriageModel,
 )
 
 __all__ = [
@@ -67,6 +83,18 @@ __all__ = [
     "SHED_QUEUE_FULL",
     "SHED_RATE_LIMITED",
     "SHED_UPSTREAM",
+    "TIER_FULL",
+    "TIER_NEGATIVE",
+    "TIER_TRIAGE",
     "ServeRequest",
     "ServeResponse",
+    "CacheEntry",
+    "ShardedTtlCache",
+    "TtlCacheShard",
+    "shard_index",
+    "TRIAGE_ESCALATE",
+    "TRIAGE_LEGITIMATE",
+    "TRIAGE_PHISH",
+    "TriageDecision",
+    "TriageModel",
 ]

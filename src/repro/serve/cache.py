@@ -1,0 +1,320 @@
+"""Sharded TTL + LRU caches for the serving tier.
+
+Long-running serving needs a principled cache story: a verdict must
+not outlive the page it describes (phishing campaigns live hours, not
+days), memory must be bounded under arbitrary traffic, and a
+production deployment spreads the key space over shards so each shard
+stays small and independently evictable.  One implementation serves
+every cache in the system:
+
+* :class:`TtlCacheShard` — a single LRU + TTL map.  Time is always
+  *explicit* (an injected :class:`~repro.resilience.clock.Clock` or a
+  ``now`` argument) — the shard never reads the wall clock, so expiry
+  is deterministic and testable under a
+  :class:`~repro.resilience.clock.ManualClock`.
+* :class:`ShardedTtlCache` — a fixed set of shards with deterministic
+  shard-by-content-hash placement (CRC32 of the key), aggregate
+  counters, and mergeable per-shard statistics.
+
+Entries can be *negative*: a cached recent failure (an unloadable
+page, a shed outcome) that answers repeats instantly for a short,
+separately configured TTL instead of burning a worker on a page that
+just failed.  Negative entries expire on ``negative_ttl`` and are
+tallied apart from positive hits.
+
+The serving engine's :class:`~repro.serve.coalesce.VerdictMemo` and
+the add-on's :class:`~repro.addon.cache.VerdictCache` are both thin
+wrappers over this module.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.resilience.clock import Clock
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached value plus its write time and polarity."""
+
+    value: Any
+    cached_at: float
+    negative: bool = False
+
+
+def shard_index(key: str, shards: int) -> int:
+    """Deterministic shard placement: CRC32 of the key's bytes.
+
+    A pure content hash — no process salt, no insertion order — so the
+    same key lands on the same shard in every run and every process.
+    """
+    return zlib.crc32(key.encode("utf-8")) % shards
+
+
+class TtlCacheShard:
+    """One LRU + TTL cache shard with explicit, injected time.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum entries (LRU eviction beyond it); ``None`` = unbounded.
+    ttl:
+        Maximum entry age in seconds; reads past it expire the entry
+        and count as misses.  ``None`` = entries never expire.  An
+        entry aged exactly ``ttl`` is still valid (strict ``>`` test).
+    negative_ttl:
+        Age bound for *negative* entries; defaults to ``ttl``.
+    clock:
+        Time source consulted when a call omits ``now``.  TTL
+        semantics require one of the two.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        ttl: float | None = None,
+        negative_ttl: float | None = None,
+        clock: Clock | None = None,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        if negative_ttl is not None and negative_ttl <= 0:
+            raise ValueError(f"negative_ttl must be > 0, got {negative_ttl}")
+        self.capacity = capacity
+        self.ttl = ttl
+        self.negative_ttl = negative_ttl if negative_ttl is not None else ttl
+        self.clock = clock
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.negative_hits = 0
+        self.expirations = 0
+        self.evictions = 0
+
+    # -- time ----------------------------------------------------------
+    def _resolve_now(self, now: float | None) -> float:
+        if now is not None:
+            return now
+        if self.clock is not None:
+            return self.clock.now()
+        if self.ttl is not None or self.negative_ttl is not None:
+            raise ValueError(
+                "a TTL cache needs a clock or an explicit `now`"
+            )
+        return 0.0
+
+    def _expired(self, entry: CacheEntry, now: float) -> bool:
+        ttl = self.negative_ttl if entry.negative else self.ttl
+        return ttl is not None and now - entry.cached_at > ttl
+
+    # -- operations ----------------------------------------------------
+    def get_entry(self, key: str, now: float | None = None) -> CacheEntry | None:
+        """The live entry for ``key``, or ``None``.
+
+        Expired entries are removed (counted as expirations) and read
+        as misses; live reads refresh LRU recency.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        instant = self._resolve_now(now)
+        if self._expired(entry, instant):
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if entry.negative:
+            self.negative_hits += 1
+        return entry
+
+    def get(self, key: str, now: float | None = None) -> Any:
+        """The cached value for ``key``, or ``None``."""
+        entry = self.get_entry(key, now)
+        return entry.value if entry is not None else None
+
+    def put(
+        self,
+        key: str,
+        value: Any,
+        now: float | None = None,
+        negative: bool = False,
+    ) -> None:
+        """Insert/refresh an entry, evicting LRU entries beyond capacity."""
+        instant = self._resolve_now(now)
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = CacheEntry(
+            value=value, cached_at=instant, negative=negative
+        )
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one key; True when it was present."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """JSON-safe counter snapshot for reports and spans."""
+        return {
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "negative_hits": self.negative_hits,
+            "expirations": self.expirations,
+            "evictions": self.evictions,
+        }
+
+
+class ShardedTtlCache:
+    """A deterministic fixed-shard cache of :class:`TtlCacheShard`.
+
+    Keys are placed by :func:`shard_index` (CRC32 of the key), so the
+    mapping is stable across runs and processes.  With an unbounded or
+    TTL-only configuration, sharding is invisible: hit/miss totals are
+    identical to a single unsharded cache over the same operations.
+    With a bounded ``capacity``, it is split across shards (the first
+    ``capacity % shards`` shards take the remainder), so each shard
+    evicts independently.
+
+    Parameters match :class:`TtlCacheShard`, plus ``shards``.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        ttl: float | None = None,
+        negative_ttl: float | None = None,
+        clock: Clock | None = None,
+        shards: int = 1,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if capacity is not None and capacity < shards:
+            raise ValueError(
+                f"capacity {capacity} cannot cover {shards} shards "
+                "(every shard needs at least one slot)"
+            )
+        self.shards = shards
+        base, remainder = (
+            divmod(capacity, shards) if capacity is not None else (None, 0)
+        )
+        self._shards = [
+            TtlCacheShard(
+                capacity=(
+                    base + (1 if index < remainder else 0)
+                    if base is not None
+                    else None
+                ),
+                ttl=ttl,
+                negative_ttl=negative_ttl,
+                clock=clock,
+            )
+            for index in range(shards)
+        ]
+
+    def _shard_for(self, key: str) -> TtlCacheShard:
+        return self._shards[shard_index(key, self.shards)]
+
+    # -- operations (forwarded to the owning shard) --------------------
+    def get_entry(self, key: str, now: float | None = None) -> CacheEntry | None:
+        """The live entry for ``key`` from its shard, or ``None``."""
+        return self._shard_for(key).get_entry(key, now)
+
+    def get(self, key: str, now: float | None = None) -> Any:
+        """The cached value for ``key`` from its shard, or ``None``."""
+        return self._shard_for(key).get(key, now)
+
+    def put(
+        self,
+        key: str,
+        value: Any,
+        now: float | None = None,
+        negative: bool = False,
+    ) -> None:
+        """Insert/refresh an entry in the key's shard."""
+        self._shard_for(key).put(key, value, now, negative=negative)
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one key from its shard; True when it was present."""
+        return self._shard_for(key).invalidate(key)
+
+    def clear(self) -> None:
+        """Drop every entry in every shard (counters are kept)."""
+        for shard in self._shards:
+            shard.clear()
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    # -- aggregate counters --------------------------------------------
+    @property
+    def hits(self) -> int:
+        """Total hits across shards."""
+        return sum(shard.hits for shard in self._shards)
+
+    @property
+    def misses(self) -> int:
+        """Total misses across shards."""
+        return sum(shard.misses for shard in self._shards)
+
+    @property
+    def negative_hits(self) -> int:
+        """Total negative-entry hits across shards."""
+        return sum(shard.negative_hits for shard in self._shards)
+
+    @property
+    def expirations(self) -> int:
+        """Total TTL expirations across shards."""
+        return sum(shard.expirations for shard in self._shards)
+
+    @property
+    def evictions(self) -> int:
+        """Total LRU evictions across shards."""
+        return sum(shard.evictions for shard in self._shards)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache, across shards."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def shard_stats(self) -> Iterator[dict]:
+        """Per-shard counter snapshots, in shard order."""
+        for shard in self._shards:
+            yield shard.stats()
+
+    def stats(self) -> dict:
+        """Merged counter snapshot; totals equal the shard-wise sums."""
+        return {
+            "shards": self.shards,
+            "size": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "negative_hits": self.negative_hits,
+            "expirations": self.expirations,
+            "evictions": self.evictions,
+        }

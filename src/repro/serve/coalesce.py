@@ -15,11 +15,17 @@ Two layers implement it:
   has been analyzed, any later request whose loaded snapshot hashes to
   the same ``snapshot_fingerprint`` reuses the verdict and is charged
   only the (cheap) memo-hit cost.  Keyed on content, not URL, so
-  mirrored campaign pages coalesce too.
+  mirrored campaign pages coalesce too.  Backed by a
+  :class:`~repro.serve.cache.ShardedTtlCache`, so long-running engines
+  can bound it (LRU) and age it out (TTL on the injected clock); the
+  defaults — unbounded, no expiry — reproduce the original
+  run-scoped memo bit for bit.
 """
 
 from __future__ import annotations
 
+from repro.resilience.clock import Clock
+from repro.serve.cache import ShardedTtlCache
 from repro.serve.request import ServeRequest
 
 
@@ -61,25 +67,50 @@ class VerdictMemo:
     screenshot, logged URLs), so a degraded load — truncated body,
     lost screenshot — hashes differently from the clean load and never
     pollutes the clean verdict, and vice versa.
+
+    A thin facade over :class:`~repro.serve.cache.ShardedTtlCache`:
+    ``capacity`` bounds the memo (LRU per shard), ``ttl`` ages
+    verdicts out on the injected ``clock``, and both default to off so
+    a plain ``VerdictMemo()`` behaves exactly like the historical
+    unbounded dict.
     """
 
-    def __init__(self) -> None:
-        self._verdicts: dict[str, object] = {}
-        self.hits = 0
-        self.misses = 0
+    def __init__(
+        self,
+        capacity: int | None = None,
+        ttl: float | None = None,
+        clock: Clock | None = None,
+        shards: int = 4,
+    ) -> None:
+        self._cache = ShardedTtlCache(
+            capacity=capacity, ttl=ttl, clock=clock, shards=shards
+        )
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the memo."""
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that required a fresh analysis."""
+        return self._cache.misses
 
     def get(self, fingerprint: str):
         """The memoized verdict for a content hash, or ``None``."""
-        verdict = self._verdicts.get(fingerprint)
-        if verdict is not None:
-            self.hits += 1
-        else:
-            self.misses += 1
-        return verdict
+        return self._cache.get(fingerprint)
 
     def put(self, fingerprint: str, verdict: object) -> None:
         """Memoize a freshly computed verdict."""
-        self._verdicts[fingerprint] = verdict
+        self._cache.put(fingerprint, verdict)
+
+    def shard_stats(self):
+        """Per-shard counter snapshots (see ``ShardedTtlCache``)."""
+        return self._cache.shard_stats()
+
+    def stats(self) -> dict:
+        """Merged counter snapshot across shards."""
+        return self._cache.stats()
 
     def __len__(self) -> int:
-        return len(self._verdicts)
+        return len(self._cache)

@@ -17,14 +17,20 @@ per-analysis cost).  The shared :class:`~repro.resilience.clock.Clock`
 backs the load-level deadlines and fault stalls; the serving timeline
 itself is plain event arithmetic, so reordering-independent and exact.
 
-Request lifecycle::
+Request lifecycle (the **triage ladder**)::
 
-    arrival ── coalesce? ── admission ── queue ── dispatch ── complete
-                  │             │          │         │
-                  │           shed       shed      shed
-              (follower)  (queue_full, (deadline) (deadline,
-                          rate_limited,            upstream)
-                           draining)
+    arrival ─ triage? ─ negative? ─ coalesce? ─ admission ─ queue ─ dispatch
+                │           │           │           │         │        │
+             tier-0       shed          │         shed      shed     shed
+             verdict   (upstream)   (follower)
+
+A configured :class:`~repro.serve.triage.TriageModel` resolves
+high-confidence URLs at tier 0 — a URL-only score, no page load, no
+queue slot, no token, no worker — and only *escalates* the uncertain
+band into the classic path, which stays byte-identical to an
+untriaged engine.  An optional negative cache (URL-keyed, short TTL)
+answers repeats of recently unloadable pages instantly instead of
+burning a worker on a page that just failed.
 
 Deadline propagation: a request's budget is consumed by queue wait,
 then threaded as a :class:`~repro.resilience.retry.Deadline` through
@@ -44,6 +50,7 @@ from repro.resilience.clock import Clock, SystemClock
 from repro.resilience.errors import DeadlineExceeded, FetchError
 from repro.resilience.retry import Deadline
 from repro.serve.admission import AdmissionController
+from repro.serve.cache import ShardedTtlCache
 from repro.serve.coalesce import InflightTable, VerdictMemo
 from repro.serve.loadgen import ChaosEvent
 from repro.serve.report import ServingReport
@@ -54,9 +61,13 @@ from repro.serve.request import (
     SHED_DEADLINE,
     SHED_DRAINING,
     SHED_UPSTREAM,
+    TIER_FULL,
+    TIER_NEGATIVE,
+    TIER_TRIAGE,
     ServeRequest,
     ServeResponse,
 )
+from repro.serve.triage import TriageModel
 from repro.web.browser import PageNotFound, RedirectLoopError
 
 _EPS = 1e-9
@@ -88,9 +99,28 @@ class ServingEngine:
     memo_cost:
         Modelled seconds for a content-hash memo hit (default: 10% of
         ``analysis_cost``).
+    triage:
+        Optional :class:`~repro.serve.triage.TriageModel`.  When set,
+        arrivals are scored URL-only first; confident verdicts resolve
+        at tier 0 (``triage_cost`` seconds, no queue slot, no token,
+        no worker) and only the uncertain band escalates into the
+        classic path, which stays byte-identical to an untriaged run.
+    triage_cost:
+        Modelled seconds for one tier-0 decision (default: 1% of
+        ``analysis_cost`` — a hashed dot product vs a page analysis).
+    negative_ttl:
+        When set, recently *unloadable* URLs (upstream-failure sheds)
+        are negative-cached for this many simulated seconds and
+        repeats are refused instantly without occupying a worker.
+        ``None`` (default) disables negative caching.
+    memo_capacity / memo_ttl / memo_shards:
+        Sizing of the sharded content-hash verdict memo.  Defaults
+        (unbounded, no TTL) reproduce the historical run-scoped memo
+        exactly; long-running deployments bound both.
     tracer / metrics:
-        Optional observability instruments (``serve.*`` spans;
-        ``serve_*`` counters, queue-depth gauge, latency histograms).
+        Optional observability instruments (``serve.*`` spans incl.
+        ``serve.triage``, per-shard ``cache.shard`` spans; ``serve_*``
+        counters, queue-depth gauge, per-tier latency histograms).
     """
 
     def __init__(
@@ -102,6 +132,12 @@ class ServingEngine:
         workers: int = 4,
         analysis_cost: float = 0.05,
         memo_cost: float | None = None,
+        triage: TriageModel | None = None,
+        triage_cost: float | None = None,
+        negative_ttl: float | None = None,
+        memo_capacity: int | None = None,
+        memo_ttl: float | None = None,
+        memo_shards: int = 4,
         tracer: AnyTracer = NULL_TRACER,
         metrics: AnyMetrics = NULL_METRICS,
     ):
@@ -110,6 +146,10 @@ class ServingEngine:
         if analysis_cost <= 0:
             raise ValueError(
                 f"analysis_cost must be positive, got {analysis_cost}"
+            )
+        if triage_cost is not None and triage_cost < 0:
+            raise ValueError(
+                f"triage_cost must be >= 0, got {triage_cost}"
             )
         self.pipeline = pipeline
         self.browser = browser
@@ -120,10 +160,26 @@ class ServingEngine:
         self.memo_cost = (
             memo_cost if memo_cost is not None else analysis_cost * 0.1
         )
+        self.triage = triage
+        self.triage_cost = (
+            triage_cost if triage_cost is not None else analysis_cost * 0.01
+        )
         self.tracer = tracer
         self.metrics = metrics
         self.inflight_table = InflightTable()
-        self.memo = VerdictMemo()
+        self.memo = VerdictMemo(
+            capacity=memo_capacity,
+            ttl=memo_ttl,
+            clock=self.clock,
+            shards=memo_shards,
+        )
+        self.negative = (
+            ShardedTtlCache(
+                ttl=negative_ttl, clock=self.clock, shards=memo_shards
+            )
+            if negative_ttl is not None
+            else None
+        )
         # per-run state, reset by run()
         self._pending: deque[ServeRequest] = deque()
         self._inflight: list = []
@@ -181,10 +237,18 @@ class ServingEngine:
                         self._next_time(arrivals, chaos_queue),
                         arrivals, chaos_queue, responses,
                     )
+            for index, stats in enumerate(self.memo.shard_stats()):
+                with self.tracer.span(
+                    "cache.shard", cache="memo", index=index, **stats
+                ):
+                    pass
 
         ordered_responses = [
             responses[request.request_id] for request in ordered
         ]
+        cache_stats = {"memo": self.memo.stats()}
+        if self.negative is not None:
+            cache_stats["negative"] = self.negative.stats()
         return ServingReport(
             responses=ordered_responses,
             max_queue_depth=self.max_queue_depth,
@@ -195,6 +259,9 @@ class ServingEngine:
             memo_hits=self.memo.hits,
             memo_misses=self.memo.misses,
             admission_stats=dict(self.admission.stats),
+            triage_enabled=self.triage is not None,
+            negative_cache_enabled=self.negative is not None,
+            cache_stats=cache_stats,
         )
 
     def _next_time(self, arrivals, chaos_queue) -> float:
@@ -236,6 +303,17 @@ class ServingEngine:
                 self._shed(request, SHED_DRAINING, now), responses
             )
             return
+        if self.triage is not None and self._triage(request, now, responses):
+            return
+        if self.negative is not None:
+            reason = self.negative.get(request.url, now=now)
+            if reason is not None:
+                self.metrics.inc("serve_negative_hits_total")
+                self._record(
+                    self._shed(request, reason, now, tier=TIER_NEGATIVE),
+                    responses,
+                )
+                return
         leader_id = self.inflight_table.leader_for(request.url)
         if leader_id is not None:
             # Same URL already queued or being analyzed: ride along for
@@ -255,6 +333,47 @@ class ServingEngine:
             return
         self._pending.append(request)
         self.inflight_table.lead(request)
+
+    def _triage(self, request: ServeRequest, now: float, responses) -> bool:
+        """Tier-0 URL-only resolution; True when the request terminated.
+
+        A confident decision terminates the request after
+        ``triage_cost`` simulated seconds without consuming a queue
+        slot, a token or a worker; ``escalate`` falls through to the
+        classic path untouched.
+        """
+        with self.tracer.span(
+            "serve.triage", url=request.url, id=request.request_id
+        ) as span:
+            decision = self.triage.decide(request.url)
+            span.set(action=decision.action, score=decision.score)
+        self.metrics.inc("serve_triage_total", action=decision.action)
+        if not decision.resolved:
+            return False
+        if request.budget is not None and self.triage_cost > request.budget:
+            self._record(
+                self._shed(
+                    request, SHED_DEADLINE, now + request.budget,
+                    latency=request.budget, tier=TIER_TRIAGE,
+                ),
+                responses,
+            )
+            return True
+        self._record(
+            ServeResponse(
+                request_id=request.request_id,
+                url=request.url,
+                outcome=SERVED,
+                finished=now + self.triage_cost,
+                latency=self.triage_cost,
+                verdict=decision.action,
+                confidence=decision.score,
+                targets=(),
+                tier=TIER_TRIAGE,
+            ),
+            responses,
+        )
+        return True
 
     # -- dispatch ------------------------------------------------------
     def _batchable(self) -> bool:
@@ -460,6 +579,13 @@ class ServingEngine:
         kind = payload[0]
         if kind == "shed":
             reason = payload[1]
+            if self.negative is not None and reason == SHED_UPSTREAM:
+                # Remember the unloadable page briefly: repeats within
+                # the negative TTL are refused at arrival, saving the
+                # doomed load and the worker it would occupy.
+                self.negative.put(
+                    request.url, reason, now=finish, negative=True
+                )
             self._record(
                 self._shed(
                     request, reason, finish,
@@ -526,6 +652,7 @@ class ServingEngine:
         queue_wait: float = 0.0,
         latency: float = 0.0,
         coalesced: bool = False,
+        tier: str = TIER_FULL,
     ) -> ServeResponse:
         return ServeResponse(
             request_id=request.request_id,
@@ -537,6 +664,7 @@ class ServingEngine:
             retry_after=retry_after,
             queue_wait=queue_wait,
             coalesced=coalesced,
+            tier=tier,
         )
 
     def _record(self, response: ServeResponse, responses) -> None:
@@ -546,6 +674,7 @@ class ServingEngine:
             )
         responses[response.request_id] = response
         self.metrics.inc("serve_requests_total", outcome=response.outcome)
+        self.metrics.inc("serve_tier_total", tier=response.tier)
         if response.shed:
             self.metrics.inc("serve_shed_total", reason=response.shed_reason)
         else:
@@ -553,4 +682,9 @@ class ServingEngine:
                 "serve_latency_seconds",
                 response.latency,
                 outcome=response.outcome,
+            )
+            self.metrics.observe(
+                "serve_tier_latency_seconds",
+                response.latency,
+                tier=response.tier,
             )

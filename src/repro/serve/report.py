@@ -29,6 +29,9 @@ class ServingReport:
     memo_hits: int = 0
     memo_misses: int = 0
     admission_stats: dict = field(default_factory=dict)
+    triage_enabled: bool = False
+    negative_cache_enabled: bool = False
+    cache_stats: dict = field(default_factory=dict)
 
     # -- outcome counts ------------------------------------------------
     @property
@@ -79,20 +82,53 @@ class ServingReport:
                 counts[tag] = counts.get(tag, 0) + 1
         return dict(sorted(counts.items()))
 
+    # -- tiers ---------------------------------------------------------
+    def tier_counts(self) -> dict[str, int]:
+        """Terminal responses by serving tier, key-sorted."""
+        counts: dict[str, int] = {}
+        for response in self.responses:
+            counts[response.tier] = counts.get(response.tier, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def tier_summary(self) -> dict[str, dict]:
+        """Per-tier counts and nearest-rank latency percentiles."""
+        tiers: dict[str, dict] = {}
+        for tier, count in self.tier_counts().items():
+            completed = sum(
+                1 for response in self.responses
+                if response.completed and response.tier == tier
+            )
+            tiers[tier] = {
+                "count": count,
+                "completed": completed,
+                "latency_p50": self.latency_percentile(0.50, tier=tier),
+                "latency_p99": self.latency_percentile(0.99, tier=tier),
+            }
+        return tiers
+
     # -- latency -------------------------------------------------------
-    def latencies(self) -> list[float]:
-        """Sorted latencies of completed (served/degraded) responses."""
+    def latencies(self, tier: str | None = None) -> list[float]:
+        """Sorted latencies of completed responses (optionally one tier)."""
         return sorted(
             response.latency
             for response in self.responses
             if response.completed
+            and (tier is None or response.tier == tier)
         )
 
-    def latency_percentile(self, quantile: float) -> float:
-        """Nearest-rank percentile over completed-response latencies."""
+    def latency_percentile(
+        self, quantile: float, tier: str | None = None
+    ) -> float:
+        """Nearest-rank percentile over completed-response latencies.
+
+        ``tier`` restricts the population to one serving tier.  A run
+        (or tier) with zero completed responses has no latency
+        distribution; the percentile reads 0.0 rather than indexing
+        into an empty ranking.
+        """
         if not 0 < quantile <= 1:
             raise ValueError(f"quantile must be in (0, 1], got {quantile}")
-        ordered = self.latencies()
+        ordered = self.latencies(tier=tier)
         if not ordered:
             return 0.0
         rank = max(1, math.ceil(quantile * len(ordered)))
@@ -100,8 +136,14 @@ class ServingReport:
 
     # -- export --------------------------------------------------------
     def summary(self) -> dict:
-        """Flat JSON-safe summary for reports and CI artifacts."""
-        return {
+        """Flat JSON-safe summary for reports and CI artifacts.
+
+        The key set is stable for untriaged engines (the chaos
+        benchmark's byte-identity contract); the ``tiers`` block only
+        appears when the triage ladder or the negative cache was
+        configured.
+        """
+        data = {
             "total": self.total,
             "served": self.served_count,
             "degraded": self.degraded_count,
@@ -120,3 +162,19 @@ class ServingReport:
             "latency_p99": self.latency_percentile(0.99),
             "admission": dict(self.admission_stats),
         }
+        if self.triage_enabled or self.negative_cache_enabled:
+            data["tiers"] = self.tier_summary()
+        return data
+
+    def as_dict(self) -> dict:
+        """The full machine-readable report: summary + tiers + caches.
+
+        Unlike :meth:`summary`, the per-tier breakdown and the cache
+        shard statistics are always present, whatever the engine
+        configuration; safe on empty runs (zero responses yield empty
+        tier tables and 0.0 percentiles).
+        """
+        data = self.summary()
+        data["tiers"] = self.tier_summary()
+        data["cache"] = dict(self.cache_stats)
+        return data

@@ -22,6 +22,12 @@ SHED_DEADLINE = "deadline"            # budget exhausted before completion
 SHED_UPSTREAM = "upstream_failure"    # page unloadable within the budget
 SHED_DRAINING = "draining"            # engine stopped admitting
 
+#: Serving tiers (the ``tier`` label on ``serve_tier_total`` and the
+#: per-tier latency percentiles in the report).
+TIER_FULL = "full"            # full pipeline: page load + 212 features
+TIER_TRIAGE = "tier0"         # URL-only triage verdict, no page load
+TIER_NEGATIVE = "negative"    # answered from the negative cache
+
 
 @dataclass(frozen=True)
 class ServeRequest:
@@ -62,6 +68,7 @@ class ServeResponse:
     retry_after: float | None = None
     coalesced: bool = False
     queue_wait: float = 0.0
+    tier: str = TIER_FULL
     extra: dict = field(default_factory=dict)
 
     @property

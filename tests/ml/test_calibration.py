@@ -7,7 +7,9 @@ from repro.ml.calibration import (
     expected_calibration_error,
     reliability_curve,
     threshold_for_fpr,
+    threshold_for_miss_rate,
     threshold_for_precision,
+    two_sided_thresholds,
 )
 
 
@@ -79,6 +81,81 @@ class TestThresholdForFpr:
     def test_validation(self):
         with pytest.raises(ValueError):
             threshold_for_fpr(np.array([0, 1]), np.array([0.1, 0.9]), 1.5)
+
+
+class TestThresholdForMissRate:
+    def test_meets_budget(self):
+        rng = np.random.default_rng(3)
+        y = np.array([0] * 900 + [1] * 100)
+        scores = np.concatenate([
+            rng.beta(1, 6, 900), rng.beta(6, 1, 100)
+        ])
+        for budget in (0.0, 0.01, 0.05):
+            threshold = threshold_for_miss_rate(y, scores, budget)
+            fnr = float((scores[y == 1] <= threshold).mean())
+            assert fnr <= budget + 1e-12
+
+    def test_most_permissive_within_budget(self):
+        y = np.array([1, 1, 1, 1, 0, 0])
+        scores = np.array([0.9, 0.8, 0.7, 0.2, 0.15, 0.1])
+        # 25% budget allows exactly one positive (0.2) at or under it.
+        threshold = threshold_for_miss_rate(y, scores, 0.25)
+        assert (scores[y == 1] <= threshold).sum() == 1
+        # Zero budget must sit strictly below the weakest positive.
+        assert threshold_for_miss_rate(y, scores, 0.0) < 0.2
+
+    def test_no_positives(self):
+        assert threshold_for_miss_rate(
+            np.array([0, 0]), np.array([0.5, 0.9]), 0.01
+        ) == 1.0
+
+    def test_full_budget_clears_everything(self):
+        assert threshold_for_miss_rate(
+            np.array([1, 1]), np.array([0.3, 0.7]), 1.0
+        ) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            threshold_for_miss_rate(
+                np.array([0, 1]), np.array([0.1, 0.9]), -0.1
+            )
+
+
+class TestTwoSidedThresholds:
+    def test_separable_scores_give_a_tight_band(self):
+        y = np.array([0, 0, 0, 1, 1, 1])
+        scores = np.array([0.1, 0.2, 0.3, 0.7, 0.8, 0.9])
+        legit, phish = two_sided_thresholds(y, scores)
+        # Confident regions swallow all of each class, zero errors.
+        assert (scores[y == 1] >= phish).all()
+        assert (scores[y == 0] <= legit).all()
+        assert legit < phish
+
+    def test_regions_never_overlap(self):
+        # Heavily overlapping classes with generous budgets would put
+        # the one-sided thresholds out of order; the clamp keeps
+        # legit strictly under phish.
+        rng = np.random.default_rng(4)
+        y = np.array([0] * 200 + [1] * 200)
+        scores = np.concatenate([
+            rng.beta(2, 3, 200), rng.beta(3, 2, 200)
+        ])
+        legit, phish = two_sided_thresholds(
+            y, scores, max_fpr=0.5, max_fnr=0.5
+        )
+        assert legit < phish
+
+    def test_budgets_bound_both_error_rates(self):
+        rng = np.random.default_rng(5)
+        y = np.array([0] * 500 + [1] * 500)
+        scores = np.concatenate([
+            rng.beta(1, 5, 500), rng.beta(5, 1, 500)
+        ])
+        legit, phish = two_sided_thresholds(
+            y, scores, max_fpr=0.02, max_fnr=0.02
+        )
+        assert float((scores[y == 0] >= phish).mean()) <= 0.02
+        assert float((scores[y == 1] <= legit).mean()) <= 0.02
 
 
 class TestThresholdForPrecision:

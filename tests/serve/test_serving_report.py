@@ -1,0 +1,83 @@
+"""ServingReport guards: empty runs and tier-sliced percentiles.
+
+Regression coverage for the zero-completed-responses case: an empty
+run (or a tier with no completed responses) has no latency
+distribution, and every exporter must degrade to zeros and empty
+tables instead of indexing into an empty nearest-rank ordering.
+"""
+
+import pytest
+
+from repro.serve import ServingReport
+from repro.serve.request import SHED, TIER_TRIAGE, ServeResponse
+
+
+def _completed(request_id, latency, tier="full"):
+    return ServeResponse(
+        request_id=request_id, url=f"http://u{request_id}.com/",
+        outcome="served", finished=latency, latency=latency, tier=tier,
+    )
+
+
+class TestEmptyRun:
+    def test_percentiles_on_zero_responses_read_zero(self):
+        report = ServingReport()
+        assert report.latency_percentile(0.50) == 0.0
+        assert report.latency_percentile(0.99) == 0.0
+        assert report.latency_percentile(0.50, tier=TIER_TRIAGE) == 0.0
+
+    def test_summary_and_as_dict_survive_an_empty_run(self):
+        report = ServingReport()
+        summary = report.summary()
+        assert summary["total"] == 0
+        assert summary["shed_rate"] == 0.0
+        assert summary["latency_p50"] == 0.0
+        data = report.as_dict()
+        assert data["tiers"] == {}
+        assert data["cache"] == {}
+
+    def test_all_shed_run_has_no_latency_distribution(self):
+        report = ServingReport(responses=[
+            ServeResponse(
+                request_id=0, url="http://a.com/", outcome=SHED,
+                finished=0.0, latency=0.0, shed_reason="queue_full",
+            ),
+        ])
+        assert report.completed_count == 0
+        assert report.latency_percentile(0.99) == 0.0
+        assert report.summary()["latency_p50"] == 0.0
+        # The shed response still shows up in the tier table, with a
+        # zero percentile for its empty completed population.
+        tiers = report.tier_summary()
+        assert tiers["full"]["count"] == 1
+        assert tiers["full"]["completed"] == 0
+        assert tiers["full"]["latency_p50"] == 0.0
+
+
+class TestTierSlicing:
+    def test_percentiles_slice_by_tier(self):
+        report = ServingReport(responses=[
+            _completed(0, 0.001, tier=TIER_TRIAGE),
+            _completed(1, 0.002, tier=TIER_TRIAGE),
+            _completed(2, 0.5),
+            _completed(3, 0.7),
+        ])
+        assert report.latency_percentile(0.99, tier=TIER_TRIAGE) == 0.002
+        assert report.latency_percentile(0.99, tier="full") == 0.7
+        assert report.latency_percentile(0.99) == 0.7
+
+    def test_tier_counts_are_key_sorted(self):
+        report = ServingReport(responses=[
+            _completed(0, 0.5),
+            _completed(1, 0.001, tier=TIER_TRIAGE),
+            _completed(2, 0.6),
+        ])
+        assert list(report.tier_counts()) == ["full", TIER_TRIAGE]
+        assert report.tier_counts() == {"full": 2, TIER_TRIAGE: 1}
+
+    def test_quantile_validation(self):
+        report = ServingReport()
+        with pytest.raises(ValueError):
+            report.latency_percentile(0.0)
+        with pytest.raises(ValueError):
+            report.latency_percentile(1.5)
