@@ -9,11 +9,22 @@ structural invariants the test suite can only spot-check:
   with the thread :class:`~repro.parallel.WorkerPool` backend;
 * **PHL3xx feature contract** — the paper's 212-feature f1..f5 layout
   cross-checked against ``tests/data/golden_features.json``;
-* **PHL4xx hygiene** — mutable defaults, bare excepts, library prints.
+* **PHL4xx hygiene** — mutable defaults, bare excepts, library prints;
+* **PHL5xx flow** — interprocedural rules over the project call graph
+  (:mod:`repro.lint.graph`): deadline drops before blocking work,
+  lock-order cycles, exception-taxonomy escapes, span-context flow;
+* **PHL6xx meta** — the linter's own annotations (unused suppressions,
+  reported under ``--report-unused-suppressions``).
 
-Run ``python -m repro.lint src tests`` (exit 1 on findings), suppress a
-single occurrence with ``# phl: ignore[PHLxxx]``, and configure via
-``[tool.repro-lint]`` in ``pyproject.toml``.
+The static lock graph behind PHL502 is also enforced at runtime by the
+lock-order sanitizer (:mod:`repro.lint.sanitizer`), a pytest fixture
+that witnesses real acquisition orders during the serve/chaos suites.
+
+Run ``python -m repro.lint src tests`` (exit 1 on findings; ``--jobs
+N`` fans the per-file passes over worker processes, ``--format
+github`` emits Actions annotations), suppress a single occurrence with
+``# phl: ignore[PHLxxx]``, and configure via ``[tool.repro-lint]`` in
+``pyproject.toml``.
 """
 
 from repro.lint.config import LintConfig, load_config
@@ -21,13 +32,22 @@ from repro.lint.engine import (
     iter_python_files,
     lint_file,
     lint_paths,
+    lint_project_sources,
     lint_source,
 )
 from repro.lint.findings import Finding
-from repro.lint.registry import RULES, ModuleContext, ProjectRule, Rule, all_rules
+from repro.lint.registry import (
+    RULES,
+    GraphRule,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+)
 
 __all__ = [
     "Finding",
+    "GraphRule",
     "LintConfig",
     "ModuleContext",
     "ProjectRule",
@@ -37,6 +57,7 @@ __all__ = [
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "lint_project_sources",
     "lint_source",
     "load_config",
 ]

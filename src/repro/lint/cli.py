@@ -17,6 +17,7 @@ from typing import Sequence
 
 from repro.lint import engine
 from repro.lint.config import LintConfig, load_config
+from repro.lint.findings import Finding
 from repro.lint.registry import RULES, all_rules
 
 
@@ -27,7 +28,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Project-invariant static analysis: determinism (PHL1xx), "
             "concurrency (PHL2xx), feature contract (PHL3xx), hygiene "
-            "(PHL4xx)."
+            "(PHL4xx), interprocedural flow (PHL5xx), lint meta "
+            "(PHL6xx)."
         ),
     )
     parser.add_argument(
@@ -51,9 +53,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help=(
+            "output format (default: text; github emits Actions "
+            "::error annotations)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fan the per-file rule passes out over N worker processes "
+            "(graph/project rules stay single-pass; findings are "
+            "byte-identical to serial)"
+        ),
+    )
+    parser.add_argument(
+        "--report-unused-suppressions",
+        action="store_true",
+        help=(
+            "also report `# phl: ignore` comments that suppress "
+            "nothing (PHL601)"
+        ),
     )
     parser.add_argument(
         "--statistics",
@@ -86,6 +110,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory whose pyproject.toml supplies configuration",
     )
     return parser
+
+
+def _escape_annotation(value: str) -> str:
+    """Escape a message for a GitHub Actions workflow command."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+
+
+def _github_annotation(finding: Finding) -> str:
+    """One ``::error`` workflow command for a finding."""
+    return (
+        f"::error file={finding.path},line={finding.line},"
+        f"col={finding.col},title=repro.lint {finding.code}::"
+        f"{_escape_annotation(finding.message)}"
+    )
 
 
 def _list_rules() -> str:
@@ -141,23 +183,36 @@ def main(argv: Sequence[str] | None = None) -> int:
     if missing:
         print(f"no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
     if args.write_baseline:
         # Record raw findings (pre-baseline) so the new file is complete.
         config.baseline = None
-        findings = engine.lint_paths(targets, config)
+        findings = engine.lint_paths(targets, config, jobs=args.jobs)
         engine.write_baseline(findings, Path(args.write_baseline))
         print(
             f"wrote baseline with {len(findings)} finding(s) to "
             f"{args.write_baseline}"
         )
         return 0
-    findings = engine.lint_paths(targets, config)
+    findings = engine.lint_paths(
+        targets,
+        config,
+        jobs=args.jobs,
+        report_unused_suppressions=args.report_unused_suppressions,
+    )
     if args.format == "json":
         print(json.dumps([f.to_dict() for f in findings], indent=1))
+    elif args.format == "github":
+        for finding in findings:
+            print(_github_annotation(finding))
     else:
         for finding in findings:
             print(finding.render())
-    if args.statistics and args.format == "text":
+    # Statistics ride along with any line-oriented format (GitHub
+    # ignores lines that are not workflow commands); JSON stays pure.
+    if args.statistics and args.format != "json":
         counts = Counter(f.code for f in findings)
         for code in sorted(counts):
             rule = RULES.get(code)

@@ -13,6 +13,9 @@ Recognised keys::
     instrumented-paths = ["*/obs/*"]           # PHL106 scope
     contract-golden = "tests/data/golden_features.json"
     baseline = ".phl-baseline.json"   # optional baseline file
+    flow-blocking = ["*browser.load"] # PHL501 blocking-call patterns
+    taxonomy-paths = ["src/*/resilience/*"]  # PHL503 guarded paths
+    taxonomy-bases = ["repro.resilience.errors.ResilienceError"]
 
     [tool.repro-lint.per-rule-exempt]
     PHL403 = ["*/cli.py", "tests/*"]  # per-code path allowlists
@@ -48,6 +51,36 @@ DEFAULT_INSTRUMENTED_PATHS = (
     "*/web/browser.py",
 )
 
+#: Call tokens the flow rules treat as *blocking* (PHL501): matched
+#: with fnmatch against both the ``receiver.attr`` spelling at the call
+#: site and the import-resolved canonical name, so ``self._browser.load``
+#: and ``browser.load`` both hit ``*browser.load``.
+DEFAULT_FLOW_BLOCKING = (
+    "*browser.load",
+    "*browser.try_load",
+    "*browser.navigate",
+    "*search.query",
+    "*search.result_rdns",
+    "*pool.map",
+    "*pool.map_observed",
+    "*pool.map_chunks",
+    "*pool.map_observed_chunks",
+    "*policy.call",
+    "time.sleep",
+)
+
+#: Paths whose raises must stay inside the error taxonomy (PHL503).
+#: Scoped to ``src`` so test helpers may raise freely.
+DEFAULT_TAXONOMY_PATHS = (
+    "src/*/resilience/*",
+    "src/*/serve/*",
+)
+
+#: Root classes of the error taxonomy (PHL503): raising any subclass —
+#: or anything defined in a root's module — is classified, everything
+#: else escapes.
+DEFAULT_TAXONOMY_BASES = ("repro.resilience.errors.ResilienceError",)
+
 #: Paths where ``print`` is the product, not a debugging leftover
 #: (PHL403): CLI front-ends, tests, benchmarks and examples.
 DEFAULT_PER_RULE_EXEMPT = {
@@ -77,6 +110,9 @@ class LintConfig:
     )
     contract_golden: str | None = "tests/data/golden_features.json"
     baseline: str | None = None
+    flow_blocking: tuple[str, ...] = DEFAULT_FLOW_BLOCKING
+    taxonomy_paths: tuple[str, ...] = DEFAULT_TAXONOMY_PATHS
+    taxonomy_bases: tuple[str, ...] = DEFAULT_TAXONOMY_BASES
 
     # ------------------------------------------------------------------
     def display_path(self, path: Path) -> str:
@@ -106,6 +142,10 @@ class LintConfig:
         """True when ``code`` is allowlisted for this file."""
         patterns = self.per_rule_exempt.get(code, ())
         return self._matches(display, tuple(patterns))
+
+    def is_taxonomy_path(self, display: str) -> bool:
+        """True when raises in ``display`` must stay in the taxonomy."""
+        return self._matches(display, self.taxonomy_paths)
 
     def golden_path(self) -> Path | None:
         """Absolute path of the feature-contract golden file, if set."""
@@ -153,6 +193,16 @@ def load_config(
     if "instrumented-paths" in table:
         config.instrumented_paths = _tuple(
             table["instrumented-paths"], "instrumented-paths"
+        )
+    if "flow-blocking" in table:
+        config.flow_blocking = _tuple(table["flow-blocking"], "flow-blocking")
+    if "taxonomy-paths" in table:
+        config.taxonomy_paths = _tuple(
+            table["taxonomy-paths"], "taxonomy-paths"
+        )
+    if "taxonomy-bases" in table:
+        config.taxonomy_bases = _tuple(
+            table["taxonomy-bases"], "taxonomy-bases"
         )
     if "contract-golden" in table:
         value = table["contract-golden"]

@@ -4,24 +4,45 @@ Entry points:
 
 * :func:`lint_source` — lint one in-memory module (fixture tests);
 * :func:`lint_file` — lint one file on disk;
-* :func:`lint_paths` — lint files/trees plus the project-scope rules,
-  returning findings sorted by (path, line, col, code).
+* :func:`lint_project_sources` — run the graph rules over an in-memory
+  set of modules (flow-rule fixture tests);
+* :func:`lint_paths` — lint files/trees plus the project- and
+  graph-scope rules, returning findings sorted by (path, line, col,
+  code).
 
-Inline ``# phl: ignore[...]`` comments and the optional baseline file
-are both applied here, so every entry point sees identical semantics.
+``lint_paths`` runs in three passes: the module rules per file (fanned
+out over a process :class:`~repro.parallel.WorkerPool` when ``jobs >
+1`` — results are sorted, so parallel output is byte-identical to
+serial), then one project graph build feeding every
+:class:`~repro.lint.registry.GraphRule`, then the remaining project
+rules.  Inline ``# phl: ignore[...]`` comments and the optional
+baseline file are applied centrally, so every entry point sees
+identical semantics; with ``report_unused_suppressions`` the engine
+additionally emits a PHL601 finding for every suppression comment that
+silenced nothing.
 """
 
 from __future__ import annotations
 
 import ast
-import json
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
+
+import json
 
 from repro.lint import rules as _rules  # noqa: F401  (registers rules)
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding, is_suppressed, parse_suppressions
-from repro.lint.registry import ModuleContext, ProjectRule, Rule, rules_matching
+from repro.lint.graph import ModuleSource, build_graph
+from repro.lint.registry import (
+    RULES,
+    GraphRule,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    rules_matching,
+)
 
 
 def selected_rules(config: LintConfig) -> list[Rule]:
@@ -51,6 +72,79 @@ def iter_python_files(
     return sorted(out)
 
 
+@dataclass
+class ModuleScan:
+    """Result of the module-rule pass over one file.
+
+    Carries the suppression table and the lines whose suppressions
+    actually fired, so the engine can both apply graph-rule
+    suppressions centrally and report the stale ones.
+    """
+
+    display: str
+    findings: list[Finding] = field(default_factory=list)
+    suppressions: dict[int, frozenset[str] | None] = field(
+        default_factory=dict
+    )
+    used_lines: set[int] = field(default_factory=set)
+    parsed: bool = True
+
+
+def _scan_module(
+    source: str,
+    display: str,
+    config: LintConfig,
+    rules: Iterable[Rule],
+) -> tuple[ModuleScan, ast.Module | None]:
+    """Run the module rules over one source text."""
+    scan = ModuleScan(display=display)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        scan.parsed = False
+        scan.findings.append(
+            Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="PHL000",
+                message=f"syntax error: {exc.msg}",
+                rule_name="syntax-error",
+            )
+        )
+        return scan, None
+    ctx = ModuleContext(display, source, tree, config=config)
+    scan.suppressions = parse_suppressions(source)
+    for rule in rules:
+        for finding in rule.check_module(ctx):
+            if is_suppressed(finding, scan.suppressions):
+                scan.used_lines.add(finding.line)
+            else:
+                scan.findings.append(finding)
+    return scan, tree
+
+
+def _module_rules(config: LintConfig) -> list[Rule]:
+    return [
+        rule
+        for rule in selected_rules(config)
+        if not isinstance(rule, ProjectRule)
+    ]
+
+
+def _scan_file_task(item: tuple[str, str, LintConfig]) -> ModuleScan:
+    """Worker-side task for ``--jobs``: scan one file, module rules only.
+
+    Top-level (picklable) so the process backend can ship it; the AST
+    is dropped at the process boundary and re-parsed by the parent for
+    the graph pass.
+    """
+    path_str, display, config = item
+    source = Path(path_str).read_text(encoding="utf-8")
+    scan, _ = _scan_module(source, display, config, _module_rules(config))
+    return scan
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -60,33 +154,9 @@ def lint_source(
     """Lint one module given as text (module-scope rules only)."""
     config = config if config is not None else LintConfig()
     if rules is None:
-        rules = [
-            rule
-            for rule in selected_rules(config)
-            if not isinstance(rule, ProjectRule)
-        ]
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                code="PHL000",
-                message=f"syntax error: {exc.msg}",
-                rule_name="syntax-error",
-            )
-        ]
-    ctx = ModuleContext(path, source, tree, config=config)
-    suppressions = parse_suppressions(source)
-    findings = [
-        finding
-        for rule in rules
-        for finding in rule.check_module(ctx)
-        if not is_suppressed(finding, suppressions)
-    ]
-    return sorted(findings)
+        rules = _module_rules(config)
+    scan, _ = _scan_module(source, path, config, rules)
+    return sorted(scan.findings)
 
 
 def lint_file(
@@ -99,24 +169,170 @@ def lint_file(
     )
 
 
+def lint_project_sources(
+    sources: Mapping[str, str],
+    config: LintConfig | None = None,
+    rules: Iterable[GraphRule] | None = None,
+) -> list[Finding]:
+    """Run the graph rules over an in-memory project (fixture tests).
+
+    ``sources`` maps display paths to module text; the whole mapping is
+    built into one project graph, mirroring what ``lint_paths`` does
+    for on-disk trees.  Inline suppressions and per-rule path
+    exemptions apply exactly as in the full engine.
+    """
+    config = config if config is not None else LintConfig()
+    if rules is None:
+        rules = [
+            rule
+            for rule in selected_rules(config)
+            if isinstance(rule, GraphRule)
+        ]
+    modules: list[ModuleSource] = []
+    suppressions: dict[str, dict[int, frozenset[str] | None]] = {}
+    for display in sorted(sources):
+        source = sources[display]
+        modules.append(
+            ModuleSource(display=display, source=source, tree=ast.parse(source))
+        )
+        suppressions[display] = parse_suppressions(source)
+    graph = build_graph(modules, config)
+    findings = [
+        finding
+        for rule in rules
+        for finding in rule.check_graph(graph, config)
+        if not config.is_rule_exempt(finding.code, finding.path)
+        and not is_suppressed(finding, suppressions.get(finding.path, {}))
+    ]
+    return sorted(findings)
+
+
 def lint_paths(
     targets: Sequence[str | Path],
     config: LintConfig | None = None,
     with_project_rules: bool = True,
+    jobs: int = 1,
+    report_unused_suppressions: bool = False,
 ) -> list[Finding]:
-    """Lint files/trees plus (optionally) the project-scope rules."""
+    """Lint files/trees plus (optionally) the project/graph rules."""
     config = config if config is not None else LintConfig()
     enabled = selected_rules(config)
     module_rules = [r for r in enabled if not isinstance(r, ProjectRule)]
-    project_rules = [r for r in enabled if isinstance(r, ProjectRule)]
+    graph_rules = [r for r in enabled if isinstance(r, GraphRule)]
+    project_rules = [
+        r
+        for r in enabled
+        if isinstance(r, ProjectRule) and not isinstance(r, GraphRule)
+    ]
+    files = iter_python_files(targets, config)
+    displays = [config.display_path(path) for path in files]
+
+    scans: list[ModuleScan] = []
+    trees: dict[str, ModuleSource] = {}
+    if jobs > 1 and len(files) > 1:
+        from repro.parallel import WorkerPool
+
+        items = [
+            (str(path), display, config)
+            for path, display in zip(files, displays)
+        ]
+        with WorkerPool(workers=jobs, backend="process") as pool:
+            scans = pool.map(_scan_file_task, items)
+    else:
+        for path, display in zip(files, displays):
+            source = path.read_text(encoding="utf-8")
+            scan, tree = _scan_module(source, display, config, module_rules)
+            scans.append(scan)
+            if tree is not None:
+                trees[display] = ModuleSource(
+                    display=display, source=source, tree=tree
+                )
+
     findings: list[Finding] = []
-    for path in iter_python_files(targets, config):
-        findings.extend(lint_file(path, config, rules=module_rules))
+    for scan in scans:
+        findings.extend(scan.findings)
+
+    if with_project_rules and graph_rules:
+        modules: list[ModuleSource] = []
+        for path, display in zip(files, displays):
+            cached = trees.get(display)
+            if cached is not None:
+                modules.append(cached)
+                continue
+            try:
+                source = path.read_text(encoding="utf-8")
+                modules.append(
+                    ModuleSource(
+                        display=display,
+                        source=source,
+                        tree=ast.parse(source),
+                    )
+                )
+            except (OSError, SyntaxError):
+                continue
+        graph = build_graph(modules, config)
+        scan_by_display = {scan.display: scan for scan in scans}
+        for rule in graph_rules:
+            for finding in rule.check_graph(graph, config):
+                if config.is_rule_exempt(finding.code, finding.path):
+                    continue
+                scan = scan_by_display.get(finding.path)
+                if scan is not None and is_suppressed(
+                    finding, scan.suppressions
+                ):
+                    scan.used_lines.add(finding.line)
+                    continue
+                findings.append(finding)
+
     if with_project_rules:
         for rule in project_rules:
             findings.extend(rule.check_project(config))
+
+    if report_unused_suppressions:
+        findings.extend(_unused_suppression_findings(scans))
+
     findings = apply_baseline(findings, config)
     return sorted(findings)
+
+
+def _unused_suppression_findings(
+    scans: Iterable[ModuleScan],
+) -> list[Finding]:
+    """PHL601 findings for suppressions that silenced nothing."""
+    known = set(RULES) | {"PHL000"}
+    out: list[Finding] = []
+    for scan in scans:
+        for line in sorted(scan.suppressions):
+            codes = scan.suppressions[line]
+            unknown = sorted(
+                code for code in (codes or ()) if code not in known
+            )
+            if unknown:
+                message = (
+                    "suppression references unknown rule code(s) "
+                    + ", ".join(unknown)
+                )
+            elif line not in scan.used_lines:
+                listed = (
+                    "all rules" if codes is None else ", ".join(sorted(codes))
+                )
+                message = (
+                    f"unused suppression ({listed}): no matching finding "
+                    "on this line"
+                )
+            else:
+                continue
+            out.append(
+                Finding(
+                    path=scan.display,
+                    line=line,
+                    col=1,
+                    code="PHL601",
+                    message=message,
+                    rule_name="unused-suppression",
+                )
+            )
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -12,14 +12,22 @@ tools::
 A bare ``# phl: ignore`` silences every rule on that line; the
 bracketed form silences only the listed codes.  Suppressions apply to
 the physical line a finding is reported on.
+
+Only real ``#`` comments count: the source is tokenised, so the marker
+inside a string or docstring (like the examples above) never registers
+as a live suppression.  That also makes stale-suppression detection
+(``--report-unused-suppressions``) meaningful — every parsed
+suppression is one a developer actually wrote against a finding.
 """
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 
-#: Matches ``# phl: ignore`` with an optional ``[CODE,CODE]`` payload.
+#: Matches the ignore marker with an optional ``[CODE,CODE]`` payload.
 _SUPPRESSION_RE = re.compile(
     r"#\s*phl:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
 )
@@ -65,23 +73,31 @@ def parse_suppressions(source: str) -> dict[int, frozenset[str] | None]:
 
     ``None`` means *all* codes are suppressed on that line (the bare
     ``# phl: ignore`` form); a frozenset limits the suppression to the
-    listed codes.
+    listed codes.  Only comment tokens are considered — the marker
+    inside a string literal or docstring is documentation, not a
+    suppression.  Tokenisation errors end the scan early (the parser
+    reports the syntax error separately), keeping whatever was found.
     """
     out: dict[int, frozenset[str] | None] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        if "phl:" not in text:
-            continue
-        match = _SUPPRESSION_RE.search(text)
-        if match is None:
-            continue
-        payload = match.group("codes")
-        if payload is None:
-            out[lineno] = None
-        else:
-            codes = frozenset(
-                code.strip() for code in payload.split(",") if code.strip()
-            )
-            out[lineno] = codes or None
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(token.string)
+            if match is None:
+                continue
+            payload = match.group("codes")
+            if payload is None:
+                out[token.start[0]] = None
+            else:
+                codes = frozenset(
+                    code.strip()
+                    for code in payload.split(",")
+                    if code.strip()
+                )
+                out[token.start[0]] = codes or None
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
     return out
 
 

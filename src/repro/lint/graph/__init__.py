@@ -1,0 +1,60 @@
+"""``repro.lint.graph`` — project-wide interprocedural analysis.
+
+The module-scope rules (PHL1xx–PHL4xx) see one file at a time; the bug
+classes that actually bite a concurrent serving stack — deadline drops,
+lock-order inversions, error-taxonomy leaks — span files.  This
+subpackage builds the whole-program view those checks need:
+
+* :mod:`repro.lint.graph.symbols` — a symbol table over every linted
+  module: functions, classes (with their lock attributes and lock
+  kinds), import-aware canonical naming;
+* :mod:`repro.lint.graph.callgraph` — per-function summaries (deadline
+  parameters, blocking callees, lock acquisitions in syntactic order,
+  raised exception types, span starts) and the call graph that
+  propagates the transitive facts along its edges;
+* :mod:`repro.lint.graph.locks` — the static lock-acquisition graph
+  derived from the summaries, plus cycle detection.
+
+The PHL5xx "flow" rules (:mod:`repro.lint.rules.flow`) consume a
+:class:`ProjectGraph`; the runtime lock-order sanitizer
+(:mod:`repro.lint.sanitizer`) checks witnessed acquisition orders
+against the same static lock graph.
+"""
+
+from repro.lint.graph.callgraph import (
+    CallSite,
+    FunctionSummary,
+    LockRegion,
+    ProjectGraph,
+    RaiseSite,
+    build_graph,
+    build_graph_from_paths,
+)
+from repro.lint.graph.locks import LockEdge, build_lock_edges, find_lock_cycles
+from repro.lint.graph.symbols import (
+    ClassSymbol,
+    FunctionSymbol,
+    ModuleSource,
+    ModuleSymbols,
+    SymbolTable,
+    module_name_for,
+)
+
+__all__ = [
+    "CallSite",
+    "ClassSymbol",
+    "FunctionSummary",
+    "FunctionSymbol",
+    "LockEdge",
+    "LockRegion",
+    "ModuleSource",
+    "ModuleSymbols",
+    "ProjectGraph",
+    "RaiseSite",
+    "SymbolTable",
+    "build_graph",
+    "build_graph_from_paths",
+    "build_lock_edges",
+    "find_lock_cycles",
+    "module_name_for",
+]

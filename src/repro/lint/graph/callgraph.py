@@ -1,0 +1,516 @@
+"""Per-function summaries and the project call graph.
+
+Each module-level function or method gets a :class:`FunctionSummary`:
+its deadline parameters and whether the body consults them, every call
+site (with resolved project callees, the lock regions syntactically
+active at the call, and whether the call matched a *blocking* pattern),
+every lock acquisition in syntactic order, every raised exception type,
+and every span started outside a ``with``.  Nested functions fold into
+their enclosing definition — a closure like ``_attempt`` inside
+``ResilientBrowser.load`` blocks on behalf of ``load``.
+
+Two facts are then propagated to a fixpoint along the call graph:
+
+* *transitively blocking* — the function reaches a blocking pattern
+  through some chain of project calls;
+* *transitive locks* — the set of lock entities the function may
+  acquire, directly or through callees (feeds the static lock graph).
+
+Call edges are resolved three ways, in decreasing confidence: a dotted
+name the :class:`~repro.lint.imports.ImportMap` maps to a known
+function, a ``self.method`` lookup through the project class hierarchy,
+and finally a name-based *fuzzy* match against every project method of
+that name (sound-ish for propagation, never used to invent precision).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.lint.graph.symbols import (
+    FunctionSymbol,
+    ModuleSource,
+    ModuleSymbols,
+    SymbolTable,
+)
+from repro.lint.rules.concurrency import _self_attribute
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.config import LintConfig
+
+#: Method names too generic for fuzzy (name-only) call resolution:
+#: these are mostly builtin-container verbs, so `self._counters.clear()`
+#: must not edge into every project class that happens to define
+#: `clear`.  Dotted/self resolution still sees them; only the
+#: last-resort name match skips them.
+_GENERIC_METHOD_NAMES = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "close",
+        "copy",
+        "discard",
+        "extend",
+        "flush",
+        "get",
+        "insert",
+        "items",
+        "join",
+        "keys",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "popleft",
+        "put",
+        "read",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "start",
+        "update",
+        "values",
+        "write",
+    }
+)
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a summarised function."""
+
+    line: int
+    col: int
+    callees: tuple[str, ...]
+    fuzzy: bool
+    blocking_token: str | None
+    in_regions: tuple[int, ...]
+
+
+@dataclass
+class LockRegion:
+    """One ``with <lock>:`` acquisition, in syntactic order."""
+
+    owner: str
+    reentrant: bool
+    line: int
+    col: int
+
+
+@dataclass
+class RaiseSite:
+    """One ``raise`` with the canonical name of the raised class."""
+
+    line: int
+    col: int
+    exc: str | None
+
+
+@dataclass
+class SpanStart:
+    """A ``.span(...)`` call used outside a ``with`` item."""
+
+    line: int
+    col: int
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the flow rules need to know about one function."""
+
+    symbol: FunctionSymbol
+    path: str
+    deadline_used: bool = False
+    calls: list[CallSite] = field(default_factory=list)
+    lock_regions: list[LockRegion] = field(default_factory=list)
+    #: (held owner, acquired owner, line) for syntactically nested
+    #: ``with`` lock regions inside this function.
+    region_edges: list[tuple[str, str, int]] = field(default_factory=list)
+    raises: list[RaiseSite] = field(default_factory=list)
+    span_starts: list[SpanStart] = field(default_factory=list)
+    exit_lines: tuple[int, ...] = ()
+    blocking_token: str | None = None
+    # Propagated along the call graph:
+    transitively_blocking: bool = False
+    blocking_via: str | None = None
+    transitive_locks: frozenset[str] = frozenset()
+
+    @property
+    def qualname(self) -> str:
+        """The function's canonical dotted name."""
+        return self.symbol.qualname
+
+    @property
+    def line(self) -> int:
+        """1-based line of the function definition."""
+        return self.symbol.node.lineno
+
+    @property
+    def col(self) -> int:
+        """1-based column of the function definition."""
+        return self.symbol.node.col_offset + 1
+
+
+@dataclass
+class ProjectGraph:
+    """The interprocedural view the PHL5xx rules consume."""
+
+    table: SymbolTable
+    summaries: dict[str, FunctionSummary]
+
+
+# ----------------------------------------------------------------------
+# Extraction
+
+
+def _receiver_token(func: ast.expr) -> str | None:
+    """``receiver.attr`` token for pattern matching, or None.
+
+    The receiver is the last name segment before the attribute, so
+    ``self._browser.load`` and ``browser.load`` both yield
+    ``_browser.load``/``browser.load`` and match ``*browser.load``.
+    """
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if isinstance(value, ast.Name):
+        base = value.id
+    elif isinstance(value, ast.Attribute):
+        base = value.attr
+    else:
+        return None
+    return f"{base}.{func.attr}"
+
+
+def _blocking_token(
+    func: ast.expr, msyms: ModuleSymbols, patterns: Sequence[str]
+) -> str | None:
+    """The matched blocking pattern token for this call, if any."""
+    candidates = []
+    token = _receiver_token(func)
+    if token is not None:
+        candidates.append(token)
+    resolved = msyms.imports.resolve(func)
+    if resolved is not None and resolved not in candidates:
+        candidates.append(resolved)
+    for candidate in candidates:
+        if any(fnmatch(candidate, pattern) for pattern in patterns):
+            return candidate
+    return None
+
+
+def _narrow_fuzzy(
+    candidates: tuple[str, ...], receiver: str | None
+) -> tuple[str, ...]:
+    """Prefer fuzzy candidates whose class name echoes the receiver.
+
+    ``self.policy.call`` should edge into ``RetryPolicy.call``, not
+    every project ``call`` — when the receiver's name appears in a
+    candidate's class name (or vice versa), keep only those; with no
+    affinity anywhere, keep all candidates (soundness over precision).
+    Containment, not suffix matching: a ``metrics`` receiver must keep
+    both ``NullMetrics`` and ``MetricsRegistry`` as candidates.
+    """
+    if receiver is None:
+        return candidates
+    token = receiver.strip("_").lower()
+    if not token:
+        return candidates
+    narrowed = []
+    for qualname in candidates:
+        cls_name = qualname.rsplit(".", 2)[-2].strip("_").lower()
+        if token in cls_name or cls_name in token:
+            narrowed.append(qualname)
+    return tuple(narrowed) or candidates
+
+
+def _resolve_call(
+    func: ast.expr,
+    table: SymbolTable,
+    msyms: ModuleSymbols,
+    cls_qualname: str | None,
+    caller: str,
+) -> tuple[tuple[str, ...], bool]:
+    """(project callees, fuzzy?) for one call's function expression."""
+    resolved = msyms.imports.resolve(func)
+    if resolved is not None:
+        found = table.lookup_function(resolved, msyms)
+        if found is not None:
+            return (found.qualname,), False
+    if isinstance(func, ast.Attribute):
+        value = func.value
+        if (
+            isinstance(value, ast.Name)
+            and value.id in ("self", "cls")
+            and cls_qualname is not None
+        ):
+            method = table.resolve_method(cls_qualname, func.attr)
+            if method is not None:
+                return (method,), False
+        if func.attr not in _GENERIC_METHOD_NAMES:
+            if isinstance(value, ast.Name):
+                receiver: str | None = value.id
+            elif isinstance(value, ast.Attribute):
+                receiver = value.attr
+            else:
+                receiver = None
+            candidates = _narrow_fuzzy(
+                table.methods_by_name.get(func.attr, ()), receiver
+            )
+            # A recursive call is written `self.method(...)` and
+            # resolved above; a fuzzy hit on the caller itself is a
+            # different object's method of the same name.
+            candidates = tuple(q for q in candidates if q != caller)
+            if candidates:
+                return candidates, True
+    return (), False
+
+
+def _raised_name(
+    exc: ast.expr | None, table: SymbolTable, msyms: ModuleSymbols
+) -> str | None:
+    """Canonical name of the raised class (None when dynamic/bare)."""
+    if exc is None:
+        return None
+    target = exc.func if isinstance(exc, ast.Call) else exc
+    resolved = msyms.imports.resolve(target)
+    if resolved is None:
+        return None
+    return table.canonical(resolved, msyms)
+
+
+class _FunctionExtractor:
+    """Builds one :class:`FunctionSummary`, folding nested functions."""
+
+    def __init__(
+        self,
+        table: SymbolTable,
+        msyms: ModuleSymbols,
+        symbol: FunctionSymbol,
+        blocking_patterns: Sequence[str],
+    ) -> None:
+        self.table = table
+        self.msyms = msyms
+        self.symbol = symbol
+        self.patterns = blocking_patterns
+        self.summary = FunctionSummary(symbol=symbol, path=msyms.display)
+        self._with_context_calls: set[ast.Call] = set()
+        self._exit_lines: set[int] = set()
+        for node in ast.walk(symbol.node):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call):
+                        self._with_context_calls.add(item.context_expr)
+
+    def run(self) -> FunctionSummary:
+        for stmt in self.symbol.node.body:
+            self._visit(stmt, regions=())
+        self.summary.exit_lines = tuple(sorted(self._exit_lines))
+        return self.summary
+
+    # ------------------------------------------------------------------
+
+    def _region_owner(self, expr: ast.expr) -> tuple[str, bool] | None:
+        attr = _self_attribute(expr)
+        if attr is not None and self.symbol.cls is not None:
+            return self.table.class_lock_owner(self.symbol.cls, attr)
+        if isinstance(expr, ast.Name) and expr.id in self.msyms.module_locks:
+            entity = f"{self.msyms.name}.{expr.id}"
+            return entity, self.msyms.module_locks[expr.id]
+        return None
+
+    def _visit(self, node: ast.AST, regions: tuple[int, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # Folded nested function: its statements execute at some
+            # unknown later point, so calls/raises are attributed to the
+            # enclosing summary but the active lock regions are not.
+            body = node.body if not isinstance(node, ast.Lambda) else [node.body]
+            for child in body:
+                self._visit(child, regions=())
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node, regions)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node, regions)
+        elif isinstance(node, ast.Raise):
+            self._exit_lines.add(node.lineno)
+            self.summary.raises.append(
+                RaiseSite(
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    exc=_raised_name(node.exc, self.table, self.msyms),
+                )
+            )
+        elif isinstance(node, ast.Return):
+            self._exit_lines.add(node.lineno)
+        elif isinstance(node, ast.Name):
+            if node.id in self.symbol.deadline_params:
+                self.summary.deadline_used = True
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, regions)
+
+    def _visit_with(
+        self, node: ast.With | ast.AsyncWith, regions: tuple[int, ...]
+    ) -> None:
+        inner = regions
+        for item in node.items:
+            self._visit(item.context_expr, regions=inner)
+            if item.optional_vars is not None:
+                self._visit(item.optional_vars, regions=inner)
+            owned = self._region_owner(item.context_expr)
+            if owned is None:
+                continue
+            owner, reentrant = owned
+            index = len(self.summary.lock_regions)
+            self.summary.lock_regions.append(
+                LockRegion(
+                    owner=owner,
+                    reentrant=reentrant,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                )
+            )
+            for held_index in inner:
+                held = self.summary.lock_regions[held_index]
+                if held.owner == owner and reentrant:
+                    continue
+                self.summary.region_edges.append(
+                    (held.owner, owner, node.lineno)
+                )
+            inner = (*inner, index)
+        for stmt in node.body:
+            self._visit(stmt, regions=inner)
+
+    def _visit_call(self, node: ast.Call, regions: tuple[int, ...]) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "span"
+            and node not in self._with_context_calls
+        ):
+            self.summary.span_starts.append(
+                SpanStart(line=node.lineno, col=node.col_offset + 1)
+            )
+        callees, fuzzy = _resolve_call(
+            node.func,
+            self.table,
+            self.msyms,
+            self.symbol.cls,
+            self.symbol.qualname,
+        )
+        token = _blocking_token(node.func, self.msyms, self.patterns)
+        if token is not None and self.summary.blocking_token is None:
+            self.summary.blocking_token = token
+        if callees or token is not None:
+            self.summary.calls.append(
+                CallSite(
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    callees=callees,
+                    fuzzy=fuzzy,
+                    blocking_token=token,
+                    in_regions=regions,
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# Propagation
+
+
+def _propagate(summaries: dict[str, FunctionSummary]) -> None:
+    """Fixpoint of transitive blocking and transitive lock sets."""
+    callers: dict[str, list[str]] = {}
+    for qualname in sorted(summaries):
+        for call in summaries[qualname].calls:
+            for callee in call.callees:
+                if callee in summaries:
+                    callers.setdefault(callee, []).append(qualname)
+
+    # Blocking: seed with direct pattern hits, walk the reverse edges.
+    worklist = [q for q in sorted(summaries) if summaries[q].blocking_token]
+    for qualname in worklist:
+        summary = summaries[qualname]
+        summary.transitively_blocking = True
+        if summary.blocking_via is None:
+            summary.blocking_via = summary.blocking_token
+    while worklist:
+        current = worklist.pop(0)
+        for caller in callers.get(current, ()):
+            summary = summaries[caller]
+            if summary.transitively_blocking:
+                continue
+            summary.transitively_blocking = True
+            summary.blocking_via = current
+            worklist.append(caller)
+
+    # Lock sets: iterate to a fixpoint (monotone over a finite lattice).
+    for summary in summaries.values():
+        summary.transitive_locks = frozenset(
+            region.owner for region in summary.lock_regions
+        )
+    changed = True
+    while changed:
+        changed = False
+        for qualname in sorted(summaries):
+            summary = summaries[qualname]
+            merged = set(summary.transitive_locks)
+            for call in summary.calls:
+                for callee in call.callees:
+                    target = summaries.get(callee)
+                    if target is not None:
+                        merged |= target.transitive_locks
+            if merged != summary.transitive_locks:
+                summary.transitive_locks = frozenset(merged)
+                changed = True
+
+
+# ----------------------------------------------------------------------
+# Entry points
+
+
+def build_graph(
+    modules: Iterable[ModuleSource], config: "LintConfig"
+) -> ProjectGraph:
+    """Build the project graph from already-parsed modules."""
+    table = SymbolTable()
+    ordered = sorted(modules, key=lambda m: m.display)
+    contexts: list[ModuleSymbols] = []
+    for source in ordered:
+        contexts.append(table.add_module(source))
+    summaries: dict[str, FunctionSummary] = {}
+    patterns = config.flow_blocking
+    for msyms in contexts:
+        for qualname in sorted(table.functions):
+            symbol = table.functions[qualname]
+            if symbol.module != msyms.name or qualname in summaries:
+                continue
+            extractor = _FunctionExtractor(table, msyms, symbol, patterns)
+            summaries[qualname] = extractor.run()
+    _propagate(summaries)
+    return ProjectGraph(table=table, summaries=summaries)
+
+
+def build_graph_from_paths(
+    paths: Iterable[Path], config: "LintConfig"
+) -> ProjectGraph:
+    """Read, parse and graph the given files (syntax errors skipped)."""
+    modules: list[ModuleSource] = []
+    for path in sorted(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source)
+        except (OSError, SyntaxError):
+            continue
+        modules.append(
+            ModuleSource(
+                display=config.display_path(path), source=source, tree=tree
+            )
+        )
+    return build_graph(modules, config)

@@ -1,0 +1,147 @@
+"""The static lock-acquisition graph and its cycle detection.
+
+An edge ``A -> B`` means: somewhere in the project, code that holds
+lock entity ``A`` (a ``module.Class`` owning ``self._lock``, or a
+``module.NAME`` module-level lock) may acquire lock entity ``B`` before
+releasing ``A`` — either through syntactically nested ``with`` blocks
+or by calling, while ``A`` is held, a function whose transitive lock
+set contains ``B``.  Any cycle in this graph is a potential deadlock
+under the thread :class:`~repro.parallel.WorkerPool` backend (PHL502);
+acyclicity means a global acquisition order exists.  The runtime
+sanitizer (:mod:`repro.lint.sanitizer`) checks witnessed orders against
+these same edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint.graph.callgraph import ProjectGraph
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """Witness site for one held->acquired edge of the static graph."""
+
+    held: str
+    acquired: str
+    path: str
+    line: int
+    function: str
+
+
+def build_lock_edges(graph: ProjectGraph) -> dict[tuple[str, str], LockEdge]:
+    """Every held->acquired pair, each with one deterministic witness.
+
+    Reentrant self-edges (``with self._lock:`` re-entered through an
+    :class:`~threading.RLock`) are excluded both here and at extraction
+    time — re-acquiring an RLock you already hold is legal.
+    """
+    edges: dict[tuple[str, str], LockEdge] = {}
+
+    def record(held: str, acquired: str, path: str, line: int, func: str) -> None:
+        key = (held, acquired)
+        witness = LockEdge(
+            held=held, acquired=acquired, path=path, line=line, function=func
+        )
+        existing = edges.get(key)
+        if existing is None or (witness.path, witness.line) < (
+            existing.path,
+            existing.line,
+        ):
+            edges[key] = witness
+
+    for qualname in sorted(graph.summaries):
+        summary = graph.summaries[qualname]
+        for held, acquired, line in summary.region_edges:
+            record(held, acquired, summary.path, line, qualname)
+        for call in summary.calls:
+            if not call.in_regions:
+                continue
+            acquired_set: set[str] = set()
+            for callee in call.callees:
+                target = graph.summaries.get(callee)
+                if target is not None:
+                    acquired_set |= target.transitive_locks
+            if not acquired_set:
+                continue
+            for region_index in call.in_regions:
+                region = summary.lock_regions[region_index]
+                for owner in sorted(acquired_set):
+                    if owner == region.owner and region.reentrant:
+                        continue
+                    record(region.owner, owner, summary.path, call.line, qualname)
+    return edges
+
+
+def find_lock_cycles(
+    edges: dict[tuple[str, str], LockEdge]
+) -> list[tuple[str, ...]]:
+    """Cycles of the lock graph, as sorted node tuples.
+
+    Returns one entry per strongly connected component that contains a
+    cycle (more than one node, or a self-edge), ordered by first node.
+    Tarjan's algorithm, iterative so deep chains cannot overflow the
+    interpreter stack.
+    """
+    adjacency: dict[str, list[str]] = {}
+    nodes: set[str] = set()
+    for held, acquired in edges:
+        nodes.add(held)
+        nodes.add(acquired)
+        adjacency.setdefault(held, []).append(acquired)
+    for out in adjacency.values():
+        out.sort()
+
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = 0
+    components: list[list[str]] = []
+
+    for root in sorted(nodes):
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            successors = adjacency.get(node, [])
+            for position in range(child_index, len(successors)):
+                successor = successors[position]
+                if successor not in index:
+                    work[-1] = (node, position + 1)
+                    work.append((successor, 0))
+                    recurse = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if recurse:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+
+    cycles: list[tuple[str, ...]] = []
+    for component in components:
+        if len(component) > 1 or (
+            (component[0], component[0]) in edges
+        ):
+            cycles.append(tuple(sorted(component)))
+    return sorted(cycles)

@@ -1,0 +1,331 @@
+"""Symbol table over a set of parsed modules.
+
+Maps display paths (``src/repro/serve/engine.py``) to dotted module
+names (``repro.serve.engine``), records every module-level function and
+class method with the facts the flow rules need (deadline-like
+parameters, lock attributes and their kinds, base classes), and
+resolves names across module boundaries: relative imports are
+absolutised against the owning module, class bases are canonicalised so
+subclass queries work project-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.imports import ImportMap
+from repro.lint.rules.concurrency import _is_lock_name, _self_attribute
+
+#: Parameter names treated as deadline carriers even without annotation.
+_DEADLINE_NAMES = frozenset({"deadline"})
+
+#: Annotation substrings that mark a parameter as a deadline carrier.
+_DEADLINE_ANNOTATION = "Deadline"
+
+
+def module_name_for(display: str) -> str:
+    """Dotted module name for a '/'-separated display path.
+
+    ``src/repro/serve/engine.py`` -> ``repro.serve.engine``;
+    ``src/repro/lint/__init__.py`` -> ``repro.lint``.  A leading
+    ``src`` component is stripped so names line up with runtime
+    ``__name__`` values; other prefixes (``tests/...``) are kept.
+    """
+    parts = [part for part in display.replace("\\", "/").split("/") if part]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class ModuleSource:
+    """One module handed to the graph builder: path, text, parsed AST."""
+
+    display: str
+    source: str
+    tree: ast.Module
+
+
+@dataclass
+class FunctionSymbol:
+    """One module-level function or class method."""
+
+    qualname: str
+    module: str
+    cls: str | None
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    deadline_params: frozenset[str]
+
+
+@dataclass
+class ClassSymbol:
+    """One class: canonical bases plus its lock attributes and kinds."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+    lock_attrs: frozenset[str]
+    reentrant_locks: frozenset[str]
+
+
+@dataclass
+class ModuleSymbols:
+    """Per-module naming context shared by the graph passes."""
+
+    name: str
+    display: str
+    tree: ast.Module
+    imports: ImportMap
+    is_package: bool
+    #: Module-level lock names mapped to reentrancy.
+    module_locks: dict[str, bool] = field(default_factory=dict)
+
+
+def _deadline_params(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> frozenset[str]:
+    """Parameters of ``node`` that carry a deadline."""
+    params: set[str] = set()
+    args = node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg in ("self", "cls"):
+            continue
+        if arg.arg in _DEADLINE_NAMES or arg.arg.endswith("_deadline"):
+            params.add(arg.arg)
+        elif arg.annotation is not None and _DEADLINE_ANNOTATION in ast.unparse(
+            arg.annotation
+        ):
+            params.add(arg.arg)
+    return frozenset(params)
+
+
+def _lock_kinds(
+    cls: ast.ClassDef, imports: ImportMap
+) -> tuple[frozenset[str], frozenset[str]]:
+    """(lock attribute names, the reentrant subset) for one class."""
+    locks: set[str] = set()
+    reentrant: set[str] = set()
+    for node in ast.walk(cls):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+        for target in targets:
+            attr = _self_attribute(target)
+            if attr is None or not _is_lock_name(attr):
+                continue
+            locks.add(attr)
+            if (
+                isinstance(value, ast.Call)
+                and imports.resolve(value.func) == "threading.RLock"
+            ):
+                reentrant.add(attr)
+    return frozenset(locks), frozenset(reentrant)
+
+
+def _module_locks(tree: ast.Module, imports: ImportMap) -> dict[str, bool]:
+    """Module-level lock assignments, name -> reentrant."""
+    out: dict[str, bool] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Name)
+                and _is_lock_name(target.id)
+                and isinstance(node.value, ast.Call)
+            ):
+                resolved = imports.resolve(node.value.func)
+                if resolved in ("threading.Lock", "threading.RLock"):
+                    out[target.id] = resolved == "threading.RLock"
+    return out
+
+
+class SymbolTable:
+    """Project-wide function/class lookup with canonical naming."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleSymbols] = {}
+        self.functions: dict[str, FunctionSymbol] = {}
+        self.classes: dict[str, ClassSymbol] = {}
+        self.methods_by_name: dict[str, tuple[str, ...]] = {}
+        self._subclass_memo: dict[tuple[str, frozenset[str]], bool] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    def add_module(self, source: ModuleSource) -> ModuleSymbols:
+        """Index one module's functions, classes and locks."""
+        name = module_name_for(source.display)
+        imports = ImportMap(source.tree)
+        is_package = source.display.replace("\\", "/").endswith("__init__.py")
+        msyms = ModuleSymbols(
+            name=name,
+            display=source.display,
+            tree=source.tree,
+            imports=imports,
+            is_package=is_package,
+            module_locks=_module_locks(source.tree, imports),
+        )
+        self.modules[name] = msyms
+        self._collect(source.tree.body, msyms, cls_qualname=None)
+        return msyms
+
+    def _collect(
+        self,
+        body: list[ast.stmt],
+        msyms: ModuleSymbols,
+        cls_qualname: str | None,
+    ) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                owner = cls_qualname or msyms.name
+                qualname = f"{owner}.{node.name}"
+                symbol = FunctionSymbol(
+                    qualname=qualname,
+                    module=msyms.name,
+                    cls=cls_qualname,
+                    name=node.name,
+                    node=node,
+                    deadline_params=_deadline_params(node),
+                )
+                # Later definitions win, mirroring runtime rebinding.
+                self.functions[qualname] = symbol
+                if cls_qualname is not None:
+                    known = self.methods_by_name.get(node.name, ())
+                    if qualname not in known:
+                        self.methods_by_name[node.name] = tuple(
+                            sorted((*known, qualname))
+                        )
+            elif isinstance(node, ast.ClassDef):
+                parent = cls_qualname or msyms.name
+                qualname = f"{parent}.{node.name}"
+                locks, reentrant = _lock_kinds(node, msyms.imports)
+                bases = tuple(
+                    canonical
+                    for base in node.bases
+                    if (canonical := self._canonical_base(base, msyms))
+                    is not None
+                )
+                self.classes[qualname] = ClassSymbol(
+                    qualname=qualname,
+                    module=msyms.name,
+                    name=node.name,
+                    node=node,
+                    bases=bases,
+                    lock_attrs=locks,
+                    reentrant_locks=reentrant,
+                )
+                self._collect(node.body, msyms, cls_qualname=qualname)
+
+    def _canonical_base(
+        self, base: ast.expr, msyms: ModuleSymbols
+    ) -> str | None:
+        resolved = msyms.imports.resolve(base)
+        if resolved is None:
+            return None
+        return self.canonical(resolved, msyms)
+
+    # ------------------------------------------------------------------
+    # Naming
+
+    def canonical(self, name: str, msyms: ModuleSymbols) -> str:
+        """Absolute dotted name for a (possibly relative) resolved name.
+
+        Relative names (leading dots from :class:`ImportMap`) are
+        absolutised against the owning module; bare names are returned
+        unchanged (callers try a module-local qualification themselves).
+        """
+        if not name.startswith("."):
+            return name
+        level = len(name) - len(name.lstrip("."))
+        remainder = name.lstrip(".")
+        parts = msyms.name.split(".") if msyms.name else []
+        if not msyms.is_package:
+            parts = parts[:-1]
+        parts = parts[: len(parts) - (level - 1)] if level > 1 else parts
+        prefix = ".".join(parts)
+        if not prefix:
+            return remainder
+        return f"{prefix}.{remainder}" if remainder else prefix
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def lookup_function(
+        self, name: str, msyms: ModuleSymbols
+    ) -> FunctionSymbol | None:
+        """Function for a canonical-or-bare name seen in ``msyms``."""
+        canonical = self.canonical(name, msyms)
+        found = self.functions.get(canonical)
+        if found is not None:
+            return found
+        if "." not in name:
+            return self.functions.get(f"{msyms.name}.{canonical}")
+        return None
+
+    def resolve_method(self, cls_qualname: str, method: str) -> str | None:
+        """``cls.method`` resolved through the project base-class chain."""
+        seen: set[str] = set()
+        queue = [cls_qualname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            candidate = f"{current}.{method}"
+            if candidate in self.functions:
+                return candidate
+            cls = self.classes.get(current)
+            if cls is not None:
+                queue.extend(cls.bases)
+        return None
+
+    def is_subclass(self, cls_qualname: str, bases: frozenset[str]) -> bool:
+        """True when the class (or a transitive base) is in ``bases``."""
+        key = (cls_qualname, bases)
+        memo = self._subclass_memo.get(key)
+        if memo is not None:
+            return memo
+        # Seed False to terminate on (malformed) base cycles.
+        self._subclass_memo[key] = False
+        if cls_qualname in bases:
+            result = True
+        else:
+            cls = self.classes.get(cls_qualname)
+            result = cls is not None and any(
+                self.is_subclass(base, bases) for base in cls.bases
+            )
+        self._subclass_memo[key] = result
+        return result
+
+    def class_lock_owner(
+        self, cls_qualname: str, attr: str
+    ) -> tuple[str, bool] | None:
+        """(owner entity, reentrant) when ``cls.attr`` is a known lock."""
+        seen: set[str] = set()
+        queue = [cls_qualname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = self.classes.get(current)
+            if cls is None:
+                continue
+            if attr in cls.lock_attrs:
+                return cls_qualname, attr in cls.reentrant_locks
+            queue.extend(cls.bases)
+        return None

@@ -6,13 +6,18 @@ Every rule has a stable code in a numbered family:
   ordered iteration, stable hashing);
 * ``PHL2xx`` — concurrency (lock discipline around shared state);
 * ``PHL3xx`` — feature contract (the paper's 212-feature layout);
-* ``PHL4xx`` — hygiene (classic Python footguns).
+* ``PHL4xx`` — hygiene (classic Python footguns);
+* ``PHL5xx`` — flow (interprocedural: deadline drops, lock-order
+  cycles, exception-taxonomy escapes, span-context flow);
+* ``PHL6xx`` — meta (the engine's own bookkeeping, e.g. unused
+  suppressions).
 
 Module rules inspect one file's AST via :class:`ModuleContext`; project
 rules run once per lint invocation against repository-level state (the
-feature registry vs. the golden contract).  Rules self-register at
-import time through :func:`register`, so adding a rule is one class in
-one module.
+feature registry vs. the golden contract); graph rules receive the
+project-wide call graph built by :mod:`repro.lint.graph`.  Rules
+self-register at import time through :func:`register`, so adding a rule
+is one class in one module.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from repro.lint.imports import ImportMap
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.lint.config import LintConfig
+    from repro.lint.graph import ProjectGraph
 
 
 class ModuleContext:
@@ -100,6 +106,36 @@ class ProjectRule(Rule):
     def check_project(self, config: "LintConfig") -> Iterable[Finding]:
         """Findings for the repository described by ``config``."""
         raise NotImplementedError  # pragma: no cover - abstract
+
+
+class GraphRule(ProjectRule):
+    """Base class: a rule over the project-wide call graph (PHL5xx).
+
+    The engine builds one :class:`~repro.lint.graph.ProjectGraph` per
+    run and hands it to every graph rule, so :meth:`check_graph` is the
+    method to override.  :meth:`check_project` is a standalone fallback
+    (used when a graph rule runs outside :func:`repro.lint.lint_paths`)
+    that builds a private graph from the configured paths.
+    """
+
+    scope = "graph"
+
+    def check_graph(
+        self, graph: "ProjectGraph", config: "LintConfig"
+    ) -> Iterable[Finding]:
+        """Findings for the project graph (override in graph rules)."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def check_project(self, config: "LintConfig") -> Iterable[Finding]:
+        """Standalone fallback: graph the configured paths, then check."""
+        from repro.lint.engine import iter_python_files
+        from repro.lint.graph import build_graph_from_paths
+
+        files = iter_python_files(
+            [config.root / path for path in config.paths], config
+        )
+        graph = build_graph_from_paths(files, config)
+        return self.check_graph(graph, config)
 
 
 #: All registered rules, keyed by code.

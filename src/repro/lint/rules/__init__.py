@@ -5,6 +5,20 @@ registry (:mod:`repro.lint.registry`); rule modules self-register via
 the ``@register`` decorator at import time.
 """
 
-from repro.lint.rules import concurrency, contract, determinism, hygiene
+from repro.lint.rules import (
+    concurrency,
+    contract,
+    determinism,
+    flow,
+    hygiene,
+    meta,
+)
 
-__all__ = ["concurrency", "contract", "determinism", "hygiene"]
+__all__ = [
+    "concurrency",
+    "contract",
+    "determinism",
+    "flow",
+    "hygiene",
+    "meta",
+]

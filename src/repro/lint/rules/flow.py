@@ -1,0 +1,281 @@
+"""PHL5xx — interprocedural flow rules.
+
+These rules consume the project graph built by :mod:`repro.lint.graph`
+(one symbol table + call graph per lint run) instead of a single
+module's AST, so they can see the bug classes that span files: a
+deadline accepted at the serving layer but dropped before the blocking
+browser call three frames down, two classes that acquire each other's
+locks in opposite orders, a resilience-guarded path raising an
+exception the retry/quarantine machinery cannot classify, and a span
+opened by hand that leaks past an early return.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.graph import (
+    FunctionSummary,
+    ProjectGraph,
+    build_lock_edges,
+    find_lock_cycles,
+)
+from repro.lint.registry import GraphRule, register
+
+#: Builtin exceptions whose escape from guarded paths is acceptable:
+#: programming-error signals that should crash loudly rather than be
+#: classified by the resilience taxonomy.
+_ALLOWED_BUILTINS = frozenset(
+    {
+        "AssertionError",
+        "KeyError",
+        "IndexError",
+        "NotImplementedError",
+        "StopIteration",
+        "TypeError",
+        "ValueError",
+    }
+)
+
+#: Every builtin exception name, to tell a builtin raise apart from a
+#: raise of a local variable the graph cannot resolve.
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name, obj in vars(builtins).items()
+    if isinstance(obj, type) and issubclass(obj, BaseException)
+)
+
+
+@register
+class DeadlineDropRule(GraphRule):
+    """PHL501: deadline accepted but dropped before blocking work."""
+
+    code = "PHL501"
+    name = "deadline-drop"
+    summary = "function accepts a deadline but drops it before blocking work"
+    rationale = (
+        "A `deadline=` parameter is a promise that the caller's time "
+        "budget bounds this call. A function that accepts one, never "
+        "consults or forwards it, and still reaches a blocking callee "
+        "(browser load, search query, pool dispatch — directly or "
+        "through the call graph) silently unbounds the budget: the "
+        "serving layer's deadline enforcement ends at that frame. "
+        "Thread the deadline down to the blocking call, check it "
+        "(`deadline.check(...)`), or drop the parameter."
+    )
+
+    def check_graph(
+        self, graph: ProjectGraph, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Findings for the project graph."""
+        for qualname in sorted(graph.summaries):
+            summary = graph.summaries[qualname]
+            params = summary.symbol.deadline_params
+            if not params or summary.deadline_used:
+                continue
+            if summary.blocking_token is not None:
+                via = f"the blocking call `{summary.blocking_token}`"
+            elif summary.transitively_blocking:
+                via = f"blocking work via `{summary.blocking_via}`"
+            else:
+                continue
+            param = sorted(params)[0]
+            yield Finding(
+                path=summary.path,
+                line=summary.line,
+                col=summary.col,
+                code=self.code,
+                message=(
+                    f"`{qualname}` accepts `{param}` but never consults "
+                    f"or forwards it, yet reaches {via}; thread the "
+                    "deadline down or drop the parameter"
+                ),
+                rule_name=self.name,
+            )
+
+
+@register
+class LockOrderCycleRule(GraphRule):
+    """PHL502: cycle in the static lock-acquisition graph."""
+
+    code = "PHL502"
+    name = "lock-order-cycle"
+    summary = "static lock-acquisition graph contains a cycle"
+    rationale = (
+        "If code holding lock A can acquire lock B while other code "
+        "holding B can acquire A, two threads interleaving those paths "
+        "deadlock. The static lock graph has an edge A->B whenever "
+        "A-holding code may acquire B (nested `with` blocks, or a call "
+        "under A into a function whose transitive lock set contains "
+        "B); any cycle — including a non-reentrant self-edge — is a "
+        "potential deadlock. Fix by imposing one global acquisition "
+        "order, narrowing a critical section so the inner acquisition "
+        "happens after release, or making a deliberate re-entry use an "
+        "RLock."
+    )
+
+    def check_graph(
+        self, graph: ProjectGraph, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Findings for the project graph."""
+        edges = build_lock_edges(graph)
+        for cycle in find_lock_cycles(edges):
+            members = set(cycle)
+            witnesses = sorted(
+                (
+                    edge
+                    for (held, acquired), edge in edges.items()
+                    if held in members and acquired in members
+                ),
+                key=lambda e: (e.path, e.line, e.held, e.acquired),
+            )
+            if not witnesses:  # pragma: no cover - cycles imply edges
+                continue
+            first = witnesses[0]
+            if len(cycle) == 1:
+                detail = (
+                    f"`{cycle[0]}` may re-acquire its own non-reentrant "
+                    f"lock (via `{first.function}`)"
+                )
+            else:
+                hops = "; ".join(
+                    f"`{edge.function}` acquires `{edge.acquired}` while "
+                    f"holding `{edge.held}` ({edge.path}:{edge.line})"
+                    for edge in witnesses
+                )
+                detail = (
+                    "lock-order cycle between "
+                    + ", ".join(f"`{node}`" for node in cycle)
+                    + f": {hops}"
+                )
+            yield Finding(
+                path=first.path,
+                line=first.line,
+                col=1,
+                code=self.code,
+                message=detail + "; impose one global acquisition order",
+                rule_name=self.name,
+            )
+
+
+@register
+class TaxonomyEscapeRule(GraphRule):
+    """PHL503: guarded path raises outside the error taxonomy."""
+
+    code = "PHL503"
+    name = "taxonomy-escape"
+    summary = "resilience-guarded code raises outside the error taxonomy"
+    rationale = (
+        "The retry/quarantine/breaker machinery classifies failures "
+        "through the repro.resilience.errors taxonomy: transient "
+        "errors retry, permanent ones quarantine, everything else "
+        "crashes the batch. A guarded path (under the configured "
+        "taxonomy-paths globs) that raises an arbitrary exception "
+        "bypasses that classification — the failure is neither retried "
+        "nor quarantined, just propagated raw to the caller. Raise a "
+        "taxonomy subclass (or one of the allowed programming-error "
+        "builtins like ValueError/AssertionError) instead."
+    )
+
+    def check_graph(
+        self, graph: ProjectGraph, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Findings for the project graph."""
+        bases = frozenset(config.taxonomy_bases)
+        base_modules = tuple(
+            base.rsplit(".", 1)[0] + "." for base in bases if "." in base
+        )
+        for qualname in sorted(graph.summaries):
+            summary = graph.summaries[qualname]
+            if not config.is_taxonomy_path(summary.path):
+                continue
+            for site in summary.raises:
+                name = site.exc
+                if name is None:
+                    continue
+                if self._allowed(name, graph, bases, base_modules, summary):
+                    continue
+                yield Finding(
+                    path=summary.path,
+                    line=site.line,
+                    col=site.col,
+                    code=self.code,
+                    message=(
+                        f"`{qualname}` raises `{name}` on a "
+                        "resilience-guarded path; raise a subclass of "
+                        f"{sorted(bases)[0].rsplit('.', 1)[1]} (or an "
+                        "allowed builtin) so the failure is classified"
+                    ),
+                    rule_name=self.name,
+                )
+
+    def _allowed(
+        self,
+        name: str,
+        graph: ProjectGraph,
+        bases: frozenset[str],
+        base_modules: tuple[str, ...],
+        summary: FunctionSummary,
+    ) -> bool:
+        if name in bases or name.startswith(base_modules):
+            return True
+        if "." not in name:
+            if name in _ALLOWED_BUILTINS:
+                return True
+            if name in _BUILTIN_EXCEPTIONS:
+                return False
+            # A bare name that is neither builtin nor imported may be a
+            # class defined in the raising module; qualify it.
+            qualified = f"{summary.symbol.module}.{name}"
+            if qualified in graph.table.classes:
+                return graph.table.is_subclass(qualified, bases) or any(
+                    qualified.startswith(prefix) for prefix in base_modules
+                )
+            # Unresolvable (an exception variable): stay silent.
+            return True
+        if name in graph.table.classes:
+            return graph.table.is_subclass(name, bases)
+        # A dotted name outside the project (third-party): flag it.
+        return False
+
+
+@register
+class SpanContextFlowRule(GraphRule):
+    """PHL504: span started outside `with` reaches a return/raise."""
+
+    code = "PHL504"
+    name = "span-context-flow"
+    summary = "span started outside `with` can leak past a return/raise"
+    rationale = (
+        "A span opened by calling `.span(...)` without entering it as a "
+        "context manager must be closed on every path; any return or "
+        "raise after the call can leave it open, which corrupts the "
+        "tracer's span tree and the per-stage timing table derived "
+        "from it. Use `with tracer.span(...):` so the span closes on "
+        "all exits, exceptional ones included."
+    )
+
+    def check_graph(
+        self, graph: ProjectGraph, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Findings for the project graph."""
+        for qualname in sorted(graph.summaries):
+            summary = graph.summaries[qualname]
+            for span in summary.span_starts:
+                if not any(line > span.line for line in summary.exit_lines):
+                    continue
+                yield Finding(
+                    path=summary.path,
+                    line=span.line,
+                    col=span.col,
+                    code=self.code,
+                    message=(
+                        f"span started outside `with` in `{qualname}` "
+                        "reaches a later return/raise; use "
+                        "`with tracer.span(...):` so every exit closes it"
+                    ),
+                    rule_name=self.name,
+                )

@@ -1,0 +1,37 @@
+"""PHL6xx — meta rules about the linter's own annotations.
+
+The findings themselves are produced by the engine (it is the only
+component that knows which suppressions fired across every rule kind);
+the rule class here carries the code's metadata so ``--list-rules`` and
+``--explain PHL601`` work like for any other rule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+
+
+@register
+class UnusedSuppressionRule(ProjectRule):
+    """PHL601: a ``# phl: ignore`` comment that suppresses nothing."""
+
+    code = "PHL601"
+    name = "unused-suppression"
+    summary = "suppression comment matches no finding (or unknown code)"
+    rationale = (
+        "A `# phl: ignore[...]` that no longer matches a finding is a "
+        "standing invitation for the next real violation on that line "
+        "to slip through silently, and an unknown code in the bracket "
+        "means the suppression never worked at all. Reported only "
+        "under `--report-unused-suppressions`; delete the stale "
+        "comment or fix the code list."
+    )
+    scope = "engine"
+
+    def check_project(self, config: LintConfig) -> Iterator[Finding]:
+        """Nothing: the engine emits PHL601 from its suppression table."""
+        return iter(())

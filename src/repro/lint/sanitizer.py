@@ -1,0 +1,322 @@
+"""Runtime lock-order sanitizer: witness what the static graph proposed.
+
+The static lock graph (:mod:`repro.lint.graph.locks`) is built from
+syntax, so it can only *propose* a global acquisition order.  This
+module witnesses the real one: :class:`LockSanitizer` patches
+``threading.Lock``/``threading.RLock`` so that every lock created by
+project code (selected by module-name prefix at construction time) is
+wrapped in a thin proxy that reports acquisitions and releases to a
+:class:`LockOrderWitness`.  The witness keeps a per-thread stack of
+held lock *entities* — ``module.Class`` derived from the creation
+frame, matching the static graph's naming — and counts every
+``held -> acquired`` pair it observes.
+
+:func:`verify_witness` then compares: a runtime edge that *inverts* a
+static edge means the code acquired locks in the opposite order to the
+one the whole rest of the project uses (a latent deadlock PHL502 would
+flag if it could see through the dynamism); two entities observed in
+both orders at runtime is a deadlock-in-waiting regardless of what the
+static graph knew.  The pytest fixture in ``tests/conftest.py`` (gated
+by ``PHL_LOCK_SANITIZER=1``) installs the sanitizer for the whole
+session, writes the witness report to ``PHL_LOCK_WITNESS_OUT``, and
+fails the run on any violation.
+
+Overhead is one dict update per acquisition under an (uninstrumented)
+guard lock — negligible next to the critical sections being guarded —
+and zero when not installed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from types import FrameType, TracebackType
+from typing import Any, Callable, Iterable
+
+#: The real factories, captured at import time so the witness's own
+#: guard lock and any uninstrumented code keep using them.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+@dataclass(frozen=True)
+class OrderViolation:
+    """One witnessed acquisition order the static graph forbids."""
+
+    first: str
+    second: str
+    kind: str
+    detail: str
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON-friendly representation for the witness report."""
+        return {
+            "first": self.first,
+            "second": self.second,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+
+class LockOrderWitness:
+    """Records acquisition order edges across all threads."""
+
+    def __init__(self) -> None:
+        self._guard = _REAL_LOCK()
+        self._held = threading.local()
+        #: (held entity, acquired entity) -> observation count.
+        self.edges: dict[tuple[str, str], int] = {}
+        #: entity -> total acquisitions.
+        self.acquisitions: dict[str, int] = {}
+
+    def _stack(self) -> list[str]:
+        stack: list[str] | None = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def on_acquire(self, entity: str) -> None:
+        """Record that the current thread acquired ``entity``."""
+        stack = self._stack()
+        with self._guard:
+            self.acquisitions[entity] = self.acquisitions.get(entity, 0) + 1
+            for held in stack:
+                if held != entity:
+                    key = (held, entity)
+                    self.edges[key] = self.edges.get(key, 0) + 1
+        stack.append(entity)
+
+    def on_release(self, entity: str) -> None:
+        """Record that the current thread released ``entity``."""
+        stack = self._stack()
+        for position in range(len(stack) - 1, -1, -1):
+            if stack[position] == entity:
+                del stack[position]
+                break
+
+    def observed_edges(self) -> list[tuple[str, str]]:
+        """Every witnessed held->acquired pair, sorted."""
+        with self._guard:
+            return sorted(self.edges)
+
+    def report(self) -> dict[str, Any]:
+        """JSON-friendly dump of everything witnessed."""
+        with self._guard:
+            return {
+                "acquisitions": dict(sorted(self.acquisitions.items())),
+                "edges": [
+                    {"held": held, "acquired": acquired, "count": count}
+                    for (held, acquired), count in sorted(self.edges.items())
+                ],
+            }
+
+
+class _InstrumentedLock:
+    """Thin proxy reporting acquire/release to the witness."""
+
+    def __init__(self, inner: Any, entity: str, witness: LockOrderWitness) -> None:
+        self._inner = inner
+        self._entity = entity
+        self._witness = witness
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = bool(self._inner.acquire(blocking, timeout))
+        if acquired:
+            self._witness.on_acquire(self._entity)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._witness.on_release(self._entity)
+
+    def locked(self) -> bool:
+        probe = getattr(self._inner, "locked", None)
+        if probe is not None:
+            return bool(probe())
+        # RLock on older Pythons has no locked(); a bare try-acquire
+        # would succeed re-entrantly for the owning thread, so check
+        # ownership first.
+        owned = getattr(self._inner, "_is_owned", None)
+        if owned is not None and owned():
+            return True
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __enter__(self) -> "_InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<_InstrumentedLock {self._entity} of {self._inner!r}>"
+
+
+def _entity_for_frame(
+    frame: FrameType, include: tuple[str, ...]
+) -> str | None:
+    """Static-graph entity name for a lock created at ``frame``.
+
+    ``Tracer.__init__`` in ``repro.obs.trace`` becomes
+    ``repro.obs.trace.Tracer`` — the same ``module.Class`` entity the
+    static lock graph uses.  Locks created outside the included module
+    prefixes, or at module level (no owning class), return None and
+    stay uninstrumented.
+    """
+    module = frame.f_globals.get("__name__", "")
+    if not isinstance(module, str) or not module.startswith(include):
+        return None
+    code = frame.f_code
+    qualname = getattr(code, "co_qualname", code.co_name)
+    parts = [part for part in qualname.split(".") if part != "<locals>"]
+    if len(parts) < 2:
+        return None
+    return f"{module}.{'.'.join(parts[:-1])}"
+
+
+class LockSanitizer:
+    """Context manager patching the threading lock factories."""
+
+    def __init__(
+        self,
+        witness: LockOrderWitness,
+        include: tuple[str, ...] = ("repro.",),
+    ) -> None:
+        self.witness = witness
+        self.include = include
+        self._installed = False
+
+    def _factory(self, real: Callable[[], Any]) -> Callable[[], Any]:
+        witness = self.witness
+        include = self.include
+
+        def make() -> Any:
+            inner = real()
+            frame = sys._getframe(1)
+            entity = _entity_for_frame(frame, include)
+            if entity is None:
+                return inner
+            return _InstrumentedLock(inner, entity, witness)
+
+        return make
+
+    def install(self) -> None:
+        """Patch ``threading.Lock``/``threading.RLock``."""
+        if self._installed:
+            return
+        threading.Lock = self._factory(_REAL_LOCK)  # type: ignore[assignment]
+        threading.RLock = self._factory(_REAL_RLOCK)  # type: ignore[assignment]
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Restore the real factories."""
+        if not self._installed:
+            return
+        threading.Lock = _REAL_LOCK  # type: ignore[assignment]
+        threading.RLock = _REAL_RLOCK  # type: ignore[assignment]
+        self._installed = False
+
+    def __enter__(self) -> "LockSanitizer":
+        self.install()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.uninstall()
+
+
+def verify_witness(
+    witness: LockOrderWitness,
+    static_edges: Iterable[tuple[str, str]],
+) -> list[OrderViolation]:
+    """Violations between witnessed orders and the static lock graph.
+
+    * ``static-inversion`` — the runtime acquired B under A while the
+      static graph only knows A-under-B: the witnessed path inverts the
+      project's acquisition order.
+    * ``runtime-mutual`` — both orders of the same pair were witnessed
+      at runtime; two such threads interleaving is a deadlock whatever
+      the static graph says.
+    """
+    static = set(static_edges)
+    observed = witness.observed_edges()
+    observed_set = set(observed)
+    violations: list[OrderViolation] = []
+    for first, second in observed:
+        if first == second:
+            continue
+        if (second, first) in static and (first, second) not in static:
+            violations.append(
+                OrderViolation(
+                    first=first,
+                    second=second,
+                    kind="static-inversion",
+                    detail=(
+                        f"runtime acquired `{second}` while holding "
+                        f"`{first}`, but the static graph orders "
+                        f"`{second}` before `{first}`"
+                    ),
+                )
+            )
+        if (second, first) in observed_set and first < second:
+            violations.append(
+                OrderViolation(
+                    first=first,
+                    second=second,
+                    kind="runtime-mutual",
+                    detail=(
+                        f"`{first}` and `{second}` were each witnessed "
+                        "held while acquiring the other"
+                    ),
+                )
+            )
+    return sorted(violations, key=lambda v: (v.kind, v.first, v.second))
+
+
+def static_lock_edges(
+    paths: Iterable[Path], root: Path | None = None
+) -> set[tuple[str, str]]:
+    """The static lock graph's edges for the given source trees."""
+    from repro.lint.config import load_config
+    from repro.lint.engine import iter_python_files
+    from repro.lint.graph import build_graph_from_paths, build_lock_edges
+
+    config = load_config(root=root)
+    files = iter_python_files(list(paths), config)
+    graph = build_graph_from_paths(files, config)
+    return set(build_lock_edges(graph))
+
+
+def write_witness_report(
+    witness: LockOrderWitness,
+    static_edges: Iterable[tuple[str, str]],
+    violations: Iterable[OrderViolation],
+    path: Path,
+) -> None:
+    """Write the order-witness report (CI uploads this artifact)."""
+    payload = {
+        "format": "phl-lock-witness/1",
+        "static_edges": [
+            {"held": held, "acquired": acquired}
+            for held, acquired in sorted(set(static_edges))
+        ],
+        "violations": [violation.to_dict() for violation in violations],
+        "witness": witness.report(),
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")

@@ -1,4 +1,17 @@
-"""Shared fixtures: a tiny synthetic world reused across test modules."""
+"""Shared fixtures: a tiny synthetic world reused across test modules.
+
+Setting ``PHL_LOCK_SANITIZER=1`` additionally arms the runtime
+lock-order sanitizer for the whole session: every ``threading.Lock`` /
+``threading.RLock`` created by ``repro.*`` code is instrumented, the
+acquisition orders actually taken are witnessed, and the session fails
+if any observed order inverts the static lock graph PHL502 checks (or
+if both orders of the same pair are seen at runtime).  Set
+``PHL_LOCK_WITNESS_OUT`` to also write the order-witness report there
+(the CI ``lock-sanitizer`` job uploads it as an artifact).
+"""
+
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -9,6 +22,38 @@ from repro.corpus.legitimate import LegitimateSiteGenerator
 from repro.corpus.phishing import PhishingSiteGenerator
 from repro.web.browser import Browser
 from repro.web.hosting import SyntheticWeb
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_order_sanitizer():
+    """Session-wide lock-order witness, armed by PHL_LOCK_SANITIZER=1."""
+    if os.environ.get("PHL_LOCK_SANITIZER") != "1":
+        yield None
+        return
+    from repro.lint.sanitizer import (
+        LockOrderWitness,
+        LockSanitizer,
+        static_lock_edges,
+        verify_witness,
+        write_witness_report,
+    )
+
+    root = Path(__file__).resolve().parents[1]
+    witness = LockOrderWitness()
+    sanitizer = LockSanitizer(witness, include=("repro.",))
+    sanitizer.install()
+    try:
+        yield witness
+    finally:
+        sanitizer.uninstall()
+        static = static_lock_edges([root / "src"], root=root)
+        violations = verify_witness(witness, static)
+        out = os.environ.get("PHL_LOCK_WITNESS_OUT")
+        if out:
+            write_witness_report(witness, static, violations, Path(out))
+        assert violations == [], "\n".join(
+            f"{v.kind}: {v.detail}" for v in violations
+        )
 
 
 @pytest.fixture(scope="session")

@@ -251,3 +251,243 @@ AST_FIXTURES: dict[str, tuple[list[str], list[str]]] = {
 #: per-rule path exemption (e.g. PHL403's CLI allowlist) applies, and
 #: inside ``obs/`` so the instrumented-path scope of PHL106 does.
 FIXTURE_PATH = "src/repro/obs/_lint_fixture.py"
+
+
+#: Graph-rule fixtures: ``code -> (flagged, clean)`` where each case is
+#: a mini-project (display path -> source) handed to
+#: :func:`repro.lint.lint_project_sources`.  Display paths matter: the
+#: PHL503 guarded-path globs match ``src/*/resilience/*``.
+GRAPH_FIXTURES: dict[str, tuple[list[dict[str, str]], list[dict[str, str]]]] = {
+    "PHL501": (
+        [
+            # Direct: deadline accepted, never touched, blocking call.
+            {
+                "src/repro/flowcase/direct.py": (
+                    "def fetch_verdict(url, browser, deadline=None):\n"
+                    "    return browser.load(url)\n"
+                )
+            },
+            # Interprocedural: the blocking call is one frame down.
+            {
+                "src/repro/flowcase/chain.py": (
+                    "def load_all(urls, pool, deadline=None):\n"
+                    "    return run_batch(urls, pool)\n"
+                    "\n"
+                    "def run_batch(urls, pool):\n"
+                    "    return pool.map(str, urls)\n"
+                )
+            },
+            # Cross-module: caller and blocking helper in other files.
+            {
+                "src/repro/flowcase/outer.py": (
+                    "from repro.flowcase.inner import run_batch\n"
+                    "\n"
+                    "def load_all(urls, pool, deadline=None):\n"
+                    "    return run_batch(urls, pool)\n"
+                ),
+                "src/repro/flowcase/inner.py": (
+                    "def run_batch(urls, pool):\n"
+                    "    return pool.map(str, urls)\n"
+                ),
+            },
+        ],
+        [
+            # Forwarded as a keyword argument.
+            {
+                "src/repro/flowcase/forwarded.py": (
+                    "def fetch_verdict(url, browser, deadline=None):\n"
+                    "    return browser.load(url, deadline=deadline)\n"
+                )
+            },
+            # Consulted before the blocking call.
+            {
+                "src/repro/flowcase/checked.py": (
+                    "def load_all(urls, pool, deadline=None):\n"
+                    "    if deadline is not None:\n"
+                    "        deadline.check('batch')\n"
+                    "    return pool.map(str, urls)\n"
+                )
+            },
+            # Accepted but nothing blocking is reachable: not a drop.
+            {
+                "src/repro/flowcase/harmless.py": (
+                    "def score(value, deadline=None):\n"
+                    "    return value + 1\n"
+                )
+            },
+        ],
+    ),
+    "PHL502": (
+        [
+            # Two classes acquiring each other's locks in opposite
+            # orders (the fuzzy cross-class edges close the cycle).
+            {
+                "src/repro/flowcase/pair.py": (
+                    "import threading\n"
+                    "\n"
+                    "class Alpha:\n"
+                    "    def __init__(self, beta):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self.beta = beta\n"
+                    "\n"
+                    "    def poke(self):\n"
+                    "        with self._lock:\n"
+                    "            self.beta.bump()\n"
+                    "\n"
+                    "class Beta:\n"
+                    "    def __init__(self, alpha):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self.alpha = alpha\n"
+                    "\n"
+                    "    def bump(self):\n"
+                    "        with self._lock:\n"
+                    "            pass\n"
+                    "\n"
+                    "    def cross(self):\n"
+                    "        with self._lock:\n"
+                    "            self.alpha.poke()\n"
+                )
+            },
+            # Non-reentrant self-deadlock through a helper method.
+            {
+                "src/repro/flowcase/selfdead.py": (
+                    "import threading\n"
+                    "\n"
+                    "class Counter:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self.total = 0\n"
+                    "\n"
+                    "    def bump_locked(self):\n"
+                    "        with self._lock:\n"
+                    "            self.total += 1\n"
+                    "\n"
+                    "    def bump_twice(self):\n"
+                    "        with self._lock:\n"
+                    "            self.bump_locked()\n"
+                )
+            },
+        ],
+        [
+            # Consistent order everywhere: Alpha before Beta.
+            {
+                "src/repro/flowcase/ordered.py": (
+                    "import threading\n"
+                    "\n"
+                    "class Alpha:\n"
+                    "    def __init__(self, beta):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self.beta = beta\n"
+                    "\n"
+                    "    def poke(self):\n"
+                    "        with self._lock:\n"
+                    "            self.beta.bump()\n"
+                    "\n"
+                    "class Beta:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "\n"
+                    "    def bump(self):\n"
+                    "        with self._lock:\n"
+                    "            pass\n"
+                )
+            },
+            # Re-entry through an RLock is deliberate and legal.
+            {
+                "src/repro/flowcase/reentrant.py": (
+                    "import threading\n"
+                    "\n"
+                    "class Counter:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.RLock()\n"
+                    "        self.total = 0\n"
+                    "\n"
+                    "    def bump_locked(self):\n"
+                    "        with self._lock:\n"
+                    "            self.total += 1\n"
+                    "\n"
+                    "    def bump_twice(self):\n"
+                    "        with self._lock:\n"
+                    "            self.bump_locked()\n"
+                )
+            },
+        ],
+    ),
+    "PHL503": (
+        [
+            # A guarded path raising a raw builtin outside the allowlist.
+            {
+                "src/repro/resilience/escape.py": (
+                    "def guard(flag):\n"
+                    "    if flag:\n"
+                    "        raise RuntimeError('upstream stalled')\n"
+                )
+            },
+            # A third-party (dotted, non-project) exception class.
+            {
+                "src/repro/serve/vendor.py": (
+                    "import requests\n"
+                    "\n"
+                    "def fetch(url):\n"
+                    "    raise requests.HTTPError(url)\n"
+                )
+            },
+        ],
+        [
+            # Taxonomy subclass (cross-module base resolution) and an
+            # allowed programming-error builtin.
+            {
+                "src/repro/resilience/classified.py": (
+                    "from repro.resilience.errors import ResilienceError\n"
+                    "\n"
+                    "class UpstreamStall(ResilienceError):\n"
+                    "    pass\n"
+                    "\n"
+                    "def guard(flag):\n"
+                    "    if flag:\n"
+                    "        raise UpstreamStall('stalled')\n"
+                    "    raise ValueError('bad flag')\n"
+                )
+            },
+            # Outside the guarded paths anything goes.
+            {
+                "src/repro/web/free.py": (
+                    "def boom():\n"
+                    "    raise RuntimeError('not a guarded path')\n"
+                )
+            },
+        ],
+    ),
+    "PHL504": (
+        [
+            # Span opened by hand, early return can leak it.
+            {
+                "src/repro/flowcase/leaky.py": (
+                    "def serve_one(tracer, work):\n"
+                    "    span = tracer.span('serve.request')\n"
+                    "    if not work:\n"
+                    "        return None\n"
+                    "    span.__exit__(None, None, None)\n"
+                    "    return work\n"
+                )
+            },
+        ],
+        [
+            # The with-form closes the span on every exit.
+            {
+                "src/repro/flowcase/scoped.py": (
+                    "def serve_one(tracer, work):\n"
+                    "    with tracer.span('serve.request'):\n"
+                    "        return work\n"
+                )
+            },
+            # A bare start with no later return/raise edge.
+            {
+                "src/repro/flowcase/tail.py": (
+                    "def start_root(tracer):\n"
+                    "    tracer.span('serve.session')\n"
+                )
+            },
+        ],
+    ),
+}

@@ -128,3 +128,63 @@ def test_default_paths_come_from_repo_config(capsys):
         os.chdir(cwd)
     assert code == 0
     assert "clean: no findings" in capsys.readouterr().out
+
+
+def test_github_format_emits_error_annotations(tmp_path, capsys):
+    _pyproject_without_contract(tmp_path)
+    target = _write_dirty(tmp_path)
+    code = main(
+        [str(target), "--format", "github", "--config-root", str(tmp_path)]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    (line,) = [l for l in out.splitlines() if l.startswith("::error")]
+    assert line.startswith("::error file=")
+    assert "dirty.py,line=2,col=" in line
+    assert "title=repro.lint PHL102::" in line
+
+
+def test_github_format_escapes_annotation_payload(tmp_path, capsys):
+    from repro.lint.cli import _escape_annotation
+
+    assert _escape_annotation("a%b\r\nc") == "a%25b%0D%0Ac"
+    # Clean tree emits no annotations and stays silent-but-green.
+    _pyproject_without_contract(tmp_path)
+    target = _write_clean(tmp_path)
+    code = main(
+        [str(target), "--format", "github", "--config-root", str(tmp_path)]
+    )
+    assert code == 0
+    assert "::error" not in capsys.readouterr().out
+
+
+def test_jobs_flag_validated_and_parallel_run_matches(tmp_path, capsys):
+    _pyproject_without_contract(tmp_path)
+    target = _write_dirty(tmp_path)
+    assert main([str(target), "--jobs", "0"]) == 2
+    assert "must be >= 1" in capsys.readouterr().err
+    code = main(
+        [str(target), "--jobs", "2", "--config-root", str(tmp_path)]
+    )
+    serial_out = capsys.readouterr().out
+    assert code == 1
+    main([str(target), "--config-root", str(tmp_path)])
+    assert capsys.readouterr().out == serial_out
+
+
+def test_report_unused_suppressions_flag(tmp_path, capsys):
+    _pyproject_without_contract(tmp_path)
+    target = tmp_path / "stale.py"
+    target.write_text("x = 1  # phl: ignore[PHL102]\n")
+    assert main([str(target), "--config-root", str(tmp_path)]) == 0
+    capsys.readouterr()
+    code = main(
+        [
+            str(target),
+            "--report-unused-suppressions",
+            "--config-root",
+            str(tmp_path),
+        ]
+    )
+    assert code == 1
+    assert "PHL601" in capsys.readouterr().out

@@ -251,3 +251,123 @@ def test_import_map_rejects_non_dotted_expressions():
     imports = ImportMap(ast.parse(""))
     expr = ast.parse("f().attr", mode="eval").body
     assert imports.resolve(expr) is None
+
+
+# ----------------------------------------------------------------------
+# Parallel linting (--jobs).
+
+
+def _dirty_tree(tmp_path: Path, files: int = 6) -> Path:
+    src = tmp_path / "src"
+    src.mkdir()
+    for index in range(files):
+        (src / f"mod_{index}.py").write_text(
+            "import time\n"
+            f"stamp_{index} = time.time()\n"
+            "key = hash('x')\n"
+        )
+    (src / "broken.py").write_text("def broken(:\n")
+    return src
+
+
+def test_jobs_output_identical_to_serial(tmp_path):
+    src = _dirty_tree(tmp_path)
+    config = _no_contract(tmp_path)
+    serial = lint_paths([src], config, jobs=1)
+    parallel = lint_paths([src], config, jobs=4)
+    assert serial == parallel
+    assert serial, "fixture tree should produce findings"
+    # Byte-identical rendering, not just equal dataclasses.
+    assert [f.render() for f in serial] == [f.render() for f in parallel]
+
+
+def test_jobs_parity_includes_graph_and_suppression_state(tmp_path):
+    src = _dirty_tree(tmp_path, files=3)
+    (src / "flow.py").write_text(
+        "def fetch(url, browser, deadline=None):\n"
+        "    return browser.load(url)\n"
+    )
+    (src / "quiet.py").write_text(
+        "import time\n"
+        "stamp = time.time()  # phl: ignore[PHL102]\n"
+    )
+    config = LintConfig(root=tmp_path, contract_golden=None)
+    serial = lint_paths(
+        [src], config, jobs=1, report_unused_suppressions=True
+    )
+    parallel = lint_paths(
+        [src], config, jobs=3, report_unused_suppressions=True
+    )
+    assert serial == parallel
+    assert "PHL501" in {f.code for f in serial}
+    assert "PHL102" not in {
+        f.code for f in serial if f.path.endswith("quiet.py")
+    }
+
+
+# ----------------------------------------------------------------------
+# Unused-suppression reporting (PHL601).
+
+
+def test_unused_suppression_reported(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "clean.py").write_text("x = 1  # phl: ignore[PHL102]\n")
+    config = _no_contract(tmp_path)
+    quiet = lint_paths([src], config)
+    assert quiet == []
+    findings = lint_paths([src], config, report_unused_suppressions=True)
+    assert [f.code for f in findings] == ["PHL601"]
+    assert "PHL102" in findings[0].message
+    assert findings[0].line == 1
+
+
+def test_used_suppression_not_reported(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "used.py").write_text(
+        "import time\n"
+        "stamp = time.time()  # phl: ignore[PHL102]\n"
+    )
+    config = _no_contract(tmp_path)
+    findings = lint_paths([src], config, report_unused_suppressions=True)
+    assert findings == []
+
+
+def test_unknown_code_in_suppression_reported(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "typo.py").write_text(
+        "import time\n"
+        "stamp = time.time()  # phl: ignore[PHL999]\n"
+    )
+    config = _no_contract(tmp_path)
+    findings = lint_paths([src], config, report_unused_suppressions=True)
+    codes = [f.code for f in findings]
+    assert "PHL601" in codes
+    (meta,) = [f for f in findings if f.code == "PHL601"]
+    assert "PHL999" in meta.message and "unknown" in meta.message
+
+
+def test_docstring_mention_is_not_a_suppression():
+    """The marker inside a docstring or string literal is inert."""
+    source = (
+        '"""Docs showing `# phl: ignore[PHL102]` usage."""\n'
+        "import time\n"
+        "stamp = time.time()\n"
+    )
+    findings = lint_source(source, path=FIXTURE_PATH)
+    assert "PHL102" in {f.code for f in findings}
+    assert parse_suppressions(source) == {}
+
+
+def test_bare_suppression_counts_as_used_by_any_finding(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "bare.py").write_text(
+        "import time\n"
+        "stamp = time.time()  # phl: ignore\n"
+    )
+    config = _no_contract(tmp_path)
+    findings = lint_paths([src], config, report_unused_suppressions=True)
+    assert findings == []

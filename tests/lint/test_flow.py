@@ -1,0 +1,119 @@
+"""Fixture-driven tests for the PHL5xx interprocedural flow rules.
+
+Each case in :data:`tests.lint.fixtures.GRAPH_FIXTURES` is a
+mini-project (display path -> source) linted through the public
+:func:`repro.lint.lint_project_sources` entry point, so the tests cover
+the graph construction, cross-module symbol resolution and the
+suppression machinery around the rules — not just the rule predicates.
+"""
+
+import pytest
+
+from repro.lint import RULES, lint_project_sources
+from repro.lint.registry import GraphRule
+
+from tests.lint.fixtures import GRAPH_FIXTURES
+
+
+def _codes(sources: dict[str, str]) -> set[str]:
+    return {f.code for f in lint_project_sources(sources)}
+
+
+@pytest.mark.parametrize(
+    "code,index,sources",
+    [
+        (code, index, sources)
+        for code, (flagged, _clean) in sorted(GRAPH_FIXTURES.items())
+        for index, sources in enumerate(flagged)
+    ],
+)
+def test_flagged_graph_fixture_is_flagged(code, index, sources):
+    assert code in _codes(sources), f"{code} missed case {index}"
+
+
+@pytest.mark.parametrize(
+    "code,index,sources",
+    [
+        (code, index, sources)
+        for code, (_flagged, clean) in sorted(GRAPH_FIXTURES.items())
+        for index, sources in enumerate(clean)
+    ],
+)
+def test_clean_graph_fixture_is_clean(code, index, sources):
+    assert code not in _codes(sources), f"{code} false positive, case {index}"
+
+
+def test_every_graph_rule_has_fixture_pair():
+    """Each PHL5xx code has >=1 flagged and >=1 clean mini-project."""
+    graph_rules = {
+        code
+        for code, rule in RULES.items()
+        if isinstance(rule, GraphRule)
+    }
+    assert graph_rules == set(GRAPH_FIXTURES)
+    for code, (flagged, clean) in GRAPH_FIXTURES.items():
+        assert flagged, f"{code} has no flagged fixture"
+        assert clean, f"{code} has no clean fixture"
+
+
+def test_deadline_drop_names_parameter_and_blocking_path():
+    """PHL501 messages carry the dropped parameter and the sink."""
+    (finding,) = lint_project_sources(GRAPH_FIXTURES["PHL501"][0][0])
+    assert finding.code == "PHL501"
+    assert "`deadline`" in finding.message
+    assert "browser.load" in finding.message
+
+
+def test_deadline_drop_reports_transitive_route():
+    """The interprocedural case names the callee that blocks."""
+    findings = lint_project_sources(GRAPH_FIXTURES["PHL501"][0][1])
+    drops = [f for f in findings if f.code == "PHL501"]
+    assert len(drops) == 1
+    assert "run_batch" in drops[0].message
+
+
+def test_lock_cycle_message_names_both_entities():
+    findings = lint_project_sources(GRAPH_FIXTURES["PHL502"][0][0])
+    cycles = [f for f in findings if f.code == "PHL502"]
+    assert cycles, "cycle not detected"
+    message = cycles[0].message
+    assert "Alpha" in message and "Beta" in message
+
+
+def test_self_deadlock_message_mentions_reacquire():
+    findings = lint_project_sources(GRAPH_FIXTURES["PHL502"][0][1])
+    cycles = [f for f in findings if f.code == "PHL502"]
+    assert len(cycles) == 1
+    assert "re-acquire" in cycles[0].message
+    assert "Counter" in cycles[0].message
+
+
+def test_taxonomy_escape_only_fires_on_guarded_paths():
+    """The same raise outside taxonomy-paths globs is legal."""
+    guarded = GRAPH_FIXTURES["PHL503"][0][0]
+    free = GRAPH_FIXTURES["PHL503"][1][1]
+    assert "PHL503" in _codes(guarded)
+    assert "PHL503" not in _codes(free)
+
+
+def test_graph_findings_are_suppressible_inline():
+    """`# phl: ignore[...]` works for graph findings like any other."""
+    sources = dict(GRAPH_FIXTURES["PHL501"][0][0])
+    (display,) = sources
+    sources[display] = sources[display].replace(
+        "def fetch_verdict(url, browser, deadline=None):",
+        "def fetch_verdict(url, browser, deadline=None):"
+        "  # phl: ignore[PHL501]",
+    )
+    assert "PHL501" not in _codes(sources)
+
+
+def test_unresolvable_raise_stays_silent():
+    """Raising a caught exception variable is never flagged."""
+    sources = {
+        "src/repro/resilience/rethrow.py": (
+            "def passthrough(exc):\n"
+            "    raise exc\n"
+        )
+    }
+    assert "PHL503" not in _codes(sources)

@@ -1,0 +1,87 @@
+"""Direct coverage for :class:`repro.lint.imports.ImportMap`.
+
+The resolver underpins every alias-sensitive rule and the whole
+interprocedural graph, so its binding semantics are pinned here:
+root-binding of plain ``import a.b.c``, ``from x import y as z``
+chains, relative imports keeping their leading dots, and local-name
+shadowing (last import wins, mirroring runtime rebinding).
+"""
+
+import ast
+
+from repro.lint.imports import ImportMap
+
+
+def _resolve(source: str, expr: str) -> str | None:
+    imports = ImportMap(ast.parse(source))
+    return imports.resolve(ast.parse(expr, mode="eval").body)
+
+
+def test_plain_import_binds_only_the_root_name():
+    src = "import numpy.random.mtrand\n"
+    # The statement binds ``numpy`` — attribute access walks from it.
+    assert _resolve(src, "numpy") == "numpy"
+    assert (
+        _resolve(src, "numpy.random.default_rng")
+        == "numpy.random.default_rng"
+    )
+    # The dotted module path itself is NOT bound as a local name.
+    imports = ImportMap(ast.parse(src))
+    assert "numpy.random.mtrand" not in imports._aliases
+
+
+def test_import_as_binds_the_full_dotted_path():
+    src = "import numpy.random as npr\n"
+    assert _resolve(src, "npr.default_rng") == "numpy.random.default_rng"
+    # Without the alias the root is untouched by the as-form.
+    assert _resolve(src, "numpy.random") == "numpy.random"
+
+
+def test_from_import_and_as_aliases():
+    src = "from time import time\nfrom time import monotonic as now\n"
+    assert _resolve(src, "time()") is None  # calls are not dotted chains
+    assert _resolve(src, "time") == "time.time"
+    assert _resolve(src, "now") == "time.monotonic"
+    # Attribute access through a from-alias extends the canonical name.
+    assert _resolve(src, "now.__name__") == "time.monotonic.__name__"
+
+
+def test_relative_imports_keep_leading_dots():
+    src = (
+        "from . import sibling\n"
+        "from .helpers import tool\n"
+        "from ..pkg import thing as renamed\n"
+    )
+    assert _resolve(src, "sibling") == "..sibling"
+    assert _resolve(src, "tool") == ".helpers.tool"
+    assert _resolve(src, "renamed") == "..pkg.thing"
+    # The leading dot guarantees no overlap with absolute names.
+    assert _resolve(src, "tool") != "helpers.tool"
+
+
+def test_local_name_shadowing_last_import_wins():
+    src = "from json import loads\nfrom pickle import loads\n"
+    assert _resolve(src, "loads") == "pickle.loads"
+
+
+def test_import_then_from_shadowing():
+    src = "import threading\nfrom dummy import threading\n"
+    assert _resolve(src, "threading.Lock") == "dummy.threading.Lock"
+
+
+def test_unimported_bare_names_resolve_to_themselves():
+    assert _resolve("x = 1\n", "hash") == "hash"
+    assert _resolve("x = 1\n", "set.union") == "set.union"
+
+
+def test_non_dotted_chains_resolve_to_none():
+    src = "import numpy\n"
+    assert _resolve(src, "numpy[0]") is None
+    assert _resolve(src, "numpy().linalg") is None
+    assert _resolve(src, "(numpy or math).cos") is None
+
+
+def test_multiple_names_in_one_statement():
+    src = "from os.path import join, split as cleave\n"
+    assert _resolve(src, "join") == "os.path.join"
+    assert _resolve(src, "cleave") == "os.path.split"

@@ -76,7 +76,7 @@ def test_rule_metadata_complete():
         assert rule.summary, code
         assert rule.rationale, code
         family = code[3]
-        assert family in "1234", code
+        assert family in "123456", code
 
 
 def test_syntax_error_reported_not_raised():

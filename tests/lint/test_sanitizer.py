@@ -1,0 +1,231 @@
+"""Tests for the runtime lock-order sanitizer.
+
+The helper classes live at module scope so the locks they create get
+clean static-graph entities (``tests.lint.test_sanitizer.Alpha``); the
+sanitizer is installed with an include prefix covering only this module
+so nothing else in the test session is instrumented.
+"""
+
+import threading
+
+import pytest
+
+from repro.lint.sanitizer import (
+    LockOrderWitness,
+    LockSanitizer,
+    OrderViolation,
+    _InstrumentedLock,
+    static_lock_edges,
+    verify_witness,
+    write_witness_report,
+)
+
+#: Prefix selecting only locks created by this module.
+INCLUDE = ("tests.lint.test_sanitizer",)
+
+ALPHA = "tests.lint.test_sanitizer.Alpha"
+BETA = "tests.lint.test_sanitizer.Beta"
+
+
+class Alpha:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+
+class Beta:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+
+class Reentrant:
+    def __init__(self):
+        self._lock = threading.RLock()
+
+
+def test_witness_records_nesting_edges():
+    witness = LockOrderWitness()
+    witness.on_acquire("A")
+    witness.on_acquire("B")
+    witness.on_release("B")
+    witness.on_release("A")
+    assert witness.observed_edges() == [("A", "B")]
+    assert witness.acquisitions == {"A": 1, "B": 1}
+
+
+def test_witness_reentry_is_not_an_edge():
+    witness = LockOrderWitness()
+    witness.on_acquire("A")
+    witness.on_acquire("A")
+    witness.on_release("A")
+    witness.on_release("A")
+    assert witness.observed_edges() == []
+    assert witness.acquisitions == {"A": 2}
+
+
+def test_sanitizer_instruments_included_module_locks():
+    witness = LockOrderWitness()
+    with LockSanitizer(witness, include=INCLUDE):
+        alpha = Alpha()
+        beta = Beta()
+    assert isinstance(alpha._lock, _InstrumentedLock)
+    assert isinstance(beta._lock, _InstrumentedLock)
+    with alpha._lock:
+        with beta._lock:
+            pass
+    assert witness.observed_edges() == [(ALPHA, BETA)]
+
+
+def test_sanitizer_ignores_locks_outside_include():
+    witness = LockOrderWitness()
+    with LockSanitizer(witness, include=("some.other.package",)):
+        alpha = Alpha()
+    assert not isinstance(alpha._lock, _InstrumentedLock)
+    with alpha._lock:
+        pass
+    assert witness.observed_edges() == []
+    assert witness.acquisitions == {}
+
+
+def test_sanitizer_uninstall_restores_factories():
+    real_lock = threading.Lock
+    real_rlock = threading.RLock
+    sanitizer = LockSanitizer(LockOrderWitness(), include=INCLUDE)
+    sanitizer.install()
+    assert threading.Lock is not real_lock
+    sanitizer.uninstall()
+    assert threading.Lock is real_lock
+    assert threading.RLock is real_rlock
+
+
+def test_instrumented_rlock_supports_reentry_and_locked():
+    witness = LockOrderWitness()
+    with LockSanitizer(witness, include=INCLUDE):
+        holder = Reentrant()
+    lock = holder._lock
+    assert isinstance(lock, _InstrumentedLock)
+    assert lock.locked() is False
+    with lock:
+        assert lock.locked() is True
+        with lock:  # re-entry must not deadlock
+            pass
+    assert lock.locked() is False
+    assert witness.observed_edges() == []
+
+
+def test_verify_consistent_order_passes():
+    witness = LockOrderWitness()
+    witness.on_acquire(ALPHA)
+    witness.on_acquire(BETA)
+    witness.on_release(BETA)
+    witness.on_release(ALPHA)
+    assert verify_witness(witness, {(ALPHA, BETA)}) == []
+
+
+def test_verify_flags_static_inversion():
+    witness = LockOrderWitness()
+    witness.on_acquire(BETA)
+    witness.on_acquire(ALPHA)
+    violations = verify_witness(witness, {(ALPHA, BETA)})
+    assert [v.kind for v in violations] == ["static-inversion"]
+    assert violations[0].first == BETA
+    assert violations[0].second == ALPHA
+
+
+def test_verify_flags_runtime_mutual_once():
+    witness = LockOrderWitness()
+    witness.on_acquire("A")
+    witness.on_acquire("B")
+    witness.on_release("B")
+    witness.on_release("A")
+    witness.on_acquire("B")
+    witness.on_acquire("A")
+    violations = verify_witness(witness, set())
+    assert [v.kind for v in violations] == ["runtime-mutual"]
+    assert (violations[0].first, violations[0].second) == ("A", "B")
+
+
+def test_verify_ignores_order_known_both_ways_statically():
+    """An edge present in the static graph is never an inversion."""
+    witness = LockOrderWitness()
+    witness.on_acquire("A")
+    witness.on_acquire("B")
+    assert verify_witness(witness, {("A", "B"), ("B", "A")}) == []
+
+
+def test_end_to_end_inversion_detected(tmp_path):
+    """Instrumented locks + witness + verifier catch a real inversion."""
+    witness = LockOrderWitness()
+    with LockSanitizer(witness, include=INCLUDE):
+        alpha = Alpha()
+        beta = Beta()
+    with alpha._lock:
+        with beta._lock:
+            pass
+    with beta._lock:
+        with alpha._lock:
+            pass
+    violations = verify_witness(witness, {(ALPHA, BETA)})
+    kinds = {v.kind for v in violations}
+    assert kinds == {"static-inversion", "runtime-mutual"}
+    report_path = tmp_path / "witness.json"
+    write_witness_report(witness, {(ALPHA, BETA)}, violations, report_path)
+    import json
+
+    payload = json.loads(report_path.read_text())
+    assert payload["format"] == "phl-lock-witness/1"
+    assert payload["static_edges"] == [
+        {"held": ALPHA, "acquired": BETA}
+    ]
+    assert {v["kind"] for v in payload["violations"]} == kinds
+    edges = {
+        (edge["held"], edge["acquired"])
+        for edge in payload["witness"]["edges"]
+    }
+    assert (ALPHA, BETA) in edges and (BETA, ALPHA) in edges
+
+
+def test_static_lock_edges_over_repo_src():
+    """The helper builds the same edge set PHL502 checks — and the live
+    tree's graph is acyclic (otherwise the self-check would fail)."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    edges = static_lock_edges([root / "src"], root=root)
+    assert isinstance(edges, set)
+    for held, acquired in edges:
+        assert isinstance(held, str) and isinstance(acquired, str)
+        assert (acquired, held) not in edges
+
+
+def test_threads_keep_independent_held_stacks():
+    witness = LockOrderWitness()
+    barrier = threading.Barrier(2)
+
+    def worker(entity: str) -> None:
+        witness.on_acquire(entity)
+        barrier.wait()
+        witness.on_release(entity)
+
+    threads = [
+        threading.Thread(target=worker, args=("A",)),
+        threading.Thread(target=worker, args=("B",)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # Each thread held one lock; neither saw the other's stack.
+    assert witness.observed_edges() == []
+    assert witness.acquisitions == {"A": 1, "B": 1}
+
+
+def test_violation_to_dict_roundtrip():
+    violation = OrderViolation(
+        first="A", second="B", kind="runtime-mutual", detail="d"
+    )
+    assert violation.to_dict() == {
+        "first": "A",
+        "second": "B",
+        "kind": "runtime-mutual",
+        "detail": "d",
+    }

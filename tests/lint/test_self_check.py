@@ -12,7 +12,7 @@ from pathlib import Path
 
 from repro.lint import lint_paths, load_config
 from repro.lint.engine import selected_rules
-from repro.lint.registry import ProjectRule
+from repro.lint.registry import GraphRule, ProjectRule
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -29,7 +29,14 @@ def test_live_tree_is_lint_clean():
 def test_repo_config_enables_every_family():
     config = load_config(root=REPO_ROOT)
     enabled = {rule.code for rule in selected_rules(config)}
-    assert {code[:4] for code in enabled} == {"PHL1", "PHL2", "PHL3", "PHL4"}
+    assert {code[:4] for code in enabled} == {
+        "PHL1",
+        "PHL2",
+        "PHL3",
+        "PHL4",
+        "PHL5",
+        "PHL6",
+    }
 
 
 def test_contract_rules_run_against_repo_golden():
@@ -38,8 +45,44 @@ def test_contract_rules_run_against_repo_golden():
     project = [
         rule
         for rule in selected_rules(config)
-        if isinstance(rule, ProjectRule)
+        if isinstance(rule, ProjectRule) and not isinstance(rule, GraphRule)
     ]
-    assert {rule.code for rule in project} == {"PHL301", "PHL302", "PHL303"}
+    assert {rule.code for rule in project} == {
+        "PHL301",
+        "PHL302",
+        "PHL303",
+        "PHL601",
+    }
     golden = config.golden_path()
     assert golden is not None and golden.is_file()
+
+
+def test_graph_rules_enabled_for_repo():
+    """The flow family runs in the self-check and in CI."""
+    config = load_config(root=REPO_ROOT)
+    graph = [
+        rule
+        for rule in selected_rules(config)
+        if isinstance(rule, GraphRule)
+    ]
+    assert {rule.code for rule in graph} == {
+        "PHL501",
+        "PHL502",
+        "PHL503",
+        "PHL504",
+    }
+
+
+def test_live_tree_has_no_unused_suppressions():
+    """Stale-suppression audit, kept green: every `phl: ignore` that
+    parses as a real comment must suppress something (the historical
+    docstring mentions are invisible to the tokenising parser)."""
+    config = load_config(root=REPO_ROOT)
+    findings = lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "tests"],
+        config,
+        report_unused_suppressions=True,
+    )
+    stale = [f for f in findings if f.code == "PHL601"]
+    rendered = "\n".join(f.render() for f in stale)
+    assert stale == [], f"stale suppressions:\n{rendered}"
