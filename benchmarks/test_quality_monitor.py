@@ -1,0 +1,86 @@
+"""Quality-observability benchmark: drift alerts + monitoring overhead.
+
+Two bounds back the quality subsystem's contract:
+
+* **Determinism** — the injected campaign-wave drift scenario raises
+  the same alert log byte for byte on every run, and a healthy stream
+  raises none;
+* **Read-only, nearly free** — a monitored tiered serving run returns
+  responses field-for-field identical to an unmonitored one, and the
+  monitor's marginal cost (its exact tap stream, replayed into fresh
+  monitors in a timed tight loop) stays under 5% of the unmonitored
+  run's wall clock.
+
+The overhead is taps-vs-baseline rather than a monitored-vs-baseline
+end-to-end delta: the true signal is ~2 ms against ~65 ms runs, and
+shared runners jitter individual runs by 30%+ in multi-second bursts,
+so a naive wall-clock ratio measures the scheduler, not the monitor.
+
+``results/quality_monitor.json`` commits the measured numbers.
+"""
+
+import json
+
+#: The acceptance bound: the monitor's tap stream may cost at most 5%
+#: of the identical unmonitored run's wall-clock time.
+MAX_OVERHEAD = 0.05
+
+#: Interleaved baseline/monitored run pairs (order alternating each
+#: round, GC paused during the timed region); min-of-N damps scheduler
+#: noise in the baseline denominator.
+REPEATS = 6
+
+
+def test_drift_scenario_alerts_are_deterministic(lab):
+    first = lab.quality_drift_scenario()
+    second = lab.quality_drift_scenario()
+    # Healthy replay of training rows must stay quiet...
+    assert first["healthy_alerts"] == []
+    # ...and the campaign wave must fire at least the score signal.
+    assert first["drift_alerts"], "drifted phase raised no drift alert"
+    assert "score" in first["drifted_signals"]
+    # Same seed -> same artifact, to the byte.
+    assert json.dumps(first["artifact"], sort_keys=True) == json.dumps(
+        second["artifact"], sort_keys=True
+    )
+
+
+def test_monitor_overhead_and_identity(lab, save_json):
+    result = lab.quality_serving_benchmark(repeats=REPEATS)
+    assert result["responses_identical"], (
+        "quality monitor perturbed serving responses"
+    )
+    # The deliberately unmeetable latency objective demonstrates the
+    # burn-rate alert path end to end.
+    assert any(
+        alert["objective"] == "full_tier_latency"
+        for alert in result["slo_alerts"]
+    )
+    overhead = result["seconds_taps"] / result["seconds_baseline"]
+    artifact = result["artifact"]
+    save_json(
+        "quality_monitor",
+        {
+            "requests": result["requests"],
+            "responses_identical": result["responses_identical"],
+            "seconds_baseline": round(result["seconds_baseline"], 4),
+            "seconds_monitored": round(result["seconds_monitored"], 4),
+            "seconds_taps": round(result["seconds_taps"], 5),
+            "tap_events": result["tap_events"],
+            "overhead": round(overhead, 4),
+            "max_overhead": MAX_OVERHEAD,
+            "event_counts": artifact["counts"],
+            "firing_slo_alerts": sorted(
+                {alert["objective"] for alert in result["slo_alerts"]}
+            ),
+            "recorder": {
+                "capacity": artifact["recorder"]["capacity"],
+                "recorded": artifact["recorder"]["recorded"],
+                "dropped": artifact["recorder"]["dropped"],
+            },
+        },
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"monitoring overhead {overhead:.1%} (tap replay vs baseline) "
+        f"exceeds {MAX_OVERHEAD:.0%}"
+    )

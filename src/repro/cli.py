@@ -15,7 +15,14 @@ Commands
     and dumps span/metric artifacts.
 ``obs report``
     Render a run report (stage timing, verdicts, cache hit rates,
-    resilience counters) from dumped artifacts alone.
+    serving tiers, resilience counters, quality block) from dumped
+    artifacts alone.
+``obs quality``
+    Quality observability: render a quality artifact, or ``--run``
+    the deterministic drift scenario (healthy stream, then a drifted
+    campaign wave) and write ``quality.json`` + ``flight.jsonl``;
+    ``--expect-drift`` makes a missing drift alert a failure (the CI
+    smoke contract).
 ``serve-bench``
     Run the overload + chaos serving scenario (admission control,
     backpressure, coalescing, deadlines, breaker, drain) in simulated
@@ -318,20 +325,91 @@ def _cmd_obs_report(args) -> int:
 
     spans = args.spans if args.spans else None
     metrics = args.metrics if args.metrics else None
-    if spans is None and metrics is None:
+    quality = getattr(args, "quality", None) or None
+    if spans is None and metrics is None and quality is None:
         print(
-            "error: pass --spans and/or --metrics artifact paths",
+            "error: pass --spans, --metrics and/or --quality artifact "
+            "paths",
             file=sys.stderr,
         )
         return 2
     try:
         report = RunReport.from_artifacts(
-            spans_path=spans, metrics_path=metrics
+            spans_path=spans, metrics_path=metrics, quality_path=quality
         )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(report.render())
+    return 0
+
+
+def _cmd_obs_quality(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import render_quality
+
+    if args.run:
+        lab = _build_lab(args)
+        print(
+            "running quality drift scenario (healthy stream, then a "
+            "drifted campaign wave)...",
+            file=sys.stderr,
+        )
+        result = lab.quality_drift_scenario()
+        artifact = result["artifact"]
+        if args.out:
+            out = Path(args.out)
+            out.mkdir(parents=True, exist_ok=True)
+            monitor = result["monitor"]
+            print(
+                f"wrote {monitor.write_artifact(out / 'quality.json')}",
+                file=sys.stderr,
+            )
+            print(
+                f"wrote {monitor.write_flight(out / 'flight.jsonl')}",
+                file=sys.stderr,
+            )
+        print(render_quality(artifact))
+        if result["healthy_alerts"]:
+            print(
+                "error: the healthy phase raised alerts "
+                f"({len(result['healthy_alerts'])})",
+                file=sys.stderr,
+            )
+            return 1
+    elif args.artifact:
+        try:
+            artifact = json.loads(
+                Path(args.artifact).read_text(encoding="utf-8")
+            )
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(render_quality(artifact))
+    else:
+        print(
+            "error: pass --run or --artifact PATH", file=sys.stderr
+        )
+        return 2
+    if args.expect_drift:
+        firing = [
+            alert
+            for alert in artifact.get("alerts", [])
+            if alert.get("kind") == "drift"
+            and alert.get("state") == "firing"
+        ]
+        if not firing:
+            print(
+                "error: expected at least one firing drift alert",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"{len(firing)} firing drift alert(s), as expected",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -598,7 +676,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="PATH",
         help="Prometheus metrics dump (from --metrics-out)",
     )
+    obs_report.add_argument(
+        "--quality", default=None, metavar="PATH",
+        help="quality-monitor artifact (quality.json)",
+    )
     obs_report.set_defaults(func=_cmd_obs_report)
+    obs_quality = obs_commands.add_parser(
+        "quality",
+        help="render a quality artifact, or run the drift scenario",
+    )
+    obs_quality.add_argument(
+        "--artifact", default=None, metavar="PATH",
+        help="render an existing quality.json artifact",
+    )
+    obs_quality.add_argument(
+        "--run", action="store_true",
+        help="run the deterministic drift scenario (healthy stream, "
+             "then a drifted campaign wave) with monitors armed",
+    )
+    obs_quality.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="with --run: directory receiving quality.json and "
+             "flight.jsonl",
+    )
+    obs_quality.add_argument(
+        "--expect-drift", action="store_true", dest="expect_drift",
+        help="exit nonzero unless at least one drift alert fired",
+    )
+    obs_quality.set_defaults(func=_cmd_obs_quality)
     return parser
 
 

@@ -60,6 +60,37 @@ def feature_groups() -> list[tuple[str, tuple[str, ...], int]]:
     ]
 
 
+def group_slices() -> dict[str, slice]:
+    """Column slice of each feature group in the 212-wide matrix.
+
+    Keys are the group names (``f1`` .. ``f5``) in concatenation
+    order; a fresh dict each call, so callers cannot corrupt the
+    module's layout table.
+    """
+    return dict(_GROUP_SLICES)
+
+
+def group_means(matrix: np.ndarray) -> dict[str, np.ndarray]:
+    """Per-page mean of each feature group over a feature matrix.
+
+    ``matrix`` is ``(n_pages, 212)`` (a single 212-vector is accepted
+    and treated as one page).  Returns ``{group: (n_pages,) means}``
+    in concatenation order — the per-group summary signal the quality
+    monitor's drift windows track against the training reference.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(1, -1)
+    if matrix.shape[1] != N_FEATURES:
+        raise ValueError(
+            f"expected {N_FEATURES} feature columns, got {matrix.shape[1]}"
+        )
+    return {
+        name: matrix[:, sl].mean(axis=1)
+        for name, sl in _GROUP_SLICES.items()
+    }
+
+
 def feature_set_mask(name: str) -> np.ndarray:
     """Boolean mask over the 212 features selecting a feature set.
 

@@ -27,8 +27,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.datasources import DataSources
 from repro.core.detector import PhishingDetector
+from repro.core.features.extractor import group_means
 from repro.core.target import TargetIdentification, TargetIdentifier
 from repro.obs.metrics import NULL_METRICS, AnyMetrics
 from repro.obs.trace import NULL_TRACER, AnyTracer
@@ -117,6 +120,64 @@ class KnowYourPhish:
         self.treat_suspicious_as_phish = treat_suspicious_as_phish
         self.tracer = tracer
         self.metrics = metrics
+        self._quality_importances: np.ndarray | None = None
+
+    # -- quality taps --------------------------------------------------
+    def _feature_importances(self) -> np.ndarray | None:
+        """Cached per-feature importances of the trained ensemble.
+
+        Computed once per pipeline (the ensemble is frozen after
+        training) and only when a quality monitor is armed; models
+        without ``feature_importances`` disable the top-contribution
+        annotation rather than failing the tap.
+        """
+        if self._quality_importances is None:
+            importances = getattr(
+                self.detector.model, "feature_importances", None
+            )
+            if importances is None:
+                return None
+            self._quality_importances = np.asarray(
+                importances(), dtype=float
+            )
+        return self._quality_importances
+
+    def _top_contributions(
+        self, vector: np.ndarray, k: int = 3
+    ) -> list[tuple[str, float]] | None:
+        """Top-``k`` importance-weighted feature contributions.
+
+        Ranked by absolute importance × value with a stable sort, so
+        ties resolve by feature index and the flight-recorder payload
+        is deterministic.
+        """
+        importances = self._feature_importances()
+        if importances is None:
+            return None
+        contributions = importances * np.asarray(vector, dtype=float)
+        order = np.argsort(-np.abs(contributions), kind="stable")[:k]
+        names = self.detector.extractor.feature_names
+        return [(names[i], float(contributions[i])) for i in order]
+
+    def _quality_tap(
+        self, quality, url: str, vector: np.ndarray, verdict: PageVerdict
+    ) -> None:
+        """Feed one finished verdict into a quality monitor.
+
+        Read-only: the monitor sees the score, the final label, the
+        per-group feature means (the drift signals) and the top
+        feature contributions, after the verdict is fully built — it
+        can never perturb the verdict itself.
+        """
+        means = group_means(vector)
+        quality.observe_verdict(
+            score=verdict.confidence,
+            verdict=verdict.verdict,
+            groups={name: float(vals[0]) for name, vals in means.items()},
+            degraded=verdict.degraded,
+            url=url,
+            top_features=self._top_contributions(vector),
+        )
 
     def analyze(
         self,
@@ -124,6 +185,7 @@ class KnowYourPhish:
         tracer: AnyTracer | None = None,
         metrics: AnyMetrics | None = None,
         deadline: Deadline | None = None,
+        quality=None,
     ) -> PageVerdict:
         """Run the full pipeline on one page.
 
@@ -144,6 +206,12 @@ class KnowYourPhish:
         ``tracer``/``metrics`` override the pipeline-level instruments
         for this call (used by the batch layer, which gives each mapped
         page its own tracer so span dumps stay deterministic).
+
+        ``quality`` optionally names a
+        :class:`~repro.obs.quality.QualityMonitor`; the finished
+        verdict (score, label, per-group feature means, top feature
+        contributions) is fed to it read-only after it is built, so
+        monitored and unmonitored calls return bit-identical verdicts.
         """
         tracer = self.tracer if tracer is None else tracer
         metrics = self.metrics if metrics is None else metrics
@@ -171,13 +239,18 @@ class KnowYourPhish:
                 metrics.inc("verdicts_total", verdict=final)
                 if tags:
                     metrics.inc("verdicts_degraded_total")
-                return PageVerdict(
+                result = PageVerdict(
                     verdict=final,
                     confidence=confidence,
                     degraded=bool(tags),
                     degradations=tags,
                     **kwargs,
                 )
+                if quality is not None:
+                    self._quality_tap(
+                        quality, snapshot.starting_url, vector, result
+                    )
+                return result
 
             vector = self.detector.extractor.extract_from_sources(
                 sources, tracer=tracer
@@ -235,6 +308,7 @@ class KnowYourPhish:
         pages,
         tracer: AnyTracer | None = None,
         metrics: AnyMetrics | None = None,
+        quality=None,
     ) -> list[PageVerdict]:
         """Columnar analysis of already-loaded pages, in input order.
 
@@ -258,6 +332,11 @@ class KnowYourPhish:
         ``extract.batch`` child) instead of per-page ``analyze`` trees,
         so observed runs that must preserve per-page span dumps should
         keep calling :meth:`analyze`.
+
+        ``quality`` taps a :class:`~repro.obs.quality.QualityMonitor`
+        with each finished verdict and its matrix row's group means,
+        in input order — the same observation stream the per-page loop
+        feeds, so drift windows cannot tell the two paths apart.
         """
         tracer = self.tracer if tracer is None else tracer
         metrics = self.metrics if metrics is None else metrics
@@ -292,13 +371,21 @@ class KnowYourPhish:
             metrics.inc("verdicts_total", verdict=final)
             if tags:
                 metrics.inc("verdicts_degraded_total")
-            return PageVerdict(
+            result = PageVerdict(
                 verdict=final,
                 confidence=confidence,
                 degraded=bool(tags),
                 degradations=tags,
                 **kwargs,
             )
+            if quality is not None:
+                self._quality_tap(
+                    quality,
+                    snapshots[index].starting_url,
+                    matrix[index],
+                    result,
+                )
+            return result
 
         with tracer.span("analyze.batch", n_pages=len(pages)) as root:
             matrix = self.detector.extractor.extract_batch(
@@ -375,7 +462,7 @@ class KnowYourPhish:
         return verdicts
 
     def analyze_many(
-        self, urls, browser, pool=None, page_budget=None
+        self, urls, browser, pool=None, page_budget=None, quality=None
     ) -> BatchReport:
         """Analyze a batch of URLs, quarantining unloadable pages.
 
@@ -392,12 +479,31 @@ class KnowYourPhish:
         The pipeline's tracer and metrics observe the whole batch (each
         page's span tree is spliced back in input order, so dumps are
         deterministic across backends).
+
+        ``quality`` taps a :class:`~repro.obs.quality.QualityMonitor`
+        with each analyzed page's verdict *after* the batch completes,
+        in input order — a post-hoc feed from the report, so the
+        observation stream (and every drift window over it) is
+        identical across the serial, thread and process backends.
+        Vectors are not retained by the batch layer, so this path
+        feeds score drift and the degraded-rate SLOs but not the
+        per-feature-group signals.
         """
-        return analyze_many(
+        report = analyze_many(
             self, browser, urls, pool=pool,
             tracer=self.tracer, metrics=self.metrics,
             page_budget=page_budget,
         )
+        if quality is not None:
+            for page in report.analyzed:
+                verdict = page.verdict
+                quality.observe_verdict(
+                    score=verdict.confidence,
+                    verdict=verdict.verdict,
+                    degraded=verdict.degraded,
+                    url=page.url,
+                )
+        return report
 
     def is_blocked(self, verdict: PageVerdict) -> bool:
         """Binary blocking decision derived from a verdict."""

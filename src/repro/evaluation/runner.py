@@ -29,6 +29,7 @@ test set.
 
 from __future__ import annotations
 
+import gc
 import time
 
 import numpy as np
@@ -147,6 +148,7 @@ class Lab:
         self._features: dict[str, np.ndarray] = {}
         self._detectors: dict[str, PhishingDetector] = {}
         self._scenario1_cache: dict[tuple, tuple] = {}
+        self._quality_ref = None
 
     # ------------------------------------------------------------------
     # shared plumbing
@@ -623,18 +625,21 @@ class Lab:
         )
         return results
 
-    def temporal_drift(self, count: int = 60) -> dict[str, float]:
-        """Recall on a drifted future campaign wave.
+    def _drifted_snapshots(
+        self, count: int, seed_offset: int = 999
+    ) -> tuple[list, int]:
+        """Loaded snapshots of a drifted future campaign wave.
 
-        Simulates the ecosystem moving on after training: later campaigns
-        prefer free hosting and compromised servers, use more HTTPS-grade
-        clone kits and hit brands unseen in training.  The trained model
-        is evaluated unchanged.
+        The drift recipe shared by :meth:`temporal_drift` and the
+        quality drift scenario: later campaigns prefer free hosting
+        and compromised servers, use HTTPS-grade clone kits and hit
+        brands unseen in training.  Returns ``(snapshots,
+        skipped_urls)`` — unparsable compromised-pool URLs are
+        counted, not silently dropped.
         """
         from repro.urls.parsing import UrlParseError, parse_url
 
-        detector = self.detector("fall")
-        rng = np.random.default_rng(self.config.seed + 999)
+        rng = np.random.default_rng(self.config.seed + seed_offset)
         compromised_pool = []
         skipped_urls = 0
         for page in self.dataset("legTrain")[:60]:
@@ -665,6 +670,17 @@ class Lab:
                 target=target, hosting=hosting, quality="high"
             )
             snapshots.append(self.world.browser.load(phish.starting_url))
+        return snapshots, skipped_urls
+
+    def temporal_drift(self, count: int = 60) -> dict[str, float]:
+        """Recall on a drifted future campaign wave.
+
+        Simulates the ecosystem moving on after training: the trained
+        model is evaluated unchanged on the
+        :meth:`_drifted_snapshots` wave.
+        """
+        detector = self.detector("fall")
+        snapshots, skipped_urls = self._drifted_snapshots(count)
         X = self.extractor.extract_many(snapshots)
         drifted_recall = float(
             (detector.predict_proba(X) >= self.threshold).mean()
@@ -1590,6 +1606,358 @@ class Lab:
                 "untriaged": _quality(tiered_path=False),
                 "tiered": _quality(tiered_path=True),
             },
+        }
+
+    # ------------------------------------------------------------------
+    # quality observability: reference, drift scenario, monitored serve
+    # ------------------------------------------------------------------
+    def quality_reference(self):
+        """Frozen training-time reference profile (cached).
+
+        Classifier-score and per-feature-group-mean distributions over
+        the scenario2 training matrix, sketched with the drift
+        monitor's bin layout — the "healthy" yardstick every live
+        window is compared against.
+        """
+        from repro.core.features.extractor import group_means
+        from repro.obs.quality import ReferenceProfile
+
+        if self._quality_ref is None:
+            detector = self.detector("fall")
+            X, _y = self.train_matrix()
+            self._quality_ref = ReferenceProfile.from_training(
+                detector.predict_proba(X), group_means(X)
+            )
+        return self._quality_ref
+
+    def quality_drift_scenario(
+        self,
+        healthy: int = 120,
+        drifted: int = 100,
+        tick: float = 0.05,
+    ) -> dict:
+        """Deterministic drift scenario: healthy stream, then a wave.
+
+        ``drifted`` should exceed the monitor's window capacity
+        (chunk_size x chunks = 80 observations by default) so the
+        sliding windows end up holding *only* wave traffic — a shorter
+        wave leaves healthy observations in the window, diluting the
+        measured divergence toward the thresholds.
+
+        Phase 1 replays ``healthy`` training-matrix rows (sampled with
+        a fixed seed, so the live windows match the frozen reference
+        up to sampling noise) through an armed
+        :class:`~repro.obs.quality.QualityMonitor` — no drift alert
+        may fire.  Phase 2 feeds the :meth:`_drifted_snapshots`
+        campaign wave: the score and feature-group windows diverge
+        from the reference and the monitor must raise at least one
+        drift alert.  Everything runs on a
+        :class:`~repro.resilience.ManualClock`, so the same seed
+        yields the same alert log byte for byte — the property the
+        ``quality-smoke`` CI job asserts from artifacts alone.
+        """
+        from repro.core.features.extractor import group_means
+        from repro.obs.quality import (
+            BurnRateWindow,
+            QualityMonitor,
+            SloObjective,
+        )
+        from repro.resilience import ManualClock
+
+        detector = self.detector("fall")
+        reference = self.quality_reference()
+        clock = ManualClock()
+        monitor = QualityMonitor(
+            reference=reference,
+            objectives=(
+                SloObjective(
+                    name="degraded_verdicts",
+                    kind="degraded_rate",
+                    budget=0.05,
+                    description="verdicts should rarely be degraded",
+                ),
+            ),
+            windows=(
+                BurnRateWindow(
+                    "fast",
+                    long_s=40 * tick,
+                    short_s=8 * tick,
+                    factor=4.0,
+                ),
+            ),
+            clock=clock,
+        )
+
+        def _feed(matrix: np.ndarray) -> None:
+            scores = detector.predict_proba(matrix)
+            means = group_means(matrix)
+            for index in range(matrix.shape[0]):
+                clock.advance(tick)
+                score = float(scores[index])
+                monitor.observe_verdict(
+                    score=score,
+                    verdict=(
+                        "phish" if score >= self.threshold
+                        else "legitimate"
+                    ),
+                    groups={
+                        name: float(values[index])
+                        for name, values in means.items()
+                    },
+                )
+
+        X, _y = self.train_matrix()
+        rng = np.random.default_rng(self.config.seed + 4242)
+        healthy_rows = X[rng.integers(X.shape[0], size=healthy)]
+        _feed(healthy_rows)
+        healthy_alerts = [dict(alert) for alert in monitor.alerts]
+
+        snapshots, _skipped = self._drifted_snapshots(drifted)
+        _feed(self.extractor.extract_many(snapshots))
+        artifact = monitor.finish()
+        drift_alerts = [
+            alert for alert in monitor.firing_alerts
+            if alert["kind"] == "drift"
+        ]
+        assert monitor.drift is not None
+        return {
+            "healthy_pages": healthy,
+            "drifted_pages": drifted,
+            "healthy_alerts": healthy_alerts,
+            "drift_alerts": drift_alerts,
+            "drifted_signals": monitor.drift.drifted_signals(),
+            "artifact": artifact,
+            "monitor": monitor,
+        }
+
+    def quality_serving_benchmark(
+        self,
+        pages_per_class: int = 12,
+        workers: int = 4,
+        analysis_cost: float = 0.1,
+        overload: float = 2.0,
+        duration: float = 2.0,
+        queue_limit: int = 32,
+        repeats: int = 1,
+    ) -> dict:
+        """Monitored vs unmonitored tiered serving on one workload.
+
+        Offers the identical request schedule to two identically
+        seeded tiered engines — one with an armed
+        :class:`~repro.obs.quality.QualityMonitor`, one without — and
+        checks the monitor changed nothing: every terminal response
+        equal field for field.  The monitor carries one deliberately
+        unmeetable latency objective (full-tier latency under a
+        quarter of the simulated analysis cost), so the run also
+        demonstrates a deterministic SLO burn-rate alert, alongside
+        realistic objectives that must stay quiet.
+
+        ``repeats`` interleaves extra baseline/monitored run pairs
+        (each monitored repeat on a fresh throwaway monitor) and
+        reports the min wall-clock seconds of each side; the returned
+        alerts/artifact always come from the first monitored run.
+
+        The overhead bound uses ``seconds_taps``: the engine's exact
+        tap stream is captured once, then replayed into fresh monitors
+        in a timed tight loop (min of several replays).  That isolates
+        the monitor's marginal cost from engine-run jitter — end-to-end
+        deltas at this scale are dominated by scheduler noise, and
+        flipping one process between armed and unarmed engines also
+        thrashes CPython's inline caches, which no real deployment does
+        (a monitor is on or off for the process lifetime).
+        """
+        from repro.obs.quality import (
+            BurnRateWindow,
+            QualityMonitor,
+            SloObjective,
+        )
+        from repro.resilience import (
+            ManualClock,
+            ResilientBrowser,
+            RetryPolicy,
+        )
+        from repro.serve import (
+            TIER_FULL,
+            AdmissionController,
+            ServingEngine,
+            TokenBucket,
+            ZipfSampler,
+            build_requests,
+            constant_rate,
+        )
+
+        urls, _labels = self._robustness_workload(pages_per_class)
+        sampler = ZipfSampler(urls, exponent=1.1, seed=self.config.seed)
+        capacity = workers / analysis_cost
+        requests = build_requests(
+            constant_rate(sampler, overload * capacity, duration)
+        )
+        triage = self.triage_model()
+
+        def _run(monitor):
+            clock = ManualClock()
+            browser = ResilientBrowser(
+                self.world.web,
+                policy=RetryPolicy(clock=clock, seed=self.config.seed),
+                clock=clock,
+            )
+            engine = ServingEngine(
+                self._resilient_pipeline(),
+                browser,
+                AdmissionController(
+                    TokenBucket(
+                        rate=capacity, capacity=float(workers * 4)
+                    ),
+                    queue_limit=queue_limit,
+                ),
+                clock=clock,
+                workers=workers,
+                analysis_cost=analysis_cost,
+                triage=triage,
+                negative_ttl=0.25 * duration,
+                quality=monitor,
+            )
+            return engine.run(requests)
+
+        def _monitor():
+            return QualityMonitor(
+                reference=self.quality_reference(),
+                objectives=(
+                    SloObjective(
+                        name="full_tier_latency",
+                        kind="latency",
+                        budget=0.05,
+                        threshold=analysis_cost / 4,
+                        tier=TIER_FULL,
+                        description=(
+                            "deliberately unmeetable: full-tier latency "
+                            "under a quarter of the analysis cost"
+                        ),
+                    ),
+                    SloObjective(
+                        name="degraded_verdicts",
+                        kind="degraded_rate",
+                        budget=0.5,
+                    ),
+                    SloObjective(
+                        name="escalation_agreement",
+                        kind="escalation_mismatch",
+                        budget=0.9,
+                    ),
+                    SloObjective(
+                        name="memo_hit_floor",
+                        kind="cache_hit",
+                        budget=0.999,
+                        store="memo",
+                    ),
+                ),
+                windows=(
+                    BurnRateWindow(
+                        "fast",
+                        long_s=0.25 * duration,
+                        short_s=0.05 * duration,
+                        factor=2.0,
+                    ),
+                ),
+            )
+
+        monitor = _monitor()
+        baseline = monitored = None
+        seconds: dict[str, list[float]] = {"baseline": [], "monitored": []}
+
+        def _timed(side, run_monitor):
+            # Collect before and pause the collector during the timed
+            # region, so one side does not pay for garbage the other
+            # side produced.
+            gc.collect()
+            gc.disable()
+            try:
+                started = time.perf_counter()
+                result = _run(run_monitor)
+                seconds[side].append(time.perf_counter() - started)
+            finally:
+                gc.enable()
+            return result
+
+        for round_index in range(max(1, repeats)):
+            round_monitor = monitor if round_index == 0 else _monitor()
+            # Alternate which side runs first so warm-up and cache
+            # effects cancel across rounds instead of favouring one.
+            if round_index % 2 == 0:
+                result = _timed("baseline", None)
+                baseline = baseline if baseline is not None else result
+                result = _timed("monitored", round_monitor)
+                monitored = monitored if monitored is not None else result
+            else:
+                result = _timed("monitored", round_monitor)
+                monitored = monitored if monitored is not None else result
+                result = _timed("baseline", None)
+                baseline = baseline if baseline is not None else result
+        identical = baseline.responses == monitored.responses
+
+        tap_log: list[tuple] = []
+
+        class _TapLog:
+            """Captures the engine's exact tap stream for replay."""
+
+            def observe_response(self, response, budget=None, now=None):
+                tap_log.append(("response", response, budget, now))
+
+            def observe_cache(self, store, hit, now=None):
+                tap_log.append(("cache", store, hit, now))
+
+            def observe_escalation(self, mismatch, now=None):
+                tap_log.append(("escalation", mismatch, now))
+
+            def finish(self, now=None):
+                tap_log.append(("finish", now))
+
+        _run(_TapLog())
+
+        def _replay_once() -> float:
+            replay_monitor = _monitor()
+            gc.collect()
+            gc.disable()
+            try:
+                started = time.perf_counter()
+                for call in tap_log:
+                    kind = call[0]
+                    if kind == "response":
+                        replay_monitor.observe_response(
+                            call[1], budget=call[2], now=call[3]
+                        )
+                    elif kind == "cache":
+                        replay_monitor.observe_cache(
+                            call[1], call[2], now=call[3]
+                        )
+                    elif kind == "escalation":
+                        replay_monitor.observe_escalation(
+                            call[1], now=call[2]
+                        )
+                    else:
+                        replay_monitor.finish(now=call[1])
+                return time.perf_counter() - started
+            finally:
+                gc.enable()
+
+        _replay_once()  # warm the replay path before timing it
+        replays = [_replay_once() for _ in range(7)]
+
+        slo_alerts = [
+            alert for alert in monitor.firing_alerts
+            if alert["kind"] == "slo"
+        ]
+        return {
+            "requests": len(requests),
+            "responses_identical": identical,
+            "slo_alerts": slo_alerts,
+            "report": monitored.summary(),
+            "artifact": monitor.artifact(),
+            "monitor": monitor,
+            "seconds_baseline": min(seconds["baseline"]),
+            "seconds_monitored": min(seconds["monitored"]),
+            "seconds_taps": min(replays),
+            "tap_events": len(tap_log),
         }
 
     # ------------------------------------------------------------------

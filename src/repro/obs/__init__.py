@@ -18,12 +18,21 @@ tallies.  This package provides one common model for all of it:
   Prometheus-style text format, both parseable back.
 * :mod:`repro.obs.report` — :class:`~repro.obs.report.RunReport`, a
   human-readable reconstruction of a run from dumped artifacts alone.
+* :mod:`repro.obs.quantiles` — the one quantile implementation
+  (nearest-rank and histogram interpolation) shared by the serving
+  report, the run report and the quality sketches.
+* :mod:`repro.obs.quality` — streaming quality observability on top:
+  distribution sketches with Hellinger/PSI drift scoring against a
+  frozen training reference, multi-window burn-rate SLO alerting, and
+  the per-request flight recorder (``quality.*`` spans).
 
-Span names follow the documented taxonomy (DESIGN.md §8, §11):
+Span names follow the documented taxonomy (DESIGN.md §8, §11, §13):
 ``batch.* / browse.* / analyze / extract.f{1..5} / classify /
-target.* / cache.* / train.* / serve.*`` (including the triage
-ladder's ``serve.triage`` and the per-shard ``cache.shard`` snapshot
-spans), statically checked by the PHL404 lint rule — dotted names
+target.* / cache.* / train.* / serve.* / quality.*`` (including the
+triage ladder's ``serve.triage``, the per-shard ``cache.shard``
+snapshot spans and the quality monitor's ``quality.evaluate`` /
+``quality.drift`` / ``quality.dump``), statically checked by the
+PHL404 lint rule — dotted names
 must additionally root in :data:`~repro.obs.trace.SPAN_NAME_ROOTS`.  Tracing and metrics never perturb verdicts: the golden feature
 matrix and the parallel==serial equivalence guarantees hold with
 tracing enabled.
@@ -45,7 +54,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetrics,
 )
-from repro.obs.report import RunReport
+from repro.obs.quantiles import histogram_quantile, nearest_rank
+from repro.obs.report import RunReport, render_quality
 from repro.obs.trace import (
     NULL_TRACER,
     SPAN_NAME_PATTERN,
@@ -67,10 +77,13 @@ __all__ = [
     "SPAN_NAME_ROOTS",
     "Span",
     "Tracer",
+    "histogram_quantile",
     "metrics_to_jsonl",
     "metrics_to_prometheus",
+    "nearest_rank",
     "parse_prometheus",
     "read_spans_jsonl",
+    "render_quality",
     "spans_to_jsonl",
     "write_metrics_jsonl",
     "write_metrics_prometheus",

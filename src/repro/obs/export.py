@@ -84,7 +84,8 @@ def read_spans_jsonl(source: str | Path) -> list[dict[str, Any]]:
     """
     if isinstance(source, Path):
         text = source.read_text(encoding="utf-8")
-    elif "\n" in source or source.lstrip().startswith("{"):
+    elif not source.strip() or "\n" in source or source.lstrip().startswith("{"):
+        # Empty output round-trips as literal text, not a file path.
         text = source
     else:
         text = Path(source).read_text(encoding="utf-8")
@@ -237,7 +238,8 @@ def parse_prometheus(source: str | Path) -> dict[str, Any]:
     """
     if isinstance(source, Path):
         text = source.read_text(encoding="utf-8")
-    elif "\n" in source or source.lstrip().startswith("#"):
+    elif not source.strip() or "\n" in source or source.lstrip().startswith("#"):
+        # Empty output round-trips as literal text, not a file path.
         text = source
     else:
         text = Path(source).read_text(encoding="utf-8")

@@ -1,0 +1,61 @@
+"""Streaming quality observability: drift, SLO burn rates, flight data.
+
+Where :mod:`repro.obs` records what a run *did* (spans, counters,
+histograms), this package judges whether the model and the serving
+ladder are still *healthy* — and does it streamingly, deterministically
+and from artifacts alone:
+
+* :mod:`~repro.obs.quality.sketch` — mergeable fixed-depth
+  :class:`QuantileSketch` (integer state, so merges are exactly
+  commutative and associative) and sliding-window histograms, plus the
+  Hellinger/PSI divergences that score them;
+* :mod:`~repro.obs.quality.reference` — the frozen training-time
+  :class:`ReferenceProfile` drift is measured against;
+* :mod:`~repro.obs.quality.drift` — :class:`DriftMonitor`, per-signal
+  sliding windows vs the reference;
+* :mod:`~repro.obs.quality.slo` — declarative :class:`SloObjective`
+  set evaluated over multi-window burn rates by :class:`SloEngine`;
+* :mod:`~repro.obs.quality.recorder` — the :class:`FlightRecorder`
+  ring of per-request events, snapshotted into every firing alert;
+* :mod:`~repro.obs.quality.monitor` — :class:`QualityMonitor`, the
+  facade the serving engine, the batch pipeline and the drift runner
+  wire in.
+
+The ``repro obs quality`` CLI renders the written ``quality.json`` /
+flight-recorder artifacts; DESIGN.md §13 documents the formats.
+"""
+
+from repro.obs.quality.drift import DriftMonitor, DriftStatus, DriftThresholds
+from repro.obs.quality.monitor import QualityMonitor
+from repro.obs.quality.recorder import FlightRecorder
+from repro.obs.quality.reference import SCORE_SIGNAL, ReferenceProfile
+from repro.obs.quality.sketch import (
+    QuantileSketch,
+    SlidingWindowSketch,
+    hellinger_divergence,
+    population_stability_index,
+)
+from repro.obs.quality.slo import (
+    DEFAULT_WINDOWS,
+    BurnRateWindow,
+    SloEngine,
+    SloObjective,
+)
+
+__all__ = [
+    "BurnRateWindow",
+    "DEFAULT_WINDOWS",
+    "DriftMonitor",
+    "DriftStatus",
+    "DriftThresholds",
+    "FlightRecorder",
+    "QualityMonitor",
+    "QuantileSketch",
+    "ReferenceProfile",
+    "SCORE_SIGNAL",
+    "SloEngine",
+    "SloObjective",
+    "SlidingWindowSketch",
+    "hellinger_divergence",
+    "population_stability_index",
+]

@@ -1,0 +1,166 @@
+"""Streaming drift monitoring against a frozen reference profile.
+
+A :class:`DriftMonitor` keeps one :class:`~repro.obs.quality.sketch.SlidingWindowSketch`
+per signal — the classifier-score stream plus each feature group's
+per-page mean — aligned bin for bin with the
+:class:`~repro.obs.quality.reference.ReferenceProfile` it was built
+from, and scores each window against its reference with both Hellinger
+distance and PSI.  A signal is *drifted* when its window holds at
+least ``min_count`` observations and either divergence crosses its
+threshold; requiring a minimum count keeps a half-filled window from
+alarming on small-sample noise.
+
+Everything is count-driven (no wall clock): feeding the same
+observations in the same order always yields the same statuses, which
+is what lets the drift scenario assert alert logs byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.obs.quality.reference import SCORE_SIGNAL, ReferenceProfile
+from repro.obs.quality.sketch import (
+    SlidingWindowSketch,
+    hellinger_divergence,
+    population_stability_index,
+)
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """When a window counts as drifted from its reference.
+
+    Defaults are calibrated for the default window shape (~80
+    observations over 32 bins): a healthy window resampled from the
+    reference distribution shows Hellinger up to ~0.35 and PSI up to
+    ~1.2 from binomial bin noise alone, while genuinely drifted score
+    streams exceed 0.5 / 2.5 — so 0.45 / 2.0 separates signal from
+    sampling noise with margin on both sides.  ``min_count`` close to
+    the full window keeps partially filled (noisier) windows from
+    being judged at all.
+    """
+
+    hellinger: float = 0.45
+    psi: float = 2.0
+    min_count: int = 64
+
+
+@dataclass(frozen=True)
+class DriftStatus:
+    """One signal's current divergence from its reference."""
+
+    signal: str
+    count: int
+    hellinger: float
+    psi: float
+    drifted: bool
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe row for artifacts and reports."""
+        return {
+            "signal": self.signal,
+            "count": self.count,
+            "hellinger": self.hellinger,
+            "psi": self.psi,
+            "drifted": self.drifted,
+        }
+
+
+class DriftMonitor:
+    """Sliding-window divergence of live signals vs the reference."""
+
+    def __init__(
+        self,
+        reference: ReferenceProfile,
+        thresholds: DriftThresholds | None = None,
+        chunk_size: int = 20,
+        chunks: int = 4,
+    ) -> None:
+        self.reference = reference
+        self.thresholds = thresholds or DriftThresholds()
+        self._windows: dict[str, SlidingWindowSketch] = {}
+        # Divergences are pure functions of the window contents, so a
+        # status computed at revision N stays valid until the window
+        # sees another observation.  Signals that never advance (a
+        # feature group the caller does not feed) cost one computation
+        # total instead of one per evaluation tick.
+        self._status_cache: dict[str, tuple[int, DriftStatus]] = {}
+        for signal in reference.signals:
+            frozen = reference.sketch_for(signal)
+            self._windows[signal] = SlidingWindowSketch(
+                frozen.lo,
+                frozen.hi,
+                depth=frozen.depth,
+                chunk_size=chunk_size,
+                chunks=chunks,
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def signals(self) -> list[str]:
+        """Signal names in canonical (reference) order."""
+        return list(self._windows)
+
+    def observe_score(self, score: float) -> None:
+        """Feed one classifier score into the score window."""
+        self._windows[SCORE_SIGNAL].observe(float(score))
+
+    def observe_groups(self, groups: Mapping[str, float]) -> None:
+        """Feed one page's per-group feature means.
+
+        Unknown group names are ignored (the reference defines the
+        signal set); missing ones simply do not advance their window.
+        """
+        for name, value in groups.items():
+            window = self._windows.get(name)
+            if window is not None and name != SCORE_SIGNAL:
+                window.observe(float(value))
+
+    # ------------------------------------------------------------------
+    def status(self, signal: str) -> DriftStatus:
+        """Current divergence of one signal."""
+        sliding = self._windows[signal]
+        revision = sliding.revision
+        cached = self._status_cache.get(signal)
+        if cached is not None and cached[0] == revision:
+            return cached[1]
+        window = sliding.window()
+        frozen = self.reference.sketch_for(signal)
+        hellinger = hellinger_divergence(frozen.counts, window.counts)
+        psi = population_stability_index(frozen.counts, window.counts)
+        drifted = window.count >= self.thresholds.min_count and (
+            hellinger >= self.thresholds.hellinger
+            or psi >= self.thresholds.psi
+        )
+        result = DriftStatus(
+            signal=signal,
+            count=window.count,
+            hellinger=hellinger,
+            psi=psi,
+            drifted=drifted,
+        )
+        self._status_cache[signal] = (revision, result)
+        return result
+
+    def statuses(self) -> list[DriftStatus]:
+        """Every signal's status, in canonical order."""
+        return [self.status(signal) for signal in self._windows]
+
+    def drifted_signals(self) -> list[str]:
+        """Names of the currently drifted signals, in canonical order."""
+        return [s.signal for s in self.statuses() if s.drifted]
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot: thresholds + per-signal statuses."""
+        return {
+            "thresholds": {
+                "hellinger": self.thresholds.hellinger,
+                "psi": self.thresholds.psi,
+                "min_count": self.thresholds.min_count,
+            },
+            "reference_pages": self.reference.n_pages,
+            "signals": [status.as_dict() for status in self.statuses()],
+        }

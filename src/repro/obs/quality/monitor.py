@@ -1,0 +1,436 @@
+"""The streaming quality monitor: drift + SLOs + flight recorder.
+
+:class:`QualityMonitor` is the single object callers wire in — the
+serving engine, ``KnowYourPhish.analyze_many``/``analyze_batch`` and
+the drift runner all tap into one instance through four read-only
+observation hooks:
+
+* :meth:`observe_response` — one terminal serving response (feeds
+  latency/degraded SLOs, the score drift window, the flight recorder);
+* :meth:`observe_verdict` — one analysis verdict with optional
+  feature-group means (feeds score + feature drift and the recorder);
+* :meth:`observe_cache` — one cache lookup (feeds cache-hit SLOs);
+* :meth:`observe_escalation` — one tier-0 escalation outcome (feeds
+  the escalation-mismatch SLO).
+
+The taps never mutate what they observe and the monitor carries its
+*own* tracer/metrics (``quality.*`` spans, ``quality_*`` series),
+defaulting to the null instruments — so a monitored run's verdicts and
+span dumps stay byte-identical to an unmonitored run's.  Time comes
+from the instants callers pass (or the injected clock), never from the
+wall; with a :class:`~repro.resilience.clock.ManualClock` the entire
+alert log replays deterministically.
+
+Evaluation cadence is deterministic too: SLO burn rates are
+re-evaluated at fixed simulated-time intervals, drift after every
+completed window chunk, and :meth:`finish` forces a final pass of both
+on drain.  Every firing alert snapshots the flight recorder, so the
+written artifact diagnoses itself.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.metrics import NULL_METRICS, AnyMetrics
+from repro.obs.quality.drift import DriftMonitor, DriftThresholds
+from repro.obs.quality.recorder import FlightRecorder
+from repro.obs.quality.reference import ReferenceProfile
+from repro.obs.quality.slo import (
+    DEFAULT_WINDOWS,
+    BurnRateWindow,
+    SloEngine,
+    SloObjective,
+)
+from repro.obs.trace import NULL_TRACER, AnyTracer
+from repro.resilience.clock import Clock, ManualClock
+
+#: Outcome literal mirrored from :mod:`repro.serve.request`; spelled
+#: here because the serving layer imports this package, not vice versa.
+_DEGRADED = "degraded"
+
+#: How many alert-triggered recorder snapshots the artifact keeps.
+MAX_ALERT_DUMPS = 8
+
+
+class QualityMonitor:
+    """One streaming quality-observability instance.
+
+    Parameters
+    ----------
+    reference:
+        Frozen :class:`~repro.obs.quality.reference.ReferenceProfile`;
+        arms drift monitoring when given.
+    objectives / windows:
+        Declarative :class:`~repro.obs.quality.slo.SloObjective` set and
+        burn-rate window pairs; arms the SLO engine when non-empty.
+    clock:
+        Fallback time source for taps called without an explicit
+        ``now`` (defaults to a fresh :class:`ManualClock` at 0.0 —
+        deterministic, and callers in simulated time pass instants
+        explicitly anyway).
+    drift_thresholds / drift_chunk_size / drift_chunks:
+        Drift window shape; the window holds about
+        ``chunk_size * chunks`` recent observations per signal.
+    recorder_capacity:
+        Flight-recorder ring size.
+    eval_interval:
+        Simulated seconds between SLO evaluations (default: the
+        engine's bucket resolution).
+    tracer / metrics:
+        The monitor's *own* instruments (``quality.evaluate`` /
+        ``quality.drift`` / ``quality.dump`` spans; ``quality_*``
+        counters and gauges).  Null by default so monitoring never
+        perturbs the observed run's telemetry.
+    """
+
+    def __init__(
+        self,
+        reference: ReferenceProfile | None = None,
+        objectives: tuple[SloObjective, ...] | list[SloObjective] = (),
+        windows: tuple[BurnRateWindow, ...] = DEFAULT_WINDOWS,
+        clock: Clock | None = None,
+        drift_thresholds: DriftThresholds | None = None,
+        drift_chunk_size: int = 20,
+        drift_chunks: int = 4,
+        recorder_capacity: int = 256,
+        eval_interval: float | None = None,
+        tracer: AnyTracer = NULL_TRACER,
+        metrics: AnyMetrics = NULL_METRICS,
+    ) -> None:
+        self.clock = clock if clock is not None else ManualClock()
+        self.tracer = tracer
+        self.metrics = metrics
+        self.slo: SloEngine | None = (
+            SloEngine(objectives, windows=windows) if objectives else None
+        )
+        self.drift: DriftMonitor | None = (
+            DriftMonitor(
+                reference,
+                thresholds=drift_thresholds,
+                chunk_size=drift_chunk_size,
+                chunks=drift_chunks,
+            )
+            if reference is not None
+            else None
+        )
+        self.recorder = FlightRecorder(recorder_capacity)
+        self.alerts: list[dict[str, Any]] = []
+        self.alert_dumps: list[dict[str, Any]] = []
+        self._counts: dict[str, int] = {}
+        self._eval_interval = (
+            eval_interval
+            if eval_interval is not None
+            else (
+                # One short window per evaluation: any sustained burn
+                # still surfaces within the window that defines it,
+                # and the tap hot path stays cheap under load.
+                min(w.short_s for w in self.slo.windows)
+                if self.slo is not None
+                else 1.0
+            )
+        )
+        self._last_eval: float | None = None
+        self._drift_pending = 0
+        self._drift_every = drift_chunk_size
+        self._drift_active: dict[str, bool] = {}
+        self._last_now = 0.0
+        # Objectives pre-split by kind so the per-event taps dispatch
+        # without re-inspecting every objective on the hot path.
+        self._slo_latency: list[SloObjective] = []
+        self._slo_degraded: list[str] = []
+        self._slo_mismatch: list[str] = []
+        self._slo_cache: list[SloObjective] = []
+        if self.slo is not None:
+            for objective in self.slo.objectives:
+                if objective.kind == "latency":
+                    self._slo_latency.append(objective)
+                elif objective.kind == "degraded_rate":
+                    self._slo_degraded.append(objective.name)
+                elif objective.kind == "escalation_mismatch":
+                    self._slo_mismatch.append(objective.name)
+                else:
+                    self._slo_cache.append(objective)
+        # Event counters only reach the metrics registry when one is
+        # armed; a null registry costs nothing on the hot path.
+        self._metrics_on = bool(getattr(self.metrics, "enabled", True))
+
+    # -- observation taps ----------------------------------------------
+    def observe_response(
+        self,
+        response: Any,
+        budget: float | None = None,
+        now: float | None = None,
+    ) -> None:
+        """Tap one terminal serving response (read-only).
+
+        ``budget`` is the request's end-to-end deadline budget, used
+        only to derive the recorded deadline slack.
+        """
+        now = self._resolve(now)
+        self._count("serve")
+        completed = bool(getattr(response, "completed", False))
+        latency = float(response.latency)
+        fields: dict[str, Any] = {
+            "id": response.request_id,
+            "url": response.url,
+            "tier": response.tier,
+            "outcome": response.outcome,
+            "latency": latency,
+        }
+        if response.verdict is not None:
+            fields["verdict"] = response.verdict
+        if response.confidence is not None:
+            fields["score"] = response.confidence
+        if budget is not None:
+            fields["slack"] = budget - latency
+        if response.shed_reason is not None:
+            fields["shed_reason"] = response.shed_reason
+        if response.coalesced:
+            fields["coalesced"] = response.coalesced
+        if response.queue_wait:
+            fields["queue_wait"] = response.queue_wait
+        self.recorder.push("serve", now, fields)
+        if self.slo is not None and completed:
+            for objective in self._slo_latency:
+                if objective.tier in (None, response.tier):
+                    self.slo.record(
+                        objective.name,
+                        latency > float(objective.threshold or 0.0),
+                        now,
+                    )
+            degraded = response.outcome == _DEGRADED
+            for name in self._slo_degraded:
+                self.slo.record(name, degraded, now)
+        if (
+            self.drift is not None
+            and completed
+            and response.confidence is not None
+        ):
+            self.drift.observe_score(response.confidence)
+            self._drift_pending += 1
+        self._after(now)
+
+    def observe_verdict(
+        self,
+        score: float,
+        verdict: str | None = None,
+        groups: Mapping[str, float] | None = None,
+        degraded: bool = False,
+        url: str | None = None,
+        top_features: list[tuple[str, float]] | None = None,
+        now: float | None = None,
+    ) -> None:
+        """Tap one analysis verdict (read-only).
+
+        ``groups`` maps feature-group names to this page's per-group
+        mean; ``top_features`` is an optional ranked list of
+        ``(feature_name, value)`` contributions for the recorder.
+        """
+        now = self._resolve(now)
+        self._count("verdict")
+        self.recorder.record(
+            "verdict",
+            now,
+            url=url,
+            verdict=verdict,
+            score=float(score),
+            degraded=degraded or None,
+            top_features=(
+                [[name, value] for name, value in top_features]
+                if top_features
+                else None
+            ),
+        )
+        if self.slo is not None:
+            for name in self._slo_degraded:
+                self.slo.record(name, degraded, now)
+        if self.drift is not None:
+            self.drift.observe_score(score)
+            if groups:
+                self.drift.observe_groups(groups)
+            self._drift_pending += 1
+        self._after(now)
+
+    def observe_cache(
+        self, store: str, hit: bool, now: float | None = None
+    ) -> None:
+        """Tap one cache lookup for ``cache_hit`` floor objectives."""
+        now = self._resolve(now)
+        self._count("cache")
+        if self.slo is not None:
+            for objective in self._slo_cache:
+                if objective.store in (None, store):
+                    self.slo.record(objective.name, not hit, now)
+        self._after(now)
+
+    def observe_escalation(
+        self, mismatch: bool, now: float | None = None
+    ) -> None:
+        """Tap one tier-0 escalation outcome (mismatch = the full
+        pipeline's blocking decision disagreed with the triage lean)."""
+        now = self._resolve(now)
+        self._count("escalation")
+        if mismatch:
+            self._count("escalation_mismatch")
+        if self.slo is not None:
+            for name in self._slo_mismatch:
+                self.slo.record(name, mismatch, now)
+        self._after(now)
+
+    # -- evaluation ----------------------------------------------------
+    def _resolve(self, now: float | None) -> float:
+        now = self.clock.now() if now is None else float(now)
+        self._last_now = max(self._last_now, now)
+        return now
+
+    def _count(self, stream: str) -> None:
+        self._counts[stream] = self._counts.get(stream, 0) + 1
+        if self._metrics_on:
+            self.metrics.inc("quality_events_total", stream=stream)
+
+    def _after(self, now: float) -> None:
+        if self.slo is not None and (
+            self._last_eval is None
+            or now - self._last_eval >= self._eval_interval
+        ):
+            self._evaluate_slo(now)
+        if (
+            self.drift is not None
+            and self._drift_pending >= self._drift_every
+        ):
+            self._evaluate_drift(now)
+
+    def _evaluate_slo(self, now: float) -> None:
+        assert self.slo is not None
+        self._last_eval = now
+        with self.tracer.span("quality.evaluate", time=now) as span:
+            transitions = self.slo.evaluate(now)
+            span.set(transitions=len(transitions))
+            if self.metrics.enabled:
+                for objective in self.slo.objectives:
+                    for window in self.slo.windows:
+                        self.metrics.set_gauge(
+                            "quality_burn_rate",
+                            self.slo.burn_rate(
+                                objective, window.long_s, now
+                            ),
+                            objective=objective.name,
+                            window=window.name,
+                        )
+        for transition in transitions:
+            self._alert(transition, now)
+
+    def _evaluate_drift(self, now: float) -> None:
+        assert self.drift is not None
+        self._drift_pending = 0
+        with self.tracer.span("quality.drift", time=now) as span:
+            statuses = self.drift.statuses()
+            span.set(
+                signals=len(statuses),
+                drifted=sum(1 for s in statuses if s.drifted),
+            )
+        for status in statuses:
+            if self.metrics.enabled:
+                self.metrics.set_gauge(
+                    "quality_drift_hellinger",
+                    status.hellinger,
+                    signal=status.signal,
+                )
+                self.metrics.set_gauge(
+                    "quality_drift_psi", status.psi, signal=status.signal
+                )
+            active = self._drift_active.get(status.signal, False)
+            if status.drifted == active:
+                continue
+            self._drift_active[status.signal] = status.drifted
+            self._alert(
+                {
+                    "kind": "drift",
+                    "time": now,
+                    "signal": status.signal,
+                    "state": "firing" if status.drifted else "resolved",
+                    "hellinger": status.hellinger,
+                    "psi": status.psi,
+                    "count": status.count,
+                },
+                now,
+            )
+
+    def _alert(self, entry: dict[str, Any], now: float) -> None:
+        self.alerts.append(entry)
+        self.metrics.inc(
+            "quality_alerts_total", kind=entry["kind"], state=entry["state"]
+        )
+        if entry["state"] == "firing":
+            with self.tracer.span(
+                "quality.dump", kind=entry["kind"], events=len(self.recorder)
+            ):
+                self.alert_dumps.append(
+                    {
+                        "time": now,
+                        "alert": dict(entry),
+                        "events": self.recorder.snapshot(),
+                    }
+                )
+                del self.alert_dumps[:-MAX_ALERT_DUMPS]
+
+    def finish(self, now: float | None = None) -> dict[str, Any]:
+        """Force a final SLO + drift evaluation; return the artifact.
+
+        Called on serving drain / end of an analysis run so alerts
+        pending inside an evaluation interval (or a partial drift
+        chunk) still surface before the artifact is written.
+        """
+        now = self._resolve(now)
+        if self.slo is not None:
+            self._evaluate_slo(now)
+        if self.drift is not None:
+            self._evaluate_drift(now)
+        return self.artifact()
+
+    # -- artifacts -----------------------------------------------------
+    @property
+    def firing_alerts(self) -> list[dict[str, Any]]:
+        """Alert-log entries with ``state == "firing"``."""
+        return [a for a in self.alerts if a["state"] == "firing"]
+
+    def artifact(self) -> dict[str, Any]:
+        """The complete JSON-safe quality artifact (``quality.json``)."""
+        return {
+            "counts": dict(sorted(self._counts.items())),
+            "alerts": list(self.alerts),
+            "slo": (
+                self.slo.state(self._last_now)
+                if self.slo is not None
+                else None
+            ),
+            "drift": (
+                self.drift.as_dict() if self.drift is not None else None
+            ),
+            "recorder": self.recorder.as_dict(),
+            "alert_dumps": list(self.alert_dumps),
+        }
+
+    def write_artifact(self, path: str | Path) -> Path:
+        """Write the artifact as deterministic JSON; return the path."""
+        out = Path(path)
+        out.write_text(
+            json.dumps(self.artifact(), sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        return out
+
+    def write_flight(self, path: str | Path) -> Path:
+        """Write the flight-recorder ring as JSONL; return the path."""
+        out = Path(path)
+        lines = [
+            json.dumps(event, sort_keys=True, separators=(",", ":"))
+            for event in self.recorder.snapshot()
+        ]
+        out.write_text(
+            "\n".join(lines) + ("\n" if lines else ""), encoding="utf-8"
+        )
+        return out

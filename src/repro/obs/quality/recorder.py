@@ -1,0 +1,77 @@
+"""The serving flight recorder: a bounded ring of structured events.
+
+When a quality alert fires, the question is always "what was the
+system actually doing just before?"  The :class:`FlightRecorder`
+answers it from artifacts alone: every monitored request appends one
+structured event (tier, cache path, deadline slack, score, top feature
+contributions — whatever the tap knows), the ring keeps the newest
+``capacity`` of them, and the quality monitor snapshots the ring into
+the alert log whenever an alert fires and again on drain.
+
+Events carry a monotonically increasing ``seq`` so a dump's position
+in the stream is explicit even after older events have been evicted;
+``dropped`` counts the evictions.  No wall clock is read here — the
+``time`` field is whatever instant the caller passes in.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+
+class FlightRecorder:
+    """Newest-``capacity`` structured events, with eviction accounting."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._events: deque[dict[str, Any]] = deque(maxlen=self.capacity)
+        self._seq = 0
+        self.dropped = 0
+
+    def record(self, kind: str, time: float, **fields: Any) -> dict[str, Any]:
+        """Append one event; ``None``-valued fields are elided.
+
+        Field order follows the call site's keyword order (stable per
+        tap); serialized dumps canonicalize with ``sort_keys`` anyway.
+        """
+        filtered = {
+            key: value for key, value in fields.items() if value is not None
+        }
+        return self.push(kind, time, filtered)
+
+    def push(self, kind: str, time: float, fields: dict[str, Any]) -> dict[str, Any]:
+        """Fast-path append: ``fields`` must already elide ``None``s.
+
+        Hot taps build the field dict once and hand it over; the
+        recorder takes ownership of it.
+        """
+        event: dict[str, Any] = {
+            "seq": self._seq,
+            "kind": kind,
+            "time": time,
+        }
+        event.update(fields)
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+        self._seq += 1
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """The current ring contents, oldest first (shallow copies)."""
+        return [dict(event) for event in self._events]
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe dump: ring contents plus eviction accounting."""
+        return {
+            "capacity": self.capacity,
+            "recorded": self._seq,
+            "dropped": self.dropped,
+            "events": self.snapshot(),
+        }

@@ -1,0 +1,129 @@
+"""Frozen training-time reference profiles for drift comparison.
+
+A :class:`ReferenceProfile` captures what "healthy" looked like when
+the model was trained: the distribution of classifier scores over the
+training corpus and the distribution of each feature group's per-page
+mean.  The drift monitor compares live sliding windows against these
+frozen sketches bin for bin, so the profile pins the bin layout
+(domain + depth) that every live window must share.
+
+Profiles round-trip through JSON (:meth:`ReferenceProfile.write` /
+:meth:`ReferenceProfile.read`) so a serving deployment can load the
+profile its champion model shipped with, without the training data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.obs.quality.sketch import QuantileSketch
+
+#: The drift monitor's score stream name; feature groups use their own
+#: names (``f1`` .. ``f5``).
+SCORE_SIGNAL = "score"
+
+
+class ReferenceProfile:
+    """Training-time score + feature-group distributions, frozen."""
+
+    def __init__(
+        self,
+        score: QuantileSketch,
+        groups: dict[str, QuantileSketch],
+        n_pages: int = 0,
+    ) -> None:
+        self.score = score
+        self.groups = dict(groups)
+        self.n_pages = int(n_pages)
+
+    # ------------------------------------------------------------------
+    @property
+    def signals(self) -> list[str]:
+        """Signal names in canonical order: score first, then groups."""
+        return [SCORE_SIGNAL, *self.groups]
+
+    def sketch_for(self, signal: str) -> QuantileSketch:
+        """The frozen sketch backing one signal name."""
+        if signal == SCORE_SIGNAL:
+            return self.score
+        return self.groups[signal]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_training(
+        cls,
+        scores: Iterable[float],
+        group_values: Mapping[str, Iterable[float]],
+        depth: int = 32,
+        margin: float = 0.25,
+    ) -> "ReferenceProfile":
+        """Freeze a profile from training-time scores and group means.
+
+        ``scores`` are classifier probabilities (domain pinned to
+        ``[0, 1]``).  Each entry of ``group_values`` is the per-page
+        mean of one feature group over the training matrix; its sketch
+        domain is the observed range widened by ``margin`` on each side
+        (a degenerate constant column gets a symmetric ±0.5 pad), so
+        live values that wander moderately outside the training range
+        still land in real bins instead of all clamping into one.
+        """
+        score_sketch = QuantileSketch(0.0, 1.0, depth)
+        count = 0
+        for value in scores:
+            score_sketch.observe(float(value))
+            count += 1
+        groups: dict[str, QuantileSketch] = {}
+        for name, values in group_values.items():
+            samples = [float(v) for v in values]
+            if samples:
+                lo, hi = min(samples), max(samples)
+            else:
+                lo, hi = 0.0, 1.0
+            pad = margin * (hi - lo) if hi > lo else 0.5
+            sketch = QuantileSketch(lo - pad, hi + pad, depth)
+            sketch.observe_many(samples)
+            groups[name] = sketch
+        return cls(score_sketch, groups, n_pages=count)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot; :meth:`from_dict` inverts it exactly."""
+        sketch = self.score
+        return {
+            "n_pages": self.n_pages,
+            "score": sketch.as_dict(),
+            "groups": {
+                name: sketch.as_dict()
+                for name, sketch in self.groups.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ReferenceProfile":
+        """Rebuild a profile from an :meth:`as_dict` snapshot."""
+        return cls(
+            QuantileSketch.from_dict(payload["score"]),
+            {
+                name: QuantileSketch.from_dict(entry)
+                for name, entry in payload["groups"].items()
+            },
+            n_pages=payload.get("n_pages", 0),
+        )
+
+    def write(self, path: str | Path) -> Path:
+        """Serialize to deterministic JSON and return the path."""
+        out = Path(path)
+        out.write_text(
+            json.dumps(self.as_dict(), sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        return out
+
+    @classmethod
+    def read(cls, path: str | Path) -> "ReferenceProfile":
+        """Load a profile written by :meth:`write`."""
+        return cls.from_dict(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )

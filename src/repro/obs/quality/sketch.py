@@ -1,0 +1,324 @@
+"""Mergeable distribution sketches and divergence measures.
+
+The drift monitor needs to compare *distributions* — of classifier
+scores and of per-feature-group means — between training time and live
+traffic, cheaply and reproducibly.  A :class:`QuantileSketch` is the
+unit of account: a fixed-depth histogram over a bounded domain whose
+state is **integers only** (per-bin counts, total, plus exact min/max),
+so :meth:`QuantileSketch.merge` is exactly commutative *and*
+associative — there is no floating-point running sum to accumulate
+ulp drift in a different order per backend.  Two sketches fed the same
+observations in any order, or merged from any partition of them, are
+``==`` and serialize byte-identically.
+
+:class:`SlidingWindowSketch` layers recency on top: a ring of
+chunk-sized sub-sketches whose merged view approximates "the last N
+observations", evicting whole chunks deterministically.
+
+The divergence functions mirror the conventions of the paper's f2
+Hellinger machinery (:func:`repro.text.distributions.hellinger_distance`):
+two empty distributions are identical (0.0), an empty versus a
+non-empty one is maximally distant (1.0), and the result is clamped to
+``[0, 1]``.  :func:`population_stability_index` is the industry-standard
+PSI companion, floored so empty bins never divide by zero.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Iterable, Sequence
+
+from repro.obs.quantiles import histogram_quantile
+
+
+class QuantileSketch:
+    """Deterministic fixed-depth quantile sketch over ``[lo, hi]``.
+
+    Values below ``lo`` clamp into the first bin, values above ``hi``
+    into the last; the true observed min/max are tracked exactly so
+    clamping never loses the envelope.  All mutable state is integral
+    (bin counts) or order-independent (min/max), which is what makes
+    :meth:`merge` commutative and associative to the byte.
+    """
+
+    __slots__ = (
+        "lo", "hi", "depth", "counts", "count", "vmin", "vmax", "_scale"
+    )
+
+    def __init__(self, lo: float, hi: float, depth: int = 32) -> None:
+        if not hi > lo:
+            raise ValueError(f"domain must satisfy hi > lo, got [{lo}, {hi}]")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.depth = int(depth)
+        self.counts: list[int] = [0] * self.depth
+        self.count = 0
+        self.vmin: float | None = None
+        self.vmax: float | None = None
+        self._scale = self.depth / (self.hi - self.lo)
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Record one observation (clamped into the domain's bins)."""
+        value = float(value)
+        index = int((value - self.lo) * self._scale)
+        if index < 0:
+            index = 0
+        elif index >= self.depth:
+            index = self.depth - 1
+        self.counts[index] += 1
+        self.count += 1
+        vmin = self.vmin
+        if vmin is None or value < vmin:
+            self.vmin = value
+        vmax = self.vmax
+        if vmax is None or value > vmax:
+            self.vmax = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations in order."""
+        for value in values:
+            self.observe(value)
+
+    # ------------------------------------------------------------------
+    def compatible(self, other: "QuantileSketch") -> bool:
+        """True when the two sketches share a domain and depth."""
+        return (
+            self.lo == other.lo
+            and self.hi == other.hi
+            and self.depth == other.depth
+        )
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """A new sketch holding both operands' observations.
+
+        Pure (neither operand is mutated), commutative and associative:
+        integer bin counts add, min/max combine.  Raises on mismatched
+        domains — merging incomparable histograms would silently
+        misbin.
+        """
+        if not self.compatible(other):
+            raise ValueError(
+                f"cannot merge sketches over [{self.lo}, {self.hi}]x"
+                f"{self.depth} and [{other.lo}, {other.hi}]x{other.depth}"
+            )
+        merged = QuantileSketch(self.lo, self.hi, self.depth)
+        merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        merged.count = self.count + other.count
+        candidates_min = [v for v in (self.vmin, other.vmin) if v is not None]
+        candidates_max = [v for v in (self.vmax, other.vmax) if v is not None]
+        merged.vmin = min(candidates_min) if candidates_min else None
+        merged.vmax = max(candidates_max) if candidates_max else None
+        return merged
+
+    # ------------------------------------------------------------------
+    def bin_edges(self) -> list[float]:
+        """The ``depth`` upper bin edges (the last one is ``hi``)."""
+        width = (self.hi - self.lo) / self.depth
+        edges = [self.lo + width * (i + 1) for i in range(self.depth - 1)]
+        edges.append(self.hi)
+        return edges
+
+    def quantile(self, quantile: float) -> float:
+        """Interpolated quantile, clamped to the observed envelope."""
+        if self.count == 0:
+            return 0.0
+        value = histogram_quantile(
+            self.bin_edges(), self.counts, quantile, lo=self.lo
+        )
+        if self.vmin is not None:
+            value = max(value, self.vmin)
+        if self.vmax is not None:
+            value = min(value, self.vmax)
+        return value
+
+    def normalized(self) -> list[float]:
+        """Bin masses as fractions (all zeros when empty)."""
+        if self.count == 0:
+            return [0.0] * self.depth
+        return [c / self.count for c in self.counts]
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return (
+            self.compatible(other)
+            and self.counts == other.counts
+            and self.count == other.count
+            and self.vmin == other.vmin
+            and self.vmax == other.vmax
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(lo={self.lo}, hi={self.hi}, "
+            f"depth={self.depth}, count={self.count})"
+        )
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot; :meth:`from_dict` inverts it exactly."""
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "depth": self.depth,
+            "counts": list(self.counts),
+            "count": self.count,
+            "min": self.vmin,
+            "max": self.vmax,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "QuantileSketch":
+        """Rebuild a sketch from an :meth:`as_dict` snapshot."""
+        sketch = cls(payload["lo"], payload["hi"], payload["depth"])
+        counts = [int(c) for c in payload["counts"]]
+        if len(counts) != sketch.depth:
+            raise ValueError(
+                f"snapshot carries {len(counts)} bins for depth "
+                f"{sketch.depth}"
+            )
+        sketch.counts = counts
+        sketch.count = int(payload["count"])
+        sketch.vmin = payload.get("min")
+        sketch.vmax = payload.get("max")
+        return sketch
+
+
+class SlidingWindowSketch:
+    """The last ~``chunk_size * chunks`` observations as a sketch ring.
+
+    Observations fill chunk-sized :class:`QuantileSketch` segments; the
+    ring keeps the newest ``chunks`` segments and evicts whole old ones,
+    so the window slides in deterministic chunk steps (no per-element
+    timestamps, no wall clock).  :meth:`window` folds the ring with
+    :meth:`QuantileSketch.merge`, which is order-independent.
+    """
+
+    def __init__(
+        self,
+        lo: float,
+        hi: float,
+        depth: int = 32,
+        chunk_size: int = 64,
+        chunks: int = 4,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if chunks < 1:
+            raise ValueError(f"chunks must be >= 1, got {chunks}")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.depth = int(depth)
+        self.chunk_size = int(chunk_size)
+        self.chunks = int(chunks)
+        self._ring: deque[QuantileSketch] = deque(
+            [QuantileSketch(self.lo, self.hi, self.depth)], maxlen=chunks
+        )
+        self._revision = 0
+
+    @property
+    def revision(self) -> int:
+        """Bumped on every observation; lets readers cache derived views."""
+        return self._revision
+
+    @property
+    def capacity(self) -> int:
+        """Maximum observations the window can represent."""
+        return self.chunk_size * self.chunks
+
+    @property
+    def count(self) -> int:
+        """Observations currently inside the window."""
+        return sum(chunk.count for chunk in self._ring)
+
+    def observe(self, value: float) -> None:
+        """Record one observation, rolling to a new chunk when full."""
+        current = self._ring[-1]
+        if current.count >= self.chunk_size:
+            current = QuantileSketch(self.lo, self.hi, self.depth)
+            self._ring.append(current)  # deque evicts the oldest chunk
+        current.observe(value)
+        self._revision += 1
+
+    def window(self) -> QuantileSketch:
+        """The merged view of every chunk still in the window."""
+        sketch = QuantileSketch(self.lo, self.hi, self.depth)
+        for chunk in self._ring:
+            sketch = sketch.merge(chunk)
+        return sketch
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot of the merged window plus ring shape."""
+        sketch = self.window()
+        return {
+            "chunk_size": self.chunk_size,
+            "chunks": self.chunks,
+            "window": sketch.as_dict(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Divergences
+# ----------------------------------------------------------------------
+
+def hellinger_divergence(
+    p_counts: Sequence[float], q_counts: Sequence[float]
+) -> float:
+    """Hellinger distance between two aligned bin-count vectors.
+
+    Follows the conventions of the paper's term-distribution
+    Hellinger (Eq. 1): both empty → 0.0 (identical), exactly one
+    empty → 1.0 (maximally distant), result clamped to ``[0, 1]``.
+    Summation runs in bin order, so the value is deterministic.
+    """
+    if len(p_counts) != len(q_counts):
+        raise ValueError(
+            f"bin vectors differ in length: {len(p_counts)} vs "
+            f"{len(q_counts)}"
+        )
+    p_total = float(sum(p_counts))
+    q_total = float(sum(q_counts))
+    if p_total == 0.0 and q_total == 0.0:
+        return 0.0
+    if p_total == 0.0 or q_total == 0.0:
+        return 1.0
+    acc = 0.0
+    for p, q in zip(p_counts, q_counts):
+        diff = math.sqrt(p / p_total) - math.sqrt(q / q_total)
+        acc += diff * diff
+    return min(1.0, math.sqrt(0.5 * acc))
+
+
+def population_stability_index(
+    p_counts: Sequence[float],
+    q_counts: Sequence[float],
+    floor: float = 1e-4,
+) -> float:
+    """PSI between two aligned bin-count vectors (reference first).
+
+    Bin fractions are floored at ``floor`` before the log ratio, the
+    standard guard against empty bins; an entirely empty side therefore
+    produces a large-but-finite, deterministic value rather than
+    infinity (and two empty sides produce 0.0).  Rule of thumb:
+    < 0.1 stable, 0.1–0.25 moderate shift, > 0.25 major shift.
+    """
+    if len(p_counts) != len(q_counts):
+        raise ValueError(
+            f"bin vectors differ in length: {len(p_counts)} vs "
+            f"{len(q_counts)}"
+        )
+    p_total = float(sum(p_counts))
+    q_total = float(sum(q_counts))
+    if p_total == 0.0 and q_total == 0.0:
+        return 0.0
+    value = 0.0
+    for p, q in zip(p_counts, q_counts):
+        p_frac = max(p / p_total if p_total else 0.0, floor)
+        q_frac = max(q / q_total if q_total else 0.0, floor)
+        value += (p_frac - q_frac) * math.log(p_frac / q_frac)
+    return value

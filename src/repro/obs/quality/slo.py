@@ -1,0 +1,249 @@
+"""Declarative SLOs evaluated over multi-window burn rates.
+
+Every objective is normalized to a good/bad event stream with an error
+*budget* (the allowed bad fraction):
+
+* ``latency`` — bad = a completed response slower than ``threshold``
+  seconds (optionally restricted to one serving tier), so "tier-0 p99
+  ≤ 5 ms" becomes budget 0.01 over the bad-event stream
+  "latency > 0.005";
+* ``degraded_rate`` — bad = a completed verdict carrying degradation
+  tags;
+* ``escalation_mismatch`` — bad = a tier-0 escalation whose full
+  verdict disagreed with the triage lean;
+* ``cache_hit`` — bad = a cache miss, with budget ``1 - floor``.
+
+Alerting follows the multi-window burn-rate pattern: for each
+:class:`BurnRateWindow` the engine compares the bad-rate/budget ratio
+over a long window (is real budget being spent?) *and* a short window
+(is it still being spent right now?) against ``factor``; an alert
+fires only when both exceed it, and resolves when either drops back.
+Time comes exclusively from the instants callers pass in — under the
+engine's :class:`~repro.resilience.clock.ManualClock` the whole alert
+log replays byte for byte.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+_KINDS = ("latency", "degraded_rate", "escalation_mismatch", "cache_hit")
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative objective over a good/bad event stream."""
+
+    name: str
+    kind: str
+    budget: float
+    threshold: float | None = None  # latency bound, kind="latency"
+    tier: str | None = None         # restrict to one tier, kind="latency"
+    store: str | None = None        # cache name, kind="cache_hit"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown objective kind {self.kind!r}; expected one of "
+                f"{_KINDS}"
+            )
+        if not 0 < self.budget < 1:
+            raise ValueError(
+                f"budget must be in (0, 1), got {self.budget}"
+            )
+        if self.kind == "latency" and self.threshold is None:
+            raise ValueError("latency objectives need a threshold")
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe declaration for artifacts."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "budget": self.budget,
+            "threshold": self.threshold,
+            "tier": self.tier,
+            "store": self.store,
+            "description": self.description,
+        }
+
+
+@dataclass(frozen=True)
+class BurnRateWindow:
+    """One (long, short) burn-rate window pair with its firing factor."""
+
+    name: str
+    long_s: float
+    short_s: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.short_s <= self.long_s:
+            raise ValueError(
+                f"windows must satisfy 0 < short <= long, got "
+                f"short={self.short_s} long={self.long_s}"
+            )
+        if self.factor <= 0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+
+
+#: Default window pairs, sized for real-time seconds; simulated-time
+#: scenarios pass their own (e.g. sub-second windows for a 2 s run).
+DEFAULT_WINDOWS: tuple[BurnRateWindow, ...] = (
+    BurnRateWindow("fast", long_s=60.0, short_s=5.0, factor=10.0),
+    BurnRateWindow("slow", long_s=600.0, short_s=60.0, factor=2.0),
+)
+
+
+class SloEngine:
+    """Aggregates good/bad events per objective; evaluates burn rates.
+
+    Events land in fixed-``resolution`` time buckets per objective (a
+    deque of ``[bucket_start, total, bad]``), old buckets are evicted
+    past the longest window, and :meth:`evaluate` walks every
+    (objective, window) pair emitting firing/resolved transitions.
+    """
+
+    def __init__(
+        self,
+        objectives: tuple[SloObjective, ...] | list[SloObjective],
+        windows: tuple[BurnRateWindow, ...] = DEFAULT_WINDOWS,
+        resolution: float | None = None,
+    ) -> None:
+        if not objectives:
+            raise ValueError("SloEngine needs at least one objective")
+        if not windows:
+            raise ValueError("SloEngine needs at least one window pair")
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names in {names}")
+        self.objectives: tuple[SloObjective, ...] = tuple(objectives)
+        self.windows: tuple[BurnRateWindow, ...] = tuple(windows)
+        self.resolution = (
+            resolution
+            if resolution is not None
+            else min(window.short_s for window in self.windows) / 5.0
+        )
+        if self.resolution <= 0:
+            raise ValueError(
+                f"resolution must be positive, got {self.resolution}"
+            )
+        self._horizon = (
+            max(window.long_s for window in self.windows) + self.resolution
+        )
+        self._buckets: dict[str, deque[list[float]]] = {
+            objective.name: deque() for objective in self.objectives
+        }
+        self._active: dict[tuple[str, str], bool] = {
+            (objective.name, window.name): False
+            for objective in self.objectives
+            for window in self.windows
+        }
+
+    # ------------------------------------------------------------------
+    def record(self, name: str, bad: bool, now: float) -> None:
+        """Add one good/bad event to an objective at instant ``now``."""
+        buckets = self._buckets[name]
+        resolution = self.resolution
+        start = (now // resolution) * resolution
+        if buckets:
+            last = buckets[-1]
+            if last[0] == start:
+                last[1] += 1
+                if bad:
+                    last[2] += 1
+                return
+        buckets.append([start, 1, 1 if bad else 0])
+        cutoff = now - self._horizon
+        while buckets and buckets[0][0] < cutoff:
+            buckets.popleft()
+
+    def _window_totals(
+        self, name: str, window_s: float, now: float
+    ) -> tuple[int, int]:
+        cutoff = now - window_s
+        total = bad = 0
+        for start, bucket_total, bucket_bad in self._buckets[name]:
+            if start >= cutoff:
+                total += int(bucket_total)
+                bad += int(bucket_bad)
+        return total, bad
+
+    def burn_rate(
+        self, objective: SloObjective, window_s: float, now: float
+    ) -> float:
+        """(bad fraction / budget) over the trailing window; 0 if idle."""
+        total, bad = self._window_totals(objective.name, window_s, now)
+        if total == 0:
+            return 0.0
+        return (bad / total) / objective.budget
+
+    # ------------------------------------------------------------------
+    def evaluate(self, now: float) -> list[dict[str, Any]]:
+        """Walk every (objective, window) pair; return transitions.
+
+        Each transition is a JSON-safe alert-log entry with
+        ``state: "firing" | "resolved"``; steady states emit nothing.
+        """
+        transitions: list[dict[str, Any]] = []
+        for objective in self.objectives:
+            for window in self.windows:
+                burn_long = self.burn_rate(objective, window.long_s, now)
+                burn_short = self.burn_rate(objective, window.short_s, now)
+                firing = (
+                    burn_long >= window.factor
+                    and burn_short >= window.factor
+                )
+                key = (objective.name, window.name)
+                if firing == self._active[key]:
+                    continue
+                self._active[key] = firing
+                transitions.append(
+                    {
+                        "kind": "slo",
+                        "time": now,
+                        "objective": objective.name,
+                        "window": window.name,
+                        "state": "firing" if firing else "resolved",
+                        "burn_long": burn_long,
+                        "burn_short": burn_short,
+                        "budget": objective.budget,
+                        "factor": window.factor,
+                    }
+                )
+        return transitions
+
+    # ------------------------------------------------------------------
+    def state(self, now: float) -> dict[str, Any]:
+        """Current burn rates and active flags, for artifacts."""
+        rows = []
+        for objective in self.objectives:
+            for window in self.windows:
+                total, bad = self._window_totals(
+                    objective.name, window.long_s, now
+                )
+                rows.append(
+                    {
+                        "objective": objective.name,
+                        "window": window.name,
+                        "burn_long": self.burn_rate(
+                            objective, window.long_s, now
+                        ),
+                        "burn_short": self.burn_rate(
+                            objective, window.short_s, now
+                        ),
+                        "factor": window.factor,
+                        "events_long": total,
+                        "bad_long": bad,
+                        "active": self._active[
+                            (objective.name, window.name)
+                        ],
+                    }
+                )
+        return {
+            "objectives": [o.as_dict() for o in self.objectives],
+            "resolution": self.resolution,
+            "burn": rows,
+        }

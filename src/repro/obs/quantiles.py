@@ -1,0 +1,84 @@
+"""Shared quantile computation over ordered samples and histograms.
+
+Two callers used to carry private percentile code — the serving
+report's nearest-rank latency percentiles and (new) the SLO engine's
+sketch-backed objectives.  Both now go through this module so "p99"
+means exactly one thing everywhere:
+
+* :func:`nearest_rank` — the classic nearest-rank estimator over a
+  pre-sorted sample list (what :class:`repro.serve.report.ServingReport`
+  always computed);
+* :func:`histogram_quantile` — linear interpolation inside fixed
+  histogram buckets, shared by :class:`repro.obs.quality.QuantileSketch`
+  and the ``serve_tier_latency_seconds`` reconstruction in
+  :class:`repro.obs.report.RunReport` (Prometheus
+  ``histogram_quantile`` semantics, including reporting the largest
+  finite bound for mass in the ``+Inf`` overflow bucket).
+
+Both raise on quantiles outside ``(0, 1]`` and return ``0.0`` for an
+empty population rather than indexing into an empty ranking.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+_EPS = 1e-9
+
+
+def nearest_rank(ordered: Sequence[float], quantile: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample.
+
+    ``ordered`` must be sorted ascending; an empty population yields
+    0.0 (no distribution to rank into).
+    """
+    if not 0 < quantile <= 1:
+        raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(quantile * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+def histogram_quantile(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    quantile: float,
+    lo: float = 0.0,
+) -> float:
+    """Interpolated quantile from per-bucket (non-cumulative) counts.
+
+    ``bounds`` are the increasing finite upper edges, one per bucket;
+    ``counts`` may carry one extra trailing slot for the ``+Inf``
+    overflow bucket (the Prometheus histogram layout).  ``lo`` is the
+    lower edge of the first bucket.  Mass landing in the overflow
+    bucket reports the largest finite bound — the quantile cannot be
+    interpolated inside an unbounded bucket.
+    """
+    if not 0 < quantile <= 1:
+        raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+    if len(counts) not in (len(bounds), len(bounds) + 1):
+        raise ValueError(
+            f"counts must have len(bounds) or len(bounds)+1 entries, "
+            f"got {len(counts)} for {len(bounds)} bounds"
+        )
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    target = quantile * total
+    cumulative = 0.0
+    lower = float(lo)
+    for index, count in enumerate(counts):
+        upper = float(bounds[index]) if index < len(bounds) else None
+        if count:
+            previous = cumulative
+            cumulative += count
+            if cumulative >= target - _EPS:
+                if upper is None:
+                    return float(bounds[-1]) if bounds else lower
+                fraction = (target - previous) / count
+                return lower + (upper - lower) * fraction
+        if upper is not None:
+            lower = upper
+    return float(bounds[-1]) if bounds else lower

@@ -46,7 +46,7 @@ SPAN_NAME_PATTERN = re.compile(r"^[a-z_]+(\.[a-z_{}0-9]+)*$")
 #: its root must be one of these subsystems.  Enforced by PHL404.
 SPAN_NAME_ROOTS = frozenset({
     "analyze", "batch", "browse", "cache", "classify",
-    "extract", "serve", "target", "train",
+    "extract", "quality", "serve", "target", "train",
 })
 
 

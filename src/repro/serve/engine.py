@@ -121,6 +121,14 @@ class ServingEngine:
         Optional observability instruments (``serve.*`` spans incl.
         ``serve.triage``, per-shard ``cache.shard`` spans; ``serve_*``
         counters, queue-depth gauge, per-tier latency histograms).
+    quality:
+        Optional :class:`~repro.obs.quality.QualityMonitor`.  Every
+        terminal response, memo lookup and tier-0 escalation outcome
+        is tapped read-only (the monitor carries its own tracer and
+        metrics), and the monitor is finalized on drain — so SLO burn
+        rates, drift windows and the flight recorder see live serving
+        traffic while verdicts and the engine's own span dumps stay
+        byte-identical to an unmonitored run.
     """
 
     def __init__(
@@ -140,6 +148,7 @@ class ServingEngine:
         memo_shards: int = 4,
         tracer: AnyTracer = NULL_TRACER,
         metrics: AnyMetrics = NULL_METRICS,
+        quality=None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -166,6 +175,7 @@ class ServingEngine:
         )
         self.tracer = tracer
         self.metrics = metrics
+        self.quality = quality
         self.inflight_table = InflightTable()
         self.memo = VerdictMemo(
             capacity=memo_capacity,
@@ -187,6 +197,11 @@ class ServingEngine:
         self._drain_at: float | None = None
         self.max_queue_depth = 0
         self.max_inflight = 0
+        # quality-tap bookkeeping (only populated when a monitor is
+        # armed): request budgets for deadline-slack recording, and
+        # triage scores of escalated requests for mismatch tracking.
+        self._budgets: dict[int, float | None] = {}
+        self._triage_scores: dict[int, float] = {}
 
     # -- chaos hooks ---------------------------------------------------
     def lose_worker(self) -> None:
@@ -220,6 +235,8 @@ class ServingEngine:
         self._drain_at = drain_at
         self.max_queue_depth = 0
         self.max_inflight = 0
+        self._budgets = {}
+        self._triage_scores = {}
 
         with self.tracer.span("serve.run", requests=len(ordered)):
             while arrivals:
@@ -242,6 +259,11 @@ class ServingEngine:
                     "cache.shard", cache="memo", index=index, **stats
                 ):
                     pass
+
+        if self.quality is not None:
+            # Final SLO + drift pass on drain, so alerts pending inside
+            # an evaluation interval still surface in the artifact.
+            self.quality.finish(now=self.clock.now())
 
         ordered_responses = [
             responses[request.request_id] for request in ordered
@@ -298,6 +320,8 @@ class ServingEngine:
     # -- admission -----------------------------------------------------
     def _admit(self, request: ServeRequest, responses) -> None:
         now = request.arrival
+        if self.quality is not None:
+            self._budgets[request.request_id] = request.budget
         if self._drain_at is not None and now >= self._drain_at - _EPS:
             self._record(
                 self._shed(request, SHED_DRAINING, now), responses
@@ -349,6 +373,10 @@ class ServingEngine:
             span.set(action=decision.action, score=decision.score)
         self.metrics.inc("serve_triage_total", action=decision.action)
         if not decision.resolved:
+            if self.quality is not None:
+                # Remember the tier-0 lean so the full verdict can be
+                # checked against it at completion (popped in _record).
+                self._triage_scores[request.request_id] = decision.score
             return False
         if request.budget is not None and self.triage_cost > request.budget:
             self._record(
@@ -517,8 +545,18 @@ class ServingEngine:
         load_delta = self.clock.now() - load_start
         fingerprint = snapshot_fingerprint(loaded.snapshot)
         if fingerprint in staged_fps:
+            if self.quality is not None:
+                # Serially this lookup would hit the memo the earlier
+                # staged request filled: record it as the hit it is.
+                self.quality.observe_cache(
+                    "memo", True, now=self.clock.now()
+                )
             return ("dup", request, load_delta, fingerprint)
         memoized = self.memo.get(fingerprint)
+        if self.quality is not None:
+            self.quality.observe_cache(
+                "memo", memoized is not None, now=self.clock.now()
+            )
         if memoized is not None:
             return (
                 "ready", request, ("verdict", memoized, True),
@@ -556,6 +594,10 @@ class ServingEngine:
 
         fingerprint = snapshot_fingerprint(loaded.snapshot)
         memoized = self.memo.get(fingerprint)
+        if self.quality is not None:
+            self.quality.observe_cache(
+                "memo", memoized is not None, now=self.clock.now()
+            )
         if memoized is not None:
             if left is not None and left < self.memo_cost:
                 return ("shed", SHED_DEADLINE), load_delta
@@ -675,6 +717,28 @@ class ServingEngine:
         responses[response.request_id] = response
         self.metrics.inc("serve_requests_total", outcome=response.outcome)
         self.metrics.inc("serve_tier_total", tier=response.tier)
+        if self.quality is not None:
+            triage_score = self._triage_scores.pop(
+                response.request_id, None
+            )
+            if (
+                triage_score is not None
+                and response.completed
+                and response.tier == TIER_FULL
+            ):
+                # Escalation mismatch: the tier-0 lean (score >= 0.5
+                # reads "phish-leaning") disagreed with the full
+                # pipeline's blocking verdict.
+                lean_phish = triage_score >= 0.5
+                blocked = response.verdict in ("phish", "suspicious")
+                self.quality.observe_escalation(
+                    lean_phish != blocked, now=response.finished
+                )
+            self.quality.observe_response(
+                response,
+                budget=self._budgets.pop(response.request_id, None),
+                now=response.finished,
+            )
         if response.shed:
             self.metrics.inc("serve_shed_total", reason=response.shed_reason)
         else:

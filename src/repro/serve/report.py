@@ -10,9 +10,9 @@ the completed responses.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
+from repro.obs.quantiles import nearest_rank
 from repro.serve.request import DEGRADED, SERVED, ServeResponse
 
 
@@ -124,15 +124,11 @@ class ServingReport:
         ``tier`` restricts the population to one serving tier.  A run
         (or tier) with zero completed responses has no latency
         distribution; the percentile reads 0.0 rather than indexing
-        into an empty ranking.
+        into an empty ranking.  Delegates to the shared
+        :func:`repro.obs.quantiles.nearest_rank` — the same estimator
+        the SLO engine and run report use.
         """
-        if not 0 < quantile <= 1:
-            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
-        ordered = self.latencies(tier=tier)
-        if not ordered:
-            return 0.0
-        rank = max(1, math.ceil(quantile * len(ordered)))
-        return ordered[rank - 1]
+        return nearest_rank(self.latencies(tier=tier), quantile)
 
     # -- export --------------------------------------------------------
     def summary(self) -> dict:

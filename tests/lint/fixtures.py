@@ -233,6 +233,7 @@ AST_FIXTURES: dict[str, tuple[list[str], list[str]]] = {
             "with rec.span('extract-f1') as sp:\n    sp.set(ok=True)\n",
             "tracer.span('')\n",
             "tracer.span('frobnicate.step')\n",  # unknown dotted root
+            "tracer.span('qualityx.dump')\n",  # near-miss of a real root
         ],
         [
             "with tracer.span('extract.f2', metric='h'):\n    pass\n",
@@ -240,6 +241,8 @@ AST_FIXTURES: dict[str, tuple[list[str], list[str]]] = {
             "tracer.span('extract.f{group}')\n",  # template segment
             "tracer.span('serve.triage')\n",  # tier-0 triage span
             "tracer.span('cache.shard')\n",  # per-shard snapshot span
+            "tracer.span('quality.evaluate')\n",  # SLO evaluation span
+            "tracer.span('quality.drift')\n",  # drift evaluation span
             "tracer.span('frobnicate')\n",  # single segments: shape only
             "tracer.span(name)\n",  # non-literal names are dynamic
             "cell.span(2)\n",  # unrelated .span API, not a name

@@ -1,0 +1,106 @@
+"""Round-trip tests for the span and metric exporters.
+
+``repro obs report`` (and the quality CLI) reconstruct runs from
+artifacts alone, so ``parse_prometheus(metrics_to_prometheus(m))``
+must invert the snapshot exactly — including labelled histograms,
+empty registries and non-ASCII label values.
+"""
+
+from repro.obs.export import (
+    metrics_to_prometheus,
+    parse_prometheus,
+    read_spans_jsonl,
+    spans_to_jsonl,
+    write_metrics_prometheus,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.resilience.clock import ManualClock
+
+
+def _roundtrip(metrics):
+    return parse_prometheus(metrics_to_prometheus(metrics))
+
+
+class TestPrometheusRoundTrip:
+    def test_empty_registry(self):
+        snapshot = _roundtrip(MetricsRegistry())
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_counters_and_gauges_with_labels(self):
+        metrics = MetricsRegistry()
+        metrics.inc("serve_tier_total", tier="tier0")
+        metrics.inc("serve_tier_total", 2.0, tier="full")
+        metrics.inc("requests_total")  # label-free series
+        metrics.set_gauge("quality_burn_rate", 1.5,
+                          objective="degraded", window="fast")
+        assert _roundtrip(metrics) == metrics.as_dict()
+
+    def test_labelled_histograms(self):
+        metrics = MetricsRegistry()
+        for tier, latency in (
+            ("tier0", 0.002), ("tier0", 0.004),
+            ("full", 0.3), ("full", 42.0),  # 42 s lands in the +Inf slot
+        ):
+            metrics.observe(
+                "serve_tier_latency_seconds", latency, tier=tier
+            )
+        snapshot = _roundtrip(metrics)
+        assert snapshot == metrics.as_dict()
+        entries = snapshot["histograms"]["serve_tier_latency_seconds"]
+        overflow = next(
+            e for e in entries if e["labels"] == {"tier": "full"}
+        )
+        # counts carry the trailing +Inf slot, non-cumulative.
+        assert len(overflow["counts"]) == len(overflow["buckets"]) + 1
+        assert overflow["counts"][-1] == 1
+        assert overflow["count"] == 2
+
+    def test_unicode_label_values(self):
+        metrics = MetricsRegistry()
+        metrics.inc("targets_total", brand="crédit-agricole")
+        metrics.inc("targets_total", brand="中国银行")
+        assert _roundtrip(metrics) == metrics.as_dict()
+
+    def test_parse_reads_files_too(self, tmp_path):
+        metrics = MetricsRegistry()
+        metrics.inc("quality_events_total", stream="verdict")
+        path = write_metrics_prometheus(metrics, tmp_path / "metrics.prom")
+        assert parse_prometheus(path) == metrics.as_dict()
+
+    def test_non_integral_values_survive(self):
+        metrics = MetricsRegistry()
+        metrics.inc("budget_spent_seconds", 0.1)
+        metrics.inc("budget_spent_seconds", 0.25)
+        snapshot = _roundtrip(metrics)
+        (entry,) = snapshot["counters"]["budget_spent_seconds"]
+        assert entry["value"] == 0.35
+
+
+class TestSpansJsonlRoundTrip:
+    def test_empty_tracer(self):
+        assert read_spans_jsonl(spans_to_jsonl(Tracer())) == []
+
+    def test_nested_spans_round_trip(self, tmp_path):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("serve.request", url="http://a/") as root:
+            clock.advance(0.5)
+            with tracer.span("quality.evaluate", transitions=0):
+                clock.advance(0.25)
+            root.set(outcome="served")
+        path = write_spans_jsonl(tracer, tmp_path / "spans.jsonl")
+        spans = read_spans_jsonl(path)
+        assert [s["name"] for s in spans] == [
+            "serve.request", "quality.evaluate",
+        ]
+        root_line, child_line = spans
+        assert root_line["parent_id"] is None
+        assert child_line["parent_id"] == root_line["span_id"]
+        assert root_line["attrs"] == {
+            "url": "http://a/", "outcome": "served",
+        }
+        assert root_line["end"] - root_line["start"] == 0.75
+        # Literal text is accepted alongside paths.
+        assert read_spans_jsonl(path.read_text()) == spans

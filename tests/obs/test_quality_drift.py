@@ -1,0 +1,150 @@
+"""Unit tests for reference profiles and the streaming drift monitor."""
+
+import random
+
+import pytest
+
+from repro.obs.quality.drift import DriftMonitor, DriftThresholds
+from repro.obs.quality.reference import SCORE_SIGNAL, ReferenceProfile
+
+
+def _reference(n=200, seed=7):
+    rng = random.Random(seed)
+    scores = [rng.random() for _ in range(n)]
+    groups = {
+        "f1": [rng.uniform(0.0, 2.0) for _ in range(n)],
+        "f2": [rng.uniform(-1.0, 1.0) for _ in range(n)],
+    }
+    return ReferenceProfile.from_training(scores, groups, depth=8)
+
+
+class TestReferenceProfile:
+    def test_signal_order_is_score_first(self):
+        reference = _reference()
+        assert reference.signals == [SCORE_SIGNAL, "f1", "f2"]
+        assert reference.sketch_for(SCORE_SIGNAL) is reference.score
+        assert reference.sketch_for("f1") is reference.groups["f1"]
+
+    def test_score_domain_is_pinned_to_unit_interval(self):
+        reference = _reference()
+        assert reference.score.lo == 0.0
+        assert reference.score.hi == 1.0
+
+    def test_group_domains_are_padded_past_observed_range(self):
+        reference = ReferenceProfile.from_training(
+            [0.5], {"f1": [1.0, 3.0]}, depth=4, margin=0.25
+        )
+        sketch = reference.groups["f1"]
+        assert sketch.lo == pytest.approx(0.5)
+        assert sketch.hi == pytest.approx(3.5)
+
+    def test_constant_column_gets_symmetric_pad(self):
+        reference = ReferenceProfile.from_training(
+            [0.5], {"f1": [2.0, 2.0]}, depth=4
+        )
+        sketch = reference.groups["f1"]
+        assert sketch.lo == pytest.approx(1.5)
+        assert sketch.hi == pytest.approx(2.5)
+
+    def test_n_pages_counts_scores(self):
+        assert _reference(n=37).n_pages == 37
+
+    def test_json_round_trip(self, tmp_path):
+        reference = _reference()
+        path = reference.write(tmp_path / "reference.json")
+        loaded = ReferenceProfile.read(path)
+        assert loaded.n_pages == reference.n_pages
+        assert loaded.score == reference.score
+        assert loaded.groups == reference.groups
+        # write is deterministic byte for byte.
+        again = tmp_path / "again.json"
+        loaded.write(again)
+        assert again.read_bytes() == path.read_bytes()
+
+
+class TestDriftMonitor:
+    def test_windows_inherit_reference_bin_layout(self):
+        reference = _reference()
+        monitor = DriftMonitor(reference)
+        assert monitor.signals == reference.signals
+        status = monitor.status("f1")
+        assert status.count == 0
+        assert status.drifted is False
+
+    def test_empty_window_is_maximally_distant_but_not_drifted(self):
+        monitor = DriftMonitor(_reference())
+        status = monitor.status(SCORE_SIGNAL)
+        # One-empty-side convention: Hellinger 1.0 — but min_count
+        # gates the drifted verdict.
+        assert status.hellinger == 1.0
+        assert status.drifted is False
+
+    def test_min_count_gates_drift_verdict(self):
+        thresholds = DriftThresholds(hellinger=0.3, psi=0.5, min_count=50)
+        monitor = DriftMonitor(
+            _reference(), thresholds, chunk_size=20, chunks=4
+        )
+        # 30 wildly shifted scores: divergence is over threshold but
+        # the window is under min_count.
+        for _ in range(30):
+            monitor.observe_score(0.999)
+        status = monitor.status(SCORE_SIGNAL)
+        assert status.hellinger >= thresholds.hellinger
+        assert status.drifted is False
+        for _ in range(30):
+            monitor.observe_score(0.999)
+        assert monitor.status(SCORE_SIGNAL).drifted is True
+        assert SCORE_SIGNAL in monitor.drifted_signals()
+
+    def test_matching_stream_does_not_drift(self):
+        rng = random.Random(11)
+        monitor = DriftMonitor(_reference(), chunk_size=20, chunks=4)
+        for _ in range(120):
+            monitor.observe_score(rng.random())
+            monitor.observe_groups(
+                {"f1": rng.uniform(0.0, 2.0), "f2": rng.uniform(-1.0, 1.0)}
+            )
+        assert monitor.drifted_signals() == []
+
+    def test_observe_groups_ignores_unknown_signals(self):
+        monitor = DriftMonitor(_reference())
+        monitor.observe_groups({"f9": 1.0, "score": 0.5})
+        # Neither an unknown group nor the reserved score name advances
+        # any group window, and the score window only moves via
+        # observe_score.
+        assert all(status.count == 0 for status in monitor.statuses())
+
+    def test_window_slides_past_a_drift_burst(self):
+        thresholds = DriftThresholds(hellinger=0.3, psi=0.5, min_count=60)
+        monitor = DriftMonitor(
+            _reference(seed=3), thresholds, chunk_size=20, chunks=4
+        )
+        for _ in range(80):
+            monitor.observe_score(0.999)
+        assert monitor.status(SCORE_SIGNAL).drifted is True
+        # Healthy traffic pushes the burst out of the ring.
+        rng = random.Random(5)
+        for _ in range(80):
+            monitor.observe_score(rng.random())
+        assert monitor.status(SCORE_SIGNAL).drifted is False
+
+    def test_as_dict_carries_thresholds_and_statuses(self):
+        monitor = DriftMonitor(_reference(), DriftThresholds(0.4, 1.5, 10))
+        payload = monitor.as_dict()
+        assert payload["thresholds"] == {
+            "hellinger": 0.4,
+            "psi": 1.5,
+            "min_count": 10,
+        }
+        assert payload["reference_pages"] == 200
+        assert [row["signal"] for row in payload["signals"]] == [
+            SCORE_SIGNAL,
+            "f1",
+            "f2",
+        ]
+
+    def test_default_thresholds_are_recalibrated(self):
+        thresholds = DriftThresholds()
+        assert thresholds.hellinger == 0.45
+        assert thresholds.psi == 2.0
+        assert thresholds.min_count == 64

@@ -1,0 +1,192 @@
+"""Unit tests for the flight recorder and the QualityMonitor facade."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.quality.drift import DriftThresholds
+from repro.obs.quality.monitor import QualityMonitor
+from repro.obs.quality.recorder import FlightRecorder
+from repro.obs.quality.reference import ReferenceProfile
+from repro.obs.quality.slo import BurnRateWindow, SloObjective
+from repro.obs.trace import Tracer
+from repro.resilience.clock import ManualClock
+
+
+class TestFlightRecorder:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(0)
+
+    def test_records_sorted_fields_and_elides_none(self):
+        recorder = FlightRecorder(4)
+        event = recorder.record(
+            "serve", 1.5, url="http://x/", score=None, tier="full"
+        )
+        assert event == {
+            "seq": 0,
+            "kind": "serve",
+            "time": 1.5,
+            "tier": "full",
+            "url": "http://x/",
+        }
+
+    def test_ring_bounds_and_eviction_accounting(self):
+        recorder = FlightRecorder(3)
+        for i in range(5):
+            recorder.record("verdict", float(i))
+        assert len(recorder) == 3
+        assert recorder.dropped == 2
+        snapshot = recorder.snapshot()
+        # Oldest first; seq keeps absolute stream position.
+        assert [event["seq"] for event in snapshot] == [2, 3, 4]
+
+    def test_as_dict_accounting(self):
+        recorder = FlightRecorder(2)
+        recorder.record("serve", 0.0)
+        payload = recorder.as_dict()
+        assert payload["capacity"] == 2
+        assert payload["recorded"] == 1
+        assert payload["dropped"] == 0
+        assert len(payload["events"]) == 1
+
+    def test_snapshot_is_a_copy(self):
+        recorder = FlightRecorder(2)
+        recorder.record("serve", 0.0)
+        recorder.snapshot()[0]["kind"] = "mutated"
+        assert recorder.snapshot()[0]["kind"] == "serve"
+
+
+def _reference(n=100):
+    scores = [(i % 10) / 10 + 0.05 for i in range(n)]
+    return ReferenceProfile.from_training(scores, {}, depth=8)
+
+
+def _monitor(**overrides):
+    base = dict(
+        reference=_reference(),
+        objectives=(
+            SloObjective("degraded", "degraded_rate", budget=0.1),
+        ),
+        windows=(BurnRateWindow("fast", long_s=2.0, short_s=0.5, factor=2.0),),
+        clock=ManualClock(),
+        drift_thresholds=DriftThresholds(min_count=15),
+        drift_chunk_size=10,
+        drift_chunks=2,
+        recorder_capacity=8,
+    )
+    base.update(overrides)
+    return QualityMonitor(**base)
+
+
+class TestQualityMonitor:
+    def test_counts_every_tap_stream(self):
+        monitor = _monitor()
+        monitor.observe_verdict(0.5, verdict="legitimate", now=0.1)
+        monitor.observe_cache("memo", hit=True, now=0.2)
+        monitor.observe_escalation(mismatch=True, now=0.3)
+        artifact = monitor.artifact()
+        assert artifact["counts"] == {
+            "cache": 1,
+            "escalation": 1,
+            "escalation_mismatch": 1,
+            "verdict": 1,
+        }
+
+    def test_healthy_stream_raises_no_alerts(self):
+        monitor = _monitor()
+        for i in range(40):
+            monitor.observe_verdict((i % 10) / 10 + 0.05, now=i * 0.05)
+        artifact = monitor.finish(now=2.5)
+        assert artifact["alerts"] == []
+        assert monitor.firing_alerts == []
+
+    def test_degraded_burst_fires_slo_alert(self):
+        monitor = _monitor()
+        for i in range(30):
+            monitor.observe_verdict(0.5, degraded=True, now=i * 0.05)
+        monitor.finish(now=1.6)
+        kinds = {(a["kind"], a["state"]) for a in monitor.firing_alerts}
+        assert ("slo", "firing") in kinds
+        (dump,) = monitor.alert_dumps[:1]
+        assert dump["alert"]["objective"] == "degraded"
+        assert dump["events"], "alert dump snapshots the recorder ring"
+
+    def test_shifted_scores_fire_drift_alert(self):
+        monitor = _monitor(objectives=())
+        for i in range(20):
+            monitor.observe_verdict(0.999, now=i * 0.05)
+        assert [
+            (a["kind"], a["signal"], a["state"])
+            for a in monitor.firing_alerts
+        ] == [("drift", "score", "firing")]
+
+    def test_drift_evaluates_every_chunk(self):
+        monitor = _monitor(objectives=())
+        # 9 observations: under the 10-observation chunk, no drift eval
+        # yet even though the stream is shifted.
+        for i in range(9):
+            monitor.observe_verdict(0.999, now=i * 0.05)
+        assert monitor.alerts == []
+        # finish() forces the pending partial chunk to be judged.
+        monitor.finish(now=1.0)
+        assert monitor.alerts == []  # 9 < min_count: still gated
+
+    def test_monitor_uses_own_instruments(self):
+        tracer = Tracer(clock=ManualClock())
+        metrics = MetricsRegistry()
+        monitor = _monitor(tracer=tracer, metrics=metrics)
+        for i in range(30):
+            monitor.observe_verdict(0.5, degraded=True, now=i * 0.05)
+        monitor.finish(now=1.6)
+        names = {span.name for span in tracer.iter_spans()}
+        assert "quality.evaluate" in names
+        assert "quality.drift" in names
+        assert "quality.dump" in names
+        assert metrics.counter_total("quality_events_total") == 30
+        assert metrics.counter_total("quality_alerts_total") >= 1
+        assert metrics.gauge_value("quality_burn_rate",
+                                   objective="degraded",
+                                   window="fast") is not None
+
+    def test_artifact_write_is_deterministic(self, tmp_path):
+        def run(path):
+            monitor = _monitor()
+            for i in range(25):
+                monitor.observe_verdict(
+                    0.9, degraded=(i % 2 == 0), now=i * 0.05
+                )
+                monitor.observe_cache("memo", hit=(i % 3 != 0), now=i * 0.05)
+            monitor.finish(now=1.5)
+            return monitor.write_artifact(path)
+
+        first = run(tmp_path / "a.json")
+        second = run(tmp_path / "b.json")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_write_flight_is_jsonl(self, tmp_path):
+        monitor = _monitor()
+        monitor.observe_verdict(0.4, verdict="phish", now=0.1)
+        monitor.observe_verdict(0.6, verdict="legitimate", now=0.2)
+        path = monitor.write_flight(tmp_path / "flight.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        events = [json.loads(line) for line in lines]
+        assert [e["kind"] for e in events] == ["verdict", "verdict"]
+        assert [e["seq"] for e in events] == [0, 1]
+
+    def test_artifact_without_slo_or_drift(self):
+        monitor = QualityMonitor(recorder_capacity=4)
+        monitor.observe_verdict(0.5, now=0.0)
+        artifact = monitor.artifact()
+        assert artifact["slo"] is None
+        assert artifact["drift"] is None
+        assert artifact["counts"] == {"verdict": 1}
+
+    def test_clock_fallback_when_no_now_passed(self):
+        clock = ManualClock()
+        monitor = QualityMonitor(clock=clock, recorder_capacity=4)
+        clock.advance(3.0)
+        monitor.observe_verdict(0.5)
+        assert monitor.recorder.snapshot()[0]["time"] == 3.0

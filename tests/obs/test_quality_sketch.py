@@ -1,0 +1,216 @@
+"""Unit tests for the mergeable distribution sketches and divergences."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.quality.sketch import (
+    QuantileSketch,
+    SlidingWindowSketch,
+    hellinger_divergence,
+    population_stability_index,
+)
+
+
+class TestQuantileSketch:
+    def test_rejects_degenerate_domain(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(1.0, 1.0)
+        with pytest.raises(ValueError):
+            QuantileSketch(0.0, 1.0, depth=0)
+
+    def test_observe_tracks_exact_envelope(self):
+        sketch = QuantileSketch(0.0, 1.0, depth=4)
+        sketch.observe_many([0.2, 0.9, -0.5, 1.7])
+        assert sketch.count == 4
+        # Out-of-domain values clamp into the edge bins but min/max stay exact.
+        assert sketch.vmin == -0.5
+        assert sketch.vmax == 1.7
+        assert sketch.counts[0] == 2  # 0.2 and the clamped -0.5
+        assert sketch.counts[-1] == 2  # 0.9 and the clamped 1.7
+
+    def test_quantile_empty_reads_zero(self):
+        assert QuantileSketch(0.0, 1.0).quantile(0.5) == 0.0
+
+    def test_quantile_is_clamped_to_envelope(self):
+        sketch = QuantileSketch(0.0, 1.0, depth=2)
+        sketch.observe_many([0.4, 0.4, 0.4])
+        # Interpolation would read past 0.4 inside the [0, 0.5) bin;
+        # the exact max pins it back.
+        assert sketch.quantile(0.99) == 0.4
+
+    def test_quantile_median_of_uniform_fill(self):
+        sketch = QuantileSketch(0.0, 1.0, depth=10)
+        sketch.observe_many([i / 100 for i in range(100)])
+        assert sketch.quantile(0.5) == pytest.approx(0.5, abs=0.1)
+
+    def test_merge_requires_compatible_domains(self):
+        a = QuantileSketch(0.0, 1.0)
+        b = QuantileSketch(0.0, 2.0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_is_pure(self):
+        a = QuantileSketch(0.0, 1.0, depth=4)
+        b = QuantileSketch(0.0, 1.0, depth=4)
+        a.observe(0.1)
+        b.observe(0.9)
+        merged = a.merge(b)
+        assert merged.count == 2
+        assert a.count == 1 and b.count == 1
+
+    def test_merge_equals_sequential_observation(self):
+        values = [0.05, 0.2, 0.2, 0.77, 0.93]
+        whole = QuantileSketch(0.0, 1.0, depth=8)
+        whole.observe_many(values)
+        left = QuantileSketch(0.0, 1.0, depth=8)
+        right = QuantileSketch(0.0, 1.0, depth=8)
+        left.observe_many(values[:2])
+        right.observe_many(values[2:])
+        assert left.merge(right) == whole
+
+    def test_dict_round_trip(self):
+        sketch = QuantileSketch(0.0, 1.0, depth=4)
+        sketch.observe_many([0.1, 0.5, 0.5, 0.99])
+        payload = json.loads(json.dumps(sketch.as_dict()))
+        assert QuantileSketch.from_dict(payload) == sketch
+
+    def test_from_dict_rejects_wrong_bin_count(self):
+        payload = QuantileSketch(0.0, 1.0, depth=4).as_dict()
+        payload["counts"] = [0, 0]
+        with pytest.raises(ValueError):
+            QuantileSketch.from_dict(payload)
+
+    def test_normalized_masses(self):
+        sketch = QuantileSketch(0.0, 1.0, depth=2)
+        assert sketch.normalized() == [0.0, 0.0]
+        sketch.observe_many([0.1, 0.1, 0.9, 0.9])
+        assert sketch.normalized() == [0.5, 0.5]
+
+
+# ----------------------------------------------------------------------
+# Satellite: property test that merge is commutative AND associative.
+# The sketch state is integer bin counts plus exact min/max, so these
+# hold to the byte, not just approximately.
+# ----------------------------------------------------------------------
+
+_values = st.lists(
+    st.floats(min_value=-2.0, max_value=3.0, allow_nan=False), max_size=30
+)
+
+
+def _sketch_of(values):
+    sketch = QuantileSketch(0.0, 1.0, depth=8)
+    sketch.observe_many(values)
+    return sketch
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(_values, _values)
+    def test_merge_commutative(self, xs, ys):
+        a, b = _sketch_of(xs), _sketch_of(ys)
+        assert a.merge(b) == b.merge(a)
+        assert a.merge(b).as_dict() == b.merge(a).as_dict()
+
+    @settings(max_examples=60, deadline=None)
+    @given(_values, _values, _values)
+    def test_merge_associative(self, xs, ys, zs):
+        a, b, c = _sketch_of(xs), _sketch_of(ys), _sketch_of(zs)
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @settings(max_examples=60, deadline=None)
+    @given(_values, _values)
+    def test_merge_matches_single_stream(self, xs, ys):
+        assert _sketch_of(xs).merge(_sketch_of(ys)) == _sketch_of(xs + ys)
+
+
+class TestSlidingWindowSketch:
+    def test_rejects_degenerate_ring(self):
+        with pytest.raises(ValueError):
+            SlidingWindowSketch(0.0, 1.0, chunk_size=0)
+        with pytest.raises(ValueError):
+            SlidingWindowSketch(0.0, 1.0, chunks=0)
+
+    def test_capacity_and_count(self):
+        window = SlidingWindowSketch(0.0, 1.0, chunk_size=3, chunks=2)
+        assert window.capacity == 6
+        for _ in range(4):
+            window.observe(0.5)
+        assert window.count == 4
+
+    def test_evicts_whole_chunks(self):
+        window = SlidingWindowSketch(0.0, 1.0, depth=2, chunk_size=2, chunks=2)
+        # Two full chunks of lows, then one high: the oldest low chunk
+        # is evicted wholesale when the third chunk opens.
+        window.observe(0.1)
+        window.observe(0.1)
+        window.observe(0.1)
+        window.observe(0.1)
+        window.observe(0.9)
+        merged = window.window()
+        assert merged.count == 3
+        assert merged.counts == [2, 1]
+
+    def test_window_never_exceeds_capacity(self):
+        window = SlidingWindowSketch(0.0, 1.0, chunk_size=2, chunks=3)
+        for i in range(25):
+            window.observe((i % 10) / 10)
+        assert window.count <= window.capacity
+
+    def test_as_dict_reports_ring_shape(self):
+        window = SlidingWindowSketch(0.0, 1.0, chunk_size=5, chunks=2)
+        window.observe(0.3)
+        payload = window.as_dict()
+        assert payload["chunk_size"] == 5
+        assert payload["chunks"] == 2
+        assert payload["window"]["count"] == 1
+
+
+class TestHellingerDivergence:
+    def test_both_empty_is_identical(self):
+        assert hellinger_divergence([0, 0], [0, 0]) == 0.0
+
+    def test_one_empty_is_maximal(self):
+        assert hellinger_divergence([1, 2], [0, 0]) == 1.0
+        assert hellinger_divergence([0, 0], [3, 1]) == 1.0
+
+    def test_identical_distributions(self):
+        assert hellinger_divergence([5, 5], [50, 50]) == pytest.approx(0.0)
+
+    def test_disjoint_support_is_maximal(self):
+        assert hellinger_divergence([10, 0], [0, 10]) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        a, b = [3, 1, 6], [1, 5, 2]
+        assert hellinger_divergence(a, b) == pytest.approx(
+            hellinger_divergence(b, a)
+        )
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            hellinger_divergence([1], [1, 2])
+
+
+class TestPopulationStabilityIndex:
+    def test_both_empty_is_zero(self):
+        assert population_stability_index([0, 0], [0, 0]) == 0.0
+
+    def test_identical_distributions(self):
+        assert population_stability_index([4, 6], [40, 60]) == pytest.approx(0.0)
+
+    def test_empty_side_is_finite(self):
+        value = population_stability_index([5, 5], [0, 0])
+        assert value > 0.25
+        assert value < float("inf")
+
+    def test_shift_grows_psi(self):
+        mild = population_stability_index([50, 50], [45, 55])
+        major = population_stability_index([50, 50], [5, 95])
+        assert 0.0 < mild < major
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            population_stability_index([1, 2], [1])

@@ -1,0 +1,137 @@
+"""Unit tests for the multi-window burn-rate SLO engine."""
+
+import pytest
+
+from repro.obs.quality.slo import BurnRateWindow, SloEngine, SloObjective
+
+
+def _objective(**overrides):
+    base = dict(name="degraded", kind="degraded_rate", budget=0.1)
+    base.update(overrides)
+    return SloObjective(**base)
+
+
+WINDOW = BurnRateWindow("fast", long_s=10.0, short_s=2.0, factor=2.0)
+
+
+class TestSloObjective:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            _objective(kind="availability")
+
+    def test_rejects_out_of_range_budget(self):
+        with pytest.raises(ValueError):
+            _objective(budget=0.0)
+        with pytest.raises(ValueError):
+            _objective(budget=1.0)
+
+    def test_latency_requires_threshold(self):
+        with pytest.raises(ValueError):
+            SloObjective(name="lat", kind="latency", budget=0.05)
+        # With a threshold it constructs fine.
+        SloObjective(name="lat", kind="latency", budget=0.05, threshold=0.01)
+
+    def test_as_dict_is_json_safe(self):
+        payload = _objective(description="verdict quality").as_dict()
+        assert payload["name"] == "degraded"
+        assert payload["kind"] == "degraded_rate"
+        assert payload["budget"] == 0.1
+        assert payload["description"] == "verdict quality"
+
+
+class TestBurnRateWindow:
+    def test_rejects_inverted_windows(self):
+        with pytest.raises(ValueError):
+            BurnRateWindow("bad", long_s=1.0, short_s=2.0, factor=2.0)
+        with pytest.raises(ValueError):
+            BurnRateWindow("bad", long_s=1.0, short_s=0.0, factor=2.0)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            BurnRateWindow("bad", long_s=2.0, short_s=1.0, factor=0.0)
+
+
+class TestSloEngine:
+    def test_rejects_empty_configuration(self):
+        with pytest.raises(ValueError):
+            SloEngine(())
+        with pytest.raises(ValueError):
+            SloEngine((_objective(),), windows=())
+
+    def test_rejects_duplicate_objective_names(self):
+        with pytest.raises(ValueError):
+            SloEngine((_objective(), _objective(budget=0.2)))
+
+    def test_default_resolution_tracks_shortest_window(self):
+        engine = SloEngine((_objective(),), windows=(WINDOW,))
+        assert engine.resolution == pytest.approx(WINDOW.short_s / 5.0)
+
+    def test_burn_rate_idle_is_zero(self):
+        engine = SloEngine((_objective(),), windows=(WINDOW,))
+        assert engine.burn_rate(engine.objectives[0], 10.0, now=5.0) == 0.0
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        engine = SloEngine((_objective(budget=0.1),), windows=(WINDOW,))
+        for i in range(10):
+            engine.record("degraded", bad=(i < 3), now=float(i) * 0.1)
+        # 3 bad of 10 at budget 0.1 -> burn rate 3.0.
+        assert engine.burn_rate(engine.objectives[0], 10.0, now=1.0) == (
+            pytest.approx(3.0)
+        )
+
+    def test_old_events_age_out_of_the_window(self):
+        engine = SloEngine((_objective(),), windows=(WINDOW,))
+        engine.record("degraded", bad=True, now=0.0)
+        engine.record("degraded", bad=False, now=11.0)
+        # The bad event at t=0 is outside the trailing 2 s short window.
+        assert engine.burn_rate(engine.objectives[0], 2.0, now=11.0) == 0.0
+
+    def test_fires_only_when_both_windows_exceed_factor(self):
+        engine = SloEngine((_objective(budget=0.1),), windows=(WINDOW,))
+        # Long window full of bad events, but the short window has
+        # recovered: no alert.
+        for i in range(8):
+            engine.record("degraded", bad=True, now=float(i))
+        engine.record("degraded", bad=False, now=9.0)
+        engine.record("degraded", bad=False, now=9.5)
+        assert engine.evaluate(now=9.9) == []
+
+    def test_firing_and_resolved_transitions(self):
+        engine = SloEngine((_objective(budget=0.1),), windows=(WINDOW,))
+        for i in range(10):
+            engine.record("degraded", bad=True, now=float(i))
+        fired = engine.evaluate(now=9.9)
+        assert [t["state"] for t in fired] == ["firing"]
+        assert fired[0]["kind"] == "slo"
+        assert fired[0]["objective"] == "degraded"
+        assert fired[0]["window"] == "fast"
+        # Steady firing state emits nothing on re-evaluation.
+        assert engine.evaluate(now=9.95) == []
+        # Good traffic drains the short window; the alert resolves.
+        for i in range(20):
+            engine.record("degraded", bad=False, now=10.0 + i * 0.1)
+        resolved = engine.evaluate(now=12.5)
+        assert [t["state"] for t in resolved] == ["resolved"]
+
+    def test_alert_log_replays_deterministically(self):
+        def run():
+            engine = SloEngine((_objective(budget=0.1),), windows=(WINDOW,))
+            log = []
+            for i in range(30):
+                engine.record("degraded", bad=(i % 3 == 0), now=i * 0.5)
+                log.extend(engine.evaluate(now=i * 0.5))
+            return log
+
+        assert run() == run()
+
+    def test_state_exposes_burn_rows(self):
+        engine = SloEngine((_objective(),), windows=(WINDOW,))
+        engine.record("degraded", bad=True, now=1.0)
+        state = engine.state(now=1.0)
+        assert state["objectives"][0]["name"] == "degraded"
+        (row,) = state["burn"]
+        assert row["objective"] == "degraded"
+        assert row["window"] == "fast"
+        assert row["events_long"] == 1
+        assert row["bad_long"] == 1
+        assert row["active"] is False

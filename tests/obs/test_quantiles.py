@@ -1,0 +1,75 @@
+"""Unit tests for the shared quantile estimators (repro.obs.quantiles)."""
+
+import pytest
+
+from repro.obs.quantiles import histogram_quantile, nearest_rank
+
+
+class TestNearestRank:
+    def test_empty_population_reads_zero(self):
+        assert nearest_rank([], 0.5) == 0.0
+
+    def test_single_element(self):
+        assert nearest_rank([3.0], 0.5) == 3.0
+        assert nearest_rank([3.0], 0.99) == 3.0
+
+    def test_nearest_rank_convention(self):
+        ordered = [1.0, 2.0, 3.0, 4.0]
+        assert nearest_rank(ordered, 0.25) == 1.0
+        assert nearest_rank(ordered, 0.50) == 2.0
+        assert nearest_rank(ordered, 0.75) == 3.0
+        assert nearest_rank(ordered, 1.00) == 4.0
+
+    def test_high_quantile_returns_max(self):
+        assert nearest_rank([1.0, 2.0, 9.0], 0.99) == 9.0
+
+    def test_rejects_out_of_range_quantiles(self):
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 0.0)
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 1.5)
+
+    def test_matches_serving_report_percentile(self):
+        """The serving report delegates here; same estimator by construction."""
+        from repro.serve.report import ServingReport
+        from repro.serve.request import ServeResponse
+
+        responses = [
+            ServeResponse(
+                request_id=i, url=f"http://u{i}/", outcome="served",
+                finished=1.0, latency=0.1 * (i + 1),
+            )
+            for i in range(5)
+        ]
+        report = ServingReport(responses=responses)
+        assert report.latency_percentile(0.5) == nearest_rank(
+            sorted(r.latency for r in responses), 0.5
+        )
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_reads_zero(self):
+        assert histogram_quantile([0.1, 1.0], [0, 0], 0.5) == 0.0
+
+    def test_single_bucket_interpolates(self):
+        # 10 samples in [0, 1): p50 interpolates to mid-bucket.
+        value = histogram_quantile([1.0], [10], 0.5)
+        assert 0.0 < value <= 1.0
+        assert value == pytest.approx(0.5)
+
+    def test_interpolation_across_buckets(self):
+        # bounds [1, 2], counts [5, 5]: p75 lands halfway into bucket 2.
+        value = histogram_quantile([1.0, 2.0], [5, 5], 0.75)
+        assert value == pytest.approx(1.5)
+
+    def test_overflow_mass_returns_largest_finite_bound(self):
+        # counts has the +Inf slot: all mass above the last bound.
+        assert histogram_quantile([1.0, 2.0], [0, 0, 7], 0.99) == 2.0
+
+    def test_rejects_out_of_range_quantiles(self):
+        with pytest.raises(ValueError):
+            histogram_quantile([1.0], [1], 0.0)
+
+    def test_lo_offset_shifts_first_bucket(self):
+        value = histogram_quantile([2.0], [10], 0.5, lo=1.0)
+        assert value == pytest.approx(1.5)
